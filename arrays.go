@@ -1,0 +1,152 @@
+package midway
+
+import (
+	"fmt"
+	"math"
+)
+
+// F64Array is a typed view over a shared allocation of float64 elements.
+// It carries no per-processor state: the same value can be used from every
+// Run instance, with all access going through the Proc handle.
+type F64Array struct {
+	base Addr
+	n    int
+}
+
+// AllocF64 reserves a shared array of n float64 elements with the given
+// cache line size in bytes.
+func (s *System) AllocF64(name string, n int, lineSize uint32) F64Array {
+	if n <= 0 {
+		panic(fmt.Sprintf("midway: invalid array length %d", n))
+	}
+	base := s.MustAlloc(name, uint32(n)*8, lineSize)
+	return F64Array{base: base, n: n}
+}
+
+// Len returns the element count.
+func (a F64Array) Len() int { return a.n }
+
+// At returns the address of element i.
+func (a F64Array) At(i int) Addr {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("midway: index %d out of range [0,%d)", i, a.n))
+	}
+	return a.base + Addr(uint32(i)*8)
+}
+
+// Range returns the whole array's address range.
+func (a F64Array) Range() Range { return Range{Addr: a.base, Size: uint32(a.n) * 8} }
+
+// Slice returns the address range of elements [i, j).
+func (a F64Array) Slice(i, j int) Range {
+	if i < 0 || j > a.n || i > j {
+		panic(fmt.Sprintf("midway: slice [%d,%d) out of range [0,%d]", i, j, a.n))
+	}
+	return Range{Addr: a.base + Addr(uint32(i)*8), Size: uint32(j-i) * 8}
+}
+
+// Get loads element i through the processor handle.
+func (a F64Array) Get(p *Proc, i int) float64 { return p.ReadF64(a.At(i)) }
+
+// Set stores element i through the processor handle (instrumented).
+func (a F64Array) Set(p *Proc, i int, v float64) { p.WriteF64(a.At(i), v) }
+
+// Preset installs an initial value without trapping or counting.
+func (a F64Array) Preset(s *System, i int, v float64) { s.PresetF64(a.At(i), v) }
+
+// U64Array is a typed view over a shared allocation of uint64 elements.
+type U64Array struct {
+	base Addr
+	n    int
+}
+
+// AllocU64 reserves a shared array of n uint64 elements with the given
+// cache line size in bytes.
+func (s *System) AllocU64(name string, n int, lineSize uint32) U64Array {
+	if n <= 0 {
+		panic(fmt.Sprintf("midway: invalid array length %d", n))
+	}
+	base := s.MustAlloc(name, uint32(n)*8, lineSize)
+	return U64Array{base: base, n: n}
+}
+
+// Len returns the element count.
+func (a U64Array) Len() int { return a.n }
+
+// At returns the address of element i.
+func (a U64Array) At(i int) Addr {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("midway: index %d out of range [0,%d)", i, a.n))
+	}
+	return a.base + Addr(uint32(i)*8)
+}
+
+// Range returns the whole array's address range.
+func (a U64Array) Range() Range { return Range{Addr: a.base, Size: uint32(a.n) * 8} }
+
+// Slice returns the address range of elements [i, j).
+func (a U64Array) Slice(i, j int) Range {
+	if i < 0 || j > a.n || i > j {
+		panic(fmt.Sprintf("midway: slice [%d,%d) out of range [0,%d]", i, j, a.n))
+	}
+	return Range{Addr: a.base + Addr(uint32(i)*8), Size: uint32(j-i) * 8}
+}
+
+// Get loads element i through the processor handle.
+func (a U64Array) Get(p *Proc, i int) uint64 { return p.ReadU64(a.At(i)) }
+
+// Set stores element i through the processor handle (instrumented).
+func (a U64Array) Set(p *Proc, i int, v uint64) { p.WriteU64(a.At(i), v) }
+
+// Preset installs an initial value without trapping or counting.
+func (a U64Array) Preset(s *System, i int, v uint64) { s.PresetU64(a.At(i), v) }
+
+// U32Array is a typed view over a shared allocation of uint32 elements
+// (the paper's integer applications store 32-bit words).
+type U32Array struct {
+	base Addr
+	n    int
+}
+
+// AllocU32 reserves a shared array of n uint32 elements with the given
+// cache line size in bytes.
+func (s *System) AllocU32(name string, n int, lineSize uint32) U32Array {
+	if n <= 0 {
+		panic(fmt.Sprintf("midway: invalid array length %d", n))
+	}
+	base := s.MustAlloc(name, uint32(n)*4, lineSize)
+	return U32Array{base: base, n: n}
+}
+
+// Len returns the element count.
+func (a U32Array) Len() int { return a.n }
+
+// At returns the address of element i.
+func (a U32Array) At(i int) Addr {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("midway: index %d out of range [0,%d)", i, a.n))
+	}
+	return a.base + Addr(uint32(i)*4)
+}
+
+// Range returns the whole array's address range.
+func (a U32Array) Range() Range { return Range{Addr: a.base, Size: uint32(a.n) * 4} }
+
+// Slice returns the address range of elements [i, j).
+func (a U32Array) Slice(i, j int) Range {
+	if i < 0 || j > a.n || i > j {
+		panic(fmt.Sprintf("midway: slice [%d,%d) out of range [0,%d]", i, j, a.n))
+	}
+	return Range{Addr: a.base + Addr(uint32(i)*4), Size: uint32(j-i) * 4}
+}
+
+// Get loads element i through the processor handle.
+func (a U32Array) Get(p *Proc, i int) uint32 { return p.ReadU32(a.At(i)) }
+
+// Set stores element i through the processor handle (instrumented).
+func (a U32Array) Set(p *Proc, i int, v uint32) { p.WriteU32(a.At(i), v) }
+
+// Preset installs an initial value without trapping or counting.
+func (a U32Array) Preset(s *System, i int, v uint32) { s.PresetU32(a.At(i), v) }
+
+func putF64(b []byte, v float64) { putU64(b, math.Float64bits(v)) }

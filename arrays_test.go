@@ -1,0 +1,143 @@
+package midway_test
+
+import (
+	"testing"
+
+	"midway"
+)
+
+func newArraySystem(t *testing.T) *midway.System {
+	t.Helper()
+	sys, err := midway.NewSystem(midway.Config{Nodes: 1, Strategy: midway.RT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestF64Array(t *testing.T) {
+	sys := newArraySystem(t)
+	arr := sys.AllocF64("a", 10, 8)
+	if arr.Len() != 10 {
+		t.Errorf("Len = %d", arr.Len())
+	}
+	if rg := arr.Range(); rg.Size != 80 {
+		t.Errorf("Range size = %d", rg.Size)
+	}
+	if rg := arr.Slice(2, 5); rg.Size != 24 || rg.Addr != arr.At(2) {
+		t.Errorf("Slice = %+v", rg)
+	}
+	arr.Preset(sys, 3, 1.5)
+	err := sys.Run(func(p *midway.Proc) {
+		if arr.Get(p, 3) != 1.5 {
+			panic("preset not visible")
+		}
+		arr.Set(p, 4, 2.5)
+		if arr.Get(p, 4) != 2.5 {
+			panic("set/get mismatch")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ReadFinalF64(arr.At(4)); got != 2.5 {
+		t.Errorf("ReadFinalF64 = %g", got)
+	}
+}
+
+func TestArrayGeometry(t *testing.T) {
+	sys := newArraySystem(t)
+	u64 := sys.AllocU64("u64", 8, 8)
+	u32 := sys.AllocU32("u32", 8, 4)
+	if u64.Len() != 8 || u32.Len() != 8 {
+		t.Error("Len wrong")
+	}
+	if u64.Range().Size != 64 || u32.Range().Size != 32 {
+		t.Error("Range size wrong")
+	}
+	if rg := u64.Slice(2, 4); rg.Size != 16 || rg.Addr != u64.At(2) {
+		t.Errorf("u64 Slice = %+v", rg)
+	}
+	if rg := u32.Slice(2, 4); rg.Size != 8 || rg.Addr != u32.At(2) {
+		t.Errorf("u32 Slice = %+v", rg)
+	}
+	for name, fn := range map[string]func(){
+		"u64 slice":  func() { u64.Slice(5, 3) },
+		"u32 slice":  func() { u32.Slice(0, 9) },
+		"u64 at":     func() { u64.At(8) },
+		"u32 at":     func() { u32.At(-1) },
+		"u64 alloc0": func() { sys.AllocU64("z", 0, 8) },
+		"u32 alloc0": func() { sys.AllocU32("z", 0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestU64Array(t *testing.T) {
+	sys := newArraySystem(t)
+	arr := sys.AllocU64("a", 4, 8)
+	arr.Preset(sys, 0, 7)
+	err := sys.Run(func(p *midway.Proc) {
+		arr.Set(p, 1, arr.Get(p, 0)*3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ReadFinalU64(arr.At(1)); got != 21 {
+		t.Errorf("U64 = %d", got)
+	}
+}
+
+func TestU32Array(t *testing.T) {
+	sys := newArraySystem(t)
+	arr := sys.AllocU32("a", 6, 4)
+	arr.Preset(sys, 5, 9)
+	err := sys.Run(func(p *midway.Proc) {
+		arr.Set(p, 0, arr.Get(p, 5)+1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ReadFinalU32(arr.At(0)); got != 10 {
+		t.Errorf("U32 = %d", got)
+	}
+}
+
+func TestArrayBoundsPanics(t *testing.T) {
+	sys := newArraySystem(t)
+	arr := sys.AllocF64("a", 4, 8)
+	cases := map[string]func(){
+		"At(-1)":      func() { arr.At(-1) },
+		"At(len)":     func() { arr.At(4) },
+		"Slice(3,2)":  func() { arr.Slice(3, 2) },
+		"Slice(0,5)":  func() { arr.Slice(0, 5) },
+		"Slice(-1,2)": func() { arr.Slice(-1, 2) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestZeroLengthAllocPanics(t *testing.T) {
+	sys := newArraySystem(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-length array allocation did not panic")
+		}
+	}()
+	sys.AllocF64("zero", 0, 8)
+}

@@ -1,0 +1,347 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure.  Two kinds of measurement coexist here:
+//
+//   - Table 1 benchmarks measure the real cost of this implementation's
+//     primitive operations (ns/op on the host), the analogue of the
+//     paper's microbenchmarks on the DECstation.
+//
+//   - The Figure 2 / Table 2-5 / Figure 3-4 benchmarks run the
+//     applications on the simulated DSM and report the paper's quantities
+//     as custom metrics (sim-seconds, KB transferred, per-processor
+//     primitive counts, derived milliseconds).
+//
+// Run with: go test -bench=. -benchmem
+package midway_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"midway"
+	"midway/internal/bench"
+	"midway/internal/cost"
+	"midway/internal/diff"
+	"midway/internal/memory"
+	"midway/internal/vmem"
+)
+
+// Table 1: primitive operations of this implementation.
+
+// BenchmarkTable1DirtybitSet measures the RT write-trapping path: an
+// instrumented doubleword store including the dirtybit template.
+func BenchmarkTable1DirtybitSet(b *testing.B) {
+	sys, err := midway.NewSystem(midway.Config{Nodes: 1, Strategy: midway.RT})
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr := sys.AllocU64("bench", 4096, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sys.Run(func(p *midway.Proc) { //nolint:errcheck
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				arr.Set(p, i&4095, uint64(i))
+			}
+			b.StopTimer()
+		})
+	}()
+	<-done
+}
+
+// BenchmarkTable1UninstrumentedStore is the baseline store without write
+// detection (the standalone configuration).
+func BenchmarkTable1UninstrumentedStore(b *testing.B) {
+	sys, err := midway.NewSystem(midway.Config{Nodes: 1, Strategy: midway.Standalone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr := sys.AllocU64("bench", 4096, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sys.Run(func(p *midway.Proc) { //nolint:errcheck
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				arr.Set(p, i&4095, uint64(i))
+			}
+			b.StopTimer()
+		})
+	}()
+	<-done
+}
+
+// BenchmarkTable1VMAmortizedStore measures the VM store path after the
+// page has faulted (the amortized fast path).
+func BenchmarkTable1VMAmortizedStore(b *testing.B) {
+	sys, err := midway.NewSystem(midway.Config{Nodes: 1, Strategy: midway.VM})
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr := sys.AllocU64("bench", 4096, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sys.Run(func(p *midway.Proc) { //nolint:errcheck
+			arr.Set(p, 0, 1) // take the faults up front
+			for i := 0; i < 4096; i += 512 {
+				arr.Set(p, i, 1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				arr.Set(p, i&4095, uint64(i))
+			}
+			b.StopTimer()
+		})
+	}()
+	<-done
+}
+
+// BenchmarkTable1PageFault measures the write-fault service path: twin
+// copy plus protection changes.
+func BenchmarkTable1PageFault(b *testing.B) {
+	l := memory.NewLayout(20)
+	a, err := l.Alloc("pages", 1<<18, memory.Shared, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := memory.NewInstance(l)
+	tbl := vmem.NewTable(inst)
+	pg := vmem.PageIndex(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.EnsureWritable(a, 8)
+		tbl.Clean(pg)
+	}
+}
+
+// BenchmarkTable1PageDiffClean diffs an unmodified page (the paper's
+// "none of the data changed" case).
+func BenchmarkTable1PageDiffClean(b *testing.B) {
+	cur := make([]byte, vmem.PageSize)
+	twin := make([]byte, vmem.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diff.Compute(cur, twin)
+	}
+}
+
+// BenchmarkTable1PageDiffWorst diffs the alternating-word worst case.
+func BenchmarkTable1PageDiffWorst(b *testing.B) {
+	cur := make([]byte, vmem.PageSize)
+	twin := make([]byte, vmem.PageSize)
+	for w := 0; w < vmem.PageSize/4; w += 2 {
+		cur[w*4] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diff.Compute(cur, twin)
+	}
+}
+
+// BenchmarkTable1BlockCopyKB measures copying 1 KB (the twin-update
+// primitive).
+func BenchmarkTable1BlockCopyKB(b *testing.B) {
+	src := make([]byte, 1024)
+	dst := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(dst, src)
+	}
+}
+
+// Application-level benchmarks: Figure 2 and Table 2.
+
+// benchEval caches one small-scale evaluation for the derived-table
+// benchmarks.
+var (
+	benchEvalOnce sync.Once
+	benchEvalVal  *bench.Evaluation
+	benchEvalErr  error
+)
+
+func benchEval(b *testing.B) *bench.Evaluation {
+	b.Helper()
+	benchEvalOnce.Do(func() {
+		benchEvalVal, benchEvalErr = bench.RunEvaluation(8, bench.ScaleSmall,
+			[]midway.Strategy{midway.RT, midway.VM, midway.Blast, midway.TwinDiff}, true)
+	})
+	if benchEvalErr != nil {
+		b.Fatal(benchEvalErr)
+	}
+	return benchEvalVal
+}
+
+// benchmarkApp runs one application/strategy pair per iteration and
+// reports the paper's Figure 2 quantities as metrics.
+func benchmarkApp(b *testing.B, app string, strat midway.Strategy) {
+	var simSecs, kb float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunApp(app, midway.Config{Nodes: 8, Strategy: strat}, bench.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simSecs = res.Seconds
+		kb = res.KBTransferredTotal()
+	}
+	b.ReportMetric(simSecs, "sim-sec")
+	b.ReportMetric(kb, "KB-moved")
+}
+
+func BenchmarkFigure2Water_RT(b *testing.B)     { benchmarkApp(b, "water", midway.RT) }
+func BenchmarkFigure2Water_VM(b *testing.B)     { benchmarkApp(b, "water", midway.VM) }
+func BenchmarkFigure2Quicksort_RT(b *testing.B) { benchmarkApp(b, "quicksort", midway.RT) }
+func BenchmarkFigure2Quicksort_VM(b *testing.B) { benchmarkApp(b, "quicksort", midway.VM) }
+func BenchmarkFigure2Matrix_RT(b *testing.B)    { benchmarkApp(b, "matrix", midway.RT) }
+func BenchmarkFigure2Matrix_VM(b *testing.B)    { benchmarkApp(b, "matrix", midway.VM) }
+func BenchmarkFigure2SOR_RT(b *testing.B)       { benchmarkApp(b, "sor", midway.RT) }
+func BenchmarkFigure2SOR_VM(b *testing.B)       { benchmarkApp(b, "sor", midway.VM) }
+func BenchmarkFigure2Cholesky_RT(b *testing.B)  { benchmarkApp(b, "cholesky", midway.RT) }
+func BenchmarkFigure2Cholesky_VM(b *testing.B)  { benchmarkApp(b, "cholesky", midway.VM) }
+
+// BenchmarkFigure2Standalone reports the uninstrumented baseline bars.
+func BenchmarkFigure2Standalone(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, app := range bench.AppNames {
+			res, err := bench.RunApp(app, midway.Config{Nodes: 1, Strategy: midway.Standalone}, bench.ScaleSmall)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += res.Seconds
+		}
+	}
+	b.ReportMetric(total, "sim-sec-total")
+}
+
+// BenchmarkTable2Counts reports the per-processor primitive counts for
+// every application under both systems.
+func BenchmarkTable2Counts(b *testing.B) {
+	var ev *bench.Evaluation
+	for i := 0; i < b.N; i++ {
+		var err error
+		ev, err = bench.RunEvaluation(8, bench.ScaleSmall,
+			[]midway.Strategy{midway.RT, midway.VM}, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, app := range bench.AppNames {
+		rt, vm := ev.RT(app).Total, ev.VM(app).Total
+		b.ReportMetric(float64(rt.DirtybitsSet), app+"-rt-sets")
+		b.ReportMetric(float64(vm.WriteFaults), app+"-vm-faults")
+		b.ReportMetric(float64(vm.PagesDiffed), app+"-vm-diffs")
+	}
+}
+
+// Derived tables and figures (counts × costs).
+
+func BenchmarkTable3Trapping(b *testing.B) {
+	ev := benchEval(b)
+	m := cost.Default()
+	var rows []bench.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table3(ev, m)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.RTMillis, r.App+"-rt-ms")
+		b.ReportMetric(r.VMMillis, r.App+"-vm-ms")
+	}
+}
+
+func BenchmarkTable4Collection(b *testing.B) {
+	ev := benchEval(b)
+	m := cost.Default()
+	var rows []bench.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table4(ev, m)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.RTTotal, r.App+"-rt-ms")
+		b.ReportMetric(r.VMTotal, r.App+"-vm-ms")
+	}
+}
+
+func BenchmarkTable5MemRefs(b *testing.B) {
+	ev := benchEval(b)
+	var rows []bench.Table5Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table5(ev)
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.RTTotal), r.App+"-rt-krefs")
+		b.ReportMetric(float64(r.VMTotal), r.App+"-vm-krefs")
+	}
+}
+
+func BenchmarkFigure3TrappingSweep(b *testing.B) {
+	ev := benchEval(b)
+	m := cost.Default()
+	var rows []bench.FaultSweepRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Figure3(ev, m)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.BreakEvenMicros, r.App+"-breakeven-us")
+	}
+}
+
+func BenchmarkFigure4TotalSweep(b *testing.B) {
+	ev := benchEval(b)
+	m := cost.Default()
+	var rows []bench.FaultSweepRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Figure4(ev, m)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.BreakEvenMicros, r.App+"-breakeven-us")
+	}
+}
+
+// BenchmarkUniprocessor reproduces the Section 4 uniprocessor comparison.
+func BenchmarkUniprocessor(b *testing.B) {
+	var row bench.UniprocessorRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		row, err = bench.Uniprocessor("quicksort", bench.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.RTSecs, "rt-sim-sec")
+	b.ReportMetric(row.VMSecs, "vm-sim-sec")
+	b.ReportMetric(row.StandaloneSecs, "standalone-sim-sec")
+}
+
+// BenchmarkUntargetted measures the Section 3.5 dirtybit organizations
+// for untargetted models at a representative sparse dirty fraction.
+func BenchmarkUntargetted(b *testing.B) {
+	var rows []bench.UntargettedRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.UntargettedSweep(64*1024, 7)
+	}
+	for _, r := range rows {
+		if r.DirtyFraction == 0.01 && !r.Sequential {
+			for scheme, us := range r.Micros {
+				b.ReportMetric(us, strings.ReplaceAll(scheme, " ", "-")+"-us")
+			}
+		}
+	}
+}
+
+// BenchmarkAblation compares all four strategies (Section 3.5).
+func BenchmarkAblation(b *testing.B) {
+	ev := benchEval(b)
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Ablation(ev)
+	}
+	for _, r := range rows {
+		for strat, mb := range r.MB {
+			b.ReportMetric(mb, r.App+"-"+strat+"-MB")
+		}
+	}
+}

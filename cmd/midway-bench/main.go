@@ -1,0 +1,128 @@
+// Command midway-bench regenerates the paper's evaluation: Figure 2,
+// Tables 1-5, Figures 3 and 4, the uniprocessor comparison, and this
+// reproduction's Section 3.5 ablation.
+//
+// Usage:
+//
+//	midway-bench [-exp all|fig2|table1|table2|table3|table4|table5|fig3|fig4|uni|ablation]
+//	             [-procs 8] [-scale small|medium|paper]
+//
+// Examples:
+//
+//	midway-bench                      # the full evaluation at medium scale
+//	midway-bench -exp fig2 -procs 8   # just Figure 2
+//	midway-bench -scale paper         # paper-size inputs (minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"midway"
+	"midway/internal/bench"
+	"midway/internal/cost"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig2, table1, table2, table3, table4, table5, fig3, fig4, uni, ablation, untargetted, combine, speedup")
+	procs := flag.Int("procs", 8, "number of processors")
+	scaleName := flag.String("scale", "medium", "input scale: small, medium, paper")
+	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(*exp, *procs, scale); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, procs int, scale bench.Scale) error {
+	w := os.Stdout
+	model := cost.Default()
+
+	needsRTVM := map[string]bool{
+		"all": true, "fig2": true, "table2": true, "table3": true,
+		"table4": true, "table5": true, "fig3": true, "fig4": true,
+	}
+	needsAblation := exp == "all" || exp == "ablation"
+
+	var ev *bench.Evaluation
+	if needsRTVM[exp] || needsAblation {
+		strategies := []midway.Strategy{midway.RT, midway.VM}
+		if needsAblation {
+			strategies = append(strategies, midway.Blast, midway.TwinDiff)
+		}
+		withStandalone := exp == "all" || exp == "fig2"
+		fmt.Fprintf(w, "running evaluation: %d procs, %s scale, strategies %v ...\n\n",
+			procs, scale, strategies)
+		var err error
+		ev, err = bench.RunEvaluation(procs, scale, strategies, withStandalone)
+		if err != nil {
+			return err
+		}
+	}
+
+	section := func(name string, f func()) {
+		if exp == "all" || exp == name {
+			f()
+			fmt.Fprintln(w)
+		}
+	}
+	section("table1", func() { bench.FprintTable1(w, model) })
+	section("fig2", func() { bench.FprintFigure2(w, ev) })
+	section("table2", func() { bench.FprintTable2(w, ev) })
+	section("table3", func() { bench.FprintTable3(w, ev, model) })
+	section("fig3", func() { bench.FprintFigure3(w, ev, model) })
+	section("table4", func() { bench.FprintTable4(w, ev, model) })
+	section("fig4", func() { bench.FprintFigure4(w, ev, model) })
+	section("table5", func() { bench.FprintTable5(w, ev) })
+	section("uni", func() {
+		var rows []bench.UniprocessorRow
+		for _, app := range bench.AppNames {
+			row, err := bench.Uniprocessor(app, scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "uniprocessor %s: %v\n", app, err)
+				continue
+			}
+			rows = append(rows, row)
+		}
+		bench.FprintUniprocessor(w, rows)
+	})
+	section("ablation", func() { bench.FprintAblation(w, ev) })
+	section("untargetted", func() {
+		const lines = 64 * 1024
+		bench.FprintUntargetted(w, lines, bench.UntargettedSweep(lines, 7))
+	})
+	section("speedup", func() {
+		rows, err := bench.SpeedupCurves([]int{1, 2, 4, 8},
+			[]midway.Strategy{midway.RT, midway.VM}, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "speedup: %v\n", err)
+			return
+		}
+		bench.FprintSpeedup(w, rows)
+	})
+	section("combine", func() {
+		rows, err := bench.CombineAblation(procs, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "combine ablation: %v\n", err)
+			return
+		}
+		bench.FprintCombine(w, rows)
+	})
+
+	known := map[string]bool{
+		"all": true, "fig2": true, "table1": true, "table2": true, "table3": true,
+		"table4": true, "table5": true, "fig3": true, "fig4": true, "uni": true,
+		"ablation": true, "untargetted": true, "combine": true, "speedup": true,
+	}
+	if !known[exp] {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

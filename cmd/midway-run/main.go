@@ -1,0 +1,94 @@
+// Command midway-run executes a single benchmark application under a
+// chosen DSM configuration and prints its measurements: simulated
+// execution time, data transferred, and the primitive-operation counters.
+//
+// Usage:
+//
+//	midway-run -app water|quicksort|matrix|sor|cholesky
+//	           [-strategy rt|vm|blast|twin|none] [-procs 8]
+//	           [-scale small|medium|paper]
+//	           [-fault-us 1200] [-latency-us 500] [-bandwidth-mbps 140]
+//	           [-tcp] [-eager]
+//
+// Examples:
+//
+//	midway-run -app sor -strategy rt -procs 8
+//	midway-run -app quicksort -strategy vm -procs 4 -scale paper
+//	midway-run -app water -strategy vm -fault-us 122   # fast exceptions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"midway"
+	"midway/internal/bench"
+)
+
+func main() {
+	app := flag.String("app", "sor", "application: water, quicksort, matrix, sor, cholesky")
+	strategyName := flag.String("strategy", "rt", "write detection: rt, vm, blast, twin, none")
+	procs := flag.Int("procs", 8, "number of processors")
+	scaleName := flag.String("scale", "medium", "input scale: small, medium, paper")
+	faultUS := flag.Float64("fault-us", 0, "page write fault cost in µs (0 = Mach default, 1200)")
+	latencyUS := flag.Float64("latency-us", 0, "one-way message latency in µs (0 = default, 500)")
+	bwMbps := flag.Float64("bandwidth-mbps", 0, "network bandwidth in Mbit/s (0 = default, 140)")
+	useTCP := flag.Bool("tcp", false, "route protocol messages over loopback TCP sockets")
+	eager := flag.Bool("eager", false, "eager dirtybit timestamps (RT only)")
+	combine := flag.Bool("combine", false, "combine VM-DSM incarnation histories (§3.4 alternative)")
+	trace := flag.Bool("trace", false, "print protocol events to stderr")
+	flag.Parse()
+
+	strategy, err := midway.ParseStrategy(*strategyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	scale, err := bench.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := midway.Config{
+		Nodes:               *procs,
+		Strategy:            strategy,
+		PageFaultMicros:     *faultUS,
+		NetLatencyMicros:    *latencyUS,
+		NetBandwidthMbps:    *bwMbps,
+		UseTCP:              *useTCP,
+		EagerTimestamps:     *eager,
+		CombineIncarnations: *combine,
+	}
+	if *trace {
+		cfg.Trace = os.Stderr
+	}
+	res, err := bench.RunApp(*app, cfg, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s under %s, %d procs, %s scale: verified OK\n", res.App, res.System, res.Procs, scale)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "simulated execution time\t%.3f s\n", res.Seconds)
+	fmt.Fprintf(tw, "data transferred (mean/proc)\t%.1f KB\n", res.KBTransferredMean())
+	fmt.Fprintf(tw, "data transferred (total)\t%.1f KB\n", res.KBTransferredTotal())
+	fmt.Fprintf(tw, "checksum\t%g\n", res.Checksum)
+	m := res.Mean
+	fmt.Fprintf(tw, "dirtybits set\t%d\n", m.DirtybitsSet)
+	fmt.Fprintf(tw, "dirtybits misclassified\t%d\n", m.DirtybitsMisclassified)
+	fmt.Fprintf(tw, "clean dirtybits read\t%d\n", m.CleanDirtybitsRead)
+	fmt.Fprintf(tw, "dirty dirtybits read\t%d\n", m.DirtyDirtybitsRead)
+	fmt.Fprintf(tw, "dirtybits updated\t%d\n", m.DirtybitsUpdated)
+	fmt.Fprintf(tw, "write faults\t%d\n", m.WriteFaults)
+	fmt.Fprintf(tw, "pages diffed\t%d\n", m.PagesDiffed)
+	fmt.Fprintf(tw, "pages write protected\t%d\n", m.PagesWriteProtected)
+	fmt.Fprintf(tw, "twin bytes updated\t%d\n", m.TwinBytesUpdated)
+	fmt.Fprintf(tw, "messages\t%d\n", m.Messages)
+	fmt.Fprintf(tw, "lock transfers\t%d\n", m.LockTransfers)
+	fmt.Fprintf(tw, "barrier crossings\t%d\n", m.BarrierCrossings)
+	tw.Flush()
+}

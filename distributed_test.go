@@ -1,0 +1,91 @@
+package midway_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"midway"
+)
+
+// TestMultiProcessStyleDeployment runs three independent System instances
+// — each hosting a single node, exactly as three separate OS processes
+// would — meshed over real TCP sockets.  Each instance performs the
+// identical SPMD setup (allocations and object creation in the same
+// order), which is the contract multi-process deployments rely on.
+func TestMultiProcessStyleDeployment(t *testing.T) {
+	const nodes = 3
+	addrs := make([]string, nodes)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", 43110+i)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, nodes)
+	for id := 0; id < nodes; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = runOneProcess(id, addrs)
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Errorf("node %d: %v", id, err)
+		}
+	}
+}
+
+// runOneProcess is the whole life of one "process": mesh join, identical
+// setup, SPMD run, local verification.
+func runOneProcess(id int, addrs []string) error {
+	sys, err := midway.NewSystem(midway.Config{
+		Nodes:     len(addrs),
+		Strategy:  midway.RT,
+		TCPAddrs:  addrs,
+		TCPNodeID: id,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Identical SPMD setup in every process.
+	counter := sys.MustAlloc("counter", 8, 8)
+	slots := sys.AllocU64("slots", len(addrs), 8)
+	lock := sys.NewLock("counter", midway.RangeAt(counter, 8))
+	bar := sys.NewBarrier("exchange", slots.Range())
+	sys.PresetU64(counter, 1000)
+
+	const rounds = 8
+	return sys.Run(func(p *midway.Proc) {
+		me := p.ID()
+		if me != id {
+			panic(fmt.Sprintf("process for node %d ran as %d", id, me))
+		}
+		for r := 1; r <= rounds; r++ {
+			p.Acquire(lock)
+			p.WriteU64(counter, p.ReadU64(counter)+1)
+			p.Release(lock)
+
+			slots.Set(p, me, uint64(me*100+r))
+			p.Barrier(bar)
+			for j := 0; j < len(addrs); j++ {
+				if got := slots.Get(p, j); got != uint64(j*100+r) {
+					panic(fmt.Sprintf("node %d round %d: slot %d = %d", me, r, j, got))
+				}
+			}
+			p.Barrier(bar)
+		}
+		// Everyone pulls the final counter, then crosses one last barrier
+		// so no process leaves (taking its protocol handler with it)
+		// while others still need it to serve requests.
+		p.AcquireShared(lock)
+		got := p.ReadU64(counter)
+		p.Release(lock)
+		p.Barrier(bar)
+		if want := uint64(1000 + len(addrs)*rounds); got != want {
+			panic(fmt.Sprintf("node %d: counter = %d, want %d", me, got, want))
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package midway_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and executes every example and the single-run CLI
+// with small inputs, so the documented entry points cannot rot.  Skipped
+// under -short (it shells out to the go tool).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example execution in -short mode")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"quickstart", []string{"run", "./examples/quickstart"}, "counter = 4000"},
+		{"gridsolver", []string{"run", "./examples/gridsolver", "-n", "32", "-iters", "10", "-procs", "2"}, "temperature profile"},
+		{"taskqueue", []string{"run", "./examples/taskqueue", "-n", "512", "-chunk", "64", "-procs", "2"}, "computed 512 elements"},
+		{"comparison", []string{"run", "./examples/comparison", "-entries", "8", "-rounds", "3", "-procs", "2"}, "TwinDiff"},
+		{"midway-run", []string{"run", "./cmd/midway-run", "-app", "sor", "-strategy", "rt", "-procs", "2", "-scale", "small"}, "verified OK"},
+		{"midway-bench", []string{"run", "./cmd/midway-bench", "-exp", "table1"}, "dirtybit set"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", c.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v: %v\n%s", c.args, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("output missing %q:\n%s", c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module midway
+
+go 1.24

@@ -1,0 +1,137 @@
+// Package apps holds the five benchmark applications of the paper's
+// evaluation (water, quicksort, matrix-multiply, sor, cholesky), each
+// implemented against the public midway API in a sub-package, plus shared
+// support: deterministic input generation, result assembly, and
+// verification helpers.
+//
+// Every application provides:
+//
+//   - a Config with Default() (seconds-scale) and Paper() (the paper's
+//     input sizes) constructors,
+//   - Run(midway.Config, Config), which builds the shared data, executes
+//     the parallel program, verifies the result against a sequential
+//     oracle, and returns measurements, and
+//   - Sequential(Config), the uninstrumented oracle.
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"midway"
+	"midway/internal/stats"
+)
+
+// Result is one application run's measurements.
+type Result struct {
+	// App names the application; System names the strategy.
+	App    string
+	System string
+	// Procs is the processor count.
+	Procs int
+	// Seconds is the simulated execution time on the reference hardware.
+	Seconds float64
+	// Mean holds per-processor average primitive-operation counts (the
+	// paper's Table 2 form).
+	Mean stats.Snapshot
+	// Total holds summed counts across processors.
+	Total stats.Snapshot
+	// Checksum is an application-defined digest of the output, equal
+	// across strategies and processor counts (within floating-point
+	// tolerance where noted).
+	Checksum float64
+}
+
+// KBTransferredMean returns the mean per-processor application data
+// transferred, in KB, the unit of the paper's Table 2 row.
+func (r Result) KBTransferredMean() float64 {
+	return float64(r.Mean.BytesTransferred) / 1024
+}
+
+// KBTransferredTotal returns total data transferred across processors.
+func (r Result) KBTransferredTotal() float64 {
+	return float64(r.Total.BytesTransferred) / 1024
+}
+
+// Collect assembles a Result from a finished system.
+func Collect(app string, sys *midway.System, cfg midway.Config, checksum float64) Result {
+	return Result{
+		App:      app,
+		System:   cfg.Strategy.String(),
+		Procs:    cfg.Nodes,
+		Seconds:  sys.ExecutionSeconds(),
+		Mean:     sys.MeanStats(),
+		Total:    sys.TotalStats(),
+		Checksum: checksum,
+	}
+}
+
+// Rand is a small deterministic PRNG (splitmix64) used to generate
+// identical inputs in every process of a deployment.
+type Rand struct {
+	state uint64
+}
+
+// NewRand seeds a generator; the same seed yields the same sequence on
+// every platform.
+func NewRand(seed int64) *Rand {
+	return &Rand{state: uint64(seed)*0x9E3779B97F4A7C15 + 0x123456789ABCDEF}
+}
+
+// Uint64 returns the next pseudo-random value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("apps: Intn on non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// CloseEnough reports whether two floating-point values agree to within a
+// relative tolerance (absolute near zero), loose enough to absorb the
+// reassociation differences of parallel summation.
+func CloseEnough(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return diff < tol
+	}
+	return diff/scale < tol
+}
+
+// CheckClose returns an error when two values disagree beyond tolerance.
+func CheckClose(what string, got, want, tol float64) error {
+	if !CloseEnough(got, want, tol) {
+		return fmt.Errorf("%s: got %g, want %g (tolerance %g)", what, got, want, tol)
+	}
+	return nil
+}
+
+// Partition splits n items among p processors as evenly as possible,
+// returning the half-open range of items owned by proc.
+func Partition(n, p, proc int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	lo = proc*base + min(proc, rem)
+	size := base
+	if proc < rem {
+		size++
+	}
+	return lo, lo + size
+}

@@ -1,0 +1,103 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionProperties(t *testing.T) {
+	f := func(n16, p8 uint8) bool {
+		n := int(n16)
+		p := int(p8)%8 + 1
+		// Concatenating all partitions tiles [0, n) exactly.
+		next := 0
+		for proc := 0; proc < p; proc++ {
+			lo, hi := Partition(n, p, proc)
+			if lo != next || hi < lo {
+				return false
+			}
+			next = hi
+			// Balance: sizes differ by at most one.
+			base := n / p
+			if sz := hi - lo; sz != base && sz != base+1 {
+				return false
+			}
+		}
+		return next == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(8)
+	same := true
+	a2 := NewRand(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced the same stream")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestCloseEnough(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-9, 1e-6, true},
+		{1, 1.1, 1e-6, false},
+		{0, 1e-9, 1e-6, true},                 // absolute near zero
+		{1e12, 1e12 * (1 + 1e-8), 1e-6, true}, // relative at scale
+		{-5, 5, 1e-6, false},
+	}
+	for _, c := range cases {
+		if got := CloseEnough(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("CloseEnough(%g, %g, %g) = %v", c.a, c.b, c.tol, got)
+		}
+	}
+	if err := CheckClose("x", 1, 2, 1e-6); err == nil {
+		t.Error("CheckClose accepted a mismatch")
+	}
+	if err := CheckClose("x", 1, 1, 1e-6); err != nil {
+		t.Errorf("CheckClose rejected equality: %v", err)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	var r Result
+	r.Mean.BytesTransferred = 2048
+	r.Total.BytesTransferred = 8192
+	if r.KBTransferredMean() != 2 || r.KBTransferredTotal() != 8 {
+		t.Errorf("KB helpers: %g, %g", r.KBTransferredMean(), r.KBTransferredTotal())
+	}
+}

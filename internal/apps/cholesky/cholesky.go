@@ -1,0 +1,221 @@
+// Package cholesky implements the paper's cholesky application (from the
+// SPLASH suite): a parallel Cholesky factorization of a sparse symmetric
+// positive-definite matrix.  Given positive-definite A, it finds lower
+// triangular L with A = L·Lᵀ.
+//
+// The matrix is banded (the sparse structure), stored by column, and
+// factored left-looking in a pipelined fan-in: every column is guarded by
+// its own lock, held exclusively by the column's owner from program start
+// until the column is factored.  To factor column j, its owner acquires
+// each dependency column k < j in shared mode — blocking until k's owner
+// has factored and released it — and applies k's update to j.  The
+// per-column locks guard small segments and are requested constantly: the
+// program exhibits fine-grain sharing and moves the most data per unit of
+// computation of the five applications.
+package cholesky
+
+import (
+	"fmt"
+	"math"
+
+	"midway"
+	"midway/internal/apps"
+)
+
+// Config sizes the factorization.
+type Config struct {
+	// N is the matrix dimension.
+	N int
+	// Band is the half-bandwidth: A[i][j] may be nonzero only when
+	// |i-j| <= Band.  Banded Cholesky produces no fill outside the band.
+	Band int
+	// CyclesPerElem is the simulated cost of one multiply-subtract in the
+	// column update, beyond its loads and stores.
+	CyclesPerElem uint64
+	// Seed generates the matrix.
+	Seed int64
+}
+
+// Default returns a seconds-scale configuration.
+func Default() Config { return Config{N: 96, Band: 12, CyclesPerElem: 15, Seed: 42} }
+
+// Paper returns a configuration of comparable relative weight to the
+// paper's sparse input (the heaviest of the five applications).
+func Paper() Config { return Config{N: 600, Band: 32, CyclesPerElem: 15, Seed: 42} }
+
+// matrix generates the banded SPD input in column-major order: column j
+// occupies [j*n, (j+1)*n), rows outside the band are zero.  Diagonal
+// dominance guarantees positive definiteness.
+func matrix(cfg Config) []float64 {
+	n, b := cfg.N, cfg.Band
+	rng := apps.NewRand(cfg.Seed)
+	a := make([]float64, n*n)
+	// Symmetric band: generate below-diagonal entries, mirror to keep the
+	// oracle simple (only the lower triangle is factored).
+	for j := 0; j < n; j++ {
+		for i := j + 1; i <= j+b && i < n; i++ {
+			v := rng.Float64()*2 - 1
+			a[j*n+i] = v
+			a[i*n+j] = v
+		}
+	}
+	for j := 0; j < n; j++ {
+		var rowSum float64
+		for i := max(0, j-b); i <= j+b && i < n; i++ {
+			if i != j {
+				rowSum += math.Abs(a[j*n+i])
+			}
+		}
+		a[j*n+j] = rowSum + 1
+	}
+	return a
+}
+
+// Sequential factors the matrix without the DSM, returning the lower
+// triangle L in column-major order (band only).  It applies updates
+// left-looking in ascending dependency order — the same expression order
+// as the parallel version, so results match exactly.
+func Sequential(cfg Config) []float64 {
+	n, b := cfg.N, cfg.Band
+	a := matrix(cfg)
+	for j := 0; j < n; j++ {
+		segEnd := min(j+b+1, n)
+		for k := max(0, j-b); k < j; k++ {
+			ljk := a[k*n+j]
+			if ljk == 0 {
+				continue
+			}
+			depEnd := min(k+b+1, n)
+			for i := j; i < depEnd; i++ {
+				a[j*n+i] -= a[k*n+i] * ljk
+			}
+		}
+		d := math.Sqrt(a[j*n+j])
+		a[j*n+j] = d
+		for i := j + 1; i < segEnd; i++ {
+			a[j*n+i] /= d
+		}
+	}
+	// Zero the strict upper triangle for a clean digest.
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			a[j*n+i] = 0
+		}
+	}
+	return a
+}
+
+// Checksum digests the factor's band.
+func Checksum(cfg Config, l []float64) float64 {
+	n, b := cfg.N, cfg.Band
+	var sum float64
+	for j := 0; j < n; j++ {
+		for i := j; i <= j+b && i < n; i++ {
+			sum += l[j*n+i] * float64((i+j)%41+1)
+		}
+	}
+	return sum
+}
+
+// Run executes the parallel factorization under the given DSM
+// configuration, verifies against the oracle, and returns measurements.
+func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
+	sys, err := midway.NewSystem(mcfg)
+	if err != nil {
+		return apps.Result{}, err
+	}
+	n, b := cfg.N, cfg.Band
+	procs := mcfg.Nodes
+
+	cols := sys.AllocF64("cholesky.A", n*n, 8)
+	for i, v := range matrix(cfg) {
+		cols.Preset(sys, i, v)
+	}
+
+	// colLock[j] guards column j's band segment.  Creating the column
+	// locks first makes lock j's manager — and therefore its initial
+	// owner — processor j mod procs, which is exactly the column's owner.
+	colLock := make([]midway.LockID, n)
+	for j := 0; j < n; j++ {
+		segEnd := min(j+b+1, n)
+		colLock[j] = sys.NewLock(fmt.Sprintf("cholesky.col%d", j),
+			cols.Slice(j*n+j, j*n+segEnd))
+	}
+	start := sys.NewBarrier("cholesky.start")
+	done := sys.NewBarrier("cholesky.done")
+
+	err = sys.Run(func(p *midway.Proc) {
+		me := p.ID()
+		depBuf := make([]float64, b+1) // private copy of a dependency column
+
+		// Hold every owned column before anyone can request it, so a
+		// shared acquisition blocks until the column is factored.
+		for j := me; j < n; j += procs {
+			p.Acquire(colLock[j])
+		}
+		p.Barrier(start)
+
+		for j := me; j < n; j += procs {
+			segEnd := min(j+b+1, n)
+			// Pull in each dependency as it completes and apply its
+			// update to our column.
+			for k := max(0, j-b); k < j; k++ {
+				p.AcquireShared(colLock[k])
+				depEnd := min(k+b+1, n)
+				ljk := cols.Get(p, k*n+j)
+				for i := j; i < depEnd; i++ {
+					depBuf[i-j] = cols.Get(p, k*n+i)
+				}
+				p.Release(colLock[k])
+				if ljk == 0 {
+					continue
+				}
+				for i := j; i < depEnd; i++ {
+					a := cols.At(j*n + i)
+					p.Compute(cfg.CyclesPerElem)
+					p.WriteF64(a, p.ReadF64(a)-depBuf[i-j]*ljk)
+				}
+			}
+			// Factor and publish the column.
+			d := math.Sqrt(cols.Get(p, j*n+j))
+			cols.Set(p, j*n+j, d)
+			for i := j + 1; i < segEnd; i++ {
+				p.Compute(cfg.CyclesPerElem)
+				cols.Set(p, j*n+i, cols.Get(p, j*n+i)/d)
+			}
+			p.Release(colLock[j])
+		}
+		p.Barrier(done)
+
+		// Leave the final factor consistent at processor 0.
+		if me == 0 {
+			for j := 0; j < n; j++ {
+				p.AcquireShared(colLock[j])
+				p.Release(colLock[j])
+			}
+		}
+		p.Barrier(done)
+	})
+	if err != nil {
+		return apps.Result{}, err
+	}
+
+	got := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		segEnd := min(j+b+1, n)
+		for i := j; i < segEnd; i++ {
+			got[j*n+i] = sys.ReadFinalF64(cols.At(j*n + i))
+		}
+	}
+	want := Sequential(cfg)
+	for j := 0; j < n; j++ {
+		segEnd := min(j+b+1, n)
+		for i := j; i < segEnd; i++ {
+			if !apps.CloseEnough(got[j*n+i], want[j*n+i], 1e-9) {
+				return apps.Result{}, fmt.Errorf("cholesky: L[%d,%d] = %g, want %g",
+					i, j, got[j*n+i], want[j*n+i])
+			}
+		}
+	}
+	return apps.Collect("cholesky", sys, mcfg, Checksum(cfg, got)), nil
+}

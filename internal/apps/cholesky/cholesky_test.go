@@ -1,0 +1,80 @@
+package cholesky
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"midway"
+	"midway/internal/apps"
+)
+
+func TestSequentialFactors(t *testing.T) {
+	cfg := Config{N: 24, Band: 6, CyclesPerElem: 15, Seed: 2}
+	a := matrix(cfg)
+	l := Sequential(cfg)
+	n := cfg.N
+	// Check A = L·Lᵀ on the lower triangle.
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			var sum float64
+			for k := 0; k <= j; k++ {
+				sum += l[k*n+i] * l[k*n+j]
+			}
+			if math.Abs(sum-a[j*n+i]) > 1e-9 {
+				t.Fatalf("L·Lᵀ[%d,%d] = %g, want %g", i, j, sum, a[j*n+i])
+			}
+		}
+	}
+}
+
+func TestRunAllStrategies(t *testing.T) {
+	cfg := Config{N: 48, Band: 8, CyclesPerElem: 15, Seed: 6}
+	want := Checksum(cfg, Sequential(cfg))
+	for _, strat := range []midway.Strategy{midway.RT, midway.VM, midway.Blast, midway.TwinDiff} {
+		for _, procs := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%v/%dp", strat, procs), func(t *testing.T) {
+				res, err := Run(midway.Config{Nodes: procs, Strategy: strat}, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := apps.CheckClose("checksum", res.Checksum, want, 1e-8); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+func TestFineGrainSharing(t *testing.T) {
+	// Cholesky's per-column locks should generate the most lock traffic
+	// per unit of data among the applications.
+	cfg := Config{N: 64, Band: 12, CyclesPerElem: 15, Seed: 6}
+	res, err := Run(midway.Config{Nodes: 4, Strategy: midway.RT}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.LockTransfers < uint64(cfg.N) {
+		t.Errorf("expected at least %d lock transfers, got %d", cfg.N, res.Total.LockTransfers)
+	}
+}
+
+// TestPipelinedDependencyWaits: the fan-in design acquires each dependency
+// column in shared mode, so lock transfers scale with the dependency count
+// (roughly n×min(band, procs-1) reads plus the final collection pass).
+func TestPipelinedDependencyWaits(t *testing.T) {
+	cfg := Config{N: 64, Band: 12, CyclesPerElem: 15, Seed: 6}
+	res, err := Run(midway.Config{Nodes: 4, Strategy: midway.RT}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minTransfers := uint64(cfg.N) // at least the final collection pass
+	if res.Total.LockTransfers < minTransfers {
+		t.Errorf("lock transfers = %d, want >= %d", res.Total.LockTransfers, minTransfers)
+	}
+	// Dependency reads dominate: far more transfers than columns.
+	if res.Total.LockTransfers < 2*uint64(cfg.N) {
+		t.Errorf("expected dependency-read traffic beyond the collection pass; got %d transfers",
+			res.Total.LockTransfers)
+	}
+}

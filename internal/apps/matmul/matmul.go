@@ -1,0 +1,162 @@
+// Package matmul implements the paper's matrix-multiply application:
+// C = A·B over dense square float64 matrices, with the result partitioned
+// by row block across processors.
+//
+// The program exhibits coarse-grain sharing with a high computation to
+// communication ratio.  Its data is partitioned to minimize sharing, and
+// it writes every word on every page of the result matrix — the expected
+// best case for VM-DSM (one amortized fault per result page) and the
+// worst case for RT-DSM (a dirtybit set on every result store).
+package matmul
+
+import (
+	"fmt"
+
+	"midway"
+	"midway/internal/apps"
+)
+
+// Config sizes the computation.
+type Config struct {
+	// N is the matrix dimension.
+	N int
+	// CyclesPerInner is the simulated cost of one multiply-add plus its
+	// loads on the reference processor.
+	CyclesPerInner uint64
+	// Seed generates the input matrices.
+	Seed int64
+}
+
+// Default returns a seconds-scale configuration.
+func Default() Config { return Config{N: 96, CyclesPerInner: 20, Seed: 42} }
+
+// Paper returns the paper's input size (512×512).
+func Paper() Config { return Config{N: 512, CyclesPerInner: 20, Seed: 42} }
+
+// Sequential computes the product without the DSM, returning the result
+// matrix in row-major order.  It is both the correctness oracle and the
+// standalone-version reference.
+func Sequential(cfg Config) []float64 {
+	a, b := inputs(cfg)
+	n := cfg.N
+	c := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k < n; k++ {
+				sum += a[i*n+k] * b[k*n+j]
+			}
+			c[i*n+j] = sum
+		}
+	}
+	return c
+}
+
+// inputs generates the A and B matrices deterministically from the seed.
+func inputs(cfg Config) (a, b []float64) {
+	rng := apps.NewRand(cfg.Seed)
+	n := cfg.N
+	a = make([]float64, n*n)
+	b = make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.Float64()*2 - 1
+	}
+	for i := range b {
+		b[i] = rng.Float64()*2 - 1
+	}
+	return a, b
+}
+
+// Checksum digests a result matrix into a single float: a weighted sum
+// that is independent of summation order across processors (each element
+// is produced by exactly one processor with a fixed-order inner loop).
+func Checksum(c []float64) float64 {
+	var sum float64
+	for i, v := range c {
+		sum += v * float64(i%97+1)
+	}
+	return sum
+}
+
+// Run builds the shared matrices, executes the parallel multiply under the
+// given DSM configuration, verifies against the sequential oracle, and
+// returns the measurements.
+func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
+	sys, err := midway.NewSystem(mcfg)
+	if err != nil {
+		return apps.Result{}, err
+	}
+	n := cfg.N
+	procs := mcfg.Nodes
+
+	// A and B are read-only inputs, loaded identically by every process
+	// at startup; C is written through the DSM.  Doubleword lines match
+	// the floating-point common case of Section 3.1.
+	aArr := sys.AllocF64("matmul.A", n*n, 8)
+	bArr := sys.AllocF64("matmul.B", n*n, 8)
+	cArr := sys.AllocF64("matmul.C", n*n, 8)
+
+	aIn, bIn := inputs(cfg)
+	presetF64s(sys, aArr, aIn)
+	presetF64s(sys, bArr, bIn)
+
+	// Each processor's block of C rows is bound to a per-processor lock;
+	// a final bound barrier makes the whole result consistent everywhere.
+	locks := make([]midway.LockID, procs)
+	for pr := 0; pr < procs; pr++ {
+		lo, hi := apps.Partition(n, procs, pr)
+		locks[pr] = sys.NewLock(fmt.Sprintf("matmul.rows%d", pr), cArr.Slice(lo*n, hi*n))
+	}
+	done := sys.NewBarrier("matmul.done", cArr.Range())
+	parts := make([][]midway.Range, procs)
+	for pr := 0; pr < procs; pr++ {
+		lo, hi := apps.Partition(n, procs, pr)
+		parts[pr] = []midway.Range{cArr.Slice(lo*n, hi*n)}
+	}
+	sys.SetBarrierParts(done, parts)
+
+	err = sys.Run(func(p *midway.Proc) {
+		me := p.ID()
+		lo, hi := apps.Partition(n, procs, me)
+		p.Acquire(locks[me])
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				var sum float64
+				for k := 0; k < n; k++ {
+					sum += aArr.Get(p, i*n+k) * bArr.Get(p, k*n+j)
+				}
+				// Arithmetic cost of the inner loop; the loads and the
+				// result store charge themselves.
+				p.Compute(cfg.CyclesPerInner * uint64(n))
+				cArr.Set(p, i*n+j, sum)
+			}
+		}
+		p.Release(locks[me])
+		p.Barrier(done)
+	})
+	if err != nil {
+		return apps.Result{}, err
+	}
+
+	got := make([]float64, n*n)
+	readF64s(sys, cArr, got)
+	want := Sequential(cfg)
+	for i := range want {
+		if !apps.CloseEnough(got[i], want[i], 1e-9) {
+			return apps.Result{}, fmt.Errorf("matmul: C[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	return apps.Collect("matrix", sys, mcfg, Checksum(got)), nil
+}
+
+func presetF64s(sys *midway.System, arr midway.F64Array, vals []float64) {
+	for i, v := range vals {
+		arr.Preset(sys, i, v)
+	}
+}
+
+func readF64s(sys *midway.System, arr midway.F64Array, dst []float64) {
+	for i := range dst {
+		dst[i] = sys.ReadFinalF64(arr.At(i))
+	}
+}

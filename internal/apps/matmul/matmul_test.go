@@ -1,0 +1,87 @@
+package matmul
+
+import (
+	"fmt"
+	"testing"
+
+	"midway"
+	"midway/internal/apps"
+)
+
+func TestSequentialDeterministic(t *testing.T) {
+	cfg := Config{N: 16, CyclesPerInner: 20, Seed: 7}
+	a := Checksum(Sequential(cfg))
+	b := Checksum(Sequential(cfg))
+	if a != b {
+		t.Fatalf("oracle not deterministic: %g vs %g", a, b)
+	}
+}
+
+func TestRunAllStrategies(t *testing.T) {
+	cfg := Config{N: 32, CyclesPerInner: 20, Seed: 3}
+	want := Checksum(Sequential(cfg))
+	for _, strat := range []midway.Strategy{midway.RT, midway.VM, midway.Blast, midway.TwinDiff} {
+		for _, procs := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%v/%dp", strat, procs), func(t *testing.T) {
+				res, err := Run(midway.Config{Nodes: procs, Strategy: strat}, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := apps.CheckClose("checksum", res.Checksum, want, 1e-9); err != nil {
+					t.Error(err)
+				}
+				if res.Seconds <= 0 {
+					t.Errorf("no simulated time accumulated")
+				}
+			})
+		}
+	}
+}
+
+func TestStandalone(t *testing.T) {
+	cfg := Config{N: 24, CyclesPerInner: 20, Seed: 3}
+	res, err := Run(midway.Config{Nodes: 1, Strategy: midway.Standalone}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean.DirtybitsSet != 0 || res.Mean.WriteFaults != 0 {
+		t.Errorf("standalone run performed write detection: %+v", res.Mean)
+	}
+}
+
+func TestTrappingShape(t *testing.T) {
+	// VM-DSM should amortize: far fewer faults than RT dirtybit sets.
+	cfg := Config{N: 64, CyclesPerInner: 20, Seed: 3}
+	rt, err := Run(midway.Config{Nodes: 2, Strategy: midway.RT}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := Run(midway.Config{Nodes: 2, Strategy: midway.VM}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Mean.DirtybitsSet == 0 {
+		t.Fatal("RT run set no dirtybits")
+	}
+	if vm.Mean.WriteFaults == 0 {
+		t.Fatal("VM run took no write faults")
+	}
+	if vm.Mean.WriteFaults*10 > rt.Mean.DirtybitsSet {
+		t.Errorf("expected faults << dirtybit sets; got %d faults vs %d sets",
+			vm.Mean.WriteFaults, rt.Mean.DirtybitsSet)
+	}
+}
+
+// TestWriteOncePattern: matrix-multiply writes every result word exactly
+// once — the amortization best case the paper selects it for.
+func TestWriteOncePattern(t *testing.T) {
+	cfg := Config{N: 32, CyclesPerInner: 20, Seed: 3}
+	res, err := Run(midway.Config{Nodes: 2, Strategy: midway.RT}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(cfg.N * cfg.N); res.Total.DirtybitsSet != want {
+		t.Errorf("dirtybits set = %d, want exactly %d (one store per result element)",
+			res.Total.DirtybitsSet, want)
+	}
+}

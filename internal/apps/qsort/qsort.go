@@ -1,0 +1,391 @@
+// Package qsort implements the paper's quicksort application (from the
+// TreadMarks suite): a parallel quicksort over a shared integer array,
+// partitioning until a threshold and then sorting locally with bubblesort.
+//
+// Work is distributed through a shared task queue.  The array subrange of
+// every task is guarded by a lock drawn from a fixed pool, and — exactly
+// as the paper describes — the lock is rebound to a new range of addresses
+// for every task created.  Under VM-DSM each rebinding invalidates the
+// incarnation history and ships the bound data without diffing, which is
+// why quicksort is the one application where VM-DSM beats RT-DSM.
+//
+// The program exhibits medium to coarse-grain sharing but does little
+// computation between writes to shared memory: the bubblesort inner loop
+// is a compare and swap of adjacent elements.
+package qsort
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"midway"
+	"midway/internal/apps"
+)
+
+// Config sizes the sort.
+type Config struct {
+	// N is the array length.
+	N int
+	// Threshold is the partition size below which tasks sort locally
+	// with bubblesort.
+	Threshold int
+	// LockPool is the number of task locks cycled through the queue.
+	LockPool int
+	// CyclesPerOp is the simulated cost of one compare/swap step beyond
+	// its loads and stores.
+	CyclesPerOp uint64
+	// PrivateLeafSort makes the leaf bubblesort run in private memory
+	// with a single write-back pass, instead of swapping in shared memory.
+	// The paper's Table 2 counts (220k dirtybit sets for a 250k-element
+	// sort) imply its leaf sort was buffered this way; the default
+	// in-place variant maximizes the "little computation between writes"
+	// behaviour the paper's text describes.
+	PrivateLeafSort bool
+	// Seed generates the input.
+	Seed int64
+}
+
+// Default returns a seconds-scale configuration.
+func Default() Config {
+	return Config{N: 4096, Threshold: 64, LockPool: 64, CyclesPerOp: 10, Seed: 42}
+}
+
+// Paper returns the paper's input size: 250,000 integers with a
+// bubblesort threshold of 1,000.
+func Paper() Config {
+	return Config{N: 250000, Threshold: 1000, LockPool: 64, CyclesPerOp: 10, Seed: 42}
+}
+
+// input generates the array to sort.
+func input(cfg Config) []uint32 {
+	rng := apps.NewRand(cfg.Seed)
+	a := make([]uint32, cfg.N)
+	for i := range a {
+		a[i] = uint32(rng.Uint64())
+	}
+	return a
+}
+
+// Sequential returns the sorted input, the correctness oracle.
+func Sequential(cfg Config) []uint32 {
+	a := input(cfg)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	return a
+}
+
+// Checksum digests an integer array.
+func Checksum(a []uint32) float64 {
+	var sum float64
+	for i, v := range a {
+		sum += float64(v%1021) * float64(i%97+1)
+	}
+	return sum
+}
+
+// Queue slot layout within the shared queue array (all uint32):
+//
+//	q[0]              task count (stack top)
+//	q[1]              active workers
+//	q[2]              free-lock count
+//	q[3 : 3+K]        free lock indices
+//	q[3+K : 3+K+3*K]  task stack entries (lo, hi, lockIdx)
+const qHeader = 3
+
+// leaf records a subrange whose final contents live at a worker.
+type leaf struct {
+	node   int
+	lo, hi int
+}
+
+// Run executes the parallel sort under the given DSM configuration,
+// verifies against the oracle, and returns measurements.
+func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
+	sys, err := midway.NewSystem(mcfg)
+	if err != nil {
+		return apps.Result{}, err
+	}
+	n := cfg.N
+	k := cfg.LockPool
+	arr := sys.AllocU32("qsort.data", n, 4)
+	queue := sys.AllocU32("qsort.queue", qHeader+k+3*k, 4)
+
+	for i, v := range input(cfg) {
+		arr.Preset(sys, i, v)
+	}
+	// Initial queue: all locks free except lock 0, which is pre-bound to
+	// the whole array as the root task.
+	queue.Preset(sys, 0, 1) // one task
+	queue.Preset(sys, 1, 0) // no active workers
+	queue.Preset(sys, 2, uint32(k-1))
+	for i := 0; i < k-1; i++ {
+		queue.Preset(sys, qHeader+i, uint32(i+1))
+	}
+	queue.Preset(sys, qHeader+k+0, 0)
+	queue.Preset(sys, qHeader+k+1, uint32(n))
+	queue.Preset(sys, qHeader+k+2, 0)
+
+	qlock := sys.NewLock("qsort.queue", queue.Range())
+	taskLock := make([]midway.LockID, k)
+	for i := 0; i < k; i++ {
+		var bind []midway.Range
+		if i == 0 {
+			bind = []midway.Range{arr.Range()}
+		}
+		taskLock[i] = sys.NewLock(fmt.Sprintf("qsort.task%d", i), bind...)
+	}
+	done := sys.NewBarrier("qsort.done")
+
+	var leafMu sync.Mutex
+	var leaves []leaf
+
+	// Host-level work-availability coordinator.  Work distribution and
+	// all task data flow through the DSM queue; this only replaces idle
+	// polling (whose simulated cost would depend on host speed) with a
+	// blocking wait, the role the threads package plays in Midway.
+	co := newCoord(1) // the root task is queued
+
+	err = sys.Run(func(p *midway.Proc) {
+		me := p.ID()
+		var myLeaves []leaf
+		recordLeaf := func(lo, hi int) {
+			if lo < hi {
+				myLeaves = append(myLeaves, leaf{node: me, lo: lo, hi: hi})
+			}
+		}
+
+		var privBuf []uint32
+		if cfg.PrivateLeafSort {
+			privBuf = make([]uint32, cfg.Threshold+1)
+		}
+		bubblesort := func(lo, hi int) {
+			if cfg.PrivateLeafSort {
+				// Buffered variant: one read pass, a private sort, one
+				// instrumented write-back pass.
+				buf := privBuf[:hi-lo]
+				for i := lo; i < hi; i++ {
+					buf[i-lo] = arr.Get(p, i)
+				}
+				for i := len(buf) - 1; i > 0; i-- {
+					for j := 0; j < i; j++ {
+						p.Compute(cfg.CyclesPerOp)
+						if buf[j] > buf[j+1] {
+							buf[j], buf[j+1] = buf[j+1], buf[j]
+						}
+					}
+				}
+				for i := lo; i < hi; i++ {
+					arr.Set(p, i, buf[i-lo])
+				}
+				return
+			}
+			for i := hi - 1; i > lo; i-- {
+				for j := lo; j < i; j++ {
+					a := arr.Get(p, j)
+					b := arr.Get(p, j+1)
+					p.Compute(cfg.CyclesPerOp)
+					if a > b {
+						arr.Set(p, j, b)
+						arr.Set(p, j+1, a)
+					}
+				}
+			}
+		}
+
+		partition := func(lo, hi int) int {
+			pivot := arr.Get(p, hi-1)
+			i := lo
+			for j := lo; j < hi-1; j++ {
+				v := arr.Get(p, j)
+				p.Compute(cfg.CyclesPerOp)
+				if v < pivot {
+					if i != j {
+						w := arr.Get(p, i)
+						arr.Set(p, i, v)
+						arr.Set(p, j, w)
+					}
+					i++
+				}
+			}
+			arr.Set(p, hi-1, arr.Get(p, i))
+			arr.Set(p, i, pivot)
+			return i
+		}
+
+		// allocLock pops a free task lock index, or returns -1.
+		allocLock := func() int {
+			p.Acquire(qlock)
+			nf := queue.Get(p, 2)
+			idx := -1
+			if nf > 0 {
+				idx = int(queue.Get(p, qHeader+int(nf)-1))
+				queue.Set(p, 2, nf-1)
+			}
+			p.Release(qlock)
+			return idx
+		}
+
+		// pushTask publishes a task whose lock has been rebound to
+		// [lo, hi) and released by the caller.
+		pushTask := func(lo, hi, li int) {
+			p.Acquire(qlock)
+			cnt := queue.Get(p, 0)
+			base := qHeader + k + 3*int(cnt)
+			queue.Set(p, base+0, uint32(lo))
+			queue.Set(p, base+1, uint32(hi))
+			queue.Set(p, base+2, uint32(li))
+			queue.Set(p, 0, cnt+1)
+			p.Release(qlock)
+			co.pushed()
+		}
+
+		// spawn tries to hand half a partition to the queue: it binds a
+		// fresh lock to the range (the rebinding the paper highlights)
+		// and publishes the task.  It reports whether it succeeded.
+		spawn := func(lo, hi int) bool {
+			li := allocLock()
+			if li < 0 {
+				return false
+			}
+			p.Acquire(taskLock[li])
+			p.Rebind(taskLock[li], arr.Slice(lo, hi))
+			p.Release(taskLock[li])
+			pushTask(lo, hi, li)
+			return true
+		}
+
+		// process sorts [lo, hi); the caller holds lock li, whose binding
+		// covers the range.  Whenever half a partition is handed to
+		// another worker, li is rebound to the remaining half — the
+		// paper's "rebound to a new range of addresses for every task
+		// created" — so a recycled lock never carries ranges whose
+		// authoritative copy lives elsewhere.
+		var process func(lo, hi, li int)
+		process = func(lo, hi, li int) {
+			if hi-lo <= cfg.Threshold {
+				bubblesort(lo, hi)
+				recordLeaf(lo, hi)
+				return
+			}
+			mid := partition(lo, hi)
+			recordLeaf(mid, mid+1) // the pivot's final position
+			if spawn(lo, mid) {
+				p.Rebind(taskLock[li], arr.Slice(mid+1, hi))
+			} else {
+				process(lo, mid, li)
+			}
+			process(mid+1, hi, li)
+		}
+
+		for co.reserve() {
+			p.Acquire(qlock)
+			cnt := queue.Get(p, 0)
+			base := qHeader + k + 3*int(cnt-1)
+			lo := int(queue.Get(p, base+0))
+			hi := int(queue.Get(p, base+1))
+			li := int(queue.Get(p, base+2))
+			queue.Set(p, 0, cnt-1)
+			queue.Set(p, 1, queue.Get(p, 1)+1)
+			p.Release(qlock)
+
+			p.Acquire(taskLock[li])
+			process(lo, hi, li)
+			p.Release(taskLock[li])
+
+			p.Acquire(qlock)
+			nf := queue.Get(p, 2)
+			queue.Set(p, qHeader+int(nf), uint32(li))
+			queue.Set(p, 2, nf+1)
+			queue.Set(p, 1, queue.Get(p, 1)-1)
+			p.Release(qlock)
+			co.finished()
+		}
+		p.Barrier(done)
+
+		leafMu.Lock()
+		leaves = append(leaves, myLeaves...)
+		leafMu.Unlock()
+	})
+	if err != nil {
+		return apps.Result{}, err
+	}
+
+	// Assemble the result: each leaf's final contents are authoritative
+	// at the worker that sorted it.
+	got := make([]uint32, n)
+	covered := make([]bool, n)
+	for _, lf := range leaves {
+		buf := make([]byte, 4*(lf.hi-lf.lo))
+		sys.ReadFinalAt(lf.node, arr.Slice(lf.lo, lf.hi), buf)
+		for i := lf.lo; i < lf.hi; i++ {
+			got[i] = leU32(buf[4*(i-lf.lo):])
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			return apps.Result{}, fmt.Errorf("qsort: element %d not covered by any leaf", i)
+		}
+	}
+	want := Sequential(cfg)
+	for i := range want {
+		if got[i] != want[i] {
+			return apps.Result{}, fmt.Errorf("qsort: element %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return apps.Collect("quicksort", sys, mcfg, Checksum(got)), nil
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// coord tracks queued and in-flight task counts at the host level so idle
+// workers block instead of polling the shared queue.
+type coord struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queued int
+	active int
+}
+
+func newCoord(initial int) *coord {
+	c := &coord{queued: initial}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// pushed announces one more task in the shared queue.
+func (c *coord) pushed() {
+	c.mu.Lock()
+	c.queued++
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// reserve claims one queued task, blocking while the queue is empty but
+// work is still in flight.  It returns false when the sort is complete.
+func (c *coord) reserve() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.queued == 0 && c.active > 0 {
+		c.cond.Wait()
+	}
+	if c.queued == 0 {
+		return false
+	}
+	c.queued--
+	c.active++
+	return true
+}
+
+// finished retires one in-flight task.
+func (c *coord) finished() {
+	c.mu.Lock()
+	c.active--
+	done := c.active == 0 && c.queued == 0
+	c.mu.Unlock()
+	if done {
+		c.cond.Broadcast()
+	}
+}

@@ -1,0 +1,73 @@
+package qsort
+
+import (
+	"fmt"
+	"testing"
+
+	"midway"
+)
+
+func TestRunAllStrategies(t *testing.T) {
+	cfg := Config{N: 1024, Threshold: 48, LockPool: 32, CyclesPerOp: 10, Seed: 11}
+	want := Checksum(Sequential(cfg))
+	for _, strat := range []midway.Strategy{midway.RT, midway.VM, midway.Blast, midway.TwinDiff} {
+		for _, procs := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%v/%dp", strat, procs), func(t *testing.T) {
+				res, err := Run(midway.Config{Nodes: procs, Strategy: strat}, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Checksum != want {
+					t.Errorf("checksum %g, want %g", res.Checksum, want)
+				}
+			})
+		}
+	}
+}
+
+func TestRebindingHappens(t *testing.T) {
+	// Every spawned task rebinds a lock; with multiple workers there must
+	// be lock transfers carrying rebound task data.
+	cfg := Config{N: 2048, Threshold: 64, LockPool: 32, CyclesPerOp: 10, Seed: 3}
+	res, err := Run(midway.Config{Nodes: 4, Strategy: midway.VM}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.LockTransfers == 0 {
+		t.Error("expected lock transfers")
+	}
+	// The VM fast path on rebinding means quicksort should diff very few
+	// pages relative to its fault count (the paper's Table 2 shows 27
+	// diffs vs 156 faults).
+	if res.Total.PagesDiffed > res.Total.WriteFaults {
+		t.Errorf("expected diffs (%d) below faults (%d) due to rebinding fast path",
+			res.Total.PagesDiffed, res.Total.WriteFaults)
+	}
+}
+
+// TestPrivateLeafSort: the buffered leaf sort produces the same result
+// with far fewer instrumented writes (the paper's count regime).
+func TestPrivateLeafSort(t *testing.T) {
+	base := Config{N: 4096, Threshold: 128, LockPool: 32, CyclesPerOp: 10, Seed: 11}
+	want := Checksum(Sequential(base))
+
+	inPlace, err := Run(midway.Config{Nodes: 4, Strategy: midway.RT}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffered := base
+	buffered.PrivateLeafSort = true
+	priv, err := Run(midway.Config{Nodes: 4, Strategy: midway.RT}, buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inPlace.Checksum != want || priv.Checksum != want {
+		t.Fatal("results differ between leaf-sort variants")
+	}
+	// Buffered leaves write each element once; in-place swaps write it
+	// many times.
+	if priv.Total.DirtybitsSet*3 > inPlace.Total.DirtybitsSet {
+		t.Errorf("buffered sort set %d dirtybits vs in-place %d; expected a large reduction",
+			priv.Total.DirtybitsSet, inPlace.Total.DirtybitsSet)
+	}
+}

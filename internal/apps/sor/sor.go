@@ -1,0 +1,200 @@
+// Package sor implements the paper's red-black successive over-relaxation
+// application: the steady-state temperature of a rectangular plate with
+// fixed edge temperatures, iterated over an M×M float64 grid.
+//
+// The grid is laid out row-major with red and black elements adjacent in
+// memory — deliberately not partitioned to match the memory system.  Rows
+// are divided contiguously among processors; only the rows at partition
+// edges are shared, exchanged through a bound barrier after every
+// half-iteration.  Interior elements start from random values to maximize
+// the changed elements per iteration.  The program exhibits medium-grain
+// sharing.
+package sor
+
+import (
+	"fmt"
+
+	"midway"
+	"midway/internal/apps"
+)
+
+// Config sizes the computation.
+type Config struct {
+	// M is the grid dimension (M×M cells including the fixed border).
+	M int
+	// Iters is the number of full red+black iterations.
+	Iters int
+	// Omega is the over-relaxation factor.
+	Omega float64
+	// EdgeTemp is the fixed border temperature.
+	EdgeTemp float64
+	// CyclesPerCell is the simulated arithmetic cost of one cell update.
+	CyclesPerCell uint64
+	// Seed generates the random interior.
+	Seed int64
+}
+
+// Default returns a seconds-scale configuration.
+func Default() Config {
+	return Config{M: 128, Iters: 6, Omega: 1.2, EdgeTemp: 100, CyclesPerCell: 100, Seed: 42}
+}
+
+// Paper returns the paper's input size (1000×1000, 25 iterations).
+func Paper() Config {
+	return Config{M: 1000, Iters: 25, Omega: 1.2, EdgeTemp: 100, CyclesPerCell: 100, Seed: 42}
+}
+
+// initial builds the starting grid: fixed border, random interior.
+func initial(cfg Config) []float64 {
+	m := cfg.M
+	g := make([]float64, m*m)
+	rng := apps.NewRand(cfg.Seed)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == 0 || j == 0 || i == m-1 || j == m-1 {
+				g[i*m+j] = cfg.EdgeTemp
+			} else {
+				g[i*m+j] = rng.Float64() * 200
+			}
+		}
+	}
+	return g
+}
+
+// relax computes one red-black update of cell (i,j) given its neighbors.
+func relax(cfg Config, self, up, down, left, right float64) float64 {
+	return self + cfg.Omega*((up+down+left+right)/4-self)
+}
+
+// Sequential iterates the relaxation without the DSM and returns the final
+// grid.  Red-black ordering makes the result independent of traversal
+// order within a phase, so the parallel result matches bit-for-bit.
+func Sequential(cfg Config) []float64 {
+	m := cfg.M
+	g := initial(cfg)
+	for it := 0; it < cfg.Iters; it++ {
+		for phase := 0; phase < 2; phase++ {
+			for i := 1; i < m-1; i++ {
+				for j := 1; j < m-1; j++ {
+					if (i+j)%2 != phase {
+						continue
+					}
+					g[i*m+j] = relax(cfg, g[i*m+j], g[(i-1)*m+j], g[(i+1)*m+j], g[i*m+j-1], g[i*m+j+1])
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Checksum digests a grid.
+func Checksum(g []float64) float64 {
+	var sum float64
+	for i, v := range g {
+		sum += v * float64(i%31+1)
+	}
+	return sum
+}
+
+// Run executes the parallel SOR under the given DSM configuration,
+// verifies against the oracle, and returns measurements.
+func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
+	sys, err := midway.NewSystem(mcfg)
+	if err != nil {
+		return apps.Result{}, err
+	}
+	m := cfg.M
+	procs := mcfg.Nodes
+	// 16-byte cache lines: red and black elements are adjacent in memory
+	// (the paper's layout, "not partitioned to match the peculiarities of
+	// the memory system"), so every line in a written row is dirtied in
+	// every phase.
+	grid := sys.AllocF64("sor.grid", m*m, 16)
+	for i, v := range initial(cfg) {
+		grid.Preset(sys, i, v)
+	}
+
+	// Writable rows are 1..m-2, split contiguously.  The rows a processor
+	// writes that its neighbors read are its first and last owned rows;
+	// bind exactly those to the phase barrier.
+	inner := m - 2
+	var edges []midway.Range
+	parts := make([][]midway.Range, procs)
+	rowRange := func(i int) midway.Range { return grid.Slice(i*m, (i+1)*m) }
+	for pr := 0; pr < procs; pr++ {
+		lo, hi := apps.Partition(inner, procs, pr)
+		lo, hi = lo+1, hi+1 // shift past the fixed border row
+		if lo >= hi {
+			continue
+		}
+		added := make(map[int]bool)
+		addRow := func(i int) {
+			if added[i] {
+				return
+			}
+			added[i] = true
+			edges = append(edges, rowRange(i))
+			parts[pr] = append(parts[pr], rowRange(i))
+		}
+		if pr > 0 {
+			addRow(lo) // read by pr-1
+		}
+		if pr < procs-1 {
+			addRow(hi - 1) // read by pr+1
+		}
+	}
+	phaseBar := sys.NewBarrier("sor.phase", edges...)
+	sys.SetBarrierParts(phaseBar, parts)
+	// The final barrier collects the whole grid so results can be read at
+	// processor 0.
+	done := sys.NewBarrier("sor.done", grid.Range())
+	doneParts := make([][]midway.Range, procs)
+	for pr := 0; pr < procs; pr++ {
+		lo, hi := apps.Partition(inner, procs, pr)
+		if lo < hi {
+			doneParts[pr] = []midway.Range{grid.Slice((lo+1)*m, (hi+1)*m)}
+		}
+	}
+	sys.SetBarrierParts(done, doneParts)
+
+	err = sys.Run(func(p *midway.Proc) {
+		lo, hi := apps.Partition(inner, procs, p.ID())
+		lo, hi = lo+1, hi+1
+		for it := 0; it < cfg.Iters; it++ {
+			for phase := 0; phase < 2; phase++ {
+				for i := lo; i < hi; i++ {
+					for j := 1; j < m-1; j++ {
+						if (i+j)%2 != phase {
+							continue
+						}
+						v := relax(cfg,
+							grid.Get(p, i*m+j),
+							grid.Get(p, (i-1)*m+j),
+							grid.Get(p, (i+1)*m+j),
+							grid.Get(p, i*m+j-1),
+							grid.Get(p, i*m+j+1))
+						p.Compute(cfg.CyclesPerCell)
+						grid.Set(p, i*m+j, v)
+					}
+				}
+				p.Barrier(phaseBar)
+			}
+		}
+		p.Barrier(done)
+	})
+	if err != nil {
+		return apps.Result{}, err
+	}
+
+	got := make([]float64, m*m)
+	for i := range got {
+		got[i] = sys.ReadFinalF64(grid.At(i))
+	}
+	want := Sequential(cfg)
+	for i := range want {
+		if got[i] != want[i] {
+			return apps.Result{}, fmt.Errorf("sor: cell %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+	return apps.Collect("sor", sys, mcfg, Checksum(got)), nil
+}

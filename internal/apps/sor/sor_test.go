@@ -1,0 +1,82 @@
+package sor
+
+import (
+	"fmt"
+	"testing"
+
+	"midway"
+)
+
+func TestSequentialConverges(t *testing.T) {
+	cfg := Config{M: 32, Iters: 200, Omega: 1.2, EdgeTemp: 100, CyclesPerCell: 100, Seed: 1}
+	g := Sequential(cfg)
+	// After many iterations every interior cell approaches the edge
+	// temperature.
+	mid := g[(cfg.M/2)*cfg.M+cfg.M/2]
+	if mid < 95 || mid > 105 {
+		t.Errorf("center cell %g has not converged toward edge temperature 100", mid)
+	}
+}
+
+func TestRunAllStrategies(t *testing.T) {
+	cfg := Config{M: 48, Iters: 3, Omega: 1.2, EdgeTemp: 100, CyclesPerCell: 100, Seed: 5}
+	want := Checksum(Sequential(cfg))
+	for _, strat := range []midway.Strategy{midway.RT, midway.VM, midway.Blast, midway.TwinDiff} {
+		for _, procs := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%v/%dp", strat, procs), func(t *testing.T) {
+				res, err := Run(midway.Config{Nodes: procs, Strategy: strat}, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Checksum != want {
+					t.Errorf("checksum %g, want %g", res.Checksum, want)
+				}
+			})
+		}
+	}
+}
+
+func TestOnlyEdgesTransferred(t *testing.T) {
+	// Under RT, the per-phase data shipped should be in the order of the
+	// partition-edge rows, far below the whole grid.
+	cfg := Config{M: 64, Iters: 2, Omega: 1.2, EdgeTemp: 100, CyclesPerCell: 100, Seed: 5}
+	res, err := Run(midway.Config{Nodes: 4, Strategy: midway.RT}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridBytes := uint64(cfg.M * cfg.M * 8)
+	// Total transfer: phase barriers move edge rows, the final barrier
+	// moves the grid once (to node 0 via the manager).  Anything beyond
+	// ~4 grids would indicate whole-partition shipping per phase.
+	if res.Total.BytesTransferred > 4*gridBytes {
+		t.Errorf("transferred %d bytes; expected edge-row traffic only (grid is %d bytes)",
+			res.Total.BytesTransferred, gridBytes)
+	}
+}
+
+// TestEdgePagesRefaultPerIteration: under VM-DSM the partition-edge pages
+// are diffed and re-protected at every phase barrier, so faults grow with
+// the iteration count (the paper's sor shows more diffs than pages).
+func TestEdgePagesRefaultPerIteration(t *testing.T) {
+	base := Config{M: 64, Omega: 1.2, EdgeTemp: 100, CyclesPerCell: 100, Seed: 5}
+	short := base
+	short.Iters = 2
+	long := base
+	long.Iters = 6
+	a, err := Run(midway.Config{Nodes: 4, Strategy: midway.VM}, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(midway.Config{Nodes: 4, Strategy: midway.VM}, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total.WriteFaults <= a.Total.WriteFaults {
+		t.Errorf("faults did not grow with iterations: %d (2 iters) vs %d (6 iters)",
+			a.Total.WriteFaults, b.Total.WriteFaults)
+	}
+	if b.Total.PagesDiffed <= a.Total.PagesDiffed {
+		t.Errorf("diffs did not grow with iterations: %d vs %d",
+			a.Total.PagesDiffed, b.Total.PagesDiffed)
+	}
+}

@@ -1,0 +1,289 @@
+// Package water implements the paper's water application: an N-body
+// molecular dynamics simulation (from the SPLASH suite) evaluating
+// pairwise forces and potentials over a liquid of N molecules for a fixed
+// number of time steps.  It exhibits medium-grained sharing.
+//
+// The implementation includes the optimization the paper adopts from
+// [Singh et al. 92]: force contributions are accumulated in private memory
+// during a time step and flushed into the shared per-molecule force
+// accumulators — each guarded by its own lock — only at the end of the
+// step.  Positions are distributed through a bound barrier once per step.
+package water
+
+import (
+	"fmt"
+	"math"
+
+	"midway"
+	"midway/internal/apps"
+)
+
+// Molecule record layout, mirroring the SPLASH water per-molecule
+// structure: a small, frequently-rewritten accumulator section inside a
+// larger record.  Offsets are in doubles within the record.
+const (
+	// RecordDoubles is the record size (512 bytes).
+	RecordDoubles = 64
+	// offForce is the force accumulator (3 doubles), written by every
+	// processor's flush phase.
+	offForce = 0
+	// offVirial is the virial accumulator (1 double), written alongside
+	// the forces.
+	offVirial = 3
+	// offDerivs is the derivative history (16 doubles), written by the
+	// owner when advancing the molecule.
+	offDerivs = 4
+	// offParams starts the static parameter block (initialized once,
+	// never rewritten).
+	offParams = 20
+)
+
+// Config sizes the simulation.
+type Config struct {
+	// N is the number of molecules.
+	N int
+	// Steps is the number of time steps.
+	Steps int
+	// Dt is the integration step.
+	Dt float64
+	// CyclesPerPair is the simulated arithmetic cost of one pairwise
+	// force evaluation on the reference processor.
+	CyclesPerPair uint64
+	// CyclesPerUpdate is the cost of one molecule's state advance.
+	CyclesPerUpdate uint64
+	// Seed generates the initial configuration.
+	Seed int64
+}
+
+// Default returns a seconds-scale configuration.
+func Default() Config {
+	return Config{N: 64, Steps: 3, Dt: 1e-3, CyclesPerPair: 4400, CyclesPerUpdate: 400, Seed: 42}
+}
+
+// Paper returns the paper's input size: 343 molecules for 5 steps.  The
+// per-pair cycle cost is calibrated so the standalone run lands near the
+// paper's 104.2 seconds.
+func Paper() Config {
+	return Config{N: 343, Steps: 5, Dt: 1e-3, CyclesPerPair: 4400, CyclesPerUpdate: 400, Seed: 42}
+}
+
+// state is the sequential oracle's molecule state.
+type state struct {
+	pos, vel []float64 // 3N each
+}
+
+// initialState places molecules on a jittered cubic lattice with small
+// random velocities.
+func initialState(cfg Config) state {
+	rng := apps.NewRand(cfg.Seed)
+	n := cfg.N
+	side := int(math.Ceil(math.Cbrt(float64(n))))
+	st := state{pos: make([]float64, 3*n), vel: make([]float64, 3*n)}
+	for m := 0; m < n; m++ {
+		x := m % side
+		y := (m / side) % side
+		z := m / (side * side)
+		st.pos[3*m+0] = float64(x) + 0.1*rng.Float64()
+		st.pos[3*m+1] = float64(y) + 0.1*rng.Float64()
+		st.pos[3*m+2] = float64(z) + 0.1*rng.Float64()
+		for c := 0; c < 3; c++ {
+			st.vel[3*m+c] = 0.01 * (rng.Float64() - 0.5)
+		}
+	}
+	return st
+}
+
+// pairForce evaluates the force on molecule i due to molecule j (softened
+// inverse-square attraction), writing it into f.
+func pairForce(pos []float64, i, j int, f *[3]float64) {
+	const eps = 0.01
+	dx := pos[3*j+0] - pos[3*i+0]
+	dy := pos[3*j+1] - pos[3*i+1]
+	dz := pos[3*j+2] - pos[3*i+2]
+	r2 := dx*dx + dy*dy + dz*dz + eps
+	inv := 1 / (r2 * math.Sqrt(r2))
+	f[0] = dx * inv
+	f[1] = dy * inv
+	f[2] = dz * inv
+}
+
+// Sequential advances the system without the DSM and returns the final
+// positions.
+func Sequential(cfg Config) []float64 {
+	st := initialState(cfg)
+	n := cfg.N
+	force := make([]float64, 3*n)
+	for s := 0; s < cfg.Steps; s++ {
+		for i := range force {
+			force[i] = 0
+		}
+		var f [3]float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				pairForce(st.pos, i, j, &f)
+				for c := 0; c < 3; c++ {
+					force[3*i+c] += f[c]
+					force[3*j+c] -= f[c]
+				}
+			}
+		}
+		for m := 0; m < n; m++ {
+			for c := 0; c < 3; c++ {
+				st.vel[3*m+c] += force[3*m+c] * cfg.Dt
+				st.pos[3*m+c] += st.vel[3*m+c] * cfg.Dt
+			}
+		}
+	}
+	return st.pos
+}
+
+// Checksum digests a position vector.
+func Checksum(pos []float64) float64 {
+	var sum float64
+	for i, v := range pos {
+		sum += v * float64(i%13+1)
+	}
+	return sum
+}
+
+// Run executes the parallel simulation under the given DSM configuration,
+// verifies the final positions against the oracle (to floating-point
+// reassociation tolerance), and returns measurements.
+func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
+	sys, err := midway.NewSystem(mcfg)
+	if err != nil {
+		return apps.Result{}, err
+	}
+	n := cfg.N
+	procs := mcfg.Nodes
+
+	pos := sys.AllocF64("water.pos", 3*n, 8)
+	// Each molecule has a SPLASH-style record of RecordDoubles doubles:
+	// the force accumulator and virial that the flush phase writes, the
+	// derivative fields the owner writes when advancing the state, and
+	// the static parameter block that is initialized once and never
+	// rewritten.  The per-molecule lock guards the whole record, so — as
+	// in the paper's water — each incarnation modifies only a small part
+	// of the bound data.
+	mol := sys.AllocF64("water.mol", RecordDoubles*n, 8)
+
+	init := initialState(cfg)
+	for i, v := range init.pos {
+		pos.Preset(sys, i, v)
+	}
+	rng := apps.NewRand(cfg.Seed + 1)
+	for m := 0; m < n; m++ {
+		for i := offParams; i < RecordDoubles; i++ {
+			mol.Preset(sys, m*RecordDoubles+i, rng.Float64())
+		}
+	}
+
+	// One lock per molecule guards its shared record.  Positions travel
+	// through the step barrier instead, so force-phase reads need no
+	// locks.
+	molLock := make([]midway.LockID, n)
+	for m := 0; m < n; m++ {
+		molLock[m] = sys.NewLock(fmt.Sprintf("water.mol%d", m),
+			mol.Slice(m*RecordDoubles, (m+1)*RecordDoubles))
+	}
+	// Phase barrier (unbound): separates force flushing from state
+	// advance.  Step barrier distributes the new positions.
+	phase := sys.NewBarrier("water.phase")
+	step := sys.NewBarrier("water.step", pos.Range())
+	parts := make([][]midway.Range, procs)
+	for pr := 0; pr < procs; pr++ {
+		lo, hi := apps.Partition(n, procs, pr)
+		if lo < hi {
+			parts[pr] = []midway.Range{pos.Slice(3*lo, 3*hi)}
+		}
+	}
+	sys.SetBarrierParts(step, parts)
+
+	err = sys.Run(func(p *midway.Proc) {
+		me := p.ID()
+		lo, hi := apps.Partition(n, procs, me)
+		vel := make([]float64, 3*n)   // private: only the owner's slots used
+		local := make([]float64, 3*n) // private force accumulation
+		copy(vel, init.vel)
+		myPos := make([]float64, 3*n) // private cache of positions
+		var f [3]float64
+
+		for s := 0; s < cfg.Steps; s++ {
+			// Read the consistent positions once into private memory.
+			for i := 0; i < 3*n; i++ {
+				myPos[i] = pos.Get(p, i)
+			}
+			for i := range local {
+				local[i] = 0
+			}
+			// Force evaluation over this processor's pair slice,
+			// accumulating into private memory.
+			for i := lo; i < hi; i++ {
+				for j := i + 1; j < n; j++ {
+					pairForce(myPos, i, j, &f)
+					p.Compute(cfg.CyclesPerPair)
+					for c := 0; c < 3; c++ {
+						local[3*i+c] += f[c]
+						local[3*j+c] -= f[c]
+					}
+				}
+			}
+			// Flush private contributions into the shared accumulators,
+			// one molecule lock at a time (the end-of-step update of the
+			// Singh et al. optimization).  Each flush dirties only the
+			// force/virial words of the record.
+			for m := 0; m < n; m++ {
+				if local[3*m] == 0 && local[3*m+1] == 0 && local[3*m+2] == 0 {
+					continue
+				}
+				p.Acquire(molLock[m])
+				rec := m * RecordDoubles
+				for c := 0; c < 3; c++ {
+					a := mol.At(rec + offForce + c)
+					p.WriteF64(a, p.ReadF64(a)+local[3*m+c])
+				}
+				vir := mol.At(rec + offVirial)
+				p.WriteF64(vir, p.ReadF64(vir)+
+					local[3*m]*myPos[3*m]+local[3*m+1]*myPos[3*m+1]+local[3*m+2]*myPos[3*m+2])
+				p.Release(molLock[m])
+			}
+			p.Barrier(phase)
+			// Advance owned molecules: consume and reset the force
+			// accumulator, record the derivative history, write the new
+			// positions.
+			for m := lo; m < hi; m++ {
+				p.Acquire(molLock[m])
+				p.Compute(cfg.CyclesPerUpdate)
+				rec := m * RecordDoubles
+				for c := 0; c < 3; c++ {
+					fm := p.ReadF64(mol.At(rec + offForce + c))
+					p.WriteF64(mol.At(rec+offForce+c), 0)
+					vel[3*m+c] += fm * cfg.Dt
+					p.WriteF64(pos.At(3*m+c), myPos[3*m+c]+vel[3*m+c]*cfg.Dt)
+					// Derivative history, as in the SPLASH record: the
+					// last few force and velocity values.
+					p.WriteF64(mol.At(rec+offDerivs+c), fm)
+					p.WriteF64(mol.At(rec+offDerivs+3+c), vel[3*m+c])
+				}
+				p.WriteF64(mol.At(rec+offVirial), 0)
+				p.Release(molLock[m])
+			}
+			p.Barrier(step)
+		}
+	})
+	if err != nil {
+		return apps.Result{}, err
+	}
+
+	got := make([]float64, 3*n)
+	for i := range got {
+		got[i] = sys.ReadFinalF64(pos.At(i))
+	}
+	want := Sequential(cfg)
+	for i := range want {
+		if !apps.CloseEnough(got[i], want[i], 1e-6) {
+			return apps.Result{}, fmt.Errorf("water: pos[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	return apps.Collect("water", sys, mcfg, Checksum(got)), nil
+}

@@ -1,0 +1,86 @@
+package water
+
+import (
+	"fmt"
+	"testing"
+
+	"midway"
+	"midway/internal/apps"
+)
+
+func TestSequentialDeterministic(t *testing.T) {
+	cfg := Config{N: 27, Steps: 2, Dt: 1e-3, CyclesPerPair: 100, CyclesPerUpdate: 10, Seed: 9}
+	if Checksum(Sequential(cfg)) != Checksum(Sequential(cfg)) {
+		t.Fatal("oracle not deterministic")
+	}
+}
+
+func TestRunAllStrategies(t *testing.T) {
+	cfg := Config{N: 32, Steps: 2, Dt: 1e-3, CyclesPerPair: 100, CyclesPerUpdate: 10, Seed: 4}
+	want := Checksum(Sequential(cfg))
+	for _, strat := range []midway.Strategy{midway.RT, midway.VM, midway.Blast, midway.TwinDiff} {
+		for _, procs := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%v/%dp", strat, procs), func(t *testing.T) {
+				res, err := Run(midway.Config{Nodes: procs, Strategy: strat}, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := apps.CheckClose("checksum", res.Checksum, want, 1e-6); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+func TestMediumGrainSharing(t *testing.T) {
+	// Water's flush phase acquires a lock per molecule: with 2 processors
+	// and N molecules over S steps, expect substantial lock transfer
+	// traffic and dirtybit activity under RT.
+	cfg := Config{N: 32, Steps: 2, Dt: 1e-3, CyclesPerPair: 100, CyclesPerUpdate: 10, Seed: 4}
+	res, err := Run(midway.Config{Nodes: 2, Strategy: midway.RT}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.LockTransfers == 0 {
+		t.Error("expected lock transfers between processors")
+	}
+	if res.Total.DirtybitsSet == 0 {
+		t.Error("expected dirtybits to be set")
+	}
+}
+
+// TestVMRedundantData reproduces the paper's water observation in
+// miniature: the uncombined incarnation history makes VM-DSM ship
+// substantially more data than RT-DSM's exact dirtybit history.
+func TestVMRedundantData(t *testing.T) {
+	cfg := Config{N: 48, Steps: 3, Dt: 1e-3, CyclesPerPair: 100, CyclesPerUpdate: 10, Seed: 4}
+	rt, err := Run(midway.Config{Nodes: 4, Strategy: midway.RT}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := Run(midway.Config{Nodes: 4, Strategy: midway.VM}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Total.BytesTransferred < rt.Total.BytesTransferred*13/10 {
+		t.Errorf("expected >=30%% VM data redundancy (paper: 40%%); RT %d vs VM %d bytes",
+			rt.Total.BytesTransferred, vm.Total.BytesTransferred)
+	}
+}
+
+// TestPrivateAccumulationKeepsTrapsLow: the Singh et al. optimization
+// accumulates forces privately, so shared stores scale with molecules per
+// step, not with pair interactions.
+func TestPrivateAccumulationKeepsTrapsLow(t *testing.T) {
+	cfg := Config{N: 48, Steps: 2, Dt: 1e-3, CyclesPerPair: 100, CyclesPerUpdate: 10, Seed: 4}
+	res, err := Run(midway.Config{Nodes: 2, Strategy: midway.RT}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := uint64(cfg.N*(cfg.N-1)/2) * uint64(cfg.Steps)
+	if res.Total.DirtybitsSet >= pairs {
+		t.Errorf("dirtybits set (%d) should be far below pair count (%d): forces must accumulate privately",
+			res.Total.DirtybitsSet, pairs)
+	}
+}

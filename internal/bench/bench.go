@@ -1,0 +1,184 @@
+// Package bench is the evaluation harness: it reruns the paper's
+// experiments and renders every table and figure of the evaluation section
+// (Figure 2, Tables 1–5, Figures 3 and 4), plus this reproduction's own
+// Section 3.5 ablation.
+//
+// The paper derives Tables 3, 4 and 5 by multiplying measured
+// per-primitive costs (Table 1) by per-application invocation counts
+// (Table 2).  This harness does exactly that: it runs the five
+// applications on the DSM, harvests the counters, and applies the same
+// arithmetic.
+package bench
+
+import (
+	"fmt"
+
+	"midway"
+	"midway/internal/apps"
+	"midway/internal/apps/cholesky"
+	"midway/internal/apps/matmul"
+	"midway/internal/apps/qsort"
+	"midway/internal/apps/sor"
+	"midway/internal/apps/water"
+)
+
+// Scale selects input sizes.
+type Scale int
+
+const (
+	// ScaleSmall runs in well under a second per configuration (tests).
+	ScaleSmall Scale = iota
+	// ScaleMedium is the default for the evaluation binary: a few
+	// seconds for the full suite, with counts large enough to show the
+	// paper's contrasts clearly.
+	ScaleMedium
+	// ScalePaper uses the paper's input sizes (minutes for the full
+	// suite).
+	ScalePaper
+)
+
+// ParseScale converts "small", "medium" or "paper".
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small":
+		return ScaleSmall, nil
+	case "medium", "":
+		return ScaleMedium, nil
+	case "paper":
+		return ScalePaper, nil
+	}
+	return 0, fmt.Errorf("bench: unknown scale %q", s)
+}
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScalePaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// AppNames lists the applications in the paper's column order.
+var AppNames = []string{"water", "quicksort", "matrix", "sor", "cholesky"}
+
+// RunApp executes one application at the given scale under the given DSM
+// configuration.
+func RunApp(name string, mcfg midway.Config, scale Scale) (apps.Result, error) {
+	switch name {
+	case "water":
+		cfg := water.Default()
+		switch scale {
+		case ScaleSmall:
+			cfg.N, cfg.Steps = 32, 2
+		case ScaleMedium:
+			cfg.N, cfg.Steps = 200, 3
+		case ScalePaper:
+			cfg = water.Paper()
+		}
+		return water.Run(mcfg, cfg)
+	case "quicksort":
+		cfg := qsort.Default()
+		switch scale {
+		case ScaleSmall:
+			cfg.N, cfg.Threshold = 2048, 64
+		case ScaleMedium:
+			cfg.N, cfg.Threshold = 24000, 500
+		case ScalePaper:
+			cfg = qsort.Paper()
+		}
+		return qsort.Run(mcfg, cfg)
+	case "matrix":
+		cfg := matmul.Default()
+		switch scale {
+		case ScaleSmall:
+			cfg.N = 48
+		case ScaleMedium:
+			cfg.N = 160
+		case ScalePaper:
+			cfg = matmul.Paper()
+		}
+		return matmul.Run(mcfg, cfg)
+	case "sor":
+		cfg := sor.Default()
+		switch scale {
+		case ScaleSmall:
+			cfg.M, cfg.Iters = 64, 3
+		case ScaleMedium:
+			cfg.M, cfg.Iters = 256, 8
+		case ScalePaper:
+			cfg = sor.Paper()
+		}
+		return sor.Run(mcfg, cfg)
+	case "cholesky":
+		cfg := cholesky.Default()
+		switch scale {
+		case ScaleSmall:
+			cfg.N, cfg.Band = 48, 8
+		case ScaleMedium:
+			cfg.N, cfg.Band = 320, 32
+		case ScalePaper:
+			cfg = cholesky.Paper()
+		}
+		return cholesky.Run(mcfg, cfg)
+	}
+	return apps.Result{}, fmt.Errorf("bench: unknown application %q", name)
+}
+
+// Evaluation holds the results of running the application suite under a
+// set of strategies — the raw material for every table and figure.
+type Evaluation struct {
+	Procs int
+	Scale Scale
+	// Results maps application name → strategy name → result.
+	Results map[string]map[string]apps.Result
+	// Standalone maps application name → the uninstrumented single-node
+	// result (Figure 2's third bar).
+	Standalone map[string]apps.Result
+}
+
+// strategyKey names a strategy for the Results map.
+func strategyKey(s midway.Strategy) string { return s.String() }
+
+// RunEvaluation executes every application under every given strategy at
+// the given processor count, plus a standalone single-processor run per
+// application when withStandalone is set.
+func RunEvaluation(procs int, scale Scale, strategies []midway.Strategy, withStandalone bool) (*Evaluation, error) {
+	ev := &Evaluation{
+		Procs:      procs,
+		Scale:      scale,
+		Results:    make(map[string]map[string]apps.Result),
+		Standalone: make(map[string]apps.Result),
+	}
+	for _, app := range AppNames {
+		ev.Results[app] = make(map[string]apps.Result)
+		for _, st := range strategies {
+			res, err := RunApp(app, midway.Config{Nodes: procs, Strategy: st}, scale)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s under %v: %w", app, st, err)
+			}
+			ev.Results[app][strategyKey(st)] = res
+		}
+		if withStandalone {
+			res, err := RunApp(app, midway.Config{Nodes: 1, Strategy: midway.Standalone}, scale)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s standalone: %w", app, err)
+			}
+			ev.Standalone[app] = res
+		}
+	}
+	return ev, nil
+}
+
+// RT and VM result accessors (most tables need exactly these two).
+
+// RT returns the RT-DSM result for an application.
+func (ev *Evaluation) RT(app string) apps.Result { return ev.Results[app]["RT-DSM"] }
+
+// VM returns the VM-DSM result for an application.
+func (ev *Evaluation) VM(app string) apps.Result { return ev.Results[app]["VM-DSM"] }

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"midway"
+	"midway/internal/cost"
+)
+
+// smallEval runs the RT+VM evaluation once at small scale and caches it
+// for all tests in this package.
+var (
+	evalOnce sync.Once
+	evalVal  *Evaluation
+	evalErr  error
+)
+
+func smallEval(t *testing.T) *Evaluation {
+	t.Helper()
+	evalOnce.Do(func() {
+		evalVal, evalErr = RunEvaluation(8, ScaleSmall,
+			[]midway.Strategy{midway.RT, midway.VM}, true)
+	})
+	if evalErr != nil {
+		t.Fatal(evalErr)
+	}
+	return evalVal
+}
+
+func TestParseScale(t *testing.T) {
+	for name, want := range map[string]Scale{
+		"small": ScaleSmall, "medium": ScaleMedium, "paper": ScalePaper, "": ScaleMedium,
+	} {
+		got, err := ParseScale(name)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseScale("giant"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestRunAppUnknown(t *testing.T) {
+	if _, err := RunApp("tetris", midway.Config{Nodes: 1, Strategy: midway.RT}, ScaleSmall); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestEvaluationComplete(t *testing.T) {
+	ev := smallEval(t)
+	for _, app := range AppNames {
+		rt, vm := ev.RT(app), ev.VM(app)
+		if rt.Seconds <= 0 || vm.Seconds <= 0 {
+			t.Errorf("%s: missing execution times", app)
+		}
+		if rt.Checksum != vm.Checksum {
+			// water and cholesky tolerate tiny reassociation noise, so
+			// compare loosely.
+			diff := rt.Checksum - vm.Checksum
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1e-6*(1+abs(rt.Checksum)) {
+				t.Errorf("%s: checksums differ across strategies: %g vs %g",
+					app, rt.Checksum, vm.Checksum)
+			}
+		}
+		sa, ok := ev.Standalone[app]
+		if !ok || sa.Seconds <= 0 {
+			t.Errorf("%s: missing standalone result", app)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestShapeCriteria asserts the robust parts of the paper's qualitative
+// results at small scale.
+func TestShapeCriteria(t *testing.T) {
+	ev := smallEval(t)
+
+	// RT detects with dirtybits, VM with faults, everywhere.  (Totals,
+	// not means: per-processor means round small counts down to zero.)
+	for _, app := range AppNames {
+		if ev.RT(app).Total.DirtybitsSet == 0 {
+			t.Errorf("%s: RT set no dirtybits", app)
+		}
+		if ev.RT(app).Total.WriteFaults != 0 {
+			t.Errorf("%s: RT took faults", app)
+		}
+		if ev.VM(app).Total.WriteFaults == 0 {
+			t.Errorf("%s: VM took no faults", app)
+		}
+		if ev.VM(app).Total.DirtybitsSet != 0 {
+			t.Errorf("%s: VM set dirtybits", app)
+		}
+	}
+
+	// The medium/fine-grained applications transmit no more data under RT
+	// than under VM (the exact-history property).
+	for _, app := range []string{"water", "sor", "cholesky"} {
+		if rt, vm := ev.RT(app).Total.BytesTransferred, ev.VM(app).Total.BytesTransferred; rt > vm+vm/10 {
+			t.Errorf("%s: RT transferred more data than VM: %d vs %d", app, rt, vm)
+		}
+	}
+
+	// Matrix-multiply is VM's best case: faults stay tiny relative to
+	// RT's per-write dirtybit sets.
+	mm := ev.Results["matrix"]
+	if f, s := mm["VM-DSM"].Total.WriteFaults, mm["RT-DSM"].Total.DirtybitsSet; f*100 > s {
+		t.Errorf("matrix: faults (%d) not amortized against dirtybit sets (%d)", f, s)
+	}
+}
+
+func TestTable3Computation(t *testing.T) {
+	ev := smallEval(t)
+	m := cost.Default()
+	rows := Table3(ev, m)
+	if len(rows) != len(AppNames) {
+		t.Fatalf("Table3 has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.RTMillis < 0 || r.VMMillis < 0 {
+			t.Errorf("%s: implausible trapping costs %+v", r.App, r)
+		}
+		// Recompute by hand for one cross-check.
+		rt := ev.RT(r.App).Mean
+		wantRT := cost.Millis(rt.DirtybitsSet*m.DirtybitSetDouble +
+			rt.DirtybitsMisclassified*m.DirtybitSetPrivate)
+		if r.RTMillis != wantRT {
+			t.Errorf("%s: RT trapping %g, want %g", r.App, r.RTMillis, wantRT)
+		}
+	}
+}
+
+func TestTable4Computation(t *testing.T) {
+	ev := smallEval(t)
+	rows := Table4(ev, cost.Default())
+	for _, r := range rows {
+		if r.RTTotal != r.RTClean+r.RTDirty+r.RTUpdated {
+			t.Errorf("%s: RT total mismatch", r.App)
+		}
+		if r.VMTotal != r.VMDiffed+r.VMProtected+r.VMTwins {
+			t.Errorf("%s: VM total mismatch", r.App)
+		}
+	}
+}
+
+func TestTable5Formulas(t *testing.T) {
+	ev := smallEval(t)
+	for _, r := range Table5(ev) {
+		vm := ev.VM(r.App).Mean
+		// Faults read a page and write the twin: 2 KW per fault.
+		if want := vm.WriteFaults * 2 * 1024 / 1000; r.VMTrap != want {
+			t.Errorf("%s: VM trap refs %d, want %d", r.App, r.VMTrap, want)
+		}
+		if r.RTTotal != r.RTTrap+r.RTColl || r.VMTotal != r.VMTrap+r.VMColl {
+			t.Errorf("%s: totals inconsistent", r.App)
+		}
+	}
+}
+
+func TestFigureSweeps(t *testing.T) {
+	ev := smallEval(t)
+	m := cost.Default()
+	for _, rows := range [][]FaultSweepRow{Figure3(ev, m), Figure4(ev, m)} {
+		if len(rows) != len(AppNames) {
+			t.Fatalf("sweep has %d rows", len(rows))
+		}
+		for _, r := range rows {
+			// The line's endpoints are ordered: more expensive faults
+			// cannot make VM cheaper.
+			if r.VMSlowMillis < r.VMFastMillis {
+				t.Errorf("%s: sweep endpoints inverted", r.App)
+			}
+			// Figure 4's VM costs include collection, so they dominate
+			// Figure 3's at equal fault cost (checked via Figure4 below).
+		}
+	}
+	f3, f4 := Figure3(ev, m), Figure4(ev, m)
+	for i := range f3 {
+		if f4[i].VMFastMillis < f3[i].VMFastMillis || f4[i].RTMillis < f3[i].RTMillis {
+			t.Errorf("%s: totals below trapping-only costs", f3[i].App)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	ev := smallEval(t)
+	m := cost.Default()
+	var sb strings.Builder
+	FprintTable1(&sb, m)
+	FprintFigure2(&sb, ev)
+	FprintTable2(&sb, ev)
+	FprintTable3(&sb, ev, m)
+	FprintFigure3(&sb, ev, m)
+	FprintTable4(&sb, ev, m)
+	FprintFigure4(&sb, ev, m)
+	FprintTable5(&sb, ev)
+	FprintAblation(&sb, ev)
+	out := sb.String()
+	for _, app := range AppNames {
+		if !strings.Contains(out, app) {
+			t.Errorf("rendered output missing %q", app)
+		}
+	}
+	for _, marker := range []string{"Table 2", "Table 3", "Table 4", "Table 5", "Figure 2", "Figure 3", "Figure 4", "dirtybits set", "write faults", "break-even"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("rendered output missing %q", marker)
+		}
+	}
+}
+
+func TestFprintUniprocessor(t *testing.T) {
+	var sb strings.Builder
+	FprintUniprocessor(&sb, []UniprocessorRow{
+		{App: "water", RTSecs: 1.1, VMSecs: 1.05, StandaloneSecs: 1.0},
+	})
+	if !strings.Contains(sb.String(), "water") {
+		t.Error("renderer dropped the row")
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	for s, want := range map[Scale]string{
+		ScaleSmall: "small", ScaleMedium: "medium", ScalePaper: "paper",
+	} {
+		if s.String() != want {
+			t.Errorf("Scale(%d).String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestUniprocessorOrdering(t *testing.T) {
+	// Quicksort shows the clearest uniprocessor contrast: RT pays
+	// trapping on every write, VM one fault per page, standalone nothing.
+	row, err := Uniprocessor("quicksort", ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.RTSecs < row.StandaloneSecs {
+		t.Errorf("RT uniprocessor (%g) faster than standalone (%g)", row.RTSecs, row.StandaloneSecs)
+	}
+	if row.VMSecs < row.StandaloneSecs {
+		t.Errorf("VM uniprocessor (%g) faster than standalone (%g)", row.VMSecs, row.StandaloneSecs)
+	}
+}

@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"midway"
+	"midway/internal/cost"
+)
+
+// Figure2Row holds one application's overall performance comparison.
+type Figure2Row struct {
+	App string
+	// StandaloneSecs is the uninstrumented single-processor time.
+	StandaloneSecs float64
+	// RTSecs / VMSecs are the parallel execution times.
+	RTSecs, VMSecs float64
+	// RTMB / VMMB are total application data transferred, in MB.
+	RTMB, VMMB float64
+}
+
+// Figure2 computes the overall execution time and data transferred
+// comparison (the paper's Figure 2).
+func Figure2(ev *Evaluation) []Figure2Row {
+	rows := make([]Figure2Row, 0, len(AppNames))
+	for _, app := range AppNames {
+		r := Figure2Row{
+			App:    app,
+			RTSecs: ev.RT(app).Seconds,
+			VMSecs: ev.VM(app).Seconds,
+			RTMB:   ev.RT(app).KBTransferredTotal() / 1024,
+			VMMB:   ev.VM(app).KBTransferredTotal() / 1024,
+		}
+		if sa, ok := ev.Standalone[app]; ok {
+			r.StandaloneSecs = sa.Seconds
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// FprintFigure2 renders Figure 2 as a table plus text bars.
+func FprintFigure2(w io.Writer, ev *Evaluation) {
+	fmt.Fprintf(w, "Figure 2: execution time (s) and data transferred (MB), %d procs, %s scale\n",
+		ev.Procs, ev.Scale)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Application\tstandalone (s)\tRT-DSM (s)\tVM-DSM (s)\tRT-DSM (MB)\tVM-DSM (MB)")
+	rows := Figure2(ev)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			r.App, r.StandaloneSecs, r.RTSecs, r.VMSecs, r.RTMB, r.VMMB)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	// Text bars: execution time normalized per application.
+	for _, r := range rows {
+		maxSecs := max(r.RTSecs, r.VMSecs)
+		if maxSecs <= 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s RT %s %.2fs\n", r.App, bar(r.RTSecs/maxSecs), r.RTSecs)
+		fmt.Fprintf(w, "%-10s VM %s %.2fs\n", "", bar(r.VMSecs/maxSecs), r.VMSecs)
+	}
+}
+
+// bar renders a 40-column proportional text bar.
+func bar(frac float64) string {
+	const width = 40
+	n := int(frac*width + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	out := make([]byte, width)
+	for i := range out {
+		if i < n {
+			out[i] = '#'
+		} else {
+			out[i] = ' '
+		}
+	}
+	return string(out)
+}
+
+// FaultSweepRow holds one application's cost as the page-fault service
+// time varies — one horizontal line of the paper's Figures 3 and 4.
+type FaultSweepRow struct {
+	App string
+	// RTMillis is the fixed RT-DSM cost (the line's vertical position).
+	RTMillis float64
+	// VMFastMillis / VMSlowMillis are the VM-DSM costs at the 122 µs fast
+	// exception and the 1200 µs Mach pager (the line's endpoints).
+	VMFastMillis, VMSlowMillis float64
+	// BreakEvenMicros is the page-fault service time at which the VM-DSM
+	// cost equals the RT-DSM cost; the line crosses the paper's diagonal
+	// there if it lies within [122, 1200].
+	BreakEvenMicros float64
+	// RTWins reports whether RT-DSM is cheaper even with fast exceptions
+	// (the whole line lies below the diagonal).
+	RTWins bool
+}
+
+// faultSweep computes one figure's rows given the cost components that do
+// and do not depend on the fault time.
+func faultSweep(ev *Evaluation, m cost.Model, includeCollection bool) []FaultSweepRow {
+	rows := make([]FaultSweepRow, 0, len(AppNames))
+	for _, app := range AppNames {
+		rt := ev.RT(app).Mean
+		vm := ev.VM(app).Mean
+		rtCycles := TrappingCyclesRT(rt, m)
+		vmFixed := cost.Cycles(0)
+		if includeCollection {
+			rtCycles += CollectionCyclesRT(rt, m)
+			vmFixed = CollectionCyclesVM(vm, m)
+		}
+		faults := float64(vm.WriteFaults)
+		r := FaultSweepRow{
+			App:          app,
+			RTMillis:     cost.Millis(rtCycles),
+			VMFastMillis: cost.Millis(vmFixed + vm.WriteFaults*cost.Micros(122)),
+			VMSlowMillis: cost.Millis(vmFixed + vm.WriteFaults*cost.Micros(1200)),
+		}
+		if faults > 0 {
+			r.BreakEvenMicros = (float64(rtCycles) - float64(vmFixed)) / faults / cost.CyclesPerMicrosecond
+		}
+		r.RTWins = r.RTMillis <= r.VMFastMillis
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// Figure3 computes the effect of varying page-fault cost on write trapping
+// (the paper's Figure 3).
+func Figure3(ev *Evaluation, m cost.Model) []FaultSweepRow {
+	return faultSweep(ev, m, false)
+}
+
+// Figure4 computes the effect of varying page-fault cost on the total cost
+// of write detection, trapping plus collection (the paper's Figure 4).
+func Figure4(ev *Evaluation, m cost.Model) []FaultSweepRow {
+	return faultSweep(ev, m, true)
+}
+
+// fprintSweep renders a fault sweep figure.
+func fprintSweep(w io.Writer, title string, rows []FaultSweepRow) {
+	fmt.Fprintln(w, title)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Application\tRT (ms)\tVM @122µs (ms)\tVM @1200µs (ms)\tbreak-even fault (µs)\tverdict")
+	for _, r := range rows {
+		verdict := "RT wins even with fast exceptions"
+		switch {
+		case r.BreakEvenMicros >= 122 && r.BreakEvenMicros <= 1200:
+			verdict = "crosses break-even in sweep range"
+		case !r.RTWins:
+			verdict = "VM wins across sweep"
+		}
+		be := "-"
+		if r.BreakEvenMicros > 0 {
+			be = fmt.Sprintf("%.0f", r.BreakEvenMicros)
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%s\t%s\n",
+			r.App, r.RTMillis, r.VMFastMillis, r.VMSlowMillis, be, verdict)
+	}
+	tw.Flush()
+}
+
+// FprintFigure3 renders Figure 3.
+func FprintFigure3(w io.Writer, ev *Evaluation, m cost.Model) {
+	fprintSweep(w, "Figure 3: write trapping cost vs page fault cost (per-processor ms)", Figure3(ev, m))
+}
+
+// FprintFigure4 renders Figure 4.
+func FprintFigure4(w io.Writer, ev *Evaluation, m cost.Model) {
+	fprintSweep(w, "Figure 4: total write detection cost vs page fault cost (per-processor ms)", Figure4(ev, m))
+}
+
+// UniprocessorRow holds the Section 4 uniprocessor comparison for one
+// application: the full write-detection cost with no communication.
+type UniprocessorRow struct {
+	App                            string
+	RTSecs, VMSecs, StandaloneSecs float64
+}
+
+// Uniprocessor runs an application on one processor under RT, VM and
+// standalone configurations, reproducing the paper's water discussion
+// (110.1 / 109.1 / 104.2 seconds: RT pays full trapping, VM pays one fault
+// per page and never diffs, standalone pays nothing).
+func Uniprocessor(app string, scale Scale) (UniprocessorRow, error) {
+	row := UniprocessorRow{App: app}
+	rt, err := RunApp(app, midway.Config{Nodes: 1, Strategy: midway.RT}, scale)
+	if err != nil {
+		return row, err
+	}
+	vm, err := RunApp(app, midway.Config{Nodes: 1, Strategy: midway.VM}, scale)
+	if err != nil {
+		return row, err
+	}
+	sa, err := RunApp(app, midway.Config{Nodes: 1, Strategy: midway.Standalone}, scale)
+	if err != nil {
+		return row, err
+	}
+	row.RTSecs, row.VMSecs, row.StandaloneSecs = rt.Seconds, vm.Seconds, sa.Seconds
+	return row, nil
+}
+
+// FprintUniprocessor renders the uniprocessor comparison.
+func FprintUniprocessor(w io.Writer, rows []UniprocessorRow) {
+	fmt.Fprintln(w, "Uniprocessor execution time (s): RT pays full trapping, VM one fault per page, standalone nothing")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Application\tRT-DSM\tVM-DSM\tstandalone")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\n", r.App, r.RTSecs, r.VMSecs, r.StandaloneSecs)
+	}
+	tw.Flush()
+}
+
+// AblationRow compares all four strategies on one application.
+type AblationRow struct {
+	App     string
+	Seconds map[string]float64
+	MB      map[string]float64
+}
+
+// Ablation computes the Section 3.5 design-space comparison: RT and VM
+// against the Blast (no detection, ship everything) and TwinDiff (no
+// detection, twin and diff everything) alternatives.
+func Ablation(ev *Evaluation) []AblationRow {
+	rows := make([]AblationRow, 0, len(AppNames))
+	for _, app := range AppNames {
+		r := AblationRow{App: app, Seconds: map[string]float64{}, MB: map[string]float64{}}
+		for strat, res := range ev.Results[app] {
+			r.Seconds[strat] = res.Seconds
+			r.MB[strat] = res.KBTransferredTotal() / 1024
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// FprintAblation renders the ablation comparison.
+func FprintAblation(w io.Writer, ev *Evaluation) {
+	fmt.Fprintf(w, "Section 3.5 ablation: all strategies, %d procs, %s scale\n", ev.Procs, ev.Scale)
+	strats := []string{"RT-DSM", "VM-DSM", "Blast", "TwinDiff"}
+	tw := newTabWriter(w)
+	fmt.Fprint(tw, "Application")
+	for _, s := range strats {
+		fmt.Fprintf(tw, "\t%s (s)\t%s (MB)", s, s)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range Ablation(ev) {
+		fmt.Fprintf(tw, "%s", r.App)
+		for _, s := range strats {
+			fmt.Fprintf(tw, "\t%.2f\t%.2f", r.Seconds[s], r.MB[s])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"midway"
+)
+
+// TestAppsOverTCP runs representative applications through real loopback
+// sockets, checking that the wire protocol carries the full workloads.
+func TestAppsOverTCP(t *testing.T) {
+	for _, app := range []string{"sor", "quicksort", "cholesky"} {
+		for _, strat := range []midway.Strategy{midway.RT, midway.VM} {
+			t.Run(fmt.Sprintf("%s/%v", app, strat), func(t *testing.T) {
+				res, err := RunApp(app, midway.Config{
+					Nodes:    4,
+					Strategy: strat,
+					UseTCP:   true,
+				}, ScaleSmall)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Total.Messages == 0 {
+					t.Error("no protocol messages sent")
+				}
+			})
+		}
+	}
+}
+
+// TestOddProcessorCounts exercises the partitioning edge cases: processor
+// counts that do not divide the problem sizes, including counts larger
+// than some partitions can fill.
+func TestOddProcessorCounts(t *testing.T) {
+	for _, app := range AppNames {
+		for _, procs := range []int{3, 5, 7} {
+			t.Run(fmt.Sprintf("%s/%dp", app, procs), func(t *testing.T) {
+				if _, err := RunApp(app, midway.Config{Nodes: procs, Strategy: midway.RT}, ScaleSmall); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestEagerMatchesLazy: the eager and lazy dirtybit schemes must produce
+// identical application results (they differ only in when timestamps are
+// assigned).
+func TestEagerMatchesLazy(t *testing.T) {
+	for _, app := range AppNames {
+		t.Run(app, func(t *testing.T) {
+			lazy, err := RunApp(app, midway.Config{Nodes: 4, Strategy: midway.RT}, ScaleSmall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eager, err := RunApp(app, midway.Config{
+				Nodes: 4, Strategy: midway.RT, EagerTimestamps: true,
+			}, ScaleSmall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diff := lazy.Checksum - eager.Checksum
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := lazy.Checksum
+			if scale < 0 {
+				scale = -scale
+			}
+			if diff > 1e-6*(1+scale) {
+				t.Errorf("checksums differ: lazy %g vs eager %g", lazy.Checksum, eager.Checksum)
+			}
+			// Trapping counts are identical: the schemes set the same
+			// dirtybits, only the stored value differs.
+			if lazy.Total.DirtybitsSet != eager.Total.DirtybitsSet {
+				t.Errorf("dirtybits set differ: lazy %d vs eager %d",
+					lazy.Total.DirtybitsSet, eager.Total.DirtybitsSet)
+			}
+		})
+	}
+}

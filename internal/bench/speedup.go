@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"midway"
+)
+
+// SpeedupRow holds one application's scaling curve under one strategy:
+// simulated execution time at each processor count, normalized against
+// the standalone (uninstrumented single-processor) run.
+type SpeedupRow struct {
+	App    string
+	System string
+	// Procs and Seconds are parallel slices: Seconds[i] is the simulated
+	// time at Procs[i] processors.
+	Procs   []int
+	Seconds []float64
+	// StandaloneSecs is the uninstrumented baseline.
+	StandaloneSecs float64
+}
+
+// Speedup returns the baseline-relative speedup at index i.
+func (r SpeedupRow) Speedup(i int) float64 {
+	if r.Seconds[i] <= 0 {
+		return 0
+	}
+	return r.StandaloneSecs / r.Seconds[i]
+}
+
+// SpeedupCurves measures the scaling of every application under the given
+// strategies across the processor counts, an extension of the paper's
+// 8-processor Figure 2 (their cluster had exactly eight DECstations).
+func SpeedupCurves(procCounts []int, strategies []midway.Strategy, scale Scale) ([]SpeedupRow, error) {
+	var rows []SpeedupRow
+	for _, app := range AppNames {
+		sa, err := RunApp(app, midway.Config{Nodes: 1, Strategy: midway.Standalone}, scale)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s standalone: %w", app, err)
+		}
+		for _, strat := range strategies {
+			row := SpeedupRow{
+				App:            app,
+				System:         strat.String(),
+				StandaloneSecs: sa.Seconds,
+			}
+			for _, procs := range procCounts {
+				res, err := RunApp(app, midway.Config{Nodes: procs, Strategy: strat}, scale)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s %v %dp: %w", app, strat, procs, err)
+				}
+				row.Procs = append(row.Procs, procs)
+				row.Seconds = append(row.Seconds, res.Seconds)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FprintSpeedup renders the scaling curves.
+func FprintSpeedup(w io.Writer, rows []SpeedupRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Scaling: simulated time (s) and speedup over the standalone baseline")
+	tw := newTabWriter(w)
+	fmt.Fprint(tw, "Application\tSystem\tstandalone")
+	for _, p := range rows[0].Procs {
+		fmt.Fprintf(tw, "\t%dp", p)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2fs", r.App, r.System, r.StandaloneSecs)
+		for i := range r.Procs {
+			fmt.Fprintf(tw, "\t%.2fs (%.1fx)", r.Seconds[i], r.Speedup(i))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,322 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"midway/internal/cost"
+	"midway/internal/stats"
+	"midway/internal/vmem"
+)
+
+// The cost arithmetic below reproduces the paper's method for Tables 3-5:
+// multiply the Table 2 invocation counts by the Table 1 primitive costs.
+
+// TrappingCyclesRT returns the write-trapping cost of an RT-DSM run.
+func TrappingCyclesRT(s stats.Snapshot, m cost.Model) cost.Cycles {
+	return s.DirtybitsSet*m.DirtybitSetDouble +
+		s.DirtybitsMisclassified*m.DirtybitSetPrivate
+}
+
+// TrappingCyclesVM returns the write-trapping cost of a VM-DSM run under
+// the given page-fault service cost.
+func TrappingCyclesVM(s stats.Snapshot, m cost.Model) cost.Cycles {
+	return s.WriteFaults * m.PageWriteFault
+}
+
+// CollectionCyclesRT returns the write-collection cost of an RT-DSM run:
+// dirtybit scans at the releaser plus timestamp updates at the requester.
+func CollectionCyclesRT(s stats.Snapshot, m cost.Model) cost.Cycles {
+	return s.CleanDirtybitsRead*m.DirtybitReadClean +
+		s.DirtyDirtybitsRead*m.DirtybitReadDirty +
+		s.DirtybitsUpdated*m.DirtybitUpdate
+}
+
+// CollectionCyclesVM returns the write-collection cost of a VM-DSM run:
+// page diffs (interpolated by observed run counts), re-protection calls,
+// and twin updates at the requester.
+func CollectionCyclesVM(s stats.Snapshot, m cost.Model) cost.Cycles {
+	var diffCycles cost.Cycles
+	if s.PagesDiffed > 0 {
+		avgRuns := int(s.DiffRuns / s.PagesDiffed)
+		diffCycles = s.PagesDiffed * m.DiffCost(avgRuns, vmem.WordsPerPage)
+	}
+	return diffCycles +
+		s.PagesWriteProtected*m.PageProtectRO +
+		cost.CopyCost(m.CopyWarmPerKB, int(s.TwinBytesUpdated))
+}
+
+// Memory reference counts (Table 5), using the paper's formulas.
+
+// wordsPerPage is the reference platform's 4-byte words per 4 KB page.
+const wordsPerPage = vmem.PageSize / 4
+
+// MemRefsTrapRT returns trapping memory references under RT-DSM: one
+// dirtybit store per instrumented write.
+func MemRefsTrapRT(s stats.Snapshot) uint64 {
+	return s.DirtybitsSet
+}
+
+// MemRefsCollRT returns collection memory references under RT-DSM: one
+// read per clean dirtybit, two per dirty dirtybit (read plus timestamp
+// store), and one per timestamp update at the requester.
+func MemRefsCollRT(s stats.Snapshot) uint64 {
+	return s.CleanDirtybitsRead + 2*s.DirtyDirtybitsRead + s.DirtybitsUpdated
+}
+
+// MemRefsTrapVM returns trapping memory references under VM-DSM: each
+// fault reads the page and writes the twin.
+func MemRefsTrapVM(s stats.Snapshot) uint64 {
+	return s.WriteFaults * 2 * wordsPerPage
+}
+
+// MemRefsCollVM returns collection memory references under VM-DSM: each
+// diff reads the page and the twin; each twinned word updated at the
+// requester is one more reference.
+func MemRefsCollVM(s stats.Snapshot) uint64 {
+	return s.PagesDiffed*2*wordsPerPage + s.TwinBytesUpdated/4
+}
+
+// newTabWriter returns the renderer style shared by all tables.
+func newTabWriter(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// FprintTable1 renders the primitive-operation cost model (the paper's
+// Table 1).  The values are the model constants; BenchmarkTable1* in the
+// repository root measures this implementation's real primitives.
+func FprintTable1(w io.Writer, m cost.Model) {
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "System\tPrimitive Operation\tTime (µs)\tCycles")
+	row := func(sys, op string, c cost.Cycles) {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%d\n", sys, op, float64(c)/cost.CyclesPerMicrosecond, c)
+	}
+	row("RT-DSM", "dirtybit set, word write", m.DirtybitSetWord)
+	row("", "dirtybit set, doubleword write", m.DirtybitSetDouble)
+	row("", "dirtybit set, private memory", m.DirtybitSetPrivate)
+	row("", "dirtybit read, clean", m.DirtybitReadClean)
+	row("", "dirtybit read, dirty", m.DirtybitReadDirty)
+	row("", "dirtybit update", m.DirtybitUpdate)
+	row("VM-DSM", "page write fault (copy+protect)", m.PageWriteFault)
+	row("", "page diff, none/all changed", m.PageDiffClean)
+	row("", "page diff, every other word", m.PageDiffWorst)
+	row("", "page protect read-write", m.PageProtectRW)
+	row("", "page protect read-only", m.PageProtectRO)
+	row("", "block copy per KB, cold", m.CopyColdPerKB)
+	row("", "block copy per KB, warm", m.CopyWarmPerKB)
+	tw.Flush()
+}
+
+// FprintTable2 renders per-processor invocation counts (the paper's
+// Table 2).
+func FprintTable2(w io.Writer, ev *Evaluation) {
+	tw := newTabWriter(w)
+	fmt.Fprintf(w, "Table 2: per-processor invocation counts (%d procs, %s scale)\n", ev.Procs, ev.Scale)
+	fmt.Fprint(tw, "System\tOperation")
+	for _, app := range AppNames {
+		fmt.Fprintf(tw, "\t%s", app)
+	}
+	fmt.Fprintln(tw)
+	rowU := func(sys, op string, get func(stats.Snapshot) uint64, vm bool) {
+		fmt.Fprintf(tw, "%s\t%s", sys, op)
+		for _, app := range AppNames {
+			r := ev.RT(app)
+			if vm {
+				r = ev.VM(app)
+			}
+			fmt.Fprintf(tw, "\t%d", get(r.Mean))
+		}
+		fmt.Fprintln(tw)
+	}
+	rowU("RT-DSM", "dirtybits set", func(s stats.Snapshot) uint64 { return s.DirtybitsSet }, false)
+	rowU("", "dirtybits misclassified", func(s stats.Snapshot) uint64 { return s.DirtybitsMisclassified }, false)
+	rowU("", "clean dirtybits read", func(s stats.Snapshot) uint64 { return s.CleanDirtybitsRead }, false)
+	rowU("", "dirty dirtybits read", func(s stats.Snapshot) uint64 { return s.DirtyDirtybitsRead }, false)
+	rowU("", "dirtybits updated", func(s stats.Snapshot) uint64 { return s.DirtybitsUpdated }, false)
+	rowU("", "data transferred (KB)", func(s stats.Snapshot) uint64 { return s.BytesTransferred / 1024 }, false)
+	fmt.Fprintf(tw, "\tpercent dirty data")
+	for _, app := range AppNames {
+		fmt.Fprintf(tw, "\t%.1f", ev.RT(app).Mean.PercentDirty())
+	}
+	fmt.Fprintln(tw)
+	rowU("VM-DSM", "write faults", func(s stats.Snapshot) uint64 { return s.WriteFaults }, true)
+	rowU("", "pages diffed", func(s stats.Snapshot) uint64 { return s.PagesDiffed }, true)
+	rowU("", "pages write protected", func(s stats.Snapshot) uint64 { return s.PagesWriteProtected }, true)
+	rowU("", "data updated in twins (KB)", func(s stats.Snapshot) uint64 { return s.TwinBytesUpdated / 1024 }, true)
+	rowU("", "data transferred (KB)", func(s stats.Snapshot) uint64 { return s.BytesTransferred / 1024 }, true)
+	tw.Flush()
+}
+
+// Table3Row holds one application's write-trapping cost summary.
+type Table3Row struct {
+	App      string
+	RTMillis float64
+	VMMillis float64
+}
+
+// Table3 computes the write-trapping time summary (the paper's Table 3).
+func Table3(ev *Evaluation, m cost.Model) []Table3Row {
+	rows := make([]Table3Row, 0, len(AppNames))
+	for _, app := range AppNames {
+		rows = append(rows, Table3Row{
+			App:      app,
+			RTMillis: cost.Millis(TrappingCyclesRT(ev.RT(app).Mean, m)),
+			VMMillis: cost.Millis(TrappingCyclesVM(ev.VM(app).Mean, m)),
+		})
+	}
+	return rows
+}
+
+// FprintTable3 renders Table 3.
+func FprintTable3(w io.Writer, ev *Evaluation, m cost.Model) {
+	fmt.Fprintln(w, "Table 3: write trapping time (ms, per-processor average)")
+	tw := newTabWriter(w)
+	fmt.Fprint(tw, "Operation")
+	for _, app := range AppNames {
+		fmt.Fprintf(tw, "\t%s", app)
+	}
+	fmt.Fprintln(tw)
+	rows := Table3(ev, m)
+	fmt.Fprint(tw, "RT-DSM trapping time")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "\t%.1f", r.RTMillis)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "VM-DSM trapping time")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "\t%.1f", r.VMMillis)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "RT-DSM trapping advantage")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "\t%.1f", r.VMMillis-r.RTMillis)
+	}
+	fmt.Fprintln(tw)
+	tw.Flush()
+}
+
+// Table4Row holds one application's write-collection cost summary.
+type Table4Row struct {
+	App string
+	// RT components (ms).
+	RTClean, RTDirty, RTUpdated, RTTotal float64
+	// VM components (ms).
+	VMDiffed, VMProtected, VMTwins, VMTotal float64
+}
+
+// Table4 computes the write-collection cost summary (the paper's Table 4).
+func Table4(ev *Evaluation, m cost.Model) []Table4Row {
+	rows := make([]Table4Row, 0, len(AppNames))
+	for _, app := range AppNames {
+		rt := ev.RT(app).Mean
+		vm := ev.VM(app).Mean
+		r := Table4Row{
+			App:       app,
+			RTClean:   cost.Millis(rt.CleanDirtybitsRead * m.DirtybitReadClean),
+			RTDirty:   cost.Millis(rt.DirtyDirtybitsRead * m.DirtybitReadDirty),
+			RTUpdated: cost.Millis(rt.DirtybitsUpdated * m.DirtybitUpdate),
+		}
+		r.RTTotal = r.RTClean + r.RTDirty + r.RTUpdated
+		var diffCycles cost.Cycles
+		if vm.PagesDiffed > 0 {
+			diffCycles = vm.PagesDiffed * m.DiffCost(int(vm.DiffRuns/vm.PagesDiffed), vmem.WordsPerPage)
+		}
+		r.VMDiffed = cost.Millis(diffCycles)
+		r.VMProtected = cost.Millis(vm.PagesWriteProtected * m.PageProtectRO)
+		r.VMTwins = cost.Millis(cost.CopyCost(m.CopyWarmPerKB, int(vm.TwinBytesUpdated)))
+		r.VMTotal = r.VMDiffed + r.VMProtected + r.VMTwins
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// FprintTable4 renders Table 4.
+func FprintTable4(w io.Writer, ev *Evaluation, m cost.Model) {
+	fmt.Fprintln(w, "Table 4: write collection cost (ms, per-processor average)")
+	tw := newTabWriter(w)
+	fmt.Fprint(tw, "System\tOperation")
+	for _, app := range AppNames {
+		fmt.Fprintf(tw, "\t%s", app)
+	}
+	fmt.Fprintln(tw)
+	rows := Table4(ev, m)
+	emit := func(sys, op string, get func(Table4Row) float64) {
+		fmt.Fprintf(tw, "%s\t%s", sys, op)
+		for _, r := range rows {
+			fmt.Fprintf(tw, "\t%.1f", get(r))
+		}
+		fmt.Fprintln(tw)
+	}
+	emit("RT-DSM", "clean dirtybits read", func(r Table4Row) float64 { return r.RTClean })
+	emit("", "dirty dirtybits read", func(r Table4Row) float64 { return r.RTDirty })
+	emit("", "dirtybits updated", func(r Table4Row) float64 { return r.RTUpdated })
+	emit("", "Total", func(r Table4Row) float64 { return r.RTTotal })
+	emit("VM-DSM", "pages diffed", func(r Table4Row) float64 { return r.VMDiffed })
+	emit("", "pages write protected", func(r Table4Row) float64 { return r.VMProtected })
+	emit("", "data updated in twins", func(r Table4Row) float64 { return r.VMTwins })
+	emit("", "Total", func(r Table4Row) float64 { return r.VMTotal })
+	emit("RT-DSM collection advantage", "", func(r Table4Row) float64 { return r.VMTotal - r.RTTotal })
+	tw.Flush()
+}
+
+// Table5Row holds one application's memory-reference summary (×1000).
+type Table5Row struct {
+	App                     string
+	RTTrap, RTColl, RTTotal uint64
+	VMTrap, VMColl, VMTotal uint64
+	RTAdvantage             int64
+}
+
+// Table5 computes the memory references incurred for write detection
+// (the paper's Table 5), in units of 1000 references.
+func Table5(ev *Evaluation) []Table5Row {
+	rows := make([]Table5Row, 0, len(AppNames))
+	for _, app := range AppNames {
+		rt := ev.RT(app).Mean
+		vm := ev.VM(app).Mean
+		r := Table5Row{
+			App:    app,
+			RTTrap: MemRefsTrapRT(rt) / 1000,
+			RTColl: MemRefsCollRT(rt) / 1000,
+			VMTrap: MemRefsTrapVM(vm) / 1000,
+			VMColl: MemRefsCollVM(vm) / 1000,
+		}
+		r.RTTotal = r.RTTrap + r.RTColl
+		r.VMTotal = r.VMTrap + r.VMColl
+		r.RTAdvantage = int64(r.VMTotal) - int64(r.RTTotal)
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// FprintTable5 renders Table 5.
+func FprintTable5(w io.Writer, ev *Evaluation) {
+	fmt.Fprintln(w, "Table 5: memory references for write detection (x1000, per-processor average)")
+	tw := newTabWriter(w)
+	fmt.Fprint(tw, "System\tOperation")
+	for _, app := range AppNames {
+		fmt.Fprintf(tw, "\t%s", app)
+	}
+	fmt.Fprintln(tw)
+	rows := Table5(ev)
+	emit := func(sys, op string, get func(Table5Row) uint64) {
+		fmt.Fprintf(tw, "%s\t%s", sys, op)
+		for _, r := range rows {
+			fmt.Fprintf(tw, "\t%d", get(r))
+		}
+		fmt.Fprintln(tw)
+	}
+	emit("RT-DSM", "write trapping", func(r Table5Row) uint64 { return r.RTTrap })
+	emit("", "write collection", func(r Table5Row) uint64 { return r.RTColl })
+	emit("", "Total", func(r Table5Row) uint64 { return r.RTTotal })
+	emit("VM-DSM", "write trapping", func(r Table5Row) uint64 { return r.VMTrap })
+	emit("", "write collection", func(r Table5Row) uint64 { return r.VMColl })
+	emit("", "Total", func(r Table5Row) uint64 { return r.VMTotal })
+	fmt.Fprint(tw, "RT-DSM memory reference advantage\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "\t%d", r.RTAdvantage)
+	}
+	fmt.Fprintln(tw)
+	tw.Flush()
+}

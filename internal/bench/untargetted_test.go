@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"midway"
+)
+
+func TestUntargettedSweep(t *testing.T) {
+	const lines = 16 * 1024
+	rows := UntargettedSweep(lines, 7)
+	if len(rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for _, r := range rows {
+		flat := r.Micros["flat dirtybits"]
+		queue := r.Micros["update queue"]
+		twol := r.Micros["two-level dirtybits"]
+		if flat <= 0 || queue <= 0 || twol <= 0 {
+			t.Fatalf("non-positive costs at %+v", r)
+		}
+		// The section's claims, as inequalities that hold at the sweep
+		// extremes:
+		if r.DirtyFraction <= 0.001 {
+			// Very sparse: both alternatives beat the flat scan.
+			if queue >= flat || twol >= flat {
+				t.Errorf("sparse %v: flat scan (%g) not dominated (queue %g, two-level %g)",
+					r.Sequential, flat, queue, twol)
+			}
+		}
+		if r.DirtyFraction >= 0.5 && !r.Sequential {
+			// Dense random: the queue's tripled trapping makes it the
+			// most expensive scheme.
+			if queue < flat {
+				t.Errorf("dense random: queue (%g) beat flat (%g)", queue, flat)
+			}
+		}
+	}
+}
+
+func TestCombineAblation(t *testing.T) {
+	rows, err := CombineAblation(4, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(AppNames) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Combining may never increase the data volume beyond noise.
+		if r.CombinedKB > r.PlainKB*1.05+1 {
+			t.Errorf("%s: combining increased transfer: %g -> %g KB", r.App, r.PlainKB, r.CombinedKB)
+		}
+	}
+	var sb strings.Builder
+	FprintCombine(&sb, rows)
+	if !strings.Contains(sb.String(), "water") {
+		t.Error("renderer missing rows")
+	}
+}
+
+func TestFprintUntargetted(t *testing.T) {
+	var sb strings.Builder
+	FprintUntargetted(&sb, 1024, UntargettedSweep(1024, 3))
+	out := sb.String()
+	for _, want := range []string{"flat dirtybits", "update queue", "two-level", "sequential", "random"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSpeedupCurves(t *testing.T) {
+	rows, err := SpeedupCurves([]int{1, 2}, []midway.Strategy{midway.RT}, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(AppNames) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Procs) != 2 || r.StandaloneSecs <= 0 {
+			t.Errorf("%s: malformed row %+v", r.App, r)
+		}
+		for i := range r.Procs {
+			if r.Seconds[i] <= 0 || r.Speedup(i) <= 0 {
+				t.Errorf("%s: non-positive time at %dp", r.App, r.Procs[i])
+			}
+		}
+	}
+	var sb strings.Builder
+	FprintSpeedup(&sb, rows)
+	if !strings.Contains(sb.String(), "speedup") {
+		t.Error("renderer output missing header")
+	}
+	FprintSpeedup(&sb, nil) // empty input is a no-op
+}

@@ -1,0 +1,82 @@
+// Package clock provides the two clocks a Midway node keeps.
+//
+// The Lamport clock orders updates to individual cache lines: RT-DSM
+// dirtybits are really timestamps drawn from this clock, which is advanced
+// and exchanged at synchronization points exactly as in [Lamport 78].
+//
+// The cycle clock accumulates simulated execution time in processor cycles.
+// Because entry consistency confines inter-node interaction to
+// synchronization messages, joining the receiver's cycle clock with
+// (sender's clock + message cost) at every message yields a conservative and
+// exact simulated-time model for the whole distributed computation: a node's
+// clock at any synchronization point equals the time that point would occur
+// on the reference hardware.
+package clock
+
+import "sync/atomic"
+
+// Lamport is a logical clock.  The zero value is a clock at time zero,
+// ready to use.  All methods are safe for concurrent use: application code
+// charges time while the node's protocol handler services remote requests.
+type Lamport struct {
+	t atomic.Int64
+}
+
+// Now returns the current logical time without advancing it.
+func (c *Lamport) Now() int64 {
+	return c.t.Load()
+}
+
+// Tick advances the clock by one and returns the new time.
+func (c *Lamport) Tick() int64 {
+	return c.t.Add(1)
+}
+
+// Witness merges an observed remote timestamp into the clock, so that the
+// local time becomes strictly greater than both the previous local time and
+// the remote time.  It returns the new local time.
+func (c *Lamport) Witness(remote int64) int64 {
+	for {
+		cur := c.t.Load()
+		next := cur + 1
+		if remote >= next {
+			next = remote + 1
+		}
+		if c.t.CompareAndSwap(cur, next) {
+			return next
+		}
+	}
+}
+
+// Cycle is a simulated processor-cycle clock.  The zero value reads zero.
+// Charge is called on the application's instruction path; Join is called by
+// the protocol when a message (carrying the sender's clock plus transit
+// cost) arrives.  Both are safe for concurrent use.
+type Cycle struct {
+	c atomic.Uint64
+}
+
+// Now returns the current simulated time in cycles.
+func (c *Cycle) Now() uint64 {
+	return c.c.Load()
+}
+
+// Charge advances the clock by n cycles and returns the new time.
+func (c *Cycle) Charge(n uint64) uint64 {
+	return c.c.Add(n)
+}
+
+// Join advances the clock to at least t, modelling the receipt of a message
+// sent at (remote) time t: the receiver cannot act on the message before the
+// moment it arrives.  It returns the clock's new value.
+func (c *Cycle) Join(t uint64) uint64 {
+	for {
+		cur := c.c.Load()
+		if t <= cur {
+			return cur
+		}
+		if c.c.CompareAndSwap(cur, t) {
+			return t
+		}
+	}
+}

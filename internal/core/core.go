@@ -1,0 +1,500 @@
+// Package core implements Midway, an entry-consistency distributed shared
+// memory system, with pluggable write-detection strategies.
+//
+// The paper's two contributions are implemented as interchangeable
+// strategies over the same consistency protocol:
+//
+//   - RT: compiler/runtime write detection.  Every store to shared memory
+//     sets a per-cache-line dirtybit, which is really a Lamport timestamp;
+//     write collection scans the dirtybits bound to a synchronization
+//     object and ships exactly the lines the requester has not seen.
+//
+//   - VM: virtual-memory write detection.  The first store to a clean page
+//     write-faults; the fault handler twins the page; write collection
+//     diffs dirty pages against their twins and manages per-lock
+//     incarnation-numbered update histories.
+//
+// Two further strategies from the paper's Section 3.5 round out the design
+// space: Blast (no detection; all bound data is shipped at every transfer)
+// and TwinDiff (no detection; all bound data is twinned and diffed at every
+// transfer).
+//
+// Under entry consistency, processes synchronize through locks and
+// barriers, each of which the programmer binds to the data it protects.
+// Data is made consistent at a processor only when that processor acquires
+// the guarding object, which is when write collection runs.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"midway/internal/cost"
+	"midway/internal/memory"
+	"midway/internal/stats"
+	"midway/internal/transport"
+)
+
+// Strategy selects a write-detection mechanism.
+type Strategy int
+
+const (
+	// RT is compiler/runtime write detection with dirtybit timestamps.
+	RT Strategy = iota
+	// VM is virtual-memory write detection with twins, diffs and
+	// incarnation numbers.
+	VM
+	// Blast performs no write detection: every transfer ships all data
+	// bound to the synchronization object (Section 3.5).
+	Blast
+	// TwinDiff performs no write detection: all bound data is twinned on
+	// arrival and diffed at every transfer (Section 3.5).
+	TwinDiff
+	// None disables both detection and collection.  It exists for the
+	// standalone (uninstrumented, single-node) baseline of Figure 2.
+	None
+)
+
+// String returns the strategy's name as used in reports.
+func (s Strategy) String() string {
+	switch s {
+	case RT:
+		return "RT-DSM"
+	case VM:
+		return "VM-DSM"
+	case Blast:
+		return "Blast"
+	case TwinDiff:
+		return "TwinDiff"
+	case None:
+		return "standalone"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy converts a name ("rt", "vm", "blast", "twin", "none") to a
+// Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "rt", "RT", "rt-dsm":
+		return RT, nil
+	case "vm", "VM", "vm-dsm":
+		return VM, nil
+	case "blast":
+		return Blast, nil
+	case "twin", "twindiff":
+		return TwinDiff, nil
+	case "none", "standalone":
+		return None, nil
+	}
+	return 0, fmt.Errorf("core: unknown strategy %q", s)
+}
+
+// Config describes a DSM system instance.
+type Config struct {
+	// Nodes is the number of processors.
+	Nodes int
+	// Strategy selects the write-detection mechanism.
+	Strategy Strategy
+	// Cost is the primitive-operation cost model; zero value means
+	// cost.Default().
+	Cost cost.Model
+	// Network is the interconnect cost model; zero value means
+	// cost.DefaultNetwork().
+	Network cost.NetworkParams
+	// RegionShift is log2 of the region size; zero means
+	// memory.DefaultRegionShift.
+	RegionShift uint
+	// Transport supplies the message network.  Nil means an in-process
+	// channel network.
+	Transport transport.Network
+	// LocalNode restricts this System to hosting a single node of a
+	// multi-process deployment (used with a TCP transport).  -1 (or zero
+	// value via NewSystem) hosts all nodes.
+	LocalNode int
+	// EagerTimestamps selects the eager dirtybit scheme, in which every
+	// store records the current Lamport time instead of the cheap pending
+	// marker (the paper's footnote 1 describes the lazy default).
+	EagerTimestamps bool
+	// CombineIncarnations enables the §3.4 alternative Midway chose not
+	// to implement: when a VM-DSM (or TwinDiff) releaser replies with
+	// several incarnations' updates, it first combines them so each
+	// address reflects only the most recent incarnation that wrote it,
+	// eliminating the redundant resends of uncombined histories at the
+	// cost of a merge pass.
+	CombineIncarnations bool
+	// Trace, when non-nil, receives one line per protocol event
+	// (acquisitions, transfers, barrier crossings) stamped with the
+	// node's simulated time.
+	Trace io.Writer
+}
+
+// ObjKind distinguishes locks from barriers in the object table.
+type ObjKind uint8
+
+const (
+	// ObjLock is a mutual-exclusion synchronization object.
+	ObjLock ObjKind = iota
+	// ObjBarrier is an all-processor synchronization object.
+	ObjBarrier
+)
+
+// object is the static description of a synchronization object, identical
+// on every node (SPMD setup).
+type object struct {
+	id      uint32
+	kind    ObjKind
+	name    string
+	manager int
+	parties int            // barriers only
+	binding []memory.Range // initial binding
+	// parts optionally records, per node, the sub-ranges that node writes
+	// between barrier episodes.  Only the Blast strategy needs it (it has
+	// no way to detect what changed); detection-based strategies ignore
+	// it.
+	parts [][]memory.Range
+}
+
+// LockID names a lock created by NewLock.
+type LockID uint32
+
+// BarrierID names a barrier created by NewBarrier.
+type BarrierID uint32
+
+// System is one DSM instance: the shared layout, the synchronization
+// object table, and the hosted nodes.
+type System struct {
+	cfg    Config
+	layout *memory.Layout
+	net    transport.Network
+	ownNet bool // we created the network and must close it
+	trace  *tracer
+
+	mu      sync.Mutex
+	objects []*object
+	frozen  bool
+	// presets records initial-content installations so strategies that
+	// twin data lazily (TwinDiff) can reconstruct the pristine image any
+	// node started from.
+	presets []preset
+
+	nodes []*Node // nil entries for nodes hosted elsewhere
+}
+
+// NewSystem creates a DSM system.  Shared memory allocation and
+// synchronization object creation must happen before Run.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("core: invalid node count %d", cfg.Nodes)
+	}
+	zero := cost.Model{}
+	if cfg.Cost == zero {
+		cfg.Cost = cost.Default()
+	}
+	if cfg.Network == (cost.NetworkParams{}) {
+		cfg.Network = cost.DefaultNetwork()
+	}
+	if cfg.RegionShift == 0 {
+		cfg.RegionShift = memory.DefaultRegionShift
+	}
+	s := &System{
+		cfg:    cfg,
+		layout: memory.NewLayout(cfg.RegionShift),
+		trace:  newTracer(cfg.Trace),
+	}
+	if cfg.Transport != nil {
+		if cfg.Transport.Nodes() != cfg.Nodes {
+			return nil, fmt.Errorf("core: transport has %d nodes, config has %d",
+				cfg.Transport.Nodes(), cfg.Nodes)
+		}
+		s.net = cfg.Transport
+	} else {
+		s.net = transport.NewChannelNetwork(cfg.Nodes)
+		s.ownNet = true
+	}
+	s.nodes = make([]*Node, cfg.Nodes)
+	local := cfg.LocalNode
+	for i := 0; i < cfg.Nodes; i++ {
+		if cfg.Transport != nil && local >= 0 && i != local {
+			continue // hosted by another process
+		}
+		s.nodes[i] = newNode(s, i)
+	}
+	return s, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Layout returns the shared memory layout.
+func (s *System) Layout() *memory.Layout { return s.layout }
+
+// Alloc reserves shared memory with the given cache line size
+// (1<<lineShift bytes).
+func (s *System) Alloc(name string, size uint32, lineShift uint) (memory.Addr, error) {
+	return s.layout.Alloc(name, size, memory.Shared, lineShift)
+}
+
+// MustAlloc is Alloc, panicking on error (setup-time convenience).
+func (s *System) MustAlloc(name string, size uint32, lineShift uint) memory.Addr {
+	a, err := s.Alloc(name, size, lineShift)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// AllocPrivate reserves private memory.  Instrumented stores reaching it
+// pay only the misclassification penalty.
+func (s *System) AllocPrivate(name string, size uint32) (memory.Addr, error) {
+	return s.layout.Alloc(name, size, memory.Private, 0)
+}
+
+// NewLock creates a lock.  The manager node is chosen by hashing the
+// object id across nodes, as in a static distributed directory.
+func (s *System) NewLock(name string, binding ...memory.Range) LockID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen {
+		panic("core: NewLock after Run")
+	}
+	id := uint32(len(s.objects))
+	s.objects = append(s.objects, &object{
+		id:      id,
+		kind:    ObjLock,
+		name:    name,
+		manager: int(id) % s.cfg.Nodes,
+		binding: append([]memory.Range(nil), binding...),
+	})
+	return LockID(id)
+}
+
+// NewBarrier creates a barrier for parties processors (0 means all nodes)
+// over the optionally bound data.
+func (s *System) NewBarrier(name string, parties int, binding ...memory.Range) BarrierID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen {
+		panic("core: NewBarrier after Run")
+	}
+	if parties <= 0 {
+		parties = s.cfg.Nodes
+	}
+	id := uint32(len(s.objects))
+	s.objects = append(s.objects, &object{
+		id:      id,
+		kind:    ObjBarrier,
+		name:    name,
+		manager: int(id) % s.cfg.Nodes,
+		parties: parties,
+		binding: append([]memory.Range(nil), binding...),
+	})
+	return BarrierID(id)
+}
+
+// SetBarrierParts records, per node, the sub-ranges of the barrier's bound
+// data that the node writes between episodes.  Only the Blast strategy
+// uses this information; the detecting strategies discover it at runtime.
+func (s *System) SetBarrierParts(b BarrierID, parts [][]memory.Range) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj := s.objects[uint32(b)]
+	if obj.kind != ObjBarrier {
+		panic("core: SetBarrierParts on a lock")
+	}
+	obj.parts = parts
+}
+
+// objectByID returns the object table entry.
+func (s *System) objectByID(id uint32) *object {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.objects) {
+		panic(fmt.Sprintf("core: unknown object %d", id))
+	}
+	return s.objects[id]
+}
+
+// Preset installs initial contents into every hosted node's copy of the
+// given range before the run starts, without trapping or counting the
+// writes.  It models program input that each process loads identically at
+// startup (as the paper's applications read their input files); in a
+// multi-process deployment every process must perform the same presets.
+// Preset panics if called after Run.
+func (s *System) Preset(a memory.Addr, data []byte) {
+	s.mu.Lock()
+	frozen := s.frozen
+	s.mu.Unlock()
+	if frozen {
+		panic("core: Preset after Run")
+	}
+	rg := memory.Range{Addr: a, Size: uint32(len(data))}
+	for _, n := range s.nodes {
+		if n != nil {
+			n.inst.WriteBytes(rg, data)
+		}
+	}
+	s.mu.Lock()
+	s.presets = append(s.presets, preset{rg: rg, data: append([]byte(nil), data...)})
+	s.mu.Unlock()
+}
+
+// preset is one recorded initial-content installation.
+type preset struct {
+	rg   memory.Range
+	data []byte
+}
+
+// pristineBound reconstructs the pre-run contents of the bound ranges as a
+// contiguous buffer: zeros overlaid with any presets.
+func (s *System) pristineBound(binding []memory.Range) []byte {
+	buf := make([]byte, rangesBytes(binding))
+	s.mu.Lock()
+	presets := s.presets
+	s.mu.Unlock()
+	off := uint32(0)
+	for _, rg := range binding {
+		for _, p := range presets {
+			inter, ok := rg.Intersect(p.rg)
+			if !ok {
+				continue
+			}
+			copy(buf[off+uint32(inter.Addr-rg.Addr):], p.data[inter.Addr-p.rg.Addr:][:inter.Size])
+		}
+		off += rg.Size
+	}
+	return buf
+}
+
+// Run executes fn once per hosted node, concurrently, each invocation
+// receiving that node's Proc handle.  It returns after every instance
+// finishes; a panic in any instance is recovered and returned as an error.
+// Run may be called once per System.
+func (s *System) Run(fn func(p *Proc)) error {
+	s.mu.Lock()
+	if s.frozen {
+		s.mu.Unlock()
+		return fmt.Errorf("core: Run called twice")
+	}
+	s.frozen = true
+	s.mu.Unlock()
+	s.layout.Freeze()
+
+	for _, n := range s.nodes {
+		if n != nil {
+			n.start()
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.nodes))
+	for i, n := range s.nodes {
+		if n == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("core: node %d panicked: %v", i, r)
+				}
+			}()
+			fn(&Proc{node: n})
+		}(i, n)
+	}
+	wg.Wait()
+
+	for _, n := range s.nodes {
+		if n != nil {
+			n.stop()
+		}
+	}
+	if s.ownNet {
+		s.net.Close()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Node returns the hosted node with the given id, or nil.
+func (s *System) Node(i int) *Node { return s.nodes[i] }
+
+// ReadFinal copies node 0's copy of the range into dst after a run has
+// completed.  It is the standard way to extract results: end the program
+// with a barrier (or lock acquisition) that makes the result consistent at
+// node 0, then read it here.
+func (s *System) ReadFinal(rg memory.Range, dst []byte) {
+	n := s.nodes[0]
+	if n == nil {
+		panic("core: ReadFinal requires node 0 to be hosted locally")
+	}
+	n.inst.ReadBytes(rg, dst)
+}
+
+// ReadFinalAt is ReadFinal against an arbitrary hosted node's copy.
+func (s *System) ReadFinalAt(node int, rg memory.Range, dst []byte) {
+	n := s.nodes[node]
+	if n == nil {
+		panic(fmt.Sprintf("core: node %d is not hosted locally", node))
+	}
+	n.inst.ReadBytes(rg, dst)
+}
+
+// Stats returns a snapshot of each hosted node's counters.
+func (s *System) Stats() []stats.Snapshot {
+	out := make([]stats.Snapshot, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		if n != nil {
+			out = append(out, n.st.Snapshot())
+		}
+	}
+	return out
+}
+
+// TotalStats returns the sum of all hosted nodes' counters.
+func (s *System) TotalStats() stats.Snapshot {
+	var t stats.Snapshot
+	for _, sn := range s.Stats() {
+		t.Add(sn)
+	}
+	return t
+}
+
+// MeanStats returns the per-processor average of all hosted nodes'
+// counters, the form the paper's Table 2 reports.
+func (s *System) MeanStats() stats.Snapshot {
+	t := s.TotalStats()
+	n := uint64(0)
+	for _, nd := range s.nodes {
+		if nd != nil {
+			n++
+		}
+	}
+	t.Scale(n)
+	return t
+}
+
+// ExecutionCycles returns the simulated execution time: the maximum final
+// cycle clock across hosted nodes.
+func (s *System) ExecutionCycles() uint64 {
+	var maxC uint64
+	for _, n := range s.nodes {
+		if n != nil && n.cycles.Now() > maxC {
+			maxC = n.cycles.Now()
+		}
+	}
+	return maxC
+}
+
+// ExecutionSeconds returns the simulated execution time in seconds on the
+// reference 25 MHz processor.
+func (s *System) ExecutionSeconds() float64 {
+	return cost.Seconds(s.ExecutionCycles())
+}

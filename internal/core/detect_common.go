@@ -1,0 +1,83 @@
+package core
+
+import (
+	"midway/internal/cost"
+	"midway/internal/memory"
+	"midway/internal/proto"
+)
+
+// rangesBytes returns the total size of a binding in bytes.
+func rangesBytes(rs []memory.Range) uint32 {
+	var n uint32
+	for _, r := range rs {
+		n += r.Size
+	}
+	return n
+}
+
+// readBoundUpdates reads the current contents of every bound range into
+// one update per range, stamped with ts.
+func (n *Node) readBoundUpdates(binding []memory.Range, ts int64) []proto.Update {
+	ups := make([]proto.Update, 0, len(binding))
+	for _, rg := range binding {
+		if rg.Size == 0 {
+			continue
+		}
+		buf := make([]byte, rg.Size)
+		n.inst.ReadBytes(rg, buf)
+		ups = append(ups, proto.Update{Addr: rg.Addr, TS: ts, Data: buf})
+	}
+	return ups
+}
+
+// filterUpdates keeps only the portions of the updates that intersect the
+// binding.
+func filterUpdates(us []proto.Update, binding []memory.Range) []proto.Update {
+	var out []proto.Update
+	for _, u := range us {
+		urg := u.Range()
+		for _, brg := range binding {
+			inter, ok := urg.Intersect(brg)
+			if !ok {
+				continue
+			}
+			lo := inter.Addr - urg.Addr
+			out = append(out, proto.Update{
+				Addr: inter.Addr,
+				TS:   u.TS,
+				Data: u.Data[lo : uint32(lo)+inter.Size],
+			})
+		}
+	}
+	return out
+}
+
+// concatBound copies the current contents of the bound ranges into one
+// contiguous buffer (the TwinDiff strategy's twin layout).
+func (n *Node) concatBound(binding []memory.Range) []byte {
+	buf := make([]byte, rangesBytes(binding))
+	off := uint32(0)
+	for _, rg := range binding {
+		n.inst.ReadBytes(rg, buf[off:off+rg.Size])
+		off += rg.Size
+	}
+	return buf
+}
+
+// noneDetector disables detection and collection entirely; it backs the
+// standalone (uninstrumented, single-node) baseline configuration.
+type noneDetector struct{}
+
+func (noneDetector) trapWrite(memory.Addr, uint32, *memory.Region) {}
+
+func (noneDetector) collectLock(lk *lockState, req *proto.LockAcquire, exclusive bool) (*proto.LockGrant, cost.Cycles) {
+	return &proto.LockGrant{}, 0
+}
+
+func (noneDetector) applyLock(*lockState, *proto.LockGrant) cost.Cycles { return 0 }
+
+func (noneDetector) collectBarrier(*barrierState) ([]proto.Update, cost.Cycles) {
+	return nil, 0
+}
+
+func (noneDetector) applyBarrier(*barrierState, *proto.BarrierRelease) cost.Cycles { return 0 }

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"midway/internal/memory"
+)
+
+// TestMisclassifiedWrites checks the six-cycle private-template path: an
+// instrumented store that reaches a private region is counted but has no
+// other effect.
+func TestMisclassifiedWrites(t *testing.T) {
+	s := newTestSystem(t, 1, RT)
+	priv, err := s.AllocPrivate("scratch", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Run(func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.WriteU64(priv+memory.Addr(8*i%64), uint64(i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Node(0).Stats()
+	if st.DirtybitsMisclassified != 10 {
+		t.Errorf("misclassified = %d, want 10", st.DirtybitsMisclassified)
+	}
+	if st.DirtybitsSet != 0 {
+		t.Errorf("private writes set %d dirtybits", st.DirtybitsSet)
+	}
+}
+
+// TestAreaWriteMarksAllLines checks that a structure-assignment store marks
+// every covered cache line.
+func TestAreaWriteMarksAllLines(t *testing.T) {
+	s := newTestSystem(t, 1, RT)
+	addr := s.MustAlloc("block", 256, 3) // 8-byte lines
+	err := s.Run(func(p *Proc) {
+		p.WriteBytes(memory.Range{Addr: addr, Size: 64}, make([]byte, 64))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Node(0).Stats()
+	if st.DirtybitsSet != 8 {
+		t.Errorf("area write over 8 lines set %d dirtybits", st.DirtybitsSet)
+	}
+}
+
+// TestVMFaultAmortization: many writes to one page take exactly one fault.
+func TestVMFaultAmortization(t *testing.T) {
+	s := newTestSystem(t, 1, VM)
+	addr := s.MustAlloc("page", 4096, 3)
+	err := s.Run(func(p *Proc) {
+		for i := 0; i < 512; i++ {
+			p.WriteU64(addr+memory.Addr(8*i), uint64(i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Node(0).Stats()
+	if st.WriteFaults != 1 {
+		t.Errorf("512 writes to one page took %d faults, want 1", st.WriteFaults)
+	}
+}
+
+// TestRTExactlyOnce: a value relayed through two different paths (lock and
+// barrier) is applied at most once, never regressing to stale data.
+func TestRTExactlyOnce(t *testing.T) {
+	s := newTestSystem(t, 2, RT)
+	addr := s.MustAlloc("cell", 8, 3)
+	rg := memory.Range{Addr: addr, Size: 8}
+	lock := s.NewLock("cell", rg)
+	bar := s.NewBarrier("sync", 0, rg)
+	err := s.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Acquire(lock)
+			p.WriteU64(addr, 111)
+			p.Release(lock)
+		}
+		p.Barrier(bar) // distributes 111 to node 1
+		if p.ID() == 1 {
+			// Node 1 now also pulls the lock: the grant must not clobber
+			// anything and the value stays 111.
+			p.Acquire(lock)
+			if got := p.ReadU64(addr); got != 111 {
+				panic(fmt.Sprintf("after lock: %d", got))
+			}
+			p.WriteU64(addr, 222)
+			p.Release(lock)
+		}
+		p.Barrier(bar)
+		if got := p.ReadU64(addr); got != 222 {
+			panic(fmt.Sprintf("node %d final: %d", p.ID(), got))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVMFullDataRule: when a requester misses more incarnations than the
+// bound data's size can justify, the releaser ships full data instead of
+// history.
+func TestVMFullDataRule(t *testing.T) {
+	s := newTestSystem(t, 2, VM)
+	addr := s.MustAlloc("obj", 64, 3)
+	lock := s.NewLock("obj", memory.Range{Addr: addr, Size: 64})
+	bar := s.NewBarrier("sync", 0)
+	err := s.Run(func(p *Proc) {
+		if p.ID() == 1 {
+			// Build a long history: many incarnations each touching the
+			// whole object (node 0 and 1 alternate via the manager).
+			for i := 0; i < 10; i++ {
+				p.Acquire(lock)
+				for w := 0; w < 8; w++ {
+					p.WriteU64(addr+memory.Addr(8*w), uint64(i*100+w))
+				}
+				p.Release(lock)
+				p.Barrier(bar)
+				p.Barrier(bar)
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				p.Barrier(bar)
+				if i == 9 {
+					// One late acquisition after ten incarnations: the
+					// history (10 × 64 bytes) exceeds the bound 64 bytes,
+					// so this must be a full-data grant with current
+					// values.
+					p.Acquire(lock)
+					for w := 0; w < 8; w++ {
+						if got := p.ReadU64(addr + memory.Addr(8*w)); got != uint64(900+w) {
+							panic(fmt.Sprintf("word %d = %d", w, got))
+						}
+					}
+					p.Release(lock)
+				}
+				p.Barrier(bar)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// History trimming keeps the releaser's memory bounded: whatever node
+	// currently owns the lock must retain at most 64 bytes of history.
+	for i := 0; i < 2; i++ {
+		n := s.Node(i)
+		n.mu.Lock()
+		lk := n.lockState(uint32(lock))
+		total := 0
+		for _, h := range lk.history {
+			for _, u := range h.Updates {
+				total += len(u.Data)
+			}
+		}
+		n.mu.Unlock()
+		if total > 64 {
+			t.Errorf("node %d retains %d bytes of history for a 64-byte binding", i, total)
+		}
+	}
+}
+
+// TestEagerTimestamps runs the shared-counter and barrier workloads under
+// the eager dirtybit scheme.
+func TestEagerTimestamps(t *testing.T) {
+	s, err := NewSystem(Config{Nodes: 4, Strategy: RT, EagerTimestamps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.MustAlloc("counter", 8, 3)
+	slots := s.MustAlloc("slots", 8*4, 3)
+	lock := s.NewLock("counter", memory.Range{Addr: addr, Size: 8})
+	bar := s.NewBarrier("xch", 0, memory.Range{Addr: slots, Size: 32})
+	const rounds = 10
+	err = s.Run(func(p *Proc) {
+		me := p.ID()
+		for r := 1; r <= rounds; r++ {
+			p.Acquire(lock)
+			p.WriteU64(addr, p.ReadU64(addr)+1)
+			p.Release(lock)
+			p.WriteU64(slots+memory.Addr(8*me), uint64(me*1000+r))
+			p.Barrier(bar)
+			for j := 0; j < 4; j++ {
+				if got := p.ReadU64(slots + memory.Addr(8*j)); got != uint64(j*1000+r) {
+					panic(fmt.Sprintf("node %d: slot %d = %d", me, j, got))
+				}
+			}
+			p.Barrier(bar)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	for i := 0; i < 4; i++ {
+		n := s.Node(i)
+		n.mu.Lock()
+		owner := n.lockState(uint32(lock)).owner
+		n.mu.Unlock()
+		if owner {
+			got = n.inst.ReadU64(addr)
+		}
+	}
+	if got != 4*rounds {
+		t.Errorf("eager counter = %d, want %d", got, 4*rounds)
+	}
+}
+
+// TestRandomizedCommutativeOps hammers the protocol with a random schedule
+// of lock-guarded increments on random cells under every strategy; because
+// addition commutes, the final per-cell totals are schedule-independent.
+func TestRandomizedCommutativeOps(t *testing.T) {
+	for _, strat := range allStrategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			const (
+				nodes = 4
+				cells = 16
+				ops   = 200
+			)
+			s := newTestSystem(t, nodes, strat)
+			arr := s.MustAlloc("cells", 8*cells, 3)
+			locks := make([]LockID, cells)
+			for c := 0; c < cells; c++ {
+				locks[c] = s.NewLock(fmt.Sprintf("cell%d", c),
+					memory.Range{Addr: arr + memory.Addr(8*c), Size: 8})
+			}
+			done := s.NewBarrier("done", 0)
+
+			// Deterministic per-node op streams.
+			want := make([]uint64, cells)
+			streams := make([][]int, nodes)
+			rng := rand.New(rand.NewSource(99))
+			for n := 0; n < nodes; n++ {
+				streams[n] = make([]int, ops)
+				for i := range streams[n] {
+					c := rng.Intn(cells)
+					streams[n][i] = c
+					want[c] += uint64(n + 1)
+				}
+			}
+
+			err := s.Run(func(p *Proc) {
+				me := p.ID()
+				for _, c := range streams[me] {
+					a := arr + memory.Addr(8*c)
+					p.Acquire(locks[c])
+					p.WriteU64(a, p.ReadU64(a)+uint64(me+1))
+					p.Release(locks[c])
+				}
+				p.Barrier(done)
+				// Everyone verifies every cell by acquiring its lock.
+				for c := 0; c < cells; c++ {
+					p.AcquireShared(locks[c])
+					if got := p.ReadU64(arr + memory.Addr(8*c)); got != want[c] {
+						panic(fmt.Sprintf("node %d: cell %d = %d, want %d", me, c, got, want[c]))
+					}
+					p.Release(locks[c])
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAppPanicsPropagate: a panic in the application function surfaces as
+// a Run error rather than crashing the process.
+func TestAppPanicsPropagate(t *testing.T) {
+	s := newTestSystem(t, 2, RT)
+	err := s.Run(func(p *Proc) {
+		if p.ID() == 1 {
+			panic("boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("Run returned nil after panic")
+	}
+}
+
+// TestMisuseDetection: recursive acquire, stray release, and rebinding
+// without an exclusive hold are all programming errors that panic.
+func TestMisuseDetection(t *testing.T) {
+	run := func(name string, fn func(p *Proc, l LockID)) {
+		t.Run(name, func(t *testing.T) {
+			s := newTestSystem(t, 1, RT)
+			addr := s.MustAlloc("x", 8, 3)
+			l := s.NewLock("x", memory.Range{Addr: addr, Size: 8})
+			if err := s.Run(func(p *Proc) { fn(p, l) }); err == nil {
+				t.Error("misuse not detected")
+			}
+		})
+	}
+	run("recursive acquire", func(p *Proc, l LockID) {
+		p.Acquire(l)
+		p.Acquire(l)
+	})
+	run("stray release", func(p *Proc, l LockID) {
+		p.Release(l)
+	})
+	run("rebind without hold", func(p *Proc, l LockID) {
+		p.Rebind(l)
+	})
+	run("rebind under shared hold", func(p *Proc, l LockID) {
+		p.AcquireShared(l)
+		p.Rebind(l)
+	})
+}
+
+// TestSimulatedTimeAdvances: communication costs show up on the simulated
+// clock, and a remote acquisition costs at least a round trip.
+func TestSimulatedTimeAdvances(t *testing.T) {
+	s := newTestSystem(t, 2, RT)
+	addr := s.MustAlloc("x", 8, 3)
+	l := s.NewLock("x", memory.Range{Addr: addr, Size: 8})
+	bar := s.NewBarrier("done", 0)
+	err := s.Run(func(p *Proc) {
+		if p.ID() == 1 {
+			p.Acquire(l) // remote: manager on node 0
+			p.Release(l)
+		}
+		p.Barrier(bar)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-way latency is 12,500 cycles by default; an acquire is at least
+	// two messages.
+	if c := s.Node(1).Cycles(); c < 25000 {
+		t.Errorf("node 1 simulated only %d cycles after a remote acquire", c)
+	}
+	// The barrier joins clocks: both nodes end within a message cost of
+	// each other.
+	c0, c1 := s.Node(0).Cycles(), s.Node(1).Cycles()
+	diff := int64(c0) - int64(c1)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 100000 {
+		t.Errorf("clocks diverged by %d cycles across a barrier", diff)
+	}
+}
+
+// TestRunTwiceFails: a System is single-use.
+func TestRunTwiceFails(t *testing.T) {
+	s := newTestSystem(t, 1, RT)
+	if err := s.Run(func(p *Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(func(p *Proc) {}); err == nil {
+		t.Error("second Run succeeded")
+	}
+}

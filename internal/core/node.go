@@ -1,0 +1,516 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"midway/internal/clock"
+	"midway/internal/cost"
+	"midway/internal/memory"
+	"midway/internal/proto"
+	"midway/internal/stats"
+	"midway/internal/transport"
+	"midway/internal/vmem"
+)
+
+// detector is the strategy interface: write trapping on the store path and
+// write collection/application at synchronization points.  Implementations
+// charge primitive-operation costs and update the node's counters; the
+// returned cycle figures are used to time-stamp the resulting protocol
+// messages.
+type detector interface {
+	// trapWrite is invoked after every instrumented store of size bytes
+	// at a within region r.
+	trapWrite(a memory.Addr, size uint32, r *memory.Region)
+
+	// collectLock gathers the updates a requester needs, given the
+	// requester's last consistency point, and advances the lock's local
+	// bookkeeping (timestamps or incarnations).  exclusive reports
+	// whether ownership is being transferred.  It returns the grant
+	// fields and the cycles the collection consumed.
+	collectLock(lk *lockState, req *proto.LockAcquire, exclusive bool) (*proto.LockGrant, cost.Cycles)
+
+	// applyLock incorporates a received grant at the requesting node,
+	// returning the cycles consumed.
+	applyLock(lk *lockState, g *proto.LockGrant) cost.Cycles
+
+	// collectBarrier gathers this node's modifications to the barrier's
+	// bound data since the last episode.
+	collectBarrier(b *barrierState) ([]proto.Update, cost.Cycles)
+
+	// applyBarrier incorporates the merged updates from other nodes.
+	applyBarrier(b *barrierState, rel *proto.BarrierRelease) cost.Cycles
+}
+
+// lockState is one node's view of a lock.
+type lockState struct {
+	id  uint32
+	obj *object
+	// owner marks this node as the lock's data authority (the most recent
+	// exclusive holder, or the initial owner).
+	owner bool
+	// held marks the lock as currently acquired by this node's
+	// application.
+	held bool
+	mode proto.Mode
+	// binding is the lock's current data binding (travels with the lock).
+	binding []memory.Range
+	// rebound marks the binding as changed since the last transfer; the
+	// next VM-DSM transfer ships full data without diffing.
+	rebound bool
+	// bindGen counts rebindings over the lock's lifetime; it travels with
+	// grants so a releaser can tell that a requester's consistency record
+	// describes an older binding and must be ignored.
+	bindGen uint64
+	// reboundInc is the incarnation at which the most recent rebinding
+	// took effect; requesters whose lastIncarnation predates it get full
+	// data.
+	reboundInc uint64
+
+	// lastTime is the RT-DSM consistency timestamp: the logical time at
+	// which this node's copy of the bound data was last known complete.
+	lastTime int64
+	// lastInc is the VM-DSM analogue.
+	lastInc uint64
+	// inc is the lock's current incarnation (meaningful at the owner).
+	inc uint64
+	// baseInc is the incarnation preceding the oldest retained history
+	// entry; requesters whose lastInc is below it receive full data.
+	baseInc uint64
+	// history holds prior incarnations' updates (VM-DSM and TwinDiff),
+	// newest last, trimmed by the full-data rule.
+	history []proto.HistoryEntry
+	// accum holds updates discovered by page diffs that belong to this
+	// lock but have not yet been folded into an incarnation (VM-DSM).
+	accum []proto.Update
+	// twin is the TwinDiff strategy's snapshot of the bound data.
+	twin []byte
+
+	// forwardedTo records where ownership went when this node granted the
+	// lock away, so late-arriving forwards can chase the new owner.
+	forwardedTo int
+	// waiting queues transfer requests that arrived while the lock was
+	// held.
+	waiting []*pendingReq
+	// releaseCycles records the simulated time of the last local release,
+	// so a grant performed later by the protocol handler is stamped with
+	// the time the lock actually became free.
+	releaseCycles uint64
+}
+
+// pendingReq is a queued transfer request plus its simulated arrival time.
+type pendingReq struct {
+	req     *proto.LockAcquire
+	arrival uint64
+}
+
+// mgrLock is the manager-side state of a lock: which node currently holds
+// ownership (optimistically updated as transfers are brokered).
+type mgrLock struct {
+	owner int
+}
+
+// barrierState is one node's view of a barrier.
+type barrierState struct {
+	id      uint32
+	obj     *object
+	epoch   uint64
+	binding []memory.Range
+	// lastTime is the RT-DSM consistency timestamp of the barrier-bound
+	// data at this node.
+	lastTime int64
+	// accum holds updates discovered by page diffs that belong to this
+	// barrier but have not yet been shipped (VM-DSM).
+	accum []proto.Update
+	// twin is the TwinDiff strategy's snapshot of the bound data.
+	twin []byte
+}
+
+// bmgrBarrier is the barrier manager's per-barrier state.
+type bmgrBarrier struct {
+	epoch   uint64
+	entered []*proto.BarrierEnter
+	// arrivals records the simulated arrival time of each enter message.
+	arrivals []uint64
+}
+
+// reply carries a grant or barrier release from the protocol handler to
+// the waiting application goroutine, together with the message's
+// simulated arrival time.
+type reply struct {
+	grant   *proto.LockGrant
+	release *proto.BarrierRelease
+	arrival uint64
+}
+
+// Node is one processor of the DSM system.
+type Node struct {
+	id   int
+	sys  *System
+	inst *memory.Instance
+	vm   *vmem.Table
+	conn transport.Conn
+	cost cost.Model
+	netp cost.NetworkParams
+
+	cycles  clock.Cycle
+	lamport clock.Lamport
+	st      stats.Node
+	det     detector
+
+	mu       sync.Mutex
+	locks    map[uint32]*lockState
+	mgr      map[uint32]*mgrLock
+	barriers map[uint32]*barrierState
+	bmgr     map[uint32]*bmgrBarrier
+
+	replyCh chan reply
+	done    chan struct{}
+}
+
+func newNode(s *System, id int) *Node {
+	inst := memory.NewInstance(s.layout)
+	n := &Node{
+		id:       id,
+		sys:      s,
+		inst:     inst,
+		conn:     s.net.Conn(id),
+		cost:     s.cfg.Cost,
+		netp:     s.cfg.Network,
+		locks:    make(map[uint32]*lockState),
+		mgr:      make(map[uint32]*mgrLock),
+		barriers: make(map[uint32]*barrierState),
+		bmgr:     make(map[uint32]*bmgrBarrier),
+		replyCh:  make(chan reply, 1),
+		done:     make(chan struct{}),
+	}
+	switch s.cfg.Strategy {
+	case RT:
+		n.det = &rtDetector{n: n, eager: s.cfg.EagerTimestamps}
+	case VM:
+		n.vm = vmem.NewTable(inst)
+		n.det = &vmDetector{n: n}
+	case Blast:
+		n.det = &blastDetector{n: n}
+	case TwinDiff:
+		n.det = &twinDetector{n: n}
+	case None:
+		n.det = noneDetector{}
+	default:
+		panic(fmt.Sprintf("core: unknown strategy %v", s.cfg.Strategy))
+	}
+	return n
+}
+
+// ID returns the node's processor number.
+func (n *Node) ID() int { return n.id }
+
+// Cycles returns the node's current simulated time.
+func (n *Node) Cycles() uint64 { return n.cycles.Now() }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() stats.Snapshot { return n.st.Snapshot() }
+
+// start launches the protocol handler.
+func (n *Node) start() {
+	go n.handlerLoop()
+}
+
+// stop shuts the protocol handler down.
+func (n *Node) stop() {
+	// A self-addressed shutdown unblocks the handler even on transports
+	// that do not support Close-driven unblocking.
+	_ = n.conn.Send(transport.Message{From: n.id, To: n.id, Kind: proto.KindShutdown})
+	<-n.done
+	n.conn.Close()
+}
+
+// send transmits a protocol message, stamping it with the node's simulated
+// clock and charging the statistics counters.
+func (n *Node) send(to int, kind proto.Kind, payload []byte) {
+	m := transport.Message{
+		From:    n.id,
+		To:      to,
+		Kind:    kind,
+		Time:    n.cycles.Now(),
+		Payload: payload,
+	}
+	if to != n.id {
+		n.st.Messages.Add(1)
+		n.st.MessageBytes.Add(uint64(m.Size()))
+	}
+	if err := n.conn.Send(m); err != nil {
+		panic(fmt.Sprintf("core: node %d send %v to %d: %v", n.id, kind, to, err))
+	}
+}
+
+// sendAt is send with an explicit simulated timestamp, used when the
+// logical send time differs from the node's current clock (e.g. a grant
+// performed by the protocol handler for a lock that was released earlier).
+func (n *Node) sendAt(to int, kind proto.Kind, payload []byte, at uint64) {
+	m := transport.Message{From: n.id, To: to, Kind: kind, Time: at, Payload: payload}
+	if to != n.id {
+		n.st.Messages.Add(1)
+		n.st.MessageBytes.Add(uint64(m.Size()))
+	}
+	if err := n.conn.Send(m); err != nil {
+		panic(fmt.Sprintf("core: node %d send %v to %d: %v", n.id, kind, to, err))
+	}
+}
+
+// arrivalTime computes the simulated arrival time of a message.  It does
+// NOT advance the node's cycle clock: protocol work performed by the
+// runtime thread on behalf of other processors must not inflate the local
+// application's time.  The clock joins an arrival only when the
+// application itself blocks for the message (grants and barrier
+// releases).
+func (n *Node) arrivalTime(m transport.Message) uint64 {
+	t := m.Time
+	if m.From != m.To {
+		t += n.netp.MessageCycles(m.Size())
+	}
+	return t
+}
+
+// handlerLoop is the node's protocol-handler goroutine: the analogue of
+// the Midway runtime thread that services paging and lock requests while
+// the application computes.
+func (n *Node) handlerLoop() {
+	defer close(n.done)
+	for {
+		m, err := n.conn.Recv()
+		if err != nil {
+			return
+		}
+		arrival := n.arrivalTime(m)
+		switch m.Kind {
+		case proto.KindShutdown:
+			return
+		case proto.KindLockAcquire:
+			req, err := proto.DecodeLockAcquire(m.Payload)
+			if err != nil {
+				panic(fmt.Sprintf("core: node %d: %v", n.id, err))
+			}
+			n.managerAcquire(req, arrival)
+		case proto.KindLockForward:
+			req, err := proto.DecodeLockAcquire(m.Payload)
+			if err != nil {
+				panic(fmt.Sprintf("core: node %d: %v", n.id, err))
+			}
+			n.ownerForward(req, arrival)
+		case proto.KindLockGrant:
+			g, err := proto.DecodeLockGrant(m.Payload)
+			if err != nil {
+				panic(fmt.Sprintf("core: node %d: %v", n.id, err))
+			}
+			// Apply before releasing the waiting application, so a
+			// forward chasing the new owner never observes stale state.
+			n.applyGrant(g, arrival)
+			n.replyCh <- reply{grant: g, arrival: arrival}
+		case proto.KindBarrierEnter:
+			e, err := proto.DecodeBarrierEnter(m.Payload)
+			if err != nil {
+				panic(fmt.Sprintf("core: node %d: %v", n.id, err))
+			}
+			n.managerBarrierEnter(e, arrival)
+		case proto.KindBarrierRelease:
+			r, err := proto.DecodeBarrierRelease(m.Payload)
+			if err != nil {
+				panic(fmt.Sprintf("core: node %d: %v", n.id, err))
+			}
+			n.replyCh <- reply{release: r, arrival: arrival}
+		default:
+			panic(fmt.Sprintf("core: node %d: unexpected message kind %v", n.id, m.Kind))
+		}
+	}
+}
+
+// lockState returns (creating on first touch) the node's state for a lock.
+// Caller holds n.mu.
+func (n *Node) lockState(id uint32) *lockState {
+	lk := n.locks[id]
+	if lk == nil {
+		obj := n.sys.objectByID(id)
+		if obj.kind != ObjLock {
+			panic(fmt.Sprintf("core: object %d (%s) is not a lock", id, obj.name))
+		}
+		lk = &lockState{
+			id:          id,
+			obj:         obj,
+			owner:       n.id == obj.manager,
+			binding:     append([]memory.Range(nil), obj.binding...),
+			forwardedTo: -1,
+		}
+		n.locks[id] = lk
+	}
+	return lk
+}
+
+// barrierState returns (creating on first touch) the node's state for a
+// barrier.  Caller holds n.mu.
+func (n *Node) barrierState(id uint32) *barrierState {
+	b := n.barriers[id]
+	if b == nil {
+		obj := n.sys.objectByID(id)
+		if obj.kind != ObjBarrier {
+			panic(fmt.Sprintf("core: object %d (%s) is not a barrier", id, obj.name))
+		}
+		b = &barrierState{
+			id:      id,
+			obj:     obj,
+			binding: append([]memory.Range(nil), obj.binding...),
+		}
+		n.barriers[id] = b
+	}
+	return b
+}
+
+// managerAcquire runs on the lock's manager: it brokers the transfer by
+// forwarding the request to the current owner.
+func (n *Node) managerAcquire(req *proto.LockAcquire, arrival uint64) {
+	obj := n.sys.objectByID(req.Lock)
+	n.mu.Lock()
+	st := n.mgr[req.Lock]
+	if st == nil {
+		st = &mgrLock{owner: obj.manager}
+		n.mgr[req.Lock] = st
+	}
+	owner := st.owner
+	if req.Mode == proto.Exclusive {
+		// Optimistic ownership transfer: the grant is guaranteed to
+		// reach the requester, so future requests route to it.
+		st.owner = int(req.Requester)
+	}
+	n.mu.Unlock()
+
+	if owner == n.id {
+		// The manager itself owns the lock: handle the forward locally.
+		n.ownerForward(req, arrival)
+		return
+	}
+	n.sendAt(owner, proto.KindLockForward, req.Encode(), arrival)
+}
+
+// ownerForward runs on the lock's owner: transfer now if the lock is free,
+// or queue the request until release.
+func (n *Node) ownerForward(req *proto.LockAcquire, arrival uint64) {
+	n.mu.Lock()
+	lk := n.lockState(req.Lock)
+	if !lk.owner {
+		if lk.forwardedTo >= 0 {
+			// Ownership moved on before this forward arrived: re-forward
+			// to wherever we sent it.  The manager's optimistic update
+			// makes this a rare, bounded chase.
+			next := lk.forwardedTo
+			n.mu.Unlock()
+			n.sendAt(next, proto.KindLockForward, req.Encode(), arrival)
+			return
+		}
+		// Our own grant is still in flight (the manager routed this
+		// request to us optimistically): queue until we hold the lock.
+		lk.waiting = append(lk.waiting, &pendingReq{req: req, arrival: arrival})
+		n.mu.Unlock()
+		return
+	}
+	if lk.held && !(lk.mode == proto.Shared && req.Mode == proto.Shared) {
+		lk.waiting = append(lk.waiting, &pendingReq{req: req, arrival: arrival})
+		n.mu.Unlock()
+		return
+	}
+	// The lock is free (or shared-compatible): the logical grant time is
+	// when the request arrived or the lock was released, whichever is
+	// later.
+	at := max(arrival, lk.releaseCycles)
+	n.transferLocked(lk, req, at)
+	n.mu.Unlock()
+}
+
+// transferLocked collects updates and sends a grant to the requester.
+// Caller holds n.mu.  at is the simulated time the transfer begins.
+func (n *Node) transferLocked(lk *lockState, req *proto.LockAcquire, at uint64) {
+	exclusive := req.Mode == proto.Exclusive
+	grant, cycles := n.det.collectLock(lk, req, exclusive)
+	grant.Lock = lk.id
+	grant.Mode = req.Mode
+	grant.BindGen = lk.bindGen
+	grant.Binding = append([]memory.Range(nil), lk.binding...)
+	n.cycles.Charge(cycles) // the runtime thread steals this time locally
+	n.st.LockTransfers.Add(1)
+
+	if exclusive {
+		lk.owner = false
+		lk.forwardedTo = int(req.Requester)
+		// Remaining queued requests chase the new owner.
+		if len(lk.waiting) > 0 {
+			pending := lk.waiting
+			lk.waiting = nil
+			for _, p := range pending {
+				n.sendAt(int(req.Requester), proto.KindLockForward, p.req.Encode(), max(at, p.arrival))
+			}
+		}
+	}
+	n.st.BytesTransferred.Add(uint64(proto.UpdateBytes(grant.Updates)))
+	for _, h := range grant.History {
+		n.st.BytesTransferred.Add(uint64(proto.UpdateBytes(h.Updates)))
+	}
+	n.sys.trace.eventf(n, "transfer %s %v -> n%d (inc=%d full=%v)",
+		lk.obj.name, req.Mode, req.Requester, grant.Incarnation, grant.Full)
+	n.sendAt(int(req.Requester), proto.KindLockGrant, grant.Encode(), at+cycles)
+}
+
+// managerBarrierEnter runs on the barrier's manager.
+func (n *Node) managerBarrierEnter(e *proto.BarrierEnter, arrival uint64) {
+	obj := n.sys.objectByID(e.Barrier)
+	n.mu.Lock()
+	st := n.bmgr[e.Barrier]
+	if st == nil {
+		st = &bmgrBarrier{}
+		n.bmgr[e.Barrier] = st
+	}
+	if e.Epoch != st.epoch {
+		n.mu.Unlock()
+		panic(fmt.Sprintf("core: node %d: barrier %d epoch mismatch: got %d want %d",
+			n.id, e.Barrier, e.Epoch, st.epoch))
+	}
+	st.entered = append(st.entered, e)
+	st.arrivals = append(st.arrivals, arrival)
+	if len(st.entered) < obj.parties {
+		n.mu.Unlock()
+		return
+	}
+	// All parties present: merge and release.
+	entered := st.entered
+	arrivals := st.arrivals
+	st.entered = nil
+	st.arrivals = nil
+	st.epoch++
+	n.mu.Unlock()
+
+	releaseAt := uint64(0)
+	var newTime int64
+	for i, ent := range entered {
+		if arrivals[i] > releaseAt {
+			releaseAt = arrivals[i]
+		}
+		newTime = n.lamport.Witness(ent.Time)
+	}
+	for _, ent := range entered {
+		var merged []proto.Update
+		for _, other := range entered {
+			if other.Node == ent.Node {
+				continue
+			}
+			merged = append(merged, other.Updates...)
+		}
+		rel := &proto.BarrierRelease{
+			Barrier: e.Barrier,
+			Epoch:   e.Epoch,
+			Time:    newTime,
+			Updates: merged,
+		}
+		if int(ent.Node) != n.id {
+			n.st.BytesTransferred.Add(uint64(proto.UpdateBytes(merged)))
+		}
+		n.sendAt(int(ent.Node), proto.KindBarrierRelease, rel.Encode(), releaseAt)
+	}
+}

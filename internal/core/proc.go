@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+
+	"midway/internal/memory"
+	"midway/internal/proto"
+)
+
+// Proc is the per-processor handle passed to the application function by
+// System.Run.  All shared-memory access and synchronization goes through
+// it: the Write methods are the software analogue of compiler-instrumented
+// stores, and the synchronization methods are the entry-consistency API.
+//
+// A Proc is owned by one application goroutine and must not be shared.
+type Proc struct {
+	node *Node
+}
+
+// ID returns the processor number, in [0, Nodes).
+func (p *Proc) ID() int { return p.node.id }
+
+// Nodes returns the number of processors in the system.
+func (p *Proc) Nodes() int { return p.node.sys.cfg.Nodes }
+
+// Cycles returns the processor's current simulated time in cycles.
+func (p *Proc) Cycles() uint64 { return p.node.cycles.Now() }
+
+// Compute charges n cycles of local computation to the simulated clock.
+// Applications use it to model the work between shared-memory operations.
+func (p *Proc) Compute(n uint64) { p.node.cycles.Charge(n) }
+
+// ReadU32 loads a 32-bit word from shared (or private) memory.
+func (p *Proc) ReadU32(a memory.Addr) uint32 {
+	p.node.cycles.Charge(p.node.cost.Load)
+	return p.node.inst.ReadU32(a)
+}
+
+// ReadU64 loads a 64-bit doubleword.
+func (p *Proc) ReadU64(a memory.Addr) uint64 {
+	p.node.cycles.Charge(p.node.cost.Load)
+	return p.node.inst.ReadU64(a)
+}
+
+// ReadF64 loads a float64.
+func (p *Proc) ReadF64(a memory.Addr) float64 {
+	p.node.cycles.Charge(p.node.cost.Load)
+	return p.node.inst.ReadF64(a)
+}
+
+// trap runs write trapping for a scalar store.  It must run before the
+// store itself: under VM-DSM the write fault twins the page's pre-store
+// contents (under RT-DSM the template runs after the store, but the order
+// is not observable).
+func (p *Proc) trap(a memory.Addr, size uint32) {
+	n := p.node
+	r, err := n.sys.layout.CheckScalar(a, size)
+	if err != nil {
+		panic(err)
+	}
+	n.det.trapWrite(a, size, r)
+	n.cycles.Charge(n.cost.Store)
+}
+
+// WriteU32 stores a 32-bit word, trapping the write per the configured
+// strategy.
+func (p *Proc) WriteU32(a memory.Addr, v uint32) {
+	p.trap(a, 4)
+	p.node.inst.WriteU32(a, v)
+}
+
+// WriteU64 stores a 64-bit doubleword, trapping the write.
+func (p *Proc) WriteU64(a memory.Addr, v uint64) {
+	p.trap(a, 8)
+	p.node.inst.WriteU64(a, v)
+}
+
+// WriteF64 stores a float64, trapping the write.
+func (p *Proc) WriteF64(a memory.Addr, v float64) {
+	p.trap(a, 8)
+	p.node.inst.WriteF64(a, v)
+}
+
+// ReadBytes copies rg.Size bytes of shared memory into dst.
+func (p *Proc) ReadBytes(rg memory.Range, dst []byte) {
+	p.node.cycles.Charge(p.node.cost.Load * uint64((rg.Size+7)/8))
+	p.node.inst.ReadBytes(rg, dst)
+}
+
+// WriteBytes performs an "area" store (the analogue of a structure
+// assignment or bcopy into shared memory), trapping it through the area
+// entry point of each touched region's template.
+func (p *Proc) WriteBytes(rg memory.Range, src []byte) {
+	n := p.node
+	if uint32(len(src)) != rg.Size {
+		panic(fmt.Sprintf("core: WriteBytes size mismatch: %d bytes into %d-byte range", len(src), rg.Size))
+	}
+	segs, err := n.sys.layout.Segments(rg)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range segs {
+		n.det.trapWrite(s.Addr(), s.Len, s.Region)
+	}
+	n.cycles.Charge(n.cost.Store * uint64((rg.Size+7)/8))
+	n.inst.WriteBytes(rg, src)
+}
+
+// Acquire obtains the lock in exclusive (write) mode, making the data
+// bound to it consistent at this processor.
+func (p *Proc) Acquire(l LockID) { p.node.acquire(uint32(l), proto.Exclusive) }
+
+// AcquireShared obtains the lock in non-exclusive (read) mode.  The caller
+// receives a consistent snapshot of the bound data; exclusion between
+// readers and the writer is established by the program's synchronization
+// structure, as in the paper's applications.
+func (p *Proc) AcquireShared(l LockID) { p.node.acquire(uint32(l), proto.Shared) }
+
+// Release releases the lock.  Under Midway's lazy protocol no message is
+// sent: ownership remains here until another processor asks for it.
+func (p *Proc) Release(l LockID) { p.node.release(uint32(l)) }
+
+// Rebind replaces the lock's data binding.  The caller must hold the lock
+// in exclusive mode.  The new binding travels with the lock; under VM-DSM
+// a rebinding invalidates the incarnation history, so the next transfer
+// ships all bound data without diffing (the behaviour the paper's
+// quicksort exploits).
+func (p *Proc) Rebind(l LockID, ranges ...memory.Range) {
+	n := p.node
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lk := n.lockState(uint32(l))
+	if !lk.held || lk.mode != proto.Exclusive {
+		panic(fmt.Sprintf("core: Rebind of %s requires holding it exclusively", lk.obj.name))
+	}
+	lk.binding = append([]memory.Range(nil), ranges...)
+	lk.rebound = true
+	lk.bindGen++
+	n.sys.trace.eventf(n, "rebind %s gen=%d ranges=%d", lk.obj.name, lk.bindGen, len(ranges))
+	lk.twin = nil // TwinDiff: the old snapshot no longer matches the binding
+}
+
+// Binding returns the lock's current data binding as known at this node.
+func (p *Proc) Binding(l LockID) []memory.Range {
+	n := p.node
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lk := n.lockState(uint32(l))
+	return append([]memory.Range(nil), lk.binding...)
+}
+
+// Barrier enters the barrier and blocks until all parties arrive.  Data
+// bound to the barrier is made consistent across all parties.
+func (p *Proc) Barrier(b BarrierID) { p.node.barrier(uint32(b)) }
+
+// acquire implements lock acquisition for both modes.
+func (n *Node) acquire(id uint32, mode proto.Mode) {
+	n.mu.Lock()
+	lk := n.lockState(id)
+	if lk.held {
+		n.mu.Unlock()
+		panic(fmt.Sprintf("core: node %d: recursive acquire of %s", n.id, lk.obj.name))
+	}
+	if lk.owner {
+		// Fast path: we are the data authority; the local copy is fresh.
+		lk.held = true
+		lk.mode = mode
+		n.mu.Unlock()
+		n.sys.trace.eventf(n, "acquire %s %v (local owner)", lk.obj.name, mode)
+		return
+	}
+	req := &proto.LockAcquire{
+		Lock:            id,
+		Mode:            mode,
+		Requester:       uint32(n.id),
+		LastTime:        lk.lastTime,
+		LastIncarnation: lk.lastInc,
+		BindGen:         lk.bindGen,
+	}
+	manager := lk.obj.manager
+	n.mu.Unlock()
+
+	n.sys.trace.eventf(n, "acquire %s %v -> manager n%d (lastTime=%d lastInc=%d)",
+		n.sys.objName(id), mode, manager, req.LastTime, req.LastIncarnation)
+	n.send(manager, proto.KindLockAcquire, req.Encode())
+	r := <-n.replyCh
+	if r.grant == nil || r.grant.Lock != id {
+		panic(fmt.Sprintf("core: node %d: unexpected reply while acquiring %d", n.id, id))
+	}
+	// State updates were performed by the protocol handler in applyGrant
+	// before the reply was delivered, so forwards chasing the new owner
+	// cannot observe a stale state.
+}
+
+// applyGrant runs on the protocol handler when a grant arrives, applying
+// the updates and installing ownership before the waiting application is
+// released.  The application was blocked for this message, so its clock
+// joins the arrival time before the application costs are charged.
+func (n *Node) applyGrant(g *proto.LockGrant, arrival uint64) {
+	n.cycles.Join(arrival)
+	n.mu.Lock()
+	lk := n.lockState(g.Lock)
+	cycles := n.det.applyLock(lk, g)
+	lk.bindGen = g.BindGen
+	lk.binding = append([]memory.Range(nil), g.Binding...)
+	lk.held = true
+	lk.mode = g.Mode
+	if g.Mode == proto.Exclusive {
+		lk.owner = true
+	}
+	lk.rebound = false
+	n.mu.Unlock()
+	n.cycles.Charge(cycles)
+	n.sys.trace.eventf(n, "granted %s inc=%d full=%v updates=%dB history=%d",
+		lk.obj.name, g.Incarnation, g.Full, proto.UpdateBytes(g.Updates), len(g.History))
+}
+
+// release implements lock release: local under the lazy protocol, plus
+// servicing of any transfer requests that queued while the lock was held.
+func (n *Node) release(id uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lk := n.lockState(id)
+	if !lk.held {
+		panic(fmt.Sprintf("core: node %d: release of %s, which is not held", n.id, lk.obj.name))
+	}
+	lk.held = false
+	lk.releaseCycles = n.cycles.Now()
+	for lk.owner && len(lk.waiting) > 0 {
+		p := lk.waiting[0]
+		lk.waiting = lk.waiting[1:]
+		exclusive := p.req.Mode == proto.Exclusive
+		n.transferLocked(lk, p.req, max(p.arrival, lk.releaseCycles))
+		if exclusive {
+			// Ownership moved; transferLocked re-forwarded the rest.
+			break
+		}
+	}
+}
+
+// barrier implements barrier crossing: collect local modifications, enter,
+// wait for release, apply everyone else's updates.
+func (n *Node) barrier(id uint32) {
+	n.mu.Lock()
+	b := n.barrierState(id)
+	updates, cycles := n.det.collectBarrier(b)
+	epoch := b.epoch
+	manager := b.obj.manager
+	n.mu.Unlock()
+	n.cycles.Charge(cycles)
+	n.st.BytesTransferred.Add(uint64(proto.UpdateBytes(updates)))
+	n.sys.trace.eventf(n, "barrier %s enter epoch=%d updates=%dB",
+		n.sys.objName(id), epoch, proto.UpdateBytes(updates))
+
+	e := &proto.BarrierEnter{
+		Barrier: id,
+		Epoch:   epoch,
+		Node:    uint32(n.id),
+		Time:    n.lamport.Now(),
+		Updates: updates,
+	}
+	n.send(manager, proto.KindBarrierEnter, e.Encode())
+
+	r := <-n.replyCh
+	rel := r.release
+	if rel == nil || rel.Barrier != id || rel.Epoch != epoch {
+		panic(fmt.Sprintf("core: node %d: unexpected reply at barrier %d", n.id, id))
+	}
+	n.cycles.Join(r.arrival)
+	n.lamport.Witness(rel.Time)
+	n.mu.Lock()
+	cycles = n.det.applyBarrier(b, rel)
+	b.epoch++
+	b.lastTime = rel.Time
+	n.mu.Unlock()
+	n.cycles.Charge(cycles)
+	n.st.BarrierCrossings.Add(1)
+	n.sys.trace.eventf(n, "barrier %s resume epoch=%d merged=%dB",
+		n.sys.objName(id), epoch, proto.UpdateBytes(rel.Updates))
+}

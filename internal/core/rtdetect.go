@@ -1,0 +1,243 @@
+package core
+
+import (
+	"midway/internal/cost"
+	"midway/internal/memory"
+	"midway/internal/proto"
+)
+
+// rtDetector implements the paper's contribution: compiler/runtime write
+// detection with per-cache-line dirtybit timestamps.
+//
+// Write trapping (Section 3.1): after each store to shared memory, the
+// instrumented code jumps through the region's template and marks the
+// stored line's dirtybit.  Under the default lazy scheme (footnote 1) the
+// mark is a cheap pending sentinel; the Lamport timestamp is assigned when
+// the guarding synchronization object is transferred.
+//
+// Write collection (Section 3.2): at a transfer, the releaser scans the
+// dirtybits of the lines bound to the object.  Pending lines are stamped
+// with the transfer's logical time; any line whose timestamp exceeds the
+// requester's last consistency time is shipped.  The requester installs the
+// incoming timestamps, so an update is applied at most once per processor.
+type rtDetector struct {
+	n     *Node
+	eager bool
+}
+
+func (d *rtDetector) trapWrite(a memory.Addr, size uint32, r *memory.Region) {
+	n := d.n
+	if r.Class == memory.Private {
+		// The compiler classified this store as shared, but it reached a
+		// private region: the region's template simply returns.
+		n.st.DirtybitsMisclassified.Add(1)
+		n.cycles.Charge(n.cost.DirtybitSetPrivate)
+		return
+	}
+	bits := n.inst.Dirtybits(r)
+	first := r.LineIndex(a)
+	last := r.LineIndex(a + memory.Addr(size) - 1)
+
+	// Charge the template entry point matching the store kind.
+	switch {
+	case size <= 4:
+		n.cycles.Charge(n.cost.DirtybitSetWord)
+	case size <= 8 && first == last:
+		n.cycles.Charge(n.cost.DirtybitSetDouble)
+	default:
+		// Area entry point: unaligned or multi-line store, handled by the
+		// out-of-line routine that marks every covered line.
+		n.cycles.Charge(n.cost.DirtybitSetArea +
+			cost.Cycles(last-first)*n.cost.DirtybitUpdate)
+	}
+
+	mark := memory.DirtyPending
+	if d.eager {
+		// Eager scheme: stamp the processor's local time directly.  The
+		// +1 orders these writes after the most recent synchronization
+		// point, whose transfer time equals the current clock value.
+		mark = n.lamport.Now() + 1
+	}
+	for i := first; i <= last; i++ {
+		bits[i] = mark
+		n.st.DirtybitsSet.Add(1)
+	}
+}
+
+// scanOutcome is the per-line result of a collection scan.
+type scanOutcome struct {
+	updates []proto.Update
+	cycles  cost.Cycles
+}
+
+// scanBinding walks every cache line overlapping the binding, stamping
+// pending lines with stamp and collecting lines newer than since.  Line
+// data is clipped to the bound range, so adjacent data guarded by other
+// objects is never shipped.
+func (d *rtDetector) scanBinding(binding []memory.Range, since int64, stamp int64) scanOutcome {
+	n := d.n
+	var out scanOutcome
+	for _, rg := range binding {
+		segs, err := n.sys.layout.Segments(rg)
+		if err != nil {
+			panic(err)
+		}
+		for _, seg := range segs {
+			r := seg.Region
+			if r.Class != memory.Shared {
+				continue
+			}
+			bits := n.inst.Dirtybits(r)
+			data := n.inst.Data(r)
+			first := int(seg.Off) >> r.LineShift
+			last := int(seg.Off+seg.Len-1) >> r.LineShift
+			for i := first; i <= last; i++ {
+				ts := bits[i]
+				if ts == memory.DirtyPending {
+					ts = stamp
+					bits[i] = stamp
+				}
+				lineRg := r.LineRange(i)
+				clipped, ok := lineRg.Intersect(memory.Range{Addr: seg.Addr(), Size: seg.Len})
+				if !ok {
+					continue
+				}
+				n.st.BytesScanned.Add(uint64(clipped.Size))
+				if ts > since && ts != memory.Clean {
+					off := uint32(clipped.Addr - r.Base)
+					// Pack contiguous equal-timestamp lines into one
+					// update record, as the runtime packs a reply buffer.
+					if k := len(out.updates); k > 0 {
+						last := &out.updates[k-1]
+						if last.TS == ts && last.Range().End() == clipped.Addr {
+							last.Data = append(last.Data, data[off:off+clipped.Size]...)
+							out.cycles += n.cost.DirtybitReadDirty
+							n.st.DirtyDirtybitsRead.Add(1)
+							n.st.DirtyBytes.Add(uint64(clipped.Size))
+							continue
+						}
+					}
+					out.updates = append(out.updates, proto.Update{
+						Addr: clipped.Addr,
+						TS:   ts,
+						Data: append([]byte(nil), data[off:off+clipped.Size]...),
+					})
+					out.cycles += n.cost.DirtybitReadDirty
+					n.st.DirtyDirtybitsRead.Add(1)
+					n.st.DirtyBytes.Add(uint64(clipped.Size))
+				} else {
+					out.cycles += n.cost.DirtybitReadClean
+					n.st.CleanDirtybitsRead.Add(1)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (d *rtDetector) collectLock(lk *lockState, req *proto.LockAcquire, exclusive bool) (*proto.LockGrant, cost.Cycles) {
+	n := d.n
+	// The transfer is a synchronization event: advance the Lamport clock
+	// and stamp all pending lines with the new time.
+	t := n.lamport.Tick()
+	since := req.LastTime
+	if req.BindGen != lk.bindGen {
+		// The requester's consistency timestamp certifies data of an
+		// older binding; for the current binding it has no history.
+		since = 0
+	}
+	sc := d.scanBinding(lk.binding, since, t)
+	// The releaser's copy is complete through t; record that as its own
+	// consistency point so a later reacquire fetches only newer data.
+	lk.lastTime = t
+	return &proto.LockGrant{
+		Time:    t,
+		Updates: sc.updates,
+	}, sc.cycles
+}
+
+func (d *rtDetector) applyLock(lk *lockState, g *proto.LockGrant) cost.Cycles {
+	n := d.n
+	n.lamport.Witness(g.Time)
+	cycles := d.applyUpdates(g.Updates)
+	lk.lastTime = g.Time
+	return cycles
+}
+
+// applyUpdates installs incoming line updates: data plus dirtybit
+// timestamps, each charged at the dirtybit-update rate.
+//
+// The dirtybit timestamps make application exactly-once and ordered: a
+// line is written only when the incoming stamp is strictly newer than the
+// local one, and never when the line carries pending local modifications
+// (which were produced after any update the sender could know about).
+// This is what lets stale data ride along in a wide grant — e.g. when a
+// recycled lock still carries an old binding — without regressing newer
+// local state.
+func (d *rtDetector) applyUpdates(us []proto.Update) cost.Cycles {
+	n := d.n
+	var cycles cost.Cycles
+	for _, u := range us {
+		rg := u.Range()
+		segs, err := n.sys.layout.Segments(rg)
+		if err != nil {
+			panic(err)
+		}
+		segBase := uint32(0)
+		for _, seg := range segs {
+			r := seg.Region
+			if r.Class != memory.Shared {
+				segBase += seg.Len
+				continue
+			}
+			bits := n.inst.Dirtybits(r)
+			data := n.inst.Data(r)
+			first := int(seg.Off) >> r.LineShift
+			last := int(seg.Off+seg.Len-1) >> r.LineShift
+			for i := first; i <= last; i++ {
+				cycles += n.cost.DirtybitUpdate
+				n.st.DirtybitsUpdated.Add(1)
+				if bits[i] == memory.DirtyPending || u.TS <= bits[i] {
+					continue // local copy is as new or newer
+				}
+				// Copy the portion of the update covering this line.
+				lineRg := r.LineRange(i)
+				inter, ok := lineRg.Intersect(memory.Range{Addr: seg.Addr(), Size: seg.Len})
+				if !ok {
+					continue
+				}
+				srcOff := segBase + uint32(inter.Addr-seg.Addr())
+				dstOff := uint32(inter.Addr - r.Base)
+				copy(data[dstOff:dstOff+inter.Size], u.Data[srcOff:srcOff+inter.Size])
+				bits[i] = u.TS
+			}
+			segBase += seg.Len
+		}
+	}
+	return cycles
+}
+
+func (d *rtDetector) collectBarrier(b *barrierState) ([]proto.Update, cost.Cycles) {
+	n := d.n
+	if len(b.binding) == 0 {
+		return nil, 0
+	}
+	t := n.lamport.Tick()
+	since := t - 1
+	if d.eager {
+		// Eager stamps carry the write-time clock, so "modified since the
+		// last episode" is everything newer than the barrier's last
+		// consistency time.
+		since = b.lastTime
+	}
+	// Under the lazy scheme only freshly-stamped pending lines can carry
+	// timestamp t, and every party already received all earlier episodes'
+	// updates at the preceding release, so since = t-1 selects exactly
+	// this node's new modifications.
+	sc := d.scanBinding(b.binding, since, t)
+	return sc.updates, sc.cycles
+}
+
+func (d *rtDetector) applyBarrier(b *barrierState, rel *proto.BarrierRelease) cost.Cycles {
+	return d.applyUpdates(rel.Updates)
+}

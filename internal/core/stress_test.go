@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"midway/internal/memory"
+)
+
+// TestLockContentionStorm has every node fight over a single lock,
+// exercising the manager's optimistic forwarding and the owner-chase path
+// under maximal contention.
+func TestLockContentionStorm(t *testing.T) {
+	for _, strat := range allStrategies {
+		t.Run(strat.String(), func(t *testing.T) {
+			const nodes = 8
+			const perNode = 50
+			s := newTestSystem(t, nodes, strat)
+			addr := s.MustAlloc("hot", 8, 3)
+			lock := s.NewLock("hot", memory.Range{Addr: addr, Size: 8})
+			err := s.Run(func(p *Proc) {
+				for i := 0; i < perNode; i++ {
+					p.Acquire(lock)
+					p.WriteU64(addr, p.ReadU64(addr)+1)
+					p.Release(lock)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got uint64
+			for i := 0; i < nodes; i++ {
+				n := s.Node(i)
+				n.mu.Lock()
+				if n.lockState(uint32(lock)).owner {
+					got = n.inst.ReadU64(addr)
+				}
+				n.mu.Unlock()
+			}
+			if got != nodes*perNode {
+				t.Errorf("counter = %d, want %d", got, nodes*perNode)
+			}
+		})
+	}
+}
+
+// TestConcurrentSharedReaders has many readers pull snapshots while a
+// writer updates under barrier separation, checking reader grants never
+// disturb ownership.
+func TestConcurrentSharedReaders(t *testing.T) {
+	const nodes = 6
+	const rounds = 10
+	s := newTestSystem(t, nodes, RT)
+	addr := s.MustAlloc("data", 64, 3)
+	rg := memory.Range{Addr: addr, Size: 64}
+	lock := s.NewLock("data", rg)
+	bar := s.NewBarrier("round", 0)
+	var readerChecks atomic.Uint64
+	err := s.Run(func(p *Proc) {
+		for r := 1; r <= rounds; r++ {
+			if p.ID() == 0 {
+				p.Acquire(lock)
+				for w := 0; w < 8; w++ {
+					p.WriteU64(addr+memory.Addr(8*w), uint64(r*10+w))
+				}
+				p.Release(lock)
+			}
+			p.Barrier(bar)
+			// All nodes (including the writer) read the snapshot
+			// concurrently.
+			p.AcquireShared(lock)
+			for w := 0; w < 8; w++ {
+				if got := p.ReadU64(addr + memory.Addr(8*w)); got != uint64(r*10+w) {
+					panic(fmt.Sprintf("node %d round %d word %d = %d", p.ID(), r, w, got))
+				}
+			}
+			readerChecks.Add(1)
+			p.Release(lock)
+			p.Barrier(bar)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readerChecks.Load() != nodes*rounds {
+		t.Errorf("reader checks = %d, want %d", readerChecks.Load(), nodes*rounds)
+	}
+	// Ownership must still be with node 0, the only exclusive holder.
+	n := s.Node(0)
+	n.mu.Lock()
+	owner := n.lockState(uint32(lock)).owner
+	n.mu.Unlock()
+	if !owner {
+		t.Error("shared grants moved ownership away from the writer")
+	}
+}
+
+// TestManyObjects allocates hundreds of synchronization objects to check
+// the manager distribution and the object table at scale.
+func TestManyObjects(t *testing.T) {
+	const nodes = 4
+	const objects = 300
+	s := newTestSystem(t, nodes, VM)
+	arr := s.MustAlloc("cells", 8*objects, 3)
+	locks := make([]LockID, objects)
+	for i := range locks {
+		locks[i] = s.NewLock(fmt.Sprintf("o%d", i),
+			memory.Range{Addr: arr + memory.Addr(8*i), Size: 8})
+	}
+	err := s.Run(func(p *Proc) {
+		// Each node touches every object once, striped to force manager
+		// traffic on most of them.
+		for i := p.ID(); i < objects; i += nodes {
+			p.Acquire(locks[i])
+			p.WriteU64(arr+memory.Addr(8*i), uint64(i))
+			p.Release(locks[i])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleNodeDegenerate: every strategy collapses gracefully to one
+// processor (no communication, everything local).
+func TestSingleNodeDegenerate(t *testing.T) {
+	for _, strat := range append(allStrategies, None) {
+		t.Run(strat.String(), func(t *testing.T) {
+			s := newTestSystem(t, 1, strat)
+			addr := s.MustAlloc("x", 32, 3)
+			lock := s.NewLock("x", memory.Range{Addr: addr, Size: 32})
+			bar := s.NewBarrier("b", 0, memory.Range{Addr: addr, Size: 32})
+			if strat == Blast {
+				s.SetBarrierParts(bar, [][]memory.Range{{{Addr: addr, Size: 32}}})
+			}
+			err := s.Run(func(p *Proc) {
+				p.Acquire(lock)
+				p.WriteU64(addr, 42)
+				p.Release(lock)
+				p.Barrier(bar)
+				if got := p.ReadU64(addr); got != 42 {
+					panic(got)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// No remote messages on a single node.
+			if msgs := s.Node(0).Stats().Messages; msgs != 0 {
+				t.Errorf("single node sent %d remote messages", msgs)
+			}
+		})
+	}
+}

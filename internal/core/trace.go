@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"midway/internal/cost"
+)
+
+// tracer serializes protocol-event logging across node goroutines.  A nil
+// tracer is disabled and costs one predictable branch per event.
+type tracer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// newTracer returns a tracer writing to w, or nil when w is nil.
+func newTracer(w io.Writer) *tracer {
+	if w == nil {
+		return nil
+	}
+	return &tracer{w: w}
+}
+
+// eventf logs one protocol event with the node's simulated time.
+func (t *tracer) eventf(n *Node, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, "[%10.3fms n%d] %s\n",
+		cost.Millis(n.cycles.Now()), n.id, fmt.Sprintf(format, args...))
+}
+
+// objName resolves a synchronization object's name for trace output.
+func (s *System) objName(id uint32) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) < len(s.objects) {
+		return s.objects[id].name
+	}
+	return fmt.Sprintf("obj%d", id)
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+
+	"midway/internal/cost"
+	"midway/internal/diff"
+	"midway/internal/memory"
+	"midway/internal/proto"
+	"midway/internal/vmem"
+)
+
+// vmDetector implements the conventional page-protection write detection
+// (Sections 3.3–3.4).
+//
+// Write trapping: shared pages start read-only; the first store to a page
+// write-faults, the handler saves a twin, marks the page dirty and grants
+// write access.  Subsequent stores are free.
+//
+// Write collection: at a transfer, pages containing bound data are diffed
+// against their twins.  A page's diff is distributed to the pending-update
+// accumulator of every synchronization object whose binding overlaps it
+// (the paper's diff reuse), after which the page is cleaned and
+// write-protected again.  Each transfer increments the lock's incarnation
+// number and folds the lock's accumulated updates into a per-incarnation
+// history entry; a requester receives every entry newer than its last-seen
+// incarnation.  If the concatenated entries would exceed the size of the
+// bound data, or the requester predates the retained history, full data is
+// sent instead.  A rebinding invalidates the history and forces a full
+// send without diffing, exactly the quicksort fast path the paper
+// describes.
+type vmDetector struct {
+	n *Node
+}
+
+func (d *vmDetector) trapWrite(a memory.Addr, size uint32, r *memory.Region) {
+	if r.Class == memory.Private {
+		return // private pages are not managed by the external pager
+	}
+	n := d.n
+	faults := n.vm.EnsureWritable(a, size)
+	if faults > 0 {
+		n.st.WriteFaults.Add(uint64(faults))
+		n.cycles.Charge(uint64(faults) * n.cost.PageWriteFault)
+	}
+}
+
+// diffAndDistribute diffs every dirty page holding data of the given
+// binding, distributes the discovered modifications to the accumulator of
+// every object whose binding overlaps them, and cleans the pages.  Caller
+// holds n.mu.
+func (d *vmDetector) diffAndDistribute(binding []memory.Range) cost.Cycles {
+	n := d.n
+	var cycles cost.Cycles
+	seen := make(map[int]bool)
+	for _, rg := range binding {
+		for _, pg := range n.vm.DirtyPagesIn(rg) {
+			if seen[pg] {
+				continue
+			}
+			seen[pg] = true
+			cur, twin := n.vm.Snapshot(pg)
+			df := diff.Compute(cur, twin)
+			n.st.PagesDiffed.Add(1)
+			n.st.DiffRuns.Add(uint64(len(df.Runs)))
+			cycles += n.cost.DiffCost(len(df.Runs), vmem.WordsPerPage)
+			if !df.Empty() {
+				d.distribute(pg, df)
+			}
+			if n.vm.Clean(pg) {
+				n.st.PagesWriteProtected.Add(1)
+				cycles += n.cost.PageProtectRO
+			}
+		}
+	}
+	return cycles
+}
+
+// distribute appends the page diff's runs to the pending-update
+// accumulator of every synchronization object whose binding they
+// intersect.  Caller holds n.mu.
+func (d *vmDetector) distribute(pg int, df diff.Diff) {
+	n := d.n
+	base := vmem.PageBase(pg)
+	n.sys.mu.Lock()
+	objs := n.sys.objects
+	n.sys.mu.Unlock()
+	for _, run := range df.Runs {
+		runRg := memory.Range{Addr: base + memory.Addr(run.Off), Size: uint32(len(run.Data))}
+		for _, obj := range objs {
+			var bind []memory.Range
+			var appendTo *[]proto.Update
+			switch obj.kind {
+			case ObjLock:
+				lk := n.lockState(obj.id)
+				bind = lk.binding
+				appendTo = &lk.accum
+			case ObjBarrier:
+				b := n.barrierState(obj.id)
+				bind = b.binding
+				appendTo = &b.accum
+			}
+			for _, brg := range bind {
+				inter, ok := runRg.Intersect(brg)
+				if !ok {
+					continue
+				}
+				lo := inter.Addr - runRg.Addr
+				*appendTo = append(*appendTo, proto.Update{
+					Addr: inter.Addr,
+					Data: run.Data[lo : uint32(lo)+inter.Size],
+				})
+			}
+		}
+	}
+}
+
+func (d *vmDetector) collectLock(lk *lockState, req *proto.LockAcquire, exclusive bool) (*proto.LockGrant, cost.Cycles) {
+	n := d.n
+	t := n.lamport.Tick()
+	boundBytes := rangesBytes(lk.binding)
+
+	if lk.rebound {
+		// Rebinding: the incarnation history describes the old binding;
+		// increment the incarnation and ship all (new) bound data without
+		// performing a diff.  Pages stay dirty for the benefit of other
+		// objects sharing them.
+		newInc := lk.inc + 1
+		lk.inc = newInc
+		lk.history = nil
+		lk.baseInc = newInc
+		lk.accum = filterUpdates(lk.accum, lk.binding)
+		lk.lastInc = newInc
+		lk.rebound = false
+		ups := n.readBoundUpdates(lk.binding, int64(newInc))
+		cycles := cost.CopyCost(n.cost.CopyWarmPerKB, int(boundBytes))
+		return &proto.LockGrant{
+			Time:        t,
+			Incarnation: newInc,
+			Base:        newInc,
+			Updates:     ups,
+			Full:        true,
+		}, cycles
+	}
+
+	// Shared and exclusive grants share the diff/incarnation machinery;
+	// only ownership (handled by the caller) differs.  Every exclusive
+	// transfer increments the incarnation number, as in the paper; a
+	// shared grant advances it only when it folds in fresh modifications,
+	// so a train of readers does not inflate the history.
+	cycles := d.diffAndDistribute(lk.binding)
+	newInc := lk.inc
+	if exclusive {
+		newInc++
+	}
+	if len(lk.accum) > 0 {
+		if !exclusive {
+			newInc++
+		}
+		ups := lk.accum
+		lk.accum = nil
+		for i := range ups {
+			ups[i].TS = int64(newInc)
+		}
+		lk.history = append(lk.history, proto.HistoryEntry{Incarnation: newInc, Updates: ups})
+	}
+	lk.inc = newInc
+	lk.lastInc = newInc
+
+	// Assemble the reply: history entries newer than the requester's
+	// last-seen incarnation, or full data if the history does not reach
+	// back far enough or would exceed the bound data's size.
+	full := req.LastIncarnation < lk.baseInc
+	var entries []proto.HistoryEntry
+	if !full {
+		total := 0
+		for _, h := range lk.history {
+			if h.Incarnation > req.LastIncarnation {
+				entries = append(entries, h)
+				total += proto.UpdateBytes(h.Updates)
+			}
+		}
+		if n.sys.cfg.CombineIncarnations && len(entries) > 1 {
+			// §3.4 alternative: merge the entries so each address
+			// reflects its most recent incarnation.  The combined set
+			// never exceeds the bound data, so the full-data rule cannot
+			// trigger.
+			combined, c := combineEntries(entries, n.cost)
+			cycles += c
+			g := &proto.LockGrant{
+				Time:        t,
+				Incarnation: newInc,
+				Base:        lk.baseInc,
+				Updates:     combined,
+			}
+			d.trimHistory(lk, boundBytes)
+			return g, cycles
+		}
+		if uint32(total) > boundBytes {
+			full = true
+		}
+	}
+	if full {
+		ups := n.readBoundUpdates(lk.binding, int64(newInc))
+		cycles += cost.CopyCost(n.cost.CopyWarmPerKB, int(boundBytes))
+		lk.history = nil
+		lk.baseInc = newInc
+		return &proto.LockGrant{
+			Time:        t,
+			Incarnation: newInc,
+			Base:        newInc,
+			Updates:     ups,
+			Full:        true,
+		}, cycles
+	}
+	g := &proto.LockGrant{
+		Time:        t,
+		Incarnation: newInc,
+		Base:        lk.baseInc,
+		History:     entries,
+	}
+	d.trimHistory(lk, boundBytes)
+	return g, cycles
+}
+
+// trimHistory enforces the full-data rule's memory bound: once the
+// retained history exceeds the bound data's size, the oldest entries are
+// dropped — any requester that would have needed them receives full data
+// instead.
+func (d *vmDetector) trimHistory(lk *lockState, boundBytes uint32) {
+	total := 0
+	for _, h := range lk.history {
+		total += proto.UpdateBytes(h.Updates)
+	}
+	for len(lk.history) > 0 && uint32(total) > boundBytes {
+		total -= proto.UpdateBytes(lk.history[0].Updates)
+		lk.baseInc = lk.history[0].Incarnation
+		lk.history = lk.history[1:]
+	}
+}
+
+// applyUpdates installs incoming updates into the local pages and, where
+// pages are dirty, into their twins, so remote data is never mistaken for
+// a local modification.
+func (d *vmDetector) applyUpdates(us []proto.Update) cost.Cycles {
+	n := d.n
+	var cycles cost.Cycles
+	for _, u := range us {
+		n.inst.WriteBytes(u.Range(), u.Data)
+		tb := n.vm.ApplyToTwin(u.Addr, u.Data)
+		if tb > 0 {
+			n.st.TwinBytesUpdated.Add(uint64(tb))
+			cycles += cost.CopyCost(n.cost.CopyWarmPerKB, tb)
+		}
+	}
+	return cycles
+}
+
+func (d *vmDetector) applyLock(lk *lockState, g *proto.LockGrant) cost.Cycles {
+	n := d.n
+	n.lamport.Witness(g.Time)
+	var cycles cost.Cycles
+	switch {
+	case g.Full:
+		cycles = d.applyUpdates(g.Updates)
+		// Full data subsumes any retained history; future requesters
+		// older than Base get a fresh full read.
+		lk.history = nil
+		lk.baseInc = g.Base
+	default:
+		// A combined incremental grant carries its merged updates in
+		// Updates; retained as a single history entry they remain a
+		// valid (superset) answer for future requesters.
+		if len(g.Updates) > 0 {
+			cycles += d.applyUpdates(g.Updates)
+			lk.history = append(lk.history,
+				proto.HistoryEntry{Incarnation: g.Incarnation, Updates: g.Updates})
+		}
+		for i, h := range g.History {
+			if i > 0 && h.Incarnation <= g.History[i-1].Incarnation {
+				panic(fmt.Sprintf("core: node %d: history out of order for lock %d", n.id, g.Lock))
+			}
+			cycles += d.applyUpdates(h.Updates)
+		}
+		// Retain the new entries so we can serve future requesters; our
+		// own older entries remain valid and contiguous below them.
+		lk.history = append(lk.history, g.History...)
+		d.trimHistory(lk, rangesBytes(g.Binding))
+	}
+	lk.inc = g.Incarnation
+	lk.lastInc = g.Incarnation
+	return cycles
+}
+
+func (d *vmDetector) collectBarrier(b *barrierState) ([]proto.Update, cost.Cycles) {
+	if len(b.binding) == 0 {
+		return nil, 0
+	}
+	cycles := d.diffAndDistribute(b.binding)
+	ups := b.accum
+	b.accum = nil
+	for i := range ups {
+		ups[i].TS = int64(b.epoch + 1)
+	}
+	return ups, cycles
+}
+
+func (d *vmDetector) applyBarrier(b *barrierState, rel *proto.BarrierRelease) cost.Cycles {
+	return d.applyUpdates(rel.Updates)
+}

@@ -1,0 +1,172 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMicrosRoundTrip(t *testing.T) {
+	cases := []struct {
+		us     float64
+		cycles Cycles
+	}{
+		{0, 0},
+		{1, 25},
+		{122, 3050},
+		{1200, 30000},
+		{0.36, 9},
+	}
+	for _, c := range cases {
+		if got := Micros(c.us); got != c.cycles {
+			t.Errorf("Micros(%g) = %d, want %d", c.us, got, c.cycles)
+		}
+	}
+}
+
+func TestSecondsMillis(t *testing.T) {
+	// One simulated second is 25 million cycles at 25 MHz.
+	if got := Seconds(25_000_000); got != 1.0 {
+		t.Errorf("Seconds(25e6) = %g, want 1", got)
+	}
+	if got := Millis(25_000); got != 1.0 {
+		t.Errorf("Millis(25000) = %g, want 1", got)
+	}
+}
+
+func TestDefaultMatchesPaperTable1(t *testing.T) {
+	m := Default()
+	cases := []struct {
+		name string
+		got  Cycles
+		want Cycles
+	}{
+		{"word dirtybit set", m.DirtybitSetWord, 9},
+		{"doubleword dirtybit set", m.DirtybitSetDouble, 9},
+		{"private dirtybit set", m.DirtybitSetPrivate, 6},
+		{"clean dirtybit read", m.DirtybitReadClean, 5},
+		{"dirty dirtybit read", m.DirtybitReadDirty, 4},
+		{"dirtybit update", m.DirtybitUpdate, 2},
+		{"page write fault", m.PageWriteFault, 30000},
+		{"page diff clean", m.PageDiffClean, 6500},
+		{"page diff worst", m.PageDiffWorst, 46750},
+		{"protect rw", m.PageProtectRW, 3125},
+		{"protect ro", m.PageProtectRO, 3175},
+		{"copy cold per KB", m.CopyColdPerKB, 2100},
+		{"copy warm per KB", m.CopyWarmPerKB, 650},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %d cycles, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestFastException(t *testing.T) {
+	m := FastException()
+	if m.PageWriteFault != Micros(122) {
+		t.Errorf("fast exception fault = %d, want %d", m.PageWriteFault, Micros(122))
+	}
+	// All other fields unchanged.
+	d := Default()
+	m.PageWriteFault = d.PageWriteFault
+	if m != d {
+		t.Error("FastException changed fields other than the fault cost")
+	}
+}
+
+func TestWithFaultMicrosDoesNotMutate(t *testing.T) {
+	m := Default()
+	m2 := m.WithFaultMicros(400)
+	if m.PageWriteFault != Micros(1200) {
+		t.Error("WithFaultMicros mutated the receiver")
+	}
+	if m2.PageWriteFault != Micros(400) {
+		t.Errorf("WithFaultMicros = %d, want %d", m2.PageWriteFault, Micros(400))
+	}
+}
+
+func TestDiffCostEndpoints(t *testing.T) {
+	m := Default()
+	const words = 1024
+	if got := m.DiffCost(0, words); got != m.PageDiffClean {
+		t.Errorf("DiffCost(0) = %d, want clean %d", got, m.PageDiffClean)
+	}
+	if got := m.DiffCost(1, words); got != m.PageDiffClean {
+		t.Errorf("DiffCost(1) = %d, want clean %d", got, m.PageDiffClean)
+	}
+	if got := m.DiffCost(words/2, words); got != m.PageDiffWorst {
+		t.Errorf("DiffCost(max runs) = %d, want worst %d", got, m.PageDiffWorst)
+	}
+	if got := m.DiffCost(words, words); got != m.PageDiffWorst {
+		t.Errorf("DiffCost(beyond max) = %d, want worst %d", got, m.PageDiffWorst)
+	}
+}
+
+func TestDiffCostMonotonic(t *testing.T) {
+	m := Default()
+	const words = 1024
+	prev := Cycles(0)
+	for runs := 0; runs <= words/2; runs++ {
+		c := m.DiffCost(runs, words)
+		if c < prev {
+			t.Fatalf("DiffCost not monotonic at %d runs: %d < %d", runs, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestDiffCostBounded(t *testing.T) {
+	m := Default()
+	f := func(runs uint16, words uint16) bool {
+		w := int(words)%4096 + 2
+		c := m.DiffCost(int(runs), w)
+		return c >= m.PageDiffClean && c <= m.PageDiffWorst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyCost(t *testing.T) {
+	if got := CopyCost(650, 1024); got != 650 {
+		t.Errorf("CopyCost(650, 1KB) = %d, want 650", got)
+	}
+	if got := CopyCost(650, 512); got != 325 {
+		t.Errorf("CopyCost(650, 512B) = %d, want 325", got)
+	}
+	if got := CopyCost(650, 0); got != 0 {
+		t.Errorf("CopyCost(650, 0) = %d, want 0", got)
+	}
+}
+
+func TestNetworkParams(t *testing.T) {
+	p := DefaultNetwork()
+	// A zero-byte message costs exactly the latency.
+	if got := p.MessageCycles(0); got != p.LatencyCycles {
+		t.Errorf("MessageCycles(0) = %d, want %d", got, p.LatencyCycles)
+	}
+	// One KB adds one CyclesPerKB.
+	if got := p.MessageCycles(1024); got != p.LatencyCycles+p.CyclesPerKB {
+		t.Errorf("MessageCycles(1024) = %d, want %d", got, p.LatencyCycles+p.CyclesPerKB)
+	}
+	// 140 Mbit/s is about 58.5 µs per KB.
+	wantPerKB := Micros(58.5)
+	if math.Abs(float64(p.CyclesPerKB)-float64(wantPerKB)) > 1 {
+		t.Errorf("CyclesPerKB = %d, want about %d", p.CyclesPerKB, wantPerKB)
+	}
+}
+
+func TestMessageCyclesMonotonicInSize(t *testing.T) {
+	p := DefaultNetwork()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return p.MessageCycles(x) <= p.MessageCycles(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

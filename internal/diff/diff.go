@@ -1,0 +1,194 @@
+// Package diff implements the page twinning-and-differencing machinery used
+// by VM-DSM write collection.
+//
+// When a write fault marks a page dirty, the runtime saves a copy (the
+// "twin").  At a synchronization point the current page contents are
+// compared word-by-word against the twin to produce a Diff: a succinct
+// run-length description of all modifications to the page.  Diffs can be
+// restricted to the sub-ranges bound to a synchronization object, merged,
+// and applied at the requesting processor.
+package diff
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WordSize is the comparison granularity in bytes.  The paper diffs 32-bit
+// words on the MIPS R3000.
+const WordSize = 4
+
+// Run is one maximal contiguous span of modified bytes within a page (or
+// any buffer), expressed as an offset from the buffer's start plus the new
+// data.
+type Run struct {
+	Off  uint32
+	Data []byte
+}
+
+// End returns the offset just past the run.
+func (r Run) End() uint32 { return r.Off + uint32(len(r.Data)) }
+
+// Diff is an ordered, non-overlapping set of modified runs.
+type Diff struct {
+	Runs []Run
+}
+
+// Compute compares cur against twin (equal-length buffers) at word
+// granularity and returns the runs of cur that differ.  Buffer lengths must
+// be multiples of WordSize.
+func Compute(cur, twin []byte) Diff {
+	if len(cur) != len(twin) {
+		panic(fmt.Sprintf("diff: length mismatch %d vs %d", len(cur), len(twin)))
+	}
+	if len(cur)%WordSize != 0 {
+		panic(fmt.Sprintf("diff: length %d not a multiple of word size", len(cur)))
+	}
+	var d Diff
+	i := 0
+	n := len(cur)
+	for i < n {
+		// Skip equal words.
+		for i < n && wordsEqual(cur, twin, i) {
+			i += WordSize
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		for i < n && !wordsEqual(cur, twin, i) {
+			i += WordSize
+		}
+		run := Run{Off: uint32(start), Data: append([]byte(nil), cur[start:i]...)}
+		d.Runs = append(d.Runs, run)
+	}
+	return d
+}
+
+func wordsEqual(a, b []byte, i int) bool {
+	return a[i] == b[i] && a[i+1] == b[i+1] && a[i+2] == b[i+2] && a[i+3] == b[i+3]
+}
+
+// Empty reports whether the diff describes no modifications.
+func (d Diff) Empty() bool { return len(d.Runs) == 0 }
+
+// Bytes returns the total number of modified data bytes the diff carries.
+func (d Diff) Bytes() int {
+	n := 0
+	for _, r := range d.Runs {
+		n += len(r.Data)
+	}
+	return n
+}
+
+// Apply writes the diff's runs into buf, which must be at least as long as
+// the highest run end.
+func (d Diff) Apply(buf []byte) {
+	for _, r := range d.Runs {
+		copy(buf[r.Off:r.End()], r.Data)
+	}
+}
+
+// Restrict returns the portion of the diff that falls within [off, off+len).
+// Run offsets in the result remain relative to the original buffer start.
+func (d Diff) Restrict(off, length uint32) Diff {
+	var out Diff
+	end := off + length
+	for _, r := range d.Runs {
+		if r.End() <= off || r.Off >= end {
+			continue
+		}
+		lo := max(r.Off, off)
+		hi := min(r.End(), end)
+		out.Runs = append(out.Runs, Run{
+			Off:  lo,
+			Data: r.Data[lo-r.Off : hi-r.Off],
+		})
+	}
+	return out
+}
+
+// Merge combines two diffs over the same buffer, with o taking precedence
+// where runs overlap (o is the newer diff).  The result is normalized:
+// sorted, non-overlapping, and with adjacent runs coalesced.
+func Merge(older, newer Diff) Diff {
+	type span struct {
+		run   Run
+		newer bool
+	}
+	spans := make([]span, 0, len(older.Runs)+len(newer.Runs))
+	for _, r := range older.Runs {
+		spans = append(spans, span{run: r})
+	}
+	for _, r := range newer.Runs {
+		spans = append(spans, span{run: r, newer: true})
+	}
+	if len(spans) == 0 {
+		return Diff{}
+	}
+	// Determine the covered extent.
+	var maxEnd uint32
+	for _, s := range spans {
+		if s.run.End() > maxEnd {
+			maxEnd = s.run.End()
+		}
+	}
+	// Paint older runs first, then newer runs, into a sparse buffer.
+	buf := make([]byte, maxEnd)
+	covered := make([]bool, maxEnd)
+	paint := func(r Run) {
+		copy(buf[r.Off:r.End()], r.Data)
+		for i := r.Off; i < r.End(); i++ {
+			covered[i] = true
+		}
+	}
+	for _, s := range spans {
+		if !s.newer {
+			paint(s.run)
+		}
+	}
+	for _, s := range spans {
+		if s.newer {
+			paint(s.run)
+		}
+	}
+	// Re-extract maximal runs.
+	var out Diff
+	i := uint32(0)
+	for i < maxEnd {
+		for i < maxEnd && !covered[i] {
+			i++
+		}
+		if i >= maxEnd {
+			break
+		}
+		start := i
+		for i < maxEnd && covered[i] {
+			i++
+		}
+		out.Runs = append(out.Runs, Run{Off: start, Data: append([]byte(nil), buf[start:i]...)})
+	}
+	return out
+}
+
+// Normalize sorts the runs and coalesces overlapping or adjacent ones
+// (later runs win on overlap).  It returns the normalized diff.
+func (d Diff) Normalize() Diff {
+	if len(d.Runs) <= 1 {
+		return d
+	}
+	sorted := sort.SliceIsSorted(d.Runs, func(i, j int) bool { return d.Runs[i].Off < d.Runs[j].Off })
+	if sorted {
+		disjoint := true
+		for i := 1; i < len(d.Runs); i++ {
+			if d.Runs[i].Off < d.Runs[i-1].End() {
+				disjoint = false
+				break
+			}
+		}
+		if disjoint {
+			return d
+		}
+	}
+	return Merge(Diff{}, d)
+}

@@ -1,0 +1,241 @@
+package diff
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeEmpty(t *testing.T) {
+	buf := make([]byte, 64)
+	d := Compute(buf, buf)
+	if !d.Empty() {
+		t.Errorf("identical buffers produced %d runs", len(d.Runs))
+	}
+	if d.Bytes() != 0 {
+		t.Errorf("empty diff carries %d bytes", d.Bytes())
+	}
+}
+
+func TestComputeSingleWord(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[8] = 0xFF
+	d := Compute(cur, twin)
+	if len(d.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(d.Runs))
+	}
+	if d.Runs[0].Off != 8 || len(d.Runs[0].Data) != WordSize {
+		t.Errorf("run = {off %d, len %d}, want {8, %d}", d.Runs[0].Off, len(d.Runs[0].Data), WordSize)
+	}
+}
+
+func TestComputeAdjacentWordsCoalesce(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[4], cur[9], cur[12] = 1, 2, 3 // words 1, 2, 3 modified
+	d := Compute(cur, twin)
+	if len(d.Runs) != 1 {
+		t.Fatalf("adjacent modified words produced %d runs, want 1", len(d.Runs))
+	}
+	if d.Runs[0].Off != 4 || len(d.Runs[0].Data) != 12 {
+		t.Errorf("run = {%d, %d}, want {4, 12}", d.Runs[0].Off, len(d.Runs[0].Data))
+	}
+}
+
+func TestComputeAlternatingWorstCase(t *testing.T) {
+	const n = 256
+	twin := make([]byte, n)
+	cur := make([]byte, n)
+	for w := 0; w < n/WordSize; w += 2 {
+		cur[w*WordSize] = 1
+	}
+	d := Compute(cur, twin)
+	if len(d.Runs) != n/WordSize/2 {
+		t.Errorf("alternating pattern: %d runs, want %d", len(d.Runs), n/WordSize/2)
+	}
+}
+
+func TestApplyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := (rng.Intn(64) + 1) * WordSize
+		twin := make([]byte, n)
+		cur := make([]byte, n)
+		rng.Read(twin)
+		copy(cur, twin)
+		// Random modifications.
+		for k := 0; k < rng.Intn(20); k++ {
+			cur[rng.Intn(n)] = byte(rng.Int())
+		}
+		d := Compute(cur, twin)
+		got := append([]byte(nil), twin...)
+		d.Apply(got)
+		if !bytes.Equal(got, cur) {
+			t.Fatalf("trial %d: apply(twin, diff) != cur", trial)
+		}
+	}
+}
+
+// TestDiffApplyIdentity is the core property: for any twin and current
+// buffer, applying Compute(cur, twin) to the twin yields cur.
+func TestDiffApplyIdentity(t *testing.T) {
+	f := func(seed int64, words uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := (int(words)%64 + 1) * WordSize
+		twin := make([]byte, n)
+		cur := make([]byte, n)
+		rng.Read(twin)
+		rng.Read(cur)
+		d := Compute(cur, twin)
+		got := append([]byte(nil), twin...)
+		d.Apply(got)
+		return bytes.Equal(got, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDiffMinimality: the diff carries no unmodified words.
+func TestDiffMinimality(t *testing.T) {
+	f := func(seed int64, words uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := (int(words)%64 + 1) * WordSize
+		twin := make([]byte, n)
+		cur := make([]byte, n)
+		rng.Read(twin)
+		copy(cur, twin)
+		for k := 0; k < rng.Intn(10); k++ {
+			cur[rng.Intn(n)] ^= 0xFF
+		}
+		d := Compute(cur, twin)
+		for _, run := range d.Runs {
+			// Every word in a run must actually differ.
+			for off := run.Off; off < run.End(); off += WordSize {
+				if bytes.Equal(cur[off:off+WordSize], twin[off:off+WordSize]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	Compute(make([]byte, 8), make([]byte, 12))
+}
+
+func TestRestrict(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	for i := range cur {
+		cur[i] = byte(i + 1)
+	}
+	d := Compute(cur, twin) // one run covering everything
+	r := d.Restrict(16, 8)
+	if len(r.Runs) != 1 {
+		t.Fatalf("restrict produced %d runs", len(r.Runs))
+	}
+	if r.Runs[0].Off != 16 || len(r.Runs[0].Data) != 8 {
+		t.Errorf("restricted run = {%d, %d}, want {16, 8}", r.Runs[0].Off, len(r.Runs[0].Data))
+	}
+	if r.Runs[0].Data[0] != 17 {
+		t.Errorf("restricted data starts with %d, want 17", r.Runs[0].Data[0])
+	}
+	// Restricting outside the run yields nothing.
+	if got := d.Restrict(64, 8); !got.Empty() {
+		t.Error("restrict past end returned runs")
+	}
+}
+
+func TestMergeNewerWins(t *testing.T) {
+	older := Diff{Runs: []Run{{Off: 0, Data: []byte{1, 1, 1, 1}}}}
+	newer := Diff{Runs: []Run{{Off: 2, Data: []byte{9, 9}}}}
+	m := Merge(older, newer)
+	buf := make([]byte, 4)
+	m.Apply(buf)
+	want := []byte{1, 1, 9, 9}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("merged apply = %v, want %v", buf, want)
+	}
+}
+
+func TestMergeDisjointSorted(t *testing.T) {
+	a := Diff{Runs: []Run{{Off: 8, Data: []byte{2, 2}}}}
+	b := Diff{Runs: []Run{{Off: 0, Data: []byte{1, 1}}}}
+	m := Merge(a, b)
+	if len(m.Runs) != 2 {
+		t.Fatalf("merge produced %d runs, want 2", len(m.Runs))
+	}
+	if m.Runs[0].Off != 0 || m.Runs[1].Off != 8 {
+		t.Errorf("merge not sorted: offsets %d, %d", m.Runs[0].Off, m.Runs[1].Off)
+	}
+}
+
+// TestMergeEquivalence: merging diffs is equivalent to applying them in
+// order.
+func TestMergeEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 128
+		base := make([]byte, n)
+		rng.Read(base)
+
+		mkdiff := func() Diff {
+			var d Diff
+			used := 0
+			for k := 0; k < rng.Intn(5); k++ {
+				off := uint32(rng.Intn(n - 8))
+				ln := rng.Intn(8) + 1
+				data := make([]byte, ln)
+				rng.Read(data)
+				d.Runs = append(d.Runs, Run{Off: off, Data: data})
+				used += ln
+			}
+			return d.Normalize()
+		}
+		d1, d2 := mkdiff(), mkdiff()
+
+		sequential := append([]byte(nil), base...)
+		d1.Apply(sequential)
+		d2.Apply(sequential)
+
+		merged := append([]byte(nil), base...)
+		Merge(d1, d2).Apply(merged)
+
+		return bytes.Equal(sequential, merged)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeOverlaps(t *testing.T) {
+	d := Diff{Runs: []Run{
+		{Off: 4, Data: []byte{1, 1, 1, 1}},
+		{Off: 6, Data: []byte{2, 2, 2, 2}},
+	}}
+	nrm := d.Normalize()
+	buf := make([]byte, 10)
+	nrm.Apply(buf)
+	want := []byte{0, 0, 0, 0, 1, 1, 2, 2, 2, 2}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("normalized apply = %v, want %v", buf, want)
+	}
+	// Runs must be disjoint and sorted after normalization.
+	for i := 1; i < len(nrm.Runs); i++ {
+		if nrm.Runs[i].Off < nrm.Runs[i-1].End() {
+			t.Error("normalized runs overlap")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package memory
+
+// This file records the paper's Appendix A: the exact MIPS R3000
+// instruction sequences of the dirtybit update path.  Every dirtybit
+// update is handled by two code sequences — one emitted inline by the
+// compiler after the store, and one stored in the write-protected first
+// page of the region (the "template"), specialized with the region's
+// cache line size and dirtybit location as constants.
+//
+// The simulator executes the equivalent logic in Go, but charges costs
+// from these sequences: the cost model's cycle counts are the instruction
+// counts below (one cycle per issued instruction on the R3000, with no
+// cache-missing loads and one non-stalling store on a sufficiently deep
+// write buffer, as the paper argues).
+
+// TemplateKind names a dirtybit-update entry point.
+type TemplateKind int
+
+const (
+	// TemplateDoubleword handles a doubleword store to a doubleword-size
+	// cache line, the floating-point common case (Appendix A, Figure 5).
+	TemplateDoubleword TemplateKind = iota
+	// TemplateWord handles a word store to a word-size cache line, the
+	// integer common case (Figure 6).
+	TemplateWord
+	// TemplateArea handles unaligned stores and structure assignments
+	// (Figure 7): the out-of-line path that saves registers and calls a
+	// higher-level routine.
+	TemplateArea
+	// TemplatePrivate is the entry point for every write that reaches a
+	// private region's template: it simply returns (Figure 8).
+	TemplatePrivate
+)
+
+// TemplateSequence lists one entry point's instructions.
+type TemplateSequence struct {
+	Kind TemplateKind
+	// Inline is the sequence the compiler emits after the store.
+	Inline []string
+	// Template is the sequence stored at the region base.
+	Template []string
+}
+
+// AppendixA reproduces the paper's instruction listings.  The original
+// store instruction itself is not part of the detection overhead and is
+// not listed.
+var AppendixA = []TemplateSequence{
+	{
+		Kind: TemplateDoubleword,
+		Inline: []string{
+			"lui  a0, <mask_for_template>", // load mask for start of region address
+			"and  at, a0, rx",              // generate addr for dirtybit template
+			"jalr at",                      // jump to dirtybit update code
+			"sub  a0, rx, a0",              // compute offset w/in region (delay slot)
+		},
+		Template: []string{
+			"lui  at, <dbit_address>", // load addr of start of dbits for region
+			"srl  a1, a0, 1",          // divide offset by 2 to get dbit offset
+			"addu at, a1, at",         // generate address of dbit
+			"jr   ra",                 // and return
+			"sw   zero, 0(at)",        // zero dbit to mark as "dirty"
+		},
+	},
+	{
+		Kind: TemplateWord,
+		Inline: []string{
+			"lui  at, <mask_for_template>",
+			"and  a0, at, rx",
+			"or   at, a0, <entryW_offset>", // entry point within template
+			"jalr at",
+			"sub  a0, rx, a0",
+		},
+		Template: []string{
+			"lui  at, <dbit_address>",
+			"addu at, a1, at", // offset in data region equals dbit offset
+			"jr   ra",
+			"sw   zero, 0(at)",
+		},
+	},
+	{
+		Kind: TemplateArea,
+		Inline: []string{
+			"lui  at, <mask_for_template>",
+			"and  a0, at, rx",
+			"or   at, a0, <entryA_offset>",
+			"addi a1, zero, <object_size>", // arg1: size of the object written
+			"jalr at",
+			"sub  a0, rx, a0",
+		},
+		// The template allocates a stack frame, saves temporaries, and
+		// calls a higher-level routine; the constant below stands in for
+		// that rarely-executed path.
+		Template: nil,
+	},
+	{
+		Kind: TemplatePrivate,
+		// The inline sequence still executes (the compiler classified
+		// the store as shared); only the template short-circuits.
+		Inline: []string{
+			"lui  a0, <mask_for_template>",
+			"and  at, a0, rx",
+			"jalr at",
+			"sub  a0, rx, a0",
+		},
+		Template: []string{
+			"jr   ra", // simply return to caller
+			"nop",     // fill jump delay slot
+		},
+	},
+}
+
+// InstructionCount returns the total dynamic instruction count of an
+// entry point (inline + template), the quantity the cost model charges as
+// cycles.
+func InstructionCount(k TemplateKind) int {
+	for _, seq := range AppendixA {
+		if seq.Kind == k {
+			return len(seq.Inline) + len(seq.Template)
+		}
+	}
+	return 0
+}

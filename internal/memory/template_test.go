@@ -1,0 +1,41 @@
+package memory
+
+import "testing"
+
+// TestAppendixAInstructionCounts ties the recorded instruction sequences
+// to the paper's Table 1 cycle costs: the common cases take 9 cycles
+// (4 inline + 5 template for doublewords, 5 + 4 for words) and the
+// private path 6.
+func TestAppendixAInstructionCounts(t *testing.T) {
+	if got := InstructionCount(TemplateDoubleword); got != 9 {
+		t.Errorf("doubleword path = %d instructions, want 9", got)
+	}
+	if got := InstructionCount(TemplateWord); got != 9 {
+		t.Errorf("word path = %d instructions, want 9", got)
+	}
+	if got := InstructionCount(TemplatePrivate); got != 6 {
+		t.Errorf("private path = %d instructions, want 6", got)
+	}
+	if got := InstructionCount(TemplateKind(99)); got != 0 {
+		t.Errorf("unknown kind = %d", got)
+	}
+}
+
+// TestAppendixAStructure checks the listings' documented invariants.
+func TestAppendixAStructure(t *testing.T) {
+	seen := map[TemplateKind]bool{}
+	for _, seq := range AppendixA {
+		if seen[seq.Kind] {
+			t.Errorf("duplicate entry for kind %d", seq.Kind)
+		}
+		seen[seq.Kind] = true
+		if len(seq.Inline) == 0 {
+			t.Errorf("kind %d has no inline sequence", seq.Kind)
+		}
+	}
+	for _, k := range []TemplateKind{TemplateDoubleword, TemplateWord, TemplateArea, TemplatePrivate} {
+		if !seen[k] {
+			t.Errorf("missing entry for kind %d", k)
+		}
+	}
+}

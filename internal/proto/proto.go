@@ -1,0 +1,498 @@
+// Package proto defines the DSM wire protocol: the messages exchanged at
+// synchronization points and a compact hand-rolled binary encoding for
+// them.  The same encoding is used by the in-process channel transport
+// (where it also provides realistic message sizes for the network cost
+// model) and by the TCP transport (where it is the actual wire format).
+package proto
+
+import (
+	"errors"
+	"fmt"
+
+	"midway/internal/memory"
+)
+
+// Kind identifies a protocol message type.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind, never sent.
+	KindInvalid Kind = iota
+	// KindLockAcquire is sent by a requester to a lock's manager.
+	KindLockAcquire
+	// KindLockForward is sent by the manager to the current owner, asking
+	// it to transfer the lock to the requester.
+	KindLockForward
+	// KindLockGrant is sent by the releasing owner directly to the
+	// requester, carrying the lock, its binding, and the missing updates.
+	KindLockGrant
+	// KindBarrierEnter is sent by a node to the barrier manager, carrying
+	// the node's updates to barrier-bound data.
+	KindBarrierEnter
+	// KindBarrierRelease is sent by the barrier manager to every waiting
+	// node once all have entered, carrying merged updates.
+	KindBarrierRelease
+	// KindShutdown tells a node's protocol handler to exit.
+	KindShutdown
+)
+
+// String returns the message kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindLockAcquire:
+		return "LockAcquire"
+	case KindLockForward:
+		return "LockForward"
+	case KindLockGrant:
+		return "LockGrant"
+	case KindBarrierEnter:
+		return "BarrierEnter"
+	case KindBarrierRelease:
+		return "BarrierRelease"
+	case KindShutdown:
+		return "Shutdown"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Mode is a lock acquisition mode.
+type Mode uint8
+
+const (
+	// Exclusive mode admits one holder and permits writes.
+	Exclusive Mode = iota
+	// Shared mode admits concurrent readers.
+	Shared
+)
+
+// String returns "exclusive" or "shared".
+func (m Mode) String() string {
+	if m == Shared {
+		return "shared"
+	}
+	return "exclusive"
+}
+
+// Update carries new data for one contiguous span of shared memory,
+// stamped with the logical time (RT-DSM: the line's Lamport timestamp;
+// VM-DSM: the incarnation number) at which it was produced.
+type Update struct {
+	Addr memory.Addr
+	TS   int64
+	Data []byte
+}
+
+// Range returns the address range the update covers.
+func (u Update) Range() memory.Range {
+	return memory.Range{Addr: u.Addr, Size: uint32(len(u.Data))}
+}
+
+// UpdateBytes sums the data payload of a set of updates.
+func UpdateBytes(us []Update) int {
+	n := 0
+	for _, u := range us {
+		n += len(u.Data)
+	}
+	return n
+}
+
+// LockAcquire asks the manager (and, forwarded, the owner) for a lock.
+type LockAcquire struct {
+	Lock      uint32
+	Mode      Mode
+	Requester uint32
+	// LastTime is the requester's RT-DSM consistency timestamp for the
+	// lock's data: the logical time at which its cached copy was last
+	// known consistent.
+	LastTime int64
+	// LastIncarnation is the VM-DSM analogue: the lock's incarnation
+	// number when the requester last held it.
+	LastIncarnation uint64
+	// BindGen is the lock's binding generation as last seen by the
+	// requester.  A releaser whose binding generation differs must treat
+	// the requester's history as empty: its consistency timestamp
+	// certifies the old binding's data, not the current one.
+	BindGen uint64
+}
+
+// LockGrant transfers a lock to the requester.
+type LockGrant struct {
+	Lock uint32
+	Mode Mode
+	// Time is the releaser's Lamport time for this transfer; the
+	// requester records it as the consistency time of the lock's data.
+	Time int64
+	// Incarnation is the lock's new incarnation number (VM-DSM).
+	Incarnation uint64
+	// Base is the incarnation preceding the oldest retained history
+	// entry: a future requester whose last-seen incarnation is below Base
+	// must receive full data (VM-DSM).
+	Base uint64
+	// BindGen is the lock's current binding generation.
+	BindGen uint64
+	// Binding is the lock's current data binding; bindings travel with
+	// the lock so a rebinding by one holder is visible to the next.
+	Binding []memory.Range
+	// Updates carries the data the requester is missing.
+	Updates []Update
+	// Full indicates the updates replace all bound data (the VM-DSM
+	// full-data fallback and the Blast strategy always set this).
+	Full bool
+	// History carries prior-incarnation updates the requester must retain
+	// to serve future requesters (VM-DSM).  Nil under RT-DSM, where the
+	// dirtybit timestamps subsume history.
+	History []HistoryEntry
+}
+
+// HistoryEntry is one incarnation's worth of updates to a lock's bound
+// data, retained so prior modifications can be forwarded without extra
+// messages to third-party processors.
+type HistoryEntry struct {
+	Incarnation uint64
+	Updates     []Update
+}
+
+// BarrierEnter reports a node's arrival at a barrier, carrying its updates
+// to the barrier-bound data.
+type BarrierEnter struct {
+	Barrier uint32
+	Epoch   uint64
+	Node    uint32
+	Time    int64
+	Updates []Update
+}
+
+// BarrierRelease releases a waiting node from a barrier, carrying the
+// merged updates from all other nodes.
+type BarrierRelease struct {
+	Barrier uint32
+	Epoch   uint64
+	Time    int64
+	Updates []Update
+}
+
+// Errors returned by the decoder.
+var (
+	ErrShortBuffer = errors.New("proto: short buffer")
+	ErrTrailing    = errors.New("proto: trailing bytes")
+)
+
+// Encoder serializes protocol values into a growing little-endian buffer.
+// The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U32 appends a little-endian 32-bit value.
+func (e *Encoder) U32(v uint32) {
+	e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// U64 appends a little-endian 64-bit value.
+func (e *Encoder) U64(v uint64) {
+	e.U32(uint32(v))
+	e.U32(uint32(v >> 32))
+}
+
+// I64 appends a little-endian signed 64-bit value.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Blob appends a length-prefixed byte slice.
+func (e *Encoder) Blob(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Ranges appends a length-prefixed list of address ranges.
+func (e *Encoder) Ranges(rs []memory.Range) {
+	e.U32(uint32(len(rs)))
+	for _, r := range rs {
+		e.U32(uint32(r.Addr))
+		e.U32(r.Size)
+	}
+}
+
+// Updates appends a length-prefixed list of updates.
+func (e *Encoder) Updates(us []Update) {
+	e.U32(uint32(len(us)))
+	for _, u := range us {
+		e.U32(uint32(u.Addr))
+		e.I64(u.TS)
+		e.Blob(u.Data)
+	}
+}
+
+// Decoder deserializes protocol values.  The first decoding error sticks;
+// check Err (or use Finish) after decoding.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first error encountered.
+func (d *Decoder) Err() error { return d.err }
+
+// Finish returns an error if decoding failed or bytes remain.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return ErrTrailing
+	}
+	return nil
+}
+
+func (d *Decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.buf) {
+		d.err = ErrShortBuffer
+		return false
+	}
+	return true
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+// U32 reads a little-endian 32-bit value.
+func (d *Decoder) U32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	b := d.buf[d.off:]
+	d.off += 4
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// U64 reads a little-endian 64-bit value.
+func (d *Decoder) U64() uint64 {
+	lo := d.U32()
+	hi := d.U32()
+	return uint64(lo) | uint64(hi)<<32
+}
+
+// I64 reads a little-endian signed 64-bit value.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Blob reads a length-prefixed byte slice (copied out of the buffer).
+func (d *Decoder) Blob() []byte {
+	n := int(d.U32())
+	if !d.need(n) {
+		return nil
+	}
+	b := append([]byte(nil), d.buf[d.off:d.off+n]...)
+	d.off += n
+	return b
+}
+
+// Ranges reads a length-prefixed list of address ranges.
+func (d *Decoder) Ranges() []memory.Range {
+	n := int(d.U32())
+	if d.err != nil || n < 0 {
+		return nil
+	}
+	// Each range is 8 bytes; reject counts the buffer cannot hold.
+	if !d.need(0) || n > (len(d.buf)-d.off)/8 {
+		if n != 0 {
+			d.err = ErrShortBuffer
+			return nil
+		}
+	}
+	rs := make([]memory.Range, 0, n)
+	for i := 0; i < n; i++ {
+		a := d.U32()
+		sz := d.U32()
+		rs = append(rs, memory.Range{Addr: memory.Addr(a), Size: sz})
+	}
+	if d.err != nil {
+		return nil
+	}
+	return rs
+}
+
+// Updates reads a length-prefixed list of updates.
+func (d *Decoder) Updates() []Update {
+	n := int(d.U32())
+	if d.err != nil {
+		return nil
+	}
+	// Minimum 16 bytes per update; bound n to avoid hostile allocations.
+	if n > (len(d.buf)-d.off)/16+1 {
+		d.err = ErrShortBuffer
+		return nil
+	}
+	us := make([]Update, 0, n)
+	for i := 0; i < n; i++ {
+		a := d.U32()
+		ts := d.I64()
+		data := d.Blob()
+		if d.err != nil {
+			return nil
+		}
+		us = append(us, Update{Addr: memory.Addr(a), TS: ts, Data: data})
+	}
+	return us
+}
+
+// Encode methods for each message type.
+
+// Encode serializes the message.
+func (m *LockAcquire) Encode() []byte {
+	var e Encoder
+	e.U32(m.Lock)
+	e.U8(uint8(m.Mode))
+	e.U32(m.Requester)
+	e.I64(m.LastTime)
+	e.U64(m.LastIncarnation)
+	e.U64(m.BindGen)
+	return e.Bytes()
+}
+
+// DecodeLockAcquire parses a LockAcquire payload.
+func DecodeLockAcquire(buf []byte) (*LockAcquire, error) {
+	d := NewDecoder(buf)
+	m := &LockAcquire{
+		Lock:      d.U32(),
+		Mode:      Mode(d.U8()),
+		Requester: d.U32(),
+	}
+	m.LastTime = d.I64()
+	m.LastIncarnation = d.U64()
+	m.BindGen = d.U64()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decoding LockAcquire: %w", err)
+	}
+	return m, nil
+}
+
+// Encode serializes the message.
+func (m *LockGrant) Encode() []byte {
+	var e Encoder
+	e.U32(m.Lock)
+	e.U8(uint8(m.Mode))
+	e.I64(m.Time)
+	e.U64(m.Incarnation)
+	e.U64(m.Base)
+	e.U64(m.BindGen)
+	if m.Full {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	e.Ranges(m.Binding)
+	e.Updates(m.Updates)
+	e.U32(uint32(len(m.History)))
+	for _, h := range m.History {
+		e.U64(h.Incarnation)
+		e.Updates(h.Updates)
+	}
+	return e.Bytes()
+}
+
+// DecodeLockGrant parses a LockGrant payload.
+func DecodeLockGrant(buf []byte) (*LockGrant, error) {
+	d := NewDecoder(buf)
+	m := &LockGrant{
+		Lock: d.U32(),
+		Mode: Mode(d.U8()),
+	}
+	m.Time = d.I64()
+	m.Incarnation = d.U64()
+	m.Base = d.U64()
+	m.BindGen = d.U64()
+	m.Full = d.U8() != 0
+	m.Binding = d.Ranges()
+	m.Updates = d.Updates()
+	nh := int(d.U32())
+	if d.Err() == nil && nh > 0 {
+		if nh > len(buf) {
+			return nil, fmt.Errorf("decoding LockGrant: %w", ErrShortBuffer)
+		}
+		m.History = make([]HistoryEntry, 0, nh)
+		for i := 0; i < nh; i++ {
+			inc := d.U64()
+			us := d.Updates()
+			m.History = append(m.History, HistoryEntry{Incarnation: inc, Updates: us})
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decoding LockGrant: %w", err)
+	}
+	return m, nil
+}
+
+// Encode serializes the message.
+func (m *BarrierEnter) Encode() []byte {
+	var e Encoder
+	e.U32(m.Barrier)
+	e.U64(m.Epoch)
+	e.U32(m.Node)
+	e.I64(m.Time)
+	e.Updates(m.Updates)
+	return e.Bytes()
+}
+
+// DecodeBarrierEnter parses a BarrierEnter payload.
+func DecodeBarrierEnter(buf []byte) (*BarrierEnter, error) {
+	d := NewDecoder(buf)
+	m := &BarrierEnter{
+		Barrier: d.U32(),
+		Epoch:   d.U64(),
+		Node:    d.U32(),
+	}
+	m.Time = d.I64()
+	m.Updates = d.Updates()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decoding BarrierEnter: %w", err)
+	}
+	return m, nil
+}
+
+// Encode serializes the message.
+func (m *BarrierRelease) Encode() []byte {
+	var e Encoder
+	e.U32(m.Barrier)
+	e.U64(m.Epoch)
+	e.I64(m.Time)
+	e.Updates(m.Updates)
+	return e.Bytes()
+}
+
+// DecodeBarrierRelease parses a BarrierRelease payload.
+func DecodeBarrierRelease(buf []byte) (*BarrierRelease, error) {
+	d := NewDecoder(buf)
+	m := &BarrierRelease{
+		Barrier: d.U32(),
+		Epoch:   d.U64(),
+	}
+	m.Time = d.I64()
+	m.Updates = d.Updates()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decoding BarrierRelease: %w", err)
+	}
+	return m, nil
+}

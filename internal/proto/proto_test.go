@@ -1,0 +1,262 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"midway/internal/memory"
+)
+
+func TestEncoderPrimitives(t *testing.T) {
+	var e Encoder
+	e.U8(0xAB)
+	e.U32(0x01020304)
+	e.U64(0x0102030405060708)
+	e.I64(-5)
+	e.Blob([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := d.U32(); got != 0x01020304 {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 0x0102030405060708 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := d.I64(); got != -5 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.Blob(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Blob = %v", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestDecoderShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	_ = d.U32()
+	if d.Err() != ErrShortBuffer {
+		t.Errorf("short U32 error = %v", d.Err())
+	}
+	// Errors stick.
+	_ = d.U8()
+	if d.Err() != ErrShortBuffer {
+		t.Error("error did not stick")
+	}
+}
+
+func TestDecoderTrailing(t *testing.T) {
+	var e Encoder
+	e.U32(7)
+	e.U8(9)
+	d := NewDecoder(e.Bytes())
+	_ = d.U32()
+	if err := d.Finish(); err != ErrTrailing {
+		t.Errorf("Finish with trailing byte = %v, want ErrTrailing", err)
+	}
+}
+
+func TestHostileBlobLength(t *testing.T) {
+	var e Encoder
+	e.U32(0xFFFFFFF0) // claims a 4 GB blob
+	d := NewDecoder(e.Bytes())
+	if got := d.Blob(); got != nil {
+		t.Error("hostile blob length returned data")
+	}
+	if d.Err() == nil {
+		t.Error("hostile blob length not rejected")
+	}
+}
+
+func TestHostileUpdateCount(t *testing.T) {
+	var e Encoder
+	e.U32(0xFFFFFFF0) // claims four billion updates
+	d := NewDecoder(e.Bytes())
+	_ = d.Updates()
+	if d.Err() == nil {
+		t.Error("hostile update count not rejected")
+	}
+}
+
+func TestLockAcquireRoundTrip(t *testing.T) {
+	m := &LockAcquire{
+		Lock:            42,
+		Mode:            Shared,
+		Requester:       7,
+		LastTime:        -12345,
+		LastIncarnation: 99,
+		BindGen:         3,
+	}
+	got, err := DecodeLockAcquire(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip: %+v != %+v", got, m)
+	}
+}
+
+func TestLockGrantRoundTrip(t *testing.T) {
+	m := &LockGrant{
+		Lock:        5,
+		Mode:        Exclusive,
+		Time:        77,
+		Incarnation: 8,
+		Base:        6,
+		BindGen:     2,
+		Full:        true,
+		Binding:     []memory.Range{{Addr: 0x1000, Size: 64}, {Addr: 0x2000, Size: 8}},
+		Updates: []Update{
+			{Addr: 0x1000, TS: 3, Data: []byte{1, 2, 3, 4}},
+			{Addr: 0x1010, TS: 4, Data: []byte{5}},
+		},
+		History: []HistoryEntry{
+			{Incarnation: 7, Updates: []Update{{Addr: 0x2000, TS: 7, Data: []byte{9, 9}}}},
+			{Incarnation: 8, Updates: nil},
+		},
+	}
+	got, err := DecodeLockGrant(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lock != m.Lock || got.Mode != m.Mode || got.Time != m.Time ||
+		got.Incarnation != m.Incarnation || got.Base != m.Base ||
+		got.BindGen != m.BindGen || got.Full != m.Full {
+		t.Errorf("scalar fields: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Binding, m.Binding) {
+		t.Errorf("binding: %+v", got.Binding)
+	}
+	if len(got.Updates) != 2 || !bytes.Equal(got.Updates[0].Data, m.Updates[0].Data) {
+		t.Errorf("updates: %+v", got.Updates)
+	}
+	if len(got.History) != 2 || got.History[0].Incarnation != 7 {
+		t.Errorf("history: %+v", got.History)
+	}
+}
+
+func TestBarrierRoundTrips(t *testing.T) {
+	e := &BarrierEnter{
+		Barrier: 3, Epoch: 12, Node: 5, Time: 1000,
+		Updates: []Update{{Addr: 0x500, TS: 2, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}},
+	}
+	gotE, err := DecodeBarrierEnter(e.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotE.Barrier != 3 || gotE.Epoch != 12 || gotE.Node != 5 || gotE.Time != 1000 ||
+		len(gotE.Updates) != 1 {
+		t.Errorf("barrier enter: %+v", gotE)
+	}
+
+	r := &BarrierRelease{Barrier: 3, Epoch: 12, Time: 1001}
+	gotR, err := DecodeBarrierRelease(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotR.Barrier != 3 || gotR.Epoch != 12 || gotR.Time != 1001 || len(gotR.Updates) != 0 {
+		t.Errorf("barrier release: %+v", gotR)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	m := &LockGrant{
+		Lock:    5,
+		Binding: []memory.Range{{Addr: 1, Size: 2}},
+		Updates: []Update{{Addr: 9, TS: 1, Data: []byte{1, 2, 3, 4}}},
+	}
+	buf := m.Encode()
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := DecodeLockGrant(buf[:cut]); err == nil {
+			t.Errorf("truncation at %d/%d accepted", cut, len(buf))
+		}
+	}
+}
+
+// TestGrantRoundTripProperty fuzzes grant round trips with random
+// structure.
+func TestGrantRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &LockGrant{
+			Lock:        rng.Uint32(),
+			Mode:        Mode(rng.Intn(2)),
+			Time:        rng.Int63(),
+			Incarnation: rng.Uint64(),
+			Base:        rng.Uint64(),
+			BindGen:     rng.Uint64(),
+			Full:        rng.Intn(2) == 0,
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			m.Binding = append(m.Binding, memory.Range{
+				Addr: memory.Addr(rng.Uint32()), Size: rng.Uint32() % 1024,
+			})
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			data := make([]byte, rng.Intn(32))
+			rng.Read(data)
+			m.Updates = append(m.Updates, Update{
+				Addr: memory.Addr(rng.Uint32()), TS: rng.Int63(), Data: data,
+			})
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			var ups []Update
+			for j := 0; j < rng.Intn(3); j++ {
+				data := make([]byte, rng.Intn(16)+1)
+				rng.Read(data)
+				ups = append(ups, Update{Addr: memory.Addr(rng.Uint32()), TS: rng.Int63(), Data: data})
+			}
+			m.History = append(m.History, HistoryEntry{Incarnation: uint64(i + 1), Updates: ups})
+		}
+		got, err := DecodeLockGrant(m.Encode())
+		if err != nil {
+			return false
+		}
+		if got.Lock != m.Lock || got.Time != m.Time || got.Full != m.Full {
+			return false
+		}
+		if len(got.Updates) != len(m.Updates) || len(got.History) != len(m.History) {
+			return false
+		}
+		for i := range m.Updates {
+			if got.Updates[i].Addr != m.Updates[i].Addr ||
+				got.Updates[i].TS != m.Updates[i].TS ||
+				!bytes.Equal(got.Updates[i].Data, m.Updates[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateHelpers(t *testing.T) {
+	u := Update{Addr: 0x100, TS: 1, Data: make([]byte, 10)}
+	if rg := u.Range(); rg.Addr != 0x100 || rg.Size != 10 {
+		t.Errorf("Range = %+v", rg)
+	}
+	if got := UpdateBytes([]Update{u, u}); got != 20 {
+		t.Errorf("UpdateBytes = %d", got)
+	}
+}
+
+func TestKindAndModeStrings(t *testing.T) {
+	if KindLockAcquire.String() != "LockAcquire" || KindShutdown.String() != "Shutdown" {
+		t.Error("kind strings wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind produced empty string")
+	}
+	if Exclusive.String() != "exclusive" || Shared.String() != "shared" {
+		t.Error("mode strings wrong")
+	}
+}

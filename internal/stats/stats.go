@@ -1,0 +1,182 @@
+// Package stats collects per-node invocation counts of the primitive
+// operations that make up write trapping and write collection.  The counter
+// set mirrors the paper's Table 2 row for row, so that the evaluation
+// harness can regenerate Tables 2–5 by combining these counts with the cost
+// model, exactly as the paper does.
+//
+// All counters are updated with atomic operations: the application
+// goroutine and the node's protocol handler charge them concurrently.
+package stats
+
+import "sync/atomic"
+
+// Node holds the primitive-operation counters for one processor.
+// The zero value is ready to use.
+type Node struct {
+	// RT-DSM counters.
+
+	// DirtybitsSet counts stores to shared memory that set a dirtybit
+	// (write trapping).
+	DirtybitsSet atomic.Uint64
+	// DirtybitsMisclassified counts stores the compiler instrumented that
+	// turned out to hit private memory, paying the six-cycle null-template
+	// penalty.
+	DirtybitsMisclassified atomic.Uint64
+	// CleanDirtybitsRead counts dirtybits scanned during write collection
+	// whose line did not need to be sent.
+	CleanDirtybitsRead atomic.Uint64
+	// DirtyDirtybitsRead counts dirtybits scanned during write collection
+	// whose line was sent (and whose timestamp was finalized).
+	DirtyDirtybitsRead atomic.Uint64
+	// DirtybitsUpdated counts dirtybits written with a new timestamp at
+	// the requesting processor when incoming updates are applied.
+	DirtybitsUpdated atomic.Uint64
+
+	// VM-DSM counters.
+
+	// WriteFaults counts page write faults fielded (first store to a clean
+	// page: twin creation plus protection upgrade).
+	WriteFaults atomic.Uint64
+	// PagesDiffed counts pages compared against their twins during write
+	// collection.
+	PagesDiffed atomic.Uint64
+	// PagesWriteProtected counts protection calls revoking write access
+	// after a page's modifications have been shipped.
+	PagesWriteProtected atomic.Uint64
+	// TwinBytesUpdated counts bytes of incoming updates applied to local
+	// twins (needed so a remote write is not mistaken for a local one).
+	TwinBytesUpdated atomic.Uint64
+	// DiffRuns accumulates the number of modified runs observed across all
+	// page diffs; the harness uses it to charge interpolated diff costs.
+	DiffRuns atomic.Uint64
+
+	// Shared counters.
+
+	// BytesTransferred counts application data bytes shipped to other
+	// processors (updates only, excluding protocol headers, matching the
+	// paper's "data transferred" row).
+	BytesTransferred atomic.Uint64
+	// BytesScanned counts bytes of bound data examined during collection;
+	// together with DirtyBytes it yields the "percent dirty data" row.
+	BytesScanned atomic.Uint64
+	// DirtyBytes counts bytes of bound data found modified during
+	// collection.
+	DirtyBytes atomic.Uint64
+	// Messages counts protocol messages sent by this node.
+	Messages atomic.Uint64
+	// MessageBytes counts total bytes (payload) of protocol messages sent.
+	MessageBytes atomic.Uint64
+	// LockTransfers counts lock acquisitions that required a remote
+	// transfer.
+	LockTransfers atomic.Uint64
+	// BarrierCrossings counts barrier episodes completed.
+	BarrierCrossings atomic.Uint64
+}
+
+// Snapshot is an immutable copy of a Node's counters, convenient for
+// aggregation and reporting.
+type Snapshot struct {
+	DirtybitsSet           uint64
+	DirtybitsMisclassified uint64
+	CleanDirtybitsRead     uint64
+	DirtyDirtybitsRead     uint64
+	DirtybitsUpdated       uint64
+
+	WriteFaults         uint64
+	PagesDiffed         uint64
+	PagesWriteProtected uint64
+	TwinBytesUpdated    uint64
+	DiffRuns            uint64
+
+	BytesTransferred uint64
+	BytesScanned     uint64
+	DirtyBytes       uint64
+	Messages         uint64
+	MessageBytes     uint64
+	LockTransfers    uint64
+	BarrierCrossings uint64
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (n *Node) Snapshot() Snapshot {
+	return Snapshot{
+		DirtybitsSet:           n.DirtybitsSet.Load(),
+		DirtybitsMisclassified: n.DirtybitsMisclassified.Load(),
+		CleanDirtybitsRead:     n.CleanDirtybitsRead.Load(),
+		DirtyDirtybitsRead:     n.DirtyDirtybitsRead.Load(),
+		DirtybitsUpdated:       n.DirtybitsUpdated.Load(),
+
+		WriteFaults:         n.WriteFaults.Load(),
+		PagesDiffed:         n.PagesDiffed.Load(),
+		PagesWriteProtected: n.PagesWriteProtected.Load(),
+		TwinBytesUpdated:    n.TwinBytesUpdated.Load(),
+		DiffRuns:            n.DiffRuns.Load(),
+
+		BytesTransferred: n.BytesTransferred.Load(),
+		BytesScanned:     n.BytesScanned.Load(),
+		DirtyBytes:       n.DirtyBytes.Load(),
+		Messages:         n.Messages.Load(),
+		MessageBytes:     n.MessageBytes.Load(),
+		LockTransfers:    n.LockTransfers.Load(),
+		BarrierCrossings: n.BarrierCrossings.Load(),
+	}
+}
+
+// Add accumulates another snapshot into s.
+func (s *Snapshot) Add(o Snapshot) {
+	s.DirtybitsSet += o.DirtybitsSet
+	s.DirtybitsMisclassified += o.DirtybitsMisclassified
+	s.CleanDirtybitsRead += o.CleanDirtybitsRead
+	s.DirtyDirtybitsRead += o.DirtyDirtybitsRead
+	s.DirtybitsUpdated += o.DirtybitsUpdated
+
+	s.WriteFaults += o.WriteFaults
+	s.PagesDiffed += o.PagesDiffed
+	s.PagesWriteProtected += o.PagesWriteProtected
+	s.TwinBytesUpdated += o.TwinBytesUpdated
+	s.DiffRuns += o.DiffRuns
+
+	s.BytesTransferred += o.BytesTransferred
+	s.BytesScanned += o.BytesScanned
+	s.DirtyBytes += o.DirtyBytes
+	s.Messages += o.Messages
+	s.MessageBytes += o.MessageBytes
+	s.LockTransfers += o.LockTransfers
+	s.BarrierCrossings += o.BarrierCrossings
+}
+
+// Scale divides every counter by n (integer division), producing the
+// per-processor averages the paper reports in Table 2.
+func (s *Snapshot) Scale(n uint64) {
+	if n == 0 {
+		return
+	}
+	s.DirtybitsSet /= n
+	s.DirtybitsMisclassified /= n
+	s.CleanDirtybitsRead /= n
+	s.DirtyDirtybitsRead /= n
+	s.DirtybitsUpdated /= n
+
+	s.WriteFaults /= n
+	s.PagesDiffed /= n
+	s.PagesWriteProtected /= n
+	s.TwinBytesUpdated /= n
+	s.DiffRuns /= n
+
+	s.BytesTransferred /= n
+	s.BytesScanned /= n
+	s.DirtyBytes /= n
+	s.Messages /= n
+	s.MessageBytes /= n
+	s.LockTransfers /= n
+	s.BarrierCrossings /= n
+}
+
+// PercentDirty returns the percentage of scanned bound data that was found
+// modified during collection, matching the paper's "percent dirty data" row.
+func (s Snapshot) PercentDirty() float64 {
+	if s.BytesScanned == 0 {
+		return 0
+	}
+	return 100 * float64(s.DirtyBytes) / float64(s.BytesScanned)
+}

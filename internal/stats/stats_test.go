@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSnapshotCopiesAllCounters(t *testing.T) {
+	var n Node
+	n.DirtybitsSet.Store(1)
+	n.DirtybitsMisclassified.Store(2)
+	n.CleanDirtybitsRead.Store(3)
+	n.DirtyDirtybitsRead.Store(4)
+	n.DirtybitsUpdated.Store(5)
+	n.WriteFaults.Store(6)
+	n.PagesDiffed.Store(7)
+	n.PagesWriteProtected.Store(8)
+	n.TwinBytesUpdated.Store(9)
+	n.DiffRuns.Store(10)
+	n.BytesTransferred.Store(11)
+	n.BytesScanned.Store(12)
+	n.DirtyBytes.Store(13)
+	n.Messages.Store(14)
+	n.MessageBytes.Store(15)
+	n.LockTransfers.Store(16)
+	n.BarrierCrossings.Store(17)
+
+	s := n.Snapshot()
+	want := Snapshot{
+		DirtybitsSet: 1, DirtybitsMisclassified: 2, CleanDirtybitsRead: 3,
+		DirtyDirtybitsRead: 4, DirtybitsUpdated: 5, WriteFaults: 6,
+		PagesDiffed: 7, PagesWriteProtected: 8, TwinBytesUpdated: 9,
+		DiffRuns: 10, BytesTransferred: 11, BytesScanned: 12, DirtyBytes: 13,
+		Messages: 14, MessageBytes: 15, LockTransfers: 16, BarrierCrossings: 17,
+	}
+	if s != want {
+		t.Errorf("snapshot = %+v, want %+v", s, want)
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	a := Snapshot{DirtybitsSet: 10, WriteFaults: 4, BytesTransferred: 100}
+	b := Snapshot{DirtybitsSet: 6, WriteFaults: 2, BytesTransferred: 50}
+	a.Add(b)
+	if a.DirtybitsSet != 16 || a.WriteFaults != 6 || a.BytesTransferred != 150 {
+		t.Errorf("Add produced %+v", a)
+	}
+	a.Scale(2)
+	if a.DirtybitsSet != 8 || a.WriteFaults != 3 || a.BytesTransferred != 75 {
+		t.Errorf("Scale produced %+v", a)
+	}
+	// Scaling by zero is a no-op, not a crash.
+	a.Scale(0)
+	if a.DirtybitsSet != 8 {
+		t.Error("Scale(0) modified the snapshot")
+	}
+}
+
+func TestPercentDirty(t *testing.T) {
+	s := Snapshot{BytesScanned: 200, DirtyBytes: 50}
+	if got := s.PercentDirty(); got != 25 {
+		t.Errorf("PercentDirty = %g, want 25", got)
+	}
+	var empty Snapshot
+	if got := empty.PercentDirty(); got != 0 {
+		t.Errorf("PercentDirty on empty = %g, want 0", got)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	var n Node
+	var wg sync.WaitGroup
+	const workers = 8
+	const each = 10000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				n.DirtybitsSet.Add(1)
+				n.BytesTransferred.Add(3)
+			}
+		}()
+	}
+	wg.Wait()
+	s := n.Snapshot()
+	if s.DirtybitsSet != workers*each {
+		t.Errorf("DirtybitsSet = %d, want %d", s.DirtybitsSet, workers*each)
+	}
+	if s.BytesTransferred != workers*each*3 {
+		t.Errorf("BytesTransferred = %d, want %d", s.BytesTransferred, workers*each*3)
+	}
+}

@@ -1,0 +1,337 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"midway/internal/proto"
+)
+
+// TCPNetwork connects nodes through a full mesh of TCP connections.  Every
+// node listens on its own address; node i dials every node j > i, and the
+// two directions of each socket carry the two directions of traffic.
+//
+// A TCPNetwork can host all nodes in one process (NewLoopbackTCPNetwork,
+// used by tests and the single-binary runner) or a single node of a
+// multi-process deployment (DialTCPNode, used by cmd/midway-run's
+// distributed mode).
+type TCPNetwork struct {
+	conns []*tcpConn
+	mu    sync.Mutex
+	close []io.Closer
+	done  bool
+}
+
+// maxFrame bounds a single message frame; larger frames indicate
+// corruption.
+const maxFrame = 64 << 20
+
+// writeFrame serializes a message onto w.
+func writeFrame(w *bufio.Writer, m Message) error {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(headerSize-4+len(m.Payload)))
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(m.From))
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(m.To))
+	hdr[8] = byte(m.Kind)
+	binary.LittleEndian.PutUint64(hdr[12:], m.Time)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(m.Payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame parses one message from r.
+func readFrame(r *bufio.Reader) (Message, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if n < headerSize-4 || n > maxFrame {
+		return Message{}, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, err
+	}
+	m := Message{
+		From:    int(binary.LittleEndian.Uint16(body[0:])),
+		To:      int(binary.LittleEndian.Uint16(body[2:])),
+		Kind:    proto.Kind(body[4]),
+		Time:    binary.LittleEndian.Uint64(body[8:16]),
+		Payload: body[16:],
+	}
+	return m, nil
+}
+
+// tcpConn is one node's endpoint in a TCP mesh.
+type tcpConn struct {
+	id    int
+	peers []*peer // indexed by node id; peers[id] is nil (loopback shortcut)
+	inbox chan Message
+	self  chan Message // loopback messages bypass the sockets
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// peer is one socket to a remote node.
+type peer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	w    *bufio.Writer
+}
+
+func (c *tcpConn) Send(m Message) error {
+	if m.From != c.id {
+		return fmt.Errorf("transport: node %d sending as %d", c.id, m.From)
+	}
+	if m.To == c.id {
+		select {
+		case c.inbox <- m:
+			return nil
+		case <-c.closed:
+			return ErrClosed
+		}
+	}
+	if m.To < 0 || m.To >= len(c.peers) || c.peers[m.To] == nil {
+		return fmt.Errorf("transport: no route from %d to %d", c.id, m.To)
+	}
+	p := c.peers[m.To]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := writeFrame(p.w, m); err != nil {
+		return fmt.Errorf("transport: send %d->%d: %w", c.id, m.To, err)
+	}
+	return nil
+}
+
+func (c *tcpConn) Recv() (Message, error) {
+	select {
+	case m, ok := <-c.inbox:
+		if !ok {
+			return Message{}, ErrClosed
+		}
+		return m, nil
+	case <-c.closed:
+		return Message{}, ErrClosed
+	}
+}
+
+func (c *tcpConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+// readLoop pumps messages from one socket into the node's inbox.
+func (c *tcpConn) readLoop(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		m, err := readFrame(r)
+		if err != nil {
+			return // socket closed or corrupt; Recv unblocks via c.closed
+		}
+		select {
+		case c.inbox <- m:
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+// Nodes returns the node count.
+func (n *TCPNetwork) Nodes() int { return len(n.conns) }
+
+// Conn returns node i's endpoint.  In a multi-process deployment only the
+// local node's endpoint is non-nil.
+func (n *TCPNetwork) Conn(i int) Conn {
+	if n.conns[i] == nil {
+		panic(fmt.Sprintf("transport: node %d is not hosted by this process", i))
+	}
+	return n.conns[i]
+}
+
+// Close shuts down every hosted endpoint and socket.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.done {
+		return nil
+	}
+	n.done = true
+	for _, c := range n.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, cl := range n.close {
+		cl.Close()
+	}
+	return nil
+}
+
+// NewLoopbackTCPNetwork creates an n-node mesh over OS loopback sockets,
+// all hosted in the calling process.  It exists so tests and single-binary
+// runs exercise the genuine wire path.
+func NewLoopbackTCPNetwork(n int) (*TCPNetwork, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: invalid node count %d", n)
+	}
+	net1 := &TCPNetwork{conns: make([]*tcpConn, n)}
+	for i := range net1.conns {
+		net1.conns[i] = &tcpConn{
+			id:     i,
+			peers:  make([]*peer, n),
+			inbox:  make(chan Message, inboxCap),
+			closed: make(chan struct{}),
+		}
+	}
+	// Pairwise pipes: for each i<j, one socket pair.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b, err := socketPair()
+			if err != nil {
+				net1.Close()
+				return nil, err
+			}
+			net1.close = append(net1.close, a, b)
+			net1.conns[i].peers[j] = &peer{conn: a, w: bufio.NewWriterSize(a, 64<<10)}
+			net1.conns[j].peers[i] = &peer{conn: b, w: bufio.NewWriterSize(b, 64<<10)}
+			go net1.conns[i].readLoop(a)
+			go net1.conns[j].readLoop(b)
+		}
+	}
+	return net1, nil
+}
+
+// socketPair returns two connected TCP sockets over loopback.
+func socketPair() (net.Conn, net.Conn, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	defer l.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- accepted{c, err}
+	}()
+	a, err := net.DialTimeout("tcp", l.Addr().String(), 5*time.Second)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	acc := <-ch
+	if acc.err != nil {
+		a.Close()
+		return nil, nil, fmt.Errorf("transport: accept: %w", acc.err)
+	}
+	return a, acc.c, nil
+}
+
+// DialTCPNode joins a multi-process mesh as node id of n nodes.  addrs
+// lists every node's listen address (host:port), indexed by node id.  The
+// function listens on addrs[id], dials every lower-numbered node, accepts
+// connections from every higher-numbered node, and returns once the mesh
+// is complete.  Peers identify themselves with a 4-byte hello frame.
+func DialTCPNode(id, n int, addrs []string) (*TCPNetwork, error) {
+	if len(addrs) != n {
+		return nil, fmt.Errorf("transport: %d addresses for %d nodes", len(addrs), n)
+	}
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("transport: node id %d out of range", id)
+	}
+	c := &tcpConn{
+		id:     id,
+		peers:  make([]*peer, n),
+		inbox:  make(chan Message, inboxCap),
+		closed: make(chan struct{}),
+	}
+	tn := &TCPNetwork{conns: make([]*tcpConn, n)}
+	tn.conns[id] = c
+
+	l, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("transport: node %d listen on %s: %w", id, addrs[id], err)
+	}
+	tn.close = append(tn.close, l)
+
+	// Accept from higher-numbered peers.
+	expected := n - 1 - id
+	type hello struct {
+		peerID int
+		conn   net.Conn
+		err    error
+	}
+	acceptCh := make(chan hello, expected)
+	if expected > 0 {
+		go func() {
+			for k := 0; k < expected; k++ {
+				conn, err := l.Accept()
+				if err != nil {
+					acceptCh <- hello{err: err}
+					return
+				}
+				var idb [4]byte
+				if _, err := io.ReadFull(conn, idb[:]); err != nil {
+					acceptCh <- hello{err: err}
+					return
+				}
+				acceptCh <- hello{peerID: int(binary.LittleEndian.Uint32(idb[:])), conn: conn}
+			}
+		}()
+	}
+
+	// Dial lower-numbered peers, retrying while they come up.
+	for j := 0; j < id; j++ {
+		var conn net.Conn
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			conn, err = net.DialTimeout("tcp", addrs[j], 2*time.Second)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				tn.Close()
+				return nil, fmt.Errorf("transport: node %d dial node %d at %s: %w", id, j, addrs[j], err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		var idb [4]byte
+		binary.LittleEndian.PutUint32(idb[:], uint32(id))
+		if _, err := conn.Write(idb[:]); err != nil {
+			tn.Close()
+			return nil, fmt.Errorf("transport: node %d hello to %d: %w", id, j, err)
+		}
+		tn.close = append(tn.close, conn)
+		c.peers[j] = &peer{conn: conn, w: bufio.NewWriterSize(conn, 64<<10)}
+		go c.readLoop(conn)
+	}
+
+	for k := 0; k < expected; k++ {
+		h := <-acceptCh
+		if h.err != nil {
+			tn.Close()
+			return nil, fmt.Errorf("transport: node %d accept: %w", id, h.err)
+		}
+		if h.peerID <= id || h.peerID >= n || c.peers[h.peerID] != nil {
+			tn.Close()
+			return nil, fmt.Errorf("transport: node %d bad hello from peer %d", id, h.peerID)
+		}
+		tn.close = append(tn.close, h.conn)
+		c.peers[h.peerID] = &peer{conn: h.conn, w: bufio.NewWriterSize(h.conn, 64<<10)}
+		go c.readLoop(h.conn)
+	}
+	return tn, nil
+}

@@ -1,0 +1,147 @@
+// Package transport moves protocol messages between DSM nodes.
+//
+// Two implementations are provided.  The channel transport connects nodes
+// within one process and is the default for simulation runs; the TCP
+// transport connects nodes through real sockets (within one process or
+// across processes) and demonstrates that the protocol is a genuine
+// message-passing design with an explicit wire format.
+//
+// Transports carry the sender's simulated cycle clock in every message so
+// the receiver can join clocks; they know nothing about costs themselves.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"midway/internal/proto"
+)
+
+// Message is one protocol message in flight.
+type Message struct {
+	From, To int
+	Kind     proto.Kind
+	// Time is the sender's simulated cycle clock at the moment of send.
+	Time uint64
+	// Payload is the proto-encoded message body.
+	Payload []byte
+}
+
+// Size returns the message's wire size in bytes (header plus payload),
+// used by the network cost model.
+func (m Message) Size() int { return headerSize + len(m.Payload) }
+
+// headerSize is the fixed per-message framing overhead: length (4),
+// from (2), to (2), kind (1), pad (3), time (8).
+const headerSize = 20
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is one node's endpoint: it can send to any node and receive
+// messages addressed to it.  Send must be safe for concurrent use; Recv is
+// called from a single protocol-handler goroutine.
+type Conn interface {
+	// Send enqueues a message for delivery.  m.From must be this node.
+	Send(m Message) error
+	// Recv blocks until a message arrives or the connection closes, in
+	// which case it returns ErrClosed.
+	Recv() (Message, error)
+	// Close shuts the endpoint down, unblocking Recv.
+	Close() error
+}
+
+// Network is a set of connected node endpoints.
+type Network interface {
+	// Nodes returns the number of nodes.
+	Nodes() int
+	// Conn returns node i's endpoint.
+	Conn(i int) Conn
+	// Close shuts down all endpoints.
+	Close() error
+}
+
+// inboxCap bounds each node's pending-message queue.  The EC protocol is
+// request-reply with small fan-out, so queues stay short; the bound exists
+// to surface protocol bugs as deadlocks rather than unbounded growth.
+const inboxCap = 4096
+
+// chanConn is one endpoint of a channel network.
+type chanConn struct {
+	id  int
+	net *ChannelNetwork
+}
+
+// ChannelNetwork connects n in-process nodes through buffered channels.
+type ChannelNetwork struct {
+	inboxes []chan Message
+	mu      sync.Mutex
+	closed  bool
+}
+
+// NewChannelNetwork returns a network of n connected in-process nodes.
+func NewChannelNetwork(n int) *ChannelNetwork {
+	if n <= 0 {
+		panic(fmt.Sprintf("transport: invalid node count %d", n))
+	}
+	net := &ChannelNetwork{inboxes: make([]chan Message, n)}
+	for i := range net.inboxes {
+		net.inboxes[i] = make(chan Message, inboxCap)
+	}
+	return net
+}
+
+// Nodes returns the node count.
+func (n *ChannelNetwork) Nodes() int { return len(n.inboxes) }
+
+// Conn returns node i's endpoint.
+func (n *ChannelNetwork) Conn(i int) Conn { return &chanConn{id: i, net: n} }
+
+// Close closes every inbox, unblocking all receivers.
+func (n *ChannelNetwork) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	for _, ch := range n.inboxes {
+		close(ch)
+	}
+	return nil
+}
+
+func (c *chanConn) Send(m Message) (err error) {
+	if m.From != c.id {
+		return fmt.Errorf("transport: node %d sending as %d", c.id, m.From)
+	}
+	if m.To < 0 || m.To >= len(c.net.inboxes) {
+		return fmt.Errorf("transport: destination %d out of range", m.To)
+	}
+	c.net.mu.Lock()
+	closed := c.net.closed
+	c.net.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	defer func() {
+		// A send on a concurrently-closed channel panics; report it as
+		// ErrClosed instead (shutdown is the only time this can happen).
+		if recover() != nil {
+			err = ErrClosed
+		}
+	}()
+	c.net.inboxes[m.To] <- m
+	return nil
+}
+
+func (c *chanConn) Recv() (Message, error) {
+	m, ok := <-c.net.inboxes[c.id]
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	return m, nil
+}
+
+func (c *chanConn) Close() error { return nil }

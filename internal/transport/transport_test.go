@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"midway/internal/proto"
+)
+
+// exerciseNetwork checks basic delivery properties on any Network.
+func exerciseNetwork(t *testing.T, net Network) {
+	t.Helper()
+	n := net.Nodes()
+
+	// Pairwise delivery with payload integrity and FIFO per pair.
+	var wg sync.WaitGroup
+	const msgs = 50
+	for to := 0; to < n; to++ {
+		wg.Add(1)
+		go func(to int) {
+			defer wg.Done()
+			conn := net.Conn(to)
+			next := make([]int, n)
+			for i := 0; i < msgs*(n-1); i++ {
+				m, err := conn.Recv()
+				if err != nil {
+					t.Errorf("node %d recv: %v", to, err)
+					return
+				}
+				if m.To != to {
+					t.Errorf("node %d got message for %d", to, m.To)
+				}
+				seq := int(m.Time)
+				if seq != next[m.From] {
+					t.Errorf("node %d: out-of-order from %d: %d, want %d", to, m.From, seq, next[m.From])
+				}
+				next[m.From]++
+				want := fmt.Sprintf("%d->%d #%d", m.From, to, seq)
+				if string(m.Payload) != want {
+					t.Errorf("payload %q, want %q", m.Payload, want)
+				}
+			}
+		}(to)
+	}
+	for from := 0; from < n; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			conn := net.Conn(from)
+			for seq := 0; seq < msgs; seq++ {
+				for to := 0; to < n; to++ {
+					if to == from {
+						continue
+					}
+					err := conn.Send(Message{
+						From:    from,
+						To:      to,
+						Kind:    proto.KindLockAcquire,
+						Time:    uint64(seq),
+						Payload: []byte(fmt.Sprintf("%d->%d #%d", from, to, seq)),
+					})
+					if err != nil {
+						t.Errorf("send %d->%d: %v", from, to, err)
+						return
+					}
+				}
+			}
+		}(from)
+	}
+	wg.Wait()
+}
+
+func TestChannelNetwork(t *testing.T) {
+	net := NewChannelNetwork(4)
+	defer net.Close()
+	exerciseNetwork(t, net)
+}
+
+func TestChannelNetworkSelfSend(t *testing.T) {
+	net := NewChannelNetwork(2)
+	defer net.Close()
+	c := net.Conn(0)
+	if err := c.Send(Message{From: 0, To: 0, Payload: []byte("self")}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Recv()
+	if err != nil || string(m.Payload) != "self" {
+		t.Fatalf("self send: %v, %q", err, m.Payload)
+	}
+}
+
+func TestChannelNetworkErrors(t *testing.T) {
+	net := NewChannelNetwork(2)
+	c := net.Conn(0)
+	if err := c.Send(Message{From: 1, To: 0}); err == nil {
+		t.Error("wrong From accepted")
+	}
+	if err := c.Send(Message{From: 0, To: 5}); err == nil {
+		t.Error("out-of-range To accepted")
+	}
+	net.Close()
+	if err := c.Send(Message{From: 0, To: 1}); err != ErrClosed {
+		t.Errorf("send after close = %v, want ErrClosed", err)
+	}
+	if _, err := c.Recv(); err != ErrClosed {
+		t.Errorf("recv after close = %v, want ErrClosed", err)
+	}
+	// Closing twice is fine.
+	if err := net.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestChannelNetworkRecvUnblocksOnClose(t *testing.T) {
+	net := NewChannelNetwork(2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := net.Conn(1).Recv()
+		done <- err
+	}()
+	net.Close()
+	if err := <-done; err != ErrClosed {
+		t.Errorf("blocked recv returned %v", err)
+	}
+}
+
+func TestLoopbackTCPNetwork(t *testing.T) {
+	net, err := NewLoopbackTCPNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	exerciseNetwork(t, net)
+}
+
+func TestLoopbackTCPSelfSend(t *testing.T) {
+	net, err := NewLoopbackTCPNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	c := net.Conn(1)
+	if err := c.Send(Message{From: 1, To: 1, Payload: []byte("loop")}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Recv()
+	if err != nil || string(m.Payload) != "loop" {
+		t.Fatalf("self send over TCP endpoint: %v, %q", err, m.Payload)
+	}
+}
+
+func TestLoopbackTCPLargePayload(t *testing.T) {
+	net, err := NewLoopbackTCPNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if err := net.Conn(0).Send(Message{From: 0, To: 1, Kind: proto.KindLockGrant, Time: 42, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := net.Conn(1).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Time != 42 || m.Kind != proto.KindLockGrant || len(m.Payload) != len(payload) {
+		t.Fatalf("large frame header corrupted: %+v", m)
+	}
+	for i := range payload {
+		if m.Payload[i] != payload[i] {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}
+
+// TestDialTCPNodeMesh brings up a multi-endpoint mesh the way separate
+// processes would, with each node joining via DialTCPNode.
+func TestDialTCPNodeMesh(t *testing.T) {
+	const n = 3
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", 42345+i)
+	}
+	nets := make([]*TCPNetwork, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nets[i], errs[i] = DialTCPNode(i, n, addrs)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d join: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, nt := range nets {
+			nt.Close()
+		}
+	}()
+
+	// Ring message: 0 -> 1 -> 2 -> 0.
+	if err := nets[0].Conn(0).Send(Message{From: 0, To: 1, Payload: []byte("ring")}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := nets[1].Conn(1).Recv()
+	if err != nil || string(m.Payload) != "ring" {
+		t.Fatalf("hop 1: %v %q", err, m.Payload)
+	}
+	if err := nets[1].Conn(1).Send(Message{From: 1, To: 2, Payload: m.Payload}); err != nil {
+		t.Fatal(err)
+	}
+	m, err = nets[2].Conn(2).Recv()
+	if err != nil || string(m.Payload) != "ring" {
+		t.Fatalf("hop 2: %v %q", err, m.Payload)
+	}
+	if err := nets[2].Conn(2).Send(Message{From: 2, To: 0, Payload: m.Payload}); err != nil {
+		t.Fatal(err)
+	}
+	m, err = nets[0].Conn(0).Recv()
+	if err != nil || string(m.Payload) != "ring" {
+		t.Fatalf("hop 3: %v %q", err, m.Payload)
+	}
+
+	// A node cannot hand out endpoints it does not host.
+	defer func() {
+		if recover() == nil {
+			t.Error("Conn for remote node did not panic")
+		}
+	}()
+	nets[0].Conn(1)
+}
+
+func TestMessageSize(t *testing.T) {
+	m := Message{Payload: make([]byte, 100)}
+	if m.Size() != 120 {
+		t.Errorf("Size = %d, want 120 (20-byte header + 100)", m.Size())
+	}
+}

@@ -1,0 +1,233 @@
+// Package untargetted implements the paper's Section 3.5 extensions for
+// untargetted memory consistency models.
+//
+// Entry consistency is targetted: only the data bound to a synchronization
+// object is made consistent, so write collection scans just the bound
+// dirtybits.  An untargetted model (release consistency, for example) must
+// make the entire shared address space consistent at a synchronization
+// point, and a flat dirtybit array then costs a scan proportional to the
+// amount of *shared* data rather than the amount of *dirty* data.  The
+// paper sketches two trapping-time/collection-time trade-offs:
+//
+//   - An update queue: each store appends the written location to a
+//     queue, with a simple heuristic coalescing the common sequential
+//     runs.  Trapping cost roughly triples, but collection touches only
+//     dirty data.
+//
+//   - Two-level dirtybits: each first-level bit covers many second-level
+//     bits; a store sets both (one extra store, about a 10% longer
+//     trapping path), and collection skips whole clean blocks.
+//
+// The Tracker implementations here expose both the functional behaviour
+// (which lines are dirty) and the cost model (cycles charged per
+// operation), so the ablation bench can reproduce the section's claims.
+package untargetted
+
+import (
+	"sort"
+
+	"midway/internal/cost"
+)
+
+// Tracker detects writes for an untargetted model over a fixed set of
+// cache lines.  Implementations are not safe for concurrent use: each
+// processor owns its tracker, as it owns its dirtybits.
+type Tracker interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Lines returns the tracked line count.
+	Lines() int
+	// RecordWrite notes a store to the given line and returns the
+	// trapping cost in cycles.
+	RecordWrite(line int) cost.Cycles
+	// Collect returns the sorted set of lines written since the previous
+	// Collect and the collection cost in cycles, and resets the tracker.
+	Collect() ([]int, cost.Cycles)
+}
+
+// Flat is the baseline: one dirtybit per line, scanned in full at every
+// collection — the structure RT-DSM uses, which is exactly right for a
+// targetted model and exactly wrong for an untargetted one.
+type Flat struct {
+	m    cost.Model
+	bits []bool
+}
+
+// NewFlat returns a flat dirtybit array over n lines.
+func NewFlat(m cost.Model, n int) *Flat {
+	return &Flat{m: m, bits: make([]bool, n)}
+}
+
+// Name implements Tracker.
+func (f *Flat) Name() string { return "flat dirtybits" }
+
+// Lines implements Tracker.
+func (f *Flat) Lines() int { return len(f.bits) }
+
+// RecordWrite implements Tracker: one dirtybit store.
+func (f *Flat) RecordWrite(line int) cost.Cycles {
+	f.bits[line] = true
+	return f.m.DirtybitSetDouble
+}
+
+// Collect implements Tracker: scan every line.
+func (f *Flat) Collect() ([]int, cost.Cycles) {
+	var dirty []int
+	var c cost.Cycles
+	for i, b := range f.bits {
+		if b {
+			c += f.m.DirtybitReadDirty
+			dirty = append(dirty, i)
+			f.bits[i] = false
+		} else {
+			c += f.m.DirtybitReadClean
+		}
+	}
+	return dirty, c
+}
+
+// Queue is the update-queue scheme: stores append to a queue of line
+// runs, coalescing sequential writes.  Trapping costs three times the
+// flat store; collection walks only the queue.
+type Queue struct {
+	m     cost.Model
+	n     int
+	runs  []lineRun
+	seen  []bool // dedup at collection
+	trapC cost.Cycles
+}
+
+type lineRun struct {
+	start, end int // [start, end)
+}
+
+// NewQueue returns an update queue over n lines.
+func NewQueue(m cost.Model, n int) *Queue {
+	return &Queue{
+		m:     m,
+		n:     n,
+		seen:  make([]bool, n),
+		trapC: 3 * m.DirtybitSetDouble, // "roughly triples the cost"
+	}
+}
+
+// Name implements Tracker.
+func (q *Queue) Name() string { return "update queue" }
+
+// Lines implements Tracker.
+func (q *Queue) Lines() int { return q.n }
+
+// RecordWrite implements Tracker: append, extending the previous run when
+// the write is sequential (the paper's queue-shrinking heuristic).
+func (q *Queue) RecordWrite(line int) cost.Cycles {
+	if k := len(q.runs); k > 0 {
+		last := &q.runs[k-1]
+		switch {
+		case line == last.end:
+			last.end++
+			return q.trapC
+		case line >= last.start && line < last.end:
+			// Rewrite within the current run: nothing to record.
+			return q.trapC
+		}
+	}
+	q.runs = append(q.runs, lineRun{start: line, end: line + 1})
+	return q.trapC
+}
+
+// Collect implements Tracker: drain the queue, deduplicating lines that
+// were enqueued more than once.  Cost is proportional to the queued
+// entries, not the shared data size.
+func (q *Queue) Collect() ([]int, cost.Cycles) {
+	var dirty []int
+	var c cost.Cycles
+	for _, r := range q.runs {
+		for line := r.start; line < r.end; line++ {
+			c += q.m.DirtybitReadDirty
+			if !q.seen[line] {
+				q.seen[line] = true
+				dirty = append(dirty, line)
+			}
+		}
+	}
+	for _, line := range dirty {
+		q.seen[line] = false
+	}
+	q.runs = q.runs[:0]
+	sort.Ints(dirty)
+	return dirty, c
+}
+
+// QueueLen reports the current number of queued runs (exposed so tests
+// can check the sequential-coalescing heuristic).
+func (q *Queue) QueueLen() int { return len(q.runs) }
+
+// TwoLevel is the hierarchical scheme: each first-level bit covers Block
+// second-level bits.  A store sets both levels (one extra store, about
+// 10% more trapping time); collection scans the first level and descends
+// only into blocks with writes.  The paper notes the first level could
+// even be implemented with page protection.
+type TwoLevel struct {
+	m     cost.Model
+	block int
+	l1    []bool
+	l2    []bool
+	trapC cost.Cycles
+}
+
+// NewTwoLevel returns a two-level tracker over n lines with the given
+// block size (second-level bits per first-level bit).
+func NewTwoLevel(m cost.Model, n, block int) *TwoLevel {
+	if block <= 0 {
+		panic("untargetted: block size must be positive")
+	}
+	return &TwoLevel{
+		m:     m,
+		block: block,
+		l1:    make([]bool, (n+block-1)/block),
+		l2:    make([]bool, n),
+		// One additional store on the write-detection path, lengthening
+		// it by about 10%.
+		trapC: m.DirtybitSetDouble + m.DirtybitSetDouble/10 + 1,
+	}
+}
+
+// Name implements Tracker.
+func (t *TwoLevel) Name() string { return "two-level dirtybits" }
+
+// Lines implements Tracker.
+func (t *TwoLevel) Lines() int { return len(t.l2) }
+
+// RecordWrite implements Tracker: set both levels.
+func (t *TwoLevel) RecordWrite(line int) cost.Cycles {
+	t.l2[line] = true
+	t.l1[line/t.block] = true
+	return t.trapC
+}
+
+// Collect implements Tracker: scan the first level, descending only into
+// dirty blocks.
+func (t *TwoLevel) Collect() ([]int, cost.Cycles) {
+	var dirty []int
+	var c cost.Cycles
+	for b, set := range t.l1 {
+		if !set {
+			c += t.m.DirtybitReadClean
+			continue
+		}
+		c += t.m.DirtybitReadDirty
+		t.l1[b] = false
+		lo := b * t.block
+		hi := min(lo+t.block, len(t.l2))
+		for line := lo; line < hi; line++ {
+			if t.l2[line] {
+				c += t.m.DirtybitReadDirty
+				dirty = append(dirty, line)
+				t.l2[line] = false
+			} else {
+				c += t.m.DirtybitReadClean
+			}
+		}
+	}
+	return dirty, c
+}

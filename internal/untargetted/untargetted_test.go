@@ -1,0 +1,170 @@
+package untargetted
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"midway/internal/cost"
+)
+
+// trackers builds one of each scheme over n lines.
+func trackers(n int) []Tracker {
+	m := cost.Default()
+	return []Tracker{NewFlat(m, n), NewQueue(m, n), NewTwoLevel(m, n, 64)}
+}
+
+// TestAllSchemesAgree: every tracker reports exactly the written line set.
+func TestAllSchemesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 512
+		writes := make([]int, rng.Intn(200))
+		want := map[int]bool{}
+		for i := range writes {
+			writes[i] = rng.Intn(n)
+			want[writes[i]] = true
+		}
+		var expect []int
+		for line := range want {
+			expect = append(expect, line)
+		}
+		sort.Ints(expect)
+		if expect == nil {
+			expect = []int{}
+		}
+
+		for _, tr := range trackers(n) {
+			for _, w := range writes {
+				tr.RecordWrite(w)
+			}
+			got, _ := tr.Collect()
+			if got == nil {
+				got = []int{}
+			}
+			if !reflect.DeepEqual(got, expect) {
+				return false
+			}
+			// After collection the tracker is clean.
+			again, _ := tr.Collect()
+			if len(again) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrappingCostRatios checks the paper's claims: the queue roughly
+// triples trapping cost, the two-level scheme adds about 10%.
+func TestTrappingCostRatios(t *testing.T) {
+	m := cost.Default()
+	flat := NewFlat(m, 64).RecordWrite(0)
+	queue := NewQueue(m, 64).RecordWrite(0)
+	twol := NewTwoLevel(m, 64, 8).RecordWrite(0)
+
+	if queue != 3*flat {
+		t.Errorf("queue trap = %d, want 3x flat (%d)", queue, 3*flat)
+	}
+	ratio := float64(twol) / float64(flat)
+	if ratio < 1.05 || ratio > 1.25 {
+		t.Errorf("two-level trap ratio = %.2f, want about 1.1", ratio)
+	}
+}
+
+// TestSequentialCoalescing: sequential writes collapse into one queue run.
+func TestSequentialCoalescing(t *testing.T) {
+	q := NewQueue(cost.Default(), 1024)
+	for i := 100; i < 200; i++ {
+		q.RecordWrite(i)
+	}
+	if q.QueueLen() != 1 {
+		t.Errorf("100 sequential writes left %d runs, want 1", q.QueueLen())
+	}
+	// Rewrites within the current run add nothing.
+	q.RecordWrite(150)
+	if q.QueueLen() != 1 {
+		t.Errorf("rewrite within run grew the queue to %d", q.QueueLen())
+	}
+	// A jump starts a new run.
+	q.RecordWrite(500)
+	if q.QueueLen() != 2 {
+		t.Errorf("non-sequential write left %d runs, want 2", q.QueueLen())
+	}
+	dirty, _ := q.Collect()
+	if len(dirty) != 101 {
+		t.Errorf("collected %d lines, want 101", len(dirty))
+	}
+}
+
+// TestCollectionCostProportionality is the section's central claim: with
+// sparse writes, the queue's collection cost tracks the dirty data, the
+// flat scan tracks the shared data, and the two-level scheme sits in
+// between.
+func TestCollectionCostProportionality(t *testing.T) {
+	m := cost.Default()
+	const n = 64 * 1024
+	const dirtyLines = 32 // very sparse, clustered
+
+	flat := NewFlat(m, n)
+	queue := NewQueue(m, n)
+	twol := NewTwoLevel(m, n, 64)
+	for _, tr := range []Tracker{flat, queue, twol} {
+		for i := 0; i < dirtyLines; i++ {
+			tr.RecordWrite(1000 + i)
+		}
+	}
+	_, flatC := flat.Collect()
+	_, queueC := queue.Collect()
+	_, twolC := twol.Collect()
+
+	if queueC*100 > flatC {
+		t.Errorf("sparse: queue collection (%d) not far below flat scan (%d)", queueC, flatC)
+	}
+	if twolC*10 > flatC {
+		t.Errorf("sparse: two-level collection (%d) not far below flat scan (%d)", twolC, flatC)
+	}
+	if queueC > twolC {
+		t.Errorf("sparse: queue (%d) costlier than two-level (%d)", queueC, twolC)
+	}
+
+	// Dense random writes erode the hierarchical advantage: the two-level
+	// scheme approaches the flat scan (it reads both levels).
+	flat2 := NewFlat(m, n)
+	twol2 := NewTwoLevel(m, n, 64)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n/2; i++ {
+		line := rng.Intn(n)
+		flat2.RecordWrite(line)
+		twol2.RecordWrite(line)
+	}
+	_, flatC2 := flat2.Collect()
+	_, twolC2 := twol2.Collect()
+	if twolC2 < flatC2 {
+		t.Errorf("dense: two-level (%d) below flat (%d); it must pay for both levels", twolC2, flatC2)
+	}
+}
+
+// TestTwoLevelBlockEdge: the last partial block is handled correctly.
+func TestTwoLevelBlockEdge(t *testing.T) {
+	tl := NewTwoLevel(cost.Default(), 100, 64) // second block is partial
+	tl.RecordWrite(99)
+	dirty, _ := tl.Collect()
+	if len(dirty) != 1 || dirty[0] != 99 {
+		t.Errorf("partial-block collect = %v", dirty)
+	}
+}
+
+func TestTwoLevelBadBlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on non-positive block size")
+		}
+	}()
+	NewTwoLevel(cost.Default(), 10, 0)
+}

@@ -1,0 +1,421 @@
+// Package midway is a software distributed shared memory (DSM) system with
+// pluggable write detection, reproducing "Software Write Detection for a
+// Distributed Shared Memory" (Zekauskas, Sawdon & Bershad, OSDI 1994).
+//
+// Midway provides entry consistency: shared data is bound to
+// synchronization objects (locks and barriers), and a processor's view of
+// that data is made consistent exactly when it acquires the guarding
+// object.  The system detects writes to shared memory with one of four
+// strategies:
+//
+//   - RT: compiler/runtime detection.  Every store sets a per-cache-line
+//     dirtybit that is really a Lamport timestamp, giving an exact update
+//     history and minimal data transfer (the paper's contribution).
+//   - VM: virtual-memory detection.  The first store to a page faults and
+//     twins the page; synchronization diffs dirty pages and manages
+//     per-lock incarnation histories (the conventional approach).
+//   - Blast: no detection; all bound data ships at every transfer.
+//   - TwinDiff: no detection; all bound data is twinned and diffed at
+//     every transfer.
+//
+// A program allocates shared memory from a System, creates locks and
+// barriers bound to ranges of it, and then calls Run, which executes the
+// supplied function once per processor.  All shared loads and stores go
+// through the per-processor Proc handle — the software analogue of the
+// instrumented stores Midway's modified GCC emits — and the system
+// maintains per-processor statistics (dirtybits set, faults taken, pages
+// diffed, bytes transferred, ...) and a simulated execution clock
+// calibrated to the paper's 25 MHz MIPS R3000 testbed.
+//
+// A minimal program:
+//
+//	sys, _ := midway.NewSystem(midway.Config{Nodes: 4, Strategy: midway.RT})
+//	counter := sys.MustAlloc("counter", 8, 8)
+//	lock := sys.NewLock("counter", counter.Range(8))
+//	sys.Run(func(p *midway.Proc) {
+//		p.Acquire(lock)
+//		p.WriteU64(counter, p.ReadU64(counter)+1)
+//		p.Release(lock)
+//	})
+package midway
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"midway/internal/core"
+	"midway/internal/cost"
+	"midway/internal/memory"
+	"midway/internal/stats"
+	"midway/internal/transport"
+)
+
+// Addr is an address in the shared virtual address space.
+type Addr = memory.Addr
+
+// Range is a contiguous span of shared memory, used to bind data to
+// synchronization objects.
+type Range = memory.Range
+
+// Strategy selects a write-detection mechanism.
+type Strategy = core.Strategy
+
+// Write-detection strategies.
+const (
+	// RT is compiler/runtime write detection with dirtybit timestamps.
+	RT = core.RT
+	// VM is virtual-memory write detection with twins, diffs and
+	// incarnation numbers.
+	VM = core.VM
+	// Blast ships all bound data at every transfer (no detection).
+	Blast = core.Blast
+	// TwinDiff twins and diffs all bound data at every transfer.
+	TwinDiff = core.TwinDiff
+	// Standalone disables detection entirely (single-node baseline).
+	Standalone = core.None
+)
+
+// ParseStrategy converts a name ("rt", "vm", "blast", "twin", "none") to a
+// Strategy.
+func ParseStrategy(s string) (Strategy, error) { return core.ParseStrategy(s) }
+
+// LockID names a lock.
+type LockID = core.LockID
+
+// BarrierID names a barrier.
+type BarrierID = core.BarrierID
+
+// Config describes a DSM system.  The zero value of every optional field
+// selects the paper's testbed parameters: Mach 3.0 exception costs, 4 KB
+// pages, a 140 Mbit/s ATM interconnect, and 1 MiB regions.
+type Config struct {
+	// Nodes is the number of processors (required, >= 1).
+	Nodes int
+	// Strategy selects the write-detection mechanism.
+	Strategy Strategy
+	// PageFaultMicros overrides the cost of fielding a VM write fault
+	// (exception + twin copy + protection), in microseconds.  The paper
+	// uses 1200 µs (Mach external pager) and 122 µs (fast exceptions).
+	// Zero selects 1200 µs.
+	PageFaultMicros float64
+	// NetLatencyMicros is the fixed one-way message cost in microseconds.
+	// Zero selects 500 µs.
+	NetLatencyMicros float64
+	// NetBandwidthMbps is the interconnect bandwidth in megabits per
+	// second.  Zero selects 140 Mbit/s.
+	NetBandwidthMbps float64
+	// UseTCP routes protocol messages through real loopback TCP sockets
+	// instead of in-process channels (all nodes still hosted in this
+	// process).
+	UseTCP bool
+	// TCPAddrs, when non-empty, deploys the system across processes: this
+	// process hosts only node TCPNodeID and connects to the other nodes
+	// at the listed host:port addresses (indexed by node id).  Every
+	// process must perform the identical setup — allocations, presets and
+	// synchronization-object creation in the same order — before Run, as
+	// in any SPMD program.
+	TCPAddrs []string
+	// TCPNodeID is this process's node id when TCPAddrs is set.
+	TCPNodeID int
+	// EagerTimestamps stamps dirtybits with the current logical time on
+	// every store, instead of the cheap pending marker that is lazily
+	// timestamped at transfer (the paper's footnote 1 default).
+	EagerTimestamps bool
+	// CombineIncarnations makes VM-DSM releasers merge multi-incarnation
+	// histories so each address is sent once — the §3.4 alternative the
+	// paper's Midway deliberately omits.  Off by default to match the
+	// paper's measured system.
+	CombineIncarnations bool
+	// Trace, when non-nil, receives one line per protocol event
+	// (acquisitions, transfers, rebindings, barrier crossings), stamped
+	// with the processor's simulated time — a debugging aid for
+	// entry-consistency programs.
+	Trace io.Writer
+}
+
+// System is one DSM instance.  Allocate shared memory and create
+// synchronization objects first, then call Run.
+type System struct {
+	inner *core.System
+	// net is a transport created on the caller's behalf, closed when Run
+	// completes.
+	net transport.Network
+}
+
+// NewSystem creates a DSM system from the configuration.
+func NewSystem(cfg Config) (*System, error) {
+	cc := core.Config{
+		Nodes:               cfg.Nodes,
+		Strategy:            cfg.Strategy,
+		Cost:                cost.Default(),
+		Network:             cost.DefaultNetwork(),
+		LocalNode:           -1,
+		EagerTimestamps:     cfg.EagerTimestamps,
+		CombineIncarnations: cfg.CombineIncarnations,
+		Trace:               cfg.Trace,
+	}
+	if cfg.PageFaultMicros > 0 {
+		cc.Cost = cc.Cost.WithFaultMicros(cfg.PageFaultMicros)
+	}
+	if cfg.NetLatencyMicros > 0 {
+		cc.Network.LatencyCycles = cost.Micros(cfg.NetLatencyMicros)
+	}
+	if cfg.NetBandwidthMbps > 0 {
+		// bytes/µs = Mbit/s / 8; cycles per KB = 1024 / (bytes/µs) µs.
+		cc.Network.CyclesPerKB = cost.Micros(1024 / (cfg.NetBandwidthMbps / 8))
+	}
+	switch {
+	case len(cfg.TCPAddrs) > 0:
+		net, err := transport.DialTCPNode(cfg.TCPNodeID, cfg.Nodes, cfg.TCPAddrs)
+		if err != nil {
+			return nil, fmt.Errorf("midway: %w", err)
+		}
+		cc.Transport = net
+		cc.LocalNode = cfg.TCPNodeID
+	case cfg.UseTCP:
+		net, err := transport.NewLoopbackTCPNetwork(cfg.Nodes)
+		if err != nil {
+			return nil, fmt.Errorf("midway: %w", err)
+		}
+		cc.Transport = net
+	}
+	inner, err := core.NewSystem(cc)
+	if err != nil {
+		if cc.Transport != nil {
+			cc.Transport.Close()
+		}
+		return nil, err
+	}
+	return &System{inner: inner, net: cc.Transport}, nil
+}
+
+// Alloc reserves size bytes of shared memory with the given software cache
+// line size in bytes (a power of two between 4 and 65536).  The line size
+// is the unit of coherency for RT-DSM detection over this data.
+func (s *System) Alloc(name string, size uint32, lineSize uint32) (Addr, error) {
+	shift, err := lineShift(lineSize)
+	if err != nil {
+		return 0, err
+	}
+	return s.inner.Alloc(name, size, shift)
+}
+
+// MustAlloc is Alloc, panicking on error.
+func (s *System) MustAlloc(name string, size uint32, lineSize uint32) Addr {
+	a, err := s.Alloc(name, size, lineSize)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// AllocPrivate reserves private (per-processor) memory.  Instrumented
+// stores that reach it pay only the misclassification penalty.
+func (s *System) AllocPrivate(name string, size uint32) (Addr, error) {
+	return s.inner.AllocPrivate(name, size)
+}
+
+// lineShift validates a cache line size and returns its log2.
+func lineShift(lineSize uint32) (uint, error) {
+	if lineSize == 0 || lineSize&(lineSize-1) != 0 {
+		return 0, fmt.Errorf("midway: line size %d is not a power of two", lineSize)
+	}
+	shift := uint(0)
+	for v := lineSize; v > 1; v >>= 1 {
+		shift++
+	}
+	if shift < memory.MinLineShift || shift > memory.MaxLineShift {
+		return 0, fmt.Errorf("midway: line size %d out of range [4, 65536]", lineSize)
+	}
+	return shift, nil
+}
+
+// NewLock creates a lock bound to the given data.
+func (s *System) NewLock(name string, binding ...Range) LockID {
+	return s.inner.NewLock(name, binding...)
+}
+
+// NewBarrier creates a barrier over all processors, optionally bound to
+// data that is made consistent at every crossing.
+func (s *System) NewBarrier(name string, binding ...Range) BarrierID {
+	return s.inner.NewBarrier(name, 0, binding...)
+}
+
+// SetBarrierParts declares, per processor, the sub-ranges of the barrier's
+// bound data that the processor writes between episodes.  Only the Blast
+// strategy requires it (it has no detection to discover writers).
+func (s *System) SetBarrierParts(b BarrierID, parts [][]Range) {
+	s.inner.SetBarrierParts(b, parts)
+}
+
+// Preset installs initial contents into every processor's copy of shared
+// memory before the run, modelling input each process loads at startup.
+// The writes are neither trapped nor counted.
+func (s *System) Preset(a Addr, data []byte) { s.inner.Preset(a, data) }
+
+// PresetF64 presets a float64 value.
+func (s *System) PresetF64(a Addr, v float64) {
+	var buf [8]byte
+	putF64(buf[:], v)
+	s.inner.Preset(a, buf[:])
+}
+
+// PresetU64 presets a uint64 value.
+func (s *System) PresetU64(a Addr, v uint64) {
+	var buf [8]byte
+	putU64(buf[:], v)
+	s.inner.Preset(a, buf[:])
+}
+
+// PresetU32 presets a uint32 value.
+func (s *System) PresetU32(a Addr, v uint32) {
+	var buf [4]byte
+	putU32(buf[:], v)
+	s.inner.Preset(a, buf[:])
+}
+
+// Run executes fn once per processor, concurrently.  It returns after all
+// instances finish; a panic in any instance is returned as an error.
+// Run may be called once per System.
+func (s *System) Run(fn func(p *Proc)) error {
+	err := s.inner.Run(func(p *core.Proc) { fn(&Proc{inner: p}) })
+	if s.net != nil {
+		s.net.Close()
+	}
+	return err
+}
+
+// Stats returns per-processor counters of the primitive write-detection
+// operations.
+func (s *System) Stats() []stats.Snapshot { return s.inner.Stats() }
+
+// TotalStats returns the sum of all processors' counters.
+func (s *System) TotalStats() stats.Snapshot { return s.inner.TotalStats() }
+
+// MeanStats returns the per-processor average of the counters, the form
+// the paper's Table 2 reports.
+func (s *System) MeanStats() stats.Snapshot { return s.inner.MeanStats() }
+
+// ExecutionSeconds returns the simulated execution time in seconds on the
+// reference 25 MHz processor: the maximum final cycle clock across
+// processors.
+func (s *System) ExecutionSeconds() float64 { return s.inner.ExecutionSeconds() }
+
+// ExecutionCycles returns the simulated execution time in cycles.
+func (s *System) ExecutionCycles() uint64 { return s.inner.ExecutionCycles() }
+
+// ReadFinal copies processor 0's copy of the range into dst after Run has
+// returned.  End the program with a barrier or lock acquisition that makes
+// the result consistent at processor 0, then extract it here.
+func (s *System) ReadFinal(rg Range, dst []byte) { s.inner.ReadFinal(rg, dst) }
+
+// ReadFinalAt is ReadFinal against an arbitrary processor's copy, for
+// results whose authoritative copy is distributed (e.g. per-worker output
+// partitions).
+func (s *System) ReadFinalAt(node int, rg Range, dst []byte) {
+	s.inner.ReadFinalAt(node, rg, dst)
+}
+
+// ReadFinalF64 reads one float64 from processor 0's copy after Run.
+func (s *System) ReadFinalF64(a Addr) float64 {
+	var buf [8]byte
+	s.inner.ReadFinal(Range{Addr: a, Size: 8}, buf[:])
+	return math.Float64frombits(getU64(buf[:]))
+}
+
+// ReadFinalU64 reads one uint64 from processor 0's copy after Run.
+func (s *System) ReadFinalU64(a Addr) uint64 {
+	var buf [8]byte
+	s.inner.ReadFinal(Range{Addr: a, Size: 8}, buf[:])
+	return getU64(buf[:])
+}
+
+// ReadFinalU32 reads one uint32 from processor 0's copy after Run.
+func (s *System) ReadFinalU32(a Addr) uint32 {
+	var buf [4]byte
+	s.inner.ReadFinal(Range{Addr: a, Size: 4}, buf[:])
+	return getU32(buf[:])
+}
+
+// Proc is the per-processor handle passed to the Run function.  All
+// shared-memory access and synchronization goes through it.  A Proc must
+// not be shared between goroutines.
+type Proc struct {
+	inner *core.Proc
+}
+
+// ID returns the processor number, in [0, Nodes).
+func (p *Proc) ID() int { return p.inner.ID() }
+
+// Nodes returns the number of processors.
+func (p *Proc) Nodes() int { return p.inner.Nodes() }
+
+// Compute charges n cycles of local computation to the simulated clock.
+func (p *Proc) Compute(n uint64) { p.inner.Compute(n) }
+
+// Cycles returns the processor's simulated time in cycles.
+func (p *Proc) Cycles() uint64 { return p.inner.Cycles() }
+
+// ReadU32 loads a 32-bit word.
+func (p *Proc) ReadU32(a Addr) uint32 { return p.inner.ReadU32(a) }
+
+// ReadU64 loads a 64-bit doubleword.
+func (p *Proc) ReadU64(a Addr) uint64 { return p.inner.ReadU64(a) }
+
+// ReadF64 loads a float64.
+func (p *Proc) ReadF64(a Addr) float64 { return p.inner.ReadF64(a) }
+
+// WriteU32 stores a 32-bit word (an instrumented shared store).
+func (p *Proc) WriteU32(a Addr, v uint32) { p.inner.WriteU32(a, v) }
+
+// WriteU64 stores a 64-bit doubleword (an instrumented shared store).
+func (p *Proc) WriteU64(a Addr, v uint64) { p.inner.WriteU64(a, v) }
+
+// WriteF64 stores a float64 (an instrumented shared store).
+func (p *Proc) WriteF64(a Addr, v float64) { p.inner.WriteF64(a, v) }
+
+// ReadBytes copies rg.Size bytes of shared memory into dst.
+func (p *Proc) ReadBytes(rg Range, dst []byte) { p.inner.ReadBytes(rg, dst) }
+
+// WriteBytes performs an area store (structure assignment / bcopy into
+// shared memory), trapped through the area template entry point.
+func (p *Proc) WriteBytes(rg Range, src []byte) { p.inner.WriteBytes(rg, src) }
+
+// Acquire obtains the lock in exclusive (write) mode.
+func (p *Proc) Acquire(l LockID) { p.inner.Acquire(l) }
+
+// AcquireShared obtains the lock in non-exclusive (read) mode, receiving a
+// consistent snapshot of the bound data.
+func (p *Proc) AcquireShared(l LockID) { p.inner.AcquireShared(l) }
+
+// Release releases the lock (local under the lazy protocol).
+func (p *Proc) Release(l LockID) { p.inner.Release(l) }
+
+// Rebind replaces the lock's data binding; the caller must hold the lock
+// exclusively.
+func (p *Proc) Rebind(l LockID, ranges ...Range) { p.inner.Rebind(l, ranges...) }
+
+// Barrier enters the barrier and blocks until all processors arrive; data
+// bound to the barrier is made consistent across all of them.
+func (p *Proc) Barrier(b BarrierID) { p.inner.Barrier(b) }
+
+// RangeAt returns the range [a, a+size).
+func RangeAt(a Addr, size uint32) Range { return Range{Addr: a, Size: size} }
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}

@@ -1,0 +1,239 @@
+package midway_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"midway"
+)
+
+func TestQuickstartCounter(t *testing.T) {
+	sys, err := midway.NewSystem(midway.Config{Nodes: 4, Strategy: midway.RT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := sys.MustAlloc("counter", 8, 8)
+	lock := sys.NewLock("counter", midway.RangeAt(counter, 8))
+	done := sys.NewBarrier("done")
+	const perNode = 10
+	err = sys.Run(func(p *midway.Proc) {
+		for i := 0; i < perNode; i++ {
+			p.Acquire(lock)
+			p.WriteU64(counter, p.ReadU64(counter)+1)
+			p.Release(lock)
+		}
+		p.Barrier(done)
+		// Pull the final value to every node so ReadFinal sees it at
+		// processor 0.
+		p.AcquireShared(lock)
+		p.Release(lock)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ReadFinalU64(counter); got != 4*perNode {
+		t.Errorf("counter = %d, want %d", got, 4*perNode)
+	}
+	if sys.ExecutionSeconds() <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := midway.NewSystem(midway.Config{Nodes: 0}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	sys, err := midway.NewSystem(midway.Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Alloc("bad", 8, 3); err == nil {
+		t.Error("non-power-of-two line size accepted")
+	}
+	if _, err := sys.Alloc("bad", 8, 2); err == nil {
+		t.Error("line size below minimum accepted")
+	}
+	if _, err := sys.Alloc("ok", 8, 4); err != nil {
+		t.Errorf("valid line size rejected: %v", err)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for name, want := range map[string]midway.Strategy{
+		"rt": midway.RT, "vm": midway.VM, "blast": midway.Blast,
+		"twin": midway.TwinDiff, "none": midway.Standalone,
+	} {
+		got, err := midway.ParseStrategy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := midway.ParseStrategy("nonsense"); err == nil {
+		t.Error("bad strategy name accepted")
+	}
+}
+
+func TestTCPTransportEndToEnd(t *testing.T) {
+	// The same exchange workload, but over real loopback sockets.
+	sys, err := midway.NewSystem(midway.Config{Nodes: 3, Strategy: midway.VM, UseTCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := sys.AllocU64("slots", 3, 8)
+	bar := sys.NewBarrier("xch", slots.Range())
+	const rounds = 5
+	err = sys.Run(func(p *midway.Proc) {
+		me := p.ID()
+		for r := 1; r <= rounds; r++ {
+			slots.Set(p, me, uint64(100*me+r))
+			p.Barrier(bar)
+			for j := 0; j < 3; j++ {
+				if got := slots.Get(p, j); got != uint64(100*j+r) {
+					panic(fmt.Sprintf("node %d round %d: slot %d = %d", me, r, j, got))
+				}
+			}
+			p.Barrier(bar)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultCostKnob(t *testing.T) {
+	// The same VM workload under 1200 µs and 122 µs fault costs: the
+	// simulated time must shrink accordingly.
+	run := func(faultUS float64) float64 {
+		sys, err := midway.NewSystem(midway.Config{
+			Nodes: 1, Strategy: midway.VM, PageFaultMicros: faultUS,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr := sys.AllocU64("arr", 8192, 8) // 16 pages
+		err = sys.Run(func(p *midway.Proc) {
+			for i := 0; i < arr.Len(); i++ {
+				arr.Set(p, i, uint64(i))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.ExecutionSeconds()
+	}
+	slow := run(1200)
+	fast := run(122)
+	if fast >= slow {
+		t.Errorf("fast exceptions (%g s) not faster than Mach pager (%g s)", fast, slow)
+	}
+}
+
+func TestNetworkKnobs(t *testing.T) {
+	run := func(latencyUS float64) float64 {
+		sys, err := midway.NewSystem(midway.Config{
+			Nodes: 2, Strategy: midway.RT, NetLatencyMicros: latencyUS,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := sys.MustAlloc("x", 8, 8)
+		l := sys.NewLock("x", midway.RangeAt(x, 8))
+		done := sys.NewBarrier("done")
+		err = sys.Run(func(p *midway.Proc) {
+			for i := 0; i < 10; i++ {
+				p.Acquire(l)
+				p.WriteU64(x, p.ReadU64(x)+1)
+				p.Release(l)
+			}
+			p.Barrier(done)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.ExecutionSeconds()
+	}
+	if slow, fast := run(2000), run(100); fast >= slow {
+		t.Errorf("lower latency did not lower simulated time: %g vs %g", fast, slow)
+	}
+}
+
+func TestPresetVisibleEverywhere(t *testing.T) {
+	sys, err := midway.NewSystem(midway.Config{Nodes: 3, Strategy: midway.RT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := sys.AllocF64("arr", 4, 8)
+	arr.Preset(sys, 2, 6.5)
+	err = sys.Run(func(p *midway.Proc) {
+		if got := arr.Get(p, 2); got != 6.5 {
+			panic(fmt.Sprintf("node %d: preset = %g", p.ID(), got))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	var buf strings.Builder
+	sys, err := midway.NewSystem(midway.Config{Nodes: 2, Strategy: midway.RT, Trace: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sys.MustAlloc("x", 8, 8)
+	l := sys.NewLock("hotlock", midway.RangeAt(x, 8))
+	bar := sys.NewBarrier("endbar")
+	err = sys.Run(func(p *midway.Proc) {
+		p.Acquire(l)
+		p.WriteU64(x, 1)
+		p.Rebind(l, midway.RangeAt(x, 8))
+		p.Release(l)
+		p.Barrier(bar)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"acquire hotlock", "rebind hotlock", "barrier endbar enter", "barrier endbar resume"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsSurface(t *testing.T) {
+	sys, err := midway.NewSystem(midway.Config{Nodes: 2, Strategy: midway.RT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := sys.AllocU64("arr", 16, 8)
+	l := sys.NewLock("arr", arr.Range())
+	done := sys.NewBarrier("done")
+	err = sys.Run(func(p *midway.Proc) {
+		p.Acquire(l)
+		for i := 0; i < 16; i++ {
+			arr.Set(p, i, 1)
+		}
+		p.Release(l)
+		p.Barrier(done)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := sys.Stats()
+	if len(per) != 2 {
+		t.Fatalf("Stats returned %d nodes", len(per))
+	}
+	total := sys.TotalStats()
+	if total.DirtybitsSet != per[0].DirtybitsSet+per[1].DirtybitsSet {
+		t.Error("TotalStats does not sum per-node stats")
+	}
+	mean := sys.MeanStats()
+	if mean.DirtybitsSet != total.DirtybitsSet/2 {
+		t.Error("MeanStats is not the per-processor average")
+	}
+	if total.DirtybitsSet != 32 {
+		t.Errorf("dirtybits set = %d, want 32", total.DirtybitsSet)
+	}
+}
