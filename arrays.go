@@ -15,11 +15,11 @@ type F64Array struct {
 
 // AllocF64 reserves a shared array of n float64 elements with the given
 // cache line size in bytes.
-func (s *System) AllocF64(name string, n int, lineSize uint32) F64Array {
+func (s *System) AllocF64(name string, n int, lineSize uint32, opts ...AllocOption) F64Array {
 	if n <= 0 {
 		panic(fmt.Sprintf("midway: invalid array length %d", n))
 	}
-	base := s.MustAlloc(name, uint32(n)*8, lineSize)
+	base := s.MustAlloc(name, uint32(n)*8, lineSize, opts...)
 	return F64Array{base: base, n: n}
 }
 
@@ -62,11 +62,11 @@ type U64Array struct {
 
 // AllocU64 reserves a shared array of n uint64 elements with the given
 // cache line size in bytes.
-func (s *System) AllocU64(name string, n int, lineSize uint32) U64Array {
+func (s *System) AllocU64(name string, n int, lineSize uint32, opts ...AllocOption) U64Array {
 	if n <= 0 {
 		panic(fmt.Sprintf("midway: invalid array length %d", n))
 	}
-	base := s.MustAlloc(name, uint32(n)*8, lineSize)
+	base := s.MustAlloc(name, uint32(n)*8, lineSize, opts...)
 	return U64Array{base: base, n: n}
 }
 
@@ -110,11 +110,11 @@ type U32Array struct {
 
 // AllocU32 reserves a shared array of n uint32 elements with the given
 // cache line size in bytes.
-func (s *System) AllocU32(name string, n int, lineSize uint32) U32Array {
+func (s *System) AllocU32(name string, n int, lineSize uint32, opts ...AllocOption) U32Array {
 	if n <= 0 {
 		panic(fmt.Sprintf("midway: invalid array length %d", n))
 	}
-	base := s.MustAlloc(name, uint32(n)*4, lineSize)
+	base := s.MustAlloc(name, uint32(n)*4, lineSize, opts...)
 	return U32Array{base: base, n: n}
 }
 

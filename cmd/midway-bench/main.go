@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	midway-bench [-exp all|fig2|table1|table2|table3|table4|table5|fig3|fig4|uni|ablation]
-//	             [-procs 8] [-scale small|medium|paper]
+//	midway-bench [-exp all|fig2|table1|table2|table3|table4|table5|fig3|fig4|uni|ablation|hybrid]
+//	             [-procs 8] [-scale small|medium|paper] [-scheme hybrid]
 //
 // Examples:
 //
 //	midway-bench                      # the full evaluation at medium scale
 //	midway-bench -exp fig2 -procs 8   # just Figure 2
+//	midway-bench -exp hybrid          # RT vs VM vs Hybrid vs standalone
 //	midway-bench -scale paper         # paper-size inputs (minutes)
 package main
 
@@ -25,9 +26,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, table1, table2, table3, table4, table5, fig3, fig4, uni, ablation, untargetted, combine, speedup")
+	exp := flag.String("exp", "all", "experiment: all, fig2, table1, table2, table3, table4, table5, fig3, fig4, uni, ablation, untargetted, combine, speedup, hybrid")
 	procs := flag.Int("procs", 8, "number of processors")
 	scaleName := flag.String("scale", "medium", "input scale: small, medium, paper")
+	scheme := flag.String("scheme", "hybrid",
+		"registry scheme the hybrid experiment compares against RT/VM (see midway.SchemeNames)")
 	flag.Parse()
 
 	scale, err := bench.ParseScale(*scaleName)
@@ -35,13 +38,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*exp, *procs, scale); err != nil {
+	if err := run(*exp, *procs, scale, *scheme); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, procs int, scale bench.Scale) error {
+func run(exp string, procs int, scale bench.Scale, scheme string) error {
 	w := os.Stdout
 	model := cost.Default()
 
@@ -107,6 +110,14 @@ func run(exp string, procs int, scale bench.Scale) error {
 		}
 		bench.FprintSpeedup(w, rows)
 	})
+	section("hybrid", func() {
+		rows, err := bench.HybridComparison(procs, scale, scheme)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybrid: %v\n", err)
+			return
+		}
+		bench.FprintHybrid(w, procs, scale, scheme, rows)
+	})
 	section("combine", func() {
 		rows, err := bench.CombineAblation(procs, scale)
 		if err != nil {
@@ -120,6 +131,7 @@ func run(exp string, procs int, scale bench.Scale) error {
 		"all": true, "fig2": true, "table1": true, "table2": true, "table3": true,
 		"table4": true, "table5": true, "fig3": true, "fig4": true, "uni": true,
 		"ablation": true, "untargetted": true, "combine": true, "speedup": true,
+		"hybrid": true,
 	}
 	if !known[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)

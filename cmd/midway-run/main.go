@@ -5,8 +5,8 @@
 // Usage:
 //
 //	midway-run -app water|quicksort|matrix|sor|cholesky
-//	           [-strategy rt|vm|blast|twin|none] [-procs 8]
-//	           [-scale small|medium|paper]
+//	           [-strategy rt|vm|blast|twin|none|hybrid] [-scheme name]
+//	           [-procs 8] [-scale small|medium|paper]
 //	           [-fault-us 1200] [-latency-us 500] [-bandwidth-mbps 140]
 //	           [-tcp] [-eager]
 //
@@ -15,12 +15,14 @@
 //	midway-run -app sor -strategy rt -procs 8
 //	midway-run -app quicksort -strategy vm -procs 4 -scale paper
 //	midway-run -app water -strategy vm -fault-us 122   # fast exceptions
+//	midway-run -app cholesky -scheme hybrid            # per-region RT/VM dispatch
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"midway"
@@ -29,7 +31,9 @@ import (
 
 func main() {
 	app := flag.String("app", "sor", "application: water, quicksort, matrix, sor, cholesky")
-	strategyName := flag.String("strategy", "rt", "write detection: rt, vm, blast, twin, none")
+	strategyName := flag.String("strategy", "rt", "write detection: rt, vm, blast, twin, none, hybrid")
+	schemeName := flag.String("scheme", "",
+		"write-detection scheme by registry name ("+strings.Join(midway.SchemeNames(), ", ")+"); overrides -strategy")
 	procs := flag.Int("procs", 8, "number of processors")
 	scaleName := flag.String("scale", "medium", "input scale: small, medium, paper")
 	faultUS := flag.Float64("fault-us", 0, "page write fault cost in µs (0 = Mach default, 1200)")
@@ -46,6 +50,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *schemeName != "" {
+		// The scheme name drives detection; when it is also a strategy name
+		// keep the Strategy field (and the result's label) in agreement.
+		if st, err := midway.ParseStrategy(*schemeName); err == nil {
+			strategy = st
+		}
+	}
 	scale, err := bench.ParseScale(*scaleName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -55,6 +66,7 @@ func main() {
 	cfg := midway.Config{
 		Nodes:               *procs,
 		Strategy:            strategy,
+		Scheme:              *schemeName,
 		PageFaultMicros:     *faultUS,
 		NetLatencyMicros:    *latencyUS,
 		NetBandwidthMbps:    *bwMbps,

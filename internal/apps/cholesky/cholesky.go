@@ -127,7 +127,7 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 	n, b := cfg.N, cfg.Band
 	procs := mcfg.Nodes
 
-	cols := sys.AllocF64("cholesky.A", n*n, 8)
+	cols := sys.AllocF64("cholesky.A", n*n, 8, midway.WithGranularity(midway.GranFine))
 	for i, v := range matrix(cfg) {
 		cols.Preset(sys, i, v)
 	}

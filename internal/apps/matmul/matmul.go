@@ -92,9 +92,9 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 	// A and B are read-only inputs, loaded identically by every process
 	// at startup; C is written through the DSM.  Doubleword lines match
 	// the floating-point common case of Section 3.1.
-	aArr := sys.AllocF64("matmul.A", n*n, 8)
-	bArr := sys.AllocF64("matmul.B", n*n, 8)
-	cArr := sys.AllocF64("matmul.C", n*n, 8)
+	aArr := sys.AllocF64("matmul.A", n*n, 8, midway.WithGranularity(midway.GranCoarse))
+	bArr := sys.AllocF64("matmul.B", n*n, 8, midway.WithGranularity(midway.GranCoarse))
+	cArr := sys.AllocF64("matmul.C", n*n, 8, midway.WithGranularity(midway.GranCoarse))
 
 	aIn, bIn := inputs(cfg)
 	presetF64s(sys, aArr, aIn)

@@ -107,8 +107,8 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 	}
 	n := cfg.N
 	k := cfg.LockPool
-	arr := sys.AllocU32("qsort.data", n, 4)
-	queue := sys.AllocU32("qsort.queue", qHeader+k+3*k, 4)
+	arr := sys.AllocU32("qsort.data", n, 4, midway.WithGranularity(midway.GranCoarse))
+	queue := sys.AllocU32("qsort.queue", qHeader+k+3*k, 4, midway.WithGranularity(midway.GranFine))
 
 	for i, v := range input(cfg) {
 		arr.Preset(sys, i, v)

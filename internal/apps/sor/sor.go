@@ -109,7 +109,7 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 	// (the paper's layout, "not partitioned to match the peculiarities of
 	// the memory system"), so every line in a written row is dirtied in
 	// every phase.
-	grid := sys.AllocF64("sor.grid", m*m, 16)
+	grid := sys.AllocF64("sor.grid", m*m, 16, midway.WithGranularity(midway.GranFine))
 	for i, v := range initial(cfg) {
 		grid.Preset(sys, i, v)
 	}

@@ -157,7 +157,7 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 	n := cfg.N
 	procs := mcfg.Nodes
 
-	pos := sys.AllocF64("water.pos", 3*n, 8)
+	pos := sys.AllocF64("water.pos", 3*n, 8, midway.WithGranularity(midway.GranFine))
 	// Each molecule has a SPLASH-style record of RecordDoubles doubles:
 	// the force accumulator and virial that the flush phase writes, the
 	// derivative fields the owner writes when advancing the state, and
@@ -165,7 +165,7 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 	// rewritten.  The per-molecule lock guards the whole record, so — as
 	// in the paper's water — each incarnation modifies only a small part
 	// of the bound data.
-	mol := sys.AllocF64("water.mol", RecordDoubles*n, 8)
+	mol := sys.AllocF64("water.mol", RecordDoubles*n, 8, midway.WithGranularity(midway.GranFine))
 
 	init := initialState(cfg)
 	for i, v := range init.pos {

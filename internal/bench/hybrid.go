@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"midway"
+)
+
+// HybridRow holds one application's cross-scheme comparison: the Figure-2
+// pair of metrics (execution time, data moved) under RT-DSM, VM-DSM and
+// the Hybrid scheme, plus the uninstrumented standalone time.
+type HybridRow struct {
+	App            string
+	StandaloneSecs float64
+	RTSecs         float64
+	VMSecs         float64
+	HybridSecs     float64
+	RTMB           float64
+	VMMB           float64
+	HybridMB       float64
+}
+
+// HybridComparison runs every application under RT-DSM, VM-DSM and the
+// named registry scheme (normally "hybrid"), plus an uninstrumented
+// single-processor run, and reports the Figure-2 metrics for each.  The
+// point of the experiment: neither RT nor VM dominates across the suite
+// (the paper's Figure 2), so a per-region dispatch should track whichever
+// mechanism suits each application's sharing granularity.
+func HybridComparison(procs int, scale Scale, scheme string) ([]HybridRow, error) {
+	rows := make([]HybridRow, 0, len(AppNames))
+	for _, app := range AppNames {
+		rt, err := RunApp(app, midway.Config{Nodes: procs, Strategy: midway.RT}, scale)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s under RT: %w", app, err)
+		}
+		vm, err := RunApp(app, midway.Config{Nodes: procs, Strategy: midway.VM}, scale)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s under VM: %w", app, err)
+		}
+		hcfg := midway.Config{Nodes: procs, Scheme: scheme}
+		// Keep the Strategy field (and the result's System label) accurate
+		// when the scheme name is also a strategy name.
+		if st, perr := midway.ParseStrategy(scheme); perr == nil {
+			hcfg.Strategy = st
+		}
+		hy, err := RunApp(app, hcfg, scale)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s under scheme %q: %w", app, scheme, err)
+		}
+		sa, err := RunApp(app, midway.Config{Nodes: 1, Strategy: midway.Standalone}, scale)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s standalone: %w", app, err)
+		}
+		rows = append(rows, HybridRow{
+			App:            app,
+			StandaloneSecs: sa.Seconds,
+			RTSecs:         rt.Seconds,
+			VMSecs:         vm.Seconds,
+			HybridSecs:     hy.Seconds,
+			RTMB:           rt.KBTransferredTotal() / 1024,
+			VMMB:           vm.KBTransferredTotal() / 1024,
+			HybridMB:       hy.KBTransferredTotal() / 1024,
+		})
+	}
+	return rows, nil
+}
+
+// FprintHybrid renders the hybrid comparison, Figure-2 style.
+func FprintHybrid(w io.Writer, procs int, scale Scale, scheme string, rows []HybridRow) {
+	fmt.Fprintf(w, "Hybrid evaluation: execution time (s) and data transferred (MB), %d procs, %s scale, scheme %q\n",
+		procs, scale, scheme)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Application\tstandalone (s)\tRT-DSM (s)\tVM-DSM (s)\tHybrid (s)\tRT-DSM (MB)\tVM-DSM (MB)\tHybrid (MB)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			r.App, r.StandaloneSecs, r.RTSecs, r.VMSecs, r.HybridSecs, r.RTMB, r.VMMB, r.HybridMB)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		maxSecs := max(r.RTSecs, r.VMSecs, r.HybridSecs)
+		if maxSecs <= 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s RT %s %.2fs\n", r.App, bar(r.RTSecs/maxSecs), r.RTSecs)
+		fmt.Fprintf(w, "%-10s VM %s %.2fs\n", "", bar(r.VMSecs/maxSecs), r.VMSecs)
+		fmt.Fprintf(w, "%-10s HY %s %.2fs\n", "", bar(r.HybridSecs/maxSecs), r.HybridSecs)
+	}
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHybridComparison runs the hybrid experiment at small scale and
+// checks its sanity properties: every cell is populated, and per-region
+// dispatch never costs more than the worse of the two pure mechanisms
+// (the strong ≤ min(RT, VM) + 5% claim is checked at medium scale by the
+// midway-bench acceptance run; small inputs are too noisy for it).
+func TestHybridComparison(t *testing.T) {
+	rows, err := HybridComparison(4, ScaleSmall, "hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(AppNames) {
+		t.Fatalf("hybrid comparison has %d rows, want %d", len(rows), len(AppNames))
+	}
+	for _, r := range rows {
+		if r.RTSecs <= 0 || r.VMSecs <= 0 || r.HybridSecs <= 0 || r.StandaloneSecs <= 0 {
+			t.Errorf("%s: missing execution times: %+v", r.App, r)
+		}
+		if worse := max(r.RTSecs, r.VMSecs); r.HybridSecs > worse*1.05 {
+			t.Errorf("%s: hybrid (%.4fs) slower than both RT (%.4fs) and VM (%.4fs)",
+				r.App, r.HybridSecs, r.RTSecs, r.VMSecs)
+		}
+	}
+
+	var sb strings.Builder
+	FprintHybrid(&sb, 4, ScaleSmall, "hybrid", rows)
+	out := sb.String()
+	for _, app := range AppNames {
+		if !strings.Contains(out, app) {
+			t.Errorf("rendered hybrid table missing %q", app)
+		}
+	}
+	if !strings.Contains(out, "Hybrid (MB)") {
+		t.Error("rendered hybrid table missing the data-transfer columns")
+	}
+}

@@ -17,7 +17,14 @@
 // Two further strategies from the paper's Section 3.5 round out the design
 // space: Blast (no detection; all bound data is shipped at every transfer)
 // and TwinDiff (no detection; all bound data is twinned and diffed at every
-// transfer).
+// transfer).  A Hybrid strategy dispatches between the RT and VM mechanisms
+// per region, following the paper's observation that neither scheme
+// dominates across sharing granularities.
+//
+// The detection mechanisms themselves live in internal/detect and are
+// resolved by registry name; core implements the consistency protocol
+// (ownership transfer, forwarding, barrier management) against the
+// detect.Detector interface.
 //
 // Under entry consistency, processes synchronize through locks and
 // barriers, each of which the programmer binds to the data it protects.
@@ -31,6 +38,7 @@ import (
 	"sync"
 
 	"midway/internal/cost"
+	"midway/internal/detect"
 	"midway/internal/memory"
 	"midway/internal/stats"
 	"midway/internal/transport"
@@ -54,6 +62,10 @@ const (
 	// None disables both detection and collection.  It exists for the
 	// standalone (uninstrumented, single-node) baseline of Figure 2.
 	None
+	// Hybrid dispatches between the RT and VM mechanisms per region,
+	// selected by the allocation's granularity class (or measured write
+	// density for untagged regions).
+	Hybrid
 )
 
 // String returns the strategy's name as used in reports.
@@ -69,13 +81,35 @@ func (s Strategy) String() string {
 		return "TwinDiff"
 	case None:
 		return "standalone"
+	case Hybrid:
+		return "Hybrid"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
 }
 
-// ParseStrategy converts a name ("rt", "vm", "blast", "twin", "none") to a
-// Strategy.
+// Scheme returns the detect registry name the strategy resolves to.
+func (s Strategy) Scheme() string {
+	switch s {
+	case RT:
+		return "rt"
+	case VM:
+		return "vm"
+	case Blast:
+		return "blast"
+	case TwinDiff:
+		return "twindiff"
+	case None:
+		return "none"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return ""
+	}
+}
+
+// ParseStrategy converts a name ("rt", "vm", "blast", "twin", "none",
+// "hybrid") to a Strategy.
 func ParseStrategy(s string) (Strategy, error) {
 	switch s {
 	case "rt", "RT", "rt-dsm":
@@ -88,6 +122,8 @@ func ParseStrategy(s string) (Strategy, error) {
 		return TwinDiff, nil
 	case "none", "standalone":
 		return None, nil
+	case "hybrid", "Hybrid":
+		return Hybrid, nil
 	}
 	return 0, fmt.Errorf("core: unknown strategy %q", s)
 }
@@ -98,6 +134,10 @@ type Config struct {
 	Nodes int
 	// Strategy selects the write-detection mechanism.
 	Strategy Strategy
+	// Scheme optionally selects the write-detection scheme by its detect
+	// registry name, overriding Strategy.  Empty means Strategy.Scheme().
+	// This is the hook for externally registered detectors.
+	Scheme string
 	// Cost is the primitive-operation cost model; zero value means
 	// cost.Default().
 	Cost cost.Model
@@ -199,6 +239,13 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.RegionShift == 0 {
 		cfg.RegionShift = memory.DefaultRegionShift
 	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = cfg.Strategy.Scheme()
+	}
+	if !detect.Registered(cfg.Scheme) {
+		return nil, fmt.Errorf("core: unknown detection scheme %q (registered: %v)",
+			cfg.Scheme, detect.Names())
+	}
 	s := &System{
 		cfg:    cfg,
 		layout: memory.NewLayout(cfg.RegionShift),
@@ -237,9 +284,25 @@ func (s *System) Alloc(name string, size uint32, lineShift uint) (memory.Addr, e
 	return s.layout.Alloc(name, size, memory.Shared, lineShift)
 }
 
+// AllocTagged is Alloc with an explicit granularity class, which the
+// hybrid scheme uses to route the allocation's regions to the rt or vm
+// mechanism.  Other schemes ignore the tag.
+func (s *System) AllocTagged(name string, size uint32, lineShift uint, gran memory.Gran) (memory.Addr, error) {
+	return s.layout.AllocTagged(name, size, memory.Shared, lineShift, gran)
+}
+
 // MustAlloc is Alloc, panicking on error (setup-time convenience).
 func (s *System) MustAlloc(name string, size uint32, lineShift uint) memory.Addr {
 	a, err := s.Alloc(name, size, lineShift)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// MustAllocTagged is AllocTagged, panicking on error.
+func (s *System) MustAllocTagged(name string, size uint32, lineShift uint, gran memory.Gran) memory.Addr {
+	a, err := s.AllocTagged(name, size, lineShift, gran)
 	if err != nil {
 		panic(err)
 	}
@@ -307,6 +370,14 @@ func (s *System) SetBarrierParts(b BarrierID, parts [][]memory.Range) {
 	obj.parts = parts
 }
 
+// objectsSnapshot returns a copy of the object table (for detector-side
+// iteration while the node mutex, not the system mutex, is held).
+func (s *System) objectsSnapshot() []*object {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*object(nil), s.objects...)
+}
+
 // objectByID returns the object table entry.
 func (s *System) objectByID(id uint32) *object {
 	s.mu.Lock()
@@ -350,7 +421,7 @@ type preset struct {
 // pristineBound reconstructs the pre-run contents of the bound ranges as a
 // contiguous buffer: zeros overlaid with any presets.
 func (s *System) pristineBound(binding []memory.Range) []byte {
-	buf := make([]byte, rangesBytes(binding))
+	buf := make([]byte, detect.RangesBytes(binding))
 	s.mu.Lock()
 	presets := s.presets
 	s.mu.Unlock()

@@ -8,7 +8,7 @@ import (
 )
 
 // allStrategies lists every detecting strategy (None is single-node only).
-var allStrategies = []Strategy{RT, VM, Blast, TwinDiff}
+var allStrategies = []Strategy{RT, VM, Blast, TwinDiff, Hybrid}
 
 func newTestSystem(t *testing.T, nodes int, strat Strategy) *System {
 	t.Helper()

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"midway/internal/detect"
 	"midway/internal/memory"
 )
 
@@ -153,13 +154,7 @@ func TestVMFullDataRule(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		n := s.Node(i)
 		n.mu.Lock()
-		lk := n.lockState(uint32(lock))
-		total := 0
-		for _, h := range lk.history {
-			for _, u := range h.Updates {
-				total += len(u.Data)
-			}
-		}
+		total := detect.RetainedHistoryBytes(n.lockState(uint32(lock)))
 		n.mu.Unlock()
 		if total > 64 {
 			t.Errorf("node %d retains %d bytes of history for a 64-byte binding", i, total)

@@ -6,6 +6,7 @@ import (
 
 	"midway/internal/clock"
 	"midway/internal/cost"
+	"midway/internal/detect"
 	"midway/internal/memory"
 	"midway/internal/proto"
 	"midway/internal/stats"
@@ -13,36 +14,9 @@ import (
 	"midway/internal/vmem"
 )
 
-// detector is the strategy interface: write trapping on the store path and
-// write collection/application at synchronization points.  Implementations
-// charge primitive-operation costs and update the node's counters; the
-// returned cycle figures are used to time-stamp the resulting protocol
-// messages.
-type detector interface {
-	// trapWrite is invoked after every instrumented store of size bytes
-	// at a within region r.
-	trapWrite(a memory.Addr, size uint32, r *memory.Region)
-
-	// collectLock gathers the updates a requester needs, given the
-	// requester's last consistency point, and advances the lock's local
-	// bookkeeping (timestamps or incarnations).  exclusive reports
-	// whether ownership is being transferred.  It returns the grant
-	// fields and the cycles the collection consumed.
-	collectLock(lk *lockState, req *proto.LockAcquire, exclusive bool) (*proto.LockGrant, cost.Cycles)
-
-	// applyLock incorporates a received grant at the requesting node,
-	// returning the cycles consumed.
-	applyLock(lk *lockState, g *proto.LockGrant) cost.Cycles
-
-	// collectBarrier gathers this node's modifications to the barrier's
-	// bound data since the last episode.
-	collectBarrier(b *barrierState) ([]proto.Update, cost.Cycles)
-
-	// applyBarrier incorporates the merged updates from other nodes.
-	applyBarrier(b *barrierState, rel *proto.BarrierRelease) cost.Cycles
-}
-
-// lockState is one node's view of a lock.
+// lockState is one node's view of a lock.  It implements detect.LockView;
+// detector-specific bookkeeping (timestamps, incarnation histories, twins)
+// lives behind the opaque det slot.
 type lockState struct {
 	id  uint32
 	obj *object
@@ -56,35 +30,15 @@ type lockState struct {
 	// binding is the lock's current data binding (travels with the lock).
 	binding []memory.Range
 	// rebound marks the binding as changed since the last transfer; the
-	// next VM-DSM transfer ships full data without diffing.
+	// next transfer of a history-keeping scheme ships full data without
+	// diffing.
 	rebound bool
 	// bindGen counts rebindings over the lock's lifetime; it travels with
 	// grants so a releaser can tell that a requester's consistency record
 	// describes an older binding and must be ignored.
 	bindGen uint64
-	// reboundInc is the incarnation at which the most recent rebinding
-	// took effect; requesters whose lastIncarnation predates it get full
-	// data.
-	reboundInc uint64
-
-	// lastTime is the RT-DSM consistency timestamp: the logical time at
-	// which this node's copy of the bound data was last known complete.
-	lastTime int64
-	// lastInc is the VM-DSM analogue.
-	lastInc uint64
-	// inc is the lock's current incarnation (meaningful at the owner).
-	inc uint64
-	// baseInc is the incarnation preceding the oldest retained history
-	// entry; requesters whose lastInc is below it receive full data.
-	baseInc uint64
-	// history holds prior incarnations' updates (VM-DSM and TwinDiff),
-	// newest last, trimmed by the full-data rule.
-	history []proto.HistoryEntry
-	// accum holds updates discovered by page diffs that belong to this
-	// lock but have not yet been folded into an incarnation (VM-DSM).
-	accum []proto.Update
-	// twin is the TwinDiff strategy's snapshot of the bound data.
-	twin []byte
+	// det is the write-detection scheme's per-lock state slot.
+	det any
 
 	// forwardedTo records where ownership went when this node granted the
 	// lock away, so late-arriving forwards can chase the new owner.
@@ -98,6 +52,16 @@ type lockState struct {
 	releaseCycles uint64
 }
 
+// detect.LockView implementation.
+
+func (lk *lockState) Name() string            { return lk.obj.name }
+func (lk *lockState) Binding() []memory.Range { return lk.binding }
+func (lk *lockState) State() any              { return lk.det }
+func (lk *lockState) SetState(s any)          { lk.det = s }
+func (lk *lockState) Rebound() bool           { return lk.rebound }
+func (lk *lockState) ClearRebound()           { lk.rebound = false }
+func (lk *lockState) BindGen() uint64         { return lk.bindGen }
+
 // pendingReq is a queued transfer request plus its simulated arrival time.
 type pendingReq struct {
 	req     *proto.LockAcquire
@@ -110,20 +74,35 @@ type mgrLock struct {
 	owner int
 }
 
-// barrierState is one node's view of a barrier.
+// barrierState is one node's view of a barrier.  It implements
+// detect.BarrierView; detector-specific bookkeeping lives behind det.
 type barrierState struct {
 	id      uint32
 	obj     *object
 	epoch   uint64
 	binding []memory.Range
-	// lastTime is the RT-DSM consistency timestamp of the barrier-bound
-	// data at this node.
-	lastTime int64
-	// accum holds updates discovered by page diffs that belong to this
-	// barrier but have not yet been shipped (VM-DSM).
-	accum []proto.Update
-	// twin is the TwinDiff strategy's snapshot of the bound data.
-	twin []byte
+	// det is the write-detection scheme's per-barrier state slot.
+	det any
+}
+
+// detect.BarrierView implementation.
+
+func (b *barrierState) Name() string            { return b.obj.name }
+func (b *barrierState) Binding() []memory.Range { return b.binding }
+func (b *barrierState) State() any              { return b.det }
+func (b *barrierState) SetState(s any)          { b.det = s }
+func (b *barrierState) Epoch() uint64           { return b.epoch }
+
+// Parts returns the declared per-node write partition, and whether one was
+// declared at all.
+func (b *barrierState) Parts(node int) ([]memory.Range, bool) {
+	if b.obj.parts == nil {
+		return nil, false
+	}
+	if node >= len(b.obj.parts) {
+		return nil, true
+	}
+	return b.obj.parts[node], true
 }
 
 // bmgrBarrier is the barrier manager's per-barrier state.
@@ -148,15 +127,20 @@ type Node struct {
 	id   int
 	sys  *System
 	inst *memory.Instance
-	vm   *vmem.Table
 	conn transport.Conn
 	cost cost.Model
 	netp cost.NetworkParams
 
+	// vm is the page table for fault-based detection, created lazily on
+	// the first detector request so page-oblivious schemes never pay for
+	// one.
+	vm     *vmem.Table
+	vmOnce sync.Once
+
 	cycles  clock.Cycle
 	lamport clock.Lamport
 	st      stats.Node
-	det     detector
+	det     detect.Detector
 
 	mu       sync.Mutex
 	locks    map[uint32]*lockState
@@ -184,22 +168,52 @@ func newNode(s *System, id int) *Node {
 		replyCh:  make(chan reply, 1),
 		done:     make(chan struct{}),
 	}
-	switch s.cfg.Strategy {
-	case RT:
-		n.det = &rtDetector{n: n, eager: s.cfg.EagerTimestamps}
-	case VM:
-		n.vm = vmem.NewTable(inst)
-		n.det = &vmDetector{n: n}
-	case Blast:
-		n.det = &blastDetector{n: n}
-	case TwinDiff:
-		n.det = &twinDetector{n: n}
-	case None:
-		n.det = noneDetector{}
-	default:
-		panic(fmt.Sprintf("core: unknown strategy %v", s.cfg.Strategy))
+	det, err := detect.New(s.cfg.Scheme, engine{n: n}, detect.Options{
+		EagerTimestamps:     s.cfg.EagerTimestamps,
+		CombineIncarnations: s.cfg.CombineIncarnations,
+	})
+	if err != nil {
+		// NewSystem validated the scheme name against the registry.
+		panic(fmt.Sprintf("core: %v", err))
 	}
+	n.det = det
 	return n
+}
+
+// vmTable returns the node's page table, creating it on first use.
+func (n *Node) vmTable() *vmem.Table {
+	n.vmOnce.Do(func() { n.vm = vmem.NewTable(n.inst) })
+	return n.vm
+}
+
+// engine adapts a Node to the detect.Engine facade.
+type engine struct{ n *Node }
+
+func (e engine) NodeID() int            { return e.n.id }
+func (e engine) Inst() *memory.Instance { return e.n.inst }
+func (e engine) Layout() *memory.Layout { return e.n.sys.layout }
+func (e engine) VM() *vmem.Table        { return e.n.vmTable() }
+func (e engine) Stats() *stats.Node     { return &e.n.st }
+func (e engine) Cost() cost.Model       { return e.n.cost }
+func (e engine) Charge(c cost.Cycles)   { e.n.cycles.Charge(c) }
+func (e engine) Tick() int64            { return e.n.lamport.Tick() }
+func (e engine) Now() int64             { return e.n.lamport.Now() }
+
+func (e engine) PristineBound(binding []memory.Range) []byte {
+	return e.n.sys.pristineBound(binding)
+}
+
+// ForEachObject visits every synchronization object's view at this node.
+// Caller holds n.mu (true inside collection entry points).
+func (e engine) ForEachObject(fn func(detect.ObjectView)) {
+	for _, obj := range e.n.sys.objectsSnapshot() {
+		switch obj.kind {
+		case ObjLock:
+			fn(e.n.lockState(obj.id))
+		case ObjBarrier:
+			fn(e.n.barrierState(obj.id))
+		}
+	}
 }
 
 // ID returns the node's processor number.
@@ -429,7 +443,7 @@ func (n *Node) ownerForward(req *proto.LockAcquire, arrival uint64) {
 // Caller holds n.mu.  at is the simulated time the transfer begins.
 func (n *Node) transferLocked(lk *lockState, req *proto.LockAcquire, at uint64) {
 	exclusive := req.Mode == proto.Exclusive
-	grant, cycles := n.det.collectLock(lk, req, exclusive)
+	grant, cycles := n.det.CollectLock(lk, req, exclusive)
 	grant.Lock = lk.id
 	grant.Mode = req.Mode
 	grant.BindGen = lk.bindGen

@@ -58,7 +58,7 @@ func (p *Proc) trap(a memory.Addr, size uint32) {
 	if err != nil {
 		panic(err)
 	}
-	n.det.trapWrite(a, size, r)
+	n.det.TrapWrite(a, size, r)
 	n.cycles.Charge(n.cost.Store)
 }
 
@@ -100,7 +100,7 @@ func (p *Proc) WriteBytes(rg memory.Range, src []byte) {
 		panic(err)
 	}
 	for _, s := range segs {
-		n.det.trapWrite(s.Addr(), s.Len, s.Region)
+		n.det.TrapWrite(s.Addr(), s.Len, s.Region)
 	}
 	n.cycles.Charge(n.cost.Store * uint64((rg.Size+7)/8))
 	n.inst.WriteBytes(rg, src)
@@ -137,7 +137,7 @@ func (p *Proc) Rebind(l LockID, ranges ...memory.Range) {
 	lk.rebound = true
 	lk.bindGen++
 	n.sys.trace.eventf(n, "rebind %s gen=%d ranges=%d", lk.obj.name, lk.bindGen, len(ranges))
-	lk.twin = nil // TwinDiff: the old snapshot no longer matches the binding
+	n.det.NotifyRebind(lk) // binding-shaped bookkeeping (twins) is now stale
 }
 
 // Binding returns the lock's current data binding as known at this node.
@@ -170,13 +170,14 @@ func (n *Node) acquire(id uint32, mode proto.Mode) {
 		return
 	}
 	req := &proto.LockAcquire{
-		Lock:            id,
-		Mode:            mode,
-		Requester:       uint32(n.id),
-		LastTime:        lk.lastTime,
-		LastIncarnation: lk.lastInc,
-		BindGen:         lk.bindGen,
+		Lock:      id,
+		Mode:      mode,
+		Requester: uint32(n.id),
+		BindGen:   lk.bindGen,
 	}
+	// The detector records the requester's consistency point (timestamp,
+	// incarnation) in whichever fields its scheme uses.
+	n.det.FillAcquire(lk, req)
 	manager := lk.obj.manager
 	n.mu.Unlock()
 
@@ -198,9 +199,12 @@ func (n *Node) acquire(id uint32, mode proto.Mode) {
 // joins the arrival time before the application costs are charged.
 func (n *Node) applyGrant(g *proto.LockGrant, arrival uint64) {
 	n.cycles.Join(arrival)
+	// The grant's transfer time is a synchronization point: witness it
+	// here, uniformly for every scheme.
+	n.lamport.Witness(g.Time)
 	n.mu.Lock()
 	lk := n.lockState(g.Lock)
-	cycles := n.det.applyLock(lk, g)
+	cycles := n.det.ApplyLock(lk, g)
 	lk.bindGen = g.BindGen
 	lk.binding = append([]memory.Range(nil), g.Binding...)
 	lk.held = true
@@ -243,7 +247,7 @@ func (n *Node) release(id uint32) {
 func (n *Node) barrier(id uint32) {
 	n.mu.Lock()
 	b := n.barrierState(id)
-	updates, cycles := n.det.collectBarrier(b)
+	updates, cycles := n.det.CollectBarrier(b)
 	epoch := b.epoch
 	manager := b.obj.manager
 	n.mu.Unlock()
@@ -269,9 +273,8 @@ func (n *Node) barrier(id uint32) {
 	n.cycles.Join(r.arrival)
 	n.lamport.Witness(rel.Time)
 	n.mu.Lock()
-	cycles = n.det.applyBarrier(b, rel)
+	cycles = n.det.ApplyBarrier(b, rel)
 	b.epoch++
-	b.lastTime = rel.Time
 	n.mu.Unlock()
 	n.cycles.Charge(cycles)
 	n.st.BarrierCrossings.Add(1)

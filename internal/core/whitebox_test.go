@@ -4,64 +4,14 @@ import (
 	"testing"
 
 	"midway/internal/memory"
-	"midway/internal/proto"
 )
 
-// buildNode returns a started single-node system plus its node, for poking
-// at detector internals directly.
-func buildNode(t *testing.T, strat Strategy) (*System, *Node, memory.Addr) {
-	t.Helper()
-	s := newTestSystem(t, 1, strat)
-	addr := s.MustAlloc("data", 4096, 3)
-	return s, s.nodes[0], addr
-}
-
-func TestRangesBytes(t *testing.T) {
-	rs := []memory.Range{{Addr: 0, Size: 10}, {Addr: 100, Size: 22}}
-	if got := rangesBytes(rs); got != 32 {
-		t.Errorf("rangesBytes = %d", got)
-	}
-	if got := rangesBytes(nil); got != 0 {
-		t.Errorf("rangesBytes(nil) = %d", got)
-	}
-}
-
-func TestFilterUpdates(t *testing.T) {
-	us := []proto.Update{
-		{Addr: 100, TS: 1, Data: make([]byte, 20)}, // spans [100,120)
-		{Addr: 200, TS: 2, Data: make([]byte, 8)},  // outside
-	}
-	binding := []memory.Range{{Addr: 110, Size: 50}}
-	out := filterUpdates(us, binding)
-	if len(out) != 1 {
-		t.Fatalf("filtered to %d updates, want 1", len(out))
-	}
-	if out[0].Addr != 110 || len(out[0].Data) != 10 || out[0].TS != 1 {
-		t.Errorf("clipped update = %+v", out[0])
-	}
-}
-
-func TestReadBoundUpdates(t *testing.T) {
-	s, n, addr := buildNode(t, RT)
-	_ = s
-	n.inst.WriteU64(addr+16, 0xAABB)
-	ups := n.readBoundUpdates([]memory.Range{
-		{Addr: addr, Size: 32},
-		{Addr: addr + 64, Size: 0}, // empty ranges are skipped
-	}, 7)
-	if len(ups) != 1 {
-		t.Fatalf("%d updates", len(ups))
-	}
-	if ups[0].TS != 7 || len(ups[0].Data) != 32 {
-		t.Errorf("update = %+v", ups[0])
-	}
-	if ups[0].Data[16] != 0xBB {
-		t.Errorf("data not read from instance: %x", ups[0].Data[16])
-	}
-}
+// Detector-level white-box tests (dirtybit scans, history trimming, diff
+// distribution) live in internal/detect with the mechanisms themselves.
 
 func TestPristineBound(t *testing.T) {
-	s, _, addr := buildNode(t, TwinDiff)
+	s := newTestSystem(t, 1, TwinDiff)
+	addr := s.MustAlloc("data", 4096, 3)
 	s.Preset(addr+8, []byte{1, 2, 3, 4})
 	buf := s.pristineBound([]memory.Range{{Addr: addr, Size: 16}})
 	want := []byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 0, 0, 0, 0}
@@ -69,120 +19,5 @@ func TestPristineBound(t *testing.T) {
 		if buf[i] != want[i] {
 			t.Fatalf("pristine[%d] = %d, want %d", i, buf[i], want[i])
 		}
-	}
-}
-
-// TestScanBindingStampsPending checks the lazy-timestamp mechanics at the
-// dirtybit level: pending lines get the transfer's stamp and are shipped;
-// already-stamped lines older than the requester's time are skipped.
-func TestScanBindingStampsPending(t *testing.T) {
-	_, n, addr := buildNode(t, RT)
-	det := n.det.(*rtDetector)
-	r := n.sys.layout.RegionFor(addr)
-	bits := n.inst.Dirtybits(r)
-
-	// Three lines: one pending, one stamped at time 5, one clean.
-	bits[r.LineIndex(addr)] = memory.DirtyPending
-	bits[r.LineIndex(addr+8)] = 5
-	binding := []memory.Range{{Addr: addr, Size: 24}}
-
-	// Requester last saw time 5: only the pending line ships.
-	sc := det.scanBinding(binding, 5, 9)
-	if len(sc.updates) != 1 {
-		t.Fatalf("%d updates, want 1", len(sc.updates))
-	}
-	if sc.updates[0].Addr != addr || sc.updates[0].TS != 9 {
-		t.Errorf("update = %+v", sc.updates[0])
-	}
-	if bits[r.LineIndex(addr)] != 9 {
-		t.Errorf("pending line not stamped: %d", bits[r.LineIndex(addr)])
-	}
-
-	// Requester last saw time 2: the stamped line (5 > 2) ships too, and
-	// contiguity does not merge across differing timestamps.
-	bits[r.LineIndex(addr)] = memory.DirtyPending
-	sc = det.scanBinding(binding, 2, 11)
-	if len(sc.updates) != 2 {
-		t.Fatalf("%d updates, want 2 (differing stamps must not merge)", len(sc.updates))
-	}
-}
-
-// TestScanBindingCoalesces: contiguous lines with equal stamps pack into
-// one update record.
-func TestScanBindingCoalesces(t *testing.T) {
-	_, n, addr := buildNode(t, RT)
-	det := n.det.(*rtDetector)
-	r := n.sys.layout.RegionFor(addr)
-	bits := n.inst.Dirtybits(r)
-	for i := 0; i < 8; i++ {
-		bits[r.LineIndex(addr+memory.Addr(8*i))] = memory.DirtyPending
-	}
-	sc := det.scanBinding([]memory.Range{{Addr: addr, Size: 64}}, 0, 3)
-	if len(sc.updates) != 1 {
-		t.Fatalf("8 contiguous pending lines produced %d updates, want 1", len(sc.updates))
-	}
-	if len(sc.updates[0].Data) != 64 {
-		t.Errorf("coalesced update carries %d bytes, want 64", len(sc.updates[0].Data))
-	}
-}
-
-// TestVMTrimHistory: the owner's retained history honors the full-data
-// bound and advances baseInc past dropped entries.
-func TestVMTrimHistory(t *testing.T) {
-	_, n, addr := buildNode(t, VM)
-	det := n.det.(*vmDetector)
-	lk := &lockState{binding: []memory.Range{{Addr: addr, Size: 64}}}
-	mk := func(inc uint64, bytes int) proto.HistoryEntry {
-		return proto.HistoryEntry{Incarnation: inc,
-			Updates: []proto.Update{{Addr: addr, TS: int64(inc), Data: make([]byte, bytes)}}}
-	}
-	lk.history = []proto.HistoryEntry{mk(1, 40), mk(2, 40), mk(3, 40)}
-	det.trimHistory(lk, 64)
-	if len(lk.history) != 1 || lk.history[0].Incarnation != 3 {
-		t.Fatalf("history after trim: %d entries", len(lk.history))
-	}
-	if lk.baseInc != 2 {
-		t.Errorf("baseInc = %d, want 2 (the newest dropped incarnation)", lk.baseInc)
-	}
-}
-
-// TestVMDistributeAcrossObjects: a page diff's runs land in the
-// accumulator of every object whose binding overlaps them — the false
-// sharing case of two locks on one page.
-func TestVMDistributeAcrossObjects(t *testing.T) {
-	s := newTestSystem(t, 1, VM)
-	addr := s.MustAlloc("page", 4096, 3)
-	lockA := s.NewLock("A", memory.Range{Addr: addr, Size: 64})
-	lockB := s.NewLock("B", memory.Range{Addr: addr + 64, Size: 64})
-	err := s.Run(func(p *Proc) {
-		// Dirty both locks' data on the same page, under their locks.
-		p.Acquire(LockID(lockA))
-		p.WriteU64(addr, 1)
-		p.Release(LockID(lockA))
-		p.Acquire(LockID(lockB))
-		p.WriteU64(addr+64, 2)
-		p.Release(LockID(lockB))
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	n := s.nodes[0]
-	det := n.det.(*vmDetector)
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	// Collect for lock A only: the diff of the shared page must deposit
-	// B's modification into B's accumulator rather than dropping it.
-	det.diffAndDistribute(n.lockState(uint32(lockA)).binding)
-	a := n.lockState(uint32(lockA))
-	b := n.lockState(uint32(lockB))
-	if len(a.accum) != 1 || a.accum[0].Addr != addr {
-		t.Errorf("lock A accumulated %+v", a.accum)
-	}
-	if len(b.accum) != 1 || b.accum[0].Addr != addr+64 {
-		t.Errorf("lock B accumulated %+v (diff reuse lost the false-sharing data)", b.accum)
-	}
-	// The page is clean afterwards.
-	if n.vm.DirtyPageCount() != 0 {
-		t.Error("page not cleaned after diff")
 	}
 }

@@ -1,0 +1,382 @@
+package detect
+
+import (
+	"fmt"
+
+	"midway/internal/cost"
+	"midway/internal/diff"
+	"midway/internal/memory"
+	"midway/internal/proto"
+	"midway/internal/vmem"
+)
+
+// blastDetector implements the paper's simplest alternative (Section 3.5):
+// no write detection at all.  Every transfer "blasts" all data bound to
+// the synchronization object.  Writes are free, but sparse writers pay for
+// shipping untouched data at every synchronization point — the redundancy
+// the dirtybit history exists to eliminate.
+type blastDetector struct {
+	e Engine
+}
+
+func init() {
+	Register("blast", func(e Engine, opt Options) Detector {
+		return &blastDetector{e: e}
+	})
+	Register("twindiff", func(e Engine, opt Options) Detector {
+		return &twinDetector{e: e, opt: opt}
+	})
+}
+
+// blastLockState is the blast scheme's per-lock slot: the transfer count
+// reported as the grant's incarnation.
+type blastLockState struct {
+	inc uint64
+}
+
+func blastStateOf(lk LockView) *blastLockState {
+	if s, ok := lk.State().(*blastLockState); ok {
+		return s
+	}
+	s := &blastLockState{}
+	lk.SetState(s)
+	return s
+}
+
+func (d *blastDetector) TrapWrite(memory.Addr, uint32, *memory.Region) {}
+
+func (d *blastDetector) FillAcquire(lk LockView, req *proto.LockAcquire) {
+	req.LastIncarnation = blastStateOf(lk).inc
+}
+
+func (d *blastDetector) CollectLock(lk LockView, req *proto.LockAcquire, exclusive bool) (*proto.LockGrant, cost.Cycles) {
+	e := d.e
+	t := e.Tick()
+	s := blastStateOf(lk)
+	if exclusive {
+		s.inc++
+	}
+	ups := readBoundUpdates(e, lk.Binding(), int64(s.inc))
+	cycles := cost.CopyCost(e.Cost().CopyWarmPerKB, int(RangesBytes(lk.Binding())))
+	lk.ClearRebound()
+	return &proto.LockGrant{
+		Time:        t,
+		Incarnation: s.inc,
+		Base:        s.inc,
+		Updates:     ups,
+		Full:        true,
+	}, cycles
+}
+
+func (d *blastDetector) ApplyLock(lk LockView, g *proto.LockGrant) cost.Cycles {
+	e := d.e
+	var cycles cost.Cycles
+	for _, u := range g.Updates {
+		e.Inst().WriteBytes(u.Range(), u.Data)
+		cycles += cost.CopyCost(e.Cost().CopyWarmPerKB, len(u.Data))
+	}
+	blastStateOf(lk).inc = g.Incarnation
+	return cycles
+}
+
+func (d *blastDetector) CollectBarrier(b BarrierView) ([]proto.Update, cost.Cycles) {
+	e := d.e
+	if len(b.Binding()) == 0 {
+		return nil, 0
+	}
+	// With no detection, a node cannot know which bound data it modified.
+	// The program must declare each node's write partition with
+	// SetBarrierParts; the node then blasts exactly its own part.
+	part, declared := b.Parts(e.NodeID())
+	if !declared {
+		panic(fmt.Sprintf("detect: blast scheme requires SetBarrierParts for bound barrier %s", b.Name()))
+	}
+	ups := readBoundUpdates(e, part, int64(b.Epoch()+1))
+	cycles := cost.CopyCost(e.Cost().CopyWarmPerKB, int(RangesBytes(part)))
+	return ups, cycles
+}
+
+func (d *blastDetector) ApplyBarrier(b BarrierView, rel *proto.BarrierRelease) cost.Cycles {
+	e := d.e
+	var cycles cost.Cycles
+	for _, u := range rel.Updates {
+		e.Inst().WriteBytes(u.Range(), u.Data)
+		cycles += cost.CopyCost(e.Cost().CopyWarmPerKB, len(u.Data))
+	}
+	return cycles
+}
+
+func (d *blastDetector) NotifyRebind(LockView) {}
+
+// twinDetector implements the paper's second alternative (Section 3.5):
+// twinning and differencing without write detection.  Every shared datum
+// bound to a synchronization object is twinned on the processor that
+// writes it; at each synchronization point all bound data is compared
+// against its twin, modified and unmodified alike.  Writes are free and
+// only modified data is shipped, but collection cost is proportional to
+// the amount of bound data rather than the amount of dirty data, and the
+// twins double the storage requirement.  Incarnation histories are still
+// required to propagate chains of updates, exactly as the paper notes.
+type twinDetector struct {
+	e   Engine
+	opt Options
+}
+
+// twinLockState is the twindiff scheme's per-lock slot: incarnation
+// history plus the bound-data snapshot.
+type twinLockState struct {
+	incState
+	twin []byte
+}
+
+// twinBarrierState is the per-barrier snapshot.
+type twinBarrierState struct {
+	twin []byte
+}
+
+func twinLockStateOf(lk LockView) *twinLockState {
+	if s, ok := lk.State().(*twinLockState); ok {
+		return s
+	}
+	s := &twinLockState{}
+	lk.SetState(s)
+	return s
+}
+
+func twinBarrierStateOf(b BarrierView) *twinBarrierState {
+	if s, ok := b.State().(*twinBarrierState); ok {
+		return s
+	}
+	s := &twinBarrierState{}
+	b.SetState(s)
+	return s
+}
+
+func (d *twinDetector) TrapWrite(memory.Addr, uint32, *memory.Region) {}
+
+// diffBound compares the current bound data against the twin (a zero
+// buffer stands in when no twin exists yet, matching the all-zero initial
+// contents of shared memory) and returns the modified spans as updates.
+func (d *twinDetector) diffBound(binding []memory.Range, twin []byte, ts int64) ([]proto.Update, []byte, cost.Cycles) {
+	e := d.e
+	st := e.Stats()
+	cur := concatBound(e, binding)
+	if twin == nil {
+		// First synchronization over this binding: the last-synchronized
+		// state is the pristine pre-run image every node started from.
+		twin = e.PristineBound(binding)
+	}
+	if len(twin) != len(cur) {
+		panic(fmt.Sprintf("detect: twin size %d does not match bound data size %d", len(twin), len(cur)))
+	}
+	df := diff.Compute(cur, twin)
+
+	// Cost: one diffing pass over the bound data (charged at the page
+	// diff rate, interpolated by run count as for VM-DSM) plus twin
+	// maintenance for the modified bytes.
+	pages := (len(cur) + vmem.PageSize - 1) / vmem.PageSize
+	var cycles cost.Cycles
+	if pages > 0 {
+		perPage := e.Cost().DiffCost(len(df.Runs)/pages+1, vmem.WordsPerPage)
+		cycles = cost.Cycles(pages) * perPage
+		cycles += cost.CopyCost(e.Cost().CopyWarmPerKB, df.Bytes())
+	}
+	st.PagesDiffed.Add(uint64(pages))
+	st.DiffRuns.Add(uint64(len(df.Runs)))
+	st.BytesScanned.Add(uint64(len(cur)))
+	st.DirtyBytes.Add(uint64(df.Bytes()))
+
+	// Translate buffer-relative runs back to addresses.
+	var ups []proto.Update
+	for _, run := range df.Runs {
+		off := run.Off
+		// A run may straddle consecutive binding ranges in the
+		// concatenated buffer; split it per range.
+		rem := run.Data
+		base := uint32(0)
+		for _, rg := range binding {
+			if len(rem) == 0 {
+				break
+			}
+			if off >= base+rg.Size {
+				base += rg.Size
+				continue
+			}
+			inRange := min(uint32(len(rem)), base+rg.Size-off)
+			ups = append(ups, proto.Update{
+				Addr: rg.Addr + memory.Addr(off-base),
+				TS:   ts,
+				Data: rem[:inRange],
+			})
+			rem = rem[inRange:]
+			off += inRange
+			base += rg.Size
+		}
+	}
+	return ups, cur, cycles
+}
+
+func (d *twinDetector) FillAcquire(lk LockView, req *proto.LockAcquire) {
+	req.LastIncarnation = twinLockStateOf(lk).lastInc
+}
+
+func (d *twinDetector) CollectLock(lk LockView, req *proto.LockAcquire, exclusive bool) (*proto.LockGrant, cost.Cycles) {
+	e := d.e
+	t := e.Tick()
+	binding := lk.Binding()
+	s := twinLockStateOf(lk)
+	boundBytes := RangesBytes(binding)
+
+	if lk.Rebound() {
+		// A rebinding invalidates the twin (NotifyRebind already dropped
+		// it) and the history: ship full data.
+		newInc := s.inc + 1
+		s.inc = newInc
+		s.history = nil
+		s.baseInc = newInc
+		s.lastInc = newInc
+		lk.ClearRebound()
+		s.twin = concatBound(e, binding)
+		ups := readBoundUpdates(e, binding, int64(newInc))
+		cycles := cost.CopyCost(e.Cost().CopyWarmPerKB, int(boundBytes))
+		return &proto.LockGrant{
+			Time:        t,
+			Incarnation: newInc,
+			Base:        newInc,
+			Updates:     ups,
+			Full:        true,
+		}, cycles
+	}
+
+	// Shared and exclusive grants share the twinning machinery; every
+	// exclusive transfer increments the incarnation, while a shared grant
+	// advances it only when the diff found fresh modifications.
+	ups, cur, cycles := d.diffBound(binding, s.twin, 0)
+	s.twin = cur
+	newInc := s.inc
+	if exclusive {
+		newInc++
+	}
+	if len(ups) > 0 {
+		if !exclusive {
+			newInc++
+		}
+		for i := range ups {
+			ups[i].TS = int64(newInc)
+		}
+		s.history = append(s.history, proto.HistoryEntry{Incarnation: newInc, Updates: ups})
+	}
+	s.inc = newInc
+	s.lastInc = newInc
+
+	full := req.LastIncarnation < s.baseInc
+	var entries []proto.HistoryEntry
+	if !full {
+		var total int
+		entries, total = s.entriesAfter(req.LastIncarnation)
+		if d.opt.CombineIncarnations && len(entries) > 1 {
+			combined, c := combineEntries(entries, e.Cost())
+			cycles += c
+			g := &proto.LockGrant{
+				Time:        t,
+				Incarnation: newInc,
+				Base:        s.baseInc,
+				Updates:     combined,
+			}
+			s.trim(boundBytes)
+			return g, cycles
+		}
+		if uint32(total) > boundBytes {
+			full = true
+		}
+	}
+	if full {
+		fullUps := readBoundUpdates(e, binding, int64(newInc))
+		cycles += cost.CopyCost(e.Cost().CopyWarmPerKB, int(boundBytes))
+		s.history = nil
+		s.baseInc = newInc
+		return &proto.LockGrant{
+			Time:        t,
+			Incarnation: newInc,
+			Base:        newInc,
+			Updates:     fullUps,
+			Full:        true,
+		}, cycles
+	}
+	g := &proto.LockGrant{
+		Time:        t,
+		Incarnation: newInc,
+		Base:        s.baseInc,
+		History:     entries,
+	}
+	s.trim(boundBytes)
+	return g, cycles
+}
+
+func (d *twinDetector) ApplyLock(lk LockView, g *proto.LockGrant) cost.Cycles {
+	e := d.e
+	s := twinLockStateOf(lk)
+	var cycles cost.Cycles
+	if g.Full {
+		for _, u := range g.Updates {
+			e.Inst().WriteBytes(u.Range(), u.Data)
+			cycles += cost.CopyCost(e.Cost().CopyWarmPerKB, len(u.Data))
+		}
+		s.history = nil
+		s.baseInc = g.Base
+	} else {
+		if len(g.Updates) > 0 { // combined incremental grant
+			for _, u := range g.Updates {
+				e.Inst().WriteBytes(u.Range(), u.Data)
+				cycles += cost.CopyCost(e.Cost().CopyWarmPerKB, len(u.Data))
+			}
+			s.history = append(s.history,
+				proto.HistoryEntry{Incarnation: g.Incarnation, Updates: g.Updates})
+		}
+		for _, h := range g.History {
+			for _, u := range h.Updates {
+				e.Inst().WriteBytes(u.Range(), u.Data)
+				cycles += cost.CopyCost(e.Cost().CopyWarmPerKB, len(u.Data))
+			}
+		}
+		s.history = append(s.history, g.History...)
+		s.trim(RangesBytes(g.Binding))
+	}
+	// The local copy now matches the synchronized state: refresh the twin
+	// so the next diff reports only genuinely local modifications.
+	s.twin = concatBound(e, g.Binding)
+	cycles += cost.CopyCost(e.Cost().CopyWarmPerKB, len(s.twin))
+	s.inc = g.Incarnation
+	s.lastInc = g.Incarnation
+	return cycles
+}
+
+func (d *twinDetector) CollectBarrier(b BarrierView) ([]proto.Update, cost.Cycles) {
+	if len(b.Binding()) == 0 {
+		return nil, 0
+	}
+	s := twinBarrierStateOf(b)
+	ups, cur, cycles := d.diffBound(b.Binding(), s.twin, int64(b.Epoch()+1))
+	s.twin = cur
+	return ups, cycles
+}
+
+func (d *twinDetector) ApplyBarrier(b BarrierView, rel *proto.BarrierRelease) cost.Cycles {
+	e := d.e
+	var cycles cost.Cycles
+	for _, u := range rel.Updates {
+		e.Inst().WriteBytes(u.Range(), u.Data)
+		cycles += cost.CopyCost(e.Cost().CopyWarmPerKB, len(u.Data))
+	}
+	if len(b.Binding()) > 0 {
+		s := twinBarrierStateOf(b)
+		s.twin = concatBound(e, b.Binding())
+		cycles += cost.CopyCost(e.Cost().CopyWarmPerKB, len(s.twin))
+	}
+	return cycles
+}
+
+func (d *twinDetector) NotifyRebind(lk LockView) {
+	// The old snapshot no longer matches the binding.
+	twinLockStateOf(lk).twin = nil
+}

@@ -1,4 +1,4 @@
-package core
+package detect
 
 import (
 	"bytes"
@@ -92,91 +92,5 @@ func TestCombineEquivalence(t *testing.T) {
 	}
 }
 
-// TestCombiningReducesTransfer builds the paper's redundancy scenario —
-// the same small accumulator written in several incarnations before a
-// stale requester returns — and checks that combining removes the
-// redundant resends while preserving the result.
-func TestCombiningReducesTransfer(t *testing.T) {
-	run := func(combine bool) (uint64, uint64) {
-		s, err := NewSystem(Config{Nodes: 4, Strategy: VM, CombineIncarnations: combine})
-		if err != nil {
-			t.Fatal(err)
-		}
-		// A 512-byte object whose first 32 bytes are rewritten by three
-		// writers between visits of a fourth node.
-		addr := s.MustAlloc("obj", 512, 3)
-		lock := s.NewLock("obj", memory.Range{Addr: addr, Size: 512})
-		bar := s.NewBarrier("round", 0)
-		const rounds = 6
-		err = s.Run(func(p *Proc) {
-			for r := 0; r < rounds; r++ {
-				if p.ID() != 3 {
-					p.Acquire(lock)
-					for w := 0; w < 4; w++ {
-						p.WriteU64(addr+memory.Addr(8*w), uint64(r*10+p.ID()))
-					}
-					p.Release(lock)
-				}
-				p.Barrier(bar)
-			}
-			// The stale node returns once at the end.
-			if p.ID() == 3 {
-				p.Acquire(lock)
-				if got := p.ReadU64(addr); got == 0 {
-					panic("no data arrived")
-				}
-				p.Release(lock)
-			}
-			p.Barrier(bar)
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		total := s.TotalStats()
-		return total.BytesTransferred, total.LockTransfers
-	}
-	plain, plainTransfers := run(false)
-	combined, combinedTransfers := run(true)
-	if plainTransfers != combinedTransfers {
-		t.Logf("transfer counts differ (%d vs %d); comparing bytes anyway", plainTransfers, combinedTransfers)
-	}
-	if combined >= plain {
-		t.Errorf("combining did not reduce transfer: %d vs %d bytes", combined, plain)
-	}
-}
-
-// TestCombiningCorrectAcrossApps: the shared-counter and exchange
-// workloads behave identically with combining on.
-func TestCombiningCorrectAcrossApps(t *testing.T) {
-	for _, strat := range []Strategy{VM, TwinDiff} {
-		s, err := NewSystem(Config{Nodes: 4, Strategy: strat, CombineIncarnations: true})
-		if err != nil {
-			t.Fatal(err)
-		}
-		addr := s.MustAlloc("counter", 8, 3)
-		lock := s.NewLock("counter", memory.Range{Addr: addr, Size: 8})
-		const perNode = 25
-		err = s.Run(func(p *Proc) {
-			for i := 0; i < perNode; i++ {
-				p.Acquire(lock)
-				p.WriteU64(addr, p.ReadU64(addr)+1)
-				p.Release(lock)
-			}
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		var got uint64
-		for i := 0; i < 4; i++ {
-			n := s.Node(i)
-			n.mu.Lock()
-			if n.lockState(uint32(lock)).owner {
-				got = n.inst.ReadU64(addr)
-			}
-			n.mu.Unlock()
-		}
-		if got != 4*perNode {
-			t.Errorf("%v: counter = %d, want %d", strat, got, 4*perNode)
-		}
-	}
-}
+// System-level combining tests (transfer reduction, cross-app
+// correctness) live in internal/core, which hosts the protocol.

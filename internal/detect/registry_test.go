@@ -1,0 +1,154 @@
+package detect
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"midway/internal/memory"
+	"midway/internal/proto"
+)
+
+func TestNewUnknownScheme(t *testing.T) {
+	e, _ := newFakeEngine(t, 64)
+	d, err := New("no-such-scheme", e, Options{})
+	if err == nil {
+		t.Fatalf("New accepted an unknown scheme: %T", d)
+	}
+	// The error names the registered schemes so a typo is self-diagnosing.
+	for _, name := range []string{"rt", "vm", "blast", "twindiff", "none", "hybrid"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention registered scheme %q", err, name)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	factory := func(Engine, Options) Detector { return noneDetector{} }
+	mustPanic("duplicate Register", func() { Register("rt", factory) })
+	mustPanic("empty name", func() { Register("", factory) })
+	mustPanic("nil factory", func() { Register("fresh-name", nil) })
+}
+
+func TestRegisteredAndNames(t *testing.T) {
+	for _, name := range []string{"rt", "vm", "blast", "twindiff", "none", "hybrid"} {
+		if !Registered(name) {
+			t.Errorf("built-in scheme %q not registered", name)
+		}
+	}
+	if Registered("bogus") {
+		t.Error("Registered(bogus) = true")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestRangesBytes(t *testing.T) {
+	rs := []memory.Range{{Addr: 0, Size: 10}, {Addr: 100, Size: 22}}
+	if got := RangesBytes(rs); got != 32 {
+		t.Errorf("RangesBytes = %d", got)
+	}
+	if got := RangesBytes(nil); got != 0 {
+		t.Errorf("RangesBytes(nil) = %d", got)
+	}
+}
+
+// TestRangesBytesOverflowPanics: a binding whose total size exceeds the
+// 32-bit address space cannot describe real data; summing it must panic
+// rather than wrap around and corrupt buffer arithmetic.
+func TestRangesBytesOverflowPanics(t *testing.T) {
+	huge := []memory.Range{
+		{Addr: 0, Size: math.MaxUint32},
+		{Addr: 0, Size: math.MaxUint32},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RangesBytes did not panic on uint32 overflow")
+		}
+	}()
+	RangesBytes(huge)
+}
+
+// TestConcatBoundOverflowPanics: the twin-building path hits the same
+// guard before allocating anything.
+func TestConcatBoundOverflowPanics(t *testing.T) {
+	e, _ := newFakeEngine(t, 64)
+	huge := []memory.Range{
+		{Addr: 0, Size: math.MaxUint32},
+		{Addr: 0, Size: 2},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("concatBound did not panic on uint32 overflow")
+		}
+	}()
+	concatBound(e, huge)
+}
+
+func TestFilterUpdates(t *testing.T) {
+	us := []proto.Update{
+		{Addr: 100, TS: 1, Data: make([]byte, 20)}, // spans [100,120)
+		{Addr: 200, TS: 2, Data: make([]byte, 8)},  // outside
+	}
+	binding := []memory.Range{{Addr: 110, Size: 50}}
+	out := filterUpdates(us, binding)
+	if len(out) != 1 {
+		t.Fatalf("filtered to %d updates, want 1", len(out))
+	}
+	if out[0].Addr != 110 || len(out[0].Data) != 10 || out[0].TS != 1 {
+		t.Errorf("clipped update = %+v", out[0])
+	}
+}
+
+// TestFilterUpdatesBindingOrder: an update spanning two bound ranges is
+// emitted once per range, in binding order (not update order), and
+// zero-size ranges contribute nothing.
+func TestFilterUpdatesBindingOrder(t *testing.T) {
+	data := make([]byte, 40)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	us := []proto.Update{{Addr: 100, TS: 9, Data: data}} // spans [100,140)
+	binding := []memory.Range{
+		{Addr: 130, Size: 8},  // second half of the update, listed first
+		{Addr: 120, Size: 0},  // zero-size: skipped entirely
+		{Addr: 104, Size: 12}, // first half, listed last
+	}
+	out := filterUpdates(us, binding)
+	if len(out) != 2 {
+		t.Fatalf("filtered to %d updates, want 2 (one per non-empty bound range)", len(out))
+	}
+	// Binding order, not address order.
+	if out[0].Addr != 130 || len(out[0].Data) != 8 {
+		t.Errorf("first emitted update = %+v, want the 130..138 clip", out[0])
+	}
+	if out[1].Addr != 104 || len(out[1].Data) != 12 {
+		t.Errorf("second emitted update = %+v, want the 104..116 clip", out[1])
+	}
+	// Clipping picked the right bytes out of the update's buffer.
+	if out[0].Data[0] != 30 {
+		t.Errorf("clip at 130 starts with byte %d, want 30", out[0].Data[0])
+	}
+	if out[1].Data[0] != 4 {
+		t.Errorf("clip at 104 starts with byte %d, want 4", out[1].Data[0])
+	}
+
+	// A zero-size intersection (range abutting the update) emits nothing.
+	abut := []memory.Range{{Addr: 140, Size: 16}}
+	if got := filterUpdates(us, abut); len(got) != 0 {
+		t.Errorf("abutting range produced %d updates, want 0", len(got))
+	}
+}

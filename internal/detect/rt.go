@@ -1,4 +1,4 @@
-package core
+package detect
 
 import (
 	"midway/internal/cost"
@@ -21,47 +21,89 @@ import (
 // requester's last consistency time is shipped.  The requester installs the
 // incoming timestamps, so an update is applied at most once per processor.
 type rtDetector struct {
-	n     *Node
+	e     Engine
 	eager bool
 }
 
-func (d *rtDetector) trapWrite(a memory.Addr, size uint32, r *memory.Region) {
-	n := d.n
+func init() {
+	Register("rt", func(e Engine, opt Options) Detector {
+		return &rtDetector{e: e, eager: opt.EagerTimestamps}
+	})
+}
+
+// rtLockState is the rt scheme's per-lock slot: the logical time at which
+// this node's copy of the bound data was last known complete.
+type rtLockState struct {
+	lastTime int64
+}
+
+// rtBarrierState is the per-barrier analogue, used by the eager scheme.
+type rtBarrierState struct {
+	lastTime int64
+}
+
+func rtLockStateOf(lk LockView) *rtLockState {
+	if s, ok := lk.State().(*rtLockState); ok {
+		return s
+	}
+	s := &rtLockState{}
+	lk.SetState(s)
+	return s
+}
+
+func rtBarrierStateOf(b BarrierView) *rtBarrierState {
+	if s, ok := b.State().(*rtBarrierState); ok {
+		return s
+	}
+	s := &rtBarrierState{}
+	b.SetState(s)
+	return s
+}
+
+// rtTrap marks the dirtybits of every line covered by an instrumented
+// store, charging the matching template entry point.  Shared by the rt and
+// hybrid schemes.
+func rtTrap(e Engine, eager bool, a memory.Addr, size uint32, r *memory.Region) {
+	st := e.Stats()
+	m := e.Cost()
 	if r.Class == memory.Private {
 		// The compiler classified this store as shared, but it reached a
 		// private region: the region's template simply returns.
-		n.st.DirtybitsMisclassified.Add(1)
-		n.cycles.Charge(n.cost.DirtybitSetPrivate)
+		st.DirtybitsMisclassified.Add(1)
+		e.Charge(m.DirtybitSetPrivate)
 		return
 	}
-	bits := n.inst.Dirtybits(r)
+	bits := e.Inst().Dirtybits(r)
 	first := r.LineIndex(a)
 	last := r.LineIndex(a + memory.Addr(size) - 1)
 
 	// Charge the template entry point matching the store kind.
 	switch {
 	case size <= 4:
-		n.cycles.Charge(n.cost.DirtybitSetWord)
+		e.Charge(m.DirtybitSetWord)
 	case size <= 8 && first == last:
-		n.cycles.Charge(n.cost.DirtybitSetDouble)
+		e.Charge(m.DirtybitSetDouble)
 	default:
 		// Area entry point: unaligned or multi-line store, handled by the
 		// out-of-line routine that marks every covered line.
-		n.cycles.Charge(n.cost.DirtybitSetArea +
-			cost.Cycles(last-first)*n.cost.DirtybitUpdate)
+		e.Charge(m.DirtybitSetArea + cost.Cycles(last-first)*m.DirtybitUpdate)
 	}
 
 	mark := memory.DirtyPending
-	if d.eager {
+	if eager {
 		// Eager scheme: stamp the processor's local time directly.  The
 		// +1 orders these writes after the most recent synchronization
 		// point, whose transfer time equals the current clock value.
-		mark = n.lamport.Now() + 1
+		mark = e.Now() + 1
 	}
 	for i := first; i <= last; i++ {
 		bits[i] = mark
-		n.st.DirtybitsSet.Add(1)
+		st.DirtybitsSet.Add(1)
 	}
+}
+
+func (d *rtDetector) TrapWrite(a memory.Addr, size uint32, r *memory.Region) {
+	rtTrap(d.e, d.eager, a, size, r)
 }
 
 // scanOutcome is the per-line result of a collection scan.
@@ -73,12 +115,14 @@ type scanOutcome struct {
 // scanBinding walks every cache line overlapping the binding, stamping
 // pending lines with stamp and collecting lines newer than since.  Line
 // data is clipped to the bound range, so adjacent data guarded by other
-// objects is never shipped.
-func (d *rtDetector) scanBinding(binding []memory.Range, since int64, stamp int64) scanOutcome {
-	n := d.n
+// objects is never shipped.  Shared by the rt and hybrid schemes.
+func scanBinding(e Engine, binding []memory.Range, since int64, stamp int64) scanOutcome {
+	st := e.Stats()
+	m := e.Cost()
+	inst := e.Inst()
 	var out scanOutcome
 	for _, rg := range binding {
-		segs, err := n.sys.layout.Segments(rg)
+		segs, err := e.Layout().Segments(rg)
 		if err != nil {
 			panic(err)
 		}
@@ -87,8 +131,8 @@ func (d *rtDetector) scanBinding(binding []memory.Range, since int64, stamp int6
 			if r.Class != memory.Shared {
 				continue
 			}
-			bits := n.inst.Dirtybits(r)
-			data := n.inst.Data(r)
+			bits := inst.Dirtybits(r)
+			data := inst.Data(r)
 			first := int(seg.Off) >> r.LineShift
 			last := int(seg.Off+seg.Len-1) >> r.LineShift
 			for i := first; i <= last; i++ {
@@ -102,7 +146,7 @@ func (d *rtDetector) scanBinding(binding []memory.Range, since int64, stamp int6
 				if !ok {
 					continue
 				}
-				n.st.BytesScanned.Add(uint64(clipped.Size))
+				st.BytesScanned.Add(uint64(clipped.Size))
 				if ts > since && ts != memory.Clean {
 					off := uint32(clipped.Addr - r.Base)
 					// Pack contiguous equal-timestamp lines into one
@@ -111,9 +155,9 @@ func (d *rtDetector) scanBinding(binding []memory.Range, since int64, stamp int6
 						last := &out.updates[k-1]
 						if last.TS == ts && last.Range().End() == clipped.Addr {
 							last.Data = append(last.Data, data[off:off+clipped.Size]...)
-							out.cycles += n.cost.DirtybitReadDirty
-							n.st.DirtyDirtybitsRead.Add(1)
-							n.st.DirtyBytes.Add(uint64(clipped.Size))
+							out.cycles += m.DirtybitReadDirty
+							st.DirtyDirtybitsRead.Add(1)
+							st.DirtyBytes.Add(uint64(clipped.Size))
 							continue
 						}
 					}
@@ -122,12 +166,12 @@ func (d *rtDetector) scanBinding(binding []memory.Range, since int64, stamp int6
 						TS:   ts,
 						Data: append([]byte(nil), data[off:off+clipped.Size]...),
 					})
-					out.cycles += n.cost.DirtybitReadDirty
-					n.st.DirtyDirtybitsRead.Add(1)
-					n.st.DirtyBytes.Add(uint64(clipped.Size))
+					out.cycles += m.DirtybitReadDirty
+					st.DirtyDirtybitsRead.Add(1)
+					st.DirtyBytes.Add(uint64(clipped.Size))
 				} else {
-					out.cycles += n.cost.DirtybitReadClean
-					n.st.CleanDirtybitsRead.Add(1)
+					out.cycles += m.DirtybitReadClean
+					st.CleanDirtybitsRead.Add(1)
 				}
 			}
 		}
@@ -135,37 +179,40 @@ func (d *rtDetector) scanBinding(binding []memory.Range, since int64, stamp int6
 	return out
 }
 
-func (d *rtDetector) collectLock(lk *lockState, req *proto.LockAcquire, exclusive bool) (*proto.LockGrant, cost.Cycles) {
-	n := d.n
+func (d *rtDetector) FillAcquire(lk LockView, req *proto.LockAcquire) {
+	req.LastTime = rtLockStateOf(lk).lastTime
+}
+
+func (d *rtDetector) CollectLock(lk LockView, req *proto.LockAcquire, exclusive bool) (*proto.LockGrant, cost.Cycles) {
 	// The transfer is a synchronization event: advance the Lamport clock
 	// and stamp all pending lines with the new time.
-	t := n.lamport.Tick()
+	t := d.e.Tick()
 	since := req.LastTime
-	if req.BindGen != lk.bindGen {
+	if req.BindGen != lk.BindGen() {
 		// The requester's consistency timestamp certifies data of an
 		// older binding; for the current binding it has no history.
 		since = 0
 	}
-	sc := d.scanBinding(lk.binding, since, t)
+	sc := scanBinding(d.e, lk.Binding(), since, t)
+	lk.ClearRebound()
 	// The releaser's copy is complete through t; record that as its own
 	// consistency point so a later reacquire fetches only newer data.
-	lk.lastTime = t
+	rtLockStateOf(lk).lastTime = t
 	return &proto.LockGrant{
 		Time:    t,
 		Updates: sc.updates,
 	}, sc.cycles
 }
 
-func (d *rtDetector) applyLock(lk *lockState, g *proto.LockGrant) cost.Cycles {
-	n := d.n
-	n.lamport.Witness(g.Time)
-	cycles := d.applyUpdates(g.Updates)
-	lk.lastTime = g.Time
+func (d *rtDetector) ApplyLock(lk LockView, g *proto.LockGrant) cost.Cycles {
+	cycles := rtApplyUpdates(d.e, g.Updates)
+	rtLockStateOf(lk).lastTime = g.Time
 	return cycles
 }
 
-// applyUpdates installs incoming line updates: data plus dirtybit
-// timestamps, each charged at the dirtybit-update rate.
+// rtApplyUpdates installs incoming line updates: data plus dirtybit
+// timestamps, each charged at the dirtybit-update rate.  Shared by the rt
+// and hybrid schemes.
 //
 // The dirtybit timestamps make application exactly-once and ordered: a
 // line is written only when the incoming stamp is strictly newer than the
@@ -174,12 +221,14 @@ func (d *rtDetector) applyLock(lk *lockState, g *proto.LockGrant) cost.Cycles {
 // This is what lets stale data ride along in a wide grant — e.g. when a
 // recycled lock still carries an old binding — without regressing newer
 // local state.
-func (d *rtDetector) applyUpdates(us []proto.Update) cost.Cycles {
-	n := d.n
+func rtApplyUpdates(e Engine, us []proto.Update) cost.Cycles {
+	st := e.Stats()
+	m := e.Cost()
+	inst := e.Inst()
 	var cycles cost.Cycles
 	for _, u := range us {
 		rg := u.Range()
-		segs, err := n.sys.layout.Segments(rg)
+		segs, err := e.Layout().Segments(rg)
 		if err != nil {
 			panic(err)
 		}
@@ -190,13 +239,13 @@ func (d *rtDetector) applyUpdates(us []proto.Update) cost.Cycles {
 				segBase += seg.Len
 				continue
 			}
-			bits := n.inst.Dirtybits(r)
-			data := n.inst.Data(r)
+			bits := inst.Dirtybits(r)
+			data := inst.Data(r)
 			first := int(seg.Off) >> r.LineShift
 			last := int(seg.Off+seg.Len-1) >> r.LineShift
 			for i := first; i <= last; i++ {
-				cycles += n.cost.DirtybitUpdate
-				n.st.DirtybitsUpdated.Add(1)
+				cycles += m.DirtybitUpdate
+				st.DirtybitsUpdated.Add(1)
 				if bits[i] == memory.DirtyPending || u.TS <= bits[i] {
 					continue // local copy is as new or newer
 				}
@@ -217,27 +266,31 @@ func (d *rtDetector) applyUpdates(us []proto.Update) cost.Cycles {
 	return cycles
 }
 
-func (d *rtDetector) collectBarrier(b *barrierState) ([]proto.Update, cost.Cycles) {
-	n := d.n
-	if len(b.binding) == 0 {
+func (d *rtDetector) CollectBarrier(b BarrierView) ([]proto.Update, cost.Cycles) {
+	binding := b.Binding()
+	if len(binding) == 0 {
 		return nil, 0
 	}
-	t := n.lamport.Tick()
+	t := d.e.Tick()
 	since := t - 1
 	if d.eager {
 		// Eager stamps carry the write-time clock, so "modified since the
 		// last episode" is everything newer than the barrier's last
 		// consistency time.
-		since = b.lastTime
+		since = rtBarrierStateOf(b).lastTime
 	}
 	// Under the lazy scheme only freshly-stamped pending lines can carry
 	// timestamp t, and every party already received all earlier episodes'
 	// updates at the preceding release, so since = t-1 selects exactly
 	// this node's new modifications.
-	sc := d.scanBinding(b.binding, since, t)
+	sc := scanBinding(d.e, binding, since, t)
 	return sc.updates, sc.cycles
 }
 
-func (d *rtDetector) applyBarrier(b *barrierState, rel *proto.BarrierRelease) cost.Cycles {
-	return d.applyUpdates(rel.Updates)
+func (d *rtDetector) ApplyBarrier(b BarrierView, rel *proto.BarrierRelease) cost.Cycles {
+	cycles := rtApplyUpdates(d.e, rel.Updates)
+	rtBarrierStateOf(b).lastTime = rel.Time
+	return cycles
 }
+
+func (d *rtDetector) NotifyRebind(LockView) {}

@@ -1,0 +1,208 @@
+package detect
+
+import (
+	"testing"
+
+	"midway/internal/clock"
+	"midway/internal/cost"
+	"midway/internal/memory"
+	"midway/internal/proto"
+	"midway/internal/stats"
+	"midway/internal/vmem"
+)
+
+// fakeEngine is a minimal Engine over a standalone layout and instance,
+// for exercising the detection mechanics without a protocol stack.
+type fakeEngine struct {
+	layout  *memory.Layout
+	inst    *memory.Instance
+	vm      *vmem.Table
+	st      stats.Node
+	m       cost.Model
+	lamport clock.Lamport
+	cycles  clock.Cycle
+	objs    []ObjectView
+}
+
+func newFakeEngine(t *testing.T, allocs ...uint32) (*fakeEngine, []memory.Addr) {
+	t.Helper()
+	e := &fakeEngine{layout: memory.NewLayout(memory.DefaultRegionShift), m: cost.Default()}
+	addrs := make([]memory.Addr, len(allocs))
+	for i, size := range allocs {
+		a, err := e.layout.Alloc("data", size, memory.Shared, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = a
+	}
+	e.layout.Freeze()
+	e.inst = memory.NewInstance(e.layout)
+	return e, addrs
+}
+
+func (e *fakeEngine) NodeID() int            { return 0 }
+func (e *fakeEngine) Inst() *memory.Instance { return e.inst }
+func (e *fakeEngine) Layout() *memory.Layout { return e.layout }
+func (e *fakeEngine) Stats() *stats.Node     { return &e.st }
+func (e *fakeEngine) Cost() cost.Model       { return e.m }
+func (e *fakeEngine) Charge(c cost.Cycles)   { e.cycles.Charge(c) }
+func (e *fakeEngine) Tick() int64            { return e.lamport.Tick() }
+func (e *fakeEngine) Now() int64             { return e.lamport.Now() }
+
+func (e *fakeEngine) VM() *vmem.Table {
+	if e.vm == nil {
+		e.vm = vmem.NewTable(e.inst)
+	}
+	return e.vm
+}
+
+func (e *fakeEngine) PristineBound(binding []memory.Range) []byte {
+	return make([]byte, RangesBytes(binding))
+}
+
+func (e *fakeEngine) ForEachObject(fn func(ObjectView)) {
+	for _, o := range e.objs {
+		fn(o)
+	}
+}
+
+// fakeLock is a standalone LockView.
+type fakeLock struct {
+	name    string
+	binding []memory.Range
+	state   any
+	rebound bool
+	bindGen uint64
+}
+
+func (l *fakeLock) Name() string            { return l.name }
+func (l *fakeLock) Binding() []memory.Range { return l.binding }
+func (l *fakeLock) State() any              { return l.state }
+func (l *fakeLock) SetState(s any)          { l.state = s }
+func (l *fakeLock) Rebound() bool           { return l.rebound }
+func (l *fakeLock) ClearRebound()           { l.rebound = false }
+func (l *fakeLock) BindGen() uint64         { return l.bindGen }
+
+func TestReadBoundUpdates(t *testing.T) {
+	e, addrs := newFakeEngine(t, 4096)
+	addr := addrs[0]
+	e.inst.WriteU64(addr+16, 0xAABB)
+	ups := readBoundUpdates(e, []memory.Range{
+		{Addr: addr, Size: 32},
+		{Addr: addr + 64, Size: 0}, // empty ranges are skipped
+	}, 7)
+	if len(ups) != 1 {
+		t.Fatalf("%d updates", len(ups))
+	}
+	if ups[0].TS != 7 || len(ups[0].Data) != 32 {
+		t.Errorf("update = %+v", ups[0])
+	}
+	if ups[0].Data[16] != 0xBB {
+		t.Errorf("data not read from instance: %x", ups[0].Data[16])
+	}
+}
+
+// TestScanBindingStampsPending checks the lazy-timestamp mechanics at the
+// dirtybit level: pending lines get the transfer's stamp and are shipped;
+// already-stamped lines older than the requester's time are skipped.
+func TestScanBindingStampsPending(t *testing.T) {
+	e, addrs := newFakeEngine(t, 4096)
+	addr := addrs[0]
+	r := e.layout.RegionFor(addr)
+	bits := e.inst.Dirtybits(r)
+
+	// Three lines: one pending, one stamped at time 5, one clean.
+	bits[r.LineIndex(addr)] = memory.DirtyPending
+	bits[r.LineIndex(addr+8)] = 5
+	binding := []memory.Range{{Addr: addr, Size: 24}}
+
+	// Requester last saw time 5: only the pending line ships.
+	sc := scanBinding(e, binding, 5, 9)
+	if len(sc.updates) != 1 {
+		t.Fatalf("%d updates, want 1", len(sc.updates))
+	}
+	if sc.updates[0].Addr != addr || sc.updates[0].TS != 9 {
+		t.Errorf("update = %+v", sc.updates[0])
+	}
+	if bits[r.LineIndex(addr)] != 9 {
+		t.Errorf("pending line not stamped: %d", bits[r.LineIndex(addr)])
+	}
+
+	// Requester last saw time 2: the stamped line (5 > 2) ships too, and
+	// contiguity does not merge across differing timestamps.
+	bits[r.LineIndex(addr)] = memory.DirtyPending
+	sc = scanBinding(e, binding, 2, 11)
+	if len(sc.updates) != 2 {
+		t.Fatalf("%d updates, want 2 (differing stamps must not merge)", len(sc.updates))
+	}
+}
+
+// TestScanBindingCoalesces: contiguous lines with equal stamps pack into
+// one update record.
+func TestScanBindingCoalesces(t *testing.T) {
+	e, addrs := newFakeEngine(t, 4096)
+	addr := addrs[0]
+	r := e.layout.RegionFor(addr)
+	bits := e.inst.Dirtybits(r)
+	for i := 0; i < 8; i++ {
+		bits[r.LineIndex(addr+memory.Addr(8*i))] = memory.DirtyPending
+	}
+	sc := scanBinding(e, []memory.Range{{Addr: addr, Size: 64}}, 0, 3)
+	if len(sc.updates) != 1 {
+		t.Fatalf("8 contiguous pending lines produced %d updates, want 1", len(sc.updates))
+	}
+	if len(sc.updates[0].Data) != 64 {
+		t.Errorf("coalesced update carries %d bytes, want 64", len(sc.updates[0].Data))
+	}
+}
+
+// TestVMTrimHistory: the owner's retained history honors the full-data
+// bound and advances baseInc past dropped entries.
+func TestVMTrimHistory(t *testing.T) {
+	mk := func(inc uint64, bytes int) proto.HistoryEntry {
+		return proto.HistoryEntry{Incarnation: inc,
+			Updates: []proto.Update{{Addr: 0, TS: int64(inc), Data: make([]byte, bytes)}}}
+	}
+	s := &incState{history: []proto.HistoryEntry{mk(1, 40), mk(2, 40), mk(3, 40)}}
+	s.trim(64)
+	if len(s.history) != 1 || s.history[0].Incarnation != 3 {
+		t.Fatalf("history after trim: %d entries", len(s.history))
+	}
+	if s.baseInc != 2 {
+		t.Errorf("baseInc = %d, want 2 (the newest dropped incarnation)", s.baseInc)
+	}
+}
+
+// TestVMDistributeAcrossObjects: a page diff's runs land in the
+// accumulator of every object whose binding overlaps them — the false
+// sharing case of two locks on one page.
+func TestVMDistributeAcrossObjects(t *testing.T) {
+	e, addrs := newFakeEngine(t, 4096)
+	addr := addrs[0]
+	lockA := &fakeLock{name: "A", binding: []memory.Range{{Addr: addr, Size: 64}}}
+	lockB := &fakeLock{name: "B", binding: []memory.Range{{Addr: addr + 64, Size: 64}}}
+	e.objs = []ObjectView{lockA, lockB}
+
+	// Dirty both locks' data on the same page.
+	r := e.layout.RegionFor(addr)
+	vmTrap(e, addr, 8, r)
+	e.inst.WriteU64(addr, 1)
+	vmTrap(e, addr+64, 8, r)
+	e.inst.WriteU64(addr+64, 2)
+
+	// Collect for lock A only: the diff of the shared page must deposit
+	// B's modification into B's accumulator rather than dropping it.
+	diffAndDistribute(e, lockA.binding, vmAccumOf)
+	a := vmStateOf(lockA)
+	b := vmStateOf(lockB)
+	if len(a.accum) != 1 || a.accum[0].Addr != addr {
+		t.Errorf("lock A accumulated %+v", a.accum)
+	}
+	if len(b.accum) != 1 || b.accum[0].Addr != addr+64 {
+		t.Errorf("lock B accumulated %+v (diff reuse lost the false-sharing data)", b.accum)
+	}
+	// The page is clean afterwards.
+	if e.VM().DirtyPageCount() != 0 {
+		t.Error("page not cleaned after diff")
+	}
+}

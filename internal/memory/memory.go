@@ -78,6 +78,36 @@ func (c Class) String() string {
 	return "shared"
 }
 
+// Gran classifies a region's expected write granularity, guiding detectors
+// that choose a write-detection mechanism per region (the Hybrid scheme).
+// Regions tagged GranFine are best served by dirtybit timestamps; regions
+// tagged GranCoarse by page twins and diffs.  GranAuto leaves the choice to
+// the detector's measured-write-density heuristic.
+type Gran uint8
+
+const (
+	// GranAuto lets the detector classify the region from observed writes.
+	GranAuto Gran = iota
+	// GranFine marks data written in small scattered pieces (routes to
+	// RT-style dirtybit detection under the Hybrid scheme).
+	GranFine
+	// GranCoarse marks data written densely in bulk, or rebound between
+	// synchronization objects (routes to VM-style twin-diff detection).
+	GranCoarse
+)
+
+// String returns "auto", "fine" or "coarse".
+func (g Gran) String() string {
+	switch g {
+	case GranFine:
+		return "fine"
+	case GranCoarse:
+		return "coarse"
+	default:
+		return "auto"
+	}
+}
+
 // Dirtybit timestamp sentinels.  A dirtybit is an int64 Lamport timestamp;
 // the paper's footnote 1 describes the lazy scheme in which a store writes a
 // cheap marker and the real timestamp is assigned when the guarding
@@ -108,6 +138,9 @@ type Region struct {
 	// LineShift is log2 of the cache line size.  Meaningful only for
 	// shared regions.
 	LineShift uint
+	// Gran is the allocation's declared write-granularity class, consumed
+	// by per-region detector dispatch.  Meaningful only for shared regions.
+	Gran Gran
 	// Name labels the allocation that created the region, for diagnostics.
 	Name string
 	// SpanHead is the index of the first region of the allocation span
@@ -162,6 +195,7 @@ type Layout struct {
 type cursorKey struct {
 	class     Class
 	lineShift uint
+	gran      Gran
 }
 
 type cursor struct {
@@ -234,6 +268,14 @@ func (l *Layout) Freeze() {
 // span of consecutive regions.  The returned address is aligned to the line
 // size (minimum 8 bytes).
 func (l *Layout) Alloc(name string, size uint32, class Class, lineShift uint) (Addr, error) {
+	return l.AllocTagged(name, size, class, lineShift, GranAuto)
+}
+
+// AllocTagged is Alloc with an explicit write-granularity class.  Tagged
+// allocations never share a region with differently-tagged data, so a
+// per-region detector choice applies to exactly the data it was declared
+// for.
+func (l *Layout) AllocTagged(name string, size uint32, class Class, lineShift uint, gran Gran) (Addr, error) {
 	if size == 0 {
 		return 0, fmt.Errorf("memory: zero-size allocation %q", name)
 	}
@@ -266,12 +308,12 @@ func (l *Layout) Alloc(name string, size uint32, class Class, lineShift uint) (A
 		n := int((uint64(size) + uint64(regionSize) - 1) / uint64(regionSize))
 		head := len(l.regions)
 		for i := 0; i < n; i++ {
-			l.appendRegion(name, class, lineShift, head)
+			l.appendRegion(name, class, lineShift, gran, head)
 		}
 		return l.regions[head].Base, nil
 	}
 
-	key := cursorKey{class: class, lineShift: lineShift}
+	key := cursorKey{class: class, lineShift: lineShift, gran: gran}
 	cur, ok := l.cursors[key]
 	if ok {
 		off := (cur.off + align - 1) &^ (align - 1)
@@ -281,13 +323,13 @@ func (l *Layout) Alloc(name string, size uint32, class Class, lineShift uint) (A
 		}
 	}
 	idx := len(l.regions)
-	l.appendRegion(name, class, lineShift, idx)
+	l.appendRegion(name, class, lineShift, gran, idx)
 	l.cursors[key] = cursor{region: idx, off: size}
 	return l.regions[idx].Base, nil
 }
 
 // appendRegion adds one region to the table.  Caller holds l.mu.
-func (l *Layout) appendRegion(name string, class Class, lineShift uint, spanHead int) {
+func (l *Layout) appendRegion(name string, class Class, lineShift uint, gran Gran, spanHead int) {
 	idx := len(l.regions)
 	base := Addr(uint32(idx) << l.regionShift)
 	if uint64(uint32(idx))<<l.regionShift > uint64(^uint32(0)) {
@@ -299,6 +341,7 @@ func (l *Layout) appendRegion(name string, class Class, lineShift uint, spanHead
 		Size:      1 << l.regionShift,
 		Class:     class,
 		LineShift: lineShift,
+		Gran:      gran,
 		Name:      name,
 		SpanHead:  spanHead,
 	})

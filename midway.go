@@ -17,6 +17,9 @@
 //   - Blast: no detection; all bound data ships at every transfer.
 //   - TwinDiff: no detection; all bound data is twinned and diffed at
 //     every transfer.
+//   - Hybrid: per-region dispatch between the RT and VM mechanisms, driven
+//     by each allocation's granularity class (WithGranularity) or, for
+//     untagged allocations, by the measured write density.
 //
 // A program allocates shared memory from a System, creates locks and
 // barriers bound to ranges of it, and then calls Run, which executes the
@@ -46,6 +49,7 @@ import (
 
 	"midway/internal/core"
 	"midway/internal/cost"
+	"midway/internal/detect"
 	"midway/internal/memory"
 	"midway/internal/stats"
 	"midway/internal/transport"
@@ -74,11 +78,34 @@ const (
 	TwinDiff = core.TwinDiff
 	// Standalone disables detection entirely (single-node baseline).
 	Standalone = core.None
+	// Hybrid dispatches between the RT and VM mechanisms per region,
+	// selected by each allocation's granularity class (or, for untagged
+	// allocations, by the measured write density).
+	Hybrid = core.Hybrid
 )
 
-// ParseStrategy converts a name ("rt", "vm", "blast", "twin", "none") to a
-// Strategy.
+// ParseStrategy converts a name ("rt", "vm", "blast", "twin", "none",
+// "hybrid") to a Strategy.
 func ParseStrategy(s string) (Strategy, error) { return core.ParseStrategy(s) }
+
+// SchemeNames returns the registered write-detection scheme names, sorted.
+func SchemeNames() []string { return detect.Names() }
+
+// Gran is an allocation's granularity class, the Hybrid strategy's routing
+// tag: Fine regions use the RT mechanism, Coarse regions the VM mechanism,
+// and Auto regions are classified at runtime from the measured write
+// density.  Other strategies ignore the tag.
+type Gran = memory.Gran
+
+// Granularity classes.
+const (
+	// GranAuto defers the routing decision to a runtime measurement.
+	GranAuto = memory.GranAuto
+	// GranFine routes the allocation to dirtybit (RT) detection.
+	GranFine = memory.GranFine
+	// GranCoarse routes the allocation to page-twin (VM) detection.
+	GranCoarse = memory.GranCoarse
+)
 
 // LockID names a lock.
 type LockID = core.LockID
@@ -94,6 +121,13 @@ type Config struct {
 	Nodes int
 	// Strategy selects the write-detection mechanism.
 	Strategy Strategy
+	// Scheme optionally selects the write-detection scheme by registry
+	// name (see SchemeNames), overriding Strategy.
+	Scheme string
+	// DefaultGranularity is the granularity class given to allocations
+	// that do not specify one with WithGranularity.  The zero value is
+	// GranAuto: the Hybrid strategy classifies such regions at runtime.
+	DefaultGranularity Gran
 	// PageFaultMicros overrides the cost of fielding a VM write fault
 	// (exception + twin copy + protection), in microseconds.  The paper
 	// uses 1200 µs (Mach external pager) and 122 µs (fast exceptions).
@@ -141,6 +175,9 @@ type System struct {
 	// net is a transport created on the caller's behalf, closed when Run
 	// completes.
 	net transport.Network
+	// defaultGran is applied to allocations without an explicit
+	// granularity option.
+	defaultGran Gran
 }
 
 // NewSystem creates a DSM system from the configuration.
@@ -148,6 +185,7 @@ func NewSystem(cfg Config) (*System, error) {
 	cc := core.Config{
 		Nodes:               cfg.Nodes,
 		Strategy:            cfg.Strategy,
+		Scheme:              cfg.Scheme,
 		Cost:                cost.Default(),
 		Network:             cost.DefaultNetwork(),
 		LocalNode:           -1,
@@ -187,23 +225,42 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		return nil, err
 	}
-	return &System{inner: inner, net: cc.Transport}, nil
+	return &System{inner: inner, net: cc.Transport, defaultGran: cfg.DefaultGranularity}, nil
+}
+
+// AllocOption customizes an allocation.
+type AllocOption func(*allocConfig)
+
+type allocConfig struct {
+	gran Gran
+}
+
+// WithGranularity tags the allocation with a granularity class, which the
+// Hybrid strategy uses to route its regions to the RT (fine) or VM
+// (coarse) mechanism.  Without this option, Config.DefaultGranularity
+// applies.
+func WithGranularity(g Gran) AllocOption {
+	return func(c *allocConfig) { c.gran = g }
 }
 
 // Alloc reserves size bytes of shared memory with the given software cache
 // line size in bytes (a power of two between 4 and 65536).  The line size
 // is the unit of coherency for RT-DSM detection over this data.
-func (s *System) Alloc(name string, size uint32, lineSize uint32) (Addr, error) {
+func (s *System) Alloc(name string, size uint32, lineSize uint32, opts ...AllocOption) (Addr, error) {
 	shift, err := lineShift(lineSize)
 	if err != nil {
 		return 0, err
 	}
-	return s.inner.Alloc(name, size, shift)
+	ac := allocConfig{gran: s.defaultGran}
+	for _, o := range opts {
+		o(&ac)
+	}
+	return s.inner.AllocTagged(name, size, shift, ac.gran)
 }
 
 // MustAlloc is Alloc, panicking on error.
-func (s *System) MustAlloc(name string, size uint32, lineSize uint32) Addr {
-	a, err := s.Alloc(name, size, lineSize)
+func (s *System) MustAlloc(name string, size uint32, lineSize uint32, opts ...AllocOption) Addr {
+	a, err := s.Alloc(name, size, lineSize, opts...)
 	if err != nil {
 		panic(err)
 	}

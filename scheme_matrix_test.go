@@ -1,0 +1,108 @@
+package midway_test
+
+import (
+	"fmt"
+	"testing"
+
+	"midway"
+)
+
+// TestSchemeMatrixOracle runs one small mixed-granularity workload under
+// every registered write-detection scheme at 1, 2 and 4 processors and
+// verifies the shared state against a sequentially computed oracle: a
+// lock-guarded counter (fine, untagged), a barrier-exchanged slot array
+// (tagged fine) and a bulk byte array rewritten with area stores (tagged
+// coarse).  The tags only steer the hybrid scheme's routing; every scheme
+// must produce identical results.
+func TestSchemeMatrixOracle(t *testing.T) {
+	const (
+		rounds    = 6
+		bulkBytes = 2048
+	)
+	for _, scheme := range midway.SchemeNames() {
+		for _, nodes := range []int{1, 2, 4} {
+			if scheme == "none" && nodes > 1 {
+				continue // standalone performs no collection at all
+			}
+			t.Run(fmt.Sprintf("%s/%dp", scheme, nodes), func(t *testing.T) {
+				sys, err := midway.NewSystem(midway.Config{Nodes: nodes, Scheme: scheme})
+				if err != nil {
+					t.Fatal(err)
+				}
+				counter := sys.MustAlloc("counter", 8, 8)
+				slots := sys.AllocU64("slots", nodes, 8, midway.WithGranularity(midway.GranFine))
+				bulk := sys.MustAlloc("bulk", bulkBytes, 64, midway.WithGranularity(midway.GranCoarse))
+				lock := sys.NewLock("counter", midway.RangeAt(counter, 8))
+				bar := sys.NewBarrier("round", slots.Range(), midway.RangeAt(bulk, bulkBytes))
+
+				// Declare per-node write partitions: the blast scheme has no
+				// detection to discover them.
+				parts := make([][]midway.Range, nodes)
+				for i := 0; i < nodes; i++ {
+					lo := i * bulkBytes / nodes
+					hi := (i + 1) * bulkBytes / nodes
+					parts[i] = []midway.Range{
+						slots.Slice(i, i+1),
+						midway.RangeAt(bulk+midway.Addr(lo), uint32(hi-lo)),
+					}
+				}
+				sys.SetBarrierParts(bar, parts)
+
+				wantCounter := uint64(rounds * nodes * (nodes + 1) / 2)
+				err = sys.Run(func(p *midway.Proc) {
+					me := p.ID()
+					lo := me * bulkBytes / nodes
+					hi := (me + 1) * bulkBytes / nodes
+					for r := 1; r <= rounds; r++ {
+						p.Acquire(lock)
+						p.WriteU64(counter, p.ReadU64(counter)+uint64(me+1))
+						p.Release(lock)
+
+						slots.Set(p, me, uint64(me*1000+r))
+						seg := make([]byte, hi-lo)
+						for i := range seg {
+							seg[i] = byte((lo + i) ^ r)
+						}
+						p.WriteBytes(midway.RangeAt(bulk+midway.Addr(lo), uint32(hi-lo)), seg)
+						p.Barrier(bar)
+
+						// Every node sees every other node's round-r state.
+						for j := 0; j < nodes; j++ {
+							if got := slots.Get(p, j); got != uint64(j*1000+r) {
+								panic(fmt.Sprintf("node %d round %d: slot %d = %d", me, r, j, got))
+							}
+						}
+						probe := make([]byte, 1)
+						for j := 0; j < nodes; j++ {
+							off := j * bulkBytes / nodes
+							p.ReadBytes(midway.RangeAt(bulk+midway.Addr(off), 1), probe)
+							if probe[0] != byte(off^r) {
+								panic(fmt.Sprintf("node %d round %d: bulk[%d] = %d, want %d",
+									me, r, off, probe[0], byte(off^r)))
+							}
+						}
+						p.Barrier(bar) // writers of round r+1 wait for the readers
+					}
+					// The counter's final value reaches everyone via the lock.
+					p.AcquireShared(lock)
+					if got := p.ReadU64(counter); got != wantCounter {
+						panic(fmt.Sprintf("node %d: counter = %d, want %d", me, got, wantCounter))
+					}
+					p.Release(lock)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Node 0's copy of the barrier-bound bulk array matches the
+				// oracle byte for byte.
+				final := make([]byte, bulkBytes)
+				sys.ReadFinal(midway.RangeAt(bulk, bulkBytes), final)
+				for i, b := range final {
+					if b != byte(i^rounds) {
+						t.Fatalf("bulk[%d] = %d, want %d", i, b, byte(i^rounds))
+					}
+				}
+			})
+		}
+	}
+}
