@@ -1,0 +1,197 @@
+package midway_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"midway"
+	"midway/internal/bench"
+	"midway/internal/stats"
+)
+
+// chaosWorkload is the shared oracle workload for the chaos tests: a
+// lock-guarded counter plus a barrier-exchanged slot array, verified on
+// every node each round.  It returns node 0's total counters and the
+// simulated execution time for invariance checks.
+func chaosWorkload(t *testing.T, cfg midway.Config) (stats.Snapshot, uint64) {
+	t.Helper()
+	const rounds = 4
+	nodes := cfg.Nodes
+	sys, err := midway.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := sys.MustAlloc("counter", 8, 8)
+	slots := sys.AllocU64("slots", nodes, 8)
+	lock := sys.NewLock("counter", midway.RangeAt(counter, 8))
+	bar := sys.NewBarrier("round", slots.Range())
+	parts := make([][]midway.Range, nodes)
+	for i := range parts {
+		parts[i] = []midway.Range{slots.Slice(i, i+1)}
+	}
+	sys.SetBarrierParts(bar, parts)
+
+	wantCounter := uint64(rounds * nodes * (nodes + 1) / 2)
+	err = sys.Run(func(p *midway.Proc) {
+		me := p.ID()
+		for r := 1; r <= rounds; r++ {
+			p.Acquire(lock)
+			p.WriteU64(counter, p.ReadU64(counter)+uint64(me+1))
+			p.Release(lock)
+
+			slots.Set(p, me, uint64(me*1000+r))
+			p.Barrier(bar)
+			for j := 0; j < nodes; j++ {
+				if got := slots.Get(p, j); got != uint64(j*1000+r) {
+					panic(fmt.Sprintf("node %d round %d: slot %d = %d", me, r, j, got))
+				}
+			}
+			p.Barrier(bar)
+		}
+		p.AcquireShared(lock)
+		if got := p.ReadU64(counter); got != wantCounter {
+			panic(fmt.Sprintf("node %d: counter = %d, want %d", me, got, wantCounter))
+		}
+		p.Release(lock)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ReadFinalU64(counter); got != wantCounter {
+		t.Fatalf("final counter = %d, want %d", got, wantCounter)
+	}
+	return sys.TotalStats(), sys.ExecutionCycles()
+}
+
+// TestChaosMatrix runs the oracle workload for every registered scheme at
+// 2 and 4 processors under deterministic drop/duplicate/reorder/delay
+// injection at several seeds.  The reliable delivery layer must hide every
+// fault: all runs verify against the oracle.  Afterwards, no goroutines
+// may be left behind by the injection or retransmission machinery.
+func TestChaosMatrix(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for _, scheme := range midway.SchemeNames() {
+		if scheme == "none" {
+			continue // standalone is single-node only
+		}
+		for _, nodes := range []int{2, 4} {
+			for _, seed := range []int64{1, 7, 42} {
+				spec := fmt.Sprintf("drop=0.05,dup=0.02,reorder=0.1,delay=200us,seed=%d", seed)
+				t.Run(fmt.Sprintf("%s/%dp/seed%d", scheme, nodes, seed), func(t *testing.T) {
+					chaosWorkload(t, midway.Config{Nodes: nodes, Scheme: scheme, FaultSpec: spec})
+				})
+			}
+		}
+	}
+	// Delayed deliveries and retransmit loops must all have exited with
+	// their networks; give stragglers a moment to unwind.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutine leak: %d before, %d after\n%s",
+			before, after, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// barrierWorkload is a barrier-structured (and therefore deterministic)
+// workload: each node publishes into its own slot and reads everyone
+// else's after the barrier, as the paper's applications do.  Unlike the
+// lock-contended chaosWorkload, its protocol decisions do not depend on
+// real-time message arrival order, so its statistics and simulated clock
+// are exactly reproducible run to run.
+func barrierWorkload(t *testing.T, cfg midway.Config) (stats.Snapshot, uint64) {
+	t.Helper()
+	const rounds = 5
+	nodes := cfg.Nodes
+	sys, err := midway.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := sys.AllocU64("slots", nodes, 8)
+	bar := sys.NewBarrier("round", slots.Range())
+	parts := make([][]midway.Range, nodes)
+	for i := range parts {
+		parts[i] = []midway.Range{slots.Slice(i, i+1)}
+	}
+	sys.SetBarrierParts(bar, parts)
+	err = sys.Run(func(p *midway.Proc) {
+		me := p.ID()
+		for r := 1; r <= rounds; r++ {
+			slots.Set(p, me, uint64(me*1000+r))
+			p.Barrier(bar)
+			for j := 0; j < nodes; j++ {
+				if got := slots.Get(p, j); got != uint64(j*1000+r) {
+					panic(fmt.Sprintf("node %d round %d: slot %d = %d", me, r, j, got))
+				}
+			}
+			p.Barrier(bar)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.TotalStats(), sys.ExecutionCycles()
+}
+
+// TestChaosApps runs every benchmark application at 2 and 4 processors
+// under fault injection; each app verifies its result against its
+// sequential oracle inside RunApp.
+func TestChaosApps(t *testing.T) {
+	const spec = "drop=0.05,dup=0.02,reorder=0.1,seed=5"
+	for _, app := range bench.AppNames {
+		for _, nodes := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/%dp", app, nodes), func(t *testing.T) {
+				cfg := midway.Config{Nodes: nodes, Strategy: midway.RT, FaultSpec: spec}
+				if _, err := bench.RunApp(app, cfg, bench.ScaleSmall); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosStatsInvariance checks that fault injection is invisible to the
+// simulated machine: message counts, transfer bytes and the cycle clock of
+// a faulted run are identical to the fault-free run, because retransmits,
+// duplicates and ACKs all live below the cost model.  The workload is
+// barrier-structured, so its protocol decisions — unlike a contended
+// lock's grant order — do not depend on real-time arrival order.
+func TestChaosStatsInvariance(t *testing.T) {
+	for _, scheme := range []string{"rt", "vm"} {
+		t.Run(scheme, func(t *testing.T) {
+			clean, cleanCycles := barrierWorkload(t, midway.Config{Nodes: 4, Scheme: scheme})
+			reliable, reliableCycles := barrierWorkload(t, midway.Config{Nodes: 4, Scheme: scheme, Reliable: true})
+			faulted, faultedCycles := barrierWorkload(t, midway.Config{
+				Nodes: 4, Scheme: scheme,
+				FaultSpec: "drop=0.1,dup=0.05,reorder=0.2,delay=300us,seed=9",
+			})
+			if clean != reliable {
+				t.Errorf("stats differ under reliable layer:\nplain:    %+v\nreliable: %+v", clean, reliable)
+			}
+			if clean != faulted {
+				t.Errorf("stats differ under faults:\nclean:   %+v\nfaulted: %+v", clean, faulted)
+			}
+			if cleanCycles != reliableCycles || cleanCycles != faultedCycles {
+				t.Errorf("execution cycles differ: clean %d, reliable %d, faulted %d",
+					cleanCycles, reliableCycles, faultedCycles)
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism checks that two runs at the same seed make the same
+// injection decisions end to end (same stats, same simulated time), so a
+// failing chaos run can be replayed exactly.
+func TestChaosDeterminism(t *testing.T) {
+	const spec = "drop=0.1,dup=0.05,reorder=0.2,seed=13"
+	s1, c1 := barrierWorkload(t, midway.Config{Nodes: 4, Scheme: "rt", FaultSpec: spec})
+	s2, c2 := barrierWorkload(t, midway.Config{Nodes: 4, Scheme: "rt", FaultSpec: spec})
+	if s1 != s2 || c1 != c2 {
+		t.Errorf("same seed diverged: %+v/%d vs %+v/%d", s1, c1, s2, c2)
+	}
+}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	midway-bench [-exp all|fig2|table1|table2|table3|table4|table5|fig3|fig4|uni|ablation|hybrid]
-//	             [-procs 8] [-scale small|medium|paper] [-scheme hybrid]
+//	             [-procs 8] [-scale small|medium|paper] [-scheme hybrid] [-fault spec]
 //
 // Examples:
 //
@@ -31,7 +31,10 @@ func main() {
 	scaleName := flag.String("scale", "medium", "input scale: small, medium, paper")
 	scheme := flag.String("scheme", "hybrid",
 		"registry scheme the hybrid experiment compares against RT/VM (see midway.SchemeNames)")
+	faultSpec := flag.String("fault", "",
+		"inject deterministic transport faults into every run, e.g. drop=0.05,dup=0.02,reorder=0.1,seed=7")
 	flag.Parse()
+	bench.FaultSpec = *faultSpec
 
 	scale, err := bench.ParseScale(*scaleName)
 	if err != nil {

@@ -8,7 +8,7 @@
 //	           [-strategy rt|vm|blast|twin|none|hybrid] [-scheme name]
 //	           [-procs 8] [-scale small|medium|paper]
 //	           [-fault-us 1200] [-latency-us 500] [-bandwidth-mbps 140]
-//	           [-tcp] [-eager]
+//	           [-tcp] [-eager] [-fault spec] [-reliable]
 //
 // Examples:
 //
@@ -16,6 +16,8 @@
 //	midway-run -app quicksort -strategy vm -procs 4 -scale paper
 //	midway-run -app water -strategy vm -fault-us 122   # fast exceptions
 //	midway-run -app cholesky -scheme hybrid            # per-region RT/VM dispatch
+//	midway-run -app sor -fault drop=0.05,dup=0.02,reorder=0.1,seed=7
+//	                                                   # chaos run; results must not change
 package main
 
 import (
@@ -40,6 +42,9 @@ func main() {
 	latencyUS := flag.Float64("latency-us", 0, "one-way message latency in µs (0 = default, 500)")
 	bwMbps := flag.Float64("bandwidth-mbps", 0, "network bandwidth in Mbit/s (0 = default, 140)")
 	useTCP := flag.Bool("tcp", false, "route protocol messages over loopback TCP sockets")
+	faultSpec := flag.String("fault", "",
+		"inject deterministic transport faults, e.g. drop=0.05,dup=0.02,reorder=0.1,seed=7 (implies reliable delivery)")
+	reliable := flag.Bool("reliable", false, "interpose the reliable delivery layer even without -fault")
 	eager := flag.Bool("eager", false, "eager dirtybit timestamps (RT only)")
 	combine := flag.Bool("combine", false, "combine VM-DSM incarnation histories (§3.4 alternative)")
 	trace := flag.Bool("trace", false, "print protocol events to stderr")
@@ -71,6 +76,8 @@ func main() {
 		NetLatencyMicros:    *latencyUS,
 		NetBandwidthMbps:    *bwMbps,
 		UseTCP:              *useTCP,
+		FaultSpec:           *faultSpec,
+		Reliable:            *reliable,
 		EagerTimestamps:     *eager,
 		CombineIncarnations: *combine,
 	}

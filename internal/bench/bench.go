@@ -67,9 +67,18 @@ func (s Scale) String() string {
 // AppNames lists the applications in the paper's column order.
 var AppNames = []string{"water", "quicksort", "matrix", "sor", "cholesky"}
 
+// FaultSpec, when non-empty, injects deterministic transport faults (in
+// transport.ParseFaultSpec format) into every system RunApp builds.  The
+// CLIs set it from their -fault flag; results must be identical to a
+// fault-free run — the reliable delivery layer is what is being exercised.
+var FaultSpec string
+
 // RunApp executes one application at the given scale under the given DSM
 // configuration.
 func RunApp(name string, mcfg midway.Config, scale Scale) (apps.Result, error) {
+	if FaultSpec != "" && mcfg.FaultSpec == "" {
+		mcfg.FaultSpec = FaultSpec
+	}
 	switch name {
 	case "water":
 		cfg := water.Default()

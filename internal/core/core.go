@@ -33,6 +33,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -212,6 +213,13 @@ type System struct {
 	ownNet bool // we created the network and must close it
 	trace  *tracer
 
+	// failErr records the first transport/protocol failure; failCh is
+	// closed alongside it so every blocked application goroutine aborts
+	// instead of waiting for a message that will never arrive.
+	failOnce sync.Once
+	failErr  error
+	failCh   chan struct{}
+
 	mu      sync.Mutex
 	objects []*object
 	frozen  bool
@@ -250,6 +258,7 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg:    cfg,
 		layout: memory.NewLayout(cfg.RegionShift),
 		trace:  newTracer(cfg.Trace),
+		failCh: make(chan struct{}),
 	}
 	if cfg.Transport != nil {
 		if cfg.Transport.Nodes() != cfg.Nodes {
@@ -439,9 +448,47 @@ func (s *System) pristineBound(binding []memory.Range) []byte {
 	return buf
 }
 
+// errAborted is the sentinel an application goroutine panics with when
+// the run has already failed and it must unwind; Run's recovery treats it
+// as "see System.Err()", not as an application panic.
+var errAborted = errors.New("core: run aborted by transport failure")
+
+// fail records the first transport/protocol failure and releases every
+// blocked application goroutine.  Safe for concurrent use.
+func (s *System) fail(err error) {
+	s.failOnce.Do(func() {
+		s.failErr = err
+		close(s.failCh)
+	})
+}
+
+// Err returns the first transport/protocol failure recorded during the
+// run, or nil.  Run returns the same error; Err remains available for
+// inspection afterwards.
+func (s *System) Err() error {
+	select {
+	case <-s.failCh:
+		return s.failErr
+	default:
+		return nil
+	}
+}
+
+// abortIfFailed panics with the abort sentinel if the run has failed.
+func (s *System) abortIfFailed() {
+	select {
+	case <-s.failCh:
+		panic(errAborted)
+	default:
+	}
+}
+
 // Run executes fn once per hosted node, concurrently, each invocation
 // receiving that node's Proc handle.  It returns after every instance
 // finishes; a panic in any instance is recovered and returned as an error.
+// A transport failure (broken socket, undecodable message, unreachable
+// peer) aborts every instance and is returned with a diagnostic naming
+// the node, peer and message kind; it is also available from Err.
 // Run may be called once per System.
 func (s *System) Run(fn func(p *Proc)) error {
 	s.mu.Lock()
@@ -469,7 +516,7 @@ func (s *System) Run(fn func(p *Proc)) error {
 		go func(i int, n *Node) {
 			defer wg.Done()
 			defer func() {
-				if r := recover(); r != nil {
+				if r := recover(); r != nil && r != errAborted {
 					errs[i] = fmt.Errorf("core: node %d panicked: %v", i, r)
 				}
 			}()
@@ -485,6 +532,9 @@ func (s *System) Run(fn func(p *Proc)) error {
 	}
 	if s.ownNet {
 		s.net.Close()
+	}
+	if err := s.Err(); err != nil {
+		return err
 	}
 	for _, err := range errs {
 		if err != nil {

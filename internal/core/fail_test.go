@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"midway/internal/memory"
+	"midway/internal/proto"
+	"midway/internal/transport"
+)
+
+// TestRunSurfacesTransportFailure partitions the two nodes permanently
+// under a reliable transport and checks that Run returns the retransmit
+// give-up diagnostic instead of hanging or panicking, and that every
+// application goroutine unwinds.
+func TestRunSurfacesTransportFailure(t *testing.T) {
+	fault := transport.NewFaultNetwork(transport.NewChannelNetwork(2), transport.FaultConfig{})
+	fault.Partition(0, 1)
+	net := transport.NewReliableNetwork(fault, transport.ReliableOptions{
+		RetransmitInitial: time.Millisecond,
+		RetransmitMax:     2 * time.Millisecond,
+		GiveUp:            5,
+	})
+	defer net.Close()
+
+	s, err := NewSystem(Config{Nodes: 2, Strategy: RT, Transport: net, LocalNode: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.MustAlloc("x", 8, 3)
+	lock := s.NewLock("x", memory.Range{Addr: addr, Size: 8})
+
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Run(func(p *Proc) {
+			p.Acquire(lock)
+			p.WriteU64(addr, uint64(p.ID())+1)
+			p.Release(lock)
+		})
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after transport failure")
+	}
+	if err == nil {
+		t.Fatal("Run returned nil despite unreachable peer")
+	}
+	if !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("error %q does not identify the unreachable peer", err)
+	}
+	if s.Err() == nil {
+		t.Error("System.Err() is nil after failed run")
+	}
+}
+
+// TestRunSurfacesDecodeFailure injects an undecodable protocol message and
+// checks Run fails with a diagnostic naming the node, kind and peer.
+func TestRunSurfacesDecodeFailure(t *testing.T) {
+	net := transport.NewChannelNetwork(2)
+	s, err := NewSystem(Config{Nodes: 2, Strategy: RT, Transport: net, LocalNode: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.MustAlloc("x", 8, 3)
+	lock := s.NewLock("x", memory.Range{Addr: addr, Size: 8})
+	_ = addr
+
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Run(func(p *Proc) {
+			if p.ID() == 0 {
+				// Corrupt "grant" straight to node 1's protocol handler.
+				conn := net.Conn(0)
+				_ = conn.Send(transport.Message{
+					From: 0, To: 1, Kind: proto.KindLockGrant,
+					Payload: []byte{0xFF},
+				})
+			} else {
+				// Node 1 blocks on an acquire that can never be granted once
+				// its handler dies; the failure must still unwind it.
+				p.Acquire(lock)
+				p.Release(lock)
+			}
+		})
+	}()
+	var runErr error
+	select {
+	case runErr = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after decode failure")
+	}
+	if runErr == nil {
+		t.Fatal("Run returned nil despite undecodable message")
+	}
+	for _, want := range []string{"node 1", "peer 0", "decode"} {
+		if !strings.Contains(runErr.Error(), want) {
+			t.Errorf("diagnostic %q missing %q", runErr, want)
+		}
+	}
+}

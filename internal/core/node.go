@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -240,22 +241,10 @@ func (n *Node) stop() {
 }
 
 // send transmits a protocol message, stamping it with the node's simulated
-// clock and charging the statistics counters.
+// clock and charging the statistics counters.  A transport failure fails
+// the run with a diagnostic instead of panicking.
 func (n *Node) send(to int, kind proto.Kind, payload []byte) {
-	m := transport.Message{
-		From:    n.id,
-		To:      to,
-		Kind:    kind,
-		Time:    n.cycles.Now(),
-		Payload: payload,
-	}
-	if to != n.id {
-		n.st.Messages.Add(1)
-		n.st.MessageBytes.Add(uint64(m.Size()))
-	}
-	if err := n.conn.Send(m); err != nil {
-		panic(fmt.Sprintf("core: node %d send %v to %d: %v", n.id, kind, to, err))
-	}
+	n.sendAt(to, kind, payload, n.cycles.Now())
 }
 
 // sendAt is send with an explicit simulated timestamp, used when the
@@ -268,7 +257,7 @@ func (n *Node) sendAt(to int, kind proto.Kind, payload []byte, at uint64) {
 		n.st.MessageBytes.Add(uint64(m.Size()))
 	}
 	if err := n.conn.Send(m); err != nil {
-		panic(fmt.Sprintf("core: node %d send %v to %d: %v", n.id, kind, to, err))
+		n.sys.fail(fmt.Errorf("core: node %d: send %v to peer %d: %w", n.id, kind, to, err))
 	}
 }
 
@@ -286,14 +275,29 @@ func (n *Node) arrivalTime(m transport.Message) uint64 {
 	return t
 }
 
+// deliverReply hands a grant or barrier release to the waiting application
+// goroutine, bailing out if the run has failed (the application side may
+// already have aborted and will never drain replyCh).
+func (n *Node) deliverReply(r reply) {
+	select {
+	case n.replyCh <- r:
+	case <-n.sys.failCh:
+	}
+}
+
 // handlerLoop is the node's protocol-handler goroutine: the analogue of
 // the Midway runtime thread that services paging and lock requests while
-// the application computes.
+// the application computes.  Undecodable or unexpected messages and
+// transport breaks fail the run with a diagnostic naming the node, the
+// message kind and the peer, instead of panicking.
 func (n *Node) handlerLoop() {
 	defer close(n.done)
 	for {
 		m, err := n.conn.Recv()
 		if err != nil {
+			if !errors.Is(err, transport.ErrClosed) {
+				n.sys.fail(fmt.Errorf("core: node %d: receive: %w", n.id, err))
+			}
 			return
 		}
 		arrival := n.arrivalTime(m)
@@ -303,40 +307,52 @@ func (n *Node) handlerLoop() {
 		case proto.KindLockAcquire:
 			req, err := proto.DecodeLockAcquire(m.Payload)
 			if err != nil {
-				panic(fmt.Sprintf("core: node %d: %v", n.id, err))
+				n.failDecode(m, err)
+				return
 			}
 			n.managerAcquire(req, arrival)
 		case proto.KindLockForward:
 			req, err := proto.DecodeLockAcquire(m.Payload)
 			if err != nil {
-				panic(fmt.Sprintf("core: node %d: %v", n.id, err))
+				n.failDecode(m, err)
+				return
 			}
 			n.ownerForward(req, arrival)
 		case proto.KindLockGrant:
 			g, err := proto.DecodeLockGrant(m.Payload)
 			if err != nil {
-				panic(fmt.Sprintf("core: node %d: %v", n.id, err))
+				n.failDecode(m, err)
+				return
 			}
 			// Apply before releasing the waiting application, so a
 			// forward chasing the new owner never observes stale state.
 			n.applyGrant(g, arrival)
-			n.replyCh <- reply{grant: g, arrival: arrival}
+			n.deliverReply(reply{grant: g, arrival: arrival})
 		case proto.KindBarrierEnter:
 			e, err := proto.DecodeBarrierEnter(m.Payload)
 			if err != nil {
-				panic(fmt.Sprintf("core: node %d: %v", n.id, err))
+				n.failDecode(m, err)
+				return
 			}
 			n.managerBarrierEnter(e, arrival)
 		case proto.KindBarrierRelease:
 			r, err := proto.DecodeBarrierRelease(m.Payload)
 			if err != nil {
-				panic(fmt.Sprintf("core: node %d: %v", n.id, err))
+				n.failDecode(m, err)
+				return
 			}
-			n.replyCh <- reply{release: r, arrival: arrival}
+			n.deliverReply(reply{release: r, arrival: arrival})
 		default:
-			panic(fmt.Sprintf("core: node %d: unexpected message kind %v", n.id, m.Kind))
+			n.sys.fail(fmt.Errorf("core: node %d: unexpected message kind %v from peer %d",
+				n.id, m.Kind, m.From))
+			return
 		}
 	}
+}
+
+// failDecode fails the run over an undecodable protocol message.
+func (n *Node) failDecode(m transport.Message, err error) {
+	n.sys.fail(fmt.Errorf("core: node %d: decode %v from peer %d: %w", n.id, m.Kind, m.From, err))
 }
 
 // lockState returns (creating on first touch) the node's state for a lock.
@@ -483,8 +499,9 @@ func (n *Node) managerBarrierEnter(e *proto.BarrierEnter, arrival uint64) {
 	}
 	if e.Epoch != st.epoch {
 		n.mu.Unlock()
-		panic(fmt.Sprintf("core: node %d: barrier %d epoch mismatch: got %d want %d",
-			n.id, e.Barrier, e.Epoch, st.epoch))
+		n.sys.fail(fmt.Errorf("core: node %d: barrier %d epoch mismatch from peer %d: got %d want %d",
+			n.id, e.Barrier, e.Node, e.Epoch, st.epoch))
+		return
 	}
 	st.entered = append(st.entered, e)
 	st.arrivals = append(st.arrivals, arrival)

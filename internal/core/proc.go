@@ -153,8 +153,21 @@ func (p *Proc) Binding(l LockID) []memory.Range {
 // bound to the barrier is made consistent across all parties.
 func (p *Proc) Barrier(b BarrierID) { p.node.barrier(uint32(b)) }
 
+// waitReply blocks for the protocol handler's grant or barrier release,
+// aborting (with the sentinel Run recognizes) if the run fails while the
+// application is parked — the message it is waiting for may never arrive.
+func (n *Node) waitReply() reply {
+	select {
+	case r := <-n.replyCh:
+		return r
+	case <-n.sys.failCh:
+		panic(errAborted)
+	}
+}
+
 // acquire implements lock acquisition for both modes.
 func (n *Node) acquire(id uint32, mode proto.Mode) {
+	n.sys.abortIfFailed()
 	n.mu.Lock()
 	lk := n.lockState(id)
 	if lk.held {
@@ -184,7 +197,7 @@ func (n *Node) acquire(id uint32, mode proto.Mode) {
 	n.sys.trace.eventf(n, "acquire %s %v -> manager n%d (lastTime=%d lastInc=%d)",
 		n.sys.objName(id), mode, manager, req.LastTime, req.LastIncarnation)
 	n.send(manager, proto.KindLockAcquire, req.Encode())
-	r := <-n.replyCh
+	r := n.waitReply()
 	if r.grant == nil || r.grant.Lock != id {
 		panic(fmt.Sprintf("core: node %d: unexpected reply while acquiring %d", n.id, id))
 	}
@@ -245,6 +258,7 @@ func (n *Node) release(id uint32) {
 // barrier implements barrier crossing: collect local modifications, enter,
 // wait for release, apply everyone else's updates.
 func (n *Node) barrier(id uint32) {
+	n.sys.abortIfFailed()
 	n.mu.Lock()
 	b := n.barrierState(id)
 	updates, cycles := n.det.CollectBarrier(b)
@@ -265,7 +279,7 @@ func (n *Node) barrier(id uint32) {
 	}
 	n.send(manager, proto.KindBarrierEnter, e.Encode())
 
-	r := <-n.replyCh
+	r := n.waitReply()
 	rel := r.release
 	if rel == nil || rel.Barrier != id || rel.Epoch != epoch {
 		panic(fmt.Sprintf("core: node %d: unexpected reply at barrier %d", n.id, id))

@@ -72,3 +72,32 @@ func FuzzDecodeBarrierRelease(f *testing.F) {
 		}
 	})
 }
+
+func FuzzDecodeReliableData(f *testing.F) {
+	f.Add((&ReliableData{Seq: 7, Kind: KindLockGrant, Payload: []byte{1, 2, 3}}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeReliableData(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Encode(), data) {
+			t.Errorf("re-encode mismatch")
+		}
+	})
+}
+
+func FuzzDecodeReliableAck(f *testing.F) {
+	f.Add((&ReliableAck{Seq: 42}).Encode())
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeReliableAck(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Encode(), data) {
+			t.Errorf("re-encode mismatch")
+		}
+	})
+}

@@ -8,6 +8,7 @@ package proto
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"midway/internal/memory"
 )
@@ -34,6 +35,13 @@ const (
 	KindBarrierRelease
 	// KindShutdown tells a node's protocol handler to exit.
 	KindShutdown
+	// KindReliableData is a transport-level envelope used by the Reliable
+	// wrapper: a sequence-numbered carrier for one of the kinds above.  It
+	// never reaches the protocol handler.
+	KindReliableData
+	// KindReliableAck is the transport-level cumulative acknowledgement for
+	// KindReliableData envelopes.  It never reaches the protocol handler.
+	KindReliableAck
 )
 
 // String returns the message kind's name.
@@ -51,6 +59,10 @@ func (k Kind) String() string {
 		return "BarrierRelease"
 	case KindShutdown:
 		return "Shutdown"
+	case KindReliableData:
+		return "ReliableData"
+	case KindReliableAck:
+		return "ReliableAck"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -496,3 +508,67 @@ func DecodeBarrierRelease(buf []byte) (*BarrierRelease, error) {
 	}
 	return m, nil
 }
+
+// ReliableData is the sequence-numbered envelope the Reliable transport
+// wrapper puts around every inter-node message.  Seq numbers one direction
+// of one node pair; Kind and Payload are the wrapped message's.
+type ReliableData struct {
+	Seq     uint64
+	Kind    Kind
+	Payload []byte
+}
+
+// Encode serializes the envelope.
+func (m *ReliableData) Encode() []byte {
+	var e Encoder
+	e.U64(m.Seq)
+	e.U8(uint8(m.Kind))
+	e.Blob(m.Payload)
+	return e.Bytes()
+}
+
+// DecodeReliableData parses a ReliableData payload.
+func DecodeReliableData(buf []byte) (*ReliableData, error) {
+	d := NewDecoder(buf)
+	m := &ReliableData{Seq: d.U64(), Kind: Kind(d.U8())}
+	m.Payload = d.Blob()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decoding ReliableData: %w", err)
+	}
+	return m, nil
+}
+
+// ReliableAck is the cumulative acknowledgement for ReliableData
+// envelopes: every envelope with sequence number <= Seq has been
+// delivered to the receiver's protocol handler.
+type ReliableAck struct {
+	Seq uint64
+}
+
+// Encode serializes the acknowledgement.
+func (m *ReliableAck) Encode() []byte {
+	var e Encoder
+	e.U64(m.Seq)
+	return e.Bytes()
+}
+
+// DecodeReliableAck parses a ReliableAck payload.
+func DecodeReliableAck(buf []byte) (*ReliableAck, error) {
+	d := NewDecoder(buf)
+	m := &ReliableAck{Seq: d.U64()}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decoding ReliableAck: %w", err)
+	}
+	return m, nil
+}
+
+// checksumTable is the Castagnoli CRC-32 table used for frame checksums.
+var checksumTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC-32C of b, the integrity check the TCP
+// transport appends to every frame.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, checksumTable) }
+
+// ChecksumAdd extends a running CRC-32C with b, for checksumming a frame
+// assembled from several buffers.
+func ChecksumAdd(crc uint32, b []byte) uint32 { return crc32.Update(crc, checksumTable, b) }

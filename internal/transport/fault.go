@@ -1,0 +1,268 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultConfig parameterizes deterministic fault injection.  Probabilities
+// are in [0, 1); the zero value injects nothing.
+type FaultConfig struct {
+	// Seed seeds the per-pair PRNG streams.  Runs with the same seed make
+	// the same drop/duplicate/reorder decisions for each directed node
+	// pair's message sequence.
+	Seed int64
+	// Drop is the probability a message is silently discarded.
+	Drop float64
+	// Dup is the probability a message is delivered twice.
+	Dup float64
+	// Reorder is the probability a message is held back by ReorderDelay,
+	// letting later messages overtake it.
+	Reorder float64
+	// Delay is the maximum uniform random extra latency added to every
+	// message (0 disables).
+	Delay time.Duration
+	// ReorderDelay is how long a reordered message is held back.  Zero
+	// selects 3ms.
+	ReorderDelay time.Duration
+}
+
+// Active reports whether any fault injection is configured.
+func (c FaultConfig) Active() bool {
+	return c.Drop > 0 || c.Dup > 0 || c.Reorder > 0 || c.Delay > 0
+}
+
+// String renders the configuration in ParseFaultSpec's format.
+func (c FaultConfig) String() string {
+	parts := []string{}
+	if c.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", c.Drop))
+	}
+	if c.Dup > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%g", c.Dup))
+	}
+	if c.Reorder > 0 {
+		parts = append(parts, fmt.Sprintf("reorder=%g", c.Reorder))
+	}
+	if c.Delay > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%s", c.Delay))
+	}
+	parts = append(parts, fmt.Sprintf("seed=%d", c.Seed))
+	return strings.Join(parts, ",")
+}
+
+// ParseFaultSpec parses a comma-separated fault specification like
+//
+//	drop=0.05,dup=0.02,reorder=0.1,delay=1ms,seed=7
+//
+// Unknown keys, probabilities outside [0, 1) and malformed values are
+// errors.  An empty spec returns the zero (inactive) config.
+func ParseFaultSpec(spec string) (FaultConfig, error) {
+	var c FaultConfig
+	if spec == "" {
+		return c, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return c, fmt.Errorf("transport: fault spec %q: field %q is not key=value", spec, field)
+		}
+		switch key {
+		case "drop", "dup", "reorder":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p >= 1 {
+				return c, fmt.Errorf("transport: fault spec: %s=%q is not a probability in [0,1)", key, val)
+			}
+			switch key {
+			case "drop":
+				c.Drop = p
+			case "dup":
+				c.Dup = p
+			case "reorder":
+				c.Reorder = p
+			}
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return c, fmt.Errorf("transport: fault spec: delay=%q is not a duration", val)
+			}
+			c.Delay = d
+		case "seed":
+			s, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return c, fmt.Errorf("transport: fault spec: seed=%q is not an integer", val)
+			}
+			c.Seed = s
+		default:
+			return c, fmt.Errorf("transport: fault spec: unknown key %q (want drop, dup, reorder, delay, seed)", key)
+		}
+	}
+	return c, nil
+}
+
+// FaultNetwork wraps a Network and injects faults on the send path:
+// message drops, duplicates, random delays, reorders, and full partitions
+// between node pairs.  Fate decisions come from a per-directed-pair seeded
+// PRNG, so the decision sequence for each pair's message stream is
+// reproducible.  Self-addressed messages (used for shutdown) are never
+// faulted, and faults apply only between distinct nodes.
+//
+// FaultNetwork models a lossy datagram network; the protocol cannot run
+// over it directly.  Stack a Reliable wrapper on top.
+type FaultNetwork struct {
+	inner Network
+	cfg   FaultConfig
+	pairs []*faultPair // directed pair state, indexed from*n+to
+
+	mu          sync.Mutex
+	partitioned map[[2]int]bool
+
+	// closeMu orders delayed-delivery registration against Close: Send
+	// registers with wg under the read lock, Close flips closing under the
+	// write lock before waiting, so wg.Add never races wg.Wait.
+	closeMu   sync.RWMutex
+	closing   bool
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// faultPair is the PRNG stream for one directed node pair.
+type faultPair struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFaultNetwork wraps inner with fault injection.
+func NewFaultNetwork(inner Network, cfg FaultConfig) *FaultNetwork {
+	if cfg.ReorderDelay == 0 {
+		cfg.ReorderDelay = 3 * time.Millisecond
+	}
+	n := inner.Nodes()
+	f := &FaultNetwork{
+		inner:       inner,
+		cfg:         cfg,
+		pairs:       make([]*faultPair, n*n),
+		partitioned: make(map[[2]int]bool),
+		closed:      make(chan struct{}),
+	}
+	for i := range f.pairs {
+		// Distinct deterministic stream per directed pair.
+		f.pairs[i] = &faultPair{rng: rand.New(rand.NewSource(cfg.Seed<<20 ^ int64(i+1)))}
+	}
+	return f
+}
+
+// Nodes returns the node count.
+func (f *FaultNetwork) Nodes() int { return f.inner.Nodes() }
+
+// Err returns the underlying network's first recorded failure.
+func (f *FaultNetwork) Err() error { return f.inner.Err() }
+
+// Conn returns node i's fault-injecting endpoint.
+func (f *FaultNetwork) Conn(i int) Conn { return &faultConn{id: i, net: f, inner: f.inner.Conn(i)} }
+
+// Partition severs both directions between nodes a and b: every message
+// between them is dropped until Heal.
+func (f *FaultNetwork) Partition(a, b int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitioned[[2]int{a, b}] = true
+	f.partitioned[[2]int{b, a}] = true
+}
+
+// Heal restores connectivity between nodes a and b.
+func (f *FaultNetwork) Heal(a, b int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.partitioned, [2]int{a, b})
+	delete(f.partitioned, [2]int{b, a})
+}
+
+// Close aborts pending delayed deliveries and closes the inner network.
+func (f *FaultNetwork) Close() error {
+	f.closeOnce.Do(func() {
+		f.closeMu.Lock()
+		f.closing = true
+		f.closeMu.Unlock()
+		close(f.closed)
+	})
+	f.wg.Wait()
+	return f.inner.Close()
+}
+
+// faultConn is one node's fault-injecting endpoint.
+type faultConn struct {
+	id    int
+	net   *FaultNetwork
+	inner Conn
+}
+
+func (c *faultConn) Recv() (Message, error) { return c.inner.Recv() }
+func (c *faultConn) Close() error           { return c.inner.Close() }
+
+func (c *faultConn) Send(m Message) error {
+	f := c.net
+	if m.From == m.To {
+		// Self-sends (shutdown) bypass injection entirely.
+		return c.inner.Send(m)
+	}
+	f.mu.Lock()
+	cut := f.partitioned[[2]int{m.From, m.To}]
+	f.mu.Unlock()
+	if cut {
+		return nil // silently dropped, as a partition would
+	}
+
+	p := f.pairs[m.From*f.inner.Nodes()+m.To]
+	p.mu.Lock()
+	drop := p.rng.Float64() < f.cfg.Drop
+	dup := p.rng.Float64() < f.cfg.Dup
+	reorder := p.rng.Float64() < f.cfg.Reorder
+	var delay time.Duration
+	if f.cfg.Delay > 0 {
+		delay = time.Duration(p.rng.Int63n(int64(f.cfg.Delay) + 1))
+	}
+	p.mu.Unlock()
+
+	if drop {
+		return nil
+	}
+	if reorder {
+		delay += f.cfg.ReorderDelay
+	}
+	copies := 1
+	if dup {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		if delay == 0 {
+			if err := c.inner.Send(m); err != nil {
+				return err
+			}
+			continue
+		}
+		f.closeMu.RLock()
+		if f.closing {
+			f.closeMu.RUnlock()
+			return nil // shutting down: this layer is lossy by design
+		}
+		f.wg.Add(1)
+		f.closeMu.RUnlock()
+		go func(d time.Duration) {
+			defer f.wg.Done()
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				_ = c.inner.Send(m) // best effort: this layer is lossy by design
+			case <-f.closed:
+			}
+		}(delay + time.Duration(i)*time.Millisecond)
+	}
+	return nil
+}

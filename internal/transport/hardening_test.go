@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"midway/internal/proto"
+)
+
+// freeAddrs reserves n distinct loopback ports and returns them as
+// listen addresses.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	return addrs
+}
+
+// TestTCPChecksumDetectsCorruption injects garbage directly into a peer
+// socket and checks that the receiver's endpoint breaks with a frame
+// error instead of delivering corrupt data or hanging.
+func TestTCPChecksumDetectsCorruption(t *testing.T) {
+	tn, err := NewLoopbackTCPNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+	// Write a plausible-length frame with a corrupt body straight onto
+	// node 0's socket to node 1, bypassing writeFrame.
+	raw := tn.conns[0].peers[1].conn
+	frame := make([]byte, 4+20)
+	frame[0] = 16 // body length = headerSize-4
+	for i := 4; i < len(frame); i++ {
+		frame[i] = 0xAB
+	}
+	if _, err := raw.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	_, err = tn.Conn(1).Recv()
+	if err == nil {
+		t.Fatal("corrupt frame was delivered")
+	}
+	if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "frame") {
+		t.Errorf("error %q does not identify frame corruption", err)
+	}
+	if tn.Err() == nil {
+		t.Error("network Err() is nil after corruption")
+	}
+}
+
+// TestTCPBrokenSocketSurfaces kills a loopback socket mid-run and checks
+// that the reader's endpoint reports the break instead of blocking
+// forever.
+func TestTCPBrokenSocketSurfaces(t *testing.T) {
+	tn, err := NewLoopbackTCPNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+	tn.conns[0].peers[1].conn.Close()
+	_, err = tn.Conn(1).Recv()
+	if err == nil {
+		t.Fatal("Recv returned no error after socket break")
+	}
+	if !strings.Contains(err.Error(), "read from peer") {
+		t.Errorf("error %q does not identify the broken read", err)
+	}
+}
+
+// TestDialTCPNodeHelloTimeout starts only node 0 of a 2-node mesh and
+// checks that mesh formation fails with a diagnostic within the hello
+// deadline instead of hanging on the accept side.
+func TestDialTCPNodeHelloTimeout(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	start := time.Now()
+	_, err := DialTCPNodeOpts(0, 2, addrs, MeshOptions{HelloTimeout: 300 * time.Millisecond})
+	if err == nil {
+		t.Fatal("mesh formation succeeded without peer 1")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %s", elapsed)
+	}
+	for _, want := range []string{"node 0", "timed out", "[1]"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnostic %q missing %q", err, want)
+		}
+	}
+}
+
+// TestMeshReconnect breaks the socket of a two-process-style mesh mid-run
+// and checks that, with the Reliable wrapper above, traffic resumes after
+// the automatic re-dial.
+func TestMeshReconnect(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	opts := MeshOptions{HelloTimeout: 5 * time.Second, RedialTimeout: 5 * time.Second}
+	var tns [2]*TCPNetwork
+	var errs [2]error
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tns[i], errs[i] = DialTCPNodeOpts(i, 2, addrs, opts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d join: %v", i, err)
+		}
+	}
+	ropts := ReliableOptions{RetransmitInitial: 5 * time.Millisecond, GiveUp: 400}
+	rn0 := NewReliableNetwork(tns[0], ropts)
+	rn1 := NewReliableNetwork(tns[1], ropts)
+	defer rn0.Close()
+	defer rn1.Close()
+	c0, c1 := rn0.Conn(0), rn1.Conn(1)
+
+	send := func(seq uint64) {
+		if err := c0.Send(Message{From: 0, To: 1, Kind: proto.KindLockAcquire, Time: seq}); err != nil {
+			t.Fatalf("send %d: %v", seq, err)
+		}
+	}
+	expect := func(seq uint64) {
+		m, err := c1.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", seq, err)
+		}
+		if m.Time != seq {
+			t.Fatalf("got seq %d, want %d", m.Time, seq)
+		}
+	}
+	send(0)
+	expect(0)
+
+	// Sever the socket out from under both endpoints.  Node 1 (the
+	// dialer) re-dials; node 0's listener accepts the fresh hello.
+	tns[1].conns[1].peers[0].mu.Lock()
+	raw := tns[1].conns[1].peers[0].conn
+	tns[1].conns[1].peers[0].mu.Unlock()
+	raw.Close()
+
+	for seq := uint64(1); seq <= 5; seq++ {
+		send(seq)
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		expect(seq)
+	}
+	if err := rn0.Err(); err != nil {
+		t.Errorf("node 0 recorded error despite successful reconnect: %v", err)
+	}
+	if err := rn1.Err(); err != nil {
+		t.Errorf("node 1 recorded error despite successful reconnect: %v", err)
+	}
+}
+
+// TestReliableOverLoopbackTCPFaults runs the reliable layer over a fault
+// injector over real sockets: the full production stack under adversity.
+func TestReliableOverLoopbackTCPFaults(t *testing.T) {
+	base, err := NewLoopbackTCPNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := FaultConfig{Seed: 3, Drop: 0.2, Dup: 0.1, Reorder: 0.2}
+	net := NewReliableNetwork(NewFaultNetwork(base, fc),
+		ReliableOptions{RetransmitInitial: 2 * time.Millisecond, GiveUp: 300})
+	defer net.Close()
+	const msgs = 60
+	done := make(chan error, 1)
+	go func() {
+		conn := net.Conn(1)
+		for i := 0; i < msgs; i++ {
+			m, err := conn.Recv()
+			if err != nil {
+				done <- err
+				return
+			}
+			if m.Time != uint64(i) {
+				done <- fmt.Errorf("got seq %d, want %d", m.Time, i)
+				return
+			}
+		}
+		done <- nil
+	}()
+	conn := net.Conn(0)
+	for i := 0; i < msgs; i++ {
+		if err := conn.Send(Message{From: 0, To: 1, Kind: proto.KindBarrierEnter, Time: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,386 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"midway/internal/proto"
+)
+
+// ReliableOptions tunes the retransmission machinery.  The zero value
+// selects the defaults noted on each field.
+type ReliableOptions struct {
+	// RetransmitInitial is the first retransmission timeout (default 20ms);
+	// it doubles on every retry up to RetransmitMax (default 500ms).
+	RetransmitInitial time.Duration
+	RetransmitMax     time.Duration
+	// GiveUp is the number of retransmissions of a single envelope after
+	// which the peer is declared unreachable and the connection fails
+	// (default 25 — about 12 seconds of backoff).
+	GiveUp int
+}
+
+func (o ReliableOptions) withDefaults() ReliableOptions {
+	if o.RetransmitInitial == 0 {
+		o.RetransmitInitial = 20 * time.Millisecond
+	}
+	if o.RetransmitMax == 0 {
+		o.RetransmitMax = 500 * time.Millisecond
+	}
+	if o.GiveUp == 0 {
+		o.GiveUp = 25
+	}
+	return o
+}
+
+// ReliableNetwork wraps a Network so that the protocol above it sees
+// exactly-once, in-order delivery per directed node pair, even when the
+// network below drops, duplicates, delays or reorders messages.
+//
+// Every inter-node message is wrapped in a proto.ReliableData envelope
+// carrying a per-pair sequence number.  Receivers deliver envelopes in
+// sequence order (holding back early arrivals, discarding duplicates) and
+// return cumulative proto.ReliableAck acknowledgements; senders retransmit
+// unacknowledged envelopes on a real-time exponential-backoff timer.  A
+// retransmitted envelope carries the original simulated send time, so the
+// cost model charges each logical message exactly once, on first delivery.
+// Self-addressed messages bypass the machinery.
+//
+// If an envelope remains unacknowledged after GiveUp retransmissions the
+// peer is declared unreachable: the sender's endpoint fails, Recv returns
+// a diagnostic error, and Err exposes it to the system.
+type ReliableNetwork struct {
+	inner Network
+	opts  ReliableOptions
+	conns []*reliableConn
+
+	errMu  sync.Mutex
+	errVal error
+}
+
+// NewReliableNetwork wraps inner with the reliable-delivery layer.
+func NewReliableNetwork(inner Network, opts ReliableOptions) *ReliableNetwork {
+	r := &ReliableNetwork{inner: inner, opts: opts.withDefaults()}
+	r.conns = make([]*reliableConn, inner.Nodes())
+	return r
+}
+
+// Nodes returns the node count.
+func (r *ReliableNetwork) Nodes() int { return r.inner.Nodes() }
+
+// Err returns the first failure recorded by this layer or the one below.
+func (r *ReliableNetwork) Err() error {
+	r.errMu.Lock()
+	err := r.errVal
+	r.errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return r.inner.Err()
+}
+
+// recordErr keeps the first failure for Err.
+func (r *ReliableNetwork) recordErr(err error) {
+	r.errMu.Lock()
+	if r.errVal == nil {
+		r.errVal = err
+	}
+	r.errMu.Unlock()
+}
+
+// Conn returns node i's reliable endpoint.  Endpoints are created once and
+// cached: the sequencing state must be shared by every caller.
+func (r *ReliableNetwork) Conn(i int) Conn {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	if r.conns[i] == nil {
+		r.conns[i] = newReliableConn(r, i)
+	}
+	return r.conns[i]
+}
+
+// Close shuts down every endpoint and the inner network.
+func (r *ReliableNetwork) Close() error {
+	r.errMu.Lock()
+	conns := append([]*reliableConn(nil), r.conns...)
+	r.errMu.Unlock()
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	return r.inner.Close()
+}
+
+// unackedMsg is one envelope awaiting acknowledgement.
+type unackedMsg struct {
+	m        Message // the wrapped envelope, resent verbatim
+	kind     proto.Kind
+	nextSend time.Time
+	backoff  time.Duration
+	attempts int
+}
+
+// reliableConn is one node's reliable endpoint.
+type reliableConn struct {
+	net   *ReliableNetwork
+	inner Conn
+	id    int
+
+	mu       sync.Mutex
+	sendSeq  []uint64               // per peer: last assigned sequence number
+	unacked  []map[uint64]*unackedMsg // per peer: in-flight envelopes
+	recvSeq  []uint64               // per peer: highest delivered sequence number
+	heldBack []map[uint64]Message   // per peer: early arrivals awaiting the gap
+
+	out chan Message // decoded messages ready for Recv
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	failed    chan struct{}
+	failOnce  sync.Once
+	failErr   error
+
+	pumpDone chan struct{}
+	pumpErr  error
+}
+
+func newReliableConn(r *ReliableNetwork, id int) *reliableConn {
+	n := r.inner.Nodes()
+	c := &reliableConn{
+		net:      r,
+		inner:    r.inner.Conn(id),
+		id:       id,
+		sendSeq:  make([]uint64, n),
+		unacked:  make([]map[uint64]*unackedMsg, n),
+		recvSeq:  make([]uint64, n),
+		heldBack: make([]map[uint64]Message, n),
+		out:      make(chan Message, inboxCap),
+		closed:   make(chan struct{}),
+		failed:   make(chan struct{}),
+		pumpDone: make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		c.unacked[i] = make(map[uint64]*unackedMsg)
+		c.heldBack[i] = make(map[uint64]Message)
+	}
+	go c.pumpLoop()
+	go c.retransmitLoop()
+	return c
+}
+
+// fail marks the endpoint broken and records the diagnostic.
+func (c *reliableConn) fail(err error) {
+	c.failOnce.Do(func() {
+		c.failErr = err
+		c.net.recordErr(err)
+		close(c.failed)
+	})
+}
+
+func (c *reliableConn) Send(m Message) error {
+	if m.From == m.To {
+		return c.inner.Send(m)
+	}
+	env := proto.ReliableData{Kind: m.Kind, Payload: m.Payload}
+	c.mu.Lock()
+	c.sendSeq[m.To]++
+	env.Seq = c.sendSeq[m.To]
+	wrapped := Message{
+		From:    m.From,
+		To:      m.To,
+		Kind:    proto.KindReliableData,
+		Time:    m.Time,
+		Payload: env.Encode(),
+	}
+	c.unacked[m.To][env.Seq] = &unackedMsg{
+		m:        wrapped,
+		kind:     m.Kind,
+		nextSend: time.Now().Add(c.net.opts.RetransmitInitial),
+		backoff:  c.net.opts.RetransmitInitial,
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-c.failed:
+		return c.failErr
+	case <-c.closed:
+		return ErrClosed
+	default:
+	}
+	// Transient send failures (a TCP socket mid-reconnect) are left to the
+	// retransmission timer; only a closed network is terminal.
+	if err := c.inner.Send(wrapped); err == ErrClosed {
+		return err
+	}
+	return nil
+}
+
+func (c *reliableConn) Recv() (Message, error) {
+	select {
+	case m := <-c.out:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-c.out:
+		return m, nil
+	case <-c.failed:
+		return Message{}, c.failErr
+	case <-c.pumpDone:
+		if c.pumpErr != nil {
+			return Message{}, c.pumpErr
+		}
+		return Message{}, ErrClosed
+	}
+}
+
+func (c *reliableConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.inner.Close()
+}
+
+// pumpLoop drains the inner endpoint: it strips envelopes, enforces
+// per-peer ordering, suppresses duplicates, emits acknowledgements, and
+// forwards everything else untouched.
+func (c *reliableConn) pumpLoop() {
+	defer close(c.pumpDone)
+	for {
+		m, err := c.inner.Recv()
+		if err != nil {
+			c.pumpErr = err
+			return
+		}
+		switch m.Kind {
+		case proto.KindReliableAck:
+			ack, err := proto.DecodeReliableAck(m.Payload)
+			if err != nil {
+				continue // a corrupt ack is harmless: retransmission re-elicits it
+			}
+			c.mu.Lock()
+			for seq := range c.unacked[m.From] {
+				if seq <= ack.Seq {
+					delete(c.unacked[m.From], seq)
+				}
+			}
+			c.mu.Unlock()
+		case proto.KindReliableData:
+			env, err := proto.DecodeReliableData(m.Payload)
+			if err != nil {
+				continue // corrupt envelope: drop; the sender will retransmit
+			}
+			c.handleData(m, env)
+		default:
+			// Unwrapped traffic (self-sends) passes through.
+			select {
+			case c.out <- m:
+			case <-c.closed:
+				return
+			}
+		}
+	}
+}
+
+// handleData delivers one envelope in sequence order.
+func (c *reliableConn) handleData(m Message, env *proto.ReliableData) {
+	from := m.From
+	c.mu.Lock()
+	switch {
+	case env.Seq <= c.recvSeq[from]:
+		// Duplicate of an already-delivered envelope: re-ack so the sender
+		// stops retransmitting.
+	case env.Seq == c.recvSeq[from]+1:
+		c.recvSeq[from] = env.Seq
+		deliver := []Message{unwrap(m, env)}
+		// An early arrival may have filled the next gap(s).
+		for {
+			held, ok := c.heldBack[from][c.recvSeq[from]+1]
+			if !ok {
+				break
+			}
+			delete(c.heldBack[from], c.recvSeq[from]+1)
+			c.recvSeq[from]++
+			deliver = append(deliver, held)
+		}
+		c.mu.Unlock()
+		for _, d := range deliver {
+			select {
+			case c.out <- d:
+			case <-c.closed:
+				return
+			}
+		}
+		c.mu.Lock()
+	default:
+		// Early arrival: hold until the gap fills.  Overwriting on a
+		// duplicate is harmless.
+		c.heldBack[from][env.Seq] = unwrap(m, env)
+	}
+	ackSeq := c.recvSeq[from]
+	c.mu.Unlock()
+	ack := proto.ReliableAck{Seq: ackSeq}
+	_ = c.inner.Send(Message{
+		From:    c.id,
+		To:      from,
+		Kind:    proto.KindReliableAck,
+		Payload: ack.Encode(),
+	})
+}
+
+// unwrap reconstructs the original message from its envelope.
+func unwrap(m Message, env *proto.ReliableData) Message {
+	return Message{From: m.From, To: m.To, Kind: env.Kind, Time: m.Time, Payload: env.Payload}
+}
+
+// retransmitLoop resends unacknowledged envelopes with exponential
+// backoff, and fails the endpoint when a peer stays unreachable.
+func (c *reliableConn) retransmitLoop() {
+	tick := time.NewTicker(c.net.opts.RetransmitInitial / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-c.failed:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		var resend []*unackedMsg
+		c.mu.Lock()
+		for peer := range c.unacked {
+			for _, u := range c.unacked[peer] {
+				if now.Before(u.nextSend) {
+					continue
+				}
+				u.attempts++
+				if u.attempts > c.net.opts.GiveUp {
+					c.mu.Unlock()
+					c.fail(fmt.Errorf("transport: node %d: peer %d unreachable: %s (seq %d) undelivered after %d retransmits",
+						c.id, u.m.To, u.kind, envSeq(u.m.Payload), u.attempts-1))
+					return
+				}
+				u.backoff = min(u.backoff*2, c.net.opts.RetransmitMax)
+				u.nextSend = now.Add(u.backoff)
+				resend = append(resend, u)
+			}
+		}
+		c.mu.Unlock()
+		for _, u := range resend {
+			if err := c.inner.Send(u.m); err == ErrClosed {
+				return
+			}
+		}
+	}
+}
+
+// envSeq extracts the sequence number from an encoded envelope for
+// diagnostics.
+func envSeq(payload []byte) uint64 {
+	env, err := proto.DecodeReliableData(payload)
+	if err != nil {
+		return 0
+	}
+	return env.Seq
+}

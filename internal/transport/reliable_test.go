@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"midway/internal/proto"
+)
+
+// TestReliableCleanNetwork checks that the reliable wrapper over a
+// fault-free channel network preserves the base delivery contract.
+func TestReliableCleanNetwork(t *testing.T) {
+	net := NewReliableNetwork(NewChannelNetwork(4), ReliableOptions{})
+	defer net.Close()
+	exerciseNetwork(t, net)
+	if err := net.Err(); err != nil {
+		t.Errorf("clean run recorded error: %v", err)
+	}
+}
+
+// TestReliableOverFaults is the core exactly-once guarantee: heavy drop,
+// duplication, reordering and delay below the reliable layer must still
+// yield in-order, exactly-once per-pair delivery above it.
+func TestReliableOverFaults(t *testing.T) {
+	const (
+		nodes = 3
+		msgs  = 120
+	)
+	fc := FaultConfig{Seed: 7, Drop: 0.25, Dup: 0.2, Reorder: 0.3, Delay: 500 * time.Microsecond}
+	net := NewReliableNetwork(NewFaultNetwork(NewChannelNetwork(nodes), fc),
+		ReliableOptions{RetransmitInitial: 2 * time.Millisecond, GiveUp: 200})
+	defer net.Close()
+
+	var wg sync.WaitGroup
+	for to := 0; to < nodes; to++ {
+		wg.Add(1)
+		go func(to int) {
+			defer wg.Done()
+			conn := net.Conn(to)
+			next := make([]uint64, nodes)
+			for i := 0; i < msgs*(nodes-1); i++ {
+				m, err := conn.Recv()
+				if err != nil {
+					t.Errorf("node %d recv: %v", to, err)
+					return
+				}
+				if m.Time != next[m.From] {
+					t.Errorf("node %d: from %d got seq %d, want %d", to, m.From, m.Time, next[m.From])
+					return
+				}
+				next[m.From]++
+			}
+		}(to)
+	}
+	for from := 0; from < nodes; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			conn := net.Conn(from)
+			for seq := 0; seq < msgs; seq++ {
+				for to := 0; to < nodes; to++ {
+					if to == from {
+						continue
+					}
+					if err := conn.Send(Message{From: from, To: to, Kind: proto.KindLockAcquire, Time: uint64(seq)}); err != nil {
+						t.Errorf("send %d->%d: %v", from, to, err)
+						return
+					}
+				}
+			}
+		}(from)
+	}
+	wg.Wait()
+	if err := net.Err(); err != nil {
+		t.Errorf("recovered run recorded error: %v", err)
+	}
+}
+
+// TestReliableGiveUp partitions a pair permanently and checks that the
+// sender's endpoint fails with a diagnostic instead of retrying forever.
+func TestReliableGiveUp(t *testing.T) {
+	fault := NewFaultNetwork(NewChannelNetwork(2), FaultConfig{})
+	fault.Partition(0, 1)
+	net := NewReliableNetwork(fault, ReliableOptions{
+		RetransmitInitial: time.Millisecond,
+		RetransmitMax:     2 * time.Millisecond,
+		GiveUp:            5,
+	})
+	defer net.Close()
+	conn := net.Conn(0)
+	if err := conn.Send(Message{From: 0, To: 1, Kind: proto.KindLockAcquire}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := conn.Recv()
+	if err == nil {
+		t.Fatal("Recv returned without error despite unreachable peer")
+	}
+	for _, want := range []string{"node 0", "peer 1", "unreachable", "LockAcquire"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnostic %q missing %q", err, want)
+		}
+	}
+	if net.Err() == nil {
+		t.Error("network Err() is nil after give-up")
+	}
+}
+
+// TestReliableSelfSendPassthrough checks that self-addressed messages
+// (shutdown) bypass sequencing and still arrive.
+func TestReliableSelfSendPassthrough(t *testing.T) {
+	net := NewReliableNetwork(NewChannelNetwork(2), ReliableOptions{})
+	defer net.Close()
+	c := net.Conn(0)
+	if err := c.Send(Message{From: 0, To: 0, Kind: proto.KindShutdown, Payload: []byte("bye")}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Recv()
+	if err != nil || m.Kind != proto.KindShutdown || string(m.Payload) != "bye" {
+		t.Fatalf("self send: %v, %+v", err, m)
+	}
+}

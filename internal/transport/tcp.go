@@ -13,42 +13,92 @@ import (
 )
 
 // TCPNetwork connects nodes through a full mesh of TCP connections.  Every
-// node listens on its own address; node i dials every node j > i, and the
+// node listens on its own address; node i dials every node j < i, and the
 // two directions of each socket carry the two directions of traffic.
 //
 // A TCPNetwork can host all nodes in one process (NewLoopbackTCPNetwork,
 // used by tests and the single-binary runner) or a single node of a
 // multi-process deployment (DialTCPNode, used by cmd/midway-run's
 // distributed mode).
+//
+// Hardening: every frame carries a CRC-32C trailer, writes run under a
+// deadline, and hello exchanges time out instead of hanging.  In a
+// DialTCPNode mesh a socket that breaks mid-run is re-established with
+// exponential backoff (the higher-numbered node re-dials; the lower's
+// listener keeps accepting), so a Reliable wrapper above can retransmit
+// across the outage.  An unrecoverable break marks the endpoint broken:
+// Recv returns a diagnostic error and Err exposes it to the system.
 type TCPNetwork struct {
 	conns []*tcpConn
 	mu    sync.Mutex
 	close []io.Closer
 	done  bool
+
+	errMu  sync.Mutex
+	errVal error
+}
+
+// MeshOptions tunes a DialTCPNode mesh.  The zero value selects the
+// defaults noted on each field.
+type MeshOptions struct {
+	// HelloTimeout bounds mesh formation: how long to wait for each
+	// lower-numbered peer to answer our dial, and for all higher-numbered
+	// peers to dial in (default 30s).
+	HelloTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (default 10s).
+	WriteTimeout time.Duration
+	// RedialTimeout bounds mid-run reconnection after a socket breaks
+	// (default 15s); exhausting it marks the endpoint broken.
+	RedialTimeout time.Duration
+}
+
+func (o MeshOptions) withDefaults() MeshOptions {
+	if o.HelloTimeout == 0 {
+		o.HelloTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.RedialTimeout == 0 {
+		o.RedialTimeout = 15 * time.Second
+	}
+	return o
 }
 
 // maxFrame bounds a single message frame; larger frames indicate
 // corruption.
 const maxFrame = 64 << 20
 
-// writeFrame serializes a message onto w.
-func writeFrame(w *bufio.Writer, m Message) error {
+// writeFrame serializes a message onto p's socket under the write
+// deadline, appending a CRC-32C of the frame body.  Caller holds p.mu.
+func (p *peer) writeFrame(m Message, timeout time.Duration) error {
 	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(headerSize-4+len(m.Payload)))
 	binary.LittleEndian.PutUint16(hdr[4:], uint16(m.From))
 	binary.LittleEndian.PutUint16(hdr[6:], uint16(m.To))
 	hdr[8] = byte(m.Kind)
 	binary.LittleEndian.PutUint64(hdr[12:], m.Time)
-	if _, err := w.Write(hdr[:]); err != nil {
+	var sum [4]byte
+	crc := proto.Checksum(hdr[4:])
+	crc = proto.ChecksumAdd(crc, m.Payload)
+	binary.LittleEndian.PutUint32(sum[:], crc)
+	if timeout > 0 {
+		p.conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer p.conn.SetWriteDeadline(time.Time{})
+	}
+	if _, err := p.w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := w.Write(m.Payload); err != nil {
+	if _, err := p.w.Write(m.Payload); err != nil {
 		return err
 	}
-	return w.Flush()
+	if _, err := p.w.Write(sum[:]); err != nil {
+		return err
+	}
+	return p.w.Flush()
 }
 
-// readFrame parses one message from r.
+// readFrame parses one message from r, verifying the CRC-32C trailer.
 func readFrame(r *bufio.Reader) (Message, error) {
 	var lenb [4]byte
 	if _, err := io.ReadFull(r, lenb[:]); err != nil {
@@ -61,6 +111,13 @@ func readFrame(r *bufio.Reader) (Message, error) {
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Message{}, err
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return Message{}, err
+	}
+	if got, want := proto.Checksum(body), binary.LittleEndian.Uint32(sum[:]); got != want {
+		return Message{}, fmt.Errorf("transport: frame checksum mismatch (got %08x, want %08x)", got, want)
 	}
 	m := Message{
 		From:    int(binary.LittleEndian.Uint16(body[0:])),
@@ -75,19 +132,50 @@ func readFrame(r *bufio.Reader) (Message, error) {
 // tcpConn is one node's endpoint in a TCP mesh.
 type tcpConn struct {
 	id    int
+	owner *TCPNetwork
 	peers []*peer // indexed by node id; peers[id] is nil (loopback shortcut)
 	inbox chan Message
-	self  chan Message // loopback messages bypass the sockets
 
 	closeOnce sync.Once
 	closed    chan struct{}
+
+	// broken is closed (with brokenErr set first) when the endpoint hits
+	// an unrecoverable transport failure.
+	brokenOnce sync.Once
+	broken     chan struct{}
+	brokenErr  error
+
+	// mesh is non-nil in a DialTCPNode deployment, where broken sockets
+	// can be re-established.
+	mesh *meshState
+}
+
+// meshState is the reconnection context of a DialTCPNode endpoint.
+type meshState struct {
+	addrs  []string
+	opts   MeshOptions
+	joined chan int // handleHello reports each installed higher peer
 }
 
 // peer is one socket to a remote node.
 type peer struct {
 	mu   sync.Mutex
-	conn net.Conn
+	conn net.Conn // nil while disconnected (awaiting redial)
 	w    *bufio.Writer
+	// redialing guards against concurrent redial loops.
+	redialing bool
+}
+
+// install points the peer at a new socket, closing any previous one.
+func (p *peer) install(conn net.Conn) {
+	p.mu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.conn = conn
+	p.w = bufio.NewWriterSize(conn, 64<<10)
+	p.redialing = false
+	p.mu.Unlock()
 }
 
 func (c *tcpConn) Send(m Message) error {
@@ -107,22 +195,43 @@ func (c *tcpConn) Send(m Message) error {
 	}
 	p := c.peers[m.To]
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := writeFrame(p.w, m); err != nil {
-		return fmt.Errorf("transport: send %d->%d: %w", c.id, m.To, err)
+	if p.conn == nil {
+		p.mu.Unlock()
+		return fmt.Errorf("transport: send %d->%d: peer disconnected", c.id, m.To)
+	}
+	conn := p.conn
+	err := p.writeFrame(m, c.writeTimeout())
+	p.mu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("transport: send %d->%d: %w", c.id, m.To, err)
+		c.socketBroken(m.To, conn, err)
+		return err
 	}
 	return nil
 }
 
+// writeTimeout returns the per-frame write deadline.
+func (c *tcpConn) writeTimeout() time.Duration {
+	if c.mesh != nil {
+		return c.mesh.opts.WriteTimeout
+	}
+	return 10 * time.Second
+}
+
 func (c *tcpConn) Recv() (Message, error) {
+	// Prefer draining delivered messages over reporting a failure.
 	select {
-	case m, ok := <-c.inbox:
-		if !ok {
-			return Message{}, ErrClosed
-		}
+	case m := <-c.inbox:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-c.inbox:
 		return m, nil
 	case <-c.closed:
 		return Message{}, ErrClosed
+	case <-c.broken:
+		return Message{}, c.brokenErr
 	}
 }
 
@@ -131,13 +240,120 @@ func (c *tcpConn) Close() error {
 	return nil
 }
 
+// fail marks the endpoint unrecoverably broken.
+func (c *tcpConn) fail(err error) {
+	c.brokenOnce.Do(func() {
+		c.brokenErr = err
+		c.owner.recordErr(err)
+		close(c.broken)
+	})
+}
+
+// shuttingDown reports whether the endpoint or network is closing, in
+// which case socket errors are expected and not failures.
+func (c *tcpConn) shuttingDown() bool {
+	select {
+	case <-c.closed:
+		return true
+	default:
+	}
+	c.owner.mu.Lock()
+	done := c.owner.done
+	c.owner.mu.Unlock()
+	return done
+}
+
+// socketBroken handles a read or write failure on the socket to peerID.
+// In a mesh the dialer side re-dials with backoff and the acceptor side
+// waits for the peer to dial back in; elsewhere the endpoint fails.
+func (c *tcpConn) socketBroken(peerID int, conn net.Conn, cause error) {
+	if c.shuttingDown() {
+		return
+	}
+	p := c.peers[peerID]
+	p.mu.Lock()
+	if p.conn != conn {
+		// Already replaced by a reconnect; nothing to do.
+		p.mu.Unlock()
+		return
+	}
+	p.conn.Close()
+	p.conn = nil
+	p.w = nil
+	startRedial := false
+	if c.mesh != nil && c.id > peerID && !p.redialing {
+		p.redialing = true
+		startRedial = true
+	}
+	p.mu.Unlock()
+
+	switch {
+	case startRedial:
+		go c.redialLoop(peerID, cause)
+	case c.mesh == nil:
+		// Loopback sockets cannot be re-established.
+		c.fail(cause)
+	}
+	// Acceptor side of a mesh: wait for the dialer to reconnect.  If it
+	// never does, sends keep failing and the layer above reports it.
+}
+
+// redialLoop re-establishes the socket to a lower-numbered peer.
+func (c *tcpConn) redialLoop(peerID int, cause error) {
+	opts := c.mesh.opts
+	deadline := time.Now().Add(opts.RedialTimeout)
+	backoff := 50 * time.Millisecond
+	for {
+		if c.shuttingDown() {
+			return
+		}
+		conn, err := net.DialTimeout("tcp", c.mesh.addrs[peerID], 2*time.Second)
+		if err == nil {
+			if err = writeHello(conn, c.id, opts.WriteTimeout); err == nil {
+				c.owner.addCloser(conn)
+				c.peers[peerID].install(conn)
+				go c.readLoop(conn, peerID)
+				return
+			}
+			conn.Close()
+		}
+		if time.Now().After(deadline) {
+			c.fail(fmt.Errorf("transport: node %d: reconnect to peer %d failed after %s (%v; originally %v)",
+				c.id, peerID, opts.RedialTimeout, err, cause))
+			return
+		}
+		select {
+		case <-c.closed:
+			return
+		case <-time.After(backoff):
+		}
+		backoff = min(backoff*2, 2*time.Second)
+	}
+}
+
+// writeHello identifies this node on a fresh socket.
+func writeHello(conn net.Conn, id int, timeout time.Duration) error {
+	var idb [4]byte
+	binary.LittleEndian.PutUint32(idb[:], uint32(id))
+	if timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	_, err := conn.Write(idb[:])
+	return err
+}
+
 // readLoop pumps messages from one socket into the node's inbox.
-func (c *tcpConn) readLoop(conn net.Conn) {
+func (c *tcpConn) readLoop(conn net.Conn, peerID int) {
 	r := bufio.NewReaderSize(conn, 64<<10)
 	for {
 		m, err := readFrame(r)
 		if err != nil {
-			return // socket closed or corrupt; Recv unblocks via c.closed
+			if !c.shuttingDown() {
+				c.socketBroken(peerID, conn,
+					fmt.Errorf("transport: node %d: read from peer %d: %w", c.id, peerID, err))
+			}
+			return
 		}
 		select {
 		case c.inbox <- m:
@@ -159,20 +375,51 @@ func (n *TCPNetwork) Conn(i int) Conn {
 	return n.conns[i]
 }
 
+// Err returns the first unrecoverable transport failure, or nil.
+func (n *TCPNetwork) Err() error {
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	return n.errVal
+}
+
+// recordErr keeps the first failure for Err.
+func (n *TCPNetwork) recordErr(err error) {
+	n.errMu.Lock()
+	if n.errVal == nil {
+		n.errVal = err
+	}
+	n.errMu.Unlock()
+}
+
+// addCloser registers a socket for closing on shutdown.  If the network
+// is already closed the socket is closed immediately.
+func (n *TCPNetwork) addCloser(cl io.Closer) {
+	n.mu.Lock()
+	if n.done {
+		n.mu.Unlock()
+		cl.Close()
+		return
+	}
+	n.close = append(n.close, cl)
+	n.mu.Unlock()
+}
+
 // Close shuts down every hosted endpoint and socket.
 func (n *TCPNetwork) Close() error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.done {
+		n.mu.Unlock()
 		return nil
 	}
 	n.done = true
+	closers := n.close
+	n.mu.Unlock()
 	for _, c := range n.conns {
 		if c != nil {
 			c.Close()
 		}
 	}
-	for _, cl := range n.close {
+	for _, cl := range closers {
 		cl.Close()
 	}
 	return nil
@@ -189,9 +436,11 @@ func NewLoopbackTCPNetwork(n int) (*TCPNetwork, error) {
 	for i := range net1.conns {
 		net1.conns[i] = &tcpConn{
 			id:     i,
+			owner:  net1,
 			peers:  make([]*peer, n),
 			inbox:  make(chan Message, inboxCap),
 			closed: make(chan struct{}),
+			broken: make(chan struct{}),
 		}
 	}
 	// Pairwise pipes: for each i<j, one socket pair.
@@ -205,8 +454,8 @@ func NewLoopbackTCPNetwork(n int) (*TCPNetwork, error) {
 			net1.close = append(net1.close, a, b)
 			net1.conns[i].peers[j] = &peer{conn: a, w: bufio.NewWriterSize(a, 64<<10)}
 			net1.conns[j].peers[i] = &peer{conn: b, w: bufio.NewWriterSize(b, 64<<10)}
-			go net1.conns[i].readLoop(a)
-			go net1.conns[j].readLoop(b)
+			go net1.conns[i].readLoop(a, j)
+			go net1.conns[j].readLoop(b, i)
 		}
 	}
 	return net1, nil
@@ -240,26 +489,47 @@ func socketPair() (net.Conn, net.Conn, error) {
 	return a, acc.c, nil
 }
 
-// DialTCPNode joins a multi-process mesh as node id of n nodes.  addrs
-// lists every node's listen address (host:port), indexed by node id.  The
+// DialTCPNode joins a multi-process mesh as node id of n nodes with
+// default MeshOptions.  addrs lists every node's listen address
+// (host:port), indexed by node id.
+func DialTCPNode(id, n int, addrs []string) (*TCPNetwork, error) {
+	return DialTCPNodeOpts(id, n, addrs, MeshOptions{})
+}
+
+// DialTCPNodeOpts joins a multi-process mesh as node id of n nodes.  The
 // function listens on addrs[id], dials every lower-numbered node, accepts
 // connections from every higher-numbered node, and returns once the mesh
-// is complete.  Peers identify themselves with a 4-byte hello frame.
-func DialTCPNode(id, n int, addrs []string) (*TCPNetwork, error) {
+// is complete or opts.HelloTimeout elapses.  Peers identify themselves
+// with a 4-byte hello frame.  The listener stays open after the mesh
+// forms so peers whose sockets break mid-run can reconnect.
+func DialTCPNodeOpts(id, n int, addrs []string, opts MeshOptions) (*TCPNetwork, error) {
 	if len(addrs) != n {
 		return nil, fmt.Errorf("transport: %d addresses for %d nodes", len(addrs), n)
 	}
 	if id < 0 || id >= n {
 		return nil, fmt.Errorf("transport: node id %d out of range", id)
 	}
+	opts = opts.withDefaults()
 	c := &tcpConn{
 		id:     id,
 		peers:  make([]*peer, n),
 		inbox:  make(chan Message, inboxCap),
 		closed: make(chan struct{}),
+		broken: make(chan struct{}),
+		mesh: &meshState{
+			addrs:  addrs,
+			opts:   opts,
+			joined: make(chan int, n),
+		},
+	}
+	for j := 0; j < n; j++ {
+		if j != id {
+			c.peers[j] = &peer{}
+		}
 	}
 	tn := &TCPNetwork{conns: make([]*tcpConn, n)}
 	tn.conns[id] = c
+	c.owner = tn
 
 	l, err := net.Listen("tcp", addrs[id])
 	if err != nil {
@@ -267,36 +537,23 @@ func DialTCPNode(id, n int, addrs []string) (*TCPNetwork, error) {
 	}
 	tn.close = append(tn.close, l)
 
-	// Accept from higher-numbered peers.
-	expected := n - 1 - id
-	type hello struct {
-		peerID int
-		conn   net.Conn
-		err    error
-	}
-	acceptCh := make(chan hello, expected)
-	if expected > 0 {
-		go func() {
-			for k := 0; k < expected; k++ {
-				conn, err := l.Accept()
-				if err != nil {
-					acceptCh <- hello{err: err}
-					return
-				}
-				var idb [4]byte
-				if _, err := io.ReadFull(conn, idb[:]); err != nil {
-					acceptCh <- hello{err: err}
-					return
-				}
-				acceptCh <- hello{peerID: int(binary.LittleEndian.Uint32(idb[:])), conn: conn}
+	// Accept hellos from higher-numbered peers — during mesh formation and,
+	// after it, from peers reconnecting a broken socket.  The loop exits
+	// when Close closes the listener.
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
 			}
-		}()
-	}
+			go c.handleHello(conn)
+		}
+	}()
 
 	// Dial lower-numbered peers, retrying while they come up.
 	for j := 0; j < id; j++ {
 		var conn net.Conn
-		deadline := time.Now().Add(30 * time.Second)
+		deadline := time.Now().Add(opts.HelloTimeout)
 		for {
 			conn, err = net.DialTimeout("tcp", addrs[j], 2*time.Second)
 			if err == nil {
@@ -308,30 +565,63 @@ func DialTCPNode(id, n int, addrs []string) (*TCPNetwork, error) {
 			}
 			time.Sleep(100 * time.Millisecond)
 		}
-		var idb [4]byte
-		binary.LittleEndian.PutUint32(idb[:], uint32(id))
-		if _, err := conn.Write(idb[:]); err != nil {
+		if err := writeHello(conn, id, opts.WriteTimeout); err != nil {
+			conn.Close()
 			tn.Close()
 			return nil, fmt.Errorf("transport: node %d hello to %d: %w", id, j, err)
 		}
-		tn.close = append(tn.close, conn)
-		c.peers[j] = &peer{conn: conn, w: bufio.NewWriterSize(conn, 64<<10)}
-		go c.readLoop(conn)
+		tn.addCloser(conn)
+		c.peers[j].install(conn)
+		go c.readLoop(conn, j)
 	}
 
-	for k := 0; k < expected; k++ {
-		h := <-acceptCh
-		if h.err != nil {
+	// Wait for every higher-numbered peer to dial in, under the deadline
+	// (a peer that never starts must fail startup, not hang it).
+	expected := n - 1 - id
+	joined := make(map[int]bool, expected)
+	timeout := time.NewTimer(opts.HelloTimeout)
+	defer timeout.Stop()
+	for len(joined) < expected {
+		select {
+		case peerID := <-c.mesh.joined:
+			joined[peerID] = true
+		case <-timeout.C:
 			tn.Close()
-			return nil, fmt.Errorf("transport: node %d accept: %w", id, h.err)
+			missing := []int{}
+			for j := id + 1; j < n; j++ {
+				if !joined[j] {
+					missing = append(missing, j)
+				}
+			}
+			return nil, fmt.Errorf("transport: node %d: timed out after %s waiting for peer(s) %v to connect",
+				id, opts.HelloTimeout, missing)
 		}
-		if h.peerID <= id || h.peerID >= n || c.peers[h.peerID] != nil {
-			tn.Close()
-			return nil, fmt.Errorf("transport: node %d bad hello from peer %d", id, h.peerID)
-		}
-		tn.close = append(tn.close, h.conn)
-		c.peers[h.peerID] = &peer{conn: h.conn, w: bufio.NewWriterSize(h.conn, 64<<10)}
-		go c.readLoop(h.conn)
 	}
 	return tn, nil
+}
+
+// handleHello validates a freshly accepted socket and installs it as the
+// peer's connection (replacing a broken one on reconnect).
+func (c *tcpConn) handleHello(conn net.Conn) {
+	opts := c.mesh.opts
+	var idb [4]byte
+	conn.SetReadDeadline(time.Now().Add(opts.HelloTimeout))
+	if _, err := io.ReadFull(conn, idb[:]); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	peerID := int(binary.LittleEndian.Uint32(idb[:]))
+	if peerID <= c.id || peerID >= len(c.peers) {
+		conn.Close()
+		c.owner.recordErr(fmt.Errorf("transport: node %d: bad hello from peer %d", c.id, peerID))
+		return
+	}
+	c.owner.addCloser(conn)
+	c.peers[peerID].install(conn)
+	go c.readLoop(conn, peerID)
+	select {
+	case c.mesh.joined <- peerID:
+	default:
+	}
 }

@@ -1,10 +1,19 @@
 // Package transport moves protocol messages between DSM nodes.
 //
-// Two implementations are provided.  The channel transport connects nodes
-// within one process and is the default for simulation runs; the TCP
+// Two base implementations are provided.  The channel transport connects
+// nodes within one process and is the default for simulation runs; the TCP
 // transport connects nodes through real sockets (within one process or
 // across processes) and demonstrates that the protocol is a genuine
 // message-passing design with an explicit wire format.
+//
+// Two wrappers compose over any Network.  FaultNetwork deterministically
+// injects faults (drops, duplicates, delays, reorders, partitions) below
+// the reliability layer, for chaos testing.  Reliable adds per-peer
+// sequence numbers, acknowledgements, retransmission and duplicate
+// suppression, so the protocol above it sees exactly-once in-order
+// delivery even over a faulty base network.  The layering is
+//
+//	EC protocol -> Reliable -> FaultNetwork -> Channel/TCP
 //
 // Transports carry the sender's simulated cycle clock in every message so
 // the receiver can join clocks; they know nothing about costs themselves.
@@ -46,7 +55,8 @@ type Conn interface {
 	// Send enqueues a message for delivery.  m.From must be this node.
 	Send(m Message) error
 	// Recv blocks until a message arrives or the connection closes, in
-	// which case it returns ErrClosed.
+	// which case it returns ErrClosed (or, for a connection broken by a
+	// transport failure, the recorded failure).
 	Recv() (Message, error)
 	// Close shuts the endpoint down, unblocking Recv.
 	Close() error
@@ -58,6 +68,10 @@ type Network interface {
 	Nodes() int
 	// Conn returns node i's endpoint.
 	Conn(i int) Conn
+	// Err returns the first transport failure recorded on any endpoint
+	// (a broken socket, a corrupt frame, an unreachable peer), or nil.
+	// A clean Close records no error.
+	Err() error
 	// Close shuts down all endpoints.
 	Close() error
 }
@@ -76,8 +90,12 @@ type chanConn struct {
 // ChannelNetwork connects n in-process nodes through buffered channels.
 type ChannelNetwork struct {
 	inboxes []chan Message
-	mu      sync.Mutex
-	closed  bool
+	// closed is closed by Close.  The inbox channels themselves are never
+	// closed: senders and receivers select against this signal instead, so
+	// a Send racing a Close returns ErrClosed rather than panicking on a
+	// closed channel.
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // NewChannelNetwork returns a network of n connected in-process nodes.
@@ -85,7 +103,10 @@ func NewChannelNetwork(n int) *ChannelNetwork {
 	if n <= 0 {
 		panic(fmt.Sprintf("transport: invalid node count %d", n))
 	}
-	net := &ChannelNetwork{inboxes: make([]chan Message, n)}
+	net := &ChannelNetwork{
+		inboxes: make([]chan Message, n),
+		closed:  make(chan struct{}),
+	}
 	for i := range net.inboxes {
 		net.inboxes[i] = make(chan Message, inboxCap)
 	}
@@ -98,50 +119,48 @@ func (n *ChannelNetwork) Nodes() int { return len(n.inboxes) }
 // Conn returns node i's endpoint.
 func (n *ChannelNetwork) Conn(i int) Conn { return &chanConn{id: i, net: n} }
 
-// Close closes every inbox, unblocking all receivers.
+// Err reports no failures: an in-process channel cannot break.
+func (n *ChannelNetwork) Err() error { return nil }
+
+// Close signals shutdown, unblocking all senders and receivers.
 func (n *ChannelNetwork) Close() error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return nil
-	}
-	n.closed = true
-	for _, ch := range n.inboxes {
-		close(ch)
-	}
+	n.closeOnce.Do(func() { close(n.closed) })
 	return nil
 }
 
-func (c *chanConn) Send(m Message) (err error) {
+func (c *chanConn) Send(m Message) error {
 	if m.From != c.id {
 		return fmt.Errorf("transport: node %d sending as %d", c.id, m.From)
 	}
 	if m.To < 0 || m.To >= len(c.net.inboxes) {
 		return fmt.Errorf("transport: destination %d out of range", m.To)
 	}
-	c.net.mu.Lock()
-	closed := c.net.closed
-	c.net.mu.Unlock()
-	if closed {
+	select {
+	case <-c.net.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.net.inboxes[m.To] <- m:
+		return nil
+	case <-c.net.closed:
 		return ErrClosed
 	}
-	defer func() {
-		// A send on a concurrently-closed channel panics; report it as
-		// ErrClosed instead (shutdown is the only time this can happen).
-		if recover() != nil {
-			err = ErrClosed
-		}
-	}()
-	c.net.inboxes[m.To] <- m
-	return nil
 }
 
 func (c *chanConn) Recv() (Message, error) {
-	m, ok := <-c.net.inboxes[c.id]
-	if !ok {
-		return Message{}, ErrClosed
+	select {
+	case m := <-c.net.inboxes[c.id]:
+		return m, nil
+	case <-c.net.closed:
+		// Drain messages that were enqueued before the close.
+		select {
+		case m := <-c.net.inboxes[c.id]:
+			return m, nil
+		default:
+			return Message{}, ErrClosed
+		}
 	}
-	return m, nil
 }
 
 func (c *chanConn) Close() error { return nil }

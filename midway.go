@@ -152,6 +152,16 @@ type Config struct {
 	TCPAddrs []string
 	// TCPNodeID is this process's node id when TCPAddrs is set.
 	TCPNodeID int
+	// FaultSpec, when non-empty, injects deterministic transport faults
+	// below the protocol, in transport.ParseFaultSpec format, e.g.
+	// "drop=0.05,dup=0.02,reorder=0.1,seed=7".  An active spec implies
+	// Reliable, so the protocol still sees exactly-once in-order delivery;
+	// the injected faults exercise the retransmission machinery without
+	// perturbing the simulated cost model.
+	FaultSpec string
+	// Reliable interposes the sequencing/ACK/retransmission layer even
+	// without fault injection (it is always on when FaultSpec is active).
+	Reliable bool
 	// EagerTimestamps stamps dirtybits with the current logical time on
 	// every store, instead of the cheap pending marker that is lazily
 	// timestamped at transfer (the paper's footnote 1 default).
@@ -203,6 +213,10 @@ func NewSystem(cfg Config) (*System, error) {
 		// bytes/µs = Mbit/s / 8; cycles per KB = 1024 / (bytes/µs) µs.
 		cc.Network.CyclesPerKB = cost.Micros(1024 / (cfg.NetBandwidthMbps / 8))
 	}
+	fc, err := transport.ParseFaultSpec(cfg.FaultSpec)
+	if err != nil {
+		return nil, fmt.Errorf("midway: %w", err)
+	}
 	switch {
 	case len(cfg.TCPAddrs) > 0:
 		net, err := transport.DialTCPNode(cfg.TCPNodeID, cfg.Nodes, cfg.TCPAddrs)
@@ -217,6 +231,16 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("midway: %w", err)
 		}
 		cc.Transport = net
+	case fc.Active() || cfg.Reliable:
+		// Wrapping requires owning the base network core would otherwise
+		// create for itself.
+		cc.Transport = transport.NewChannelNetwork(cfg.Nodes)
+	}
+	if fc.Active() {
+		cc.Transport = transport.NewFaultNetwork(cc.Transport, fc)
+	}
+	if fc.Active() || cfg.Reliable {
+		cc.Transport = transport.NewReliableNetwork(cc.Transport, transport.ReliableOptions{})
 	}
 	inner, err := core.NewSystem(cc)
 	if err != nil {
@@ -342,6 +366,10 @@ func (s *System) Run(fn func(p *Proc)) error {
 	}
 	return err
 }
+
+// Err returns the first transport or protocol failure recorded during the
+// run, or nil.  Run returns the same error.
+func (s *System) Err() error { return s.inner.Err() }
 
 // Stats returns per-processor counters of the primitive write-detection
 // operations.
