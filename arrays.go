@@ -51,6 +51,16 @@ func (a F64Array) Get(p *Proc, i int) float64 { return p.ReadF64(a.At(i)) }
 // Set stores element i through the processor handle (instrumented).
 func (a F64Array) Set(p *Proc, i int, v float64) { p.WriteF64(a.At(i), v) }
 
+// SetRange stores vs into elements [i, i+len(vs)) with one fused
+// instrumented store (identical simulated cost to element-wise Set calls).
+func (a F64Array) SetRange(p *Proc, i int, vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	a.Slice(i, i+len(vs)) // bounds check
+	p.WriteF64s(a.At(i), vs)
+}
+
 // Preset installs an initial value without trapping or counting.
 func (a F64Array) Preset(s *System, i int, v float64) { s.PresetF64(a.At(i), v) }
 
@@ -97,6 +107,16 @@ func (a U64Array) Get(p *Proc, i int) uint64 { return p.ReadU64(a.At(i)) }
 
 // Set stores element i through the processor handle (instrumented).
 func (a U64Array) Set(p *Proc, i int, v uint64) { p.WriteU64(a.At(i), v) }
+
+// SetRange stores vs into elements [i, i+len(vs)) with one fused
+// instrumented store (identical simulated cost to element-wise Set calls).
+func (a U64Array) SetRange(p *Proc, i int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	a.Slice(i, i+len(vs)) // bounds check
+	p.WriteU64s(a.At(i), vs)
+}
 
 // Preset installs an initial value without trapping or counting.
 func (a U64Array) Preset(s *System, i int, v uint64) { s.PresetU64(a.At(i), v) }
@@ -145,6 +165,16 @@ func (a U32Array) Get(p *Proc, i int) uint32 { return p.ReadU32(a.At(i)) }
 
 // Set stores element i through the processor handle (instrumented).
 func (a U32Array) Set(p *Proc, i int, v uint32) { p.WriteU32(a.At(i), v) }
+
+// SetRange stores vs into elements [i, i+len(vs)) with one fused
+// instrumented store (identical simulated cost to element-wise Set calls).
+func (a U32Array) SetRange(p *Proc, i int, vs []uint32) {
+	if len(vs) == 0 {
+		return
+	}
+	a.Slice(i, i+len(vs)) // bounds check
+	p.WriteU32s(a.At(i), vs)
+}
 
 // Preset installs an initial value without trapping or counting.
 func (a U32Array) Preset(s *System, i int, v uint32) { s.PresetU32(a.At(i), v) }

@@ -165,6 +165,11 @@ func TestChaosStatsInvariance(t *testing.T) {
 	for _, scheme := range []string{"rt", "vm"} {
 		t.Run(scheme, func(t *testing.T) {
 			clean, cleanCycles := barrierWorkload(t, midway.Config{Nodes: 4, Scheme: scheme})
+			// The reliable connection copies payloads synchronously, so this
+			// arm sends through recycled pooled encoder buffers; the faulted
+			// arm's injection layer retains payload references and therefore
+			// falls back to owned buffers.  Equality across all three pins
+			// both the fault machinery and the pooled path.
 			reliable, reliableCycles := barrierWorkload(t, midway.Config{Nodes: 4, Scheme: scheme, Reliable: true})
 			faulted, faultedCycles := barrierWorkload(t, midway.Config{
 				Nodes: 4, Scheme: scheme,

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"midway"
 	"midway/internal/bench"
@@ -33,18 +35,67 @@ func main() {
 		"registry scheme the hybrid experiment compares against RT/VM (see midway.SchemeNames)")
 	faultSpec := flag.String("fault", "",
 		"inject deterministic transport faults into every run, e.g. drop=0.05,dup=0.02,reorder=0.1,seed=7")
+	workers := flag.Int("workers", bench.Workers,
+		"experiment cells run concurrently on this many workers (1 = serial)")
+	jsonOut := flag.Bool("json", false,
+		"emit the machine-readable evaluation report (simulated results plus wall-clock/alloc measurements) instead of tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	bench.FaultSpec = *faultSpec
+	bench.Workers = *workers
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			_ = pprof.WriteHeapProfile(f)
+		}()
+	}
 
 	scale, err := bench.ParseScale(*scaleName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*exp, *procs, scale, *scheme); err != nil {
+	if *jsonOut {
+		err = runJSON(*procs, scale)
+	} else {
+		err = run(*exp, *procs, scale, *scheme)
+	}
+	if err != nil {
+		pprof.StopCPUProfile()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runJSON emits the machine-readable report: the full strategy × app grid
+// with simulated results (diffed by CI against the committed baseline)
+// and wall-clock/allocation measurements (the perf trajectory).
+func runJSON(procs int, scale bench.Scale) error {
+	rep, err := bench.RunReport(procs, scale)
+	if err != nil {
+		return err
+	}
+	return rep.WriteJSON(os.Stdout)
 }
 
 func run(exp string, procs int, scale bench.Scale, scheme string) error {
@@ -88,14 +139,10 @@ func run(exp string, procs int, scale bench.Scale, scheme string) error {
 	section("fig4", func() { bench.FprintFigure4(w, ev, model) })
 	section("table5", func() { bench.FprintTable5(w, ev) })
 	section("uni", func() {
-		var rows []bench.UniprocessorRow
-		for _, app := range bench.AppNames {
-			row, err := bench.Uniprocessor(app, scale)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "uniprocessor %s: %v\n", app, err)
-				continue
-			}
-			rows = append(rows, row)
+		rows, err := bench.UniprocessorRows(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return
 		}
 		bench.FprintUniprocessor(w, rows)
 	})

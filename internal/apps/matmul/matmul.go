@@ -119,6 +119,7 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 		me := p.ID()
 		lo, hi := apps.Partition(n, procs, me)
 		p.Acquire(locks[me])
+		row := make([]float64, n)
 		for i := lo; i < hi; i++ {
 			for j := 0; j < n; j++ {
 				var sum float64
@@ -128,8 +129,11 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 				// Arithmetic cost of the inner loop; the loads and the
 				// result store charge themselves.
 				p.Compute(cfg.CyclesPerInner * uint64(n))
-				cArr.Set(p, i*n+j, sum)
+				row[j] = sum
 			}
+			// One fused instrumented store per result row: identical
+			// simulated costs to element-wise stores, one trap dispatch.
+			cArr.SetRange(p, i*n, row)
 		}
 		p.Release(locks[me])
 		p.Barrier(done)

@@ -154,9 +154,19 @@ type Evaluation struct {
 // strategyKey names a strategy for the Results map.
 func strategyKey(s midway.Strategy) string { return s.String() }
 
+// evalCell names one independent run of the evaluation grid: an
+// application under a strategy, or its standalone baseline.
+type evalCell struct {
+	app        string
+	strat      midway.Strategy
+	standalone bool
+}
+
 // RunEvaluation executes every application under every given strategy at
 // the given processor count, plus a standalone single-processor run per
-// application when withStandalone is set.
+// application when withStandalone is set.  Cells run on the Workers pool;
+// results are folded back in grid order, so the evaluation is identical
+// whatever the interleaving.
 func RunEvaluation(procs int, scale Scale, strategies []midway.Strategy, withStandalone bool) (*Evaluation, error) {
 	ev := &Evaluation{
 		Procs:      procs,
@@ -164,21 +174,42 @@ func RunEvaluation(procs int, scale Scale, strategies []midway.Strategy, withSta
 		Results:    make(map[string]map[string]apps.Result),
 		Standalone: make(map[string]apps.Result),
 	}
+	var cells []evalCell
 	for _, app := range AppNames {
 		ev.Results[app] = make(map[string]apps.Result)
 		for _, st := range strategies {
-			res, err := RunApp(app, midway.Config{Nodes: procs, Strategy: st}, scale)
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s under %v: %w", app, st, err)
-			}
-			ev.Results[app][strategyKey(st)] = res
+			cells = append(cells, evalCell{app: app, strat: st})
 		}
 		if withStandalone {
-			res, err := RunApp(app, midway.Config{Nodes: 1, Strategy: midway.Standalone}, scale)
+			cells = append(cells, evalCell{app: app, standalone: true})
+		}
+	}
+	results := make([]apps.Result, len(cells))
+	err := forEachCell(len(cells), func(i int) error {
+		c := cells[i]
+		if c.standalone {
+			res, err := RunApp(c.app, midway.Config{Nodes: 1, Strategy: midway.Standalone}, scale)
 			if err != nil {
-				return nil, fmt.Errorf("bench: %s standalone: %w", app, err)
+				return fmt.Errorf("bench: %s standalone: %w", c.app, err)
 			}
-			ev.Standalone[app] = res
+			results[i] = res
+			return nil
+		}
+		res, err := RunApp(c.app, midway.Config{Nodes: procs, Strategy: c.strat}, scale)
+		if err != nil {
+			return fmt.Errorf("bench: %s under %v: %w", c.app, c.strat, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		if c.standalone {
+			ev.Standalone[c.app] = results[i]
+		} else {
+			ev.Results[c.app][strategyKey(c.strat)] = results[i]
 		}
 	}
 	return ev, nil

@@ -205,6 +205,35 @@ func Uniprocessor(app string, scale Scale) (UniprocessorRow, error) {
 	return row, nil
 }
 
+// UniprocessorRows runs the uniprocessor comparison for every application,
+// one cell per application × configuration on the Workers pool.
+func UniprocessorRows(scale Scale) ([]UniprocessorRow, error) {
+	strats := []midway.Strategy{midway.RT, midway.VM, midway.Standalone}
+	secs := make([]float64, len(AppNames)*len(strats))
+	err := forEachCell(len(secs), func(i int) error {
+		app, st := AppNames[i/len(strats)], strats[i%len(strats)]
+		res, err := RunApp(app, midway.Config{Nodes: 1, Strategy: st}, scale)
+		if err != nil {
+			return fmt.Errorf("uniprocessor %s: %w", app, err)
+		}
+		secs[i] = res.Seconds
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]UniprocessorRow, 0, len(AppNames))
+	for i, app := range AppNames {
+		rows = append(rows, UniprocessorRow{
+			App:            app,
+			RTSecs:         secs[len(strats)*i],
+			VMSecs:         secs[len(strats)*i+1],
+			StandaloneSecs: secs[len(strats)*i+2],
+		})
+	}
+	return rows, nil
+}
+
 // FprintUniprocessor renders the uniprocessor comparison.
 func FprintUniprocessor(w io.Writer, rows []UniprocessorRow) {
 	fmt.Fprintln(w, "Uniprocessor execution time (s): RT pays full trapping, VM one fault per page, standalone nothing")

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"midway"
+	"midway/internal/apps"
 )
 
 // HybridRow holds one application's cross-scheme comparison: the Figure-2
@@ -28,30 +29,38 @@ type HybridRow struct {
 // (the paper's Figure 2), so a per-region dispatch should track whichever
 // mechanism suits each application's sharing granularity.
 func HybridComparison(procs int, scale Scale, scheme string) ([]HybridRow, error) {
+	hcfg := midway.Config{Nodes: procs, Scheme: scheme}
+	// Keep the Strategy field (and the result's System label) accurate
+	// when the scheme name is also a strategy name.
+	if st, perr := midway.ParseStrategy(scheme); perr == nil {
+		hcfg.Strategy = st
+	}
+	// Four runs per application, flattened into one cell grid for the
+	// Workers pool; rows are assembled in application order afterwards.
+	const perApp = 4
+	cfgs := []midway.Config{
+		{Nodes: procs, Strategy: midway.RT},
+		{Nodes: procs, Strategy: midway.VM},
+		hcfg,
+		{Nodes: 1, Strategy: midway.Standalone},
+	}
+	labels := []string{"under RT", "under VM", fmt.Sprintf("under scheme %q", scheme), "standalone"}
+	results := make([]apps.Result, perApp*len(AppNames))
+	err := forEachCell(len(results), func(i int) error {
+		app, k := AppNames[i/perApp], i%perApp
+		res, err := RunApp(app, cfgs[k], scale)
+		if err != nil {
+			return fmt.Errorf("bench: %s %s: %w", app, labels[k], err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]HybridRow, 0, len(AppNames))
-	for _, app := range AppNames {
-		rt, err := RunApp(app, midway.Config{Nodes: procs, Strategy: midway.RT}, scale)
-		if err != nil {
-			return nil, fmt.Errorf("bench: %s under RT: %w", app, err)
-		}
-		vm, err := RunApp(app, midway.Config{Nodes: procs, Strategy: midway.VM}, scale)
-		if err != nil {
-			return nil, fmt.Errorf("bench: %s under VM: %w", app, err)
-		}
-		hcfg := midway.Config{Nodes: procs, Scheme: scheme}
-		// Keep the Strategy field (and the result's System label) accurate
-		// when the scheme name is also a strategy name.
-		if st, perr := midway.ParseStrategy(scheme); perr == nil {
-			hcfg.Strategy = st
-		}
-		hy, err := RunApp(app, hcfg, scale)
-		if err != nil {
-			return nil, fmt.Errorf("bench: %s under scheme %q: %w", app, scheme, err)
-		}
-		sa, err := RunApp(app, midway.Config{Nodes: 1, Strategy: midway.Standalone}, scale)
-		if err != nil {
-			return nil, fmt.Errorf("bench: %s standalone: %w", app, err)
-		}
+	for i, app := range AppNames {
+		rt, vm, hy, sa := results[perApp*i], results[perApp*i+1], results[perApp*i+2], results[perApp*i+3]
 		rows = append(rows, HybridRow{
 			App:            app,
 			StandaloneSecs: sa.Seconds,

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers bounds how many experiment cells run concurrently.  Every cell
+// builds an independent System over an in-process channel network, so
+// cells share no mutable state and the suite parallelizes trivially; the
+// CLIs expose it as -workers.  1 means strictly serial execution in cell
+// order (the old behavior).
+var Workers = runtime.GOMAXPROCS(0)
+
+// forEachCell runs fn(i) for every i in [0, n) on at most Workers
+// goroutines.  Callers must write results into preallocated,
+// index-addressed slots so that output ordering is independent of
+// goroutine scheduling.  The returned error is the one from the
+// lowest-numbered failing cell, so error selection is deterministic too.
+// With Workers <= 1 the cells run serially in order and the first error
+// aborts the remaining cells, exactly like the old serial loops.
+func forEachCell(n int, fn func(i int) error) error {
+	workers := Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"midway"
+	"midway/internal/apps"
+)
+
+// SimCell is the deterministic, machine-independent portion of one report
+// cell: the simulated results a run must reproduce exactly on any host.
+// CI diffs the report's "simulated" array against the committed baseline.
+type SimCell struct {
+	App        string  `json:"app"`
+	System     string  `json:"system"`
+	Procs      int     `json:"procs"`
+	SimSeconds float64 `json:"sim_seconds"`
+	KBMean     float64 `json:"kb_mean"`
+	KBTotal    float64 `json:"kb_total"`
+	Checksum   float64 `json:"checksum"`
+	Messages   uint64  `json:"messages"`
+}
+
+// MeasuredCell is the machine-dependent portion of one report cell: real
+// wall-clock and allocation measurements that track this implementation's
+// own speed.  Allocation counts are only attributable to a cell when the
+// harness runs serially, so they are omitted when Workers > 1.
+type MeasuredCell struct {
+	App     string  `json:"app"`
+	System  string  `json:"system"`
+	WallMS  float64 `json:"wall_ms"`
+	Allocs  uint64  `json:"allocs,omitempty"`
+	AllocKB uint64  `json:"alloc_kb,omitempty"`
+}
+
+// Measured aggregates the machine-dependent half of a report.
+type Measured struct {
+	Workers      int            `json:"workers"`
+	Gomaxprocs   int            `json:"gomaxprocs"`
+	TotalWallMS  float64        `json:"total_wall_ms"`
+	TotalAllocMB float64        `json:"total_alloc_mb"`
+	Cells        []MeasuredCell `json:"cells"`
+}
+
+// Report is the machine-readable evaluation: every application under every
+// strategy (plus the hybrid scheme and the standalone baseline), split
+// into simulated results, which must be byte-identical run to run, and
+// wall-clock measurements, which are the quantity this repository tries to
+// drive down.
+type Report struct {
+	Scale     string    `json:"scale"`
+	Procs     int       `json:"procs"`
+	Simulated []SimCell `json:"simulated"`
+	Measured  Measured  `json:"measured"`
+}
+
+// RunReport executes the report grid on the Workers pool and gathers both
+// halves of the report.
+func RunReport(procs int, scale Scale) (*Report, error) {
+	hcfg := midway.Config{Nodes: procs, Scheme: "hybrid"}
+	if st, err := midway.ParseStrategy("hybrid"); err == nil {
+		hcfg.Strategy = st
+	}
+	perApp := []midway.Config{
+		{Nodes: procs, Strategy: midway.RT},
+		{Nodes: procs, Strategy: midway.VM},
+		{Nodes: procs, Strategy: midway.Blast},
+		{Nodes: procs, Strategy: midway.TwinDiff},
+		hcfg,
+		{Nodes: 1, Strategy: midway.Standalone},
+	}
+	n := len(AppNames) * len(perApp)
+	results := make([]apps.Result, n)
+	wall := make([]time.Duration, n)
+	allocs := make([]uint64, n)
+	allocBytes := make([]uint64, n)
+	serial := Workers <= 1
+
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := forEachCell(n, func(i int) error {
+		app, cfg := AppNames[i/len(perApp)], perApp[i%len(perApp)]
+		var m0 runtime.MemStats
+		if serial {
+			runtime.ReadMemStats(&m0)
+		}
+		t0 := time.Now()
+		res, err := RunApp(app, cfg, scale)
+		if err != nil {
+			return fmt.Errorf("bench: %s under %v: %w", app, cfg.Strategy, err)
+		}
+		wall[i] = time.Since(t0)
+		if serial {
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			allocs[i] = m1.Mallocs - m0.Mallocs
+			allocBytes[i] = m1.TotalAlloc - m0.TotalAlloc
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	totalWall := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	rep := &Report{
+		Scale: scale.String(),
+		Procs: procs,
+		Measured: Measured{
+			Workers:      Workers,
+			Gomaxprocs:   runtime.GOMAXPROCS(0),
+			TotalWallMS:  float64(totalWall.Microseconds()) / 1000,
+			TotalAllocMB: float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		},
+	}
+	for i, res := range results {
+		rep.Simulated = append(rep.Simulated, SimCell{
+			App:        res.App,
+			System:     res.System,
+			Procs:      res.Procs,
+			SimSeconds: res.Seconds,
+			KBMean:     res.KBTransferredMean(),
+			KBTotal:    res.KBTransferredTotal(),
+			Checksum:   res.Checksum,
+			Messages:   res.Mean.Messages,
+		})
+		mc := MeasuredCell{
+			App:    res.App,
+			System: res.System,
+			WallMS: float64(wall[i].Microseconds()) / 1000,
+		}
+		if serial {
+			mc.Allocs = allocs[i]
+			mc.AllocKB = allocBytes[i] / 1024
+		}
+		rep.Measured.Cells = append(rep.Measured.Cells, mc)
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

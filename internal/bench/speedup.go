@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"midway"
+	"midway/internal/apps"
 )
 
 // SpeedupRow holds one application's scaling curve under one strategy:
@@ -33,25 +34,61 @@ func (r SpeedupRow) Speedup(i int) float64 {
 // strategies across the processor counts, an extension of the paper's
 // 8-processor Figure 2 (their cluster had exactly eight DECstations).
 func SpeedupCurves(procCounts []int, strategies []midway.Strategy, scale Scale) ([]SpeedupRow, error) {
-	var rows []SpeedupRow
+	// One cell per run: the standalone baseline per application, then every
+	// strategy × processor-count point.  Cells execute on the Workers pool
+	// and land in index-addressed slots, so row assembly below is identical
+	// whatever the interleaving.
+	type cell struct {
+		app   string
+		strat midway.Strategy
+		procs int // 0 marks the standalone baseline
+	}
+	var cells []cell
 	for _, app := range AppNames {
-		sa, err := RunApp(app, midway.Config{Nodes: 1, Strategy: midway.Standalone}, scale)
-		if err != nil {
-			return nil, fmt.Errorf("bench: %s standalone: %w", app, err)
-		}
+		cells = append(cells, cell{app: app})
 		for _, strat := range strategies {
+			for _, procs := range procCounts {
+				cells = append(cells, cell{app: app, strat: strat, procs: procs})
+			}
+		}
+	}
+	results := make([]apps.Result, len(cells))
+	err := forEachCell(len(cells), func(i int) error {
+		c := cells[i]
+		if c.procs == 0 {
+			res, err := RunApp(c.app, midway.Config{Nodes: 1, Strategy: midway.Standalone}, scale)
+			if err != nil {
+				return fmt.Errorf("bench: %s standalone: %w", c.app, err)
+			}
+			results[i] = res
+			return nil
+		}
+		res, err := RunApp(c.app, midway.Config{Nodes: c.procs, Strategy: c.strat}, scale)
+		if err != nil {
+			return fmt.Errorf("bench: %s %v %dp: %w", c.app, c.strat, c.procs, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SpeedupRow
+	i := 0
+	for range AppNames {
+		sa := results[i]
+		base := cells[i]
+		i++
+		for range strategies {
 			row := SpeedupRow{
-				App:            app,
-				System:         strat.String(),
+				App:            base.app,
+				System:         cells[i].strat.String(),
 				StandaloneSecs: sa.Seconds,
 			}
-			for _, procs := range procCounts {
-				res, err := RunApp(app, midway.Config{Nodes: procs, Strategy: strat}, scale)
-				if err != nil {
-					return nil, fmt.Errorf("bench: %s %v %dp: %w", app, strat, procs, err)
-				}
-				row.Procs = append(row.Procs, procs)
-				row.Seconds = append(row.Seconds, res.Seconds)
+			for range procCounts {
+				row.Procs = append(row.Procs, cells[i].procs)
+				row.Seconds = append(row.Seconds, results[i].Seconds)
+				i++
 			}
 			rows = append(rows, row)
 		}

@@ -93,18 +93,24 @@ type CombineRow struct {
 // combining multi-incarnation updates before replying.  Water exercises it
 // hardest (small accumulators rewritten by many processors between visits).
 func CombineAblation(procs int, scale Scale) ([]CombineRow, error) {
+	// Two runs per application — plain VM then combined — flattened into
+	// one cell grid for the Workers pool.
+	results := make([]apps.Result, 2*len(AppNames))
+	err := forEachCell(len(results), func(i int) error {
+		cfg := midway.Config{Nodes: procs, Strategy: midway.VM, CombineIncarnations: i%2 == 1}
+		res, err := RunApp(AppNames[i/2], cfg, scale)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []CombineRow
-	for _, app := range AppNames {
-		plain, err := RunApp(app, midway.Config{Nodes: procs, Strategy: midway.VM}, scale)
-		if err != nil {
-			return nil, err
-		}
-		combined, err := RunApp(app, midway.Config{
-			Nodes: procs, Strategy: midway.VM, CombineIncarnations: true,
-		}, scale)
-		if err != nil {
-			return nil, err
-		}
+	for i, app := range AppNames {
+		plain, combined := results[2*i], results[2*i+1]
 		r := CombineRow{
 			App:          app,
 			PlainSecs:    plain.Seconds,

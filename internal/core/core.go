@@ -170,6 +170,11 @@ type Config struct {
 	// (acquisitions, transfers, barrier crossings) stamped with the
 	// node's simulated time.
 	Trace io.Writer
+	// CompatCodec disables the codec fast paths (pooled encoders,
+	// zero-copy decoders): every message is encoded into a fresh owned
+	// buffer and decoded by copying.  Wire bytes and simulated results
+	// are identical either way.
+	CompatCodec bool
 }
 
 // ObjKind distinguishes locks from barriers in the object table.
@@ -417,6 +422,19 @@ func (s *System) Preset(a memory.Addr, data []byte) {
 		}
 	}
 	s.mu.Lock()
+	// Applications preset arrays element by element; coalescing contiguous
+	// installations keeps the recorded list (and every pristine-image
+	// reconstruction walking it) proportional to the number of arrays, not
+	// elements.
+	if n := len(s.presets); n > 0 {
+		last := &s.presets[n-1]
+		if last.rg.Addr+memory.Addr(last.rg.Size) == rg.Addr {
+			last.data = append(last.data, data...)
+			last.rg.Size += rg.Size
+			s.mu.Unlock()
+			return
+		}
+	}
 	s.presets = append(s.presets, preset{rg: rg, data: append([]byte(nil), data...)})
 	s.mu.Unlock()
 }

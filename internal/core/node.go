@@ -129,8 +129,14 @@ type Node struct {
 	sys  *System
 	inst *memory.Instance
 	conn transport.Conn
-	cost cost.Model
-	netp cost.NetworkParams
+	// copier is conn's PayloadCopier view, nil when the transport retains
+	// payload slices (in which case sends always use owned buffers).
+	copier transport.PayloadCopier
+	// compat forces owned-buffer encoding and copying decoders
+	// (Config.CompatCodec).
+	compat bool
+	cost   cost.Model
+	netp   cost.NetworkParams
 
 	// vm is the page table for fault-based detection, created lazily on
 	// the first detector request so page-oblivious schemes never pay for
@@ -168,6 +174,10 @@ func newNode(s *System, id int) *Node {
 		bmgr:     make(map[uint32]*bmgrBarrier),
 		replyCh:  make(chan reply, 1),
 		done:     make(chan struct{}),
+	}
+	n.compat = s.cfg.CompatCodec
+	if !n.compat {
+		n.copier, _ = n.conn.(transport.PayloadCopier)
 	}
 	det, err := detect.New(s.cfg.Scheme, engine{n: n}, detect.Options{
 		EagerTimestamps:     s.cfg.EagerTimestamps,
@@ -243,20 +253,36 @@ func (n *Node) stop() {
 // send transmits a protocol message, stamping it with the node's simulated
 // clock and charging the statistics counters.  A transport failure fails
 // the run with a diagnostic instead of panicking.
-func (n *Node) send(to int, kind proto.Kind, payload []byte) {
-	n.sendAt(to, kind, payload, n.cycles.Now())
+func (n *Node) send(to int, kind proto.Kind, w proto.Wire) {
+	n.sendAt(to, kind, w, n.cycles.Now())
 }
 
 // sendAt is send with an explicit simulated timestamp, used when the
 // logical send time differs from the node's current clock (e.g. a grant
 // performed by the protocol handler for a lock that was released earlier).
-func (n *Node) sendAt(to int, kind proto.Kind, payload []byte, at uint64) {
-	m := transport.Message{From: n.id, To: to, Kind: kind, Time: at, Payload: payload}
+// When the transport copies payloads out before Send returns, the message
+// is encoded into a pooled buffer that is recycled immediately;
+// otherwise (channel delivery, self-sends, CompatCodec) it gets an owned
+// exactly-sized buffer.  The wire bytes are identical either way.
+func (n *Node) sendAt(to int, kind proto.Kind, w proto.Wire, at uint64) {
+	m := transport.Message{From: n.id, To: to, Kind: kind, Time: at}
+	var enc *proto.Encoder
+	if n.copier != nil && n.copier.CopiesPayload(to) {
+		enc = proto.GetEncoder()
+		w.EncodeInto(enc)
+		m.Payload = enc.Bytes()
+	} else {
+		m.Payload = proto.Encode(w)
+	}
 	if to != n.id {
 		n.st.Messages.Add(1)
 		n.st.MessageBytes.Add(uint64(m.Size()))
 	}
-	if err := n.conn.Send(m); err != nil {
+	err := n.conn.Send(m)
+	if enc != nil {
+		enc.Release()
+	}
+	if err != nil {
 		n.sys.fail(fmt.Errorf("core: node %d: send %v to peer %d: %w", n.id, kind, to, err))
 	}
 }
@@ -319,7 +345,7 @@ func (n *Node) handlerLoop() {
 			}
 			n.ownerForward(req, arrival)
 		case proto.KindLockGrant:
-			g, err := proto.DecodeLockGrant(m.Payload)
+			g, err := n.decodeGrant(m.Payload)
 			if err != nil {
 				n.failDecode(m, err)
 				return
@@ -329,14 +355,14 @@ func (n *Node) handlerLoop() {
 			n.applyGrant(g, arrival)
 			n.deliverReply(reply{grant: g, arrival: arrival})
 		case proto.KindBarrierEnter:
-			e, err := proto.DecodeBarrierEnter(m.Payload)
+			e, err := n.decodeEnter(m.Payload)
 			if err != nil {
 				n.failDecode(m, err)
 				return
 			}
 			n.managerBarrierEnter(e, arrival)
 		case proto.KindBarrierRelease:
-			r, err := proto.DecodeBarrierRelease(m.Payload)
+			r, err := n.decodeRelease(m.Payload)
 			if err != nil {
 				n.failDecode(m, err)
 				return
@@ -348,6 +374,31 @@ func (n *Node) handlerLoop() {
 			return
 		}
 	}
+}
+
+// decodeGrant, decodeEnter and decodeRelease pick between the zero-copy
+// view decoders (safe because every transport delivers each frame in a
+// fresh GC-owned buffer that is never written again) and the copying ones
+// (Config.CompatCodec).
+func (n *Node) decodeGrant(buf []byte) (*proto.LockGrant, error) {
+	if n.compat {
+		return proto.DecodeLockGrantCopy(buf)
+	}
+	return proto.DecodeLockGrant(buf)
+}
+
+func (n *Node) decodeEnter(buf []byte) (*proto.BarrierEnter, error) {
+	if n.compat {
+		return proto.DecodeBarrierEnterCopy(buf)
+	}
+	return proto.DecodeBarrierEnter(buf)
+}
+
+func (n *Node) decodeRelease(buf []byte) (*proto.BarrierRelease, error) {
+	if n.compat {
+		return proto.DecodeBarrierReleaseCopy(buf)
+	}
+	return proto.DecodeBarrierRelease(buf)
 }
 
 // failDecode fails the run over an undecodable protocol message.
@@ -418,7 +469,7 @@ func (n *Node) managerAcquire(req *proto.LockAcquire, arrival uint64) {
 		n.ownerForward(req, arrival)
 		return
 	}
-	n.sendAt(owner, proto.KindLockForward, req.Encode(), arrival)
+	n.sendAt(owner, proto.KindLockForward, req, arrival)
 }
 
 // ownerForward runs on the lock's owner: transfer now if the lock is free,
@@ -433,7 +484,7 @@ func (n *Node) ownerForward(req *proto.LockAcquire, arrival uint64) {
 			// makes this a rare, bounded chase.
 			next := lk.forwardedTo
 			n.mu.Unlock()
-			n.sendAt(next, proto.KindLockForward, req.Encode(), arrival)
+			n.sendAt(next, proto.KindLockForward, req, arrival)
 			return
 		}
 		// Our own grant is still in flight (the manager routed this
@@ -475,7 +526,7 @@ func (n *Node) transferLocked(lk *lockState, req *proto.LockAcquire, at uint64) 
 			pending := lk.waiting
 			lk.waiting = nil
 			for _, p := range pending {
-				n.sendAt(int(req.Requester), proto.KindLockForward, p.req.Encode(), max(at, p.arrival))
+				n.sendAt(int(req.Requester), proto.KindLockForward, p.req, max(at, p.arrival))
 			}
 		}
 	}
@@ -485,7 +536,7 @@ func (n *Node) transferLocked(lk *lockState, req *proto.LockAcquire, at uint64) 
 	}
 	n.sys.trace.eventf(n, "transfer %s %v -> n%d (inc=%d full=%v)",
 		lk.obj.name, req.Mode, req.Requester, grant.Incarnation, grant.Full)
-	n.sendAt(int(req.Requester), proto.KindLockGrant, grant.Encode(), at+cycles)
+	n.sendAt(int(req.Requester), proto.KindLockGrant, grant, at+cycles)
 }
 
 // managerBarrierEnter runs on the barrier's manager.
@@ -542,6 +593,6 @@ func (n *Node) managerBarrierEnter(e *proto.BarrierEnter, arrival uint64) {
 		if int(ent.Node) != n.id {
 			n.st.BytesTransferred.Add(uint64(proto.UpdateBytes(merged)))
 		}
-		n.sendAt(int(ent.Node), proto.KindBarrierRelease, rel.Encode(), releaseAt)
+		n.sendAt(int(ent.Node), proto.KindBarrierRelease, rel, releaseAt)
 	}
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
+	"midway/internal/detect"
 	"midway/internal/memory"
 	"midway/internal/proto"
 )
@@ -15,6 +18,37 @@ import (
 // A Proc is owned by one application goroutine and must not be shared.
 type Proc struct {
 	node *Node
+
+	// One-entry region cache for the instrumented access fast path: most
+	// accesses hit the same array's region as the previous one, and a
+	// region's base, size and backing slice are immutable once
+	// materialized, so the cache needs no invalidation.  Proc is owned by
+	// a single goroutine, so no locking either.
+	rcRegion *memory.Region
+	rcBase   memory.Addr
+	rcSize   uint32
+	rcData   []byte
+}
+
+// dataFor returns the backing bytes and region for a scalar (or dense
+// batched) access, validating that it is mapped and does not cross a
+// region boundary — the same checks as layout.CheckScalar, resolved
+// through the cache on the fast path.
+func (p *Proc) dataFor(a memory.Addr, size uint32) ([]byte, *memory.Region) {
+	if p.rcRegion != nil && a >= p.rcBase {
+		if off := uint32(a - p.rcBase); off+size <= p.rcSize && off+size >= off {
+			return p.rcData[off : off+size], p.rcRegion
+		}
+	}
+	n := p.node
+	r, err := n.sys.layout.CheckScalar(a, size)
+	if err != nil {
+		panic(err)
+	}
+	d := n.inst.Data(r)
+	p.rcRegion, p.rcBase, p.rcSize, p.rcData = r, r.Base, r.Size, d
+	off := uint32(a - r.Base)
+	return d[off : off+size], r
 }
 
 // ID returns the processor number, in [0, Nodes).
@@ -33,52 +67,101 @@ func (p *Proc) Compute(n uint64) { p.node.cycles.Charge(n) }
 // ReadU32 loads a 32-bit word from shared (or private) memory.
 func (p *Proc) ReadU32(a memory.Addr) uint32 {
 	p.node.cycles.Charge(p.node.cost.Load)
-	return p.node.inst.ReadU32(a)
+	b, _ := p.dataFor(a, 4)
+	return binary.LittleEndian.Uint32(b)
 }
 
 // ReadU64 loads a 64-bit doubleword.
 func (p *Proc) ReadU64(a memory.Addr) uint64 {
 	p.node.cycles.Charge(p.node.cost.Load)
-	return p.node.inst.ReadU64(a)
+	b, _ := p.dataFor(a, 8)
+	return binary.LittleEndian.Uint64(b)
 }
 
 // ReadF64 loads a float64.
 func (p *Proc) ReadF64(a memory.Addr) float64 {
 	p.node.cycles.Charge(p.node.cost.Load)
-	return p.node.inst.ReadF64(a)
+	b, _ := p.dataFor(a, 8)
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
 }
 
-// trap runs write trapping for a scalar store.  It must run before the
-// store itself: under VM-DSM the write fault twins the page's pre-store
-// contents (under RT-DSM the template runs after the store, but the order
-// is not observable).
-func (p *Proc) trap(a memory.Addr, size uint32) {
-	n := p.node
-	r, err := n.sys.layout.CheckScalar(a, size)
-	if err != nil {
-		panic(err)
-	}
-	n.det.TrapWrite(a, size, r)
-	n.cycles.Charge(n.cost.Store)
-}
+// The scalar Write methods trap before storing: under VM-DSM the write
+// fault twins the page's pre-store contents (under RT-DSM the template
+// runs after the store, but the order is not observable).
 
 // WriteU32 stores a 32-bit word, trapping the write per the configured
 // strategy.
 func (p *Proc) WriteU32(a memory.Addr, v uint32) {
-	p.trap(a, 4)
-	p.node.inst.WriteU32(a, v)
+	n := p.node
+	b, r := p.dataFor(a, 4)
+	n.det.TrapWrite(a, 4, r)
+	n.cycles.Charge(n.cost.Store)
+	binary.LittleEndian.PutUint32(b, v)
 }
 
 // WriteU64 stores a 64-bit doubleword, trapping the write.
 func (p *Proc) WriteU64(a memory.Addr, v uint64) {
-	p.trap(a, 8)
-	p.node.inst.WriteU64(a, v)
+	n := p.node
+	b, r := p.dataFor(a, 8)
+	n.det.TrapWrite(a, 8, r)
+	n.cycles.Charge(n.cost.Store)
+	binary.LittleEndian.PutUint64(b, v)
 }
 
 // WriteF64 stores a float64, trapping the write.
 func (p *Proc) WriteF64(a memory.Addr, v float64) {
-	p.trap(a, 8)
-	p.node.inst.WriteF64(a, v)
+	p.WriteU64(a, math.Float64bits(v))
+}
+
+// writeBatch runs write trapping for count consecutive elem-sized scalar
+// stores starting at a and returns the span's backing bytes: one bounds
+// check over the whole span (scalar allocations never cross region
+// boundaries, so the per-element checks it replaces could only ever
+// resolve to the same region), one batched detector dispatch, one cost
+// charge.  All three are exactly the sums the per-element path would
+// produce.
+func (p *Proc) writeBatch(a memory.Addr, elem uint32, count int) []byte {
+	n := p.node
+	b, r := p.dataFor(a, elem*uint32(count))
+	detect.TrapWrites(n.det, a, elem, count, r)
+	n.cycles.Charge(n.cost.Store * uint64(count))
+	return b
+}
+
+// WriteU32s stores len(vs) consecutive 32-bit words starting at a —
+// the instrumented form of a dense typed-array store loop.  Semantics and
+// simulated costs are identical to len(vs) WriteU32 calls; only the
+// dispatch overhead is fused.
+func (p *Proc) WriteU32s(a memory.Addr, vs []uint32) {
+	if len(vs) == 0 {
+		return
+	}
+	b := p.writeBatch(a, 4, len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(b[4*i:], v)
+	}
+}
+
+// WriteU64s stores len(vs) consecutive doublewords starting at a.
+func (p *Proc) WriteU64s(a memory.Addr, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	b := p.writeBatch(a, 8, len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[8*i:], v)
+	}
+}
+
+// WriteF64s stores len(vs) consecutive float64s starting at a.
+func (p *Proc) WriteF64s(a memory.Addr, vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	b := p.writeBatch(a, 8, len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
 }
 
 // ReadBytes copies rg.Size bytes of shared memory into dst.
@@ -196,7 +279,7 @@ func (n *Node) acquire(id uint32, mode proto.Mode) {
 
 	n.sys.trace.eventf(n, "acquire %s %v -> manager n%d (lastTime=%d lastInc=%d)",
 		n.sys.objName(id), mode, manager, req.LastTime, req.LastIncarnation)
-	n.send(manager, proto.KindLockAcquire, req.Encode())
+	n.send(manager, proto.KindLockAcquire, req)
 	r := n.waitReply()
 	if r.grant == nil || r.grant.Lock != id {
 		panic(fmt.Sprintf("core: node %d: unexpected reply while acquiring %d", n.id, id))
@@ -277,7 +360,7 @@ func (n *Node) barrier(id uint32) {
 		Time:    n.lamport.Now(),
 		Updates: updates,
 	}
-	n.send(manager, proto.KindBarrierEnter, e.Encode())
+	n.send(manager, proto.KindBarrierEnter, e)
 
 	r := n.waitReply()
 	rel := r.release

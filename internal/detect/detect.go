@@ -147,6 +147,30 @@ type Detector interface {
 	NotifyRebind(lk LockView)
 }
 
+// BatchTrapper is an optional Detector extension for dense typed-array
+// stores: one call is exactly equivalent to count consecutive
+// TrapWrite(a + i*elem, elem, r) calls for i in [0, count).  Schemes
+// implement it to fuse the per-store dispatch, table lookups and
+// statistics updates; the charges and counters produced must be exactly
+// the sum the per-element calls would produce, so simulated results are
+// identical whichever entry point runs.
+type BatchTrapper interface {
+	TrapWriteBatch(a memory.Addr, elem uint32, count int, r *memory.Region)
+}
+
+// TrapWrites dispatches count consecutive elem-sized stores starting at a
+// through d, using the fused batch entry point when the scheme provides
+// one and falling back to per-element traps otherwise.
+func TrapWrites(d Detector, a memory.Addr, elem uint32, count int, r *memory.Region) {
+	if bt, ok := d.(BatchTrapper); ok {
+		bt.TrapWriteBatch(a, elem, count, r)
+		return
+	}
+	for i := 0; i < count; i++ {
+		d.TrapWrite(a+memory.Addr(uint32(i)*elem), elem, r)
+	}
+}
+
 // Factory constructs a scheme's detector for one node.
 type Factory func(e Engine, opt Options) Detector
 

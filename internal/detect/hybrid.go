@@ -142,6 +142,31 @@ func (d *hybridDetector) trapMode(r *memory.Region, size uint32) regionMode {
 	return modeUndecided
 }
 
+// trapModeBatch is trapMode for a batch of count elem-sized stores: the
+// same per-store evidence totals are recorded with one lock acquisition.
+// If the batch straddles the decision threshold the freeze happens at the
+// batch boundary instead of mid-batch, which can only occur under
+// concurrent unsynchronized writers — an ordering the simulation already
+// treats as nondeterministic.
+func (d *hybridDetector) trapModeBatch(r *memory.Region, elem uint32, count int) regionMode {
+	if m := modeOfTagged(r); m != modeUndecided {
+		return m
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m, ok := d.modes[r.Index]; ok {
+		return m
+	}
+	ms := d.meas[r.Index]
+	if ms == nil {
+		ms = &writeMeasure{}
+		d.meas[r.Index] = ms
+	}
+	ms.stores += uint64(count)
+	ms.bytes += uint64(count) * uint64(elem)
+	return modeUndecided
+}
+
 // currentMode returns the region's mode without recording evidence or
 // freezing a decision (the application side of updates).
 func (d *hybridDetector) currentMode(r *memory.Region) regionMode {
@@ -240,6 +265,18 @@ func (d *hybridDetector) TrapWrite(a memory.Addr, size uint32, r *memory.Region)
 		return
 	}
 	rtTrap(d.e, d.opt.EagerTimestamps, a, size, r)
+}
+
+func (d *hybridDetector) TrapWriteBatch(a memory.Addr, elem uint32, count int, r *memory.Region) {
+	if r.Class == memory.Private {
+		rtTrapBatch(d.e, d.opt.EagerTimestamps, a, elem, count, r)
+		return
+	}
+	if d.trapModeBatch(r, elem, count) == modeVM {
+		vmTrapBatch(d.e, a, elem, count, r)
+		return
+	}
+	rtTrapBatch(d.e, d.opt.EagerTimestamps, a, elem, count, r)
 }
 
 func (d *hybridDetector) FillAcquire(lk LockView, req *proto.LockAcquire) {

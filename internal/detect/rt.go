@@ -96,14 +96,84 @@ func rtTrap(e Engine, eager bool, a memory.Addr, size uint32, r *memory.Region) 
 		// point, whose transfer time equals the current clock value.
 		mark = e.Now() + 1
 	}
+	sum := e.Inst().Summary(r)
 	for i := first; i <= last; i++ {
+		if mark == memory.DirtyPending {
+			if bits[i] != memory.DirtyPending {
+				sum.Pending.Add(1)
+			}
+		} else if bits[i] == memory.DirtyPending {
+			sum.Pending.Add(-1)
+		}
 		bits[i] = mark
 		st.DirtybitsSet.Add(1)
+	}
+	if mark != memory.DirtyPending {
+		sum.NoteTime(mark)
 	}
 }
 
 func (d *rtDetector) TrapWrite(a memory.Addr, size uint32, r *memory.Region) {
 	rtTrap(d.e, d.eager, a, size, r)
+}
+
+// rtTrapBatch is count consecutive rtTrap calls for elem-sized stores,
+// fused: the dirtybit array, region summary and statistics counters are
+// touched once per batch instead of once per store.  Charges and counts
+// are exactly the per-element sums.
+func rtTrapBatch(e Engine, eager bool, a memory.Addr, elem uint32, count int, r *memory.Region) {
+	st := e.Stats()
+	m := e.Cost()
+	if r.Class == memory.Private {
+		st.DirtybitsMisclassified.Add(uint64(count))
+		e.Charge(cost.Cycles(count) * m.DirtybitSetPrivate)
+		return
+	}
+	bits := e.Inst().Dirtybits(r)
+	sum := e.Inst().Summary(r)
+	mark := memory.DirtyPending
+	if eager {
+		mark = e.Now() + 1
+	}
+	var cycles cost.Cycles
+	var set uint64
+	var pendDelta int64
+	for k := 0; k < count; k++ {
+		sa := a + memory.Addr(uint32(k)*elem)
+		first := r.LineIndex(sa)
+		last := r.LineIndex(sa + memory.Addr(elem) - 1)
+		switch {
+		case elem <= 4:
+			cycles += m.DirtybitSetWord
+		case elem <= 8 && first == last:
+			cycles += m.DirtybitSetDouble
+		default:
+			cycles += m.DirtybitSetArea + cost.Cycles(last-first)*m.DirtybitUpdate
+		}
+		for i := first; i <= last; i++ {
+			if mark == memory.DirtyPending {
+				if bits[i] != memory.DirtyPending {
+					pendDelta++
+				}
+			} else if bits[i] == memory.DirtyPending {
+				pendDelta--
+			}
+			bits[i] = mark
+			set++
+		}
+	}
+	st.DirtybitsSet.Add(set)
+	if pendDelta != 0 {
+		sum.Pending.Add(pendDelta)
+	}
+	if mark != memory.DirtyPending {
+		sum.NoteTime(mark)
+	}
+	e.Charge(cycles)
+}
+
+func (d *rtDetector) TrapWriteBatch(a memory.Addr, elem uint32, count int, r *memory.Region) {
+	rtTrapBatch(d.e, d.eager, a, elem, count, r)
 }
 
 // scanOutcome is the per-line result of a collection scan.
@@ -131,15 +201,32 @@ func scanBinding(e Engine, binding []memory.Range, since int64, stamp int64) sca
 			if r.Class != memory.Shared {
 				continue
 			}
-			bits := inst.Dirtybits(r)
-			data := inst.Data(r)
 			first := int(seg.Off) >> r.LineShift
 			last := int(seg.Off+seg.Len-1) >> r.LineShift
+			sum := inst.Summary(r)
+			if sum.Pending.Load() == 0 && sum.MaxTS.Load() <= since {
+				// Region-level fast path: no line is pending and no line
+				// carries a stamp newer than the requester's consistency
+				// time, so every line of this segment reads clean.  Charge
+				// exactly what the per-line walk would: the clipped line
+				// sizes sum to the segment length, and each line costs one
+				// clean dirtybit read.
+				lines := uint64(last - first + 1)
+				st.BytesScanned.Add(uint64(seg.Len))
+				st.CleanDirtybitsRead.Add(lines)
+				out.cycles += cost.Cycles(lines) * m.DirtybitReadClean
+				continue
+			}
+			bits := inst.Dirtybits(r)
+			data := inst.Data(r)
+			stamped := false
 			for i := first; i <= last; i++ {
 				ts := bits[i]
 				if ts == memory.DirtyPending {
 					ts = stamp
 					bits[i] = stamp
+					sum.Pending.Add(-1)
+					stamped = true
 				}
 				lineRg := r.LineRange(i)
 				clipped, ok := lineRg.Intersect(memory.Range{Addr: seg.Addr(), Size: seg.Len})
@@ -173,6 +260,9 @@ func scanBinding(e Engine, binding []memory.Range, since int64, stamp int64) sca
 					out.cycles += m.DirtybitReadClean
 					st.CleanDirtybitsRead.Add(1)
 				}
+			}
+			if stamped {
+				sum.NoteTime(stamp)
 			}
 		}
 	}
@@ -241,14 +331,17 @@ func rtApplyUpdates(e Engine, us []proto.Update) cost.Cycles {
 			}
 			bits := inst.Dirtybits(r)
 			data := inst.Data(r)
+			sum := inst.Summary(r)
 			first := int(seg.Off) >> r.LineShift
 			last := int(seg.Off+seg.Len-1) >> r.LineShift
+			installed := false
 			for i := first; i <= last; i++ {
 				cycles += m.DirtybitUpdate
 				st.DirtybitsUpdated.Add(1)
 				if bits[i] == memory.DirtyPending || u.TS <= bits[i] {
 					continue // local copy is as new or newer
 				}
+				installed = true
 				// Copy the portion of the update covering this line.
 				lineRg := r.LineRange(i)
 				inter, ok := lineRg.Intersect(memory.Range{Addr: seg.Addr(), Size: seg.Len})
@@ -259,6 +352,9 @@ func rtApplyUpdates(e Engine, us []proto.Update) cost.Cycles {
 				dstOff := uint32(inter.Addr - r.Base)
 				copy(data[dstOff:dstOff+inter.Size], u.Data[srcOff:srcOff+inter.Size])
 				bits[i] = u.TS
+			}
+			if installed {
+				sum.NoteTime(u.TS)
 			}
 			segBase += seg.Len
 		}

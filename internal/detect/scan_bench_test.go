@@ -1,0 +1,76 @@
+package detect
+
+import (
+	"testing"
+
+	"midway/internal/memory"
+)
+
+// Scan benchmarks: a 64 KB shared region of 8-byte lines (8192 lines),
+// scanned as one binding.  The all-clean case is the paper's "scan cost is
+// proportional to bound data" tax that every synchronization pays; the
+// dirty cases add collection.  Lines are marked through rtTrap — the real
+// instrumented-store path — so the benchmarks stay valid however the
+// dirtybit representation evolves.
+
+const benchRegion = 64 * 1024
+
+func benchScanEngine(b *testing.B) (*fakeEngine, memory.Addr, *memory.Region) {
+	e, addrs := newFakeEngine(b, benchRegion)
+	r := e.layout.RegionFor(addrs[0])
+	return e, addrs[0], r
+}
+
+var sinkScan scanOutcome
+
+func BenchmarkRTTrapWord(b *testing.B) {
+	e, addr, r := benchScanEngine(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rtTrap(e, false, addr+memory.Addr((i%512)*8), 8, r)
+	}
+}
+
+func BenchmarkScanAllClean(b *testing.B) {
+	e, addr, _ := benchScanEngine(b)
+	binding := []memory.Range{{Addr: addr, Size: benchRegion}}
+	b.SetBytes(benchRegion)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkScan = scanBinding(e, binding, 0, int64(i+1))
+	}
+}
+
+// BenchmarkScanSparseDirty: one eagerly-stamped line per 64, the rest
+// clean.  since=0 ships the stamped lines on every iteration without
+// mutating them, so iterations are identical.
+func BenchmarkScanSparseDirty(b *testing.B) {
+	e, addr, _ := benchScanEngine(b)
+	e.lamport.Tick()
+	for off := memory.Addr(0); off < benchRegion; off += 64 * 8 {
+		rtTrap(e, true, addr+off, 8, e.layout.RegionFor(addr))
+	}
+	binding := []memory.Range{{Addr: addr, Size: benchRegion}}
+	b.SetBytes(benchRegion)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkScan = scanBinding(e, binding, 0, 100)
+	}
+}
+
+// BenchmarkScanAllDirty: every line eagerly stamped; the scan collects the
+// full 64 KB each iteration.
+func BenchmarkScanAllDirty(b *testing.B) {
+	e, addr, _ := benchScanEngine(b)
+	e.lamport.Tick()
+	r := e.layout.RegionFor(addr)
+	for off := memory.Addr(0); off < benchRegion; off += 8 {
+		rtTrap(e, true, addr+off, 8, r)
+	}
+	binding := []memory.Range{{Addr: addr, Size: benchRegion}}
+	b.SetBytes(benchRegion)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkScan = scanBinding(e, binding, 0, 100)
+	}
+}

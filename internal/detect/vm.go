@@ -144,6 +144,25 @@ func (d *vmDetector) TrapWrite(a memory.Addr, size uint32, r *memory.Region) {
 	vmTrap(d.e, a, size, r)
 }
 
+// vmTrapBatch is count consecutive vmTrap calls for elem-sized stores.
+// A page faults at most once per batch either way, so one EnsureWritable
+// over the whole span produces exactly the per-element fault count and
+// charge.
+func vmTrapBatch(e Engine, a memory.Addr, elem uint32, count int, r *memory.Region) {
+	if r.Class == memory.Private || count == 0 {
+		return
+	}
+	faults := e.VM().EnsureWritable(a, uint32(count)*elem)
+	if faults > 0 {
+		e.Stats().WriteFaults.Add(uint64(faults))
+		e.Charge(uint64(faults) * e.Cost().PageWriteFault)
+	}
+}
+
+func (d *vmDetector) TrapWriteBatch(a memory.Addr, elem uint32, count int, r *memory.Region) {
+	vmTrapBatch(d.e, a, elem, count, r)
+}
+
 // diffAndDistribute diffs every dirty page holding data of the given
 // binding, distributes the discovered modifications to the accumulator of
 // every object whose binding overlaps them, and cleans the pages.  accumOf

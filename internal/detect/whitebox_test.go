@@ -24,7 +24,7 @@ type fakeEngine struct {
 	objs    []ObjectView
 }
 
-func newFakeEngine(t *testing.T, allocs ...uint32) (*fakeEngine, []memory.Addr) {
+func newFakeEngine(t testing.TB, allocs ...uint32) (*fakeEngine, []memory.Addr) {
 	t.Helper()
 	e := &fakeEngine{layout: memory.NewLayout(memory.DefaultRegionShift), m: cost.Default()}
 	addrs := make([]memory.Addr, len(allocs))
@@ -102,6 +102,24 @@ func TestReadBoundUpdates(t *testing.T) {
 	}
 }
 
+// setLine writes a dirtybit directly while keeping the region summary
+// coherent, standing in for the trap path in whitebox tests.
+func setLine(e *fakeEngine, r *memory.Region, i int, ts int64) {
+	bits := e.inst.Dirtybits(r)
+	sum := e.inst.Summary(r)
+	wasPending := bits[i] == memory.DirtyPending
+	isPending := ts == memory.DirtyPending
+	if isPending && !wasPending {
+		sum.Pending.Add(1)
+	} else if !isPending && wasPending {
+		sum.Pending.Add(-1)
+	}
+	bits[i] = ts
+	if !isPending {
+		sum.NoteTime(ts)
+	}
+}
+
 // TestScanBindingStampsPending checks the lazy-timestamp mechanics at the
 // dirtybit level: pending lines get the transfer's stamp and are shipped;
 // already-stamped lines older than the requester's time are skipped.
@@ -112,8 +130,8 @@ func TestScanBindingStampsPending(t *testing.T) {
 	bits := e.inst.Dirtybits(r)
 
 	// Three lines: one pending, one stamped at time 5, one clean.
-	bits[r.LineIndex(addr)] = memory.DirtyPending
-	bits[r.LineIndex(addr+8)] = 5
+	setLine(e, r, r.LineIndex(addr), memory.DirtyPending)
+	setLine(e, r, r.LineIndex(addr+8), 5)
 	binding := []memory.Range{{Addr: addr, Size: 24}}
 
 	// Requester last saw time 5: only the pending line ships.
@@ -130,7 +148,7 @@ func TestScanBindingStampsPending(t *testing.T) {
 
 	// Requester last saw time 2: the stamped line (5 > 2) ships too, and
 	// contiguity does not merge across differing timestamps.
-	bits[r.LineIndex(addr)] = memory.DirtyPending
+	setLine(e, r, r.LineIndex(addr), memory.DirtyPending)
 	sc = scanBinding(e, binding, 2, 11)
 	if len(sc.updates) != 2 {
 		t.Fatalf("%d updates, want 2 (differing stamps must not merge)", len(sc.updates))
@@ -143,9 +161,8 @@ func TestScanBindingCoalesces(t *testing.T) {
 	e, addrs := newFakeEngine(t, 4096)
 	addr := addrs[0]
 	r := e.layout.RegionFor(addr)
-	bits := e.inst.Dirtybits(r)
 	for i := 0; i < 8; i++ {
-		bits[r.LineIndex(addr+memory.Addr(8*i))] = memory.DirtyPending
+		setLine(e, r, r.LineIndex(addr+memory.Addr(8*i)), memory.DirtyPending)
 	}
 	sc := scanBinding(e, []memory.Range{{Addr: addr, Size: 64}}, 0, 3)
 	if len(sc.updates) != 1 {

@@ -1,0 +1,75 @@
+package diff
+
+import "testing"
+
+// The benchmarks cover the three shapes that dominate VM-DSM collection:
+// clean pages (no words changed), sparse modification (a line here and
+// there), and the paper's worst case (every other word changed).
+
+const benchPage = 4096
+
+func benchPair(pattern string) (cur, twin []byte) {
+	twin = make([]byte, benchPage)
+	for i := range twin {
+		twin[i] = byte(i * 7)
+	}
+	cur = append([]byte(nil), twin...)
+	switch pattern {
+	case "clean":
+	case "sparse": // one word per 256 bytes
+		for i := 0; i < benchPage; i += 256 {
+			cur[i] ^= 0xFF
+		}
+	case "half": // every other word — the paper's diff worst case
+		for i := 0; i < benchPage; i += 2 * WordSize {
+			cur[i] ^= 0xFF
+		}
+	case "all":
+		for i := range cur {
+			cur[i] ^= 0xFF
+		}
+	default:
+		panic(pattern)
+	}
+	return cur, twin
+}
+
+var sinkDiff Diff
+
+func benchCompute(b *testing.B, pattern string) {
+	cur, twin := benchPair(pattern)
+	b.SetBytes(benchPage)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkDiff = Compute(cur, twin)
+	}
+}
+
+func BenchmarkComputeClean(b *testing.B)  { benchCompute(b, "clean") }
+func BenchmarkComputeSparse(b *testing.B) { benchCompute(b, "sparse") }
+func BenchmarkComputeHalf(b *testing.B)   { benchCompute(b, "half") }
+func BenchmarkComputeAll(b *testing.B)    { benchCompute(b, "all") }
+
+func BenchmarkMerge(b *testing.B) {
+	cura, twin := benchPair("sparse")
+	older := Compute(cura, twin)
+	curb := append([]byte(nil), twin...)
+	for i := 128; i < benchPage; i += 256 {
+		curb[i] ^= 0xFF
+	}
+	newer := Compute(curb, twin)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkDiff = Merge(older, newer)
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	cur, twin := benchPair("sparse")
+	d := Compute(cur, twin)
+	buf := make([]byte, benchPage)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Apply(buf)
+	}
+}

@@ -10,6 +10,7 @@
 package diff
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 )
@@ -37,6 +38,11 @@ type Diff struct {
 // Compute compares cur against twin (equal-length buffers) at word
 // granularity and returns the runs of cur that differ.  Buffer lengths must
 // be multiples of WordSize.
+//
+// The comparison walks eight bytes at a time (two words per load) and the
+// result is assembled in two passes so the whole diff costs two
+// allocations — one for the run headers, one backing array shared by
+// every run's data — instead of one per run.
 func Compute(cur, twin []byte) Diff {
 	if len(cur) != len(twin) {
 		panic(fmt.Sprintf("diff: length mismatch %d vs %d", len(cur), len(twin)))
@@ -44,25 +50,83 @@ func Compute(cur, twin []byte) Diff {
 	if len(cur)%WordSize != 0 {
 		panic(fmt.Sprintf("diff: length %d not a multiple of word size", len(cur)))
 	}
-	var d Diff
-	i := 0
-	n := len(cur)
+	nruns, nbytes := 0, 0
+	firstStart, firstEnd := 0, 0
+	scanRuns(cur, twin, func(start, end int) {
+		if nruns == 0 {
+			firstStart, firstEnd = start, end
+		}
+		nruns++
+		nbytes += end - start
+	})
+	if nruns == 0 {
+		return Diff{}
+	}
+	if nruns == 1 {
+		// One maximal run (the fully-dirty page, typically): no need to
+		// rescan, just copy it out.
+		data := append(make([]byte, 0, nbytes), cur[firstStart:firstEnd]...)
+		return Diff{Runs: []Run{{Off: uint32(firstStart), Data: data}}}
+	}
+	d := Diff{Runs: make([]Run, 0, nruns)}
+	data := make([]byte, 0, nbytes)
+	scanRuns(cur, twin, func(start, end int) {
+		off := len(data)
+		data = append(data, cur[start:end]...)
+		d.Runs = append(d.Runs, Run{Off: uint32(start), Data: data[off:len(data):len(data)]})
+	})
+	return d
+}
+
+// scanRuns calls fn(start, end) for each maximal word-granularity run of
+// bytes where cur differs from twin.  It compares two words per step: a
+// doubleword XOR finds both the presence and the position (low or high
+// word) of a mismatch in one operation.
+func scanRuns(cur, twin []byte, fn func(start, end int)) {
+	i, n := 0, len(cur)
 	for i < n {
-		// Skip equal words.
-		for i < n && wordsEqual(cur, twin, i) {
-			i += WordSize
+		// Skip equal words, eight bytes at a time.
+		for i+8 <= n && binary.LittleEndian.Uint64(cur[i:]) == binary.LittleEndian.Uint64(twin[i:]) {
+			i += 8
+		}
+		if i+8 <= n {
+			// Mismatch inside this doubleword; it may begin in the high word.
+			x := binary.LittleEndian.Uint64(cur[i:]) ^ binary.LittleEndian.Uint64(twin[i:])
+			if uint32(x) == 0 {
+				i += WordSize
+			}
+		} else {
+			// At most one word of tail remains.
+			if i < n && wordsEqual(cur, twin, i) {
+				i += WordSize
+			}
 		}
 		if i >= n {
 			break
 		}
+		// cur[i:i+4] differs; extend through differing words.
 		start := i
-		for i < n && !wordsEqual(cur, twin, i) {
+		i += WordSize
+		for i < n {
+			if i+8 <= n {
+				x := binary.LittleEndian.Uint64(cur[i:]) ^ binary.LittleEndian.Uint64(twin[i:])
+				if uint32(x) == 0 {
+					break // next word equal: the run ends here
+				}
+				if x>>32 == 0 {
+					i += WordSize // next word differs, the one after is equal
+					break
+				}
+				i += 8
+				continue
+			}
+			if wordsEqual(cur, twin, i) {
+				break
+			}
 			i += WordSize
 		}
-		run := Run{Off: uint32(start), Data: append([]byte(nil), cur[start:i]...)}
-		d.Runs = append(d.Runs, run)
+		fn(start, i)
 	}
-	return d
 }
 
 func wordsEqual(a, b []byte, i int) bool {
@@ -152,10 +216,23 @@ func Merge(older, newer Diff) Diff {
 			paint(s.run)
 		}
 	}
-	// Re-extract maximal runs.
-	var out Diff
-	i := uint32(0)
-	for i < maxEnd {
+	// Re-extract maximal runs.  buf is freshly built and owned by the
+	// result, so runs subslice it instead of copying.
+	nruns := 0
+	for i := uint32(0); i < maxEnd; {
+		for i < maxEnd && !covered[i] {
+			i++
+		}
+		if i >= maxEnd {
+			break
+		}
+		nruns++
+		for i < maxEnd && covered[i] {
+			i++
+		}
+	}
+	out := Diff{Runs: make([]Run, 0, nruns)}
+	for i := uint32(0); i < maxEnd; {
 		for i < maxEnd && !covered[i] {
 			i++
 		}
@@ -166,7 +243,7 @@ func Merge(older, newer Diff) Diff {
 		for i < maxEnd && covered[i] {
 			i++
 		}
-		out.Runs = append(out.Runs, Run{Off: start, Data: append([]byte(nil), buf[start:i]...)})
+		out.Runs = append(out.Runs, Run{Off: start, Data: buf[start:i:i]})
 	}
 	return out
 }

@@ -426,53 +426,118 @@ func (l *Layout) CheckScalar(a Addr, size uint32) (*Region, error) {
 // without synchronization is a program error).
 type Instance struct {
 	layout *Layout
-	mu     sync.Mutex
-	data   [][]byte  // indexed by region index; nil until touched
-	dirty  [][]int64 // shared regions only
+	// mu serializes materialization; lookups never take it.  The store is
+	// copy-on-write: every materialization publishes a fresh snapshot
+	// through the atomic pointer, so the per-access fast path (every
+	// instrumented load and store resolves its region's slice here) is a
+	// single atomic load with no contention.
+	mu    sync.Mutex
+	store atomic.Pointer[instStore]
+}
+
+// instStore is one immutable snapshot of the instance's materialized
+// storage, indexed by region index; nil until touched.  The slice headers
+// are never mutated after publication — materializing a region copies the
+// snapshot — but the backing arrays they point to are shared across
+// snapshots and mutated freely (they are the simulated memory itself).
+type instStore struct {
+	data  [][]byte
+	dirty [][]int64 // shared regions only
+	// sum holds one dirtybit summary per shared region, allocated with the
+	// region's dirtybit array.
+	sum []*RegionSummary
+}
+
+// RegionSummary aggregates a shared region's dirtybit state so a
+// collection scan can prove "no line in this region can ship" without
+// walking the lines.  Pending counts lines currently holding the
+// DirtyPending sentinel; MaxTS is a monotone upper bound on every
+// timestamp ever stored in the region's dirtybits (stamps installed by
+// scans and by incoming updates).  Both are maintained by the writers of
+// the dirtybit array and read concurrently by scans, hence atomics.
+//
+// The fields are conservative summaries, not exact mirrors: a stale
+// MaxTS can only be too high, and both errors merely forfeit the fast
+// path, never correctness.
+type RegionSummary struct {
+	Pending atomic.Int64
+	MaxTS   atomic.Int64
+}
+
+// NoteTime raises MaxTS to at least ts.
+func (s *RegionSummary) NoteTime(ts int64) {
+	for {
+		cur := s.MaxTS.Load()
+		if ts <= cur || s.MaxTS.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
 }
 
 // NewInstance returns an instance over the layout with no storage
 // materialized yet.
 func NewInstance(l *Layout) *Instance {
-	return &Instance{layout: l}
+	in := &Instance{layout: l}
+	in.store.Store(&instStore{})
+	return in
 }
 
 // Layout returns the layout this instance views.
 func (in *Instance) Layout() *Layout { return in.layout }
 
 // ensure materializes storage for the region and returns the data and
-// dirtybit slices (dirty is nil for private regions).
+// dirtybit slices (dirty is nil for private regions).  Materialization
+// publishes a fresh snapshot; the atomic store's release ordering makes
+// the zeroed backing arrays visible to every subsequent lock-free lookup.
 func (in *Instance) ensure(r *Region) ([]byte, []int64) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if r.Index >= len(in.data) {
-		nd := make([][]byte, r.Index+16)
-		copy(nd, in.data)
-		in.data = nd
-		nb := make([][]int64, r.Index+16)
-		copy(nb, in.dirty)
-		in.dirty = nb
+	cur := in.store.Load()
+	if r.Index < len(cur.data) && cur.data[r.Index] != nil {
+		return cur.data[r.Index], cur.dirty[r.Index]
 	}
-	if in.data[r.Index] == nil {
-		in.data[r.Index] = make([]byte, r.Size)
-		if r.Class == Shared {
-			in.dirty[r.Index] = make([]int64, r.Lines())
-		}
+	n := len(cur.data)
+	if r.Index >= n {
+		n = r.Index + 16
 	}
-	return in.data[r.Index], in.dirty[r.Index]
+	next := &instStore{
+		data:  make([][]byte, n),
+		dirty: make([][]int64, n),
+		sum:   make([]*RegionSummary, n),
+	}
+	copy(next.data, cur.data)
+	copy(next.dirty, cur.dirty)
+	copy(next.sum, cur.sum)
+	next.data[r.Index] = make([]byte, r.Size)
+	if r.Class == Shared {
+		next.dirty[r.Index] = make([]int64, r.Lines())
+		next.sum[r.Index] = &RegionSummary{}
+	}
+	in.store.Store(next)
+	return next.data[r.Index], next.dirty[r.Index]
+}
+
+// Summary returns the dirtybit summary for a shared region, materializing
+// the region if necessary.
+func (in *Instance) Summary(r *Region) *RegionSummary {
+	if r.Class != Shared {
+		panic("memory: dirtybit summary requested for private region " + r.Name)
+	}
+	if s := in.store.Load(); r.Index < len(s.sum) && s.sum[r.Index] != nil {
+		return s.sum[r.Index]
+	}
+	in.ensure(r)
+	return in.store.Load().sum[r.Index]
 }
 
 // Data returns the node-local backing store for the region, materializing
 // it if necessary.
 func (in *Instance) Data(r *Region) []byte {
-	// Fast path: already materialized.
-	in.mu.Lock()
-	if r.Index < len(in.data) && in.data[r.Index] != nil {
-		d := in.data[r.Index]
-		in.mu.Unlock()
-		return d
+	// Fast path: already materialized (one atomic load, no locking —
+	// every instrumented load and store resolves here).
+	if s := in.store.Load(); r.Index < len(s.data) && s.data[r.Index] != nil {
+		return s.data[r.Index]
 	}
-	in.mu.Unlock()
 	d, _ := in.ensure(r)
 	return d
 }
@@ -483,13 +548,9 @@ func (in *Instance) Dirtybits(r *Region) []int64 {
 	if r.Class != Shared {
 		panic("memory: dirtybits requested for private region " + r.Name)
 	}
-	in.mu.Lock()
-	if r.Index < len(in.dirty) && in.dirty[r.Index] != nil {
-		b := in.dirty[r.Index]
-		in.mu.Unlock()
-		return b
+	if s := in.store.Load(); r.Index < len(s.dirty) && s.dirty[r.Index] != nil {
+		return s.dirty[r.Index]
 	}
-	in.mu.Unlock()
 	_, b := in.ensure(r)
 	return b
 }
@@ -546,8 +607,59 @@ func (in *Instance) WriteF64(a Addr, v float64) *Region {
 	return in.WriteU64(a, math.Float64bits(v))
 }
 
+// WriteU32s stores len(vs) consecutive little-endian 32-bit words starting
+// at a and returns the region.  The span must not cross a region boundary.
+func (in *Instance) WriteU32s(a Addr, vs []uint32) *Region {
+	b, r := in.bytesAt(a, uint32(len(vs))*4)
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(b[4*i:], v)
+	}
+	return r
+}
+
+// WriteU64s stores len(vs) consecutive little-endian doublewords starting
+// at a and returns the region.  The span must not cross a region boundary.
+func (in *Instance) WriteU64s(a Addr, vs []uint64) *Region {
+	b, r := in.bytesAt(a, uint32(len(vs))*8)
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[8*i:], v)
+	}
+	return r
+}
+
+// WriteF64s stores len(vs) consecutive float64s starting at a and returns
+// the region.  The span must not cross a region boundary.
+func (in *Instance) WriteF64s(a Addr, vs []float64) *Region {
+	b, r := in.bytesAt(a, uint32(len(vs))*8)
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return r
+}
+
+// inRegion returns the backing bytes when the whole range falls within a
+// single mapped region — the common case for block copies, which skips the
+// Segments allocation — or nil when it straddles regions (or is unmapped;
+// the segment walk reports that).
+func (in *Instance) inRegion(rg Range) []byte {
+	r := in.layout.RegionFor(rg.Addr)
+	if r == nil {
+		return nil
+	}
+	off := uint32(rg.Addr - r.Base)
+	if off+rg.Size > r.Size || off+rg.Size < off {
+		return nil
+	}
+	d := in.Data(r)
+	return d[off : off+rg.Size]
+}
+
 // ReadBytes copies the range into dst, which must be rg.Size long.
 func (in *Instance) ReadBytes(rg Range, dst []byte) {
+	if b := in.inRegion(rg); b != nil {
+		copy(dst[:rg.Size], b)
+		return
+	}
 	segs, err := in.layout.Segments(rg)
 	if err != nil {
 		panic(err)
@@ -563,6 +675,10 @@ func (in *Instance) ReadBytes(rg Range, dst []byte) {
 // WriteBytes copies src into the range.  The caller is responsible for
 // write trapping.
 func (in *Instance) WriteBytes(rg Range, src []byte) {
+	if b := in.inRegion(rg); b != nil {
+		copy(b, src[:rg.Size])
+		return
+	}
 	segs, err := in.layout.Segments(rg)
 	if err != nil {
 		panic(err)

@@ -1,0 +1,178 @@
+package proto
+
+import (
+	"testing"
+
+	"midway/internal/memory"
+)
+
+// Benchmark fixtures sized like a busy medium-scale transfer: a grant
+// carrying a few dozen coalesced line updates plus a little history.
+
+func benchUpdates(n, bytes int) []Update {
+	us := make([]Update, n)
+	for i := range us {
+		data := make([]byte, bytes)
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		us[i] = Update{Addr: memory.Addr(4096 * i), TS: int64(100 + i), Data: data}
+	}
+	return us
+}
+
+func benchGrant() *LockGrant {
+	us := benchUpdates(32, 128)
+	return &LockGrant{
+		Lock: 7, Mode: Exclusive, Time: 12345, Incarnation: 9, Base: 3, BindGen: 2,
+		Binding: []memory.Range{{Addr: 0, Size: 4096}, {Addr: 8192, Size: 4096}},
+		Updates: us,
+		History: []HistoryEntry{{Incarnation: 8, Updates: us[:4]}},
+	}
+}
+
+var (
+	sinkBytes   []byte
+	sinkGrant   *LockGrant
+	sinkEnter   *BarrierEnter
+	sinkAcquire *LockAcquire
+	sinkRel     *ReliableData
+)
+
+func BenchmarkEncodeLockAcquire(b *testing.B) {
+	m := &LockAcquire{Lock: 3, Mode: Shared, Requester: 5, LastTime: 99, LastIncarnation: 7, BindGen: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkBytes = m.Encode()
+	}
+}
+
+func BenchmarkDecodeLockAcquire(b *testing.B) {
+	buf := (&LockAcquire{Lock: 3, Mode: Shared, Requester: 5, LastTime: 99, LastIncarnation: 7, BindGen: 1}).Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := DecodeLockAcquire(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkAcquire = m
+	}
+}
+
+func BenchmarkEncodeLockGrant(b *testing.B) {
+	m := benchGrant()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkBytes = m.Encode()
+	}
+}
+
+func BenchmarkDecodeLockGrant(b *testing.B) {
+	buf := benchGrant().Encode()
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := DecodeLockGrant(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkGrant = m
+	}
+}
+
+func BenchmarkRoundTripLockGrant(b *testing.B) {
+	m := benchGrant()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := DecodeLockGrant(m.Encode())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkGrant = g
+	}
+}
+
+func BenchmarkEncodeBarrierEnter(b *testing.B) {
+	m := &BarrierEnter{Barrier: 2, Epoch: 40, Node: 3, Time: 77, Updates: benchUpdates(16, 64)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkBytes = m.Encode()
+	}
+}
+
+func BenchmarkDecodeBarrierEnter(b *testing.B) {
+	buf := (&BarrierEnter{Barrier: 2, Epoch: 40, Node: 3, Time: 77, Updates: benchUpdates(16, 64)}).Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := DecodeBarrierEnter(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkEnter = m
+	}
+}
+
+// The Pooled variants measure the hot send path the transports actually
+// use: a recycled encoder buffer sized by EncodedSize, released after the
+// (copying) transport has taken the frame. Steady state is zero allocs.
+
+func BenchmarkEncodeLockAcquirePooled(b *testing.B) {
+	m := &LockAcquire{Lock: 3, Mode: Shared, Requester: 5, LastTime: 99, LastIncarnation: 7, BindGen: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := GetEncoder()
+		m.EncodeInto(e)
+		sinkBytes = e.Bytes()
+		e.Release()
+	}
+}
+
+func BenchmarkEncodeLockGrantPooled(b *testing.B) {
+	m := benchGrant()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := GetEncoder()
+		m.EncodeInto(e)
+		sinkBytes = e.Bytes()
+		e.Release()
+	}
+}
+
+func BenchmarkEncodeBarrierEnterPooled(b *testing.B) {
+	m := &BarrierEnter{Barrier: 2, Epoch: 40, Node: 3, Time: 77, Updates: benchUpdates(16, 64)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := GetEncoder()
+		m.EncodeInto(e)
+		sinkBytes = e.Bytes()
+		e.Release()
+	}
+}
+
+func BenchmarkRoundTripLockGrantPooled(b *testing.B) {
+	m := benchGrant()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := GetEncoder()
+		m.EncodeInto(e)
+		g, err := DecodeLockGrant(e.Bytes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkGrant = g
+		e.Release()
+	}
+}
+
+func BenchmarkRoundTripReliableData(b *testing.B) {
+	inner := benchGrant().Encode()
+	m := &ReliableData{Seq: 123, Kind: KindLockGrant, Payload: inner}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := DecodeReliableData(m.Encode())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRel = d
+	}
+}

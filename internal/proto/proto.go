@@ -6,9 +6,11 @@
 package proto
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"midway/internal/memory"
 )
@@ -191,7 +193,10 @@ var (
 )
 
 // Encoder serializes protocol values into a growing little-endian buffer.
-// The zero value is ready to use.
+// The zero value is ready to use.  Message Encode methods size the buffer
+// exactly up front (Wire.EncodedSize), so a message costs one allocation —
+// or none, when a pooled encoder (GetEncoder/Release) can be used because
+// the transport copies the payload out before Send returns.
 type Encoder struct {
 	buf []byte
 }
@@ -202,18 +207,29 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 // Len returns the number of encoded bytes so far.
 func (e *Encoder) Len() int { return len(e.buf) }
 
+// Reset empties the buffer, keeping its capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Grow ensures capacity for at least n more bytes.
+func (e *Encoder) Grow(n int) {
+	if cap(e.buf)-len(e.buf) < n {
+		nb := make([]byte, len(e.buf), len(e.buf)+n)
+		copy(nb, e.buf)
+		e.buf = nb
+	}
+}
+
 // U8 appends one byte.
 func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
 
 // U32 appends a little-endian 32-bit value.
 func (e *Encoder) U32(v uint32) {
-	e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
 }
 
 // U64 appends a little-endian 64-bit value.
 func (e *Encoder) U64(v uint64) {
-	e.U32(uint32(v))
-	e.U32(uint32(v >> 32))
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
 }
 
 // I64 appends a little-endian signed 64-bit value.
@@ -244,16 +260,85 @@ func (e *Encoder) Updates(us []Update) {
 	}
 }
 
-// Decoder deserializes protocol values.  The first decoding error sticks;
-// check Err (or use Finish) after decoding.
-type Decoder struct {
-	buf []byte
-	off int
-	err error
+// Wire is any protocol message: it can report its exact encoded size and
+// append itself to an encoder, which is what lets send paths pick between
+// an exact-size owned buffer and a pooled one.
+type Wire interface {
+	EncodedSize() int
+	EncodeInto(e *Encoder)
 }
 
-// NewDecoder returns a decoder over buf.
+// Encode serializes any message into an exactly-sized owned buffer.
+func Encode(m Wire) []byte {
+	e := Encoder{buf: make([]byte, 0, m.EncodedSize())}
+	m.EncodeInto(&e)
+	return e.buf
+}
+
+// encPool recycles encoder buffers for send paths whose transport copies
+// the payload out before Send returns (TCP frames to a remote peer,
+// reliable envelopes).  Payloads that a transport retains — channel
+// delivery, retransmission queues, local loopback — must use owned
+// buffers (Encode) instead.
+var encPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// maxPooledBuf bounds the buffer capacity a released encoder may keep, so
+// one huge grant does not pin a large buffer in the pool forever.
+const maxPooledBuf = 1 << 20
+
+// GetEncoder returns an empty pooled encoder.
+func GetEncoder() *Encoder {
+	e := encPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// Release returns the encoder — and the buffer behind Bytes — to the
+// pool.  The caller must not retain e.Bytes() past this call.
+func (e *Encoder) Release() {
+	if cap(e.buf) > maxPooledBuf {
+		e.buf = nil
+	}
+	encPool.Put(e)
+}
+
+// Encoded sizes of the primitive shapes.
+
+func blobSize(b []byte) int { return 4 + len(b) }
+
+func rangesSize(rs []memory.Range) int { return 4 + 8*len(rs) }
+
+func updatesSize(us []Update) int {
+	n := 4
+	for _, u := range us {
+		n += 4 + 8 + 4 + len(u.Data)
+	}
+	return n
+}
+
+// Decoder deserializes protocol values.  The first decoding error sticks;
+// check Err (or use Finish) after decoding.
+//
+// A plain decoder (NewDecoder) returns zero-copy views into buf from Blob
+// and Updates, so the caller must keep buf alive and unmodified as long as
+// the decoded message is in use.  Every transport in this repository
+// delivers each received frame in a freshly allocated, GC-owned buffer,
+// so views are safe there; NewCopyingDecoder exists for callers that
+// cannot guarantee that.
+type Decoder struct {
+	buf  []byte
+	off  int
+	err  error
+	copy bool
+}
+
+// NewDecoder returns a zero-copy decoder over buf: Blob and Updates
+// return views into buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// NewCopyingDecoder returns a decoder whose Blob and Updates copy data
+// out of buf, so decoded messages do not alias it.
+func NewCopyingDecoder(buf []byte) *Decoder { return &Decoder{buf: buf, copy: true} }
 
 // Err returns the first error encountered.
 func (d *Decoder) Err() error { return d.err }
@@ -310,13 +395,22 @@ func (d *Decoder) U64() uint64 {
 // I64 reads a little-endian signed 64-bit value.
 func (d *Decoder) I64() int64 { return int64(d.U64()) }
 
-// Blob reads a length-prefixed byte slice (copied out of the buffer).
+// Blob reads a length-prefixed byte slice: a capacity-clipped view into
+// the buffer for a zero-copy decoder, a fresh copy for a copying one.
+// Empty blobs decode as nil either way.
 func (d *Decoder) Blob() []byte {
 	n := int(d.U32())
 	if !d.need(n) {
 		return nil
 	}
-	b := append([]byte(nil), d.buf[d.off:d.off+n]...)
+	var b []byte
+	if n > 0 {
+		if d.copy {
+			b = append([]byte(nil), d.buf[d.off:d.off+n]...)
+		} else {
+			b = d.buf[d.off : d.off+n : d.off+n]
+		}
+	}
 	d.off += n
 	return b
 }
@@ -370,19 +464,25 @@ func (d *Decoder) Updates() []Update {
 	return us
 }
 
-// Encode methods for each message type.
+// Encode methods for each message type.  Every message implements Wire;
+// Encode delegates to EncodeInto through an exactly-sized buffer.
 
-// Encode serializes the message.
-func (m *LockAcquire) Encode() []byte {
-	var e Encoder
+// EncodedSize returns the exact encoded length.
+func (m *LockAcquire) EncodedSize() int { return 4 + 1 + 4 + 8 + 8 + 8 }
+
+// EncodeInto appends the message to e.
+func (m *LockAcquire) EncodeInto(e *Encoder) {
+	e.Grow(m.EncodedSize())
 	e.U32(m.Lock)
 	e.U8(uint8(m.Mode))
 	e.U32(m.Requester)
 	e.I64(m.LastTime)
 	e.U64(m.LastIncarnation)
 	e.U64(m.BindGen)
-	return e.Bytes()
 }
+
+// Encode serializes the message.
+func (m *LockAcquire) Encode() []byte { return Encode(m) }
 
 // DecodeLockAcquire parses a LockAcquire payload.
 func DecodeLockAcquire(buf []byte) (*LockAcquire, error) {
@@ -401,9 +501,18 @@ func DecodeLockAcquire(buf []byte) (*LockAcquire, error) {
 	return m, nil
 }
 
-// Encode serializes the message.
-func (m *LockGrant) Encode() []byte {
-	var e Encoder
+// EncodedSize returns the exact encoded length.
+func (m *LockGrant) EncodedSize() int {
+	n := 4 + 1 + 8 + 8 + 8 + 8 + 1 + rangesSize(m.Binding) + updatesSize(m.Updates) + 4
+	for _, h := range m.History {
+		n += 8 + updatesSize(h.Updates)
+	}
+	return n
+}
+
+// EncodeInto appends the message to e.
+func (m *LockGrant) EncodeInto(e *Encoder) {
+	e.Grow(m.EncodedSize())
 	e.U32(m.Lock)
 	e.U8(uint8(m.Mode))
 	e.I64(m.Time)
@@ -422,12 +531,12 @@ func (m *LockGrant) Encode() []byte {
 		e.U64(h.Incarnation)
 		e.Updates(h.Updates)
 	}
-	return e.Bytes()
 }
 
-// DecodeLockGrant parses a LockGrant payload.
-func DecodeLockGrant(buf []byte) (*LockGrant, error) {
-	d := NewDecoder(buf)
+// Encode serializes the message.
+func (m *LockGrant) Encode() []byte { return Encode(m) }
+
+func decodeLockGrant(d *Decoder, buf []byte) (*LockGrant, error) {
 	m := &LockGrant{
 		Lock: d.U32(),
 		Mode: Mode(d.U8()),
@@ -457,20 +566,37 @@ func DecodeLockGrant(buf []byte) (*LockGrant, error) {
 	return m, nil
 }
 
-// Encode serializes the message.
-func (m *BarrierEnter) Encode() []byte {
-	var e Encoder
+// DecodeLockGrant parses a LockGrant payload; update data are zero-copy
+// views into buf.
+func DecodeLockGrant(buf []byte) (*LockGrant, error) {
+	return decodeLockGrant(NewDecoder(buf), buf)
+}
+
+// DecodeLockGrantCopy parses a LockGrant payload, copying update data out
+// of buf.
+func DecodeLockGrantCopy(buf []byte) (*LockGrant, error) {
+	return decodeLockGrant(NewCopyingDecoder(buf), buf)
+}
+
+// EncodedSize returns the exact encoded length.
+func (m *BarrierEnter) EncodedSize() int {
+	return 4 + 8 + 4 + 8 + updatesSize(m.Updates)
+}
+
+// EncodeInto appends the message to e.
+func (m *BarrierEnter) EncodeInto(e *Encoder) {
+	e.Grow(m.EncodedSize())
 	e.U32(m.Barrier)
 	e.U64(m.Epoch)
 	e.U32(m.Node)
 	e.I64(m.Time)
 	e.Updates(m.Updates)
-	return e.Bytes()
 }
 
-// DecodeBarrierEnter parses a BarrierEnter payload.
-func DecodeBarrierEnter(buf []byte) (*BarrierEnter, error) {
-	d := NewDecoder(buf)
+// Encode serializes the message.
+func (m *BarrierEnter) Encode() []byte { return Encode(m) }
+
+func decodeBarrierEnter(d *Decoder) (*BarrierEnter, error) {
 	m := &BarrierEnter{
 		Barrier: d.U32(),
 		Epoch:   d.U64(),
@@ -484,19 +610,36 @@ func DecodeBarrierEnter(buf []byte) (*BarrierEnter, error) {
 	return m, nil
 }
 
-// Encode serializes the message.
-func (m *BarrierRelease) Encode() []byte {
-	var e Encoder
+// DecodeBarrierEnter parses a BarrierEnter payload; update data are
+// zero-copy views into buf.
+func DecodeBarrierEnter(buf []byte) (*BarrierEnter, error) {
+	return decodeBarrierEnter(NewDecoder(buf))
+}
+
+// DecodeBarrierEnterCopy parses a BarrierEnter payload, copying update
+// data out of buf.
+func DecodeBarrierEnterCopy(buf []byte) (*BarrierEnter, error) {
+	return decodeBarrierEnter(NewCopyingDecoder(buf))
+}
+
+// EncodedSize returns the exact encoded length.
+func (m *BarrierRelease) EncodedSize() int {
+	return 4 + 8 + 8 + updatesSize(m.Updates)
+}
+
+// EncodeInto appends the message to e.
+func (m *BarrierRelease) EncodeInto(e *Encoder) {
+	e.Grow(m.EncodedSize())
 	e.U32(m.Barrier)
 	e.U64(m.Epoch)
 	e.I64(m.Time)
 	e.Updates(m.Updates)
-	return e.Bytes()
 }
 
-// DecodeBarrierRelease parses a BarrierRelease payload.
-func DecodeBarrierRelease(buf []byte) (*BarrierRelease, error) {
-	d := NewDecoder(buf)
+// Encode serializes the message.
+func (m *BarrierRelease) Encode() []byte { return Encode(m) }
+
+func decodeBarrierRelease(d *Decoder) (*BarrierRelease, error) {
 	m := &BarrierRelease{
 		Barrier: d.U32(),
 		Epoch:   d.U64(),
@@ -509,6 +652,18 @@ func DecodeBarrierRelease(buf []byte) (*BarrierRelease, error) {
 	return m, nil
 }
 
+// DecodeBarrierRelease parses a BarrierRelease payload; update data are
+// zero-copy views into buf.
+func DecodeBarrierRelease(buf []byte) (*BarrierRelease, error) {
+	return decodeBarrierRelease(NewDecoder(buf))
+}
+
+// DecodeBarrierReleaseCopy parses a BarrierRelease payload, copying
+// update data out of buf.
+func DecodeBarrierReleaseCopy(buf []byte) (*BarrierRelease, error) {
+	return decodeBarrierRelease(NewCopyingDecoder(buf))
+}
+
 // ReliableData is the sequence-numbered envelope the Reliable transport
 // wrapper puts around every inter-node message.  Seq numbers one direction
 // of one node pair; Kind and Payload are the wrapped message's.
@@ -518,24 +673,39 @@ type ReliableData struct {
 	Payload []byte
 }
 
-// Encode serializes the envelope.
-func (m *ReliableData) Encode() []byte {
-	var e Encoder
+// EncodedSize returns the exact encoded length.
+func (m *ReliableData) EncodedSize() int { return 8 + 1 + blobSize(m.Payload) }
+
+// EncodeInto appends the envelope to e.
+func (m *ReliableData) EncodeInto(e *Encoder) {
+	e.Grow(m.EncodedSize())
 	e.U64(m.Seq)
 	e.U8(uint8(m.Kind))
 	e.Blob(m.Payload)
-	return e.Bytes()
 }
 
-// DecodeReliableData parses a ReliableData payload.
-func DecodeReliableData(buf []byte) (*ReliableData, error) {
-	d := NewDecoder(buf)
+// Encode serializes the envelope.
+func (m *ReliableData) Encode() []byte { return Encode(m) }
+
+func decodeReliableData(d *Decoder) (*ReliableData, error) {
 	m := &ReliableData{Seq: d.U64(), Kind: Kind(d.U8())}
 	m.Payload = d.Blob()
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("decoding ReliableData: %w", err)
 	}
 	return m, nil
+}
+
+// DecodeReliableData parses a ReliableData payload; the inner payload is
+// a zero-copy view into buf.
+func DecodeReliableData(buf []byte) (*ReliableData, error) {
+	return decodeReliableData(NewDecoder(buf))
+}
+
+// DecodeReliableDataCopy parses a ReliableData payload, copying the inner
+// payload out of buf.
+func DecodeReliableDataCopy(buf []byte) (*ReliableData, error) {
+	return decodeReliableData(NewCopyingDecoder(buf))
 }
 
 // ReliableAck is the cumulative acknowledgement for ReliableData
@@ -545,12 +715,17 @@ type ReliableAck struct {
 	Seq uint64
 }
 
-// Encode serializes the acknowledgement.
-func (m *ReliableAck) Encode() []byte {
-	var e Encoder
+// EncodedSize returns the exact encoded length.
+func (m *ReliableAck) EncodedSize() int { return 8 }
+
+// EncodeInto appends the acknowledgement to e.
+func (m *ReliableAck) EncodeInto(e *Encoder) {
+	e.Grow(8)
 	e.U64(m.Seq)
-	return e.Bytes()
 }
+
+// Encode serializes the acknowledgement.
+func (m *ReliableAck) Encode() []byte { return Encode(m) }
 
 // DecodeReliableAck parses a ReliableAck payload.
 func DecodeReliableAck(buf []byte) (*ReliableAck, error) {

@@ -217,6 +217,11 @@ func (c *reliableConn) Send(m Message) error {
 	return nil
 }
 
+// CopiesPayload reports that remote sends copy the payload into the
+// reliable envelope (env.Encode) before Send returns; self-sends delegate
+// to the inner connection by reference and so retain the slice.
+func (c *reliableConn) CopiesPayload(to int) bool { return to != c.id }
+
 func (c *reliableConn) Recv() (Message, error) {
 	select {
 	case m := <-c.out:

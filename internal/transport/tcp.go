@@ -210,6 +210,11 @@ func (c *tcpConn) Send(m Message) error {
 	return nil
 }
 
+// CopiesPayload reports that remote sends copy the payload into the
+// socket before Send returns; self-sends deliver the Message by reference
+// through the inbox and so retain the slice.
+func (c *tcpConn) CopiesPayload(to int) bool { return to != c.id }
+
 // writeTimeout returns the per-frame write deadline.
 func (c *tcpConn) writeTimeout() time.Duration {
 	if c.mesh != nil {

@@ -62,6 +62,16 @@ type Conn interface {
 	Close() error
 }
 
+// PayloadCopier is implemented by connections that copy (or fully
+// consume) a message's payload before Send returns, for the given
+// destination.  A sender holding a reusable payload buffer may recycle it
+// immediately after Send when CopiesPayload reports true; otherwise the
+// transport retains the slice (channel delivery, delayed fault injection)
+// and the sender must pass an owned buffer.
+type PayloadCopier interface {
+	CopiesPayload(to int) bool
+}
+
 // Network is a set of connected node endpoints.
 type Network interface {
 	// Nodes returns the number of nodes.

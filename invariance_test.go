@@ -1,0 +1,163 @@
+package midway_test
+
+import (
+	"fmt"
+	"testing"
+
+	"midway"
+	"midway/internal/bench"
+	"midway/internal/stats"
+)
+
+// These tests pin the PR's hard invariant: the zero-allocation codec fast
+// paths (pooled encoder buffers, zero-copy decoder views) and the batched
+// store instrumentation are wall-clock optimizations only — every simulated
+// statistic they produce is identical to the reference paths.  CompatCodec
+// forces the owned-buffer encode and copying decoders, so the default
+// configuration is checked against it arm for arm.
+
+// codecArms runs the barrier workload (deterministic: its protocol
+// decisions do not depend on real-time arrival order) under both codec
+// arms of the given configuration and requires identical statistics and
+// simulated clocks.
+func codecArms(t *testing.T, cfg midway.Config) {
+	t.Helper()
+	fast, fastCycles := barrierWorkload(t, cfg)
+	cfg.CompatCodec = true
+	compat, compatCycles := barrierWorkload(t, cfg)
+	if fast != compat {
+		t.Errorf("stats differ between codec arms:\nfast:   %+v\ncompat: %+v", fast, compat)
+	}
+	if fastCycles != compatCycles {
+		t.Errorf("execution cycles differ between codec arms: fast %d, compat %d",
+			fastCycles, compatCycles)
+	}
+}
+
+// TestCodecInvariance: every scheme, over the in-process channel transport
+// and over the reliable layer (whose connection implements the
+// payload-copying contract, so it is the arm that actually recycles pooled
+// encoder buffers).
+func TestCodecInvariance(t *testing.T) {
+	for _, scheme := range midway.SchemeNames() {
+		if scheme == "none" {
+			continue // standalone is single-node only
+		}
+		t.Run(scheme, func(t *testing.T) {
+			codecArms(t, midway.Config{Nodes: 4, Scheme: scheme})
+		})
+		t.Run(scheme+"/reliable", func(t *testing.T) {
+			codecArms(t, midway.Config{Nodes: 4, Scheme: scheme, Reliable: true})
+		})
+	}
+}
+
+// TestCodecInvarianceTCP exercises the pooled encoder over real loopback
+// sockets: the TCP connection copies payloads into frames synchronously,
+// so remote sends ride the pool.
+func TestCodecInvarianceTCP(t *testing.T) {
+	codecArms(t, midway.Config{Nodes: 2, Scheme: "rt", UseTCP: true})
+}
+
+// TestCodecInvarianceApps runs the deterministic benchmark applications
+// (matrix, sor — the lock-contended apps' grant order depends on real
+// arrival time even in the reference arm) and requires the entire Result —
+// simulated seconds, per-processor means, totals and checksum — to be
+// identical between codec arms.
+func TestCodecInvarianceApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("app matrix is slow")
+	}
+	for _, app := range []string{"matrix", "sor"} {
+		for _, scheme := range []string{"rt", "vm", "hybrid"} {
+			t.Run(fmt.Sprintf("%s/%s", app, scheme), func(t *testing.T) {
+				fast, err := bench.RunApp(app, midway.Config{Nodes: 4, Scheme: scheme}, bench.ScaleSmall)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compat, err := bench.RunApp(app, midway.Config{Nodes: 4, Scheme: scheme, CompatCodec: true}, bench.ScaleSmall)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fast != compat {
+					t.Errorf("results differ between codec arms:\nfast:   %+v\ncompat: %+v", fast, compat)
+				}
+			})
+		}
+	}
+}
+
+// denseWorkload writes each node's slice of a shared array — batched
+// through SetRange when batch is set, element by element otherwise — and
+// exchanges it at a bound barrier.  The two forms must be indistinguishable
+// in every simulated number.
+func denseWorkload(t *testing.T, cfg midway.Config, batch bool) (stats.Snapshot, uint64) {
+	t.Helper()
+	const per = 96 // per-node elements: crosses the hybrid evidence threshold
+	nodes := cfg.Nodes
+	sys, err := midway.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := sys.AllocU64("dense", nodes*per, 64)
+	bar := sys.NewBarrier("round", arr.Range())
+	parts := make([][]midway.Range, nodes)
+	for i := range parts {
+		parts[i] = []midway.Range{arr.Slice(i*per, (i+1)*per)}
+	}
+	sys.SetBarrierParts(bar, parts)
+	err = sys.Run(func(p *midway.Proc) {
+		me := p.ID()
+		for round := uint64(1); round <= 3; round++ {
+			if batch {
+				vals := make([]uint64, per)
+				for j := range vals {
+					vals[j] = uint64(me)<<32 | round<<16 | uint64(j)
+				}
+				arr.SetRange(p, me*per, vals)
+			} else {
+				for j := 0; j < per; j++ {
+					arr.Set(p, me*per+j, uint64(me)<<32|round<<16|uint64(j))
+				}
+			}
+			p.Barrier(bar)
+			for n := 0; n < nodes; n++ {
+				for j := 0; j < per; j++ {
+					want := uint64(n)<<32 | round<<16 | uint64(j)
+					if got := arr.Get(p, n*per+j); got != want {
+						panic(fmt.Sprintf("node %d round %d: [%d,%d] = %#x, want %#x", me, round, n, j, got, want))
+					}
+				}
+			}
+			p.Barrier(bar)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.TotalStats(), sys.ExecutionCycles()
+}
+
+// TestBatchStoreInvariance: one fused SetRange must equal the element-wise
+// store loop in every statistic and in the simulated clock, for every
+// scheme (the batch trap entry points promise exact per-element sums).
+func TestBatchStoreInvariance(t *testing.T) {
+	for _, scheme := range midway.SchemeNames() {
+		if scheme == "none" {
+			continue
+		}
+		for _, eager := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/eager=%v", scheme, eager), func(t *testing.T) {
+				cfg := midway.Config{Nodes: 4, Scheme: scheme, EagerTimestamps: eager}
+				loop, loopCycles := denseWorkload(t, cfg, false)
+				batched, batchedCycles := denseWorkload(t, cfg, true)
+				if loop != batched {
+					t.Errorf("stats differ:\nloop:    %+v\nbatched: %+v", loop, batched)
+				}
+				if loopCycles != batchedCycles {
+					t.Errorf("execution cycles differ: loop %d, batched %d", loopCycles, batchedCycles)
+				}
+			})
+		}
+	}
+}

@@ -176,6 +176,12 @@ type Config struct {
 	// with the processor's simulated time — a debugging aid for
 	// entry-consistency programs.
 	Trace io.Writer
+	// CompatCodec disables the zero-allocation codec fast paths: every
+	// message is encoded into a fresh owned buffer and decoded with
+	// copying decoders.  Simulated results are identical either way; the
+	// knob exists so the invariance tests can run the slow reference
+	// paths against the default fast ones.
+	CompatCodec bool
 }
 
 // System is one DSM instance.  Allocate shared memory and create
@@ -202,6 +208,7 @@ func NewSystem(cfg Config) (*System, error) {
 		EagerTimestamps:     cfg.EagerTimestamps,
 		CombineIncarnations: cfg.CombineIncarnations,
 		Trace:               cfg.Trace,
+		CompatCodec:         cfg.CompatCodec,
 	}
 	if cfg.PageFaultMicros > 0 {
 		cc.Cost = cc.Cost.WithFaultMicros(cfg.PageFaultMicros)
@@ -459,6 +466,18 @@ func (p *Proc) WriteU64(a Addr, v uint64) { p.inner.WriteU64(a, v) }
 
 // WriteF64 stores a float64 (an instrumented shared store).
 func (p *Proc) WriteF64(a Addr, v float64) { p.inner.WriteF64(a, v) }
+
+// WriteU32s stores len(vs) consecutive 32-bit words starting at a — the
+// instrumented form of a dense typed-array store loop.  Semantics and
+// simulated costs are identical to element-wise WriteU32 calls; only the
+// per-store dispatch overhead is fused.
+func (p *Proc) WriteU32s(a Addr, vs []uint32) { p.inner.WriteU32s(a, vs) }
+
+// WriteU64s stores len(vs) consecutive doublewords starting at a.
+func (p *Proc) WriteU64s(a Addr, vs []uint64) { p.inner.WriteU64s(a, vs) }
+
+// WriteF64s stores len(vs) consecutive float64s starting at a.
+func (p *Proc) WriteF64s(a Addr, vs []float64) { p.inner.WriteF64s(a, vs) }
 
 // ReadBytes copies rg.Size bytes of shared memory into dst.
 func (p *Proc) ReadBytes(rg Range, dst []byte) { p.inner.ReadBytes(rg, dst) }
