@@ -35,6 +35,12 @@ func main() {
 		"registry scheme the hybrid experiment compares against RT/VM (see midway.SchemeNames)")
 	faultSpec := flag.String("fault", "",
 		"inject deterministic transport faults into every run, e.g. drop=0.05,dup=0.02,reorder=0.1,seed=7")
+	traceDir := flag.String("trace", "",
+		"write one protocol event trace per run into this directory (<app>-<scheme>-<procs>p.*)")
+	traceFormat := flag.String("trace-format", "jsonl",
+		"trace encoding for -trace: text, jsonl (midway-trace input), chrome (chrome://tracing)")
+	profileObjects := flag.Bool("profile-objects", false,
+		"aggregate per-object/per-region profiles; with -trace, writes a .profile file per run")
 	workers := flag.Int("workers", bench.Workers,
 		"experiment cells run concurrently on this many workers (1 = serial)")
 	jsonOut := flag.Bool("json", false,
@@ -44,6 +50,15 @@ func main() {
 	flag.Parse()
 	bench.FaultSpec = *faultSpec
 	bench.Workers = *workers
+	bench.ProfileObjects = *profileObjects
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		bench.TraceDir = *traceDir
+		bench.TraceFormat = *traceFormat
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -9,6 +9,7 @@
 //	           [-procs 8] [-scale small|medium|paper]
 //	           [-fault-us 1200] [-latency-us 500] [-bandwidth-mbps 140]
 //	           [-tcp] [-eager] [-fault spec] [-reliable]
+//	           [-trace FILE] [-trace-format text|jsonl|chrome] [-profile-objects]
 //
 // Examples:
 //
@@ -18,6 +19,10 @@
 //	midway-run -app cholesky -scheme hybrid            # per-region RT/VM dispatch
 //	midway-run -app sor -fault drop=0.05,dup=0.02,reorder=0.1,seed=7
 //	                                                   # chaos run; results must not change
+//	midway-run -app sor -procs 2 -trace sor.jsonl -trace-format jsonl
+//	                                                   # event trace for midway-trace
+//	midway-run -app sor -trace sor.json -trace-format chrome
+//	                                                   # open in chrome://tracing / Perfetto
 package main
 
 import (
@@ -49,7 +54,11 @@ func main() {
 	reliable := flag.Bool("reliable", false, "interpose the reliable delivery layer even without -fault")
 	eager := flag.Bool("eager", false, "eager dirtybit timestamps (RT only)")
 	combine := flag.Bool("combine", false, "combine VM-DSM incarnation histories (§3.4 alternative)")
-	trace := flag.Bool("trace", false, "print protocol events to stderr")
+	traceFile := flag.String("trace", "", "write protocol events to this file (\"-\" = stderr)")
+	traceFormat := flag.String("trace-format", "text",
+		"trace encoding: text (one line per event), jsonl (midway-trace input), chrome (chrome://tracing)")
+	profileObjects := flag.Bool("profile-objects", false,
+		"print per-object and per-region \"hot objects\" tables after the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -110,10 +119,28 @@ func main() {
 		EagerTimestamps:     *eager,
 		CombineIncarnations: *combine,
 	}
-	if *trace {
-		cfg.Trace = os.Stderr
+	cfg.ProfileObjects = *profileObjects
+	var traceOut *os.File
+	if *traceFile != "" {
+		cfg.TraceFormat = *traceFormat
+		if *traceFile == "-" {
+			cfg.Trace = os.Stderr
+		} else {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "opening trace file: %v\n", err)
+				os.Exit(2)
+			}
+			traceOut = f
+			cfg.Trace = f
+		}
 	}
 	res, err := bench.RunApp(*app, cfg, scale)
+	if traceOut != nil {
+		if cerr := traceOut.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing trace file: %w", cerr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -139,4 +166,8 @@ func main() {
 	fmt.Fprintf(tw, "lock transfers\t%d\n", m.LockTransfers)
 	fmt.Fprintf(tw, "barrier crossings\t%d\n", m.BarrierCrossings)
 	tw.Flush()
+	if *profileObjects {
+		fmt.Println()
+		res.WriteProfiles(os.Stdout)
+	}
 }

@@ -1,0 +1,166 @@
+// Command midway-trace analyzes a protocol event trace captured with
+// midway-run/midway-bench -trace.
+//
+// For a JSONL trace (-trace-format jsonl) it reports lock-contention
+// ranking, a critical-path estimate and per-epoch barrier skew.  For a
+// Chrome trace (-trace-format chrome; recognized by its leading '{') it
+// validates the trace_event document and prints a summary.  All times are
+// simulated, so the reports are reproducible run to run.
+//
+// Usage:
+//
+//	midway-trace [FILE]    # FILE defaults to standard input ("-")
+//
+// Examples:
+//
+//	midway-run -app sor -procs 2 -trace sor.jsonl -trace-format jsonl
+//	midway-trace sor.jsonl
+//	midway-run -app water -trace water.json -trace-format chrome
+//	midway-trace water.json      # validate the chrome://tracing export
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"midway/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "midway-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	switch {
+	case len(os.Args) > 2:
+		return fmt.Errorf("usage: midway-trace [FILE]")
+	case len(os.Args) == 2 && os.Args[1] != "-":
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	}
+
+	br := bufio.NewReader(in)
+	first, err := firstByte(br)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	if first == '{' {
+		// A JSONL trace's first object also starts with '{' but never with
+		// the document key "traceEvents"; peek far enough to tell them apart.
+		head, _ := br.Peek(64)
+		if isChromeDoc(head) {
+			return summarizeChrome(br, name)
+		}
+	}
+	a, err := obs.Analyze(br)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	a.WriteReport(os.Stdout)
+	return nil
+}
+
+// firstByte peeks at the first non-whitespace byte without consuming it.
+func firstByte(br *bufio.Reader) (byte, error) {
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			if err == io.EOF {
+				return 0, fmt.Errorf("empty trace")
+			}
+			return 0, err
+		}
+		switch b[0] {
+		case ' ', '\t', '\r', '\n':
+			br.ReadByte()
+		default:
+			return b[0], nil
+		}
+	}
+}
+
+// isChromeDoc reports whether the head of the input looks like the Chrome
+// trace_event document wrapper rather than a JSONL event object.
+func isChromeDoc(head []byte) bool {
+	return jsonFirstKey(head) == "traceEvents"
+}
+
+// jsonFirstKey extracts the first object key from a JSON prefix.
+func jsonFirstKey(b []byte) string {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		return ""
+	}
+	tok, err := dec.Token()
+	if err != nil {
+		return ""
+	}
+	key, _ := tok.(string)
+	return key
+}
+
+// chromeSummary mirrors the subset of the trace_event format the summary
+// needs; unknown fields are ignored, malformed documents fail.
+type chromeSummary struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Pid  int32   `json:"pid"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// summarizeChrome validates the document and prints per-node span/instant
+// counts.
+func summarizeChrome(r io.Reader, name string) error {
+	dec := json.NewDecoder(r)
+	var doc chromeSummary
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("%s: invalid chrome trace: %w", name, err)
+	}
+	nodes := map[int32]bool{}
+	var spans, instants, meta int
+	var lastTs float64
+	openSpans := 0
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "b":
+			spans++
+			openSpans++
+		case "e":
+			openSpans--
+		case "i":
+			instants++
+		case "M":
+			meta++
+			continue // metadata has no timeline presence
+		default:
+			return fmt.Errorf("%s: invalid chrome trace: unknown phase %q", name, e.Ph)
+		}
+		nodes[e.Pid] = true
+		if e.Ts > lastTs {
+			lastTs = e.Ts
+		}
+	}
+	if openSpans != 0 {
+		return fmt.Errorf("%s: invalid chrome trace: %d unbalanced async spans", name, openSpans)
+	}
+	fmt.Printf("valid chrome trace: %d events (%d spans, %d instants) across %d nodes, %.3fms simulated\n",
+		len(doc.TraceEvents), spans, instants, len(nodes), lastTs/1000)
+	fmt.Println("open it in chrome://tracing or https://ui.perfetto.dev")
+	return nil
+}

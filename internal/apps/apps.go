@@ -16,9 +16,11 @@ package apps
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"midway"
+	"midway/internal/obs"
 	"midway/internal/stats"
 )
 
@@ -40,6 +42,12 @@ type Result struct {
 	// across strategies and processor counts (within floating-point
 	// tolerance where noted).
 	Checksum float64
+	// ObjectProfiles and RegionProfiles carry the per-object and
+	// per-region aggregates from a run with Config.ProfileObjects, nil
+	// otherwise.  They are observational only — never part of the
+	// simulated results a run must reproduce.
+	ObjectProfiles []midway.ObjectProfile
+	RegionProfiles []midway.RegionProfile
 }
 
 // KBTransferredMean returns the mean per-processor application data
@@ -56,14 +64,22 @@ func (r Result) KBTransferredTotal() float64 {
 // Collect assembles a Result from a finished system.
 func Collect(app string, sys *midway.System, cfg midway.Config, checksum float64) Result {
 	return Result{
-		App:      app,
-		System:   cfg.Strategy.String(),
-		Procs:    cfg.Nodes,
-		Seconds:  sys.ExecutionSeconds(),
-		Mean:     sys.MeanStats(),
-		Total:    sys.TotalStats(),
-		Checksum: checksum,
+		App:            app,
+		System:         cfg.Strategy.String(),
+		Procs:          cfg.Nodes,
+		Seconds:        sys.ExecutionSeconds(),
+		Mean:           sys.MeanStats(),
+		Total:          sys.TotalStats(),
+		Checksum:       checksum,
+		ObjectProfiles: sys.ObjectProfiles(),
+		RegionProfiles: sys.RegionProfiles(),
 	}
+}
+
+// WriteProfiles renders the run's hot-objects and hot-regions tables.
+// Writes nothing when the run was not profiled.
+func (r Result) WriteProfiles(w io.Writer) {
+	obs.WriteProfileTables(w, r.ObjectProfiles, r.RegionProfiles)
 }
 
 // Rand is a small deterministic PRNG (splitmix64) used to generate

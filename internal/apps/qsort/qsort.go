@@ -12,6 +12,32 @@
 // The program exhibits medium to coarse-grain sharing but does little
 // computation between writes to shared memory: the bubblesort inner loop
 // is a compare and swap of adjacent elements.
+//
+// # Deterministic scheduling
+//
+// A task queue naively polled by racing workers makes the protocol's
+// operation order — and with it every simulated statistic — depend on host
+// thread timing.  This implementation instead drives the workers on a
+// host-level round scheduler (the role Midway's threads package plays,
+// extended to a deterministic discipline):
+//
+//   - Each round starts with a serialized sync phase: workers take turns
+//     in a seeded per-round permutation order, and only the turn-holder
+//     performs DSM synchronization (publishing spawned tasks, returning
+//     and dequeuing task locks).  Everyone else is host-parked, so every
+//     protocol interaction observes frozen, deterministic simulated
+//     clocks.
+//   - The rest of the round is a concurrent sort phase that is message
+//     free: partitioning and bubblesorting touch only data bound to the
+//     worker's held lock, and task spawns are buffered as host-level
+//     "offers" published at the worker's next turn.
+//
+// Host parking never advances a simulated clock, so the rounds are free in
+// simulated time; they only fix the order of the protocol's decisions.
+// The schedule is a function of (seed, processor count, input) alone —
+// identical across write-detection schemes and across runs — which is what
+// makes cross-scheme comparisons (for example plain versus combined
+// incarnation histories) meaningful for quicksort.
 package qsort
 
 import (
@@ -42,7 +68,7 @@ type Config struct {
 	// in-place variant maximizes the "little computation between writes"
 	// behaviour the paper's text describes.
 	PrivateLeafSort bool
-	// Seed generates the input.
+	// Seed generates the input and the scheduler's tie-break order.
 	Seed int64
 }
 
@@ -92,6 +118,11 @@ func Checksum(a []uint32) float64 {
 //	q[3+K : 3+K+3*K]  task stack entries (lo, hi, lockIdx)
 const qHeader = 3
 
+// span is a half-open subrange of the array.
+type span struct {
+	lo, hi int
+}
+
 // leaf records a subrange whose final contents live at a worker.
 type leaf struct {
 	node   int
@@ -139,11 +170,7 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 	var leafMu sync.Mutex
 	var leaves []leaf
 
-	// Host-level work-availability coordinator.  Work distribution and
-	// all task data flow through the DSM queue; this only replaces idle
-	// polling (whose simulated cost would depend on host speed) with a
-	// blocking wait, the role the threads package plays in Midway.
-	co := newCoord(1) // the root task is queued
+	sc := newSched(mcfg.Nodes, k, cfg.Seed)
 
 	err = sys.Run(func(p *midway.Proc) {
 		me := p.ID()
@@ -212,15 +239,13 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 			return i
 		}
 
-		// allocLock pops a free task lock index, or returns -1.
+		// allocLock pops a free task lock index; the caller checked the
+		// scheduler's free-count mirror, so one is available.
 		allocLock := func() int {
 			p.Acquire(qlock)
 			nf := queue.Get(p, 2)
-			idx := -1
-			if nf > 0 {
-				idx = int(queue.Get(p, qHeader+int(nf)-1))
-				queue.Set(p, 2, nf-1)
-			}
+			idx := int(queue.Get(p, qHeader+int(nf)-1))
+			queue.Set(p, 2, nf-1)
 			p.Release(qlock)
 			return idx
 		}
@@ -236,69 +261,109 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 			queue.Set(p, base+2, uint32(li))
 			queue.Set(p, 0, cnt+1)
 			p.Release(qlock)
-			co.pushed()
 		}
 
-		// spawn tries to hand half a partition to the queue: it binds a
-		// fresh lock to the range (the rebinding the paper highlights)
-		// and publishes the task.  It reports whether it succeeded.
-		spawn := func(lo, hi int) bool {
-			li := allocLock()
-			if li < 0 {
-				return false
-			}
-			p.Acquire(taskLock[li])
-			p.Rebind(taskLock[li], arr.Slice(lo, hi))
-			p.Release(taskLock[li])
-			pushTask(lo, hi, li)
-			return true
-		}
-
-		// process sorts [lo, hi); the caller holds lock li, whose binding
-		// covers the range.  Whenever half a partition is handed to
-		// another worker, li is rebound to the remaining half — the
-		// paper's "rebound to a new range of addresses for every task
-		// created" — so a recycled lock never carries ranges whose
-		// authoritative copy lives elsewhere.
-		var process func(lo, hi, li int)
-		process = func(lo, hi, li int) {
-			if hi-lo <= cfg.Threshold {
-				bubblesort(lo, hi)
-				recordLeaf(lo, hi)
-				return
-			}
-			mid := partition(lo, hi)
-			recordLeaf(mid, mid+1) // the pivot's final position
-			if spawn(lo, mid) {
-				p.Rebind(taskLock[li], arr.Slice(mid+1, hi))
-			} else {
-				process(lo, mid, li)
-			}
-			process(mid+1, hi, li)
-		}
-
-		for co.reserve() {
-			p.Acquire(qlock)
-			cnt := queue.Get(p, 0)
-			base := qHeader + k + 3*int(cnt-1)
-			lo := int(queue.Get(p, base+0))
-			hi := int(queue.Get(p, base+1))
-			li := int(queue.Get(p, base+2))
-			queue.Set(p, 0, cnt-1)
-			queue.Set(p, 1, queue.Get(p, 1)+1)
-			p.Release(qlock)
-
-			p.Acquire(taskLock[li])
-			process(lo, hi, li)
-			p.Release(taskLock[li])
-
+		// returnLock pushes a finished task's lock back on the free list
+		// and retires the worker from the active count.
+		returnLock := func(li int) {
 			p.Acquire(qlock)
 			nf := queue.Get(p, 2)
 			queue.Set(p, qHeader+int(nf), uint32(li))
 			queue.Set(p, 2, nf+1)
 			queue.Set(p, 1, queue.Get(p, 1)-1)
 			p.Release(qlock)
-			co.finished()
+		}
+
+		// dequeueTask pops the top task; the scheduler's queued-count
+		// mirror guaranteed one is present.
+		dequeueTask := func() (lo, hi, li int) {
+			p.Acquire(qlock)
+			cnt := queue.Get(p, 0)
+			base := qHeader + k + 3*int(cnt-1)
+			lo = int(queue.Get(p, base+0))
+			hi = int(queue.Get(p, base+1))
+			li = int(queue.Get(p, base+2))
+			queue.Set(p, 0, cnt-1)
+			queue.Set(p, 1, queue.Get(p, 1)+1)
+			p.Release(qlock)
+			return lo, hi, li
+		}
+
+		li := -1 // held task lock, or -1
+		var pending []span
+		var offers []span
+
+		// sortPending drains the pending spans: partition above the
+		// threshold — offering each left half to the queue and continuing
+		// with the right — and bubblesort at the leaves.  Message free:
+		// every access is covered by the held task lock's binding.
+		sortPending := func() {
+			for len(pending) > 0 {
+				s := pending[len(pending)-1]
+				pending = pending[:len(pending)-1]
+				for s.hi-s.lo > cfg.Threshold {
+					mid := partition(s.lo, s.hi)
+					recordLeaf(mid, mid+1) // the pivot's final position
+					if mid > s.lo {
+						offers = append(offers, span{s.lo, mid})
+					}
+					s.lo = mid + 1
+				}
+				bubblesort(s.lo, s.hi)
+				recordLeaf(s.lo, s.hi)
+			}
+		}
+
+		for sc.awaitTurn(me) {
+			// Serialized sync turn: publish offers while the lock pool
+			// lasts — binding a fresh lock to each offered range, the
+			// rebinding the paper highlights — and keep the rest to sort
+			// locally.
+			if li >= 0 {
+				var retained []span
+				for _, s := range offers {
+					if !sc.claimFreeLock() {
+						retained = append(retained, s)
+						continue
+					}
+					l2 := allocLock()
+					p.Acquire(taskLock[l2])
+					p.Rebind(taskLock[l2], arr.Slice(s.lo, s.hi))
+					p.Release(taskLock[l2])
+					pushTask(s.lo, s.hi, l2)
+					sc.pushedTask()
+				}
+				offers = offers[:0]
+				pending = retained
+				if len(pending) == 0 {
+					// Task complete.  Shrink the binding to nothing before
+					// recycling: every range this worker sorted stays
+					// authoritative in its local memory, and the next
+					// spawner rebinds the lock before use.
+					p.Rebind(taskLock[li])
+					p.Release(taskLock[li])
+					returnLock(li)
+					sc.freedLock()
+					li = -1
+				} else {
+					// Still working: the binding shrinks to exactly the
+					// retained ranges, excluding everything published.
+					rs := make([]midway.Range, len(pending))
+					for i, s := range pending {
+						rs[i] = arr.Slice(s.lo, s.hi)
+					}
+					p.Rebind(taskLock[li], rs...)
+				}
+			}
+			if li < 0 && sc.claimQueuedTask() {
+				var lo, hi int
+				lo, hi, li = dequeueTask()
+				p.Acquire(taskLock[li])
+				pending = append(pending[:0], span{lo, hi})
+			}
+			sc.endTurn()
+			sortPending()
+			sc.finishSort(me, li >= 0, len(offers))
 		}
 		p.Barrier(done)
 
@@ -340,52 +405,144 @@ func leU32(b []byte) uint32 {
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
-// coord tracks queued and in-flight task counts at the host level so idle
-// workers block instead of polling the shared queue.
-type coord struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queued int
-	active int
+// sched is the host-level deterministic round scheduler (see the package
+// comment).  It mirrors the queue's task and free-lock counts so that
+// scheduling decisions never require reading shared memory outside a
+// worker's serialized turn, and parks workers between phases — host
+// blocking that, like the threads package's, never advances a simulated
+// clock.
+type sched struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	rng   *apps.Rand
+	procs int
+
+	phase  int // 0 = serialized sync turns, 1 = concurrent sort
+	order  []int
+	pos    int
+	sorted int
+	done   bool
+
+	free   int // mirror of q[2], the free-lock count
+	queued int // mirror of q[0], the queued-task count
+	holds  []bool
+	offerN []int
 }
 
-func newCoord(initial int) *coord {
-	c := &coord{queued: initial}
-	c.cond = sync.NewCond(&c.mu)
-	return c
-}
-
-// pushed announces one more task in the shared queue.
-func (c *coord) pushed() {
-	c.mu.Lock()
-	c.queued++
-	c.mu.Unlock()
-	c.cond.Broadcast()
-}
-
-// reserve claims one queued task, blocking while the queue is empty but
-// work is still in flight.  It returns false when the sort is complete.
-func (c *coord) reserve() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for c.queued == 0 && c.active > 0 {
-		c.cond.Wait()
+// newSched seeds the scheduler for a pool of k task locks whose queue
+// starts with the root task.
+func newSched(procs, k int, seed int64) *sched {
+	s := &sched{
+		procs:  procs,
+		rng:    apps.NewRand(seed ^ 0x5ced),
+		free:   k - 1,
+		queued: 1,
+		holds:  make([]bool, procs),
+		offerN: make([]int, procs),
 	}
-	if c.queued == 0 {
+	s.cond = sync.NewCond(&s.mu)
+	s.order = s.perm()
+	return s
+}
+
+// perm draws a fresh seeded permutation of worker ids — the deterministic
+// tie-break that replaces host-timing-dependent scheduling.
+func (s *sched) perm() []int {
+	p := make([]int, s.procs)
+	for i := range p {
+		p[i] = i
+	}
+	for i := s.procs - 1; i > 0; i-- {
+		j := s.rng.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// awaitTurn blocks until worker w's serialized sync turn starts, or
+// returns false when the sort is complete.
+func (s *sched) awaitTurn(w int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.done && !(s.phase == 0 && s.order[s.pos] == w) {
+		s.cond.Wait()
+	}
+	return !s.done
+}
+
+// endTurn passes the turn on; the last turn of a round opens the
+// concurrent sort phase.  The caller then blocks in awaitSortPhase (via
+// endTurn) until every worker's turn has run, so no compute overlaps a
+// sync turn.
+func (s *sched) endTurn() {
+	s.mu.Lock()
+	s.pos++
+	if s.pos == s.procs {
+		s.phase = 1
+		s.sorted = 0
+	}
+	s.cond.Broadcast()
+	for s.phase != 1 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// finishSort reports a worker's sort phase done, carrying whether it still
+// holds a task lock and how many spans it will offer next turn.  The last
+// reporter either declares completion or opens the next round.
+func (s *sched) finishSort(w int, holding bool, offers int) {
+	s.mu.Lock()
+	s.holds[w] = holding
+	s.offerN[w] = offers
+	s.sorted++
+	if s.sorted == s.procs {
+		idle := s.queued == 0
+		for i := 0; i < s.procs && idle; i++ {
+			idle = !s.holds[i] && s.offerN[i] == 0
+		}
+		s.done = idle
+		s.phase = 0
+		s.pos = 0
+		s.order = s.perm()
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// claimFreeLock reserves one pool lock from the mirror; the DSM free list
+// holds its index.  Called only by the turn-holder.
+func (s *sched) claimFreeLock() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.free == 0 {
 		return false
 	}
-	c.queued--
-	c.active++
+	s.free--
 	return true
 }
 
-// finished retires one in-flight task.
-func (c *coord) finished() {
-	c.mu.Lock()
-	c.active--
-	done := c.active == 0 && c.queued == 0
-	c.mu.Unlock()
-	if done {
-		c.cond.Broadcast()
+// freedLock mirrors a lock returning to the pool.
+func (s *sched) freedLock() {
+	s.mu.Lock()
+	s.free++
+	s.mu.Unlock()
+}
+
+// pushedTask mirrors a task publication.
+func (s *sched) pushedTask() {
+	s.mu.Lock()
+	s.queued++
+	s.mu.Unlock()
+}
+
+// claimQueuedTask reserves the top queued task for the turn-holder.
+func (s *sched) claimQueuedTask() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queued == 0 {
+		return false
 	}
+	s.queued--
+	return true
 }

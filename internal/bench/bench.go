@@ -12,6 +12,9 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"midway"
 	"midway/internal/apps"
@@ -73,12 +76,91 @@ var AppNames = []string{"water", "quicksort", "matrix", "sor", "cholesky"}
 // fault-free run — the reliable delivery layer is what is being exercised.
 var FaultSpec string
 
+// TraceDir, when non-empty, makes RunApp write one protocol event trace
+// per run into that directory, named <app>-<scheme>-<procs>p plus a
+// format-specific extension.  TraceFormat selects the encoding ("text",
+// "jsonl" or "chrome"; empty means text).  Tracing never perturbs the
+// simulated results.  The CLIs set these from their -trace/-trace-format
+// flags.
+var (
+	TraceDir    string
+	TraceFormat string
+)
+
+// ProfileObjects, when set, aggregates per-object and per-region profiles
+// into every Result RunApp returns; with TraceDir also set, each run's
+// hot-objects tables are written alongside its trace as a .profile file.
+var ProfileObjects bool
+
+// traceExt maps a trace format to its file extension.
+func traceExt(format string) string {
+	switch format {
+	case "jsonl":
+		return ".jsonl"
+	case "chrome":
+		return ".json"
+	default:
+		return ".trace"
+	}
+}
+
+// cellName labels one run for its trace file: app, detection scheme (the
+// registry name when set, else the strategy), and processor count.
+func cellName(app string, mcfg midway.Config) string {
+	scheme := mcfg.Scheme
+	if scheme == "" {
+		scheme = strings.ToLower(mcfg.Strategy.String())
+	}
+	return fmt.Sprintf("%s-%s-%dp", app, scheme, mcfg.Nodes)
+}
+
 // RunApp executes one application at the given scale under the given DSM
-// configuration.
+// configuration, applying the package-level FaultSpec/TraceDir/
+// ProfileObjects settings.
 func RunApp(name string, mcfg midway.Config, scale Scale) (apps.Result, error) {
 	if FaultSpec != "" && mcfg.FaultSpec == "" {
 		mcfg.FaultSpec = FaultSpec
 	}
+	if ProfileObjects {
+		mcfg.ProfileObjects = true
+	}
+	var traceFile *os.File
+	if TraceDir != "" && mcfg.Trace == nil {
+		f, err := os.Create(filepath.Join(TraceDir, cellName(name, mcfg)+traceExt(TraceFormat)))
+		if err != nil {
+			return apps.Result{}, fmt.Errorf("bench: trace: %w", err)
+		}
+		traceFile = f
+		mcfg.Trace = f
+		mcfg.TraceFormat = TraceFormat
+	}
+	res, err := runApp(name, mcfg, scale)
+	if traceFile != nil {
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("bench: trace: %w", cerr)
+		}
+	}
+	if err == nil && ProfileObjects && TraceDir != "" {
+		err = writeProfileFile(filepath.Join(TraceDir, cellName(name, mcfg)+".profile"), res)
+	}
+	return res, err
+}
+
+// writeProfileFile renders one run's hot-objects tables to a file.
+func writeProfileFile(path string, res apps.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: profile: %w", err)
+	}
+	res.WriteProfiles(f)
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("bench: profile: %w", err)
+	}
+	return nil
+}
+
+// runApp dispatches to the application's Run.
+func runApp(name string, mcfg midway.Config, scale Scale) (apps.Result, error) {
 	switch name {
 	case "water":
 		cfg := water.Default()

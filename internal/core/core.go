@@ -37,10 +37,12 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"midway/internal/cost"
 	"midway/internal/detect"
 	"midway/internal/memory"
+	"midway/internal/obs"
 	"midway/internal/stats"
 	"midway/internal/transport"
 )
@@ -168,8 +170,14 @@ type Config struct {
 	CombineIncarnations bool
 	// Trace, when non-nil, receives one line per protocol event
 	// (acquisitions, transfers, barrier crossings) stamped with the
-	// node's simulated time.
+	// node's simulated time.  It is a convenience for the text sink; Obs
+	// supersedes it when set.
 	Trace io.Writer
+	// Obs, when non-nil, receives structured events from the protocol,
+	// the write-detection mechanisms and the transport.  Run closes it
+	// (flushing buffered sinks) before returning.  When nil and Trace is
+	// set, a text-sink tracer is built from Trace.
+	Obs *obs.Tracer
 	// CompatCodec disables the codec fast paths (pooled encoders,
 	// zero-copy decoders): every message is encoded into a fresh owned
 	// buffer and decoded by copying.  Wire bytes and simulated results
@@ -216,7 +224,9 @@ type System struct {
 	layout *memory.Layout
 	net    transport.Network
 	ownNet bool // we created the network and must close it
-	trace  *tracer
+	// obs is the structured-event tracer; nil means tracing is disabled
+	// and every emission site short-circuits before evaluating arguments.
+	obs *obs.Tracer
 
 	// failErr records the first transport/protocol failure; failCh is
 	// closed alongside it so every blocked application goroutine aborts
@@ -227,6 +237,11 @@ type System struct {
 
 	mu      sync.Mutex
 	objects []*object
+	// objSnap is the lock-free view of the object table.  The table is
+	// append-only: every mutation (under mu) publishes a fresh slice
+	// header here, so readers — including the trace path, which runs with
+	// a node mutex held — never touch the System mutex.
+	objSnap atomic.Pointer[[]*object]
 	frozen  bool
 	// presets records initial-content installations so strategies that
 	// twin data lazily (TwinDiff) can reconstruct the pristine image any
@@ -259,10 +274,13 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: unknown detection scheme %q (registered: %v)",
 			cfg.Scheme, detect.Names())
 	}
+	if cfg.Obs == nil && cfg.Trace != nil {
+		cfg.Obs = obs.New(obs.Config{Text: cfg.Trace})
+	}
 	s := &System{
 		cfg:    cfg,
 		layout: memory.NewLayout(cfg.RegionShift),
-		trace:  newTracer(cfg.Trace),
+		obs:    cfg.Obs,
 		failCh: make(chan struct{}),
 	}
 	if cfg.Transport != nil {
@@ -345,7 +363,16 @@ func (s *System) NewLock(name string, binding ...memory.Range) LockID {
 		manager: int(id) % s.cfg.Nodes,
 		binding: append([]memory.Range(nil), binding...),
 	})
+	s.publishObjects()
 	return LockID(id)
+}
+
+// publishObjects refreshes the lock-free object-table snapshot.  Caller
+// holds s.mu.  Elements below the published length are never rewritten,
+// so readers of an older snapshot stay consistent.
+func (s *System) publishObjects() {
+	snap := s.objects
+	s.objSnap.Store(&snap)
 }
 
 // NewBarrier creates a barrier for parties processors (0 means all nodes)
@@ -368,6 +395,7 @@ func (s *System) NewBarrier(name string, parties int, binding ...memory.Range) B
 		parties: parties,
 		binding: append([]memory.Range(nil), binding...),
 	})
+	s.publishObjects()
 	return BarrierID(id)
 }
 
@@ -384,22 +412,24 @@ func (s *System) SetBarrierParts(b BarrierID, parts [][]memory.Range) {
 	obj.parts = parts
 }
 
-// objectsSnapshot returns a copy of the object table (for detector-side
-// iteration while the node mutex, not the system mutex, is held).
+// objectsSnapshot returns the immutable object-table snapshot without
+// taking the System mutex (safe for the trace path and detector-side
+// iteration while a node mutex is held).  The returned slice must not be
+// mutated.
 func (s *System) objectsSnapshot() []*object {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]*object(nil), s.objects...)
+	if p := s.objSnap.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
-// objectByID returns the object table entry.
+// objectByID returns the object table entry, lock-free.
 func (s *System) objectByID(id uint32) *object {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if int(id) >= len(s.objects) {
+	objects := s.objectsSnapshot()
+	if int(id) >= len(objects) {
 		panic(fmt.Sprintf("core: unknown object %d", id))
 	}
-	return s.objects[id]
+	return objects[id]
 }
 
 // Preset installs initial contents into every hosted node's copy of the
@@ -550,6 +580,11 @@ func (s *System) Run(fn func(p *Proc)) error {
 	}
 	if s.ownNet {
 		s.net.Close()
+	}
+	// Flush the buffering trace sinks now that every node (and the
+	// transport's retransmit loops, which Close above stopped) is done.
+	if err := s.obs.Close(); err != nil {
+		s.fail(fmt.Errorf("core: trace flush: %w", err))
 	}
 	if err := s.Err(); err != nil {
 		return err

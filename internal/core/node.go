@@ -9,6 +9,7 @@ import (
 	"midway/internal/cost"
 	"midway/internal/detect"
 	"midway/internal/memory"
+	"midway/internal/obs"
 	"midway/internal/proto"
 	"midway/internal/stats"
 	"midway/internal/transport"
@@ -149,6 +150,12 @@ type Node struct {
 	st      stats.Node
 	det     detect.Detector
 
+	// obsAt is the simulated timestamp detector-side trace events carry:
+	// the protocol sets it (under mu) to the deterministic time of the
+	// collection or apply in progress before calling into the detector.
+	// Only maintained when tracing is enabled.
+	obsAt uint64
+
 	mu       sync.Mutex
 	locks    map[uint32]*lockState
 	mgr      map[uint32]*mgrLock
@@ -209,6 +216,14 @@ func (e engine) Cost() cost.Model       { return e.n.cost }
 func (e engine) Charge(c cost.Cycles)   { e.n.cycles.Charge(c) }
 func (e engine) Tick() int64            { return e.n.lamport.Tick() }
 func (e engine) Now() int64             { return e.n.lamport.Now() }
+
+// Trace returns the system tracer (nil when tracing is disabled);
+// TraceAt the deterministic timestamp for events emitted from inside a
+// collection or apply; CycleNow the node's live cycle clock (for events
+// on the application's trap path).
+func (e engine) Trace() *obs.Tracer { return e.n.sys.obs }
+func (e engine) TraceAt() uint64    { return e.n.obsAt }
+func (e engine) CycleNow() uint64   { return e.n.cycles.Now() }
 
 func (e engine) PristineBound(binding []memory.Range) []byte {
 	return e.n.sys.pristineBound(binding)
@@ -491,11 +506,13 @@ func (n *Node) ownerForward(req *proto.LockAcquire, arrival uint64) {
 		// request to us optimistically): queue until we hold the lock.
 		lk.waiting = append(lk.waiting, &pendingReq{req: req, arrival: arrival})
 		n.mu.Unlock()
+		n.emitContend(lk, req, arrival)
 		return
 	}
 	if lk.held && !(lk.mode == proto.Shared && req.Mode == proto.Shared) {
 		lk.waiting = append(lk.waiting, &pendingReq{req: req, arrival: arrival})
 		n.mu.Unlock()
+		n.emitContend(lk, req, arrival)
 		return
 	}
 	// The lock is free (or shared-compatible): the logical grant time is
@@ -506,10 +523,24 @@ func (n *Node) ownerForward(req *proto.LockAcquire, arrival uint64) {
 	n.mu.Unlock()
 }
 
+// emitContend traces a transfer request queueing at a busy holder.
+func (n *Node) emitContend(lk *lockState, req *proto.LockAcquire, arrival uint64) {
+	if tr := n.sys.obs; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvContend, Cycles: arrival, Node: int32(n.id),
+			Obj: int32(lk.id), Peer: int32(req.Requester), Name: lk.obj.name,
+			Mode: obsMode(req.Mode),
+		})
+	}
+}
+
 // transferLocked collects updates and sends a grant to the requester.
 // Caller holds n.mu.  at is the simulated time the transfer begins.
 func (n *Node) transferLocked(lk *lockState, req *proto.LockAcquire, at uint64) {
 	exclusive := req.Mode == proto.Exclusive
+	if n.sys.obs != nil {
+		n.obsAt = at // detector events during collection
+	}
 	grant, cycles := n.det.CollectLock(lk, req, exclusive)
 	grant.Lock = lk.id
 	grant.Mode = req.Mode
@@ -530,12 +561,19 @@ func (n *Node) transferLocked(lk *lockState, req *proto.LockAcquire, at uint64) 
 			}
 		}
 	}
-	n.st.BytesTransferred.Add(uint64(proto.UpdateBytes(grant.Updates)))
+	sent := uint64(proto.UpdateBytes(grant.Updates))
 	for _, h := range grant.History {
-		n.st.BytesTransferred.Add(uint64(proto.UpdateBytes(h.Updates)))
+		sent += uint64(proto.UpdateBytes(h.Updates))
 	}
-	n.sys.trace.eventf(n, "transfer %s %v -> n%d (inc=%d full=%v)",
-		lk.obj.name, req.Mode, req.Requester, grant.Incarnation, grant.Full)
+	n.st.BytesTransferred.Add(sent)
+	if tr := n.sys.obs; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvTransfer, Cycles: at + cycles, Node: int32(n.id),
+			Obj: int32(lk.id), Peer: int32(req.Requester), Name: lk.obj.name,
+			Mode: obsMode(req.Mode), Full: grant.Full, Bytes: sent,
+			A: int64(grant.Incarnation),
+		})
+	}
 	n.sendAt(int(req.Requester), proto.KindLockGrant, grant, at+cycles)
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"midway/internal/detect"
 	"midway/internal/memory"
+	"midway/internal/obs"
 	"midway/internal/proto"
 )
 
@@ -219,7 +220,14 @@ func (p *Proc) Rebind(l LockID, ranges ...memory.Range) {
 	lk.binding = append([]memory.Range(nil), ranges...)
 	lk.rebound = true
 	lk.bindGen++
-	n.sys.trace.eventf(n, "rebind %s gen=%d ranges=%d", lk.obj.name, lk.bindGen, len(ranges))
+	if tr := n.sys.obs; tr != nil {
+		n.obsAt = n.cycles.Now()
+		tr.Emit(obs.Event{
+			Kind: obs.EvRebind, Cycles: n.obsAt, Node: int32(n.id),
+			Obj: int32(lk.id), Peer: -1, Name: lk.obj.name,
+			A: int64(lk.bindGen), B: int64(len(ranges)),
+		})
+	}
 	n.det.NotifyRebind(lk) // binding-shaped bookkeeping (twins) is now stale
 }
 
@@ -262,7 +270,12 @@ func (n *Node) acquire(id uint32, mode proto.Mode) {
 		lk.held = true
 		lk.mode = mode
 		n.mu.Unlock()
-		n.sys.trace.eventf(n, "acquire %s %v (local owner)", lk.obj.name, mode)
+		if tr := n.sys.obs; tr != nil {
+			tr.Emit(obs.Event{
+				Kind: obs.EvAcquire, Cycles: n.cycles.Now(), Node: int32(n.id),
+				Obj: int32(lk.id), Peer: -1, Name: lk.obj.name, Mode: obsMode(mode),
+			})
+		}
 		return
 	}
 	req := &proto.LockAcquire{
@@ -277,8 +290,13 @@ func (n *Node) acquire(id uint32, mode proto.Mode) {
 	manager := lk.obj.manager
 	n.mu.Unlock()
 
-	n.sys.trace.eventf(n, "acquire %s %v -> manager n%d (lastTime=%d lastInc=%d)",
-		n.sys.objName(id), mode, manager, req.LastTime, req.LastIncarnation)
+	if tr := n.sys.obs; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvAcquire, Cycles: n.cycles.Now(), Node: int32(n.id),
+			Obj: int32(id), Peer: int32(manager), Name: n.sys.objName(id),
+			Mode: obsMode(mode), A: req.LastTime, B: int64(req.LastIncarnation),
+		})
+	}
 	n.send(manager, proto.KindLockAcquire, req)
 	r := n.waitReply()
 	if r.grant == nil || r.grant.Lock != id {
@@ -300,6 +318,9 @@ func (n *Node) applyGrant(g *proto.LockGrant, arrival uint64) {
 	n.lamport.Witness(g.Time)
 	n.mu.Lock()
 	lk := n.lockState(g.Lock)
+	if n.sys.obs != nil {
+		n.obsAt = arrival // detector events during apply carry the arrival time
+	}
 	cycles := n.det.ApplyLock(lk, g)
 	lk.bindGen = g.BindGen
 	lk.binding = append([]memory.Range(nil), g.Binding...)
@@ -311,8 +332,14 @@ func (n *Node) applyGrant(g *proto.LockGrant, arrival uint64) {
 	lk.rebound = false
 	n.mu.Unlock()
 	n.cycles.Charge(cycles)
-	n.sys.trace.eventf(n, "granted %s inc=%d full=%v updates=%dB history=%d",
-		lk.obj.name, g.Incarnation, g.Full, proto.UpdateBytes(g.Updates), len(g.History))
+	if tr := n.sys.obs; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvGrant, Cycles: arrival, Node: int32(n.id),
+			Obj: int32(lk.id), Peer: -1, Name: lk.obj.name, Mode: obsMode(g.Mode),
+			Full: g.Full, Bytes: uint64(proto.UpdateBytes(g.Updates)),
+			A: int64(g.Incarnation), B: int64(len(g.History)),
+		})
+	}
 }
 
 // release implements lock release: local under the lazy protocol, plus
@@ -326,6 +353,12 @@ func (n *Node) release(id uint32) {
 	}
 	lk.held = false
 	lk.releaseCycles = n.cycles.Now()
+	if tr := n.sys.obs; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvRelease, Cycles: lk.releaseCycles, Node: int32(n.id),
+			Obj: int32(lk.id), Peer: -1, Name: lk.obj.name,
+		})
+	}
 	for lk.owner && len(lk.waiting) > 0 {
 		p := lk.waiting[0]
 		lk.waiting = lk.waiting[1:]
@@ -344,14 +377,23 @@ func (n *Node) barrier(id uint32) {
 	n.sys.abortIfFailed()
 	n.mu.Lock()
 	b := n.barrierState(id)
+	if n.sys.obs != nil {
+		n.obsAt = n.cycles.Now() // detector events during collection
+	}
 	updates, cycles := n.det.CollectBarrier(b)
 	epoch := b.epoch
 	manager := b.obj.manager
 	n.mu.Unlock()
 	n.cycles.Charge(cycles)
-	n.st.BytesTransferred.Add(uint64(proto.UpdateBytes(updates)))
-	n.sys.trace.eventf(n, "barrier %s enter epoch=%d updates=%dB",
-		n.sys.objName(id), epoch, proto.UpdateBytes(updates))
+	updateBytes := uint64(proto.UpdateBytes(updates))
+	n.st.BytesTransferred.Add(updateBytes)
+	if tr := n.sys.obs; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvBarrierEnter, Cycles: n.cycles.Now(), Node: int32(n.id),
+			Obj: int32(id), Peer: -1, Name: b.obj.name,
+			A: int64(epoch), Bytes: updateBytes,
+		})
+	}
 
 	e := &proto.BarrierEnter{
 		Barrier: id,
@@ -370,11 +412,19 @@ func (n *Node) barrier(id uint32) {
 	n.cycles.Join(r.arrival)
 	n.lamport.Witness(rel.Time)
 	n.mu.Lock()
+	if n.sys.obs != nil {
+		n.obsAt = r.arrival // detector events during apply
+	}
 	cycles = n.det.ApplyBarrier(b, rel)
 	b.epoch++
 	n.mu.Unlock()
 	n.cycles.Charge(cycles)
 	n.st.BarrierCrossings.Add(1)
-	n.sys.trace.eventf(n, "barrier %s resume epoch=%d merged=%dB",
-		n.sys.objName(id), epoch, proto.UpdateBytes(rel.Updates))
+	if tr := n.sys.obs; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvBarrierResume, Cycles: r.arrival, Node: int32(n.id),
+			Obj: int32(id), Peer: -1, Name: b.obj.name,
+			A: int64(epoch), Bytes: uint64(proto.UpdateBytes(rel.Updates)),
+		})
+	}
 }

@@ -2,44 +2,35 @@ package core
 
 import (
 	"fmt"
-	"io"
-	"sync"
 
-	"midway/internal/cost"
+	"midway/internal/obs"
+	"midway/internal/proto"
 )
 
-// tracer serializes protocol-event logging across node goroutines.  A nil
-// tracer is disabled and costs one predictable branch per event.
-type tracer struct {
-	mu sync.Mutex
-	w  io.Writer
-}
+// Tracing plumbs through internal/obs.  The zero-cost-when-disabled
+// contract: System.obs is nil on an untraced run, and every emission site
+// guards with a nil check BEFORE building the event, so no argument is
+// evaluated, no name resolved and nothing allocated on the hot path.
+// Event timestamps come from the deterministic protocol times (arrival,
+// grant, release), never from wall clocks, so tracing cannot perturb the
+// simulated statistics.
 
-// newTracer returns a tracer writing to w, or nil when w is nil.
-func newTracer(w io.Writer) *tracer {
-	if w == nil {
-		return nil
-	}
-	return &tracer{w: w}
-}
-
-// eventf logs one protocol event with the node's simulated time.
-func (t *tracer) eventf(n *Node, format string, args ...any) {
-	if t == nil {
-		return
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	fmt.Fprintf(t.w, "[%10.3fms n%d] %s\n",
-		cost.Millis(n.cycles.Now()), n.id, fmt.Sprintf(format, args...))
-}
-
-// objName resolves a synchronization object's name for trace output.
+// objName resolves a synchronization object's name for trace output.  It
+// reads the lock-free object-table snapshot: no System mutex, so it is
+// safe to call with a node mutex held (the trace path) without ordering
+// hazards.
 func (s *System) objName(id uint32) string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if int(id) < len(s.objects) {
-		return s.objects[id].name
+	objects := s.objectsSnapshot()
+	if int(id) < len(objects) {
+		return objects[id].name
 	}
 	return fmt.Sprintf("obj%d", id)
+}
+
+// obsMode converts a protocol lock mode to its obs rendering.
+func obsMode(m proto.Mode) obs.Mode {
+	if m == proto.Exclusive {
+		return obs.ModeExclusive
+	}
+	return obs.ModeShared
 }

@@ -26,6 +26,7 @@ import (
 
 	"midway/internal/cost"
 	"midway/internal/memory"
+	"midway/internal/obs"
 	"midway/internal/proto"
 	"midway/internal/stats"
 	"midway/internal/vmem"
@@ -107,6 +108,17 @@ type Engine interface {
 	// PristineBound reconstructs the pre-run contents of the bound ranges
 	// (zeros overlaid with presets) as a contiguous buffer.
 	PristineBound(binding []memory.Range) []byte
+	// Trace returns the system tracer, or nil when tracing is disabled.
+	// Emission sites must nil-check before building an event (the
+	// zero-cost-when-disabled contract).
+	Trace() *obs.Tracer
+	// TraceAt returns the deterministic simulated timestamp for events
+	// emitted from inside a collection or apply entry point (the protocol
+	// sets it before calling in).  Meaningless when Trace() is nil.
+	TraceAt() uint64
+	// CycleNow returns the node's live cycle clock, for events emitted on
+	// the application's trap path.
+	CycleNow() uint64
 	// ForEachObject visits every synchronization object's view at this
 	// node, creating per-object state on first touch.  Caller must already
 	// hold the node's mutex (true inside collection entry points).

@@ -3,6 +3,7 @@ package detect
 import (
 	"midway/internal/cost"
 	"midway/internal/memory"
+	"midway/internal/obs"
 	"midway/internal/proto"
 )
 
@@ -188,8 +189,7 @@ type scanOutcome struct {
 // objects is never shipped.  Shared by the rt and hybrid schemes.
 func scanBinding(e Engine, binding []memory.Range, since int64, stamp int64) scanOutcome {
 	st := e.Stats()
-	m := e.Cost()
-	inst := e.Inst()
+	tr := e.Trace()
 	var out scanOutcome
 	for _, rg := range binding {
 		segs, err := e.Layout().Segments(rg)
@@ -197,76 +197,101 @@ func scanBinding(e Engine, binding []memory.Range, since int64, stamp int64) sca
 			panic(err)
 		}
 		for _, seg := range segs {
-			r := seg.Region
-			if r.Class != memory.Shared {
+			if seg.Region.Class != memory.Shared {
 				continue
 			}
-			first := int(seg.Off) >> r.LineShift
-			last := int(seg.Off+seg.Len-1) >> r.LineShift
-			sum := inst.Summary(r)
-			if sum.Pending.Load() == 0 && sum.MaxTS.Load() <= since {
-				// Region-level fast path: no line is pending and no line
-				// carries a stamp newer than the requester's consistency
-				// time, so every line of this segment reads clean.  Charge
-				// exactly what the per-line walk would: the clipped line
-				// sizes sum to the segment length, and each line costs one
-				// clean dirtybit read.
-				lines := uint64(last - first + 1)
-				st.BytesScanned.Add(uint64(seg.Len))
-				st.CleanDirtybitsRead.Add(lines)
-				out.cycles += cost.Cycles(lines) * m.DirtybitReadClean
+			if tr == nil {
+				scanSegment(e, seg, since, stamp, &out)
 				continue
 			}
-			bits := inst.Dirtybits(r)
-			data := inst.Data(r)
-			stamped := false
-			for i := first; i <= last; i++ {
-				ts := bits[i]
-				if ts == memory.DirtyPending {
-					ts = stamp
-					bits[i] = stamp
-					sum.Pending.Add(-1)
-					stamped = true
-				}
-				lineRg := r.LineRange(i)
-				clipped, ok := lineRg.Intersect(memory.Range{Addr: seg.Addr(), Size: seg.Len})
-				if !ok {
-					continue
-				}
-				st.BytesScanned.Add(uint64(clipped.Size))
-				if ts > since && ts != memory.Clean {
-					off := uint32(clipped.Addr - r.Base)
-					// Pack contiguous equal-timestamp lines into one
-					// update record, as the runtime packs a reply buffer.
-					if k := len(out.updates); k > 0 {
-						last := &out.updates[k-1]
-						if last.TS == ts && last.Range().End() == clipped.Addr {
-							last.Data = append(last.Data, data[off:off+clipped.Size]...)
-							out.cycles += m.DirtybitReadDirty
-							st.DirtyDirtybitsRead.Add(1)
-							st.DirtyBytes.Add(uint64(clipped.Size))
-							continue
-						}
-					}
-					out.updates = append(out.updates, proto.Update{
-						Addr: clipped.Addr,
-						TS:   ts,
-						Data: append([]byte(nil), data[off:off+clipped.Size]...),
-					})
-					out.cycles += m.DirtybitReadDirty
-					st.DirtyDirtybitsRead.Add(1)
-					st.DirtyBytes.Add(uint64(clipped.Size))
-				} else {
-					out.cycles += m.DirtybitReadClean
-					st.CleanDirtybitsRead.Add(1)
-				}
-			}
-			if stamped {
-				sum.NoteTime(stamp)
-			}
+			// Bracket the segment scan with counter reads so the event can
+			// report bytes examined and dirty bytes found.  Safe: the
+			// counters are only advanced under the node mutex during
+			// collection, which the caller holds.
+			preScanned := st.BytesScanned.Load()
+			preDirty := st.DirtyBytes.Load()
+			scanSegment(e, seg, since, stamp, &out)
+			tr.Emit(obs.Event{
+				Kind: obs.EvScan, Cycles: e.TraceAt(), Node: int32(e.NodeID()),
+				Obj: -1, Peer: -1, Name: seg.Region.Name,
+				Bytes: st.BytesScanned.Load() - preScanned,
+				A:     int64(st.DirtyBytes.Load() - preDirty),
+			})
 		}
 	}
 	return out
+}
+
+// scanSegment scans one shared segment of a binding, appending collected
+// updates and cycle charges to out.
+func scanSegment(e Engine, seg memory.Segment, since int64, stamp int64, out *scanOutcome) {
+	st := e.Stats()
+	m := e.Cost()
+	inst := e.Inst()
+	r := seg.Region
+	first := int(seg.Off) >> r.LineShift
+	last := int(seg.Off+seg.Len-1) >> r.LineShift
+	sum := inst.Summary(r)
+	if sum.Pending.Load() == 0 && sum.MaxTS.Load() <= since {
+		// Region-level fast path: no line is pending and no line
+		// carries a stamp newer than the requester's consistency
+		// time, so every line of this segment reads clean.  Charge
+		// exactly what the per-line walk would: the clipped line
+		// sizes sum to the segment length, and each line costs one
+		// clean dirtybit read.
+		lines := uint64(last - first + 1)
+		st.BytesScanned.Add(uint64(seg.Len))
+		st.CleanDirtybitsRead.Add(lines)
+		out.cycles += cost.Cycles(lines) * m.DirtybitReadClean
+		return
+	}
+	bits := inst.Dirtybits(r)
+	data := inst.Data(r)
+	stamped := false
+	for i := first; i <= last; i++ {
+		ts := bits[i]
+		if ts == memory.DirtyPending {
+			ts = stamp
+			bits[i] = stamp
+			sum.Pending.Add(-1)
+			stamped = true
+		}
+		lineRg := r.LineRange(i)
+		clipped, ok := lineRg.Intersect(memory.Range{Addr: seg.Addr(), Size: seg.Len})
+		if !ok {
+			continue
+		}
+		st.BytesScanned.Add(uint64(clipped.Size))
+		if ts > since && ts != memory.Clean {
+			off := uint32(clipped.Addr - r.Base)
+			// Pack contiguous equal-timestamp lines into one
+			// update record, as the runtime packs a reply buffer.
+			if k := len(out.updates); k > 0 {
+				last := &out.updates[k-1]
+				if last.TS == ts && last.Range().End() == clipped.Addr {
+					last.Data = append(last.Data, data[off:off+clipped.Size]...)
+					out.cycles += m.DirtybitReadDirty
+					st.DirtyDirtybitsRead.Add(1)
+					st.DirtyBytes.Add(uint64(clipped.Size))
+					continue
+				}
+			}
+			out.updates = append(out.updates, proto.Update{
+				Addr: clipped.Addr,
+				TS:   ts,
+				Data: append([]byte(nil), data[off:off+clipped.Size]...),
+			})
+			out.cycles += m.DirtybitReadDirty
+			st.DirtyDirtybitsRead.Add(1)
+			st.DirtyBytes.Add(uint64(clipped.Size))
+		} else {
+			out.cycles += m.DirtybitReadClean
+			st.CleanDirtybitsRead.Add(1)
+		}
+	}
+	if stamped {
+		sum.NoteTime(stamp)
+	}
 }
 
 func (d *rtDetector) FillAcquire(lk LockView, req *proto.LockAcquire) {
@@ -315,6 +340,12 @@ func rtApplyUpdates(e Engine, us []proto.Update) cost.Cycles {
 	st := e.Stats()
 	m := e.Cost()
 	inst := e.Inst()
+	if tr := e.Trace(); tr != nil && len(us) > 0 {
+		tr.Emit(obs.Event{
+			Kind: obs.EvApply, Cycles: e.TraceAt(), Node: int32(e.NodeID()),
+			Obj: -1, Peer: -1, Bytes: uint64(proto.UpdateBytes(us)),
+		})
+	}
 	var cycles cost.Cycles
 	for _, u := range us {
 		rg := u.Range()

@@ -6,6 +6,7 @@ import (
 	"midway/internal/cost"
 	"midway/internal/diff"
 	"midway/internal/memory"
+	"midway/internal/obs"
 	"midway/internal/proto"
 	"midway/internal/vmem"
 )
@@ -137,6 +138,19 @@ func vmTrap(e Engine, a memory.Addr, size uint32, r *memory.Region) {
 	if faults > 0 {
 		e.Stats().WriteFaults.Add(uint64(faults))
 		e.Charge(uint64(faults) * e.Cost().PageWriteFault)
+		emitFault(e, r, faults, size)
+	}
+}
+
+// emitFault traces a write fault (or batch of them) on the application's
+// trap path.
+func emitFault(e Engine, r *memory.Region, faults int, span uint32) {
+	if tr := e.Trace(); tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvFault, Cycles: e.CycleNow(), Node: int32(e.NodeID()),
+			Obj: -1, Peer: -1, Name: r.Name,
+			A: int64(faults), Bytes: uint64(span),
+		})
 	}
 }
 
@@ -156,6 +170,7 @@ func vmTrapBatch(e Engine, a memory.Addr, elem uint32, count int, r *memory.Regi
 	if faults > 0 {
 		e.Stats().WriteFaults.Add(uint64(faults))
 		e.Charge(uint64(faults) * e.Cost().PageWriteFault)
+		emitFault(e, r, faults, uint32(count)*elem)
 	}
 }
 
@@ -185,6 +200,21 @@ func diffAndDistribute(e Engine, binding []memory.Range, accumOf func(ObjectView
 			st.PagesDiffed.Add(1)
 			st.DiffRuns.Add(uint64(len(df.Runs)))
 			cycles += m.DiffCost(len(df.Runs), vmem.WordsPerPage)
+			if tr := e.Trace(); tr != nil {
+				changed := 0
+				for _, run := range df.Runs {
+					changed += len(run.Data)
+				}
+				name := ""
+				if r := e.Layout().RegionFor(vmem.PageBase(pg)); r != nil {
+					name = r.Name
+				}
+				tr.Emit(obs.Event{
+					Kind: obs.EvDiff, Cycles: e.TraceAt(), Node: int32(e.NodeID()),
+					Obj: -1, Peer: -1, Name: name,
+					A: int64(pg), B: int64(len(df.Runs)), Bytes: uint64(changed),
+				})
+			}
 			if !df.Empty() {
 				distribute(e, pg, df, accumOf)
 			}
@@ -336,6 +366,12 @@ func (d *vmDetector) CollectLock(lk LockView, req *proto.LockAcquire, exclusive 
 // pages are dirty, into their twins, so remote data is never mistaken for
 // a local modification.  Shared by the vm and hybrid schemes.
 func vmApplyUpdates(e Engine, us []proto.Update) cost.Cycles {
+	if tr := e.Trace(); tr != nil && len(us) > 0 {
+		tr.Emit(obs.Event{
+			Kind: obs.EvApply, Cycles: e.TraceAt(), Node: int32(e.NodeID()),
+			Obj: -1, Peer: -1, Bytes: uint64(proto.UpdateBytes(us)),
+		})
+	}
 	var cycles cost.Cycles
 	for _, u := range us {
 		e.Inst().WriteBytes(u.Range(), u.Data)

@@ -6,6 +6,7 @@ import (
 	"midway/internal/clock"
 	"midway/internal/cost"
 	"midway/internal/memory"
+	"midway/internal/obs"
 	"midway/internal/proto"
 	"midway/internal/stats"
 	"midway/internal/vmem"
@@ -48,6 +49,9 @@ func (e *fakeEngine) Cost() cost.Model       { return e.m }
 func (e *fakeEngine) Charge(c cost.Cycles)   { e.cycles.Charge(c) }
 func (e *fakeEngine) Tick() int64            { return e.lamport.Tick() }
 func (e *fakeEngine) Now() int64             { return e.lamport.Now() }
+func (e *fakeEngine) Trace() *obs.Tracer     { return nil }
+func (e *fakeEngine) TraceAt() uint64        { return 0 }
+func (e *fakeEngine) CycleNow() uint64       { return e.cycles.Now() }
 
 func (e *fakeEngine) VM() *vmem.Table {
 	if e.vm == nil {

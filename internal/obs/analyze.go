@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"midway/internal/cost"
+)
+
+// Analysis is the result of post-processing a JSONL trace: lock
+// contention ranking, a critical-path estimate, and per-epoch barrier
+// skew.  All times are simulated cycles.
+type Analysis struct {
+	// Events is the number of events analyzed.
+	Events int
+	// Locks ranks synchronization objects by how much serialized waiting
+	// they induced, worst first.
+	Locks []LockReport
+	// Barriers reports per-epoch arrival skew per barrier.
+	Barriers []BarrierReport
+	// Nodes estimates each node's blocked-versus-running split.
+	Nodes []NodeReport
+}
+
+// LockReport is one object's contention summary.
+type LockReport struct {
+	Obj  int32
+	Name string
+	// Acquires, Contended, Transfers and Bytes mirror the object profile.
+	Acquires  uint64
+	Contended uint64
+	Transfers uint64
+	Bytes     uint64
+	// WaitCycles is the total simulated time nodes spent between sending
+	// an acquire request and receiving the grant.
+	WaitCycles uint64
+	// SerializedCycles estimates the span this object serialized the
+	// computation: last transfer time minus first, an upper bound on how
+	// much critical path runs through the lock.
+	SerializedCycles uint64
+}
+
+// BarrierReport is one barrier's skew summary.
+type BarrierReport struct {
+	Obj    int32
+	Name   string
+	Epochs []EpochSkew
+	// MaxSkew and MeanSkew summarize arrival spread across epochs.
+	MaxSkew  uint64
+	MeanSkew float64
+}
+
+// EpochSkew is one epoch's arrival spread.
+type EpochSkew struct {
+	Epoch int64
+	// First and Last are the earliest and latest enter times; Skew their
+	// difference — how long the fastest node idled waiting for the
+	// slowest.
+	First, Last, Skew uint64
+}
+
+// NodeReport estimates one node's time breakdown.
+type NodeReport struct {
+	Node int32
+	// Span is the node's last event time (its share of the execution).
+	Span uint64
+	// LockWait and BarrierWait are the simulated cycles the node spent
+	// blocked in acquires and barriers; Running is the remainder.
+	LockWait    uint64
+	BarrierWait uint64
+	Running     uint64
+}
+
+// pendingKey tracks an outstanding blocking operation per (node, object).
+type pendingKey struct {
+	node int32
+	obj  int32
+}
+
+// Analyze post-processes a JSONL trace.  It fails on malformed input (bad
+// JSON, unknown event kinds) rather than skipping lines.
+func Analyze(r io.Reader) (*Analysis, error) {
+	events, err := ReadJSONL(r)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeEvents(events), nil
+}
+
+// AnalyzeEvents post-processes an in-memory event list (already in a
+// deterministic order if determinism of the report matters).
+func AnalyzeEvents(events []Event) *Analysis {
+	a := &Analysis{Events: len(events)}
+
+	locks := map[int32]*LockReport{}
+	lockOf := func(e Event) *LockReport {
+		l := locks[e.Obj]
+		if l == nil {
+			l = &LockReport{Obj: e.Obj, Name: e.Name}
+			locks[e.Obj] = l
+		}
+		return l
+	}
+	type barrierAgg struct {
+		rep    *BarrierReport
+		epochs map[int64]*EpochSkew
+	}
+	barriers := map[int32]*barrierAgg{}
+	nodes := map[int32]*NodeReport{}
+	nodeOf := func(id int32) *NodeReport {
+		n := nodes[id]
+		if n == nil {
+			n = &NodeReport{Node: id}
+			nodes[id] = n
+		}
+		return n
+	}
+
+	acquireAt := map[pendingKey]uint64{} // remote acquire send → grant
+	enterAt := map[pendingKey]uint64{}   // barrier enter → resume
+	firstXfer := map[int32]uint64{}      // per object
+	lastXfer := map[int32]uint64{}
+
+	for _, e := range events {
+		n := nodeOf(e.Node)
+		if e.Cycles > n.Span {
+			n.Span = e.Cycles
+		}
+		switch e.Kind {
+		case EvAcquire:
+			l := lockOf(e)
+			l.Acquires++
+			if e.Peer >= 0 {
+				acquireAt[pendingKey{e.Node, e.Obj}] = e.Cycles
+			}
+		case EvGrant:
+			k := pendingKey{e.Node, e.Obj}
+			if at, ok := acquireAt[k]; ok && e.Cycles >= at {
+				w := e.Cycles - at
+				lockOf(e).WaitCycles += w
+				n.LockWait += w
+				delete(acquireAt, k)
+			}
+		case EvContend:
+			lockOf(e).Contended++
+		case EvTransfer:
+			l := lockOf(e)
+			l.Transfers++
+			l.Bytes += e.Bytes
+			if _, ok := firstXfer[e.Obj]; !ok {
+				firstXfer[e.Obj] = e.Cycles
+			}
+			if e.Cycles > lastXfer[e.Obj] {
+				lastXfer[e.Obj] = e.Cycles
+			}
+		case EvBarrierEnter:
+			b := barriers[e.Obj]
+			if b == nil {
+				b = &barrierAgg{
+					rep:    &BarrierReport{Obj: e.Obj, Name: e.Name},
+					epochs: map[int64]*EpochSkew{},
+				}
+				barriers[e.Obj] = b
+			}
+			ep := b.epochs[e.A]
+			if ep == nil {
+				ep = &EpochSkew{Epoch: e.A, First: e.Cycles, Last: e.Cycles}
+				b.epochs[e.A] = ep
+			} else {
+				if e.Cycles < ep.First {
+					ep.First = e.Cycles
+				}
+				if e.Cycles > ep.Last {
+					ep.Last = e.Cycles
+				}
+			}
+			enterAt[pendingKey{e.Node, e.Obj}] = e.Cycles
+		case EvBarrierResume:
+			k := pendingKey{e.Node, e.Obj}
+			if at, ok := enterAt[k]; ok && e.Cycles >= at {
+				n.BarrierWait += e.Cycles - at
+				delete(enterAt, k)
+			}
+		}
+	}
+
+	for obj, l := range locks {
+		if last, ok := lastXfer[obj]; ok {
+			l.SerializedCycles = last - firstXfer[obj]
+		}
+		a.Locks = append(a.Locks, *l)
+	}
+	sort.Slice(a.Locks, func(i, j int) bool {
+		x, y := a.Locks[i], a.Locks[j]
+		if x.WaitCycles != y.WaitCycles {
+			return x.WaitCycles > y.WaitCycles
+		}
+		if x.Contended != y.Contended {
+			return x.Contended > y.Contended
+		}
+		return x.Obj < y.Obj
+	})
+
+	for _, b := range barriers {
+		rep := b.rep
+		for _, ep := range b.epochs {
+			ep.Skew = ep.Last - ep.First
+			rep.Epochs = append(rep.Epochs, *ep)
+		}
+		sort.Slice(rep.Epochs, func(i, j int) bool { return rep.Epochs[i].Epoch < rep.Epochs[j].Epoch })
+		var sum uint64
+		for _, ep := range rep.Epochs {
+			sum += ep.Skew
+			if ep.Skew > rep.MaxSkew {
+				rep.MaxSkew = ep.Skew
+			}
+		}
+		if len(rep.Epochs) > 0 {
+			rep.MeanSkew = float64(sum) / float64(len(rep.Epochs))
+		}
+		a.Barriers = append(a.Barriers, *rep)
+	}
+	sort.Slice(a.Barriers, func(i, j int) bool { return a.Barriers[i].Obj < a.Barriers[j].Obj })
+
+	for _, n := range nodes {
+		wait := n.LockWait + n.BarrierWait
+		if n.Span > wait {
+			n.Running = n.Span - wait
+		}
+		a.Nodes = append(a.Nodes, *n)
+	}
+	sort.Slice(a.Nodes, func(i, j int) bool { return a.Nodes[i].Node < a.Nodes[j].Node })
+	return a
+}
+
+// CriticalNode returns the node with the largest span — the execution's
+// critical-path endpoint — and false if the trace was empty.
+func (a *Analysis) CriticalNode() (NodeReport, bool) {
+	var best NodeReport
+	found := false
+	for _, n := range a.Nodes {
+		if !found || n.Span > best.Span {
+			best = n
+			found = true
+		}
+	}
+	return best, found
+}
+
+// ms renders cycles as milliseconds.
+func ms(c uint64) string { return fmt.Sprintf("%.3fms", cost.Millis(cost.Cycles(c))) }
+
+// WriteReport renders the analysis as text.
+func (a *Analysis) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "trace: %d events\n\n", a.Events)
+
+	fmt.Fprintln(w, "lock contention (worst first):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  object\tacquires\tcontended\ttransfers\tbytes\twait\tserialized")
+	for _, l := range a.Locks {
+		fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			l.Name, l.Acquires, l.Contended, l.Transfers, l.Bytes,
+			ms(l.WaitCycles), ms(l.SerializedCycles))
+	}
+	tw.Flush()
+
+	if cn, ok := a.CriticalNode(); ok {
+		fmt.Fprintf(w, "\ncritical path: node %d, %s simulated", cn.Node, ms(cn.Span))
+		fmt.Fprintf(w, " (lock wait %s, barrier wait %s, running %s)\n",
+			ms(cn.LockWait), ms(cn.BarrierWait), ms(cn.Running))
+	}
+	fmt.Fprintln(w, "\nper-node breakdown:")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  node\tspan\tlock wait\tbarrier wait\trunning")
+	for _, n := range a.Nodes {
+		fmt.Fprintf(tw, "  n%d\t%s\t%s\t%s\t%s\n",
+			n.Node, ms(n.Span), ms(n.LockWait), ms(n.BarrierWait), ms(n.Running))
+	}
+	tw.Flush()
+
+	for _, b := range a.Barriers {
+		fmt.Fprintf(w, "\nbarrier %s: %d epochs, max skew %s, mean skew %s\n",
+			b.Name, len(b.Epochs), ms(b.MaxSkew), ms(uint64(b.MeanSkew)))
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  epoch\tfirst\tlast\tskew")
+		for _, ep := range b.Epochs {
+			fmt.Fprintf(tw, "  %d\t%s\t%s\t%s\n", ep.Epoch, ms(ep.First), ms(ep.Last), ms(ep.Skew))
+		}
+		tw.Flush()
+	}
+}

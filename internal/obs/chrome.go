@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The Chrome sink exports the event stream as a Chrome trace_event JSON
+// document (the "JSON Object Format" with a traceEvents array), so a run
+// opens directly in chrome://tracing or Perfetto.  Each node is a process
+// lane on the simulated-time axis (ts is microseconds = cycles / 25).
+// Lock wait (acquire→grant), lock hold (acquire/grant→release) and
+// barrier wait (enter→resume) become async spans; everything else is an
+// instant event.
+
+// chromeEvent is one trace_event entry.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Pid   int32          `json:"pid"`
+	Tid   int32          `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the document wrapper.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// usOf converts simulated cycles to trace microseconds.
+func usOf(cycles uint64) float64 { return float64(cycles) / 25.0 }
+
+// spanKey identifies an open async span.
+type spanKey struct {
+	node int32
+	obj  int32
+	what string // "wait", "hold", "barrier"
+}
+
+// writeChrome renders the (already sorted) events.
+func writeChrome(w io.Writer, events []Event) error {
+	doc := chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+
+	// Per-node process metadata, in node order.
+	nodes := map[int32]bool{}
+	for _, e := range events {
+		nodes[e.Node] = true
+	}
+	ids := make([]int32, 0, len(nodes))
+	for n := range nodes {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, n := range ids {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: n,
+			Args: map[string]any{"name": fmt.Sprintf("node %d", n)},
+		})
+	}
+
+	open := map[spanKey]bool{}
+	begin := func(e Event, what, name string, args map[string]any) {
+		k := spanKey{e.Node, e.Obj, what}
+		if open[k] {
+			return // double begin: keep the first
+		}
+		open[k] = true
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: name, Cat: what, Ph: "b", Ts: usOf(e.Cycles),
+			Pid: e.Node, ID: fmt.Sprintf("n%d.o%d.%s", e.Node, e.Obj, what),
+			Args: args,
+		})
+	}
+	end := func(e Event, what, name string) {
+		k := spanKey{e.Node, e.Obj, what}
+		if !open[k] {
+			return // end without begin (e.g. release of an initially owned lock)
+		}
+		delete(open, k)
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: name, Cat: what, Ph: "e", Ts: usOf(e.Cycles),
+			Pid: e.Node, ID: fmt.Sprintf("n%d.o%d.%s", e.Node, e.Obj, what),
+		})
+	}
+	instant := func(e Event, name string, args map[string]any) {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: name, Ph: "i", Ts: usOf(e.Cycles), Pid: e.Node, Scope: "t",
+			Args: args,
+		})
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case EvAcquire:
+			if e.Peer >= 0 {
+				begin(e, "wait", "wait:"+e.Name, map[string]any{"mode": e.Mode.String()})
+			} else {
+				begin(e, "hold", "hold:"+e.Name, map[string]any{"mode": e.Mode.String()})
+			}
+		case EvGrant:
+			end(e, "wait", "wait:"+e.Name)
+			begin(e, "hold", "hold:"+e.Name, map[string]any{
+				"incarnation": e.A, "full": e.Full, "updateBytes": e.Bytes,
+			})
+		case EvRelease:
+			end(e, "hold", "hold:"+e.Name)
+		case EvBarrierEnter:
+			begin(e, "barrier", "barrier:"+e.Name, map[string]any{
+				"epoch": e.A, "updateBytes": e.Bytes,
+			})
+		case EvBarrierResume:
+			end(e, "barrier", "barrier:"+e.Name)
+		default:
+			instant(e, e.textBody(), nil)
+		}
+	}
+
+	// Close any span left open (a lock still held at exit) at the last
+	// timestamp so viewers do not render it to infinity.
+	if len(open) > 0 {
+		last := events[len(events)-1]
+		keys := make([]spanKey, 0, len(open))
+		for k := range open {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.node != b.node {
+				return a.node < b.node
+			}
+			if a.obj != b.obj {
+				return a.obj < b.obj
+			}
+			return a.what < b.what
+		})
+		for _, k := range keys {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: k.what, Cat: k.what, Ph: "e", Ts: usOf(last.Cycles),
+				Pid: k.node, ID: fmt.Sprintf("n%d.o%d.%s", k.node, k.obj, k.what),
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The JSONL sink writes one JSON object per event with a fixed field
+// order and deterministic omission rules (a field is present iff it is
+// meaningful for the event), so a deterministic event multiset yields
+// byte-identical output.  Lines are hand-rolled: the hot fields are
+// integers and pre-escaped names, so no reflection is needed on the write
+// side; the read side uses encoding/json for robustness.
+
+// Record is the parsed form of one JSONL line, used by the analyzer.
+type Record struct {
+	Ev    string `json:"ev"`
+	Cyc   uint64 `json:"cyc"`
+	Node  int32  `json:"node"`
+	Obj   *int32 `json:"obj,omitempty"`
+	Name  string `json:"name,omitempty"`
+	Peer  *int32 `json:"peer,omitempty"`
+	Mode  string `json:"mode,omitempty"`
+	Full  bool   `json:"full,omitempty"`
+	Bytes uint64 `json:"bytes,omitempty"`
+	A     int64  `json:"a,omitempty"`
+	B     int64  `json:"b,omitempty"`
+}
+
+// Event converts a parsed record back to an Event.  Unknown kinds fail.
+func (r Record) Event() (Event, error) {
+	k, ok := KindFromString(r.Ev)
+	if !ok {
+		return Event{}, fmt.Errorf("obs: unknown event kind %q", r.Ev)
+	}
+	e := Event{
+		Cycles: r.Cyc, Node: r.Node, Kind: k, Obj: -1, Peer: -1,
+		Full: r.Full, Bytes: r.Bytes, A: r.A, B: r.B, Name: r.Name,
+	}
+	if r.Obj != nil {
+		e.Obj = *r.Obj
+	}
+	if r.Peer != nil {
+		e.Peer = *r.Peer
+	}
+	switch r.Mode {
+	case "exclusive":
+		e.Mode = ModeExclusive
+	case "shared":
+		e.Mode = ModeShared
+	}
+	return e, nil
+}
+
+// writeJSONL renders the (already sorted) events.
+func writeJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	var line []byte
+	for _, e := range events {
+		line = appendJSONLine(line[:0], e)
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// appendJSONLine renders one event as a JSON object with fixed field
+// order.
+func appendJSONLine(b []byte, e Event) []byte {
+	b = append(b, `{"ev":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","cyc":`...)
+	b = strconv.AppendUint(b, e.Cycles, 10)
+	b = append(b, `,"node":`...)
+	b = strconv.AppendInt(b, int64(e.Node), 10)
+	if e.Obj >= 0 {
+		b = append(b, `,"obj":`...)
+		b = strconv.AppendInt(b, int64(e.Obj), 10)
+	}
+	if e.Name != "" {
+		b = append(b, `,"name":`...)
+		b = strconv.AppendQuote(b, e.Name)
+	}
+	if e.Peer >= 0 {
+		b = append(b, `,"peer":`...)
+		b = strconv.AppendInt(b, int64(e.Peer), 10)
+	}
+	if e.Mode != ModeNone {
+		b = append(b, `,"mode":"`...)
+		b = append(b, e.Mode.String()...)
+		b = append(b, '"')
+	}
+	if e.Full {
+		b = append(b, `,"full":true`...)
+	}
+	if e.Bytes != 0 {
+		b = append(b, `,"bytes":`...)
+		b = strconv.AppendUint(b, e.Bytes, 10)
+	}
+	if e.A != 0 {
+		b = append(b, `,"a":`...)
+		b = strconv.AppendInt(b, e.A, 10)
+	}
+	if e.B != 0 {
+		b = append(b, `,"b":`...)
+		b = strconv.AppendInt(b, e.B, 10)
+	}
+	b = append(b, "}\n"...)
+	return b
+}
+
+// ReadJSONL parses a JSONL trace, failing on the first malformed line.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		e, err := rec.Event()
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}

@@ -1,0 +1,338 @@
+// Package obs is Midway's observability layer: a structured event model
+// for the consistency protocol, the write-detection mechanisms and the
+// transport, with pluggable sinks (human-readable text, JSONL, Chrome
+// trace_event JSON) and per-object/per-region profile aggregation.
+//
+// The contract that makes it safe to wire through the hot path is
+// zero-cost-when-disabled: a nil *Tracer means tracing is off, and every
+// emission site guards with a nil check BEFORE constructing the Event, so
+// no argument is evaluated, no name is resolved and nothing is allocated
+// on an untraced run.  Timestamps are simulated cycles taken from the
+// deterministic protocol times (arrival, grant, release), never from the
+// host clock, so a trace is reproducible byte-for-byte and a traced run's
+// simulated statistics are identical to an untraced run's.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"midway/internal/cost"
+)
+
+// Kind identifies a protocol, detection or transport event.
+type Kind uint8
+
+const (
+	// EvAcquire is an application lock acquisition.  Peer < 0 marks the
+	// local-owner fast path; otherwise Peer is the manager the request was
+	// sent to, A the requester's last-seen timestamp and B its last-seen
+	// incarnation.
+	EvAcquire Kind = iota
+	// EvGrant is the arrival of a lock grant at the requester.  A is the
+	// incarnation, B the history length, Bytes the update payload.
+	EvGrant
+	// EvRelease is an application lock release (local under the lazy
+	// protocol).
+	EvRelease
+	// EvContend is a transfer request queued at the owner because the lock
+	// is held (or its grant is still in flight).  Peer is the requester.
+	EvContend
+	// EvTransfer is an ownership/data transfer sent by the owner.  Peer is
+	// the requester, A the incarnation, Bytes the total update payload
+	// including history.
+	EvTransfer
+	// EvRebind is a Rebind call.  A is the new binding generation, B the
+	// number of ranges.
+	EvRebind
+	// EvBarrierEnter is a barrier entry.  A is the epoch, Bytes the
+	// collected update payload.
+	EvBarrierEnter
+	// EvBarrierResume is a barrier release arriving back at a waiter.  A is
+	// the epoch, Bytes the merged update payload.
+	EvBarrierResume
+	// EvScan is one region's dirtybit scan during RT collection.  Bytes is
+	// the bytes scanned, A the dirty bytes found.
+	EvScan
+	// EvDiff is one page diffed during VM collection.  A is the page
+	// number, B the number of runs, Bytes the changed bytes.
+	EvDiff
+	// EvFault is a write fault (or a batch of them) trapping pages
+	// writable.  A is the number of faults, Bytes the span that faulted.
+	EvFault
+	// EvApply is the application of received updates to local memory.
+	// Bytes is the applied payload.
+	EvApply
+	// EvRetransmit is a reliable-transport retransmission.  Peer is the
+	// destination, A the sequence number, B the attempt count.
+	EvRetransmit
+	// EvNetFault is an injected network fault.  Name is the fault kind
+	// (drop, dup, reorder, delay, partition); Peer is the destination.
+	EvNetFault
+
+	kindCount
+)
+
+var kindNames = [kindCount]string{
+	EvAcquire:       "acquire",
+	EvGrant:         "grant",
+	EvRelease:       "release",
+	EvContend:       "contend",
+	EvTransfer:      "transfer",
+	EvRebind:        "rebind",
+	EvBarrierEnter:  "barrier-enter",
+	EvBarrierResume: "barrier-resume",
+	EvScan:          "scan",
+	EvDiff:          "diff",
+	EvFault:         "fault",
+	EvApply:         "apply",
+	EvRetransmit:    "retransmit",
+	EvNetFault:      "netfault",
+}
+
+// String returns the kind's wire name as used in JSONL output.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind%d", int(k))
+}
+
+// KindFromString resolves a JSONL kind name; ok is false for unknown names.
+func KindFromString(s string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Mode mirrors the protocol's lock acquisition mode without importing the
+// proto package (obs is a leaf dependency of core, detect and transport).
+type Mode uint8
+
+const (
+	// ModeNone marks events with no acquisition mode.
+	ModeNone Mode = iota
+	// ModeExclusive is a write-mode acquisition.
+	ModeExclusive
+	// ModeShared is a read-mode acquisition.
+	ModeShared
+)
+
+// String matches proto.Mode's rendering so text traces keep their format.
+func (m Mode) String() string {
+	switch m {
+	case ModeExclusive:
+		return "exclusive"
+	case ModeShared:
+		return "shared"
+	default:
+		return ""
+	}
+}
+
+// Event is one structured observation.  Fields not meaningful for a kind
+// are left at their zero value (Obj and Peer use -1 for "none").
+type Event struct {
+	// Cycles is the event's simulated time.  It comes from the
+	// deterministic protocol times, not from the host clock.
+	Cycles uint64
+	// Node is the processor the event happened on.
+	Node int32
+	// Kind identifies the event.
+	Kind Kind
+	// Obj is the synchronization object id, or -1.
+	Obj int32
+	// Peer is the other processor involved, or -1.
+	Peer int32
+	// Mode is the lock mode for acquire/transfer events.
+	Mode Mode
+	// Full marks a full-data (non-diffed) transfer or grant.
+	Full bool
+	// Bytes is the event's payload size.
+	Bytes uint64
+	// A and B are kind-specific scalars (see the Kind constants).
+	A, B int64
+	// Name is the object or region name, or the fault kind for EvNetFault.
+	Name string
+}
+
+// Config selects the sinks a Tracer drives.  All writers are optional; a
+// Config that enables nothing yields a nil Tracer from New.
+type Config struct {
+	// Text receives one human-readable line per event, streamed live in
+	// emission order (the legacy trace format).
+	Text io.Writer
+	// JSONL receives one JSON object per event.  Events are buffered and
+	// sorted by simulated time at Close, so the output is deterministic
+	// for a deterministic run.
+	JSONL io.Writer
+	// Chrome receives a Chrome trace_event JSON document at Close, with
+	// per-node simulated-time timelines for chrome://tracing / Perfetto.
+	Chrome io.Writer
+	// Profile enables per-object and per-region profile aggregation.
+	Profile bool
+}
+
+// Tracer fans events out to the configured sinks.  A nil Tracer is
+// disabled; callers must nil-check before constructing an Event.
+type Tracer struct {
+	mu      sync.Mutex
+	text    io.Writer
+	jsonl   io.Writer
+	chrome  io.Writer
+	buf     []Event // buffered for the sorting sinks
+	objects map[int32]*ObjectProfile
+	regions map[string]*RegionProfile
+	closed  bool
+}
+
+// New returns a Tracer for the config, or nil when no sink is enabled.
+func New(cfg Config) *Tracer {
+	if cfg.Text == nil && cfg.JSONL == nil && cfg.Chrome == nil && !cfg.Profile {
+		return nil
+	}
+	t := &Tracer{text: cfg.Text, jsonl: cfg.JSONL, chrome: cfg.Chrome}
+	if cfg.Profile {
+		t.objects = make(map[int32]*ObjectProfile)
+		t.regions = make(map[string]*RegionProfile)
+	}
+	return t
+}
+
+// Enabled reports whether the tracer exists.  It is nil-safe.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records one event.  Safe for concurrent use; the caller must have
+// nil-checked the tracer.
+func (t *Tracer) Emit(e Event) {
+	t.mu.Lock()
+	if t.text != nil {
+		t.writeText(e)
+	}
+	if t.jsonl != nil || t.chrome != nil {
+		t.buf = append(t.buf, e)
+	}
+	if t.objects != nil {
+		t.profile(e)
+	}
+	t.mu.Unlock()
+}
+
+// writeText renders the legacy one-line-per-event format.  Caller holds mu.
+func (t *Tracer) writeText(e Event) {
+	fmt.Fprintf(t.text, "[%10.3fms n%d] %s\n",
+		cost.Millis(cost.Cycles(e.Cycles)), e.Node, e.textBody())
+}
+
+// textBody renders the event description.  The acquire, grant, transfer,
+// rebind and barrier lines reproduce the pre-obs tracer's format exactly.
+func (e Event) textBody() string {
+	switch e.Kind {
+	case EvAcquire:
+		if e.Peer < 0 {
+			return fmt.Sprintf("acquire %s %v (local owner)", e.Name, e.Mode)
+		}
+		return fmt.Sprintf("acquire %s %v -> manager n%d (lastTime=%d lastInc=%d)",
+			e.Name, e.Mode, e.Peer, e.A, e.B)
+	case EvGrant:
+		return fmt.Sprintf("granted %s inc=%d full=%v updates=%dB history=%d",
+			e.Name, e.A, e.Full, e.Bytes, e.B)
+	case EvRelease:
+		return fmt.Sprintf("release %s", e.Name)
+	case EvContend:
+		return fmt.Sprintf("contend %s n%d waits", e.Name, e.Peer)
+	case EvTransfer:
+		return fmt.Sprintf("transfer %s %v -> n%d (inc=%d full=%v)",
+			e.Name, e.Mode, e.Peer, e.A, e.Full)
+	case EvRebind:
+		return fmt.Sprintf("rebind %s gen=%d ranges=%d", e.Name, e.A, e.B)
+	case EvBarrierEnter:
+		return fmt.Sprintf("barrier %s enter epoch=%d updates=%dB", e.Name, e.A, e.Bytes)
+	case EvBarrierResume:
+		return fmt.Sprintf("barrier %s resume epoch=%d merged=%dB", e.Name, e.A, e.Bytes)
+	case EvScan:
+		return fmt.Sprintf("scan %s scanned=%dB dirty=%dB", e.Name, e.Bytes, e.A)
+	case EvDiff:
+		return fmt.Sprintf("diff %s page=%d runs=%d changed=%dB", e.Name, e.A, e.B, e.Bytes)
+	case EvFault:
+		return fmt.Sprintf("fault %s count=%d span=%dB", e.Name, e.A, e.Bytes)
+	case EvApply:
+		return fmt.Sprintf("apply %s updates=%dB", e.Name, e.Bytes)
+	case EvRetransmit:
+		return fmt.Sprintf("retransmit -> n%d seq=%d attempt=%d", e.Peer, e.A, e.B)
+	case EvNetFault:
+		return fmt.Sprintf("netfault %s -> n%d", e.Name, e.Peer)
+	default:
+		return e.Kind.String()
+	}
+}
+
+// less is a total order over full event content: events differing in any
+// field are ordered deterministically, and identical events compare equal,
+// so sorting yields deterministic output for a deterministic event
+// multiset regardless of host-goroutine emission interleaving.
+func less(a, b Event) bool {
+	if a.Cycles != b.Cycles {
+		return a.Cycles < b.Cycles
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Obj != b.Obj {
+		return a.Obj < b.Obj
+	}
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.Peer != b.Peer {
+		return a.Peer < b.Peer
+	}
+	if a.Mode != b.Mode {
+		return a.Mode < b.Mode
+	}
+	if a.Full != b.Full {
+		return !a.Full
+	}
+	if a.Bytes != b.Bytes {
+		return a.Bytes < b.Bytes
+	}
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}
+
+// Close flushes the buffering sinks (JSONL, Chrome).  It is idempotent and
+// nil-safe; the text sink needs no flushing.  Close does not close the
+// underlying writers — their opener does.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	sort.SliceStable(t.buf, func(i, j int) bool { return less(t.buf[i], t.buf[j]) })
+	var err error
+	if t.jsonl != nil {
+		err = writeJSONL(t.jsonl, t.buf)
+	}
+	if t.chrome != nil {
+		if cerr := writeChrome(t.chrome, t.buf); err == nil {
+			err = cerr
+		}
+	}
+	t.buf = nil
+	return err
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// synthetic returns a small event multiset exercising every sink path:
+// remote and local acquires, a contended transfer, a barrier epoch,
+// detection events and a transport retransmission.
+func synthetic() []Event {
+	return []Event{
+		{Cycles: 100, Node: 0, Kind: EvAcquire, Obj: 1, Peer: 1, Mode: ModeExclusive, A: 3, B: 2, Name: "lk"},
+		{Cycles: 400, Node: 0, Kind: EvGrant, Obj: 1, Peer: -1, A: 5, B: 1, Bytes: 64, Name: "lk"},
+		{Cycles: 500, Node: 0, Kind: EvRelease, Obj: 1, Peer: -1, Name: "lk"},
+		{Cycles: 150, Node: 1, Kind: EvAcquire, Obj: 1, Peer: -1, Mode: ModeShared, Name: "lk"},
+		{Cycles: 200, Node: 1, Kind: EvContend, Obj: 1, Peer: 0, Name: "lk"},
+		{Cycles: 350, Node: 1, Kind: EvTransfer, Obj: 1, Peer: 0, Mode: ModeExclusive, A: 5, Full: true, Bytes: 64, Name: "lk"},
+		{Cycles: 600, Node: 0, Kind: EvBarrierEnter, Obj: 2, Peer: -1, A: 1, Bytes: 32, Name: "bar"},
+		{Cycles: 700, Node: 1, Kind: EvBarrierEnter, Obj: 2, Peer: -1, A: 1, Bytes: 16, Name: "bar"},
+		{Cycles: 900, Node: 0, Kind: EvBarrierResume, Obj: 2, Peer: -1, A: 1, Bytes: 48, Name: "bar"},
+		{Cycles: 900, Node: 1, Kind: EvBarrierResume, Obj: 2, Peer: -1, A: 1, Bytes: 48, Name: "bar"},
+		{Cycles: 620, Node: 0, Kind: EvScan, Obj: -1, Peer: -1, Bytes: 1024, A: 96, Name: "region"},
+		{Cycles: 640, Node: 1, Kind: EvDiff, Obj: -1, Peer: -1, A: 7, B: 3, Bytes: 40, Name: "region"},
+		{Cycles: 660, Node: 1, Kind: EvFault, Obj: -1, Peer: -1, A: 2, Bytes: 8192, Name: "region"},
+		{Cycles: 800, Node: 1, Kind: EvApply, Obj: -1, Peer: -1, Bytes: 48, Name: "region"},
+		{Cycles: 820, Node: 0, Kind: EvRetransmit, Obj: -1, Peer: 1, A: 9, B: 2},
+		{Cycles: 840, Node: 0, Kind: EvNetFault, Obj: -1, Peer: 1, Name: "drop"},
+	}
+}
+
+func TestNewNilWhenDisabled(t *testing.T) {
+	if tr := New(Config{}); tr != nil {
+		t.Fatal("New with no sinks should return nil")
+	}
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	if tr.ObjectProfiles() != nil || tr.RegionProfiles() != nil {
+		t.Error("nil tracer returned profiles")
+	}
+}
+
+// TestJSONLRoundTrip: write → read recovers the exact events.
+func TestJSONLRoundTrip(t *testing.T) {
+	events := synthetic()
+	var buf bytes.Buffer
+	tr := New(Config{JSONL: &buf})
+	for _, e := range events {
+		tr.Emit(e)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round-trip length %d, want %d", len(got), len(events))
+	}
+	// Close sorts; compare as a sorted multiset.
+	want := append([]Event(nil), events...)
+	sortEvents(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func sortEvents(ev []Event) {
+	for i := 1; i < len(ev); i++ {
+		for j := i; j > 0 && less(ev[j], ev[j-1]); j-- {
+			ev[j], ev[j-1] = ev[j-1], ev[j]
+		}
+	}
+}
+
+// TestJSONLDeterministicOrder: the same event multiset emitted in two
+// different host interleavings yields byte-identical JSONL output.
+func TestJSONLDeterministicOrder(t *testing.T) {
+	events := synthetic()
+	render := func(perm []Event) string {
+		var buf bytes.Buffer
+		tr := New(Config{JSONL: &buf})
+		for _, e := range perm {
+			tr.Emit(e)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	forward := render(events)
+	reversed := make([]Event, len(events))
+	for i, e := range events {
+		reversed[len(events)-1-i] = e
+	}
+	if backward := render(reversed); forward != backward {
+		t.Errorf("JSONL output depends on emission order:\n%s\nvs\n%s", forward, backward)
+	}
+}
+
+// TestJSONLMalformed: the reader reports line numbers and fails rather
+// than skipping.
+func TestJSONLMalformed(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"ev\":\"acquire\",\"cyc\":1,\"node\":0}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("want line-2 error, got %v", err)
+	}
+	_, err = ReadJSONL(strings.NewReader("{\"ev\":\"warp\",\"cyc\":1,\"node\":0}\n"))
+	if err == nil || !strings.Contains(err.Error(), "unknown event kind") {
+		t.Errorf("want unknown-kind error, got %v", err)
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("kind %d (%s) does not round-trip", k, k)
+		}
+	}
+	if _, ok := KindFromString("bogus"); ok {
+		t.Error("bogus kind resolved")
+	}
+}
+
+// TestChromeExport: the export is valid JSON with balanced async spans
+// and per-node metadata.
+func TestChromeExport(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Config{Chrome: &buf})
+	for _, e := range synthetic() {
+		tr.Emit(e)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int32   `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid chrome JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	open, meta, instants := 0, 0, 0
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "b":
+			open++
+		case "e":
+			open--
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Errorf("unknown phase %q", e.Ph)
+		}
+	}
+	if open != 0 {
+		t.Errorf("%d unbalanced async spans", open)
+	}
+	if meta != 2 {
+		t.Errorf("%d process metadata records, want one per node", meta)
+	}
+	if instants == 0 {
+		t.Error("no instant events for detection/transport kinds")
+	}
+}
+
+// TestTextFormat spot-checks the legacy line format.
+func TestTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Config{Text: &buf})
+	tr.Emit(Event{Cycles: 25_000, Node: 3, Kind: EvAcquire, Obj: 1, Peer: 2,
+		Mode: ModeExclusive, A: 7, B: 4, Name: "lk"})
+	tr.Emit(Event{Cycles: 50_000, Node: 3, Kind: EvRelease, Obj: 1, Peer: -1, Name: "lk"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"[     1.000ms n3] acquire lk exclusive -> manager n2 (lastTime=7 lastInc=4)",
+		"[     2.000ms n3] release lk",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProfiles checks the per-object and per-region aggregation and the
+// table renderer.
+func TestProfiles(t *testing.T) {
+	tr := New(Config{Profile: true})
+	for _, e := range synthetic() {
+		tr.Emit(e)
+	}
+	objs := tr.ObjectProfiles()
+	if len(objs) != 2 {
+		t.Fatalf("%d object profiles, want 2", len(objs))
+	}
+	lk := objs[0] // hottest first: the contended lock ranks above the barrier
+	if lk.Name != "lk" || lk.Acquires != 2 || lk.LocalAcquires != 1 ||
+		lk.Contended != 1 || lk.Transfers != 1 || lk.BytesSent != 64 {
+		t.Errorf("lock profile %+v", lk)
+	}
+	bar := objs[1]
+	if bar.Name != "bar" || bar.BarrierEpochs != 2 || bar.BytesSent != 48 {
+		t.Errorf("barrier profile %+v", bar)
+	}
+	regs := tr.RegionProfiles()
+	if len(regs) != 1 {
+		t.Fatalf("%d region profiles, want 1", len(regs))
+	}
+	r := regs[0]
+	if r.Scans != 1 || r.BytesScanned != 1024 || r.DirtyBytes != 96 ||
+		r.Diffs != 1 || r.DiffBytes != 40 || r.Faults != 2 {
+		t.Errorf("region profile %+v", r)
+	}
+	if got := r.PercentDirty(); got < 13.2 || got > 13.4 { // (96+40)/1024
+		t.Errorf("PercentDirty = %g", got)
+	}
+	var sb strings.Builder
+	tr.WriteProfiles(&sb)
+	for _, want := range []string{"hot objects:", "hot regions:", "lk", "region"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("profile tables missing %q", want)
+		}
+	}
+}
+
+// TestAnalyzeEvents checks the analyzer's wait attribution, contention
+// ranking and barrier skew on the synthesized trace.
+func TestAnalyzeEvents(t *testing.T) {
+	events := append([]Event(nil), synthetic()...)
+	sortEvents(events)
+	a := AnalyzeEvents(events)
+	if a.Events != len(events) {
+		t.Errorf("Events = %d", a.Events)
+	}
+	if len(a.Locks) == 0 || a.Locks[0].Name != "lk" {
+		t.Fatalf("lock ranking %+v", a.Locks)
+	}
+	lk := a.Locks[0]
+	if lk.WaitCycles != 300 { // acquire at 100, grant at 400
+		t.Errorf("WaitCycles = %d, want 300", lk.WaitCycles)
+	}
+	if lk.Contended != 1 || lk.Transfers != 1 {
+		t.Errorf("lock report %+v", lk)
+	}
+	if len(a.Barriers) != 1 {
+		t.Fatalf("%d barriers", len(a.Barriers))
+	}
+	b := a.Barriers[0]
+	if len(b.Epochs) != 1 || b.Epochs[0].Skew != 100 || b.MaxSkew != 100 {
+		t.Errorf("barrier skew %+v", b)
+	}
+	cn, ok := a.CriticalNode()
+	if !ok || cn.Span != 900 {
+		t.Errorf("critical node %+v ok=%v", cn, ok)
+	}
+	// Node 0 waited 300 on the lock and 300 in the barrier (600→900).
+	for _, n := range a.Nodes {
+		if n.Node == 0 && (n.LockWait != 300 || n.BarrierWait != 300) {
+			t.Errorf("node 0 waits %+v", n)
+		}
+	}
+	var sb strings.Builder
+	a.WriteReport(&sb)
+	for _, want := range []string{"lock contention", "critical path", "barrier bar"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

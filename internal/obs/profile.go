@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// ObjectProfile aggregates a synchronization object's protocol activity.
+type ObjectProfile struct {
+	// ID is the object id; Name its setup-time name.
+	ID   int32
+	Name string
+	// Acquires counts application acquisitions; LocalAcquires the subset
+	// served by the local-owner fast path.
+	Acquires      uint64
+	LocalAcquires uint64
+	// Contended counts transfer requests that had to queue at a holder.
+	Contended uint64
+	// Transfers counts ownership/data transfers; BytesSent their total
+	// update payload (including incarnation histories).
+	Transfers uint64
+	BytesSent uint64
+	// Rebinds counts Rebind calls; BarrierEpochs completed crossings.
+	Rebinds       uint64
+	BarrierEpochs uint64
+}
+
+// RegionProfile aggregates a memory region's write-detection activity.
+type RegionProfile struct {
+	Name string
+	// Scans counts RT dirtybit scans over the region; BytesScanned the
+	// bytes walked and DirtyBytes the modified bytes found.
+	Scans        uint64
+	BytesScanned uint64
+	DirtyBytes   uint64
+	// Diffs counts VM page diffs attributed to the region; DiffBytes the
+	// changed bytes they found; Faults the write faults trapped.
+	Diffs     uint64
+	DiffBytes uint64
+	Faults    uint64
+}
+
+// PercentDirty is DirtyBytes+DiffBytes over the bytes examined.
+func (r *RegionProfile) PercentDirty() float64 {
+	den := r.BytesScanned
+	if den == 0 {
+		den = r.DiffBytes
+	}
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(r.DirtyBytes+r.DiffBytes) / float64(den)
+}
+
+// profile folds one event into the aggregates.  Caller holds mu.
+func (t *Tracer) profile(e Event) {
+	switch e.Kind {
+	case EvAcquire, EvGrant, EvRelease, EvContend, EvTransfer, EvRebind,
+		EvBarrierEnter, EvBarrierResume:
+		if e.Obj < 0 {
+			return
+		}
+		p := t.objects[e.Obj]
+		if p == nil {
+			p = &ObjectProfile{ID: e.Obj, Name: e.Name}
+			t.objects[e.Obj] = p
+		}
+		switch e.Kind {
+		case EvAcquire:
+			p.Acquires++
+			if e.Peer < 0 {
+				p.LocalAcquires++
+			}
+		case EvContend:
+			p.Contended++
+		case EvTransfer:
+			p.Transfers++
+			p.BytesSent += e.Bytes
+		case EvRebind:
+			p.Rebinds++
+		case EvBarrierEnter:
+			p.BytesSent += e.Bytes
+		case EvBarrierResume:
+			p.BarrierEpochs++
+		}
+	case EvScan, EvDiff, EvFault:
+		r := t.regions[e.Name]
+		if r == nil {
+			r = &RegionProfile{Name: e.Name}
+			t.regions[e.Name] = r
+		}
+		switch e.Kind {
+		case EvScan:
+			r.Scans++
+			r.BytesScanned += e.Bytes
+			r.DirtyBytes += uint64(e.A)
+		case EvDiff:
+			r.Diffs++
+			r.DiffBytes += e.Bytes
+		case EvFault:
+			r.Faults += uint64(e.A)
+		}
+	}
+}
+
+// ObjectProfiles returns the aggregated per-object profiles, hottest
+// first (by transfers+contention, then bytes, then id).  Nil-safe; nil
+// when profiling is disabled.
+func (t *Tracer) ObjectProfiles() []ObjectProfile {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ObjectProfile, 0, len(t.objects))
+	for _, p := range t.objects {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		ha, hb := a.Transfers+a.Contended, b.Transfers+b.Contended
+		if ha != hb {
+			return ha > hb
+		}
+		if a.BytesSent != b.BytesSent {
+			return a.BytesSent > b.BytesSent
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// RegionProfiles returns the aggregated per-region profiles, hottest
+// first (by bytes examined, then name).  Nil-safe.
+func (t *Tracer) RegionProfiles() []RegionProfile {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]RegionProfile, 0, len(t.regions))
+	for _, r := range t.regions {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		ea, eb := a.BytesScanned+a.DiffBytes, b.BytesScanned+b.DiffBytes
+		if ea != eb {
+			return ea > eb
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// WriteProfiles renders the hot-objects and hot-regions tables.
+// Nil-safe; writes nothing when profiling is disabled or saw no events.
+func (t *Tracer) WriteProfiles(w io.Writer) {
+	WriteProfileTables(w, t.ObjectProfiles(), t.RegionProfiles())
+}
+
+// WriteProfileTables renders the hot-objects and hot-regions tables from
+// already-extracted profiles (as carried by a benchmark result).  Writes
+// nothing for empty inputs.
+func WriteProfileTables(w io.Writer, objs []ObjectProfile, regs []RegionProfile) {
+	if len(objs) > 0 {
+		fmt.Fprintln(w, "hot objects:")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  object\tacquires\tlocal\tcontended\ttransfers\tbytes sent\trebinds\tepochs")
+		for _, p := range objs {
+			fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				p.Name, p.Acquires, p.LocalAcquires, p.Contended,
+				p.Transfers, p.BytesSent, p.Rebinds, p.BarrierEpochs)
+		}
+		tw.Flush()
+	}
+	if len(regs) > 0 {
+		fmt.Fprintln(w, "hot regions:")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  region\tscans\tscanned\tdirty\tdiffs\tdiff bytes\tfaults\tpct dirty")
+		for _, r := range regs {
+			fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f\n",
+				r.Name, r.Scans, r.BytesScanned, r.DirtyBytes,
+				r.Diffs, r.DiffBytes, r.Faults, r.PercentDirty())
+		}
+		tw.Flush()
+	}
+}

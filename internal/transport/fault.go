@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"midway/internal/obs"
 )
 
 // FaultConfig parameterizes deterministic fault injection.  Probabilities
@@ -129,6 +131,24 @@ type FaultNetwork struct {
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
+
+	// trace, when non-nil, receives one structured event per injected
+	// fault, stamped with the faulted message's simulated send time.
+	trace *obs.Tracer
+}
+
+// SetTrace attaches a tracer receiving one event per injected fault.
+// Call before the system runs.
+func (f *FaultNetwork) SetTrace(tr *obs.Tracer) { f.trace = tr }
+
+// emitFault traces one injected fault against the message it hit.
+func (f *FaultNetwork) emitFault(kind string, m Message) {
+	if tr := f.trace; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvNetFault, Cycles: m.Time, Node: int32(m.From),
+			Obj: -1, Peer: int32(m.To), Name: kind,
+		})
+	}
 }
 
 // faultPair is the PRNG stream for one directed node pair.
@@ -215,6 +235,7 @@ func (c *faultConn) Send(m Message) error {
 	cut := f.partitioned[[2]int{m.From, m.To}]
 	f.mu.Unlock()
 	if cut {
+		f.emitFault("partition", m)
 		return nil // silently dropped, as a partition would
 	}
 
@@ -230,10 +251,17 @@ func (c *faultConn) Send(m Message) error {
 	p.mu.Unlock()
 
 	if drop {
+		f.emitFault("drop", m)
 		return nil
 	}
+	if dup {
+		f.emitFault("dup", m)
+	}
 	if reorder {
+		f.emitFault("reorder", m)
 		delay += f.cfg.ReorderDelay
+	} else if delay > 0 {
+		f.emitFault("delay", m)
 	}
 	copies := 1
 	if dup {

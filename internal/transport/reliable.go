@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"midway/internal/obs"
 	"midway/internal/proto"
 )
 
@@ -19,6 +20,10 @@ type ReliableOptions struct {
 	// which the peer is declared unreachable and the connection fails
 	// (default 25 — about 12 seconds of backoff).
 	GiveUp int
+	// Trace, when non-nil, receives a structured event per retransmission.
+	// Retransmissions are host-timing artifacts, so these events carry the
+	// envelope's original simulated send time, not a new timestamp.
+	Trace *obs.Tracer
 }
 
 func (o ReliableOptions) withDefaults() ReliableOptions {
@@ -129,10 +134,10 @@ type reliableConn struct {
 	id    int
 
 	mu       sync.Mutex
-	sendSeq  []uint64               // per peer: last assigned sequence number
+	sendSeq  []uint64                 // per peer: last assigned sequence number
 	unacked  []map[uint64]*unackedMsg // per peer: in-flight envelopes
-	recvSeq  []uint64               // per peer: highest delivered sequence number
-	heldBack []map[uint64]Message   // per peer: early arrivals awaiting the gap
+	recvSeq  []uint64                 // per peer: highest delivered sequence number
+	heldBack []map[uint64]Message     // per peer: early arrivals awaiting the gap
 
 	out chan Message // decoded messages ready for Recv
 
@@ -373,6 +378,13 @@ func (c *reliableConn) retransmitLoop() {
 		}
 		c.mu.Unlock()
 		for _, u := range resend {
+			if tr := c.net.opts.Trace; tr != nil {
+				tr.Emit(obs.Event{
+					Kind: obs.EvRetransmit, Cycles: u.m.Time, Node: int32(c.id),
+					Obj: -1, Peer: int32(u.m.To),
+					A: int64(envSeq(u.m.Payload)), B: int64(u.attempts),
+				})
+			}
 			if err := c.inner.Send(u.m); err == ErrClosed {
 				return
 			}

@@ -2,6 +2,7 @@ package midway_test
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"midway"
@@ -79,7 +80,7 @@ func TestCodecInvarianceApps(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if fast != compat {
+				if !reflect.DeepEqual(fast, compat) {
 					t.Errorf("results differ between codec arms:\nfast:   %+v\ncompat: %+v", fast, compat)
 				}
 			})

@@ -51,9 +51,18 @@ import (
 	"midway/internal/cost"
 	"midway/internal/detect"
 	"midway/internal/memory"
+	"midway/internal/obs"
 	"midway/internal/stats"
 	"midway/internal/transport"
 )
+
+// ObjectProfile aggregates per-synchronization-object event counts from a
+// profiled run (Config.ProfileObjects).
+type ObjectProfile = obs.ObjectProfile
+
+// RegionProfile aggregates per-region detection activity from a profiled
+// run (Config.ProfileObjects).
+type RegionProfile = obs.RegionProfile
 
 // Addr is an address in the shared virtual address space.
 type Addr = memory.Addr
@@ -171,11 +180,24 @@ type Config struct {
 	// paper's Midway deliberately omits.  Off by default to match the
 	// paper's measured system.
 	CombineIncarnations bool
-	// Trace, when non-nil, receives one line per protocol event
+	// Trace, when non-nil, receives one record per protocol event
 	// (acquisitions, transfers, rebindings, barrier crossings), stamped
 	// with the processor's simulated time — a debugging aid for
-	// entry-consistency programs.
+	// entry-consistency programs.  TraceFormat selects the encoding.
+	// Tracing never perturbs the simulated cost model: a traced run
+	// reports statistics byte-identical to an untraced one.
 	Trace io.Writer
+	// TraceFormat selects the Trace encoding: "text" (default; the
+	// legacy one-line-per-event format, streamed live), "jsonl" (one
+	// JSON object per event, sorted by simulated time at shutdown —
+	// the input format of the midway-trace analyzer), or "chrome" (a
+	// Chrome trace_event JSON document for chrome://tracing/Perfetto).
+	// Setting it without Trace is an error.
+	TraceFormat string
+	// ProfileObjects aggregates per-lock/barrier and per-region event
+	// profiles during the run, readable afterwards with ObjectProfiles,
+	// RegionProfiles, or WriteProfiles ("hot objects" tables).
+	ProfileObjects bool
 	// CompatCodec disables the zero-allocation codec fast paths: every
 	// message is encoded into a fresh owned buffer and decoded with
 	// copying decoders.  Simulated results are identical either way; the
@@ -191,13 +213,43 @@ type System struct {
 	// net is a transport created on the caller's behalf, closed when Run
 	// completes.
 	net transport.Network
+	// obs is the tracer built from Trace/TraceFormat/ProfileObjects, kept
+	// for the profile accessors (nil when tracing is off).
+	obs *obs.Tracer
 	// defaultGran is applied to allocations without an explicit
 	// granularity option.
 	defaultGran Gran
 }
 
+// newTracer builds the observability tracer from the configuration, or
+// returns nil when tracing and profiling are both off.
+func newTracer(cfg Config) (*obs.Tracer, error) {
+	switch cfg.TraceFormat {
+	case "", "text", "jsonl", "chrome":
+	default:
+		return nil, fmt.Errorf("midway: unknown trace format %q (want text, jsonl or chrome)", cfg.TraceFormat)
+	}
+	if cfg.TraceFormat != "" && cfg.Trace == nil {
+		return nil, fmt.Errorf("midway: TraceFormat %q set without a Trace writer", cfg.TraceFormat)
+	}
+	oc := obs.Config{Profile: cfg.ProfileObjects}
+	switch cfg.TraceFormat {
+	case "", "text":
+		oc.Text = cfg.Trace
+	case "jsonl":
+		oc.JSONL = cfg.Trace
+	case "chrome":
+		oc.Chrome = cfg.Trace
+	}
+	return obs.New(oc), nil
+}
+
 // NewSystem creates a DSM system from the configuration.
 func NewSystem(cfg Config) (*System, error) {
+	tr, err := newTracer(cfg)
+	if err != nil {
+		return nil, err
+	}
 	cc := core.Config{
 		Nodes:               cfg.Nodes,
 		Strategy:            cfg.Strategy,
@@ -207,7 +259,7 @@ func NewSystem(cfg Config) (*System, error) {
 		LocalNode:           -1,
 		EagerTimestamps:     cfg.EagerTimestamps,
 		CombineIncarnations: cfg.CombineIncarnations,
-		Trace:               cfg.Trace,
+		Obs:                 tr,
 		CompatCodec:         cfg.CompatCodec,
 	}
 	if cfg.PageFaultMicros > 0 {
@@ -244,10 +296,12 @@ func NewSystem(cfg Config) (*System, error) {
 		cc.Transport = transport.NewChannelNetwork(cfg.Nodes)
 	}
 	if fc.Active() {
-		cc.Transport = transport.NewFaultNetwork(cc.Transport, fc)
+		fn := transport.NewFaultNetwork(cc.Transport, fc)
+		fn.SetTrace(tr)
+		cc.Transport = fn
 	}
 	if fc.Active() || cfg.Reliable {
-		cc.Transport = transport.NewReliableNetwork(cc.Transport, transport.ReliableOptions{})
+		cc.Transport = transport.NewReliableNetwork(cc.Transport, transport.ReliableOptions{Trace: tr})
 	}
 	inner, err := core.NewSystem(cc)
 	if err != nil {
@@ -256,7 +310,7 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		return nil, err
 	}
-	return &System{inner: inner, net: cc.Transport, defaultGran: cfg.DefaultGranularity}, nil
+	return &System{inner: inner, net: cc.Transport, obs: tr, defaultGran: cfg.DefaultGranularity}, nil
 }
 
 // AllocOption customizes an allocation.
@@ -396,6 +450,23 @@ func (s *System) ExecutionSeconds() float64 { return s.inner.ExecutionSeconds() 
 
 // ExecutionCycles returns the simulated execution time in cycles.
 func (s *System) ExecutionCycles() uint64 { return s.inner.ExecutionCycles() }
+
+// ObjectProfiles returns per-lock/barrier profiles sorted hottest-first,
+// after a run with Config.ProfileObjects.  Nil when profiling was off.
+func (s *System) ObjectProfiles() []ObjectProfile { return s.obs.ObjectProfiles() }
+
+// RegionProfiles returns per-region detection profiles sorted
+// hottest-first, after a run with Config.ProfileObjects.  Nil when
+// profiling was off.
+func (s *System) RegionProfiles() []RegionProfile { return s.obs.RegionProfiles() }
+
+// WriteProfiles renders the "hot objects" and "hot regions" tables to w,
+// after a run with Config.ProfileObjects.  A no-op when profiling was off.
+func (s *System) WriteProfiles(w io.Writer) {
+	if s.obs != nil {
+		s.obs.WriteProfiles(w)
+	}
+}
 
 // ReadFinal copies processor 0's copy of the range into dst after Run has
 // returned.  End the program with a barrier or lock acquisition that makes

@@ -1,0 +1,158 @@
+package midway_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"midway"
+	"midway/internal/bench"
+	"midway/internal/obs"
+)
+
+// These tests pin the observability layer's two end-to-end guarantees:
+// a traced run's simulated results are byte-identical to an untraced
+// run's (tracing observes the cost model, never participates in it), and
+// a deterministic run's JSONL trace is reproducible byte-for-byte.
+
+// traceSchemes is every multi-node registry scheme.
+func traceSchemes() []string {
+	var out []string
+	for _, s := range midway.SchemeNames() {
+		if s != "none" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// tracedRun executes app on 2 nodes at small scale with a JSONL trace.
+func tracedRun(t *testing.T, app, scheme string, buf *bytes.Buffer) {
+	t.Helper()
+	cfg := midway.Config{Nodes: 2, Scheme: scheme, Trace: buf, TraceFormat: "jsonl"}
+	if _, err := bench.RunApp(app, cfg, bench.ScaleSmall); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceGoldenJSONL: a seeded 2-node run writes the same JSONL bytes
+// every time, for every scheme.  quicksort is included for rt and vm —
+// its round scheduler makes even the task-queue app reproducible.
+func TestTraceGoldenJSONL(t *testing.T) {
+	cases := []struct{ app, scheme string }{}
+	for _, s := range traceSchemes() {
+		cases = append(cases, struct{ app, scheme string }{"sor", s})
+	}
+	cases = append(cases,
+		struct{ app, scheme string }{"quicksort", "rt"},
+		struct{ app, scheme string }{"quicksort", "vm"},
+	)
+	for _, c := range cases {
+		t.Run(c.app+"/"+c.scheme, func(t *testing.T) {
+			var first, second bytes.Buffer
+			tracedRun(t, c.app, c.scheme, &first)
+			tracedRun(t, c.app, c.scheme, &second)
+			if first.Len() == 0 {
+				t.Fatal("empty trace")
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Errorf("JSONL trace differs between identical runs (%d vs %d bytes)",
+					first.Len(), second.Len())
+			}
+			// The trace must parse and analyze cleanly.
+			a, err := obs.Analyze(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Events == 0 {
+				t.Error("analyzer saw no events")
+			}
+		})
+	}
+}
+
+// TestTraceStatsInvariance: enabling tracing and profiling changes no
+// simulated number — the full Result (seconds, per-proc means, totals,
+// checksum) matches an untraced run's exactly, for every scheme.
+func TestTraceStatsInvariance(t *testing.T) {
+	for _, scheme := range traceSchemes() {
+		t.Run(scheme, func(t *testing.T) {
+			plain, err := bench.RunApp("sor", midway.Config{Nodes: 2, Scheme: scheme}, bench.ScaleSmall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			traced, err := bench.RunApp("sor", midway.Config{
+				Nodes: 2, Scheme: scheme,
+				Trace: &buf, TraceFormat: "jsonl", ProfileObjects: true,
+			}, bench.ScaleSmall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(traced.ObjectProfiles) == 0 {
+				t.Error("profiled run carries no object profiles")
+			}
+			// The profiles are observational extras; everything else must
+			// be identical.
+			traced.ObjectProfiles, traced.RegionProfiles = nil, nil
+			if !reflect.DeepEqual(plain, traced) {
+				t.Errorf("traced run's results differ from untraced:\nplain:  %+v\ntraced: %+v",
+					plain, traced)
+			}
+		})
+	}
+}
+
+// TestTraceChromeExport: the chrome sink's end-to-end output is a valid
+// trace_event document with balanced async spans.
+func TestTraceChromeExport(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := midway.Config{Nodes: 2, Scheme: "rt", Trace: &buf, TraceFormat: "chrome"}
+	if _, err := bench.RunApp("sor", cfg, bench.ScaleSmall); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int32  `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid chrome trace: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty chrome trace")
+	}
+	open := 0
+	nodes := map[int32]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "b":
+			open++
+		case "e":
+			open--
+		case "i", "M":
+		default:
+			t.Errorf("unknown phase %q", e.Ph)
+		}
+		nodes[e.Pid] = true
+	}
+	if open != 0 {
+		t.Errorf("%d unbalanced async spans", open)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("%d nodes in trace, want 2", len(nodes))
+	}
+}
+
+// TestTraceFormatValidation: a bad format and a format without a writer
+// are rejected at system construction.
+func TestTraceFormatValidation(t *testing.T) {
+	if _, err := midway.NewSystem(midway.Config{Nodes: 2, Trace: &bytes.Buffer{}, TraceFormat: "xml"}); err == nil {
+		t.Error("unknown trace format accepted")
+	}
+	if _, err := midway.NewSystem(midway.Config{Nodes: 2, TraceFormat: "jsonl"}); err == nil {
+		t.Error("TraceFormat without Trace accepted")
+	}
+}
