@@ -38,6 +38,30 @@ import (
 	"midway/internal/bench"
 )
 
+// reliableFlag is a boolean flag that also accepts a tuning spec:
+// -reliable turns the layer on with defaults, -reliable=initial=10ms,...
+// turns it on and tunes it.
+type reliableFlag struct {
+	on   bool
+	spec string
+}
+
+func (f *reliableFlag) String() string   { return f.spec }
+func (f *reliableFlag) IsBoolFlag() bool { return true }
+func (f *reliableFlag) Set(s string) error {
+	switch s {
+	case "true", "":
+		f.on = true
+	case "false":
+		f.on = false
+		f.spec = ""
+	default:
+		f.on = true
+		f.spec = s
+	}
+	return nil
+}
+
 func main() {
 	app := flag.String("app", "sor", "application: water, quicksort, matrix, sor, cholesky")
 	strategyName := flag.String("strategy", "rt", "write detection: rt, vm, blast, twin, none, hybrid")
@@ -51,7 +75,9 @@ func main() {
 	useTCP := flag.Bool("tcp", false, "route protocol messages over loopback TCP sockets")
 	faultSpec := flag.String("fault", "",
 		"inject deterministic transport faults, e.g. drop=0.05,dup=0.02,reorder=0.1,seed=7 (implies reliable delivery)")
-	reliable := flag.Bool("reliable", false, "interpose the reliable delivery layer even without -fault")
+	var reliable reliableFlag
+	flag.Var(&reliable, "reliable",
+		"interpose the reliable delivery layer even without -fault; optionally tune it, e.g. -reliable=initial=10ms,max=200ms,giveup=10,jitter=0.2,seed=7")
 	eager := flag.Bool("eager", false, "eager dirtybit timestamps (RT only)")
 	combine := flag.Bool("combine", false, "combine VM-DSM incarnation histories (§3.4 alternative)")
 	traceFile := flag.String("trace", "", "write protocol events to this file (\"-\" = stderr)")
@@ -115,7 +141,8 @@ func main() {
 		NetBandwidthMbps:    *bwMbps,
 		UseTCP:              *useTCP,
 		FaultSpec:           *faultSpec,
-		Reliable:            *reliable,
+		Reliable:            reliable.on,
+		ReliableSpec:        reliable.spec,
 		EagerTimestamps:     *eager,
 		CombineIncarnations: *combine,
 	}

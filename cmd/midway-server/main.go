@@ -7,24 +7,65 @@
 //
 //	midway-server -node <id> -addrs host0:port0,host1:port1,...
 //	              [-strategy rt|vm|blast|twin] [-workload ring|exchange]
-//	              [-rounds 100]
+//	              [-rounds 100] [-fault spec] [-reliable[=spec]]
+//	              [-heartbeat 20ms] [-suspect 120ms]
+//	              [-trace FILE] [-trace-format text|jsonl|chrome]
 //
 // Example (three nodes on one machine, three shells):
 //
 //	midway-server -node 0 -addrs :9700,:9701,:9702
 //	midway-server -node 1 -addrs :9700,:9701,:9702
 //	midway-server -node 2 -addrs :9700,:9701,:9702
+//
+// With -heartbeat the process monitors its peers: a peer silent past the
+// suspicion window (or one whose process died) is declared crashed and the
+// run aborts with a diagnostic naming it — multi-process deployments have
+// no global view to recover from, so they always abort.  Exit status: 0 on
+// success, 1 on a run failure, 2 on usage errors, 3 when a peer crash
+// aborted the run.
+//
+// SIGINT/SIGTERM shut the process down gracefully: the transport is
+// closed (peers see this node die), the trace sink is flushed, and the
+// process exits nonzero.  A second signal exits immediately.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 
 	"midway"
 )
+
+// reliableFlag is a boolean flag that also accepts a tuning spec:
+// -reliable turns the layer on with defaults, -reliable=initial=10ms,...
+// turns it on and tunes it.
+type reliableFlag struct {
+	on   bool
+	spec string
+}
+
+func (f *reliableFlag) String() string   { return f.spec }
+func (f *reliableFlag) IsBoolFlag() bool { return true }
+func (f *reliableFlag) Set(s string) error {
+	switch s {
+	case "true", "":
+		f.on = true
+	case "false":
+		f.on = false
+		f.spec = ""
+	default:
+		f.on = true
+		f.spec = s
+	}
+	return nil
+}
 
 func main() {
 	node := flag.Int("node", -1, "this process's node id")
@@ -32,6 +73,18 @@ func main() {
 	strategyName := flag.String("strategy", "rt", "write detection: rt, vm, blast, twin")
 	workload := flag.String("workload", "ring", "workload: ring (lock-passed counter), exchange (bound barrier)")
 	rounds := flag.Int("rounds", 100, "workload rounds")
+	faultSpec := flag.String("fault", "",
+		"inject deterministic transport faults, e.g. drop=0.05,seed=7 or crash=1,crashafter=50 (implies reliable delivery)")
+	var reliable reliableFlag
+	flag.Var(&reliable, "reliable",
+		"interpose the reliable delivery layer; optionally tune it, e.g. -reliable=initial=10ms,max=200ms,giveup=10,jitter=0.2,seed=7")
+	heartbeat := flag.Duration("heartbeat", 0,
+		"monitor peer liveness with heartbeats at this period (0 = off)")
+	suspect := flag.Duration("suspect", 0,
+		"declare a peer crashed after this much silence (0 = six heartbeat periods)")
+	traceFile := flag.String("trace", "", "write protocol events to this file (\"-\" = stderr)")
+	traceFormat := flag.String("trace-format", "text",
+		"trace encoding: text (one line per event), jsonl (midway-trace input), chrome (chrome://tracing)")
 	flag.Parse()
 
 	addrs := strings.Split(*addrList, ",")
@@ -44,27 +97,94 @@ func main() {
 		log.Fatal(err)
 	}
 
+	cfg := midway.Config{
+		Nodes:        len(addrs),
+		Strategy:     strategy,
+		TCPAddrs:     addrs,
+		TCPNodeID:    *node,
+		FaultSpec:    *faultSpec,
+		Reliable:     reliable.on,
+		ReliableSpec: reliable.spec,
+		Heartbeat:    *heartbeat,
+		SuspectAfter: *suspect,
+	}
+	var traceOut *os.File
+	if *traceFile != "" {
+		cfg.TraceFormat = *traceFormat
+		if *traceFile == "-" {
+			cfg.Trace = os.Stderr
+		} else {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				log.Fatalf("opening trace file: %v", err)
+			}
+			traceOut = f
+			cfg.Trace = f
+		}
+	}
+	// The trace sink is flushed on every exit path, including signals;
+	// the signal goroutine and the main goroutine may both reach it.
+	var traceOnce sync.Once
+	flushTrace := func() {
+		traceOnce.Do(func() {
+			if traceOut == nil {
+				return
+			}
+			if err := traceOut.Close(); err != nil {
+				log.Printf("closing trace file: %v", err)
+			}
+		})
+	}
+
+	// Install the handler before the mesh join: NewSystem blocks until
+	// every peer connects, and an operator must be able to abandon a
+	// half-formed mesh cleanly too.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sysc := make(chan *midway.System, 1)
+	go func() {
+		s := <-sigc
+		select {
+		case sys := <-sysc:
+			log.Printf("received %v; closing transport and shutting down", s)
+			// Closing the transport fails in-flight protocol operations,
+			// so Run unwinds and the main goroutine flushes and exits.
+			// Peers see this node go silent, exactly as a crash would.
+			sys.Close()
+			s = <-sigc
+			log.Printf("received %v again; exiting immediately", s)
+		default:
+			log.Printf("received %v while joining the mesh; exiting", s)
+		}
+		flushTrace()
+		os.Exit(130)
+	}()
+
 	log.Printf("node %d of %d joining mesh at %s", *node, len(addrs), addrs[*node])
-	sys, err := midway.NewSystem(midway.Config{
-		Nodes:     len(addrs),
-		Strategy:  strategy,
-		TCPAddrs:  addrs,
-		TCPNodeID: *node,
-	})
+	sys, err := midway.NewSystem(cfg)
 	if err != nil {
+		flushTrace()
 		log.Fatal(err)
 	}
-	log.Printf("mesh complete; running %q for %d rounds", *workload, *rounds)
+	sysc <- sys
 
+	log.Printf("mesh complete; running %q for %d rounds", *workload, *rounds)
 	switch *workload {
 	case "ring":
 		err = runRing(sys, len(addrs), *rounds)
 	case "exchange":
 		err = runExchange(sys, len(addrs), *rounds)
 	default:
+		flushTrace()
 		log.Fatalf("unknown workload %q", *workload)
 	}
+	flushTrace()
 	if err != nil {
+		var ce *midway.CrashError
+		if errors.As(err, &ce) {
+			log.Printf("peer crash aborted the run: %v", err)
+			os.Exit(3)
+		}
 		log.Fatal(err)
 	}
 

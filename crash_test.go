@@ -1,0 +1,413 @@
+package midway_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"midway"
+	"midway/internal/obs"
+)
+
+// crashPoison is the unreleased write the crashed node makes inside its
+// final critical section.  Recovery must discard it: under entry
+// consistency no survivor ever observed it, so rolling the lock back to
+// its last-released state is indistinguishable from the node having
+// crashed before the acquire.
+const crashPoison = uint64(1) << 40
+
+const (
+	crashRounds = 6
+	crashRound  = 4 // the round in which the victim dies
+	crashVictim = 1
+)
+
+// crashOracle is the survivor-only expected counter: every survivor
+// contributes me+1 per round for all rounds; the victim contributes only
+// for the rounds before it stops acquiring (it sits out from round
+// crashRound-1 so its last released increment provably propagates before
+// the crash, keeping the final state independent of grant order).
+func crashOracle(nodes int) uint64 {
+	want := uint64(0)
+	for i := 0; i < nodes; i++ {
+		if i == crashVictim {
+			want += uint64(crashRound-2) * uint64(i+1)
+		} else {
+			want += uint64(crashRounds) * uint64(i+1)
+		}
+	}
+	return want
+}
+
+// crashWorkload runs the lock-counter + barrier-slot oracle workload and
+// kills crashVictim at a fixed program point in round crashRound:
+//
+//	lock:    holding the counter lock, after an unreleased poison write
+//	barrier: between the lock section and the round barrier
+//	idle:    at the top of the round, touching nothing
+//
+// It returns the final survivor memory (counter then slots, read at node
+// 0) and the run's crash report.
+func crashWorkload(t *testing.T, cfg midway.Config, mode string) ([]byte, *midway.CrashReport) {
+	t.Helper()
+	nodes := cfg.Nodes
+	sys, err := midway.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := sys.MustAlloc("counter", 8, 8)
+	slots := sys.AllocU64("slots", nodes, 8)
+	lock := sys.NewLock("counter", midway.RangeAt(counter, 8))
+	bar := sys.NewBarrier("round", slots.Range())
+	parts := make([][]midway.Range, nodes)
+	for i := range parts {
+		parts[i] = []midway.Range{slots.Slice(i, i+1)}
+	}
+	sys.SetBarrierParts(bar, parts)
+
+	err = sys.Run(func(p *midway.Proc) {
+		me := p.ID()
+		for r := 1; r <= crashRounds; r++ {
+			if me == crashVictim && r == crashRound {
+				switch mode {
+				case "lock":
+					p.Acquire(lock)
+					p.WriteU64(counter, p.ReadU64(counter)+crashPoison)
+					p.Crash() // dies holding the lock; does not return
+				case "barrier":
+					p.Crash() // dies while survivors head into the barrier
+				case "idle":
+					p.Crash()
+				default:
+					panic("unknown crash mode " + mode)
+				}
+			}
+			// The victim stops acquiring one round before it dies, so the
+			// barrier below guarantees its last increment left the node.
+			if me != crashVictim || r < crashRound-1 {
+				p.Acquire(lock)
+				p.WriteU64(counter, p.ReadU64(counter)+uint64(me+1))
+				p.Release(lock)
+			}
+			slots.Set(p, me, uint64(me*1000+r))
+			p.Barrier(bar)
+			p.Barrier(bar)
+		}
+		p.AcquireShared(lock)
+		p.Release(lock)
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	mem := make([]byte, 8+8*nodes)
+	sys.ReadFinalAt(0, midway.RangeAt(counter, 8), mem[:8])
+	sys.ReadFinalAt(0, slots.Range(), mem[8:])
+	return mem, sys.CrashReport()
+}
+
+// crashSummary renders the survivor memory and report in the committed
+// golden format.
+func crashSummary(nodes int, mem []byte, rep *midway.CrashReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "counter %d\n", leU64(mem[:8]))
+	for i := 0; i < nodes; i++ {
+		fmt.Fprintf(&b, "slot%d %d\n", i, leU64(mem[8+8*i:]))
+	}
+	if rep == nil {
+		b.WriteString("report none\n")
+	} else {
+		fmt.Fprintf(&b, "report dead=%v reclaims=%d reforms=%d\n",
+			rep.Nodes, len(rep.ReclaimedLocks), len(rep.ReformedBarriers))
+	}
+	return b.String()
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// TestCrashGoldenMatrix kills a node mid-run at three program points under
+// every write-detection scheme and checks the survivor-only result is (a)
+// the oracle value with the victim's unreleased poison provably absent,
+// (b) byte-identical across repeated runs, and (c) byte-identical to the
+// committed goldens (regenerate with UPDATE_GOLDEN=1).
+func TestCrashGoldenMatrix(t *testing.T) {
+	const nodes = 4
+	for _, scheme := range []string{"rt", "vm", "hybrid"} {
+		for _, mode := range []string{"lock", "barrier", "idle"} {
+			t.Run(scheme+"/"+mode, func(t *testing.T) {
+				cfg := midway.Config{Nodes: nodes, Scheme: scheme, OnCrash: midway.CrashDegrade}
+				mem, rep := crashWorkload(t, cfg, mode)
+				if got, want := leU64(mem[:8]), crashOracle(nodes); got != want {
+					t.Errorf("survivor counter = %d, want %d", got, want)
+				}
+				if leU64(mem[:8])&crashPoison != 0 {
+					t.Errorf("unreleased poison write leaked into survivor state")
+				}
+				if rep == nil {
+					t.Fatal("no crash report after a crashed run")
+				}
+				if len(rep.Nodes) != 1 || rep.Nodes[0] != crashVictim {
+					t.Errorf("report.Nodes = %v, want [%d]", rep.Nodes, crashVictim)
+				}
+				if mode == "lock" && len(rep.ReclaimedLocks) != 1 {
+					t.Errorf("reclaimed %d locks, want 1: %+v", len(rep.ReclaimedLocks), rep.ReclaimedLocks)
+				}
+
+				mem2, _ := crashWorkload(t, cfg, mode)
+				if string(mem) != string(mem2) {
+					t.Errorf("repeated crashed runs diverged:\n1: %x\n2: %x", mem, mem2)
+				}
+
+				got := crashSummary(nodes, mem, rep)
+				golden := filepath.Join("testdata", "crash", scheme+"_"+mode+".golden")
+				if os.Getenv("UPDATE_GOLDEN") != "" {
+					if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("golden mismatch:\ngot:\n%swant:\n%s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestCrashRecoveryTrace checks that a traced crashed run yields a
+// recovery timeline: the analyzer reports the death, the token
+// reclamation and the barrier reform, and the text report renders them.
+func TestCrashRecoveryTrace(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := midway.Config{
+		Nodes: 4, Scheme: "rt", OnCrash: midway.CrashDegrade,
+		Trace: &buf, TraceFormat: "jsonl",
+	}
+	crashWorkload(t, cfg, "lock")
+	a, err := obs.Analyze(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.Recovery
+	if r == nil {
+		t.Fatal("crashed run traced no recovery events")
+	}
+	if len(r.Deaths) != 1 || r.Deaths[0].Node != crashVictim {
+		t.Errorf("deaths = %+v, want one for node %d", r.Deaths, crashVictim)
+	}
+	if len(r.Reclaims) != 1 || r.Reclaims[0].Name != "counter" || int(r.Reclaims[0].From) != crashVictim {
+		t.Errorf("reclaims = %+v, want counter from node %d", r.Reclaims, crashVictim)
+	}
+	if len(r.Reforms) != 1 || r.Reforms[0].Name != "round" || r.Reforms[0].Parties != 3 {
+		t.Errorf("reforms = %+v, want round over 3 parties", r.Reforms)
+	}
+	var rep strings.Builder
+	a.WriteReport(&rep)
+	if !strings.Contains(rep.String(), "crash recovery timeline") {
+		t.Error("text report lacks the recovery timeline section")
+	}
+}
+
+// TestCrashAbortDefault checks the default policy: a node death fails the
+// whole run with a *CrashError naming the node.
+func TestCrashAbortDefault(t *testing.T) {
+	sys, err := midway.NewSystem(midway.Config{Nodes: 2, Scheme: "rt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := sys.AllocU64("slots", 2, 8)
+	bar := sys.NewBarrier("round", slots.Range())
+	err = sys.Run(func(p *midway.Proc) {
+		if p.ID() == 1 {
+			p.Crash()
+		}
+		p.Barrier(bar)
+	})
+	var ce *midway.CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("run error = %v, want *CrashError", err)
+	}
+	if ce.Node != 1 {
+		t.Errorf("CrashError.Node = %d, want 1", ce.Node)
+	}
+}
+
+// TestCrashHeartbeatDetection crashes a node at the transport level (its
+// endpoints are hard-killed mid-run by fault injection) and relies on the
+// heartbeat monitor — auto-enabled by the armed crash — to notice, declare
+// the death, and trigger degrade-mode recovery.  Unlike Proc.Crash, the
+// victim's exact program point depends on wall-clock delivery order, so
+// the assertions cover the survivor invariants only: the run completes,
+// the report names the victim, and every survivor published its final
+// round.
+func TestCrashHeartbeatDetection(t *testing.T) {
+	const nodes, rounds = 4, 12
+	for _, scheme := range []string{"rt", "vm"} {
+		t.Run(scheme, func(t *testing.T) {
+			sys, err := midway.NewSystem(midway.Config{
+				Nodes:     nodes,
+				Scheme:    scheme,
+				OnCrash:   midway.CrashDegrade,
+				FaultSpec: "crash=1,crashafter=10,seed=3",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			slots := sys.AllocU64("slots", nodes, 8)
+			bar := sys.NewBarrier("round", slots.Range())
+			parts := make([][]midway.Range, nodes)
+			for i := range parts {
+				parts[i] = []midway.Range{slots.Slice(i, i+1)}
+			}
+			sys.SetBarrierParts(bar, parts)
+			err = sys.Run(func(p *midway.Proc) {
+				me := p.ID()
+				for r := 1; r <= rounds; r++ {
+					slots.Set(p, me, uint64(me*1000+r))
+					p.Barrier(bar)
+				}
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			rep := sys.CrashReport()
+			if rep == nil {
+				t.Fatal("no crash report: the injected crash never fired")
+			}
+			if len(rep.Nodes) != 1 || rep.Nodes[0] != 1 {
+				t.Errorf("report.Nodes = %v, want [1]", rep.Nodes)
+			}
+			var buf [8]byte
+			for _, n := range []int{0, 2, 3} {
+				sys.ReadFinalAt(n, slots.Slice(n, n+1), buf[:])
+				if got, want := leU64(buf[:]), uint64(n*1000+rounds); got != want {
+					t.Errorf("survivor %d final slot = %d, want %d", n, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestHeartbeatStatsInvariance checks that an idle heartbeat monitor is
+// invisible to the simulated machine: liveness traffic lives below the
+// cost model, so a fault-free heartbeat-enabled run reports statistics and
+// a cycle clock byte-identical to a monitor-less one.
+func TestHeartbeatStatsInvariance(t *testing.T) {
+	for _, scheme := range []string{"rt", "vm"} {
+		t.Run(scheme, func(t *testing.T) {
+			clean, cleanCycles := barrierWorkload(t, midway.Config{Nodes: 4, Scheme: scheme})
+			beat, beatCycles := barrierWorkload(t, midway.Config{
+				Nodes: 4, Scheme: scheme, Heartbeat: 2 * time.Millisecond,
+			})
+			if clean != beat {
+				t.Errorf("stats differ under heartbeats:\nclean: %+v\nbeat:  %+v", clean, beat)
+			}
+			if cleanCycles != beatCycles {
+				t.Errorf("execution cycles differ: clean %d, heartbeat %d", cleanCycles, beatCycles)
+			}
+		})
+	}
+}
+
+// TestReliableGiveUpTCP partitions a two-node loopback-TCP system (every
+// message delayed far past the retransmission budget) and checks the
+// reliability layer gives up, the diagnostic names the unreachable peer,
+// and the failure surfaces through both System.Run and System.Err.
+func TestReliableGiveUpTCP(t *testing.T) {
+	sys, err := midway.NewSystem(midway.Config{
+		Nodes:        2,
+		Scheme:       "rt",
+		UseTCP:       true,
+		FaultSpec:    "delay=1s,seed=1",
+		ReliableSpec: "initial=2ms,max=8ms,giveup=6",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := sys.AllocU64("slots", 2, 8)
+	bar := sys.NewBarrier("round", slots.Range())
+	err = sys.Run(func(p *midway.Proc) {
+		slots.Set(p, p.ID(), 1)
+		p.Barrier(bar)
+	})
+	if err == nil {
+		t.Fatal("run succeeded across a partition that outlives the retransmission budget")
+	}
+	if !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("run error %q does not carry the give-up diagnostic", err)
+	}
+	if sys.Err() == nil {
+		t.Error("System.Err() lost the transport failure")
+	}
+}
+
+// TestCloseReleasesRun pins the operator-shutdown path: closing the system
+// while Run is live must release application goroutines parked on protocol
+// replies (a barrier whose peer never arrives) and surface ErrShutdown,
+// not strand them on a dead transport.  This is the SIGINT path in
+// cmd/midway-server.
+func TestCloseReleasesRun(t *testing.T) {
+	sys, err := midway.NewSystem(midway.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := sys.AllocU64("slots", 2, 8)
+	bar := sys.NewBarrier("b", slots.Range())
+	gate := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Run(func(p *midway.Proc) {
+			if p.ID() == 0 {
+				p.Barrier(bar) // parks: proc 1 never enters
+				return
+			}
+			<-gate
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // let proc 0 park in the barrier
+	sys.Close()
+	close(gate)
+	select {
+	case err := <-done:
+		if !errors.Is(err, midway.ErrShutdown) {
+			t.Fatalf("Run returned %v, want ErrShutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not unwind after Close")
+	}
+}
+
+// TestCloseAfterRunIsClean pins the other half of Close's contract: after a
+// completed run it must not retroactively fail the system.
+func TestCloseAfterRunIsClean(t *testing.T) {
+	sys, err := midway.NewSystem(midway.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := sys.AllocU64("slots", 2, 8)
+	bar := sys.NewBarrier("b", slots.Range())
+	if err := sys.Run(func(p *midway.Proc) {
+		slots.Set(p, p.ID(), uint64(p.ID()))
+		p.Barrier(bar)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	if err := sys.Err(); err != nil {
+		t.Fatalf("Close after a completed run failed the system: %v", err)
+	}
+}

@@ -183,6 +183,21 @@ type Config struct {
 	// buffer and decoded by copying.  Wire bytes and simulated results
 	// are identical either way.
 	CompatCodec bool
+	// OnCrash selects how the run reacts when a node is declared dead
+	// (System.KillNode, Proc.Crash, or the transport-level failure
+	// detector): CrashAbort (default) fails the run with a *CrashError;
+	// CrashDegrade runs the recovery protocol and finishes with the
+	// survivors, itemizing the losses in System.CrashReport.
+	OnCrash CrashPolicy
+	// CrashDetectCycles is the simulated detection latency charged between
+	// a crash and the survivors' recovery actions.  Zero means
+	// DefaultCrashDetectCycles.
+	CrashDetectCycles uint64
+	// PreStop, when non-nil, runs after the application goroutines finish
+	// and before the protocol handlers are stopped.  The transport wiring
+	// uses it to quiesce the heartbeat monitor so teardown silence is not
+	// mistaken for node death.
+	PreStop func()
 }
 
 // ObjKind distinguishes locks from barriers in the object table.
@@ -241,12 +256,21 @@ type System struct {
 	// append-only: every mutation (under mu) publishes a fresh slice
 	// header here, so readers — including the trace path, which runs with
 	// a node mutex held — never touch the System mutex.
-	objSnap atomic.Pointer[[]*object]
-	frozen  bool
+	objSnap  atomic.Pointer[[]*object]
+	frozen   bool
+	finished bool // Run has returned; Abort becomes a no-op
 	// presets records initial-content installations so strategies that
 	// twin data lazily (TwinDiff) can reconstruct the pristine image any
 	// node started from.
 	presets []preset
+
+	// crashedSet (under mu) records nodes declared dead; crashSnap is its
+	// lock-free snapshot, nil until the first crash so fault-free hot
+	// paths pay one atomic nil check.  report accumulates what recovery
+	// had to discard or rebuild.
+	crashedSet map[int]bool
+	crashSnap  atomic.Pointer[[]bool]
+	report     CrashReport
 
 	nodes []*Node // nil entries for nodes hosted elsewhere
 }
@@ -510,6 +534,21 @@ func (s *System) fail(err error) {
 	})
 }
 
+// Abort fails an in-progress run from outside: every blocked application
+// goroutine unwinds and Run returns err.  The operator-shutdown path
+// (closing the system while Run is live, e.g. on SIGINT) uses it before
+// tearing down the transport, so application goroutines parked on a
+// reply that will never arrive are released instead of stranded.  Before
+// Run starts or after it returns, Abort is a no-op.
+func (s *System) Abort(err error) {
+	s.mu.Lock()
+	running := s.frozen && !s.finished
+	s.mu.Unlock()
+	if running {
+		s.fail(err)
+	}
+}
+
 // Err returns the first transport/protocol failure recorded during the
 // run, or nil.  Run returns the same error; Err remains available for
 // inspection afterwards.
@@ -564,7 +603,7 @@ func (s *System) Run(fn func(p *Proc)) error {
 		go func(i int, n *Node) {
 			defer wg.Done()
 			defer func() {
-				if r := recover(); r != nil && r != errAborted {
+				if r := recover(); r != nil && r != errAborted && r != errCrashed {
 					errs[i] = fmt.Errorf("core: node %d panicked: %v", i, r)
 				}
 			}()
@@ -573,6 +612,9 @@ func (s *System) Run(fn func(p *Proc)) error {
 	}
 	wg.Wait()
 
+	if s.cfg.PreStop != nil {
+		s.cfg.PreStop()
+	}
 	for _, n := range s.nodes {
 		if n != nil {
 			n.stop()
@@ -586,6 +628,9 @@ func (s *System) Run(fn func(p *Proc)) error {
 	if err := s.obs.Close(); err != nil {
 		s.fail(fmt.Errorf("core: trace flush: %w", err))
 	}
+	s.mu.Lock()
+	s.finished = true
+	s.mu.Unlock()
 	if err := s.Err(); err != nil {
 		return err
 	}

@@ -1,0 +1,746 @@
+package core
+
+// Node crash recovery: release-boundary rollback.
+//
+// Entry consistency makes crash recovery unusually cheap: all shared data is
+// bound to synchronization objects, and a write only becomes visible to
+// another processor when that processor acquires the binding lock (or
+// crosses the binding barrier) AFTER the writer released it.  A node that
+// crashes while holding a lock has, by definition, not released it — so no
+// survivor can have observed its in-critical-section writes.  Discarding
+// them and handing the lock token back at the *last released* state is
+// therefore indistinguishable, to any EC-legal program, from the crashed
+// node never having entered the critical section at all.
+//
+// The recovery protocol implemented here:
+//
+//   - Lock tokens held by (or in flight toward) the crashed node are
+//     reclaimed by the most recent live node on the grant chain.  The
+//     reclaim bumps the lock's binding generation past every generation any
+//     node has seen (a forced rebind), which makes the next transfer carry
+//     full data under every detection scheme — survivors resynchronize from
+//     the reclaimer's last-consistent copy and stale diff state is ignored.
+//   - Barriers recompute membership: the crashed node's proc leaves the
+//     party count, a stranded epoch is completed on the survivors' behalf
+//     (synthesizing the release a dead manager failed to send), and
+//     management moves to the next live node when the manager died.
+//   - The proc hosted on the crashed node is terminated; System.Run either
+//     aborts with a *CrashError (OnCrash == CrashAbort, the default) or
+//     degrades to a survivor-only run whose losses are itemized in a
+//     CrashReport (OnCrash == CrashDegrade).
+//
+// Two crash flavors share this machinery:
+//
+//   - Program-point crashes (Proc.Crash, System.KillNode): the node stops
+//     at a deterministic point in its own program and no messages are lost.
+//     Recovery is exact and survivor results are fully deterministic.
+//   - Transport-loss crashes (fault-layer injection, detected by the
+//     heartbeat monitor): messages to and from the node vanish at a
+//     wall-clock-dependent point.  Recovery additionally re-drives
+//     survivors' possibly-lost requests and guards against stale or
+//     duplicate grants; survivor *memory* is deterministic (the repo's
+//     standing guarantee for wall-clock-ordered lock contention) while
+//     per-node statistics may vary run to run.
+
+import (
+	"errors"
+	"fmt"
+
+	"midway/internal/obs"
+	"midway/internal/proto"
+	"midway/internal/transport"
+)
+
+// CrashPolicy selects how System.Run reacts when a node is declared dead.
+type CrashPolicy int
+
+const (
+	// CrashAbort (the default) fails the whole run with a *CrashError.
+	CrashAbort CrashPolicy = iota
+	// CrashDegrade recovers: surviving nodes finish the run and the losses
+	// are reported through System.CrashReport.
+	CrashDegrade
+)
+
+// DefaultCrashDetectCycles is the simulated detection latency charged
+// between a crash and the survivors' recovery actions when
+// Config.CrashDetectCycles is zero: 25 000 cycles = 1 ms on the reference
+// 25 MHz processor the cost model is calibrated for.
+const DefaultCrashDetectCycles = 25_000
+
+// errCrashed terminates the proc hosted on a crashed node.  Run treats it
+// like errAborted: the goroutine unwinds silently instead of surfacing a
+// run error.
+var errCrashed = errors.New("core: proc terminated by node crash")
+
+// CrashError is the run error produced under CrashAbort.
+type CrashError struct {
+	Node   int
+	Reason string
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("core: node %d crashed (%s)", e.Node, e.Reason)
+}
+
+// ReclaimedLock records one lock token recovered from a crashed node.
+type ReclaimedLock struct {
+	Lock     LockID
+	Name     string
+	From     int // crashed node the token was reclaimed from
+	NewOwner int // live node now holding the token
+}
+
+// ReformedBarrier records one barrier whose membership was recomputed.
+type ReformedBarrier struct {
+	Barrier BarrierID
+	Name    string
+	Parties int    // effective party count after reform
+	Epoch   uint64 // epoch in progress at reform time
+}
+
+// CrashReport itemizes everything lost to node crashes in a degraded run.
+type CrashReport struct {
+	Nodes            []int // crashed nodes, in death order
+	LostProcs        []int // proc indices terminated by the crashes
+	ReclaimedLocks   []ReclaimedLock
+	ReformedBarriers []ReformedBarrier
+	DetectCycles     uint64 // simulated detection latency charged per crash
+}
+
+// --- System-side crash state -------------------------------------------------
+
+// isCrashed reports whether node k has been declared dead.  Lock-free.
+func (s *System) isCrashed(k int) bool {
+	snap := s.crashSnap.Load()
+	if snap == nil || k < 0 || k >= len(*snap) {
+		return false
+	}
+	return (*snap)[k]
+}
+
+// anyCrashed reports whether any node has been declared dead.  Lock-free;
+// this is the guard on every recovery-only code path, so fault-free runs
+// pay a single nil check.
+func (s *System) anyCrashed() bool {
+	return s.crashSnap.Load() != nil
+}
+
+// managerFor resolves the managing node for obj, skipping crashed nodes.
+// While every node is live this is exactly obj.manager; after a crash the
+// role moves to the next live node in ring order.
+func (s *System) managerFor(o *object) int {
+	snap := s.crashSnap.Load()
+	if snap == nil {
+		return o.manager
+	}
+	n := s.cfg.Nodes
+	for d := 0; d < n; d++ {
+		c := (o.manager + d) % n
+		if !(*snap)[c] {
+			return c
+		}
+	}
+	return o.manager
+}
+
+func (s *System) detectCycles() uint64 {
+	if s.cfg.CrashDetectCycles > 0 {
+		return s.cfg.CrashDetectCycles
+	}
+	return DefaultCrashDetectCycles
+}
+
+// CrashReport returns the losses recorded by crash recovery, or nil if no
+// node has crashed.  The returned value is a copy.
+func (s *System) CrashReport() *CrashReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.report.Nodes) == 0 {
+		return nil
+	}
+	r := CrashReport{
+		Nodes:            append([]int(nil), s.report.Nodes...),
+		LostProcs:        append([]int(nil), s.report.LostProcs...),
+		ReclaimedLocks:   append([]ReclaimedLock(nil), s.report.ReclaimedLocks...),
+		ReformedBarriers: append([]ReformedBarrier(nil), s.report.ReformedBarriers...),
+		DetectCycles:     s.report.DetectCycles,
+	}
+	return &r
+}
+
+// KillNode declares node k dead at its current point in the program, as if
+// its process had been SIGKILLed between two instructions.  No messages are
+// lost.  Chaos tests use this (directly or through Proc.Crash) to crash a
+// node at a chosen protocol point.  Must be called after Run has started.
+func (s *System) KillNode(k int) {
+	s.killNode(k, false)
+}
+
+// PeerDead is the hook for real-time failure detection (the heartbeat
+// monitor): node k has stopped responding and its in-flight messages must
+// be presumed lost.  cycles, when nonzero, pins the failure to a simulated
+// instant; zero lets recovery pick the latest live clock.
+func (s *System) PeerDead(k int, cycles uint64) {
+	_ = cycles
+	s.killNode(k, true)
+}
+
+func (s *System) killNode(k int, transportLoss bool) {
+	s.mu.Lock()
+	if !s.frozen {
+		s.mu.Unlock()
+		if transportLoss {
+			// A failure detector can in principle fire before Run (a peer
+			// process that never came up); record it as a run failure
+			// rather than panicking the monitor goroutine.
+			s.fail(&CrashError{Node: k, Reason: "peer unresponsive before run"})
+			return
+		}
+		panic("core: KillNode before Run")
+	}
+	if k < 0 || k >= s.cfg.Nodes {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("core: KillNode(%d) out of range", k))
+	}
+	if s.crashedSet[k] {
+		s.mu.Unlock()
+		return
+	}
+	if s.crashedSet == nil {
+		s.crashedSet = make(map[int]bool)
+	}
+	s.crashedSet[k] = true
+	snap := make([]bool, s.cfg.Nodes)
+	for i := range snap {
+		snap[i] = s.crashedSet[i]
+	}
+	s.crashSnap.Store(&snap)
+	s.report.Nodes = append(s.report.Nodes, k)
+	s.report.LostProcs = append(s.report.LostProcs, k) // one proc per node under Run
+	s.report.DetectCycles = s.detectCycles()
+	policy := s.cfg.OnCrash
+	local := s.cfg.LocalNode
+	s.mu.Unlock()
+
+	at := s.crashTime(k, transportLoss)
+	if tr := s.obs; tr != nil {
+		tr.Emit(obs.Event{Kind: obs.EvDeclareDead, Cycles: at, Node: -1, Peer: int32(k)})
+	}
+
+	if policy != CrashDegrade || local >= 0 || s.nodes[k] == nil {
+		// Abort path.  Multi-process deployments always abort: recovery
+		// needs a global view of every node's lock state, which only the
+		// all-hosted (single-process) configuration has.
+		s.fail(&CrashError{Node: k, Reason: s.crashReason(transportLoss)})
+		return
+	}
+
+	kn := s.nodes[k]
+	recoveryAt := at + s.detectCycles()
+
+	// Ghost the crashed node: its proc aborts at the next synchronization
+	// point, and its handler stops acting on messages (it will only route
+	// strays once recovery has fixed the forwarding pointers).
+	kn.ghost.Store(true)
+	close(kn.crashCh)
+
+	s.recoverFrom(k, recoveryAt, transportLoss)
+
+	close(kn.unghosted)
+}
+
+func (s *System) crashReason(transportLoss bool) string {
+	if transportLoss {
+		return "heartbeat timeout"
+	}
+	return "killed at program point"
+}
+
+// crashTime pins the crash to a simulated instant: the crashed node's own
+// clock for program-point crashes, or the max over live nodes' clocks for
+// transport-loss crashes (the dead node's clock may be arbitrarily stale).
+func (s *System) crashTime(k int, transportLoss bool) uint64 {
+	if !transportLoss {
+		if kn := s.nodes[k]; kn != nil {
+			return kn.cycles.Now()
+		}
+		return 0
+	}
+	var at uint64
+	for i, n := range s.nodes {
+		if n == nil || s.isCrashed(i) {
+			continue
+		}
+		if t := n.cycles.Now(); t > at {
+			at = t
+		}
+	}
+	return at
+}
+
+// --- Recovery ----------------------------------------------------------------
+
+// recoveryActions collects the protocol actions decided during phase 1
+// (every node mutex held) for execution in phase 2 (mutexes released):
+// re-driven lock requests, synthesized barrier releases, re-driven barrier
+// enters, and completion checks for barriers whose membership shrank.
+type recoveryActions struct {
+	lockRedrives  []lockRedrive
+	synths        []barrierSynth
+	enterRedrives []enterRedrive
+	completions   []*object
+}
+
+type lockRedrive struct {
+	holder *Node
+	req    *proto.LockAcquire
+	at     uint64
+}
+
+type barrierSynth struct {
+	node *Node
+	rel  *proto.BarrierRelease
+	at   uint64
+}
+
+type enterRedrive struct {
+	mgr *Node
+	e   *proto.BarrierEnter
+	at  uint64
+}
+
+// recoverFrom runs the recovery protocol for crashed node k.
+//
+// Phase 1 locks every node's mutex (in id order, so concurrent crashes
+// cannot deadlock) and, with the whole system frozen, relocates each lock
+// token, fixes forwarding pointers, reforms barrier membership, and
+// collects the messages that must be re-driven.  Phase 2 releases the
+// mutexes and performs those sends and deliveries through the normal
+// protocol paths.
+func (s *System) recoverFrom(k int, recoveryAt uint64, transportLoss bool) {
+	live := make([]*Node, 0, len(s.nodes))
+	for i, n := range s.nodes {
+		if i != k && !s.isCrashed(i) {
+			live = append(live, n)
+		}
+	}
+
+	for _, n := range s.nodes {
+		n.mu.Lock()
+	}
+
+	var acts recoveryActions
+	var reclaims []ReclaimedLock
+	var reforms []ReformedBarrier
+
+	for _, o := range s.objectsSnapshot() {
+		switch o.kind {
+		case ObjLock:
+			s.recoverLockLocked(o, k, recoveryAt, transportLoss, live, &acts, &reclaims)
+		case ObjBarrier:
+			s.recoverBarrierLocked(o, k, recoveryAt, transportLoss, &acts, &reforms)
+		}
+	}
+
+	for _, n := range s.nodes {
+		n.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	s.report.ReclaimedLocks = append(s.report.ReclaimedLocks, reclaims...)
+	s.report.ReformedBarriers = append(s.report.ReformedBarriers, reforms...)
+	s.mu.Unlock()
+
+	// Phase 2: perform the collected actions through the normal code paths.
+	for _, a := range acts.synths {
+		a.node.deliverReply(reply{release: a.rel, arrival: a.at})
+	}
+	for _, a := range acts.lockRedrives {
+		a.holder.ownerForward(a.req, a.at)
+	}
+	for _, a := range acts.enterRedrives {
+		a.mgr.managerBarrierEnter(a.e, a.at)
+	}
+	for _, o := range acts.completions {
+		s.nodes[s.managerFor(o)].maybeCompleteBarrier(o)
+	}
+}
+
+// recoverLockLocked relocates one lock's token away from crashed node k.
+// Caller holds every node's mutex.
+func (s *System) recoverLockLocked(o *object, k int, recoveryAt uint64, transportLoss bool, live []*Node, acts *recoveryActions, reclaims *[]ReclaimedLock) {
+	// Materialize the lock's state on every node so the scans below see a
+	// uniform view.  Cheap for nodes that never touched the lock.
+	views := make([]*lockState, len(s.nodes))
+	for i, n := range s.nodes {
+		views[i] = n.lockState(o.id)
+	}
+
+	// Locate the token.  Each exclusive transfer records the grant's
+	// Lamport timestamp in forwardedAt on the granter; the receiver
+	// witnesses that timestamp before it can re-grant, so the timestamps
+	// are strictly increasing along the true grant chain and the global
+	// max identifies the latest transfer.  Its target holds (or is about
+	// to hold) the token.
+	latestGranter, latestTarget := -1, -1
+	var latestAt int64 = -1
+	for i, v := range views {
+		if v.forwardedTo >= 0 && v.forwardedAt > latestAt {
+			latestAt = v.forwardedAt
+			latestGranter = i
+			latestTarget = v.forwardedTo
+		}
+	}
+	tokenAt := o.manager
+	if latestTarget >= 0 {
+		tokenAt = latestTarget
+	}
+
+	lost := tokenAt == k
+	lostTo := -1
+	if !lost && transportLoss && latestGranter == k && !views[tokenAt].owner {
+		// k granted the token to a live node but the grant may have been
+		// lost with k's endpoints.  Treat it as lost and regrant; the
+		// generation guard installed below makes the original grant, if it
+		// did survive, arrive as a harmless stale duplicate.
+		lost = true
+		lostTo = tokenAt
+	}
+
+	final := tokenAt
+	if lost {
+		// Reclaim at the most recent live predecessor on the grant chain:
+		// the live node that last forwarded toward k holds the newest
+		// consistent (released) copy of the binding.
+		pred, predAt := -1, int64(-1)
+		for i, v := range views {
+			if i == k || s.isCrashed(i) {
+				continue
+			}
+			if v.forwardedTo == k && v.forwardedAt > predAt {
+				predAt = v.forwardedAt
+				pred = i
+			}
+		}
+		if pred < 0 {
+			// No live node ever granted to k: only k ever held the token,
+			// so every survivor's copy is the same pristine state.  Reclaim
+			// at the lowest live id for determinism.
+			pred = live[0].id
+		}
+		final = pred
+
+		flk := views[final]
+		var maxGen uint64
+		for _, v := range views {
+			if v.bindGen > maxGen {
+				maxGen = v.bindGen
+			}
+		}
+		flk.owner = true
+		flk.held = false
+		flk.forwardedTo = -1
+		flk.rebound = true
+		flk.bindGen = maxGen + 1
+		s.nodes[final].det.NotifyRebind(flk)
+		if tr := s.obs; tr != nil {
+			tr.Emit(obs.Event{
+				Kind: obs.EvReclaim, Cycles: recoveryAt, Node: int32(final),
+				Obj: int32(o.id), Peer: int32(k), Name: o.name, A: int64(flk.bindGen),
+			})
+		}
+		*reclaims = append(*reclaims, ReclaimedLock{Lock: LockID(o.id), Name: o.name, From: k, NewOwner: final})
+
+		if lostTo >= 0 {
+			// The intended receiver never got its grant: tell it to drop
+			// the stale one if it ever arrives, and re-drive its request.
+			v := views[lostTo]
+			v.redriveGen = flk.bindGen
+			if v.inflight != nil {
+				acts.lockRedrives = append(acts.lockRedrives, lockRedrive{holder: s.nodes[final], req: v.inflight, at: recoveryAt})
+			}
+		}
+	}
+
+	// Fix forwarding pointers and requeue the crashed node's waiters.
+	for i, v := range views {
+		if i == k {
+			v.owner = false
+			v.held = false
+			v.forwardedTo = final
+			for _, p := range v.waiting {
+				if s.isCrashed(int(p.req.Requester)) {
+					continue
+				}
+				acts.lockRedrives = append(acts.lockRedrives, lockRedrive{
+					holder: s.nodes[final],
+					req:    p.req,
+					at:     max(p.arrival, recoveryAt),
+				})
+			}
+			v.waiting = nil
+			v.inflight = nil
+			continue
+		}
+		if v.forwardedTo == k {
+			if i == final {
+				v.forwardedTo = -1
+			} else {
+				v.forwardedTo = final
+			}
+		}
+		if len(v.waiting) > 0 {
+			kept := v.waiting[:0]
+			for _, p := range v.waiting {
+				if !s.isCrashed(int(p.req.Requester)) {
+					kept = append(kept, p)
+				}
+			}
+			v.waiting = kept
+		}
+	}
+
+	// Point lock management at the token's new location, on both the
+	// original manager (if live its routing stays authoritative) and the
+	// failover manager (which serves new acquires if the original died).
+	seedMgr := func(n *Node) {
+		if ml := n.mgr[o.id]; ml != nil {
+			ml.owner = final
+		} else {
+			n.mgr[o.id] = &mgrLock{owner: final}
+		}
+	}
+	mgrNode := s.nodes[s.managerFor(o)]
+	seedMgr(mgrNode)
+	if o.manager != mgrNode.id {
+		seedMgr(s.nodes[o.manager])
+	}
+
+	if transportLoss {
+		// A live node's request routed *through* k may have been lost.
+		// Re-drive any live requester with an unanswered in-flight request
+		// that is not represented anywhere in the live system.  If the
+		// request does survive somewhere in transit, the duplicate-grant
+		// guards (inflight bookkeeping plus redriveGen) neutralize the
+		// extra grant.
+		for i, v := range views {
+			if i == k || s.isCrashed(i) || i == final {
+				continue
+			}
+			if v.inflight == nil || v.owner || v.held {
+				continue
+			}
+			if s.requestVisibleLocked(views, k, i) {
+				continue
+			}
+			already := false
+			for _, a := range acts.lockRedrives {
+				if int(a.req.Requester) == i && a.req.Lock == o.id {
+					already = true
+					break
+				}
+			}
+			if already {
+				continue
+			}
+			acts.lockRedrives = append(acts.lockRedrives, lockRedrive{holder: s.nodes[final], req: v.inflight, at: recoveryAt})
+		}
+	}
+}
+
+// requestVisibleLocked reports whether live node i's outstanding request is
+// still represented in the live system: queued at a live node, or the
+// target of a live node's forwarding pointer (a grant is on its way).
+func (s *System) requestVisibleLocked(views []*lockState, k, i int) bool {
+	for j, v := range views {
+		if j == k || s.isCrashed(j) {
+			continue
+		}
+		if v.forwardedTo == i {
+			return true
+		}
+		for _, p := range v.waiting {
+			if int(p.req.Requester) == i {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recoverBarrierLocked reforms one barrier's membership after node k's
+// crash.  Caller holds every node's mutex.
+//
+// Only barriers whose party count equals the node count are reformed:
+// those are the all-nodes rendezvous barriers whose membership shrinks
+// naturally with the node set.  A custom-parties barrier has no principled
+// mapping from dead nodes to dead parties, so it is left untouched; if the
+// survivors still need the crashed node's arrivals they will block, which
+// surfaces as a hang rather than silent corruption (documented limitation).
+func (s *System) recoverBarrierLocked(o *object, k int, recoveryAt uint64, transportLoss bool, acts *recoveryActions, reforms *[]ReformedBarrier) {
+	if o.parties != s.cfg.Nodes {
+		return
+	}
+	views := make([]*barrierState, len(s.nodes))
+	for i, n := range s.nodes {
+		views[i] = n.barrierState(o.id)
+	}
+
+	// Move barrier management off the crashed node.  bmgr state is moved
+	// (not copied) on every failover, so at most one node has it.
+	mgrNode := s.nodes[s.managerFor(o)]
+	if kb := s.nodes[k].bmgr[o.id]; kb != nil {
+		if mgrNode.bmgr[o.id] == nil {
+			mgrNode.bmgr[o.id] = kb
+		}
+		delete(s.nodes[k].bmgr, o.id)
+	}
+	mb := mgrNode.bmgr[o.id]
+	if mb == nil {
+		mb = &bmgrBarrier{}
+		mgrNode.bmgr[o.id] = mb
+	}
+	mgrEpoch := mb.epoch
+
+	// Drop the crashed node's entry from the in-progress epoch: it never
+	// crossed the barrier, so release-boundary rollback discards the
+	// updates it shipped with its enter.
+	kept := mb.entered[:0]
+	keptArr := mb.arrivals[:0]
+	for i, e := range mb.entered {
+		if s.isCrashed(int(e.Node)) {
+			continue
+		}
+		kept = append(kept, e)
+		keptArr = append(keptArr, mb.arrivals[i])
+	}
+	mb.entered = kept
+	mb.arrivals = keptArr
+
+	// Survivors stranded on an epoch the manager has already completed
+	// lost their release with k (it was sent by k, or routed through it):
+	// synthesize the release from the other parties' recorded enters.
+	// Survivors pending on the manager's current epoch may have lost the
+	// enter itself when the loss is transport-level: re-drive it (the
+	// manager dedups if it did arrive).
+	for i, v := range views {
+		if i == k || s.isCrashed(i) || !v.pending || v.lastEnter == nil {
+			continue
+		}
+		ei := v.lastEnter.Epoch
+		if ei < mgrEpoch {
+			rel := s.synthesizeReleaseLocked(o, views, k, i, ei)
+			v.pending = false
+			v.nextRelease = ei + 1 // drop the real release if it surfaces later
+			acts.synths = append(acts.synths, barrierSynth{node: s.nodes[i], rel: rel, at: recoveryAt})
+			continue
+		}
+		if ei == mgrEpoch && transportLoss {
+			found := false
+			for _, e := range mb.entered {
+				if int(e.Node) == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				acts.enterRedrives = append(acts.enterRedrives, enterRedrive{mgr: mgrNode, e: v.lastEnter, at: recoveryAt})
+			}
+		}
+	}
+
+	// The shrunken membership may already be complete.
+	acts.completions = append(acts.completions, o)
+
+	parties := o.parties
+	if snap := s.crashSnap.Load(); snap != nil {
+		for _, dead := range *snap {
+			if dead {
+				parties--
+			}
+		}
+	}
+	if tr := s.obs; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvBarrierReform, Cycles: recoveryAt, Node: int32(mgrNode.id),
+			Obj: int32(o.id), Peer: int32(k), Name: o.name,
+			A: int64(parties), B: int64(mgrEpoch),
+		})
+	}
+	*reforms = append(*reforms, ReformedBarrier{Barrier: BarrierID(o.id), Name: o.name, Parties: parties, Epoch: mgrEpoch})
+}
+
+// synthesizeReleaseLocked rebuilds the BarrierRelease that stranded node i
+// should have received for epoch ei: the merged updates of every *other*
+// live party's enter at that epoch, in node-id order, with a release
+// timestamp past every contributing enter.
+func (s *System) synthesizeReleaseLocked(o *object, views []*barrierState, k, i int, ei uint64) *proto.BarrierRelease {
+	var updates []proto.Update
+	var maxTime int64
+	for j, v := range views {
+		if j == i || j == k || s.isCrashed(j) {
+			continue
+		}
+		var e *proto.BarrierEnter
+		if v.lastEnter != nil && v.lastEnter.Epoch == ei {
+			e = v.lastEnter
+		} else if v.prevEnter != nil && v.prevEnter.Epoch == ei {
+			e = v.prevEnter
+		}
+		if e == nil {
+			continue
+		}
+		updates = append(updates, e.Updates...)
+		if e.Time > maxTime {
+			maxTime = e.Time
+		}
+	}
+	if t := views[i].lastEnter.Time; t > maxTime {
+		maxTime = t
+	}
+	return &proto.BarrierRelease{
+		Barrier: o.id,
+		Epoch:   ei,
+		Time:    maxTime + 1,
+		Updates: updates,
+	}
+}
+
+// --- Crashed-node ghost routing ----------------------------------------------
+
+// ghostRoute handles a message delivered to a crashed node after recovery.
+// The ghost never acts on the protocol — it only bounces routing messages
+// (requests sent to the corpse under a stale view of who manages or owns
+// an object) toward the live node recovery designated.  Grants, releases
+// and anything else addressed to the corpse are dropped: their senders'
+// state was already repaired by recovery.
+func (n *Node) ghostRoute(m transport.Message, arrival uint64) {
+	switch m.Kind {
+	case proto.KindLockAcquire, proto.KindLockForward:
+		req, err := proto.DecodeLockAcquire(m.Payload)
+		if err != nil {
+			return
+		}
+		if n.sys.isCrashed(int(req.Requester)) {
+			return
+		}
+		n.mu.Lock()
+		next := n.lockState(req.Lock).forwardedTo
+		n.mu.Unlock()
+		if next < 0 || next == n.id || n.sys.isCrashed(next) {
+			return
+		}
+		n.sendAt(next, proto.KindLockForward, req, arrival)
+	case proto.KindBarrierEnter:
+		e, err := n.decodeEnter(m.Payload)
+		if err != nil || n.sys.isCrashed(int(e.Node)) {
+			return
+		}
+		mgr := n.sys.managerFor(n.sys.objectByID(e.Barrier))
+		if mgr == n.id || n.sys.isCrashed(mgr) {
+			return
+		}
+		n.sendAt(mgr, proto.KindBarrierEnter, e, arrival)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"midway/internal/clock"
 	"midway/internal/cost"
@@ -45,6 +46,20 @@ type lockState struct {
 	// forwardedTo records where ownership went when this node granted the
 	// lock away, so late-arriving forwards can chase the new owner.
 	forwardedTo int
+	// forwardedAt is the Lamport timestamp of the grant recorded in
+	// forwardedTo.  The receiver witnesses each grant's timestamp before it
+	// can re-grant, so these are strictly increasing along the true grant
+	// chain; crash recovery uses the global max to locate the token.
+	forwardedAt int64
+	// inflight is this node's own outstanding acquire request, set when the
+	// request is sent and cleared when its grant is applied.  A grant
+	// arriving with no request in flight is a duplicate (possible only
+	// after crash-recovery re-drives) and is dropped.
+	inflight *proto.LockAcquire
+	// redriveGen, when nonzero, is the binding generation of a
+	// crash-recovery reclaim that superseded a possibly-lost grant to this
+	// node: grants carrying an older generation are stale and dropped.
+	redriveGen uint64
 	// waiting queues transfer requests that arrived while the lock was
 	// held.
 	waiting []*pendingReq
@@ -85,6 +100,19 @@ type barrierState struct {
 	binding []memory.Range
 	// det is the write-detection scheme's per-barrier state slot.
 	det any
+
+	// lastEnter and prevEnter retain this node's two most recent enter
+	// messages, and pending marks an enter whose release has not yet been
+	// delivered.  Crash recovery uses them to synthesize the release a dead
+	// manager failed to send (stragglers are at most one epoch behind, so
+	// two retained enters suffice).
+	lastEnter *proto.BarrierEnter
+	prevEnter *proto.BarrierEnter
+	pending   bool
+	// nextRelease is the next epoch whose release should be handed to the
+	// application; releases below it were superseded by a synthesized
+	// recovery release and are dropped.
+	nextRelease uint64
 }
 
 // detect.BarrierView implementation.
@@ -164,23 +192,33 @@ type Node struct {
 
 	replyCh chan reply
 	done    chan struct{}
+
+	// ghost is set when this node is declared crashed in a degraded run:
+	// the handler stops acting on messages (it only routes strays after
+	// recovery completes, gated on unghosted) and the proc aborts at its
+	// next synchronization point via crashCh.
+	ghost     atomic.Bool
+	crashCh   chan struct{}
+	unghosted chan struct{}
 }
 
 func newNode(s *System, id int) *Node {
 	inst := memory.NewInstance(s.layout)
 	n := &Node{
-		id:       id,
-		sys:      s,
-		inst:     inst,
-		conn:     s.net.Conn(id),
-		cost:     s.cfg.Cost,
-		netp:     s.cfg.Network,
-		locks:    make(map[uint32]*lockState),
-		mgr:      make(map[uint32]*mgrLock),
-		barriers: make(map[uint32]*barrierState),
-		bmgr:     make(map[uint32]*bmgrBarrier),
-		replyCh:  make(chan reply, 1),
-		done:     make(chan struct{}),
+		id:        id,
+		sys:       s,
+		inst:      inst,
+		conn:      s.net.Conn(id),
+		cost:      s.cfg.Cost,
+		netp:      s.cfg.Network,
+		locks:     make(map[uint32]*lockState),
+		mgr:       make(map[uint32]*mgrLock),
+		barriers:  make(map[uint32]*barrierState),
+		bmgr:      make(map[uint32]*bmgrBarrier),
+		replyCh:   make(chan reply, 1),
+		done:      make(chan struct{}),
+		crashCh:   make(chan struct{}),
+		unghosted: make(chan struct{}),
 	}
 	n.compat = s.cfg.CompatCodec
 	if !n.compat {
@@ -297,7 +335,7 @@ func (n *Node) sendAt(to int, kind proto.Kind, w proto.Wire, at uint64) {
 	if enc != nil {
 		enc.Release()
 	}
-	if err != nil {
+	if err != nil && !n.sys.isCrashed(n.id) && !n.sys.isCrashed(to) {
 		n.sys.fail(fmt.Errorf("core: node %d: send %v to peer %d: %w", n.id, kind, to, err))
 	}
 }
@@ -342,6 +380,18 @@ func (n *Node) handlerLoop() {
 			return
 		}
 		arrival := n.arrivalTime(m)
+		if n.ghost.Load() {
+			// This node crashed in a degraded run.  Wait for recovery to
+			// finish fixing the survivors' routing state, then bounce
+			// routing messages toward their new destinations and drop
+			// everything else.  Shutdown still terminates the handler.
+			if m.Kind == proto.KindShutdown {
+				return
+			}
+			<-n.unghosted
+			n.ghostRoute(m, arrival)
+			continue
+		}
 		switch m.Kind {
 		case proto.KindShutdown:
 			return
@@ -367,8 +417,12 @@ func (n *Node) handlerLoop() {
 			}
 			// Apply before releasing the waiting application, so a
 			// forward chasing the new owner never observes stale state.
-			n.applyGrant(g, arrival)
-			n.deliverReply(reply{grant: g, arrival: arrival})
+			// A false return means the grant was a stale duplicate
+			// (possible only after crash-recovery re-drives) and was
+			// dropped without waking the application.
+			if n.applyGrant(g, arrival) {
+				n.deliverReply(reply{grant: g, arrival: arrival})
+			}
 		case proto.KindBarrierEnter:
 			e, err := n.decodeEnter(m.Payload)
 			if err != nil {
@@ -382,6 +436,18 @@ func (n *Node) handlerLoop() {
 				n.failDecode(m, err)
 				return
 			}
+			n.mu.Lock()
+			b := n.barrierState(r.Barrier)
+			if r.Epoch < b.nextRelease {
+				// Superseded by a release crash recovery synthesized for
+				// this epoch; delivering it again would desynchronize the
+				// application's epoch counter.
+				n.mu.Unlock()
+				continue
+			}
+			b.nextRelease = r.Epoch + 1
+			b.pending = false
+			n.mu.Unlock()
 			n.deliverReply(reply{release: r, arrival: arrival})
 		default:
 			n.sys.fail(fmt.Errorf("core: node %d: unexpected message kind %v from peer %d",
@@ -464,6 +530,9 @@ func (n *Node) barrierState(id uint32) *barrierState {
 // managerAcquire runs on the lock's manager: it brokers the transfer by
 // forwarding the request to the current owner.
 func (n *Node) managerAcquire(req *proto.LockAcquire, arrival uint64) {
+	if n.sys.isCrashed(int(req.Requester)) {
+		return // a corpse must never be granted the token
+	}
 	obj := n.sys.objectByID(req.Lock)
 	n.mu.Lock()
 	st := n.mgr[req.Lock]
@@ -490,8 +559,27 @@ func (n *Node) managerAcquire(req *proto.LockAcquire, arrival uint64) {
 // ownerForward runs on the lock's owner: transfer now if the lock is free,
 // or queue the request until release.
 func (n *Node) ownerForward(req *proto.LockAcquire, arrival uint64) {
+	if n.sys.isCrashed(int(req.Requester)) {
+		return // a corpse must never be granted the token
+	}
 	n.mu.Lock()
 	lk := n.lockState(req.Lock)
+	if n.sys.anyCrashed() {
+		// Crash-recovery re-drives can duplicate a request that survived
+		// in transit.  A node's own request arriving back at itself while
+		// it owns (or holds) the lock, or a requester already queued here,
+		// is such a duplicate: drop it.
+		if int(req.Requester) == n.id && (lk.owner || lk.held) {
+			n.mu.Unlock()
+			return
+		}
+		for _, p := range lk.waiting {
+			if p.req.Requester == req.Requester {
+				n.mu.Unlock()
+				return
+			}
+		}
+	}
 	if !lk.owner {
 		if lk.forwardedTo >= 0 {
 			// Ownership moved on before this forward arrived: re-forward
@@ -552,6 +640,7 @@ func (n *Node) transferLocked(lk *lockState, req *proto.LockAcquire, at uint64) 
 	if exclusive {
 		lk.owner = false
 		lk.forwardedTo = int(req.Requester)
+		lk.forwardedAt = grant.Time
 		// Remaining queued requests chase the new owner.
 		if len(lk.waiting) > 0 {
 			pending := lk.waiting
@@ -579,6 +668,9 @@ func (n *Node) transferLocked(lk *lockState, req *proto.LockAcquire, at uint64) 
 
 // managerBarrierEnter runs on the barrier's manager.
 func (n *Node) managerBarrierEnter(e *proto.BarrierEnter, arrival uint64) {
+	if n.sys.isCrashed(int(e.Node)) {
+		return // release-boundary rollback discards a corpse's enter
+	}
 	obj := n.sys.objectByID(e.Barrier)
 	n.mu.Lock()
 	st := n.bmgr[e.Barrier]
@@ -587,20 +679,84 @@ func (n *Node) managerBarrierEnter(e *proto.BarrierEnter, arrival uint64) {
 		n.bmgr[e.Barrier] = st
 	}
 	if e.Epoch != st.epoch {
+		if n.sys.anyCrashed() && e.Epoch < st.epoch {
+			// A straggler from before a crash: recovery already completed
+			// this epoch on the sender's behalf.
+			n.mu.Unlock()
+			return
+		}
 		n.mu.Unlock()
 		n.sys.fail(fmt.Errorf("core: node %d: barrier %d epoch mismatch from peer %d: got %d want %d",
 			n.id, e.Barrier, e.Node, e.Epoch, st.epoch))
 		return
 	}
+	if n.sys.anyCrashed() {
+		for _, prev := range st.entered {
+			if prev.Node == e.Node {
+				n.mu.Unlock()
+				return // recovery re-drove an enter that had arrived after all
+			}
+		}
+	}
 	st.entered = append(st.entered, e)
 	st.arrivals = append(st.arrivals, arrival)
-	if len(st.entered) < obj.parties {
+	if len(st.entered) < n.barrierNeeded(obj, st.entered) {
 		n.mu.Unlock()
 		return
 	}
-	// All parties present: merge and release.
+	n.completeBarrierLocked(obj, st)
+}
+
+// barrierNeeded returns how many enters complete the barrier's current
+// epoch.  Fault-free this is the static party count; after a crash, an
+// all-nodes barrier no longer waits for dead nodes (unless a pre-crash
+// enter from one is already recorded, in which case its data is merged for
+// the survivors and only its release is skipped).
+func (n *Node) barrierNeeded(obj *object, entered []*proto.BarrierEnter) int {
+	need := obj.parties
+	if obj.parties != n.sys.cfg.Nodes {
+		return need
+	}
+	snap := n.sys.crashSnap.Load()
+	if snap == nil {
+		return need
+	}
+	for dead, isDead := range *snap {
+		if !isDead {
+			continue
+		}
+		present := false
+		for _, e := range entered {
+			if int(e.Node) == dead {
+				present = true
+				break
+			}
+		}
+		if !present {
+			need--
+		}
+	}
+	return need
+}
+
+// maybeCompleteBarrier re-checks a barrier for completion after crash
+// recovery shrank its membership.
+func (n *Node) maybeCompleteBarrier(obj *object) {
+	n.mu.Lock()
+	st := n.bmgr[obj.id]
+	if st == nil || len(st.entered) == 0 || len(st.entered) < n.barrierNeeded(obj, st.entered) {
+		n.mu.Unlock()
+		return
+	}
+	n.completeBarrierLocked(obj, st)
+}
+
+// completeBarrierLocked merges the epoch's enters and sends the releases.
+// Caller holds n.mu, which is released before the sends.
+func (n *Node) completeBarrierLocked(obj *object, st *bmgrBarrier) {
 	entered := st.entered
 	arrivals := st.arrivals
+	epoch := st.epoch
 	st.entered = nil
 	st.arrivals = nil
 	st.epoch++
@@ -615,6 +771,9 @@ func (n *Node) managerBarrierEnter(e *proto.BarrierEnter, arrival uint64) {
 		newTime = n.lamport.Witness(ent.Time)
 	}
 	for _, ent := range entered {
+		if n.sys.isCrashed(int(ent.Node)) {
+			continue // its data was merged above; the corpse gets no release
+		}
 		var merged []proto.Update
 		for _, other := range entered {
 			if other.Node == ent.Node {
@@ -623,8 +782,8 @@ func (n *Node) managerBarrierEnter(e *proto.BarrierEnter, arrival uint64) {
 			merged = append(merged, other.Updates...)
 		}
 		rel := &proto.BarrierRelease{
-			Barrier: e.Barrier,
-			Epoch:   e.Epoch,
+			Barrier: obj.id,
+			Epoch:   epoch,
 			Time:    newTime,
 			Updates: merged,
 		}
@@ -632,5 +791,15 @@ func (n *Node) managerBarrierEnter(e *proto.BarrierEnter, arrival uint64) {
 			n.st.BytesTransferred.Add(uint64(proto.UpdateBytes(merged)))
 		}
 		n.sendAt(int(ent.Node), proto.KindBarrierRelease, rel, releaseAt)
+	}
+}
+
+// abortIfCrashed terminates the calling proc if its node has been declared
+// dead (by System.KillNode or the failure detector).
+func (n *Node) abortIfCrashed() {
+	select {
+	case <-n.crashCh:
+		panic(errCrashed)
+	default:
 	}
 }

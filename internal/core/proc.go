@@ -244,21 +244,36 @@ func (p *Proc) Binding(l LockID) []memory.Range {
 // bound to the barrier is made consistent across all parties.
 func (p *Proc) Barrier(b BarrierID) { p.node.barrier(uint32(b)) }
 
+// Crash simulates this node's process dying at the current program point,
+// as if SIGKILLed between two instructions: no messages are lost, the
+// proc's goroutine stops here, and the rest of the system reacts per
+// Config.OnCrash (abort the run, or recover and degrade).  Chaos tests use
+// it to crash a node at a chosen protocol point — holding a lock, between
+// barrier episodes, or idle.  Crash does not return.
+func (p *Proc) Crash() {
+	p.node.sys.KillNode(p.node.id)
+	panic(errCrashed)
+}
+
 // waitReply blocks for the protocol handler's grant or barrier release,
 // aborting (with the sentinel Run recognizes) if the run fails while the
 // application is parked — the message it is waiting for may never arrive.
 func (n *Node) waitReply() reply {
+	n.abortIfCrashed() // prefer the crash over a reply that raced in
 	select {
 	case r := <-n.replyCh:
 		return r
 	case <-n.sys.failCh:
 		panic(errAborted)
+	case <-n.crashCh:
+		panic(errCrashed)
 	}
 }
 
 // acquire implements lock acquisition for both modes.
 func (n *Node) acquire(id uint32, mode proto.Mode) {
 	n.sys.abortIfFailed()
+	n.abortIfCrashed()
 	n.mu.Lock()
 	lk := n.lockState(id)
 	if lk.held {
@@ -287,7 +302,8 @@ func (n *Node) acquire(id uint32, mode proto.Mode) {
 	// The detector records the requester's consistency point (timestamp,
 	// incarnation) in whichever fields its scheme uses.
 	n.det.FillAcquire(lk, req)
-	manager := lk.obj.manager
+	lk.inflight = req
+	manager := n.sys.managerFor(lk.obj)
 	n.mu.Unlock()
 
 	if tr := n.sys.obs; tr != nil {
@@ -311,13 +327,24 @@ func (n *Node) acquire(id uint32, mode proto.Mode) {
 // the updates and installing ownership before the waiting application is
 // released.  The application was blocked for this message, so its clock
 // joins the arrival time before the application costs are charged.
-func (n *Node) applyGrant(g *proto.LockGrant, arrival uint64) {
+// It returns false, without applying anything, when the grant is a stale
+// duplicate: either no request is outstanding (a crash-recovery re-drive
+// was answered already) or the grant predates a recovery reclaim whose
+// binding generation superseded it.  Fault-free runs never take either
+// branch.
+func (n *Node) applyGrant(g *proto.LockGrant, arrival uint64) bool {
+	n.mu.Lock()
+	lk := n.lockState(g.Lock)
+	if lk.inflight == nil || (lk.redriveGen != 0 && g.BindGen < lk.redriveGen) {
+		n.mu.Unlock()
+		return false
+	}
+	lk.inflight = nil
+	lk.redriveGen = 0
 	n.cycles.Join(arrival)
 	// The grant's transfer time is a synchronization point: witness it
 	// here, uniformly for every scheme.
 	n.lamport.Witness(g.Time)
-	n.mu.Lock()
-	lk := n.lockState(g.Lock)
 	if n.sys.obs != nil {
 		n.obsAt = arrival // detector events during apply carry the arrival time
 	}
@@ -340,6 +367,7 @@ func (n *Node) applyGrant(g *proto.LockGrant, arrival uint64) {
 			A: int64(g.Incarnation), B: int64(len(g.History)),
 		})
 	}
+	return true
 }
 
 // release implements lock release: local under the lazy protocol, plus
@@ -375,6 +403,7 @@ func (n *Node) release(id uint32) {
 // wait for release, apply everyone else's updates.
 func (n *Node) barrier(id uint32) {
 	n.sys.abortIfFailed()
+	n.abortIfCrashed()
 	n.mu.Lock()
 	b := n.barrierState(id)
 	if n.sys.obs != nil {
@@ -382,7 +411,7 @@ func (n *Node) barrier(id uint32) {
 	}
 	updates, cycles := n.det.CollectBarrier(b)
 	epoch := b.epoch
-	manager := b.obj.manager
+	manager := n.sys.managerFor(b.obj)
 	n.mu.Unlock()
 	n.cycles.Charge(cycles)
 	updateBytes := uint64(proto.UpdateBytes(updates))
@@ -402,6 +431,13 @@ func (n *Node) barrier(id uint32) {
 		Time:    n.lamport.Now(),
 		Updates: updates,
 	}
+	// Retain the enter so crash recovery can synthesize a lost release on
+	// our behalf (or re-drive this enter if it was lost in transit).
+	n.mu.Lock()
+	b.prevEnter = b.lastEnter
+	b.lastEnter = e
+	b.pending = true
+	n.mu.Unlock()
 	n.send(manager, proto.KindBarrierEnter, e)
 
 	r := n.waitReply()

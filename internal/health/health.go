@@ -1,0 +1,439 @@
+// Package health adds failure detection to a transport stack.
+//
+// A Monitor wraps a transport.Network and watches per-peer liveness: every
+// endpoint emits a small KindHeartbeat probe to each peer on a fixed
+// period, and any message arrival (heartbeat or protocol traffic) counts
+// as evidence the sender is alive.  A peer silent past the suspicion
+// timeout is declared crashed: the declaration is recorded, broadcast to
+// the surviving peers as a KindCrashNotice, and reported through the
+// OnDeath callback so the layers above can reclaim state.
+//
+// The monitor sits below the reliability layer,
+//
+//	EC protocol -> Reliable -> Monitor -> FaultNetwork -> Channel/TCP
+//
+// so heartbeats are never retransmitted to a dead peer, and the reliable
+// envelopes flowing through it double as liveness evidence on busy links.
+// Heartbeats and crash notices are consumed here and never reach the
+// protocol handler; they carry no simulated timestamps and charge nothing
+// to the cost model, so enabling the monitor leaves simulated results
+// byte-identical.
+//
+// When several endpoints of the same Monitor are in use (the all-hosted
+// channel transport), declaration requires agreement: a node is declared
+// dead only when every live endpoint has lost contact with it.  A fenced
+// node — one whose own links were severed — therefore cannot declare the
+// healthy majority dead, and is itself declared once everyone has lost it.
+// A single-endpoint monitor (one process of a TCP deployment) has only its
+// own observations; if it loses every peer at once in a system of three or
+// more nodes it assumes it is the fenced one and declares no one.
+package health
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"midway/internal/obs"
+	"midway/internal/proto"
+	"midway/internal/transport"
+)
+
+// Options tunes the failure detector.  The zero value selects the defaults
+// noted on each field.
+type Options struct {
+	// Period is the heartbeat interval and the granularity of liveness
+	// checks (default 20ms).
+	Period time.Duration
+	// SuspectAfter is the suspicion timeout: a peer silent this long is
+	// suspected, and declared crashed once every live observer agrees
+	// (default 6x Period).
+	SuspectAfter time.Duration
+	// Manual disables the background heartbeat and checker goroutines;
+	// the test harness drives the monitor with Beat and CheckNow instead.
+	Manual bool
+	// Now substitutes a clock for deterministic tests (default time.Now).
+	Now func() time.Time
+	// Trace, when non-nil, receives heartbeat-miss, suspect and
+	// declare-dead events.  Liveness is real-time machinery, so these
+	// events carry no simulated timestamp.
+	Trace *obs.Tracer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Period == 0 {
+		o.Period = 20 * time.Millisecond
+	}
+	if o.SuspectAfter == 0 {
+		o.SuspectAfter = 6 * o.Period
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Monitor is a failure-detecting transport.Network wrapper.
+type Monitor struct {
+	inner transport.Network
+	opts  Options
+
+	mu      sync.Mutex
+	conns   []*monConn
+	dead    map[int]bool
+	onDeath func(node int, cycles uint64)
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewMonitor wraps inner with failure detection.
+func NewMonitor(inner transport.Network, opts Options) *Monitor {
+	m := &Monitor{
+		inner: inner,
+		opts:  opts.withDefaults(),
+		conns: make([]*monConn, inner.Nodes()),
+		dead:  make(map[int]bool),
+		stop:  make(chan struct{}),
+	}
+	if !m.opts.Manual {
+		m.wg.Add(1)
+		go m.checkLoop()
+	}
+	return m
+}
+
+// OnDeath registers the callback invoked exactly once per declared-dead
+// node, with the node id and the simulated cycle time carried by the
+// triggering crash notice (zero for real-time detection).  The callback
+// runs on a monitor goroutine and must not block for long.  Register
+// before the system runs.
+func (m *Monitor) OnDeath(fn func(node int, cycles uint64)) {
+	m.mu.Lock()
+	m.onDeath = fn
+	m.mu.Unlock()
+}
+
+// Nodes returns the node count.
+func (m *Monitor) Nodes() int { return m.inner.Nodes() }
+
+// Err returns the underlying network's first recorded failure.
+func (m *Monitor) Err() error { return m.inner.Err() }
+
+// Conn returns node i's monitored endpoint.  Endpoints are created once
+// and cached: the liveness state must be shared by every caller.
+func (m *Monitor) Conn(i int) transport.Conn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.conns[i] == nil {
+		c := &monConn{
+			id:        i,
+			mon:       m,
+			inner:     m.inner.Conn(i),
+			lastHeard: make([]time.Time, m.inner.Nodes()),
+			misses:    make([]int, m.inner.Nodes()),
+			suspected: make([]bool, m.inner.Nodes()),
+		}
+		now := m.opts.Now()
+		for p := range c.lastHeard {
+			c.lastHeard[p] = now
+		}
+		m.conns[i] = c
+		if !m.opts.Manual {
+			m.wg.Add(1)
+			go m.heartbeatLoop(c)
+		}
+	}
+	return m.conns[i]
+}
+
+// IsDead reports whether node k has been declared crashed.
+func (m *Monitor) IsDead(k int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dead[k]
+}
+
+// Dead returns the declared-dead nodes in ascending order.
+func (m *Monitor) Dead() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.dead))
+	for k := range m.dead {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Quiesce stops the heartbeat and checker goroutines without closing the
+// network, so system teardown (nodes going silent on purpose) does not
+// trigger spurious declarations.  Message pass-through keeps working.
+func (m *Monitor) Quiesce() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}
+
+// Close quiesces the monitor and closes the inner network.
+func (m *Monitor) Close() error {
+	m.Quiesce()
+	return m.inner.Close()
+}
+
+// checkLoop runs liveness checks on the monitor period.
+func (m *Monitor) checkLoop() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.opts.Period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			m.CheckNow()
+		}
+	}
+}
+
+// heartbeatLoop emits probes from endpoint c to every live peer.
+func (m *Monitor) heartbeatLoop(c *monConn) {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.opts.Period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			m.Beat(c.id)
+		}
+	}
+}
+
+// Beat sends one heartbeat from endpoint id to every live peer.  The
+// background heartbeater calls it on the period; manual-mode tests call it
+// directly.
+func (m *Monitor) Beat(id int) {
+	m.mu.Lock()
+	c := m.conns[id]
+	if c == nil || m.dead[id] {
+		m.mu.Unlock()
+		return
+	}
+	var peers []int
+	for p := 0; p < m.inner.Nodes(); p++ {
+		if p != id && !m.dead[p] {
+			peers = append(peers, p)
+		}
+	}
+	m.mu.Unlock()
+	for _, p := range peers {
+		_ = c.inner.Send(transport.Message{From: id, To: p, Kind: proto.KindHeartbeat})
+	}
+}
+
+// CheckNow runs one liveness pass over every created endpoint.  The
+// background checker calls it on the period; manual-mode tests call it
+// directly after advancing the injected clock.
+func (m *Monitor) CheckNow() {
+	now := m.opts.Now()
+	m.mu.Lock()
+	n := m.inner.Nodes()
+	conns := append([]*monConn(nil), m.conns...)
+	dead := make(map[int]bool, len(m.dead))
+	for k := range m.dead {
+		dead[k] = true
+	}
+	m.mu.Unlock()
+
+	// Live observers: created endpoints not themselves declared dead.  An
+	// observer that has lost every single peer is fenced (its own links
+	// are gone); with no other endpoint to consult it must not declare
+	// anyone, or a healthy majority would be "dead" to it.
+	var observers []*monConn
+	for _, c := range conns {
+		if c != nil && !dead[c.id] {
+			observers = append(observers, c)
+		}
+	}
+	if len(observers) == 0 {
+		return
+	}
+	if len(observers) == 1 && n >= 3 && observers[0].allSilent(now, m.opts.SuspectAfter, dead) {
+		return
+	}
+
+	for t := 0; t < n; t++ {
+		if dead[t] {
+			continue
+		}
+		agree := 0
+		voters := 0
+		for _, c := range observers {
+			if c.id == t {
+				continue
+			}
+			voters++
+			if c.observe(m, t, now) {
+				agree++
+			}
+		}
+		if voters > 0 && agree == voters {
+			m.declare(t, 0, observers[0].id)
+		}
+	}
+}
+
+// declare marks node t dead (idempotently), traces it, broadcasts a crash
+// notice from endpoint via, and fires the OnDeath callback.
+func (m *Monitor) declare(t int, cycles uint64, via int) {
+	m.mu.Lock()
+	if m.dead[t] {
+		m.mu.Unlock()
+		return
+	}
+	m.dead[t] = true
+	fn := m.onDeath
+	var c *monConn
+	if via >= 0 && via < len(m.conns) {
+		c = m.conns[via]
+	}
+	var peers []int
+	for p := 0; p < m.inner.Nodes(); p++ {
+		if p != via && p != t && !m.dead[p] {
+			peers = append(peers, p)
+		}
+	}
+	m.mu.Unlock()
+
+	if tr := m.opts.Trace; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvDeclareDead, Cycles: cycles, Node: int32(via),
+			Obj: -1, Peer: int32(t),
+		})
+	}
+	if c != nil {
+		notice := proto.CrashNotice{Node: uint32(t), Cycles: cycles}
+		for _, p := range peers {
+			_ = c.inner.Send(transport.Message{
+				From: via, To: p, Kind: proto.KindCrashNotice, Payload: notice.Encode(),
+			})
+		}
+	}
+	if fn != nil {
+		fn(t, cycles)
+	}
+}
+
+// monConn is one node's monitored endpoint.
+type monConn struct {
+	id    int
+	mon   *Monitor
+	inner transport.Conn
+
+	mu        sync.Mutex
+	lastHeard []time.Time
+	misses    []int  // consecutive missed windows already traced, per peer
+	suspected []bool // suspicion already traced, per peer
+}
+
+// heard records liveness evidence from peer p.
+func (c *monConn) heard(p int) {
+	c.mu.Lock()
+	c.lastHeard[p] = c.mon.opts.Now()
+	c.misses[p] = 0
+	c.suspected[p] = false
+	c.mu.Unlock()
+}
+
+// allSilent reports whether every live peer of c is past the suspicion
+// timeout — the signature of this endpoint's own links being severed.
+func (c *monConn) allSilent(now time.Time, after time.Duration, dead map[int]bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for p := range c.lastHeard {
+		if p == c.id || dead[p] {
+			continue
+		}
+		if now.Sub(c.lastHeard[p]) < after {
+			return false
+		}
+	}
+	return true
+}
+
+// observe updates miss/suspect bookkeeping for target t as seen from c and
+// reports whether c votes t dead (silent past the suspicion timeout).
+func (c *monConn) observe(m *Monitor, t int, now time.Time) bool {
+	c.mu.Lock()
+	elapsed := now.Sub(c.lastHeard[t])
+	windows := int(elapsed / m.opts.Period)
+	missed := windows > c.misses[t] && windows >= 1
+	if missed {
+		c.misses[t] = windows
+	}
+	vote := elapsed >= m.opts.SuspectAfter
+	newSuspect := vote && !c.suspected[t]
+	if newSuspect {
+		c.suspected[t] = true
+	}
+	c.mu.Unlock()
+
+	if tr := m.opts.Trace; tr != nil {
+		if missed {
+			tr.Emit(obs.Event{
+				Kind: obs.EvHeartbeatMiss, Node: int32(c.id),
+				Obj: -1, Peer: int32(t), A: int64(windows),
+			})
+		}
+		if newSuspect {
+			tr.Emit(obs.Event{
+				Kind: obs.EvSuspect, Node: int32(c.id),
+				Obj: -1, Peer: int32(t),
+			})
+		}
+	}
+	return vote
+}
+
+func (c *monConn) Send(m transport.Message) error { return c.inner.Send(m) }
+func (c *monConn) Close() error                   { return c.inner.Close() }
+
+// CopiesPayload delegates to the inner endpoint, preserving the copying
+// contract through the stack.
+func (c *monConn) CopiesPayload(to int) bool {
+	if pc, ok := c.inner.(transport.PayloadCopier); ok {
+		return pc.CopiesPayload(to)
+	}
+	return false
+}
+
+// Recv filters liveness traffic out of the inbound stream.  Any arrival
+// from a live peer refreshes its liveness; heartbeats and crash notices
+// are consumed here, and traffic from an already-declared-dead peer (a
+// straggling delayed delivery) is dropped rather than resurrecting it.
+func (c *monConn) Recv() (transport.Message, error) {
+	for {
+		msg, err := c.inner.Recv()
+		if err != nil {
+			return msg, err
+		}
+		if msg.From != c.id && c.mon.IsDead(msg.From) {
+			continue
+		}
+		if msg.From != c.id {
+			c.heard(msg.From)
+		}
+		switch msg.Kind {
+		case proto.KindHeartbeat:
+			continue
+		case proto.KindCrashNotice:
+			if notice, err := proto.DecodeCrashNotice(msg.Payload); err == nil {
+				c.mon.declare(int(notice.Node), notice.Cycles, c.id)
+			}
+			continue
+		}
+		return msg, nil
+	}
+}

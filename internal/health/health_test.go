@@ -1,0 +1,203 @@
+package health
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"midway/internal/proto"
+	"midway/internal/transport"
+)
+
+// fakeClock is an injectable clock for deterministic liveness tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+type death struct {
+	node   int
+	cycles uint64
+}
+
+// drain pumps an endpoint's Recv loop, forwarding the protocol messages
+// that survive the monitor's liveness filtering.
+func drain(c transport.Conn, out chan<- transport.Message) {
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		out <- m
+	}
+}
+
+// TestMonitorDetectsSilentPeer drives a manual-mode monitor with an
+// injected clock: three nodes keep beating, the fourth goes silent, and
+// after the suspicion timeout every live endpoint agrees and the silent
+// node is declared dead exactly once.
+func TestMonitorDetectsSilentPeer(t *testing.T) {
+	const nodes = 4
+	const period = 10 * time.Millisecond
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	net := transport.NewChannelNetwork(nodes)
+	mon := NewMonitor(net, Options{
+		Manual: true, Period: period, SuspectAfter: 5 * period, Now: clk.Now,
+	})
+	defer mon.Close()
+	deaths := make(chan death, nodes)
+	mon.OnDeath(func(n int, cyc uint64) { deaths <- death{n, cyc} })
+
+	msgs := make(chan transport.Message, 64)
+	conns := make([]transport.Conn, nodes)
+	for i := 0; i < nodes; i++ {
+		conns[i] = mon.Conn(i)
+		go drain(conns[i], msgs)
+	}
+
+	live := []int{0, 1, 2} // node 3 never beats
+	for step := 0; step < 8; step++ {
+		clk.Advance(period)
+		for _, i := range live {
+			mon.Beat(i)
+		}
+		// Flush markers: each live pair's marker arrives after that
+		// pair's heartbeat (per-endpoint FIFO), so once all markers are
+		// back every heartbeat has been consumed and refreshed liveness.
+		want := 0
+		for _, i := range live {
+			for _, j := range live {
+				if i != j {
+					if err := conns[i].Send(transport.Message{From: i, To: j, Kind: proto.KindBarrierEnter}); err != nil {
+						t.Fatal(err)
+					}
+					want++
+				}
+			}
+		}
+		for k := 0; k < want; k++ {
+			<-msgs
+		}
+		mon.CheckNow()
+	}
+
+	select {
+	case d := <-deaths:
+		if d.node != 3 {
+			t.Fatalf("declared node %d dead, want 3", d.node)
+		}
+	default:
+		t.Fatal("silent node was never declared dead")
+	}
+	select {
+	case d := <-deaths:
+		t.Fatalf("second death declared: %+v", d)
+	default:
+	}
+	if !mon.IsDead(3) {
+		t.Error("IsDead(3) = false after declaration")
+	}
+	if got := mon.Dead(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Dead() = %v, want [3]", got)
+	}
+}
+
+// TestMonitorCrashNotice checks that a received KindCrashNotice declares
+// the named node with the carried cycle stamp, is consumed before the
+// protocol layer, and is idempotent.
+func TestMonitorCrashNotice(t *testing.T) {
+	net := transport.NewChannelNetwork(3)
+	mon := NewMonitor(net, Options{Manual: true})
+	defer mon.Close()
+	deaths := make(chan death, 3)
+	mon.OnDeath(func(n int, cyc uint64) { deaths <- death{n, cyc} })
+
+	msgs := make(chan transport.Message, 8)
+	c0, c1 := mon.Conn(0), mon.Conn(1)
+	go drain(c0, msgs)
+	go drain(c1, msgs)
+
+	notice := proto.CrashNotice{Node: 2, Cycles: 777}
+	for i := 0; i < 2; i++ { // duplicate notice must not redeclare
+		if err := c0.Send(transport.Message{
+			From: 0, To: 1, Kind: proto.KindCrashNotice, Payload: notice.Encode(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case d := <-deaths:
+		if d.node != 2 || d.cycles != 777 {
+			t.Fatalf("death = %+v, want node 2 at cycle 777", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("crash notice never declared the node")
+	}
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case d := <-deaths:
+		t.Fatalf("duplicate notice redeclared: %+v", d)
+	default:
+	}
+	select {
+	case m := <-msgs:
+		t.Fatalf("liveness traffic leaked to the protocol layer: %+v", m)
+	default:
+	}
+}
+
+// TestMonitorSelfFence checks the single-endpoint rule: an observer that
+// has lost every peer at once in a three-node system assumes its own links
+// are severed and declares no one; losing just one peer still declares it.
+func TestMonitorSelfFence(t *testing.T) {
+	const period = 10 * time.Millisecond
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	net := transport.NewChannelNetwork(3)
+	mon := NewMonitor(net, Options{
+		Manual: true, Period: period, SuspectAfter: 3 * period, Now: clk.Now,
+	})
+	defer mon.Close()
+	deaths := make(chan death, 3)
+	mon.OnDeath(func(n int, cyc uint64) { deaths <- death{n, cyc} })
+
+	msgs := make(chan transport.Message, 8)
+	c0 := mon.Conn(0) // the only monitored endpoint (one process of a TCP deployment)
+	go drain(c0, msgs)
+
+	// Everyone silent past the timeout: fenced, declare no one.
+	clk.Advance(10 * period)
+	mon.CheckNow()
+	select {
+	case d := <-deaths:
+		t.Fatalf("fenced observer declared %+v", d)
+	default:
+	}
+
+	// Fresh evidence from node 1 only: node 2's silence is now meaningful.
+	if err := net.Conn(1).Send(transport.Message{From: 1, To: 0, Kind: proto.KindBarrierEnter}); err != nil {
+		t.Fatal(err)
+	}
+	<-msgs
+	clk.Advance(period)
+	mon.CheckNow()
+	select {
+	case d := <-deaths:
+		if d.node != 2 {
+			t.Fatalf("declared node %d, want 2", d.node)
+		}
+	default:
+		t.Fatal("silent peer not declared once the observer had live evidence")
+	}
+}

@@ -22,6 +22,55 @@ type Analysis struct {
 	Barriers []BarrierReport
 	// Nodes estimates each node's blocked-versus-running split.
 	Nodes []NodeReport
+	// Recovery summarizes failure detection and crash recovery, nil when
+	// the trace has no liveness or recovery events.
+	Recovery *RecoveryReport
+}
+
+// RecoveryReport is the failure-detection and crash-recovery timeline.
+type RecoveryReport struct {
+	// HeartbeatMisses and Suspicions count the detector's real-time
+	// observations (these events carry no simulated timestamp).
+	HeartbeatMisses int
+	Suspicions      int
+	// Deaths, Reclaims and Reforms are the recovery timeline in trace
+	// order, stamped with the simulated recovery clock.
+	Deaths   []DeathReport
+	Reclaims []ReclaimReport
+	Reforms  []ReformReport
+}
+
+// DeathReport is one declared node death.
+type DeathReport struct {
+	// Node is the declared-dead node; Via the observing endpoint (-1 when
+	// the declaration came from the program-point crash API).
+	Node   int32
+	Via    int32
+	Cycles uint64
+}
+
+// ReclaimReport is one lock-token reclamation.
+type ReclaimReport struct {
+	Obj  int32
+	Name string
+	// From is the crashed holder, NewOwner the survivor that received the
+	// token at its last-released state, BindGen the rebind generation that
+	// forces the next transfer to carry full data.
+	From     int32
+	NewOwner int32
+	BindGen  int64
+	Cycles   uint64
+}
+
+// ReformReport is one barrier-membership reform.
+type ReformReport struct {
+	Obj  int32
+	Name string
+	// Parties is the surviving membership; Epoch the in-progress episode
+	// at the crash.
+	Parties int64
+	Epoch   int64
+	Cycles  uint64
 }
 
 // LockReport is one object's contention summary.
@@ -123,7 +172,40 @@ func AnalyzeEvents(events []Event) *Analysis {
 	firstXfer := map[int32]uint64{}      // per object
 	lastXfer := map[int32]uint64{}
 
+	recovery := func() *RecoveryReport {
+		if a.Recovery == nil {
+			a.Recovery = &RecoveryReport{}
+		}
+		return a.Recovery
+	}
+
 	for _, e := range events {
+		// Liveness and recovery events are accounted separately: they are
+		// real-time (or recovery-clock) machinery, and their observer ids
+		// (-1 for the runtime) must not seed the per-node breakdown.
+		switch e.Kind {
+		case EvHeartbeatMiss:
+			recovery().HeartbeatMisses++
+			continue
+		case EvSuspect:
+			recovery().Suspicions++
+			continue
+		case EvDeclareDead:
+			recovery().Deaths = append(recovery().Deaths,
+				DeathReport{Node: e.Peer, Via: e.Node, Cycles: e.Cycles})
+			continue
+		case EvReclaim:
+			recovery().Reclaims = append(recovery().Reclaims, ReclaimReport{
+				Obj: e.Obj, Name: e.Name, From: e.Peer, NewOwner: e.Node,
+				BindGen: e.A, Cycles: e.Cycles,
+			})
+			continue
+		case EvBarrierReform:
+			recovery().Reforms = append(recovery().Reforms, ReformReport{
+				Obj: e.Obj, Name: e.Name, Parties: e.A, Epoch: e.B, Cycles: e.Cycles,
+			})
+			continue
+		}
 		n := nodeOf(e.Node)
 		if e.Cycles > n.Span {
 			n.Span = e.Cycles
@@ -279,6 +361,31 @@ func (a *Analysis) WriteReport(w io.Writer) {
 			n.Node, ms(n.Span), ms(n.LockWait), ms(n.BarrierWait), ms(n.Running))
 	}
 	tw.Flush()
+
+	if r := a.Recovery; r != nil {
+		fmt.Fprintln(w, "\ncrash recovery timeline:")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for _, d := range r.Deaths {
+			via := "the runtime"
+			if d.Via >= 0 {
+				via = fmt.Sprintf("n%d", d.Via)
+			}
+			fmt.Fprintf(tw, "  %s\tnode %d declared dead\tobserved by %s\n", ms(d.Cycles), d.Node, via)
+		}
+		for _, rc := range r.Reclaims {
+			fmt.Fprintf(tw, "  %s\tlock %s reclaimed from n%d by n%d\trebind gen %d\n",
+				ms(rc.Cycles), rc.Name, rc.From, rc.NewOwner, rc.BindGen)
+		}
+		for _, rf := range r.Reforms {
+			fmt.Fprintf(tw, "  %s\tbarrier %s re-formed over %d parties\tepoch %d\n",
+				ms(rf.Cycles), rf.Name, rf.Parties, rf.Epoch)
+		}
+		tw.Flush()
+		if r.HeartbeatMisses > 0 || r.Suspicions > 0 {
+			fmt.Fprintf(w, "  detector: %d heartbeat windows missed, %d suspicions raised\n",
+				r.HeartbeatMisses, r.Suspicions)
+		}
+	}
 
 	for _, b := range a.Barriers {
 		fmt.Fprintf(w, "\nbarrier %s: %d epochs, max skew %s, mean skew %s\n",

@@ -69,8 +69,29 @@ const (
 	// destination, A the sequence number, B the attempt count.
 	EvRetransmit
 	// EvNetFault is an injected network fault.  Name is the fault kind
-	// (drop, dup, reorder, delay, partition); Peer is the destination.
+	// (drop, dup, reorder, delay, partition, crash); Peer is the
+	// destination.
 	EvNetFault
+	// EvHeartbeatMiss is a liveness window a peer failed to refresh.  Node
+	// is the observer, Peer the silent node, A the consecutive miss count.
+	// Heartbeats are real-time machinery, so Cycles is zero.
+	EvHeartbeatMiss
+	// EvSuspect marks a peer as suspected dead by a node's failure
+	// detector.  Node is the observer, Peer the suspect.
+	EvSuspect
+	// EvDeclareDead marks a node declared crashed.  Node is the declarer
+	// (-1 for a system-level injection), Peer the dead node.  Cycles is
+	// the simulated declaration time when the crash was injected at a
+	// protocol point, zero when detected in real time.
+	EvDeclareDead
+	// EvReclaim is a lock token reclaimed from a crashed holder at its
+	// last release boundary.  Node is the new owner, Peer the crashed
+	// node, Obj the lock, A the new binding generation.
+	EvReclaim
+	// EvBarrierReform is a barrier membership recomputation after a
+	// crash.  Node is the manager, Obj the barrier, A the new effective
+	// party count, B the epoch in progress.
+	EvBarrierReform
 
 	kindCount
 )
@@ -90,6 +111,11 @@ var kindNames = [kindCount]string{
 	EvApply:         "apply",
 	EvRetransmit:    "retransmit",
 	EvNetFault:      "netfault",
+	EvHeartbeatMiss: "heartbeat-miss",
+	EvSuspect:       "suspect",
+	EvDeclareDead:   "declare-dead",
+	EvReclaim:       "reclaim",
+	EvBarrierReform: "barrier-reform",
 }
 
 // String returns the kind's wire name as used in JSONL output.
@@ -267,6 +293,16 @@ func (e Event) textBody() string {
 		return fmt.Sprintf("retransmit -> n%d seq=%d attempt=%d", e.Peer, e.A, e.B)
 	case EvNetFault:
 		return fmt.Sprintf("netfault %s -> n%d", e.Name, e.Peer)
+	case EvHeartbeatMiss:
+		return fmt.Sprintf("heartbeat-miss n%d misses=%d", e.Peer, e.A)
+	case EvSuspect:
+		return fmt.Sprintf("suspect n%d", e.Peer)
+	case EvDeclareDead:
+		return fmt.Sprintf("declare-dead n%d", e.Peer)
+	case EvReclaim:
+		return fmt.Sprintf("reclaim %s from n%d gen=%d", e.Name, e.Peer, e.A)
+	case EvBarrierReform:
+		return fmt.Sprintf("barrier-reform %s parties=%d epoch=%d", e.Name, e.A, e.B)
 	default:
 		return e.Kind.String()
 	}

@@ -44,6 +44,14 @@ const (
 	// KindReliableAck is the transport-level cumulative acknowledgement for
 	// KindReliableData envelopes.  It never reaches the protocol handler.
 	KindReliableAck
+	// KindHeartbeat is a transport-level liveness probe emitted by the
+	// health monitor.  It carries no payload and never reaches the
+	// protocol handler.
+	KindHeartbeat
+	// KindCrashNotice is a transport-level broadcast declaring a node
+	// dead.  The health monitor consumes it before the protocol handler
+	// sees it.
+	KindCrashNotice
 )
 
 // String returns the message kind's name.
@@ -65,6 +73,10 @@ func (k Kind) String() string {
 		return "ReliableData"
 	case KindReliableAck:
 		return "ReliableAck"
+	case KindHeartbeat:
+		return "Heartbeat"
+	case KindCrashNotice:
+		return "CrashNotice"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -733,6 +745,37 @@ func DecodeReliableAck(buf []byte) (*ReliableAck, error) {
 	m := &ReliableAck{Seq: d.U64()}
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("decoding ReliableAck: %w", err)
+	}
+	return m, nil
+}
+
+// CrashNotice declares a node dead.  Node is the crashed node; Cycles is
+// the simulated cycle count at the declaring node when the crash was
+// established (zero for purely real-time detection).
+type CrashNotice struct {
+	Node   uint32
+	Cycles uint64
+}
+
+// EncodedSize returns the exact encoded length.
+func (m *CrashNotice) EncodedSize() int { return 4 + 8 }
+
+// EncodeInto appends the notice to e.
+func (m *CrashNotice) EncodeInto(e *Encoder) {
+	e.Grow(m.EncodedSize())
+	e.U32(m.Node)
+	e.U64(m.Cycles)
+}
+
+// Encode serializes the notice.
+func (m *CrashNotice) Encode() []byte { return Encode(m) }
+
+// DecodeCrashNotice parses a CrashNotice payload.
+func DecodeCrashNotice(buf []byte) (*CrashNotice, error) {
+	d := NewDecoder(buf)
+	m := &CrashNotice{Node: d.U32(), Cycles: d.U64()}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decoding CrashNotice: %w", err)
 	}
 	return m, nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"midway/internal/obs"
+	"midway/internal/proto"
 )
 
 // FaultConfig parameterizes deterministic fault injection.  Probabilities
@@ -31,11 +32,27 @@ type FaultConfig struct {
 	// ReorderDelay is how long a reordered message is held back.  Zero
 	// selects 3ms.
 	ReorderDelay time.Duration
+	// Crash selects a node whose endpoints are severed mid-run: once the
+	// trigger below fires, every message from or to it is dropped, as if
+	// the process died.  Armed only when a trigger is set.
+	Crash int
+	// CrashAfterMsgs triggers the crash once the node has sent this many
+	// protocol messages (health traffic is not counted).  Zero disables.
+	CrashAfterMsgs int
+	// CrashAtCycles triggers the crash at the first protocol message the
+	// node sends with a simulated send time at or past this cycle count.
+	// Zero disables.
+	CrashAtCycles uint64
 }
 
 // Active reports whether any fault injection is configured.
 func (c FaultConfig) Active() bool {
-	return c.Drop > 0 || c.Dup > 0 || c.Reorder > 0 || c.Delay > 0
+	return c.Drop > 0 || c.Dup > 0 || c.Reorder > 0 || c.Delay > 0 || c.CrashArmed()
+}
+
+// CrashArmed reports whether a crash trigger is configured.
+func (c FaultConfig) CrashArmed() bool {
+	return c.CrashAfterMsgs > 0 || c.CrashAtCycles > 0
 }
 
 // String renders the configuration in ParseFaultSpec's format.
@@ -53,6 +70,15 @@ func (c FaultConfig) String() string {
 	if c.Delay > 0 {
 		parts = append(parts, fmt.Sprintf("delay=%s", c.Delay))
 	}
+	if c.CrashArmed() {
+		parts = append(parts, fmt.Sprintf("crash=%d", c.Crash))
+		if c.CrashAfterMsgs > 0 {
+			parts = append(parts, fmt.Sprintf("crashafter=%d", c.CrashAfterMsgs))
+		}
+		if c.CrashAtCycles > 0 {
+			parts = append(parts, fmt.Sprintf("crashat=%d", c.CrashAtCycles))
+		}
+	}
 	parts = append(parts, fmt.Sprintf("seed=%d", c.Seed))
 	return strings.Join(parts, ",")
 }
@@ -60,11 +86,14 @@ func (c FaultConfig) String() string {
 // ParseFaultSpec parses a comma-separated fault specification like
 //
 //	drop=0.05,dup=0.02,reorder=0.1,delay=1ms,seed=7
+//	crash=1,crashafter=40,seed=7
 //
 // Unknown keys, probabilities outside [0, 1) and malformed values are
-// errors.  An empty spec returns the zero (inactive) config.
+// errors; crash= requires one of crashafter= (message count) or crashat=
+// (simulated cycles).  An empty spec returns the zero (inactive) config.
 func ParseFaultSpec(spec string) (FaultConfig, error) {
 	var c FaultConfig
+	crashNode := -1
 	if spec == "" {
 		return c, nil
 	}
@@ -99,9 +128,36 @@ func ParseFaultSpec(spec string) (FaultConfig, error) {
 				return c, fmt.Errorf("transport: fault spec: seed=%q is not an integer", val)
 			}
 			c.Seed = s
+		case "crash":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return c, fmt.Errorf("transport: fault spec: crash=%q is not a node id", val)
+			}
+			crashNode = n
+		case "crashafter":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return c, fmt.Errorf("transport: fault spec: crashafter=%q is not a positive message count", val)
+			}
+			c.CrashAfterMsgs = n
+		case "crashat":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil || n == 0 {
+				return c, fmt.Errorf("transport: fault spec: crashat=%q is not a positive cycle count", val)
+			}
+			c.CrashAtCycles = n
 		default:
-			return c, fmt.Errorf("transport: fault spec: unknown key %q (want drop, dup, reorder, delay, seed)", key)
+			return c, fmt.Errorf("transport: fault spec: unknown key %q (want drop, dup, reorder, delay, crash, crashafter, crashat, seed)", key)
 		}
+	}
+	if crashNode >= 0 && !c.CrashArmed() {
+		return c, fmt.Errorf("transport: fault spec: crash=%d needs crashafter= or crashat=", crashNode)
+	}
+	if crashNode < 0 && c.CrashArmed() {
+		return c, fmt.Errorf("transport: fault spec: crashafter/crashat need crash=<node>")
+	}
+	if crashNode >= 0 {
+		c.Crash = crashNode
 	}
 	return c, nil
 }
@@ -122,6 +178,8 @@ type FaultNetwork struct {
 
 	mu          sync.Mutex
 	partitioned map[[2]int]bool
+	crashSent   int          // protocol messages the crash-armed node has sent
+	dead        map[int]bool // nodes whose endpoints are severed
 
 	// closeMu orders delayed-delivery registration against Close: Send
 	// registers with wg under the read lock, Close flips closing under the
@@ -151,6 +209,15 @@ func (f *FaultNetwork) emitFault(kind string, m Message) {
 	}
 }
 
+// healthKind reports whether k is liveness machinery rather than protocol
+// traffic.  Health messages are still dropped once a node is dead (that is
+// how death is observed), but they never advance a crash trigger: their
+// timing is real time, and counting them would make the trigger point
+// depend on wall-clock scheduling.
+func healthKind(k proto.Kind) bool {
+	return k == proto.KindHeartbeat || k == proto.KindCrashNotice
+}
+
 // faultPair is the PRNG stream for one directed node pair.
 type faultPair struct {
 	mu  sync.Mutex
@@ -168,6 +235,7 @@ func NewFaultNetwork(inner Network, cfg FaultConfig) *FaultNetwork {
 		cfg:         cfg,
 		pairs:       make([]*faultPair, n*n),
 		partitioned: make(map[[2]int]bool),
+		dead:        make(map[int]bool),
 		closed:      make(chan struct{}),
 	}
 	for i := range f.pairs {
@@ -203,6 +271,22 @@ func (f *FaultNetwork) Heal(a, b int) {
 	delete(f.partitioned, [2]int{b, a})
 }
 
+// Kill severs node k's endpoints immediately: every subsequent message
+// from or to it is dropped.  Crashes injected by a CrashAfterMsgs or
+// CrashAtCycles trigger go through the same state.
+func (f *FaultNetwork) Kill(k int) {
+	f.mu.Lock()
+	f.dead[k] = true
+	f.mu.Unlock()
+}
+
+// Crashed reports whether node k's endpoints have been severed.
+func (f *FaultNetwork) Crashed(k int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead[k]
+}
+
 // Close aborts pending delayed deliveries and closes the inner network.
 func (f *FaultNetwork) Close() error {
 	f.closeOnce.Do(func() {
@@ -228,12 +312,28 @@ func (c *faultConn) Close() error           { return c.inner.Close() }
 func (c *faultConn) Send(m Message) error {
 	f := c.net
 	if m.From == m.To {
-		// Self-sends (shutdown) bypass injection entirely.
+		// Self-sends (shutdown) bypass injection entirely, even on a
+		// crashed node: the local handler must stay stoppable.
 		return c.inner.Send(m)
 	}
 	f.mu.Lock()
+	if f.cfg.CrashArmed() && m.From == f.cfg.Crash && !f.dead[m.From] && !healthKind(m.Kind) {
+		if f.cfg.CrashAtCycles > 0 && m.Time >= f.cfg.CrashAtCycles {
+			f.dead[m.From] = true // died before reaching this simulated time
+		} else if f.cfg.CrashAfterMsgs > 0 {
+			f.crashSent++
+			if f.crashSent > f.cfg.CrashAfterMsgs {
+				f.dead[m.From] = true
+			}
+		}
+	}
+	dead := f.dead[m.From] || f.dead[m.To]
 	cut := f.partitioned[[2]int{m.From, m.To}]
 	f.mu.Unlock()
+	if dead {
+		f.emitFault("crash", m)
+		return nil // severed endpoint: the process is gone
+	}
 	if cut {
 		f.emitFault("partition", m)
 		return nil // silently dropped, as a partition would

@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"midway/internal/proto"
+)
+
+func TestParseFaultSpecCrash(t *testing.T) {
+	c, err := ParseFaultSpec("crash=2,crashafter=10,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Crash != 2 || c.CrashAfterMsgs != 10 {
+		t.Errorf("parsed %+v", c)
+	}
+	if !c.CrashArmed() || !c.Active() {
+		t.Error("armed crash reports unarmed or inactive")
+	}
+	c, err = ParseFaultSpec("crash=1,crashat=5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Crash != 1 || c.CrashAtCycles != 5000 || !c.CrashArmed() {
+		t.Errorf("parsed %+v", c)
+	}
+	if c := (FaultConfig{Drop: 0.1}); c.CrashArmed() {
+		t.Error("drop-only config reports an armed crash")
+	}
+	for _, bad := range []string{"crash=x", "crashafter=x", "crashafter=0", "crashat=x"} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestFaultNetworkCrashAfterMsgs checks the seeded crash trigger: health
+// traffic never advances the countdown, the Nth protocol send severs the
+// node, and from then on traffic both from and to it disappears.
+func TestFaultNetworkCrashAfterMsgs(t *testing.T) {
+	f := NewFaultNetwork(NewChannelNetwork(2), FaultConfig{Crash: 1, CrashAfterMsgs: 2})
+	defer f.Close()
+	victim, peer := f.Conn(1), f.Conn(0)
+
+	// A heartbeat before the countdown runs out must pass and not count.
+	steps := []struct {
+		kind proto.Kind
+		time uint64
+	}{
+		{proto.KindHeartbeat, 0},
+		{proto.KindLockAcquire, 1},
+		{proto.KindLockAcquire, 2},
+		{proto.KindLockAcquire, 3}, // third protocol message: severed
+		{proto.KindHeartbeat, 4},   // dead node beats no more
+	}
+	for _, s := range steps {
+		if err := victim.Send(Message{From: 1, To: 0, Kind: s.kind, Time: s.time}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := peer.Send(Message{From: 0, To: 0, Kind: proto.KindShutdown}); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for {
+		m, err := peer.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Kind == proto.KindShutdown {
+			break
+		}
+		got = append(got, m.Time)
+	}
+	want := []uint64{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", got, want)
+		}
+	}
+	if !f.Crashed(1) || f.Crashed(0) {
+		t.Errorf("Crashed: node1=%v node0=%v, want true/false", f.Crashed(1), f.Crashed(0))
+	}
+
+	// Traffic toward the corpse is severed too.
+	if err := peer.Send(Message{From: 0, To: 1, Kind: proto.KindLockGrant, Time: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Send(Message{From: 1, To: 1, Kind: proto.KindShutdown}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := victim.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != proto.KindShutdown {
+		t.Errorf("message reached a crashed node: %+v", m)
+	}
+}
+
+func TestParseReliableSpec(t *testing.T) {
+	o, err := ParseReliableSpec("initial=10ms,max=200ms,giveup=10,jitter=0.2,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.RetransmitInitial != 10*time.Millisecond || o.RetransmitMax != 200*time.Millisecond ||
+		o.GiveUp != 10 || o.Jitter != 0.2 || o.Seed != 7 {
+		t.Errorf("parsed %+v", o)
+	}
+	if o, err := ParseReliableSpec(""); err != nil || o.GiveUp != 0 {
+		t.Errorf("empty spec: %v, %+v", err, o)
+	}
+	for _, bad := range []string{
+		"initial", "initial=x", "giveup=0", "giveup=x", "jitter=2", "jitter=-0.1", "seed=x", "mystery=1",
+	} {
+		if _, err := ParseReliableSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestReliableForgetPeer checks that dropping a dead peer's unacked
+// traffic stops the retransmission machinery from giving up on it: the
+// forgetting endpoint stays healthy while an identical endpoint that keeps
+// retransmitting into the void fails.
+func TestReliableForgetPeer(t *testing.T) {
+	opts := ReliableOptions{
+		RetransmitInitial: 2 * time.Millisecond,
+		RetransmitMax:     5 * time.Millisecond,
+		GiveUp:            4,
+	}
+	send := func(forget bool) error {
+		r := NewReliableNetwork(NewChannelNetwork(2), opts)
+		defer r.Close()
+		// Node 1's endpoint is never created: like a crashed process, it
+		// acknowledges nothing.
+		c := r.Conn(0)
+		if err := c.Send(Message{From: 0, To: 1, Kind: proto.KindLockAcquire}); err != nil {
+			return err
+		}
+		if forget {
+			r.ForgetPeer(1)
+		}
+		deadline := time.Now().Add(500 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			if err := r.Err(); err != nil {
+				return err
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return nil
+	}
+	if err := send(false); err == nil {
+		t.Error("unacked peer never drove the layer past give-up")
+	}
+	if err := send(true); err != nil {
+		t.Errorf("give-up fired despite ForgetPeer: %v", err)
+	}
+}

@@ -2,6 +2,9 @@ package transport
 
 import (
 	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -20,6 +23,14 @@ type ReliableOptions struct {
 	// which the peer is declared unreachable and the connection fails
 	// (default 25 — about 12 seconds of backoff).
 	GiveUp int
+	// Jitter spreads each retransmission deadline uniformly over
+	// [backoff*(1-Jitter), backoff*(1+Jitter)], desynchronizing the
+	// retransmit storm after a partition heals.  Must be in [0, 1);
+	// zero disables (pure exponential backoff).
+	Jitter float64
+	// Seed seeds the per-endpoint jitter PRNG, so a given endpoint draws
+	// the same jitter sequence across runs.
+	Seed int64
 	// Trace, when non-nil, receives a structured event per retransmission.
 	// Retransmissions are host-timing artifacts, so these events carry the
 	// envelope's original simulated send time, not a new timestamp.
@@ -37,6 +48,58 @@ func (o ReliableOptions) withDefaults() ReliableOptions {
 		o.GiveUp = 25
 	}
 	return o
+}
+
+// ParseReliableSpec parses a comma-separated reliability specification like
+//
+//	initial=10ms,max=200ms,giveup=10,jitter=0.2,seed=7
+//
+// Every key is optional; unset keys keep the package defaults.  An empty
+// spec returns the zero options (all defaults).
+func ParseReliableSpec(spec string) (ReliableOptions, error) {
+	var o ReliableOptions
+	if spec == "" {
+		return o, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return o, fmt.Errorf("transport: reliable spec %q: field %q is not key=value", spec, field)
+		}
+		switch key {
+		case "initial", "max":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return o, fmt.Errorf("transport: reliable spec: %s=%q is not a positive duration", key, val)
+			}
+			if key == "initial" {
+				o.RetransmitInitial = d
+			} else {
+				o.RetransmitMax = d
+			}
+		case "giveup":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return o, fmt.Errorf("transport: reliable spec: giveup=%q is not a positive count", val)
+			}
+			o.GiveUp = n
+		case "jitter":
+			j, err := strconv.ParseFloat(val, 64)
+			if err != nil || j < 0 || j >= 1 {
+				return o, fmt.Errorf("transport: reliable spec: jitter=%q is not a fraction in [0,1)", val)
+			}
+			o.Jitter = j
+		case "seed":
+			s, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return o, fmt.Errorf("transport: reliable spec: seed=%q is not an integer", val)
+			}
+			o.Seed = s
+		default:
+			return o, fmt.Errorf("transport: reliable spec: unknown key %q (want initial, max, giveup, jitter, seed)", key)
+		}
+	}
+	return o, nil
 }
 
 // ReliableNetwork wraps a Network so that the protocol above it sees
@@ -105,6 +168,27 @@ func (r *ReliableNetwork) Conn(i int) Conn {
 	return r.conns[i]
 }
 
+// ForgetPeer discards all delivery state toward node k on every endpoint:
+// in-flight envelopes stop retransmitting (so a declared-dead peer cannot
+// drive a healthy endpoint past GiveUp) and held-back early arrivals from
+// it are dropped.  Call when k has been declared crashed.
+func (r *ReliableNetwork) ForgetPeer(k int) {
+	r.errMu.Lock()
+	conns := append([]*reliableConn(nil), r.conns...)
+	r.errMu.Unlock()
+	for _, c := range conns {
+		if c == nil || c.id == k {
+			continue
+		}
+		c.mu.Lock()
+		if k >= 0 && k < len(c.unacked) {
+			c.unacked[k] = make(map[uint64]*unackedMsg)
+			c.heldBack[k] = make(map[uint64]Message)
+		}
+		c.mu.Unlock()
+	}
+}
+
 // Close shuts down every endpoint and the inner network.
 func (r *ReliableNetwork) Close() error {
 	r.errMu.Lock()
@@ -139,6 +223,8 @@ type reliableConn struct {
 	recvSeq  []uint64                 // per peer: highest delivered sequence number
 	heldBack []map[uint64]Message     // per peer: early arrivals awaiting the gap
 
+	jitter *rand.Rand // jitter stream; guarded by mu, nil when Jitter == 0
+
 	out chan Message // decoded messages ready for Recv
 
 	closed    chan struct{}
@@ -169,6 +255,10 @@ func newReliableConn(r *ReliableNetwork, id int) *reliableConn {
 	for i := 0; i < n; i++ {
 		c.unacked[i] = make(map[uint64]*unackedMsg)
 		c.heldBack[i] = make(map[uint64]Message)
+	}
+	if r.opts.Jitter > 0 {
+		// Distinct deterministic stream per endpoint.
+		c.jitter = rand.New(rand.NewSource(r.opts.Seed<<16 ^ int64(id+1)))
 	}
 	go c.pumpLoop()
 	go c.retransmitLoop()
@@ -372,7 +462,12 @@ func (c *reliableConn) retransmitLoop() {
 					return
 				}
 				u.backoff = min(u.backoff*2, c.net.opts.RetransmitMax)
-				u.nextSend = now.Add(u.backoff)
+				wait := u.backoff
+				if c.jitter != nil {
+					spread := 1 + c.net.opts.Jitter*(2*c.jitter.Float64()-1)
+					wait = time.Duration(float64(wait) * spread)
+				}
+				u.nextSend = now.Add(wait)
 				resend = append(resend, u)
 			}
 		}

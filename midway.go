@@ -43,13 +43,16 @@
 package midway
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"midway/internal/core"
 	"midway/internal/cost"
 	"midway/internal/detect"
+	"midway/internal/health"
 	"midway/internal/memory"
 	"midway/internal/obs"
 	"midway/internal/stats"
@@ -122,6 +125,34 @@ type LockID = core.LockID
 // BarrierID names a barrier.
 type BarrierID = core.BarrierID
 
+// CrashPolicy selects how the system reacts when a node is declared dead
+// (see Config.OnCrash).
+type CrashPolicy = core.CrashPolicy
+
+// Crash policies.
+const (
+	// CrashAbort fails the whole run with a *CrashError as soon as any
+	// node is declared dead (the default).
+	CrashAbort = core.CrashAbort
+	// CrashDegrade recovers and continues with the surviving nodes:
+	// lock tokens lost with the crashed node are reclaimed at their
+	// last-released state, barriers re-form over the survivors, and Run
+	// returns the survivor-only result together with a CrashReport.
+	CrashDegrade = core.CrashDegrade
+)
+
+// CrashError is the run error reported under CrashAbort when a node dies.
+type CrashError = core.CrashError
+
+// CrashReport summarizes recovery actions after a CrashDegrade run.
+type CrashReport = core.CrashReport
+
+// ReclaimedLock records one lock-token reclamation in a CrashReport.
+type ReclaimedLock = core.ReclaimedLock
+
+// ReformedBarrier records one barrier-membership reform in a CrashReport.
+type ReformedBarrier = core.ReformedBarrier
+
 // Config describes a DSM system.  The zero value of every optional field
 // selects the paper's testbed parameters: Mach 3.0 exception costs, 4 KB
 // pages, a 140 Mbit/s ATM interconnect, and 1 MiB regions.
@@ -171,6 +202,34 @@ type Config struct {
 	// Reliable interposes the sequencing/ACK/retransmission layer even
 	// without fault injection (it is always on when FaultSpec is active).
 	Reliable bool
+	// ReliableSpec tunes the reliability layer's retransmission machinery
+	// in transport.ParseReliableSpec format, e.g.
+	// "initial=10ms,max=200ms,giveup=10,jitter=0.2,seed=7".  A non-empty
+	// spec implies Reliable.
+	ReliableSpec string
+	// Heartbeat enables transport-level failure detection: every endpoint
+	// beats all peers at this period, and a peer silent for SuspectAfter
+	// on every surviving endpoint is declared dead.  Zero disables the
+	// monitor unless FaultSpec arms a crash event, which auto-enables it
+	// at a 10 ms period.  Heartbeats travel below the reliability layer,
+	// carry no simulated timestamps and charge nothing, so a fault-free
+	// heartbeat-enabled run reports statistics byte-identical to a
+	// monitor-less one.
+	Heartbeat time.Duration
+	// SuspectAfter is the silence window before a peer is suspected.
+	// Zero selects six heartbeat periods.  Setting it without an active
+	// heartbeat monitor is an error.
+	SuspectAfter time.Duration
+	// OnCrash selects the reaction to a node crash: CrashAbort (default)
+	// fails the run, CrashDegrade recovers and continues with the
+	// survivors.  Multi-process deployments (TCPAddrs) always abort:
+	// release-boundary recovery needs the global all-hosted view.
+	OnCrash CrashPolicy
+	// CrashDetectCycles is the simulated-time cost charged for crash
+	// detection when a node is declared dead through the program-point
+	// API (Proc.Crash, System.KillNode).  Zero selects 25 000 cycles
+	// (1 ms at 25 MHz), a plausible heartbeat-timeout bound.
+	CrashDetectCycles uint64
 	// EagerTimestamps stamps dirtybits with the current logical time on
 	// every store, instead of the cheap pending marker that is lazily
 	// timestamped at transfer (the paper's footnote 1 default).
@@ -276,6 +335,21 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("midway: %w", err)
 	}
+	ro, err := transport.ParseReliableSpec(cfg.ReliableSpec)
+	if err != nil {
+		return nil, fmt.Errorf("midway: %w", err)
+	}
+	ro.Trace = tr
+	hb := cfg.Heartbeat
+	if hb == 0 && fc.CrashArmed() {
+		// An armed crash event without a detector would never be noticed;
+		// default to a fast testing period.
+		hb = 10 * time.Millisecond
+	}
+	if cfg.SuspectAfter > 0 && hb == 0 {
+		return nil, fmt.Errorf("midway: SuspectAfter set without Heartbeat")
+	}
+	reliable := cfg.Reliable || cfg.ReliableSpec != "" || fc.Active() || hb > 0
 	switch {
 	case len(cfg.TCPAddrs) > 0:
 		net, err := transport.DialTCPNode(cfg.TCPNodeID, cfg.Nodes, cfg.TCPAddrs)
@@ -290,7 +364,7 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("midway: %w", err)
 		}
 		cc.Transport = net
-	case fc.Active() || cfg.Reliable:
+	case reliable:
 		// Wrapping requires owning the base network core would otherwise
 		// create for itself.
 		cc.Transport = transport.NewChannelNetwork(cfg.Nodes)
@@ -300,8 +374,29 @@ func NewSystem(cfg Config) (*System, error) {
 		fn.SetTrace(tr)
 		cc.Transport = fn
 	}
-	if fc.Active() || cfg.Reliable {
-		cc.Transport = transport.NewReliableNetwork(cc.Transport, transport.ReliableOptions{Trace: tr})
+	var mon *health.Monitor
+	if hb > 0 {
+		// The monitor sits below the reliability layer: heartbeats are
+		// fire-and-forget (never retransmitted), and protocol envelopes
+		// passing through double as liveness evidence.
+		mon = health.NewMonitor(cc.Transport, health.Options{
+			Period:       hb,
+			SuspectAfter: cfg.SuspectAfter,
+			Trace:        tr,
+		})
+		cc.Transport = mon
+	}
+	var rel *transport.ReliableNetwork
+	if reliable {
+		rel = transport.NewReliableNetwork(cc.Transport, ro)
+		cc.Transport = rel
+	}
+	cc.OnCrash = cfg.OnCrash
+	cc.CrashDetectCycles = cfg.CrashDetectCycles
+	if mon != nil {
+		// Stop beating and checking before the nodes tear their
+		// endpoints down, so shutdown is not mistaken for death.
+		cc.PreStop = mon.Quiesce
 	}
 	inner, err := core.NewSystem(cc)
 	if err != nil {
@@ -309,6 +404,17 @@ func NewSystem(cfg Config) (*System, error) {
 			cc.Transport.Close()
 		}
 		return nil, err
+	}
+	if mon != nil {
+		mon.OnDeath(func(node int, cycles uint64) {
+			if rel != nil {
+				// Unacked traffic to the dead peer will never be
+				// acknowledged; drop it so retransmission cannot give up
+				// and fail an otherwise recoverable run.
+				rel.ForgetPeer(node)
+			}
+			inner.PeerDead(node, cycles)
+		})
 	}
 	return &System{inner: inner, net: cc.Transport, obs: tr, defaultGran: cfg.DefaultGranularity}, nil
 }
@@ -431,6 +537,34 @@ func (s *System) Run(fn func(p *Proc)) error {
 // Err returns the first transport or protocol failure recorded during the
 // run, or nil.  Run returns the same error.
 func (s *System) Err() error { return s.inner.Err() }
+
+// ErrShutdown is the failure Run returns when Close tears the system down
+// mid-run (e.g. from a signal handler).
+var ErrShutdown = errors.New("midway: system closed during run")
+
+// Close tears down the system immediately.  It is safe to call
+// concurrently with Run: every blocked application goroutine is released
+// (a reply parked on a dead transport would otherwise never arrive), Run
+// returns ErrShutdown, and the transport is closed — which makes Close
+// the shutdown path for a signal handler.  Redundant after Run, which
+// closes the transport itself; then it is a no-op.
+func (s *System) Close() {
+	s.inner.Abort(ErrShutdown)
+	if s.net != nil {
+		s.net.Close()
+	}
+}
+
+// KillNode declares node k dead at its current program point, from outside
+// the run function (chaos-test driver API).  Under CrashDegrade the
+// survivors recover and continue; under CrashAbort the run fails with a
+// *CrashError.  Unlike transport-level crash injection, no in-flight
+// messages are lost, so recovery is fully deterministic.
+func (s *System) KillNode(k int) { s.inner.KillNode(k) }
+
+// CrashReport returns the recovery summary after a run in which nodes were
+// declared dead, or nil if none were.
+func (s *System) CrashReport() *CrashReport { return s.inner.CrashReport() }
 
 // Stats returns per-processor counters of the primitive write-detection
 // operations.
@@ -574,6 +708,13 @@ func (p *Proc) Rebind(l LockID, ranges ...Range) { p.inner.Rebind(l, ranges...) 
 // Barrier enters the barrier and blocks until all processors arrive; data
 // bound to the barrier is made consistent across all of them.
 func (p *Proc) Barrier(b BarrierID) { p.inner.Barrier(b) }
+
+// Crash kills this processor's node at the current program point and does
+// not return: unreleased writes are discarded (they were never observable
+// under entry consistency), lock tokens held here are reclaimed at their
+// last-released state, and barriers re-form over the survivors.  The
+// run's fate is decided by Config.OnCrash.
+func (p *Proc) Crash() { p.inner.Crash() }
 
 // RangeAt returns the range [a, a+size).
 func RangeAt(a Addr, size uint32) Range { return Range{Addr: a, Size: size} }
