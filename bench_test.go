@@ -166,7 +166,7 @@ func benchEval(b *testing.B) *bench.Evaluation {
 	b.Helper()
 	benchEvalOnce.Do(func() {
 		benchEvalVal, benchEvalErr = bench.RunEvaluation(8, bench.ScaleSmall,
-			[]midway.Strategy{midway.RT, midway.VM, midway.Blast, midway.TwinDiff}, true)
+			[]midway.Strategy{midway.RT, midway.VM, midway.Blast, midway.TwinDiff}, true, 0)
 	})
 	if benchEvalErr != nil {
 		b.Fatal(benchEvalErr)
@@ -224,7 +224,7 @@ func BenchmarkTable2Counts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var err error
 		ev, err = bench.RunEvaluation(8, bench.ScaleSmall,
-			[]midway.Strategy{midway.RT, midway.VM}, false)
+			[]midway.Strategy{midway.RT, midway.VM}, false, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

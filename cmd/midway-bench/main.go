@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	midway-bench [-exp all|fig2|table1|table2|table3|table4|table5|fig3|fig4|uni|ablation|hybrid]
+//	midway-bench [-exp all|fig2|table1|table2|table3|table4|table5|fig3|fig4|uni|ablation|hybrid|scaling]
 //	             [-procs 8] [-scale small|medium|paper] [-scheme hybrid] [-fault spec]
+//	             [-sched goroutine|lockstep] [-workers n]
 //
 // Examples:
 //
@@ -13,6 +14,8 @@
 //	midway-bench -exp fig2 -procs 8   # just Figure 2
 //	midway-bench -exp hybrid          # RT vs VM vs Hybrid vs standalone
 //	midway-bench -scale paper         # paper-size inputs (minutes)
+//	midway-bench -sched lockstep      # deterministic parallel simulation core
+//	midway-bench -exp scaling         # 64-256 node engine comparison
 package main
 
 import (
@@ -41,15 +44,34 @@ func main() {
 		"trace encoding for -trace: text, jsonl (midway-trace input), chrome (chrome://tracing)")
 	profileObjects := flag.Bool("profile-objects", false,
 		"aggregate per-object/per-region profiles; with -trace, writes a .profile file per run")
-	workers := flag.Int("workers", bench.Workers,
+	workers := flag.Int("workers", bench.DefaultWorkers(),
 		"experiment cells run concurrently on this many workers (1 = serial)")
+	sched := flag.String("sched", "",
+		"execution engine for every run: goroutine (default) or lockstep (deterministic parallel simulation core)")
+	scaling := flag.Bool("scaling", false,
+		"run the 64-256 node engine-comparison grid (with -json, added to the report's scaling section)")
 	jsonOut := flag.Bool("json", false,
 		"emit the machine-readable evaluation report (simulated results plus wall-clock/alloc measurements) instead of tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	switch *sched {
+	case "", "goroutine", "lockstep":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q (want goroutine or lockstep)\n", *sched)
+		os.Exit(2)
+	}
 	bench.FaultSpec = *faultSpec
-	bench.Workers = *workers
+	bench.Sched = *sched
+	if *sched == "lockstep" {
+		// Keep cells × engine threads within GOMAXPROCS: concurrent cells
+		// already fill the host, so each engine gets the leftover share.
+		if threads := runtime.GOMAXPROCS(0) / max(*workers, 1); threads > 1 {
+			bench.SchedThreads = threads
+		} else {
+			bench.SchedThreads = 1
+		}
+	}
 	bench.ProfileObjects = *profileObjects
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
@@ -91,9 +113,9 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonOut {
-		err = runJSON(*procs, scale)
+		err = runJSON(*procs, scale, *workers, *scaling)
 	} else {
-		err = run(*exp, *procs, scale, *scheme)
+		err = run(*exp, *procs, scale, *scheme, *workers, *scaling)
 	}
 	if err != nil {
 		pprof.StopCPUProfile()
@@ -105,15 +127,22 @@ func main() {
 // runJSON emits the machine-readable report: the full strategy × app grid
 // with simulated results (diffed by CI against the committed baseline)
 // and wall-clock/allocation measurements (the perf trajectory).
-func runJSON(procs int, scale bench.Scale) error {
-	rep, err := bench.RunReport(procs, scale)
+func runJSON(procs int, scale bench.Scale, workers int, scaling bool) error {
+	rep, err := bench.RunReport(procs, scale, workers)
 	if err != nil {
 		return err
+	}
+	if scaling {
+		cells, err := bench.RunScaling(scale)
+		if err != nil {
+			return err
+		}
+		rep.Scaling = cells
 	}
 	return rep.WriteJSON(os.Stdout)
 }
 
-func run(exp string, procs int, scale bench.Scale, scheme string) error {
+func run(exp string, procs int, scale bench.Scale, scheme string, workers int, scaling bool) error {
 	w := os.Stdout
 	model := cost.Default()
 
@@ -133,7 +162,7 @@ func run(exp string, procs int, scale bench.Scale, scheme string) error {
 		fmt.Fprintf(w, "running evaluation: %d procs, %s scale, strategies %v ...\n\n",
 			procs, scale, strategies)
 		var err error
-		ev, err = bench.RunEvaluation(procs, scale, strategies, withStandalone)
+		ev, err = bench.RunEvaluation(procs, scale, strategies, withStandalone, workers)
 		if err != nil {
 			return err
 		}
@@ -154,7 +183,7 @@ func run(exp string, procs int, scale bench.Scale, scheme string) error {
 	section("fig4", func() { bench.FprintFigure4(w, ev, model) })
 	section("table5", func() { bench.FprintTable5(w, ev) })
 	section("uni", func() {
-		rows, err := bench.UniprocessorRows(scale)
+		rows, err := bench.UniprocessorRows(scale, workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			return
@@ -168,7 +197,7 @@ func run(exp string, procs int, scale bench.Scale, scheme string) error {
 	})
 	section("speedup", func() {
 		rows, err := bench.SpeedupCurves([]int{1, 2, 4, 8},
-			[]midway.Strategy{midway.RT, midway.VM}, scale)
+			[]midway.Strategy{midway.RT, midway.VM}, scale, workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "speedup: %v\n", err)
 			return
@@ -176,15 +205,25 @@ func run(exp string, procs int, scale bench.Scale, scheme string) error {
 		bench.FprintSpeedup(w, rows)
 	})
 	section("hybrid", func() {
-		rows, err := bench.HybridComparison(procs, scale, scheme)
+		rows, err := bench.HybridComparison(procs, scale, scheme, workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hybrid: %v\n", err)
 			return
 		}
 		bench.FprintHybrid(w, procs, scale, scheme, rows)
 	})
+	if scaling || exp == "scaling" {
+		section("scaling", func() {
+			cells, err := bench.RunScaling(scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
+				return
+			}
+			bench.FprintScaling(w, cells)
+		})
+	}
 	section("combine", func() {
-		rows, err := bench.CombineAblation(procs, scale)
+		rows, err := bench.CombineAblation(procs, scale, workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "combine ablation: %v\n", err)
 			return
@@ -196,7 +235,7 @@ func run(exp string, procs int, scale bench.Scale, scheme string) error {
 		"all": true, "fig2": true, "table1": true, "table2": true, "table3": true,
 		"table4": true, "table5": true, "fig3": true, "fig4": true, "uni": true,
 		"ablation": true, "untargetted": true, "combine": true, "speedup": true,
-		"hybrid": true,
+		"hybrid": true, "scaling": true,
 	}
 	if !known[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -8,7 +8,7 @@
 //	           [-strategy rt|vm|blast|twin|none|hybrid] [-scheme name]
 //	           [-procs 8] [-scale small|medium|paper]
 //	           [-fault-us 1200] [-latency-us 500] [-bandwidth-mbps 140]
-//	           [-tcp] [-eager] [-fault spec] [-reliable]
+//	           [-tcp] [-sched goroutine|lockstep] [-eager] [-fault spec] [-reliable]
 //	           [-trace FILE] [-trace-format text|jsonl|chrome] [-profile-objects]
 //
 // Examples:
@@ -73,6 +73,8 @@ func main() {
 	latencyUS := flag.Float64("latency-us", 0, "one-way message latency in µs (0 = default, 500)")
 	bwMbps := flag.Float64("bandwidth-mbps", 0, "network bandwidth in Mbit/s (0 = default, 140)")
 	useTCP := flag.Bool("tcp", false, "route protocol messages over loopback TCP sockets")
+	sched := flag.String("sched", "",
+		"execution engine: goroutine (default) or lockstep (deterministic parallel simulation core; in-process transport only)")
 	faultSpec := flag.String("fault", "",
 		"inject deterministic transport faults, e.g. drop=0.05,dup=0.02,reorder=0.1,seed=7 (implies reliable delivery)")
 	var reliable reliableFlag
@@ -132,10 +134,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *sched == "lockstep" && *useTCP {
+		fmt.Fprintln(os.Stderr, "-sched=lockstep drives simulated time itself and requires the in-process stepped transport; it cannot run over TCP sockets (-tcp)")
+		os.Exit(2)
+	}
 	cfg := midway.Config{
 		Nodes:               *procs,
 		Strategy:            strategy,
 		Scheme:              *schemeName,
+		Sched:               *sched,
 		PageFaultMicros:     *faultUS,
 		NetLatencyMicros:    *latencyUS,
 		NetBandwidthMbps:    *bwMbps,

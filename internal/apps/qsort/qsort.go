@@ -17,9 +17,9 @@
 //
 // A task queue naively polled by racing workers makes the protocol's
 // operation order — and with it every simulated statistic — depend on host
-// thread timing.  This implementation instead drives the workers on a
-// host-level round scheduler (the role Midway's threads package plays,
-// extended to a deterministic discipline):
+// thread timing.  This implementation instead drives the workers on the
+// engine-level round scheduler (midway.Turns — the role Midway's threads
+// package plays, extended to a deterministic discipline):
 //
 //   - Each round starts with a serialized sync phase: workers take turns
 //     in a seeded per-round permutation order, and only the turn-holder
@@ -170,7 +170,7 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 	var leafMu sync.Mutex
 	var leaves []leaf
 
-	sc := newSched(mcfg.Nodes, k, cfg.Seed)
+	sc := newSched(sys, mcfg.Nodes, k, cfg.Seed)
 
 	err = sys.Run(func(p *midway.Proc) {
 		me := p.ID()
@@ -361,7 +361,7 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 				p.Acquire(taskLock[li])
 				pending = append(pending[:0], span{lo, hi})
 			}
-			sc.endTurn()
+			sc.endTurn(me)
 			sortPending()
 			sc.finishSort(me, li >= 0, len(offers))
 		}
@@ -405,23 +405,19 @@ func leU32(b []byte) uint32 {
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
-// sched is the host-level deterministic round scheduler (see the package
-// comment).  It mirrors the queue's task and free-lock counts so that
-// scheduling decisions never require reading shared memory outside a
-// worker's serialized turn, and parks workers between phases — host
-// blocking that, like the threads package's, never advances a simulated
-// clock.
+// sched wraps the engine-level round scheduler (midway.Turns) with
+// quicksort's queue mirrors: the task and free-lock counts are shadowed at
+// the host level so that scheduling decisions never require reading shared
+// memory outside a worker's serialized turn.
+//
+// The mirrors need no lock of their own.  free and queued are touched only
+// by the current turn-holder, and turn hand-offs are mediated by the Turns
+// scheduler's internal mutex; holds[w] and offerN[w] are written only by
+// worker w immediately before its FinishRound call and read only by the
+// round's last reporter inside idle(), which Turns runs under that same
+// mutex after every report.
 type sched struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	rng   *apps.Rand
-	procs int
-
-	phase  int // 0 = serialized sync turns, 1 = concurrent sort
-	order  []int
-	pos    int
-	sorted int
-	done   bool
+	turns *midway.Turns
 
 	free   int // mirror of q[2], the free-lock count
 	queued int // mirror of q[0], the queued-task count
@@ -430,91 +426,45 @@ type sched struct {
 }
 
 // newSched seeds the scheduler for a pool of k task locks whose queue
-// starts with the root task.
-func newSched(procs, k int, seed int64) *sched {
-	s := &sched{
-		procs:  procs,
-		rng:    apps.NewRand(seed ^ 0x5ced),
+// starts with the root task.  Under Sched=lockstep the Turns scheduler
+// parks waiting workers through the engine; either way the permutation
+// stream — and with it the whole schedule — is the same.
+func newSched(sys *midway.System, procs, k int, seed int64) *sched {
+	return &sched{
+		turns:  sys.NewTurns(procs, seed^0x5ced),
 		free:   k - 1,
 		queued: 1,
 		holds:  make([]bool, procs),
 		offerN: make([]int, procs),
 	}
-	s.cond = sync.NewCond(&s.mu)
-	s.order = s.perm()
-	return s
-}
-
-// perm draws a fresh seeded permutation of worker ids — the deterministic
-// tie-break that replaces host-timing-dependent scheduling.
-func (s *sched) perm() []int {
-	p := make([]int, s.procs)
-	for i := range p {
-		p[i] = i
-	}
-	for i := s.procs - 1; i > 0; i-- {
-		j := s.rng.Intn(i + 1)
-		p[i], p[j] = p[j], p[i]
-	}
-	return p
 }
 
 // awaitTurn blocks until worker w's serialized sync turn starts, or
 // returns false when the sort is complete.
-func (s *sched) awaitTurn(w int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for !s.done && !(s.phase == 0 && s.order[s.pos] == w) {
-		s.cond.Wait()
-	}
-	return !s.done
-}
+func (s *sched) awaitTurn(w int) bool { return s.turns.AwaitTurn(w) }
 
-// endTurn passes the turn on; the last turn of a round opens the
-// concurrent sort phase.  The caller then blocks in awaitSortPhase (via
-// endTurn) until every worker's turn has run, so no compute overlaps a
-// sync turn.
-func (s *sched) endTurn() {
-	s.mu.Lock()
-	s.pos++
-	if s.pos == s.procs {
-		s.phase = 1
-		s.sorted = 0
-	}
-	s.cond.Broadcast()
-	for s.phase != 1 {
-		s.cond.Wait()
-	}
-	s.mu.Unlock()
-}
+// endTurn passes worker w's turn on and blocks until every worker's turn
+// has run, so no compute overlaps a sync turn.
+func (s *sched) endTurn(w int) { s.turns.EndTurn(w) }
 
 // finishSort reports a worker's sort phase done, carrying whether it still
 // holds a task lock and how many spans it will offer next turn.  The last
 // reporter either declares completion or opens the next round.
 func (s *sched) finishSort(w int, holding bool, offers int) {
-	s.mu.Lock()
 	s.holds[w] = holding
 	s.offerN[w] = offers
-	s.sorted++
-	if s.sorted == s.procs {
+	s.turns.FinishRound(w, func() bool {
 		idle := s.queued == 0
-		for i := 0; i < s.procs && idle; i++ {
+		for i := 0; i < len(s.holds) && idle; i++ {
 			idle = !s.holds[i] && s.offerN[i] == 0
 		}
-		s.done = idle
-		s.phase = 0
-		s.pos = 0
-		s.order = s.perm()
-	}
-	s.mu.Unlock()
-	s.cond.Broadcast()
+		return idle
+	})
 }
 
 // claimFreeLock reserves one pool lock from the mirror; the DSM free list
 // holds its index.  Called only by the turn-holder.
 func (s *sched) claimFreeLock() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.free == 0 {
 		return false
 	}
@@ -523,23 +473,13 @@ func (s *sched) claimFreeLock() bool {
 }
 
 // freedLock mirrors a lock returning to the pool.
-func (s *sched) freedLock() {
-	s.mu.Lock()
-	s.free++
-	s.mu.Unlock()
-}
+func (s *sched) freedLock() { s.free++ }
 
 // pushedTask mirrors a task publication.
-func (s *sched) pushedTask() {
-	s.mu.Lock()
-	s.queued++
-	s.mu.Unlock()
-}
+func (s *sched) pushedTask() { s.queued++ }
 
 // claimQueuedTask reserves the top queued task for the turn-holder.
 func (s *sched) claimQueuedTask() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.queued == 0 {
 		return false
 	}

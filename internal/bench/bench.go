@@ -92,6 +92,18 @@ var (
 // hot-objects tables are written alongside its trace as a .profile file.
 var ProfileObjects bool
 
+// Sched, when non-empty, selects the execution engine ("goroutine" or
+// "lockstep") for every system RunApp builds; SchedThreads caps the
+// lockstep engine's concurrency per cell, so harnesses can keep cells ×
+// engine threads within GOMAXPROCS.  The CLIs set both from their -sched
+// and -workers flags.  Simulated results are engine-independent wherever
+// the goroutine engine is deterministic at all, and under lockstep they
+// are byte-identical at any GOMAXPROCS.
+var (
+	Sched        string
+	SchedThreads int
+)
+
 // traceExt maps a trace format to its file extension.
 func traceExt(format string) string {
 	switch format {
@@ -120,6 +132,12 @@ func cellName(app string, mcfg midway.Config) string {
 func RunApp(name string, mcfg midway.Config, scale Scale) (apps.Result, error) {
 	if FaultSpec != "" && mcfg.FaultSpec == "" {
 		mcfg.FaultSpec = FaultSpec
+	}
+	if Sched != "" && mcfg.Sched == "" {
+		mcfg.Sched = Sched
+		if Sched == "lockstep" && mcfg.SchedThreads == 0 {
+			mcfg.SchedThreads = SchedThreads
+		}
 	}
 	if ProfileObjects {
 		mcfg.ProfileObjects = true
@@ -246,10 +264,10 @@ type evalCell struct {
 
 // RunEvaluation executes every application under every given strategy at
 // the given processor count, plus a standalone single-processor run per
-// application when withStandalone is set.  Cells run on the Workers pool;
-// results are folded back in grid order, so the evaluation is identical
-// whatever the interleaving.
-func RunEvaluation(procs int, scale Scale, strategies []midway.Strategy, withStandalone bool) (*Evaluation, error) {
+// application when withStandalone is set.  Cells run on a pool of workers
+// goroutines (<= 0 selects DefaultWorkers); results are folded back in
+// grid order, so the evaluation is identical whatever the interleaving.
+func RunEvaluation(procs int, scale Scale, strategies []midway.Strategy, withStandalone bool, workers int) (*Evaluation, error) {
 	ev := &Evaluation{
 		Procs:      procs,
 		Scale:      scale,
@@ -267,7 +285,7 @@ func RunEvaluation(procs int, scale Scale, strategies []midway.Strategy, withSta
 		}
 	}
 	results := make([]apps.Result, len(cells))
-	err := forEachCell(len(cells), func(i int) error {
+	err := forEachCell(workers, len(cells), func(i int) error {
 		c := cells[i]
 		if c.standalone {
 			res, err := RunApp(c.app, midway.Config{Nodes: 1, Strategy: midway.Standalone}, scale)

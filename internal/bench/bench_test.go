@@ -21,7 +21,7 @@ func smallEval(t *testing.T) *Evaluation {
 	t.Helper()
 	evalOnce.Do(func() {
 		evalVal, evalErr = RunEvaluation(8, ScaleSmall,
-			[]midway.Strategy{midway.RT, midway.VM}, true)
+			[]midway.Strategy{midway.RT, midway.VM}, true, 0)
 	})
 	if evalErr != nil {
 		t.Fatal(evalErr)

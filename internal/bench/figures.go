@@ -206,11 +206,12 @@ func Uniprocessor(app string, scale Scale) (UniprocessorRow, error) {
 }
 
 // UniprocessorRows runs the uniprocessor comparison for every application,
-// one cell per application × configuration on the Workers pool.
-func UniprocessorRows(scale Scale) ([]UniprocessorRow, error) {
+// one cell per application × configuration on a pool of workers goroutines
+// (<= 0 selects DefaultWorkers).
+func UniprocessorRows(scale Scale, workers int) ([]UniprocessorRow, error) {
 	strats := []midway.Strategy{midway.RT, midway.VM, midway.Standalone}
 	secs := make([]float64, len(AppNames)*len(strats))
-	err := forEachCell(len(secs), func(i int) error {
+	err := forEachCell(workers, len(secs), func(i int) error {
 		app, st := AppNames[i/len(strats)], strats[i%len(strats)]
 		res, err := RunApp(app, midway.Config{Nodes: 1, Strategy: st}, scale)
 		if err != nil {

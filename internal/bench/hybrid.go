@@ -28,7 +28,7 @@ type HybridRow struct {
 // point of the experiment: neither RT nor VM dominates across the suite
 // (the paper's Figure 2), so a per-region dispatch should track whichever
 // mechanism suits each application's sharing granularity.
-func HybridComparison(procs int, scale Scale, scheme string) ([]HybridRow, error) {
+func HybridComparison(procs int, scale Scale, scheme string, workers int) ([]HybridRow, error) {
 	hcfg := midway.Config{Nodes: procs, Scheme: scheme}
 	// Keep the Strategy field (and the result's System label) accurate
 	// when the scheme name is also a strategy name.
@@ -36,7 +36,7 @@ func HybridComparison(procs int, scale Scale, scheme string) ([]HybridRow, error
 		hcfg.Strategy = st
 	}
 	// Four runs per application, flattened into one cell grid for the
-	// Workers pool; rows are assembled in application order afterwards.
+	// workers pool; rows are assembled in application order afterwards.
 	const perApp = 4
 	cfgs := []midway.Config{
 		{Nodes: procs, Strategy: midway.RT},
@@ -46,7 +46,7 @@ func HybridComparison(procs int, scale Scale, scheme string) ([]HybridRow, error
 	}
 	labels := []string{"under RT", "under VM", fmt.Sprintf("under scheme %q", scheme), "standalone"}
 	results := make([]apps.Result, perApp*len(AppNames))
-	err := forEachCell(len(results), func(i int) error {
+	err := forEachCell(workers, len(results), func(i int) error {
 		app, k := AppNames[i/perApp], i%perApp
 		res, err := RunApp(app, cfgs[k], scale)
 		if err != nil {

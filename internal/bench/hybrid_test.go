@@ -11,7 +11,7 @@ import (
 // (the strong ≤ min(RT, VM) + 5% claim is checked at medium scale by the
 // midway-bench acceptance run; small inputs are too noisy for it).
 func TestHybridComparison(t *testing.T) {
-	rows, err := HybridComparison(4, ScaleSmall, "hybrid")
+	rows, err := HybridComparison(4, ScaleSmall, "hybrid", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,22 +6,24 @@ import (
 	"sync/atomic"
 )
 
-// Workers bounds how many experiment cells run concurrently.  Every cell
-// builds an independent System over an in-process channel network, so
-// cells share no mutable state and the suite parallelizes trivially; the
-// CLIs expose it as -workers.  1 means strictly serial execution in cell
-// order (the old behavior).
-var Workers = runtime.GOMAXPROCS(0)
+// DefaultWorkers is the default experiment-cell concurrency: GOMAXPROCS.
+// The CLIs use it as their -workers default; grid functions substitute it
+// for a non-positive workers argument.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
-// forEachCell runs fn(i) for every i in [0, n) on at most Workers
-// goroutines.  Callers must write results into preallocated,
-// index-addressed slots so that output ordering is independent of
-// goroutine scheduling.  The returned error is the one from the
-// lowest-numbered failing cell, so error selection is deterministic too.
-// With Workers <= 1 the cells run serially in order and the first error
-// aborts the remaining cells, exactly like the old serial loops.
-func forEachCell(n int, fn func(i int) error) error {
-	workers := Workers
+// forEachCell runs fn(i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 selects DefaultWorkers).  Every cell builds an
+// independent System over an in-process network, so cells share no mutable
+// state and the suite parallelizes trivially.  Callers must write results
+// into preallocated, index-addressed slots so that output ordering is
+// independent of goroutine scheduling.  The returned error is the one from
+// the lowest-numbered failing cell, so error selection is deterministic
+// too.  With workers == 1 the cells run serially in order and the first
+// error aborts the remaining cells, exactly like the old serial loops.
+func forEachCell(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
 	if workers > n {
 		workers = n
 	}

@@ -28,7 +28,7 @@ type SimCell struct {
 // MeasuredCell is the machine-dependent portion of one report cell: real
 // wall-clock and allocation measurements that track this implementation's
 // own speed.  Allocation counts are only attributable to a cell when the
-// harness runs serially, so they are omitted when Workers > 1.
+// harness runs serially, so they are omitted when workers > 1.
 type MeasuredCell struct {
 	App     string  `json:"app"`
 	System  string  `json:"system"`
@@ -52,15 +52,22 @@ type Measured struct {
 // wall-clock measurements, which are the quantity this repository tries to
 // drive down.
 type Report struct {
-	Scale     string    `json:"scale"`
-	Procs     int       `json:"procs"`
+	Scale string `json:"scale"`
+	Procs int    `json:"procs"`
+	// Sched names the execution engine the grid ran under ("goroutine"
+	// when unset).  Under "lockstep" every cell's simulated results are
+	// byte-identical at any GOMAXPROCS, so CI can diff all five apps.
+	Sched     string    `json:"sched,omitempty"`
 	Simulated []SimCell `json:"simulated"`
-	Measured  Measured  `json:"measured"`
+	// Scaling holds the large-topology engine-comparison cells (64-256
+	// nodes under both engines); empty unless the scaling grid ran.
+	Scaling  []ScaleCell `json:"scaling,omitempty"`
+	Measured Measured    `json:"measured"`
 }
 
-// RunReport executes the report grid on the Workers pool and gathers both
-// halves of the report.
-func RunReport(procs int, scale Scale) (*Report, error) {
+// RunReport executes the report grid on a pool of workers goroutines
+// (<= 0 selects DefaultWorkers) and gathers both halves of the report.
+func RunReport(procs int, scale Scale, workers int) (*Report, error) {
 	hcfg := midway.Config{Nodes: procs, Scheme: "hybrid"}
 	if st, err := midway.ParseStrategy("hybrid"); err == nil {
 		hcfg.Strategy = st
@@ -78,12 +85,15 @@ func RunReport(procs int, scale Scale) (*Report, error) {
 	wall := make([]time.Duration, n)
 	allocs := make([]uint64, n)
 	allocBytes := make([]uint64, n)
-	serial := Workers <= 1
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	serial := workers == 1
 
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	err := forEachCell(n, func(i int) error {
+	err := forEachCell(workers, n, func(i int) error {
 		app, cfg := AppNames[i/len(perApp)], perApp[i%len(perApp)]
 		var m0 runtime.MemStats
 		if serial {
@@ -114,8 +124,9 @@ func RunReport(procs int, scale Scale) (*Report, error) {
 	rep := &Report{
 		Scale: scale.String(),
 		Procs: procs,
+		Sched: Sched,
 		Measured: Measured{
-			Workers:      Workers,
+			Workers:      workers,
 			Gomaxprocs:   runtime.GOMAXPROCS(0),
 			TotalWallMS:  float64(totalWall.Microseconds()) / 1000,
 			TotalAllocMB: float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),

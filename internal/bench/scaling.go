@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"midway"
+	"midway/internal/apps"
+	"midway/internal/cost"
+)
+
+// ScaleCell is one large-topology engine-comparison measurement: an
+// application at a 64-256 node count under one execution engine.  The
+// simulated columns (SimSeconds, Checksum, Messages) are host-independent
+// and — under the lockstep engine — byte-identical at any GOMAXPROCS, so
+// CI diffs them; the wall-clock columns track how fast this implementation
+// simulates large topologies.
+type ScaleCell struct {
+	App        string  `json:"app"`
+	System     string  `json:"system"`
+	Procs      int     `json:"procs"`
+	Sched      string  `json:"sched"`
+	SimSeconds float64 `json:"sim_seconds"`
+	Checksum   float64 `json:"checksum"`
+	Messages   uint64  `json:"messages"`
+	// WallMS is the harness wall-clock for the cell; NodeCyclesPerSec is
+	// the simulation rate it implies — simulated node-cycles executed per
+	// wall-second (procs × simulated cycles / wall time), the figure of
+	// merit for a parallel simulation core.
+	WallMS           float64 `json:"wall_ms"`
+	NodeCyclesPerSec float64 `json:"node_cycles_per_sec"`
+}
+
+// scalingGrid lists the topology points: sor (barrier-structured, dense
+// neighbor exchange) up to its medium-scale row limit, quicksort (lock and
+// task-queue traffic) through 256 nodes.  Every point runs under both
+// engines so the report carries the speedup evidence.
+func scalingGrid() []struct {
+	app   string
+	procs int
+} {
+	return []struct {
+		app   string
+		procs int
+	}{
+		{"sor", 64}, {"sor", 128},
+		{"quicksort", 64}, {"quicksort", 128}, {"quicksort", 256},
+	}
+}
+
+// ScalingScheds lists the engines the scaling grid compares.
+var ScalingScheds = []string{"goroutine", "lockstep"}
+
+// scalingReps is how many times each scaling cell runs; the reported
+// wall is the minimum.  Large-topology cells are long enough for host
+// noise (GC pauses, neighboring load) to dominate a single shot, and
+// the minimum is the standard noise-robust estimator of a cell's
+// attributable cost.  Simulated columns are identical across reps by
+// construction.
+const scalingReps = 3
+
+// RunScaling measures the scaling grid at the given scale under both
+// execution engines, serially (each cell gets the whole host, so the
+// wall-clock columns are attributable and the lockstep engine may use
+// every core).  The package-level Sched knob is ignored here: the grid
+// itself sweeps the engine axis.
+func RunScaling(scale Scale) ([]ScaleCell, error) {
+	var out []ScaleCell
+	for _, pt := range scalingGrid() {
+		for _, sched := range ScalingScheds {
+			mcfg := midway.Config{Nodes: pt.procs, Strategy: midway.RT}
+			if sched == "lockstep" {
+				mcfg.Sched = sched
+			}
+			var res apps.Result
+			var wall time.Duration
+			for rep := 0; rep < scalingReps; rep++ {
+				t0 := time.Now()
+				r, err := runApp(pt.app, mcfg, scale)
+				if err != nil {
+					return nil, fmt.Errorf("bench: scaling %s %dp under %s: %w", pt.app, pt.procs, sched, err)
+				}
+				if w := time.Since(t0); rep == 0 || w < wall {
+					wall = w
+				}
+				res = r
+			}
+			simCycles := res.Seconds * cost.CyclesPerMicrosecond * 1e6
+			out = append(out, ScaleCell{
+				App:              pt.app,
+				System:           res.System,
+				Procs:            pt.procs,
+				Sched:            sched,
+				SimSeconds:       res.Seconds,
+				Checksum:         res.Checksum,
+				Messages:         res.Mean.Messages,
+				WallMS:           float64(wall.Microseconds()) / 1000,
+				NodeCyclesPerSec: float64(pt.procs) * simCycles / wall.Seconds(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// FprintScaling renders the engine-comparison table.
+func FprintScaling(w io.Writer, cells []ScaleCell) {
+	fmt.Fprintln(w, "Large-topology simulation rate: goroutine engine vs conservative lockstep")
+	fmt.Fprintln(w, "(simulated node-cycles per wall-second; higher is better)")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Application\tnodes\tengine\tsim (s)\twall (ms)\tMcycles/s")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.2f\t%.0f\t%.0f\n",
+			c.App, c.Procs, c.Sched, c.SimSeconds, c.WallMS, c.NodeCyclesPerSec/1e6)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRunScalingDeterministicCells: the scaling grid's simulated columns
+// are engine-independent (both grid apps are deterministic under either
+// engine) and reproducible run to run; the renderer carries every cell.
+func TestRunScalingDeterministicCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling grid runs 64-256 node topologies")
+	}
+	cells, err := RunScaling(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(scalingGrid())*len(ScalingScheds) {
+		t.Fatalf("%d cells, want %d", len(cells), len(scalingGrid())*len(ScalingScheds))
+	}
+	// Cells come in (goroutine, lockstep) pairs per grid point: the
+	// simulated half must not move across the engine axis.
+	for i := 0; i < len(cells); i += 2 {
+		g, l := cells[i], cells[i+1]
+		if g.App != l.App || g.Procs != l.Procs {
+			t.Fatalf("cell pairing broke at %d: %+v vs %+v", i, g, l)
+		}
+		if g.SimSeconds != l.SimSeconds || g.Checksum != l.Checksum || g.Messages != l.Messages {
+			t.Errorf("%s %dp: simulated stats moved across engines:\ngoroutine: %+v\nlockstep:  %+v",
+				g.App, g.Procs, g, l)
+		}
+		if g.NodeCyclesPerSec <= 0 || l.NodeCyclesPerSec <= 0 {
+			t.Errorf("%s %dp: non-positive simulation rate", g.App, g.Procs)
+		}
+	}
+	var sb strings.Builder
+	FprintScaling(&sb, cells)
+	for _, want := range []string{"sor", "quicksort", "lockstep", "goroutine", "Mcycles/s"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("renderer missing %q", want)
+		}
+	}
+}
+
+// TestLockstepReportStability: the full report grid — all five
+// applications under every strategy — run twice under the lockstep
+// engine yields byte-identical simulated cells.  This is the
+// TestCombineAblation-style stability check PR 4 could only make for
+// quicksort, extended to the whole suite.
+func TestLockstepReportStability(t *testing.T) {
+	defer func(s string, n int) { Sched, SchedThreads = s, n }(Sched, SchedThreads)
+	Sched, SchedThreads = "lockstep", 0
+	first, err := RunReport(4, ScaleSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunReport(4, ScaleSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Simulated, second.Simulated) {
+		t.Errorf("simulated cells differ between identical lockstep report runs:\nfirst:  %+v\nsecond: %+v",
+			first.Simulated, second.Simulated)
+	}
+	if first.Sched != "lockstep" {
+		t.Errorf("report sched = %q, want lockstep", first.Sched)
+	}
+}

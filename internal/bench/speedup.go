@@ -33,9 +33,9 @@ func (r SpeedupRow) Speedup(i int) float64 {
 // SpeedupCurves measures the scaling of every application under the given
 // strategies across the processor counts, an extension of the paper's
 // 8-processor Figure 2 (their cluster had exactly eight DECstations).
-func SpeedupCurves(procCounts []int, strategies []midway.Strategy, scale Scale) ([]SpeedupRow, error) {
+func SpeedupCurves(procCounts []int, strategies []midway.Strategy, scale Scale, workers int) ([]SpeedupRow, error) {
 	// One cell per run: the standalone baseline per application, then every
-	// strategy × processor-count point.  Cells execute on the Workers pool
+	// strategy × processor-count point.  Cells execute on the workers pool
 	// and land in index-addressed slots, so row assembly below is identical
 	// whatever the interleaving.
 	type cell struct {
@@ -53,7 +53,7 @@ func SpeedupCurves(procCounts []int, strategies []midway.Strategy, scale Scale) 
 		}
 	}
 	results := make([]apps.Result, len(cells))
-	err := forEachCell(len(cells), func(i int) error {
+	err := forEachCell(workers, len(cells), func(i int) error {
 		c := cells[i]
 		if c.procs == 0 {
 			res, err := RunApp(c.app, midway.Config{Nodes: 1, Strategy: midway.Standalone}, scale)

@@ -92,11 +92,11 @@ type CombineRow struct {
 // CombineAblation measures the §3.4 alternative the paper's Midway omits:
 // combining multi-incarnation updates before replying.  Water exercises it
 // hardest (small accumulators rewritten by many processors between visits).
-func CombineAblation(procs int, scale Scale) ([]CombineRow, error) {
+func CombineAblation(procs int, scale Scale, workers int) ([]CombineRow, error) {
 	// Two runs per application — plain VM then combined — flattened into
-	// one cell grid for the Workers pool.
+	// one cell grid for the workers pool.
 	results := make([]apps.Result, 2*len(AppNames))
-	err := forEachCell(len(results), func(i int) error {
+	err := forEachCell(workers, len(results), func(i int) error {
 		cfg := midway.Config{Nodes: procs, Strategy: midway.VM, CombineIncarnations: i%2 == 1}
 		res, err := RunApp(AppNames[i/2], cfg, scale)
 		if err != nil {

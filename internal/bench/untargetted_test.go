@@ -40,7 +40,7 @@ func TestUntargettedSweep(t *testing.T) {
 }
 
 func TestCombineAblation(t *testing.T) {
-	rows, err := CombineAblation(4, ScaleSmall)
+	rows, err := CombineAblation(4, ScaleSmall, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestFprintUntargetted(t *testing.T) {
 }
 
 func TestSpeedupCurves(t *testing.T) {
-	rows, err := SpeedupCurves([]int{1, 2}, []midway.Strategy{midway.RT}, ScaleSmall)
+	rows, err := SpeedupCurves([]int{1, 2}, []midway.Strategy{midway.RT}, ScaleSmall, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

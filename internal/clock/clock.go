@@ -80,3 +80,51 @@ func (c *Cycle) Join(t uint64) uint64 {
 		}
 	}
 }
+
+// Frontier is the next-event lookahead watermark of a conservative
+// simulation's delivery phase.  Deliveries within one phase must be
+// monotone in the total order (arrival cycles, send-time cycles, sender
+// id); Advance records each delivery and reports whether the order held.
+// Entry consistency lets the engine treat full quiescence as the phase
+// boundary (lazy release stamping means per-node clocks give no sound
+// lower bound on future send times), so the frontier restarts at every
+// phase via Reset rather than growing monotonically across the run.
+//
+// The zero value is a frontier at the beginning of a phase.  Frontier is
+// not safe for concurrent use; the single delivery goroutine owns it.
+type Frontier struct {
+	valid  bool
+	at     uint64 // arrival cycles of the last delivery
+	time   uint64 // sender's cycle clock at send
+	sender int
+}
+
+// Reset starts a new delivery phase: the next Advance always succeeds.
+func (f *Frontier) Reset() { *f = Frontier{} }
+
+// Advance records a delivery with the given arrival cycles, send-time
+// cycles and sender id.  It returns false if the delivery precedes the
+// phase's watermark — a violated delivery order — and true otherwise
+// (ties are permitted: a sender may emit several messages with equal
+// stamps, ordered by its program-order sequence).
+func (f *Frontier) Advance(at, time uint64, sender int) bool {
+	if f.valid {
+		switch {
+		case at < f.at:
+			return false
+		case at == f.at && time < f.time:
+			return false
+		case at == f.at && time == f.time && sender < f.sender:
+			return false
+		}
+	}
+	f.valid = true
+	f.at, f.time, f.sender = at, time, sender
+	return true
+}
+
+// Next returns the watermark: the (arrival, send-time, sender) key of the
+// most recent delivery, and whether any delivery has happened this phase.
+func (f *Frontier) Next() (at, time uint64, sender int, ok bool) {
+	return f.at, f.time, f.sender, f.valid
+}

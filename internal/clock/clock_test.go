@@ -125,3 +125,37 @@ func TestCycleJoinNeverRegresses(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFrontierOrdering(t *testing.T) {
+	var f Frontier
+	if _, _, _, ok := f.Next(); ok {
+		t.Error("fresh frontier reports a delivery")
+	}
+	// Monotone sequence, including ties on every component.
+	steps := []struct {
+		at, time uint64
+		sender   int
+		want     bool
+	}{
+		{100, 50, 3, true},
+		{100, 50, 3, true},  // exact tie: a sender's program-order run
+		{100, 50, 1, false}, // sender regresses at equal (at, time)
+		{100, 60, 0, true},  // later send time at equal arrival
+		{100, 55, 9, false}, // send time regresses at equal arrival
+		{200, 10, 0, true},  // later arrival resets the inner keys
+		{150, 99, 9, false}, // arrival regresses
+	}
+	for i, s := range steps {
+		if got := f.Advance(s.at, s.time, s.sender); got != s.want {
+			t.Errorf("step %d: Advance(%d,%d,%d) = %v, want %v", i, s.at, s.time, s.sender, got, s.want)
+		}
+	}
+	if at, tm, sender, ok := f.Next(); !ok || at != 200 || tm != 10 || sender != 0 {
+		t.Errorf("watermark = (%d,%d,%d,%v), want (200,10,0,true)", at, tm, sender, ok)
+	}
+	// Reset opens a new phase: any key is admissible again.
+	f.Reset()
+	if !f.Advance(1, 1, 7) {
+		t.Error("Advance after Reset rejected")
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"midway/internal/detect"
 	"midway/internal/memory"
 	"midway/internal/obs"
+	"midway/internal/sched"
 	"midway/internal/stats"
 	"midway/internal/transport"
 )
@@ -198,6 +199,20 @@ type Config struct {
 	// uses it to quiesce the heartbeat monitor so teardown silence is not
 	// mistaken for node death.
 	PreStop func()
+	// Lockstep selects the conservative lockstep engine (internal/sched):
+	// nodes run message-free stretches in parallel and messages deliver
+	// at quiescence points in a deterministic simulated-time order, so
+	// the whole run is byte-reproducible regardless of GOMAXPROCS.  It
+	// requires the built-in stepped transport (Transport must be nil) and
+	// composes with neither wall-clock-driven layers (fault injection,
+	// reliability, heartbeats) nor multi-process deployments; the system
+	// layer validates those combinations.
+	Lockstep bool
+	// SchedThreads caps how many node goroutines the lockstep engine
+	// executes concurrently, so several engines sharing a process (the
+	// benchmark worker pool) split GOMAXPROCS instead of multiplying it.
+	// Zero means no cap beyond GOMAXPROCS.
+	SchedThreads int
 }
 
 // ObjKind distinguishes locks from barriers in the object table.
@@ -273,6 +288,11 @@ type System struct {
 	report     CrashReport
 
 	nodes []*Node // nil entries for nodes hosted elsewhere
+
+	// eng and stepped are the lockstep engine and its message queue, nil
+	// under the goroutine engine.
+	eng     *sched.Engine
+	stepped *transport.SteppedNetwork
 }
 
 // NewSystem creates a DSM system.  Shared memory allocation and
@@ -307,13 +327,21 @@ func NewSystem(cfg Config) (*System, error) {
 		obs:    cfg.Obs,
 		failCh: make(chan struct{}),
 	}
-	if cfg.Transport != nil {
+	switch {
+	case cfg.Transport != nil:
+		if cfg.Lockstep {
+			return nil, fmt.Errorf("core: the lockstep engine requires the built-in stepped transport (Transport must be nil)")
+		}
 		if cfg.Transport.Nodes() != cfg.Nodes {
 			return nil, fmt.Errorf("core: transport has %d nodes, config has %d",
 				cfg.Transport.Nodes(), cfg.Nodes)
 		}
 		s.net = cfg.Transport
-	} else {
+	case cfg.Lockstep:
+		s.stepped = transport.NewSteppedNetwork(cfg.Nodes)
+		s.net = s.stepped
+		s.ownNet = true
+	default:
 		s.net = transport.NewChannelNetwork(cfg.Nodes)
 		s.ownNet = true
 	}
@@ -325,8 +353,48 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		s.nodes[i] = newNode(s, i)
 	}
+	if cfg.Lockstep {
+		// Arrival uses the same formula as Node.arrivalTime: transit cost
+		// for cross-node messages, instantaneous self-sends.
+		netp := cfg.Network
+		s.stepped.SetArrival(func(m transport.Message) uint64 {
+			if m.From == m.To {
+				return m.Time
+			}
+			return m.Time + netp.MessageCycles(m.Size())
+		})
+		s.eng = sched.New(cfg.Nodes, cfg.SchedThreads, sched.Hooks{
+			NextMessage: s.stepped.PopMin,
+			Dispatch:    s.dispatchStepped,
+			OnDeadlock: func(blocked []int) {
+				s.fail(fmt.Errorf("core: lockstep deadlock: nodes %v are blocked with no message in flight", blocked))
+			},
+		})
+	}
 	return s, nil
 }
+
+// dispatchStepped is the lockstep engine's delivery callback: it runs one
+// message's handler synchronously on the engine goroutine, mirroring
+// handlerLoop's ghost routing.
+func (s *System) dispatchStepped(m transport.Message, arrival uint64) {
+	n := s.nodes[m.To]
+	if n.ghost.Load() {
+		// Ghosting happens only inside a quiescence section (killNodeFrom
+		// defers to RunAtQuiescence), which also closes unghosted before
+		// any later delivery, so this wait never blocks; it is kept for
+		// symmetry with handlerLoop.
+		<-n.unghosted
+		n.ghostRoute(m, arrival)
+		return
+	}
+	n.dispatch(m, arrival)
+}
+
+// Engine returns the lockstep engine, or nil under the goroutine engine.
+// The root package uses it to construct engine-aware host schedulers
+// (sched.Turns).
+func (s *System) Engine() *sched.Engine { return s.eng }
 
 // Config returns the system's configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -531,6 +599,12 @@ func (s *System) fail(err error) {
 	s.failOnce.Do(func() {
 		s.failErr = err
 		close(s.failCh)
+		if s.eng != nil {
+			// Release every node parked in the lockstep engine so the
+			// run unwinds instead of waiting for deliveries that will
+			// never happen.
+			s.eng.Abort()
+		}
 	})
 }
 
@@ -587,36 +661,49 @@ func (s *System) Run(fn func(p *Proc)) error {
 	s.mu.Unlock()
 	s.layout.Freeze()
 
-	for _, n := range s.nodes {
-		if n != nil {
-			n.start()
-		}
-	}
-
-	var wg sync.WaitGroup
 	errs := make([]error, len(s.nodes))
-	for i, n := range s.nodes {
-		if n == nil {
-			continue
-		}
-		wg.Add(1)
-		go func(i int, n *Node) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil && r != errAborted && r != errCrashed {
-					errs[i] = fmt.Errorf("core: node %d panicked: %v", i, r)
-				}
-			}()
-			fn(&Proc{node: n})
-		}(i, n)
+	runNode := func(i int, n *Node) {
+		defer func() {
+			if r := recover(); r != nil && r != errAborted && r != errCrashed {
+				errs[i] = fmt.Errorf("core: node %d panicked: %v", i, r)
+			}
+		}()
+		fn(&Proc{node: n})
 	}
-	wg.Wait()
+	if s.eng != nil {
+		// Lockstep: no handler goroutines — the engine delivers messages
+		// synchronously at quiescence points on this goroutine.
+		s.eng.Run(func(i int) { runNode(i, s.nodes[i]) })
+	} else {
+		for _, n := range s.nodes {
+			if n != nil {
+				n.start()
+			}
+		}
+		var wg sync.WaitGroup
+		for i, n := range s.nodes {
+			if n == nil {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, n *Node) {
+				defer wg.Done()
+				runNode(i, n)
+			}(i, n)
+		}
+		wg.Wait()
+	}
 
 	if s.cfg.PreStop != nil {
 		s.cfg.PreStop()
 	}
 	for _, n := range s.nodes {
-		if n != nil {
+		if n == nil {
+			continue
+		}
+		if s.eng != nil {
+			n.conn.Close() // no handler to shut down
+		} else {
 			n.stop()
 		}
 	}

@@ -187,6 +187,31 @@ func (s *System) PeerDead(k int, cycles uint64) {
 }
 
 func (s *System) killNode(k int, transportLoss bool) {
+	s.killNodeFrom(k, transportLoss, -1)
+}
+
+// killNodeFrom is killNode with the calling context made explicit: origin
+// is the node whose application goroutine is making the call (Proc.Crash)
+// or -1 for an external caller.  Under the lockstep engine a degraded
+// crash is deferred to the next quiescence point, where the whole system
+// is parked: the crash instant, the recovery decisions and every
+// synthesized message then depend only on simulated state, making
+// degraded-mode recovery as deterministic as the fault-free run — a
+// property the goroutine engine cannot offer.
+func (s *System) killNodeFrom(k int, transportLoss bool, origin int) {
+	if e := s.eng; e != nil && s.cfg.OnCrash == CrashDegrade {
+		s.mu.Lock()
+		engineLive := s.frozen && !s.finished
+		s.mu.Unlock()
+		if engineLive {
+			e.RunAtQuiescence(origin, func() { s.killNodeBody(k, transportLoss) })
+			return
+		}
+	}
+	s.killNodeBody(k, transportLoss)
+}
+
+func (s *System) killNodeBody(k int, transportLoss bool) {
 	s.mu.Lock()
 	if !s.frozen {
 		s.mu.Unlock()
@@ -244,6 +269,11 @@ func (s *System) killNode(k int, transportLoss bool) {
 	// strays once recovery has fixed the forwarding pointers).
 	kn.ghost.Store(true)
 	close(kn.crashCh)
+	if e := s.eng; e != nil {
+		// The corpse may be parked in Engine.Block awaiting a reply that
+		// will never come; wake it so it observes crashCh and unwinds.
+		e.Wake(k)
+	}
 
 	s.recoverFrom(k, recoveryAt, transportLoss)
 
@@ -360,7 +390,7 @@ func (s *System) recoverFrom(k int, recoveryAt uint64, transportLoss bool) {
 		a.holder.ownerForward(a.req, a.at)
 	}
 	for _, a := range acts.enterRedrives {
-		a.mgr.managerBarrierEnter(a.e, a.at)
+		a.mgr.managerBarrierEnter(a.e, a.at, nil)
 	}
 	for _, o := range acts.completions {
 		s.nodes[s.managerFor(o)].maybeCompleteBarrier(o)
@@ -601,6 +631,10 @@ func (s *System) recoverBarrierLocked(o *object, k int, recoveryAt uint64, trans
 		mb = &bmgrBarrier{}
 		mgrNode.bmgr[o.id] = mb
 	}
+	// Forfeit any deferred-recycle payload buffers: re-homed or filtered
+	// enters can outlive this epoch's completion, so ownership reverts to
+	// the garbage collector.
+	mb.bufs = nil
 	mgrEpoch := mb.epoch
 
 	// Drop the crashed node's entry from the in-progress epoch: it never

@@ -141,6 +141,11 @@ type bmgrBarrier struct {
 	entered []*proto.BarrierEnter
 	// arrivals records the simulated arrival time of each enter message.
 	arrivals []uint64
+	// bufs holds pooled payload buffers backing the decoded enters
+	// (lockstep deferred recycle); they return to the encoder pool when
+	// the epoch completes.  Crash recovery drops them instead (the GC
+	// reclaims them) because re-homed enters outlive this manager.
+	bufs [][]byte
 }
 
 // reply carries a grant or barrier release from the protocol handler to
@@ -150,6 +155,10 @@ type reply struct {
 	grant   *proto.LockGrant
 	release *proto.BarrierRelease
 	arrival uint64
+	// buf, when non-nil, is the pooled payload buffer backing release's
+	// zero-copy views; the application recycles it after ApplyBarrier
+	// (lockstep deferred recycle).
+	buf []byte
 }
 
 // Node is one processor of the DSM system.
@@ -320,11 +329,24 @@ func (n *Node) send(to int, kind proto.Kind, w proto.Wire) {
 func (n *Node) sendAt(to int, kind proto.Kind, w proto.Wire, at uint64) {
 	m := transport.Message{From: n.id, To: to, Kind: kind, Time: at}
 	var enc *proto.Encoder
-	if n.copier != nil && n.copier.CopiesPayload(to) {
+	switch {
+	case n.copier != nil && n.copier.CopiesPayload(to):
 		enc = proto.GetEncoder()
 		w.EncodeInto(enc)
 		m.Payload = enc.Bytes()
-	} else {
+	case n.sys.eng != nil && !n.compat &&
+		(kind == proto.KindBarrierEnter || kind == proto.KindBarrierRelease):
+		// Lockstep deferred recycle: the stepped queue retains the
+		// payload, so it cannot be released here, but barrier payloads
+		// have a single well-defined consumption point (the manager's
+		// completion for enters, ApplyBarrier for releases) after which
+		// the receiver returns the buffer to the pool via RecycleBytes.
+		// Grants are excluded: VM-family receivers retain decoded
+		// history views indefinitely.
+		p := proto.GetEncoder()
+		w.EncodeInto(p)
+		m.Payload = p.Bytes()
+	default:
 		m.Payload = proto.Encode(w)
 	}
 	if to != n.id {
@@ -356,10 +378,15 @@ func (n *Node) arrivalTime(m transport.Message) uint64 {
 
 // deliverReply hands a grant or barrier release to the waiting application
 // goroutine, bailing out if the run has failed (the application side may
-// already have aborted and will never drain replyCh).
+// already have aborted and will never drain replyCh).  Under the lockstep
+// engine the waiter is parked in Engine.Block and must additionally be
+// marked runnable.
 func (n *Node) deliverReply(r reply) {
 	select {
 	case n.replyCh <- r:
+		if e := n.sys.eng; e != nil {
+			e.Wake(n.id)
+		}
 	case <-n.sys.failCh:
 	}
 }
@@ -392,69 +419,94 @@ func (n *Node) handlerLoop() {
 			n.ghostRoute(m, arrival)
 			continue
 		}
-		switch m.Kind {
-		case proto.KindShutdown:
-			return
-		case proto.KindLockAcquire:
-			req, err := proto.DecodeLockAcquire(m.Payload)
-			if err != nil {
-				n.failDecode(m, err)
-				return
-			}
-			n.managerAcquire(req, arrival)
-		case proto.KindLockForward:
-			req, err := proto.DecodeLockAcquire(m.Payload)
-			if err != nil {
-				n.failDecode(m, err)
-				return
-			}
-			n.ownerForward(req, arrival)
-		case proto.KindLockGrant:
-			g, err := n.decodeGrant(m.Payload)
-			if err != nil {
-				n.failDecode(m, err)
-				return
-			}
-			// Apply before releasing the waiting application, so a
-			// forward chasing the new owner never observes stale state.
-			// A false return means the grant was a stale duplicate
-			// (possible only after crash-recovery re-drives) and was
-			// dropped without waking the application.
-			if n.applyGrant(g, arrival) {
-				n.deliverReply(reply{grant: g, arrival: arrival})
-			}
-		case proto.KindBarrierEnter:
-			e, err := n.decodeEnter(m.Payload)
-			if err != nil {
-				n.failDecode(m, err)
-				return
-			}
-			n.managerBarrierEnter(e, arrival)
-		case proto.KindBarrierRelease:
-			r, err := n.decodeRelease(m.Payload)
-			if err != nil {
-				n.failDecode(m, err)
-				return
-			}
-			n.mu.Lock()
-			b := n.barrierState(r.Barrier)
-			if r.Epoch < b.nextRelease {
-				// Superseded by a release crash recovery synthesized for
-				// this epoch; delivering it again would desynchronize the
-				// application's epoch counter.
-				n.mu.Unlock()
-				continue
-			}
-			b.nextRelease = r.Epoch + 1
-			b.pending = false
-			n.mu.Unlock()
-			n.deliverReply(reply{release: r, arrival: arrival})
-		default:
-			n.sys.fail(fmt.Errorf("core: node %d: unexpected message kind %v from peer %d",
-				n.id, m.Kind, m.From))
+		if !n.dispatch(m, arrival) {
 			return
 		}
 	}
+}
+
+// dispatch runs the protocol handler for one delivered message.  It is
+// the body shared by the goroutine engine (handlerLoop calls it from the
+// per-node handler goroutine) and the lockstep engine (the delivery phase
+// calls it synchronously on the engine goroutine).  The return value is
+// false when the handler must stop: a shutdown message or a protocol
+// failure that already failed the run.
+func (n *Node) dispatch(m transport.Message, arrival uint64) bool {
+	switch m.Kind {
+	case proto.KindShutdown:
+		return false
+	case proto.KindLockAcquire:
+		req, err := proto.DecodeLockAcquire(m.Payload)
+		if err != nil {
+			n.failDecode(m, err)
+			return false
+		}
+		n.managerAcquire(req, arrival)
+	case proto.KindLockForward:
+		req, err := proto.DecodeLockAcquire(m.Payload)
+		if err != nil {
+			n.failDecode(m, err)
+			return false
+		}
+		n.ownerForward(req, arrival)
+	case proto.KindLockGrant:
+		g, err := n.decodeGrant(m.Payload)
+		if err != nil {
+			n.failDecode(m, err)
+			return false
+		}
+		// Apply before releasing the waiting application, so a
+		// forward chasing the new owner never observes stale state.
+		// A false return means the grant was a stale duplicate
+		// (possible only after crash-recovery re-drives) and was
+		// dropped without waking the application.
+		if n.applyGrant(g, arrival) {
+			n.deliverReply(reply{grant: g, arrival: arrival})
+		}
+	case proto.KindBarrierEnter:
+		e, err := n.decodeEnter(m.Payload)
+		if err != nil {
+			n.failDecode(m, err)
+			return false
+		}
+		n.managerBarrierEnter(e, arrival, n.recyclable(m.Payload))
+	case proto.KindBarrierRelease:
+		r, err := n.decodeRelease(m.Payload)
+		if err != nil {
+			n.failDecode(m, err)
+			return false
+		}
+		n.mu.Lock()
+		b := n.barrierState(r.Barrier)
+		if r.Epoch < b.nextRelease {
+			// Superseded by a release crash recovery synthesized for
+			// this epoch; delivering it again would desynchronize the
+			// application's epoch counter.
+			n.mu.Unlock()
+			return true
+		}
+		b.nextRelease = r.Epoch + 1
+		b.pending = false
+		n.mu.Unlock()
+		n.deliverReply(reply{release: r, arrival: arrival, buf: n.recyclable(m.Payload)})
+	default:
+		n.sys.fail(fmt.Errorf("core: node %d: unexpected message kind %v from peer %d",
+			n.id, m.Kind, m.From))
+		return false
+	}
+	return true
+}
+
+// recyclable returns the payload buffer when it came from the encoder
+// pool and may be recycled after the decoded views die — true only under
+// the lockstep engine's deferred-recycle contract (sendAt pools barrier
+// payloads there) with the zero-copy codec.  Nil means the buffer is
+// owned by the GC.
+func (n *Node) recyclable(payload []byte) []byte {
+	if n.sys.eng != nil && !n.compat {
+		return payload
+	}
+	return nil
 }
 
 // decodeGrant, decodeEnter and decodeRelease pick between the zero-copy
@@ -666,8 +718,11 @@ func (n *Node) transferLocked(lk *lockState, req *proto.LockAcquire, at uint64) 
 	n.sendAt(int(req.Requester), proto.KindLockGrant, grant, at+cycles)
 }
 
-// managerBarrierEnter runs on the barrier's manager.
-func (n *Node) managerBarrierEnter(e *proto.BarrierEnter, arrival uint64) {
+// managerBarrierEnter runs on the barrier's manager.  buf, when non-nil,
+// is the pooled payload buffer backing e's decoded views, recycled at
+// epoch completion (lockstep deferred recycle); recovery re-drives pass
+// nil because their enters are sender-owned.
+func (n *Node) managerBarrierEnter(e *proto.BarrierEnter, arrival uint64, buf []byte) {
 	if n.sys.isCrashed(int(e.Node)) {
 		return // release-boundary rollback discards a corpse's enter
 	}
@@ -700,6 +755,9 @@ func (n *Node) managerBarrierEnter(e *proto.BarrierEnter, arrival uint64) {
 	}
 	st.entered = append(st.entered, e)
 	st.arrivals = append(st.arrivals, arrival)
+	if buf != nil {
+		st.bufs = append(st.bufs, buf)
+	}
 	if len(st.entered) < n.barrierNeeded(obj, st.entered) {
 		n.mu.Unlock()
 		return
@@ -756,9 +814,11 @@ func (n *Node) maybeCompleteBarrier(obj *object) {
 func (n *Node) completeBarrierLocked(obj *object, st *bmgrBarrier) {
 	entered := st.entered
 	arrivals := st.arrivals
+	bufs := st.bufs
 	epoch := st.epoch
 	st.entered = nil
 	st.arrivals = nil
+	st.bufs = nil
 	st.epoch++
 	n.mu.Unlock()
 
@@ -791,6 +851,11 @@ func (n *Node) completeBarrierLocked(obj *object, st *bmgrBarrier) {
 			n.st.BytesTransferred.Add(uint64(proto.UpdateBytes(merged)))
 		}
 		n.sendAt(int(ent.Node), proto.KindBarrierRelease, rel, releaseAt)
+	}
+	// Every release is encoded (copying the merged views out), so the
+	// enters' pooled payload buffers are dead now.
+	for _, b := range bufs {
+		proto.RecycleBytes(b)
 	}
 }
 

@@ -251,7 +251,7 @@ func (p *Proc) Barrier(b BarrierID) { p.node.barrier(uint32(b)) }
 // it to crash a node at a chosen protocol point — holding a lock, between
 // barrier episodes, or idle.  Crash does not return.
 func (p *Proc) Crash() {
-	p.node.sys.KillNode(p.node.id)
+	p.node.sys.killNodeFrom(p.node.id, false, p.node.id)
 	panic(errCrashed)
 }
 
@@ -260,6 +260,27 @@ func (p *Proc) Crash() {
 // application is parked — the message it is waiting for may never arrive.
 func (n *Node) waitReply() reply {
 	n.abortIfCrashed() // prefer the crash over a reply that raced in
+	if e := n.sys.eng; e != nil {
+		// Lockstep: park through the engine so the delivery phase can
+		// start once every node has.  A wake can be stale — an application
+		// scheduler's broadcast racing the node's transitions leaves a
+		// pending token behind — so park again until the select below
+		// genuinely cannot block.
+		for {
+			select {
+			case r := <-n.replyCh:
+				return r
+			case <-n.sys.failCh:
+				panic(errAborted)
+			case <-n.crashCh:
+				panic(errCrashed)
+			default:
+			}
+			if !e.Block(n.id) {
+				break // aborted: the blocking select sees failCh
+			}
+		}
+	}
 	select {
 	case r := <-n.replyCh:
 		return r
@@ -463,4 +484,8 @@ func (n *Node) barrier(id uint32) {
 			A: int64(epoch), Bytes: uint64(proto.UpdateBytes(rel.Updates)),
 		})
 	}
+	// ApplyBarrier copied the release's updates into memory and no
+	// detector retains them; a pooled payload (lockstep deferred recycle)
+	// goes back to the encoder pool now.
+	proto.RecycleBytes(r.buf)
 }

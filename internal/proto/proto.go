@@ -314,6 +314,19 @@ func (e *Encoder) Release() {
 	encPool.Put(e)
 }
 
+// RecycleBytes returns a payload buffer to the encoder pool.  It is the
+// deferred counterpart of Release for transports that retain the payload
+// past Send (the lockstep engine's stepped queue): the sender encodes
+// into a pooled encoder and hands the buffer off without releasing;
+// whoever consumes the message recycles the buffer here once nothing —
+// including zero-copy decoder views — references it anymore.
+func RecycleBytes(buf []byte) {
+	if buf == nil || cap(buf) > maxPooledBuf {
+		return
+	}
+	encPool.Put(&Encoder{buf: buf[:0]})
+}
+
 // Encoded sizes of the primitive shapes.
 
 func blobSize(b []byte) int { return 4 + len(b) }

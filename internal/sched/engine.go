@@ -1,0 +1,394 @@
+// Package sched provides the conservative lockstep engine: a parallel
+// discrete-event simulation core for the DSM's in-process topologies.
+//
+// Entry consistency is the enabling property.  A node's simulated
+// execution interacts with other nodes only through synchronization
+// messages (see the internal/clock package comment), so between two
+// protocol messages every node runs a message-free stretch whose effect
+// is independent of host scheduling.  The engine exploits this by
+// alternating two phases:
+//
+//   - Parallel phase: every runnable node executes its application
+//     goroutine concurrently, up to the configured thread budget.  Sends
+//     do not deliver; they enqueue into a stepped network with a
+//     simulated delivery timestamp.  A node leaves the phase by blocking
+//     on a protocol reply (Block), by finishing, or by parking in a
+//     Turns round scheduler.
+//
+//   - Delivery phase: once every node has parked, the engine — on a
+//     single goroutine — pops queued messages in simulated-time order
+//     and dispatches each synchronously to its destination's protocol
+//     handler.  Handler-generated sends enqueue into the same queue and
+//     are delivered within the same phase, in timestamp order.  Replies
+//     mark their destination ready; ready nodes resume together when the
+//     queue drains, opening the next parallel phase.
+//
+// Delivery order is the total order (arrival cycles, send-time cycles,
+// sender id, per-sender sequence number).  Each component is a pure
+// function of the simulation's inputs: arrival and send stamps come from
+// the simulated clocks, and the per-sender sequence follows the sender's
+// program order because each node's sends are program-ordered within a
+// phase and dispatch-ordered across phases.  The result is byte-identical
+// simulated output regardless of GOMAXPROCS or the host scheduler.
+//
+// The quiescence rule is the engine's conservative lookahead.  A
+// classical conservative engine would deliver any message whose timestamp
+// is below every node's next possible send time, but entry consistency's
+// lazy release stamping defeats per-clock lower bounds: a lock grant is
+// stamped at the holder's *release* time, which may be far in the past of
+// the holder's current clock.  Full quiescence — no node can produce
+// another message until it receives one — is the lookahead bound that
+// remains sound, and it is exact here because parked nodes are exactly
+// the nodes awaiting a message.  Within a delivery phase the engine
+// additionally tracks a clock.Frontier watermark asserting that pops are
+// monotone in the delivery order.
+package sched
+
+import (
+	"sync"
+
+	"midway/internal/clock"
+	"midway/internal/transport"
+)
+
+// nodeState tracks where a node's application goroutine is.
+type nodeState uint8
+
+const (
+	// stateReady: parked, has work, resumes when the next parallel phase
+	// opens.
+	stateReady nodeState = iota
+	// stateRunning: executing application code (or unwinding toward
+	// done).
+	stateRunning
+	// stateBlocked: parked in Block, waiting for a Wake.
+	stateBlocked
+	// stateDone: the application function returned.
+	stateDone
+)
+
+// Hooks connects the engine to the protocol layer that owns messages.
+type Hooks struct {
+	// NextMessage pops the globally minimum pending message in delivery
+	// order, returning ok=false when the queue is empty.
+	NextMessage func() (m transport.Message, arrival uint64, ok bool)
+	// Dispatch synchronously runs the destination node's handler for one
+	// message.  It may enqueue further sends and may Wake nodes.
+	Dispatch func(m transport.Message, arrival uint64)
+	// OnDeadlock reports that no node is runnable, no message is queued
+	// and no recovery is pending while some nodes are still blocked.  The
+	// callee is expected to fail the run and call Abort; the engine then
+	// unwinds the blocked nodes instead of hanging the process.
+	OnDeadlock func(blocked []int)
+}
+
+// recovery is a callback to run at the next quiescence point (crash
+// recovery needs the whole system stopped at a deterministic instant).
+type recovery struct {
+	fn     func()
+	origin int // node whose goroutine requested it, or -1
+	done   chan struct{}
+	ran    bool
+}
+
+// Engine is the conservative lockstep core for one system.  Create with
+// New, then call Run exactly once.
+type Engine struct {
+	n     int
+	hooks Hooks
+	// sem is the thread budget: a counting semaphore capping how many
+	// node goroutines execute application code at once, so concurrent
+	// benchmark cells can split GOMAXPROCS instead of multiplying it.
+	sem chan struct{}
+	// tok carries one resume token per node (binary semaphore: a Wake
+	// before the next Block makes that Block return immediately).
+	tok []chan struct{}
+	// quiet is signalled when the running count drops to zero.
+	quiet chan struct{}
+
+	mu         sync.Mutex
+	state      []nodeState
+	pending    []bool // wake token for a node that is not blocked yet
+	running    int
+	doneCount  int
+	delivering bool // engine-exclusive section: wakes defer to next phase
+	aborted    bool
+	recov      []*recovery
+
+	frontier clock.Frontier
+}
+
+// New creates an engine for n nodes.  threads caps concurrently executing
+// node goroutines; zero or negative means no cap beyond GOMAXPROCS.
+func New(n, threads int, hooks Hooks) *Engine {
+	if threads <= 0 || threads > n {
+		threads = n
+	}
+	e := &Engine{
+		n:       n,
+		hooks:   hooks,
+		sem:     make(chan struct{}, threads),
+		tok:     make([]chan struct{}, n),
+		quiet:   make(chan struct{}, 1),
+		state:   make([]nodeState, n),
+		pending: make([]bool, n),
+	}
+	for i := range e.tok {
+		e.tok[i] = make(chan struct{}, 1)
+	}
+	return e
+}
+
+// Run executes fn once per node under lockstep control and returns when
+// every node is done.  It runs the delivery phases on the calling
+// goroutine.
+func (e *Engine) Run(fn func(node int)) {
+	for i := 0; i < e.n; i++ {
+		go e.wrapper(i, fn)
+	}
+	for {
+		e.openPhase()
+		e.awaitQuiescence()
+
+		e.mu.Lock()
+		e.delivering = true
+		recovs := e.recov
+		e.recov = nil
+		aborted := e.aborted
+		e.mu.Unlock()
+
+		if !aborted {
+			for _, r := range recovs {
+				r.fn()
+				r.ran = true
+				if r.origin >= 0 {
+					e.Wake(r.origin)
+				}
+				close(r.done)
+			}
+			e.frontier.Reset()
+			for {
+				m, at, ok := e.hooks.NextMessage()
+				if !ok {
+					break
+				}
+				if !e.frontier.Advance(at, m.Time, m.From) {
+					panic("sched: delivery order regressed below the frontier")
+				}
+				e.hooks.Dispatch(m, at)
+				if e.isAborted() {
+					break
+				}
+			}
+		}
+
+		e.mu.Lock()
+		e.delivering = false
+		switch {
+		case e.doneCount == e.n:
+			e.mu.Unlock()
+			return
+		case e.aborted || e.anyReadyLocked() || len(e.recov) > 0:
+			e.mu.Unlock()
+		default:
+			// Every live node is blocked, nothing is in flight and no
+			// recovery is pending: the simulation can never progress.
+			// The goroutine engine would hang here; fail fast instead.
+			var blocked []int
+			for i, st := range e.state {
+				if st == stateBlocked {
+					blocked = append(blocked, i)
+				}
+			}
+			e.mu.Unlock()
+			e.hooks.OnDeadlock(blocked)
+		}
+	}
+}
+
+func (e *Engine) wrapper(i int, fn func(node int)) {
+	<-e.tok[i]
+	e.sem <- struct{}{}
+	defer func() {
+		<-e.sem
+		e.nodeDone(i)
+	}()
+	fn(i)
+}
+
+func (e *Engine) nodeDone(i int) {
+	e.mu.Lock()
+	e.state[i] = stateDone
+	e.doneCount++
+	e.running--
+	if e.running == 0 {
+		e.signalQuiet()
+	}
+	e.mu.Unlock()
+}
+
+// openPhase releases every ready node into a new parallel phase.
+func (e *Engine) openPhase() {
+	e.mu.Lock()
+	for i, st := range e.state {
+		if st == stateReady {
+			e.state[i] = stateRunning
+			e.running++
+			e.tok[i] <- struct{}{}
+		}
+	}
+	e.mu.Unlock()
+}
+
+// awaitQuiescence returns once every released node has parked, finished
+// or blocked.
+func (e *Engine) awaitQuiescence() {
+	for {
+		e.mu.Lock()
+		if e.running == 0 {
+			e.mu.Unlock()
+			return
+		}
+		e.mu.Unlock()
+		<-e.quiet
+	}
+}
+
+func (e *Engine) signalQuiet() {
+	select {
+	case e.quiet <- struct{}{}:
+	default:
+	}
+}
+
+func (e *Engine) isAborted() bool {
+	e.mu.Lock()
+	a := e.aborted
+	e.mu.Unlock()
+	return a
+}
+
+func (e *Engine) anyReadyLocked() bool {
+	for _, st := range e.state {
+		if st == stateReady {
+			return true
+		}
+	}
+	return false
+}
+
+// Block parks the calling node's goroutine until a Wake targets it.  A
+// Wake that arrived while the node was still running (a pending token)
+// makes Block return immediately.  The thread-budget slot is released
+// while parked.  Block returns false when the run has been aborted; the
+// caller is expected to unwind.
+func (e *Engine) Block(node int) bool {
+	e.mu.Lock()
+	if e.aborted {
+		e.mu.Unlock()
+		return false
+	}
+	if e.pending[node] {
+		e.pending[node] = false
+		e.mu.Unlock()
+		return true
+	}
+	e.state[node] = stateBlocked
+	e.running--
+	if e.running == 0 {
+		e.signalQuiet()
+	}
+	e.mu.Unlock()
+
+	<-e.sem // release the thread-budget slot while parked
+	<-e.tok[node]
+	e.sem <- struct{}{}
+
+	e.mu.Lock()
+	ok := !e.aborted
+	e.mu.Unlock()
+	return ok
+}
+
+// Wake marks a node runnable.  During a delivery phase the node resumes
+// when the next parallel phase opens; during a parallel phase a blocked
+// node resumes immediately.  Waking a node that has not blocked yet
+// leaves a pending token so its next Block returns at once.
+func (e *Engine) Wake(node int) {
+	e.mu.Lock()
+	switch e.state[node] {
+	case stateBlocked:
+		if e.delivering {
+			e.state[node] = stateReady
+		} else {
+			e.state[node] = stateRunning
+			e.running++
+			e.tok[node] <- struct{}{}
+		}
+	case stateRunning:
+		e.pending[node] = true
+	case stateReady, stateDone:
+		// Ready nodes resume anyway; done nodes have nothing to wake.
+	}
+	e.mu.Unlock()
+}
+
+// RunAtQuiescence schedules fn to run on the engine goroutine at the next
+// point where every node is parked — the deterministic instant crash
+// recovery needs.  origin names the node whose application goroutine is
+// making the call (it is parked until fn has run and the next parallel
+// phase opens), or -1 for an external caller (which blocks until fn has
+// run).  Returns false if the run aborted before fn could run.
+func (e *Engine) RunAtQuiescence(origin int, fn func()) bool {
+	r := &recovery{fn: fn, origin: origin, done: make(chan struct{})}
+	e.mu.Lock()
+	if e.aborted {
+		e.mu.Unlock()
+		return false
+	}
+	e.recov = append(e.recov, r)
+	e.mu.Unlock()
+	if origin >= 0 {
+		// A stale pending token (a broadcast that raced this call) can
+		// make Block return early; park again until fn has actually run.
+		for e.Block(origin) {
+			select {
+			case <-r.done:
+				return r.ran
+			default:
+			}
+		}
+	} else {
+		<-r.done
+	}
+	return r.ran
+}
+
+// Abort releases every parked node so the run can unwind after a
+// failure.  Subsequent Block calls return false immediately; pending
+// recoveries are abandoned.
+func (e *Engine) Abort() {
+	e.mu.Lock()
+	if e.aborted {
+		e.mu.Unlock()
+		return
+	}
+	e.aborted = true
+	for i, st := range e.state {
+		if st == stateBlocked || st == stateReady {
+			e.state[i] = stateRunning
+			e.running++
+			e.tok[i] <- struct{}{}
+		}
+	}
+	recovs := e.recov
+	e.recov = nil
+	e.mu.Unlock()
+	for _, r := range recovs {
+		close(r.done)
+	}
+}
+
+// Frontier returns the delivery-order watermark of the most recent
+// delivery phase, for diagnostics and tests.
+func (e *Engine) Frontier() clock.Frontier { return e.frontier }

@@ -1,0 +1,337 @@
+package sched
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"midway/internal/transport"
+)
+
+// ring builds a toy protocol over a SteppedNetwork: every node sends one
+// message to its right neighbor and blocks until its own message arrives,
+// repeated rounds times.  Dispatch records the delivery order, so tests
+// can assert it is a pure function of the inputs.
+type ring struct {
+	t      *testing.T
+	net    *transport.SteppedNetwork
+	eng    *Engine
+	clock  []uint64 // per-node simulated cycle clock
+	mu     sync.Mutex
+	order  []string
+	rounds int
+}
+
+func newRing(t *testing.T, n, threads, rounds int) *ring {
+	r := &ring{t: t, net: transport.NewSteppedNetwork(n), clock: make([]uint64, n), rounds: rounds}
+	r.net.SetArrival(func(m transport.Message) uint64 { return m.Time + 100 })
+	r.eng = New(n, threads, Hooks{
+		NextMessage: r.net.PopMin,
+		Dispatch: func(m transport.Message, at uint64) {
+			r.mu.Lock()
+			r.order = append(r.order, fmt.Sprintf("%d->%d@%d", m.From, m.To, at))
+			r.mu.Unlock()
+			if r.clock[m.To] < at {
+				r.clock[m.To] = at
+			}
+			r.eng.Wake(m.To)
+		},
+		OnDeadlock: func(blocked []int) {
+			t.Errorf("unexpected deadlock, blocked %v", blocked)
+			r.eng.Abort()
+		},
+	})
+	return r
+}
+
+func (r *ring) node(i int) {
+	n := r.net.Nodes()
+	conn := r.net.Conn(i)
+	for round := 0; round < r.rounds; round++ {
+		r.clock[i] += uint64(10 * (i + 1)) // unequal compute stretches
+		if err := conn.Send(transport.Message{From: i, To: (i + 1) % n, Time: r.clock[i]}); err != nil {
+			r.t.Errorf("node %d: %v", i, err)
+			return
+		}
+		if !r.eng.Block(i) {
+			return
+		}
+	}
+}
+
+func runRing(t *testing.T, n, threads, rounds int) []string {
+	r := newRing(t, n, threads, rounds)
+	r.eng.Run(r.node)
+	return r.order
+}
+
+func TestEngineDeliveryOrderInvariant(t *testing.T) {
+	// The delivery order must be identical whatever the thread budget:
+	// it is derived from simulated stamps, not host scheduling.
+	ref := runRing(t, 8, 1, 5)
+	if len(ref) != 8*5 {
+		t.Fatalf("got %d deliveries, want %d", len(ref), 8*5)
+	}
+	for _, threads := range []int{2, 4, 8} {
+		got := runRing(t, 8, threads, 5)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("threads=%d delivery order diverged:\n got %v\nwant %v", threads, got, ref)
+		}
+	}
+}
+
+func TestEngineThreadBudget(t *testing.T) {
+	// With threads=2, at most two node goroutines may execute
+	// application code at once, even with 8 runnable nodes.  The budget
+	// slot is held exactly from a Block return to the next Block call, so
+	// the counter covers only that stretch.
+	var cur, peak atomic.Int64
+	n, rounds := 8, 4
+	r := newRing(t, n, 2, rounds)
+	r.eng.Run(func(i int) {
+		conn := r.net.Conn(i)
+		for round := 0; round < rounds; round++ {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			r.clock[i] += uint64(10 * (i + 1))
+			err := conn.Send(transport.Message{From: i, To: (i + 1) % n, Time: r.clock[i]})
+			cur.Add(-1)
+			if err != nil {
+				t.Errorf("node %d: %v", i, err)
+				return
+			}
+			if !r.eng.Block(i) {
+				return
+			}
+		}
+	})
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency %d exceeds thread budget 2", p)
+	}
+}
+
+func TestEnginePendingWake(t *testing.T) {
+	// A Wake targeting a node that has not blocked yet must leave a token
+	// that satisfies the node's next Block — no lost wakeups.
+	eng := New(1, 0, Hooks{
+		NextMessage: func() (transport.Message, uint64, bool) { return transport.Message{}, 0, false },
+		Dispatch:    func(transport.Message, uint64) {},
+		OnDeadlock:  func(blocked []int) { t.Errorf("deadlock, blocked %v", blocked) },
+	})
+	eng.Run(func(i int) {
+		eng.Wake(i) // self-wake while running: becomes a pending token
+		if !eng.Block(i) {
+			t.Error("Block returned false without an abort")
+		}
+	})
+}
+
+func TestEngineDeadlockDetection(t *testing.T) {
+	// Every node blocks with nothing in flight: OnDeadlock must fire with
+	// the full blocked set, and Abort must unwind the run.
+	var got []int
+	var eng *Engine
+	eng = New(3, 0, Hooks{
+		NextMessage: func() (transport.Message, uint64, bool) { return transport.Message{}, 0, false },
+		Dispatch:    func(transport.Message, uint64) {},
+		OnDeadlock: func(blocked []int) {
+			got = append([]int(nil), blocked...)
+			eng.Abort()
+		},
+	})
+	eng.Run(func(i int) {
+		if eng.Block(i) {
+			t.Errorf("node %d: Block returned true after deadlock abort", i)
+		}
+	})
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("blocked set %v, want [0 1 2]", got)
+	}
+}
+
+func TestEngineRunAtQuiescence(t *testing.T) {
+	// A node-originated recovery callback runs on the engine goroutine at
+	// full quiescence, and the origin resumes afterwards.
+	n := 4
+	net := transport.NewSteppedNetwork(n)
+	net.SetArrival(func(m transport.Message) uint64 { return m.Time + 1 })
+	var eng *Engine
+	ran := false
+	eng = New(n, 0, Hooks{
+		NextMessage: net.PopMin,
+		Dispatch:    func(m transport.Message, at uint64) { eng.Wake(m.To) },
+		OnDeadlock:  func(blocked []int) { t.Errorf("deadlock, blocked %v", blocked); eng.Abort() },
+	})
+	eng.Run(func(i int) {
+		if i != 0 {
+			// Peers exchange one self-message so quiescence is reached
+			// with real traffic in the queue.
+			conn := net.Conn(i)
+			if err := conn.Send(transport.Message{From: i, To: i, Time: uint64(i)}); err != nil {
+				t.Errorf("node %d: %v", i, err)
+			}
+			eng.Block(i)
+			return
+		}
+		if !eng.RunAtQuiescence(0, func() { ran = true }) {
+			t.Error("RunAtQuiescence returned false")
+		}
+		if !ran {
+			t.Error("origin resumed before the recovery callback ran")
+		}
+	})
+	if !ran {
+		t.Error("recovery callback never ran")
+	}
+}
+
+func TestEngineAbortUnblocks(t *testing.T) {
+	// Abort during a run makes every parked Block return false.
+	n := 4
+	var eng *Engine
+	var falses atomic.Int64
+	eng = New(n, 0, Hooks{
+		NextMessage: func() (transport.Message, uint64, bool) { return transport.Message{}, 0, false },
+		Dispatch:    func(transport.Message, uint64) {},
+		OnDeadlock:  func([]int) { eng.Abort() },
+	})
+	eng.Run(func(i int) {
+		if !eng.Block(i) {
+			falses.Add(1)
+		}
+	})
+	if falses.Load() != int64(n) {
+		t.Errorf("%d nodes unwound, want %d", falses.Load(), n)
+	}
+}
+
+// turnsTrace runs a Turns schedule with the given parking mode and
+// records the serialized turn order across rounds.
+func turnsTrace(t *testing.T, procs, rounds int, lockstep bool) []int {
+	var trace []int
+	var traceMu sync.Mutex
+	body := func(tr *Turns) func(w int) {
+		left := make([]int, procs)
+		for i := range left {
+			left[i] = rounds
+		}
+		return func(w int) {
+			for tr.AwaitTurn(w) {
+				traceMu.Lock()
+				trace = append(trace, w)
+				left[w]--
+				traceMu.Unlock()
+				tr.EndTurn(w)
+				tr.FinishRound(w, func() bool {
+					for _, l := range left {
+						if l > 0 {
+							return false
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	if lockstep {
+		var eng *Engine
+		eng = New(procs, 0, Hooks{
+			NextMessage: func() (transport.Message, uint64, bool) { return transport.Message{}, 0, false },
+			Dispatch:    func(transport.Message, uint64) {},
+			OnDeadlock:  func(blocked []int) { t.Errorf("deadlock, blocked %v", blocked); eng.Abort() },
+		})
+		tr := NewTurns(eng, procs, 42)
+		eng.Run(body(tr))
+	} else {
+		tr := NewTurns(nil, procs, 42)
+		var wg sync.WaitGroup
+		run := body(tr)
+		for w := 0; w < procs; w++ {
+			wg.Add(1)
+			go func(w int) { defer wg.Done(); run(w) }(w)
+		}
+		wg.Wait()
+	}
+	return trace
+}
+
+func TestTurnsSameScheduleBothEngines(t *testing.T) {
+	// The Turns round schedule is a pure function of (seed, procs, the
+	// workers' reports): cond-variable parking and engine parking must
+	// produce the identical serialized turn order.
+	cond := turnsTrace(t, 6, 4, false)
+	lock := turnsTrace(t, 6, 4, true)
+	if len(cond) != 6*4 { // procs turns per round
+		t.Fatalf("got %d turns, want %d", len(cond), 6*4)
+	}
+	if !reflect.DeepEqual(cond, lock) {
+		t.Errorf("turn order diverged:\ncond %v\nlock %v", cond, lock)
+	}
+	if again := turnsTrace(t, 6, 4, true); !reflect.DeepEqual(lock, again) {
+		t.Errorf("lockstep turn order not reproducible:\n 1st %v\n 2nd %v", lock, again)
+	}
+}
+
+// BenchmarkEnginePhase measures one full parallel-phase round trip per
+// node: n nodes each send one self-delivering message and block; the
+// delivery phase wakes them.  This is the engine's per-synchronization
+// overhead floor.
+func benchmarkEnginePhase(b *testing.B, n int) {
+	net := transport.NewSteppedNetwork(n)
+	net.SetArrival(func(m transport.Message) uint64 { return m.Time })
+	var eng *Engine
+	eng = New(n, 0, Hooks{
+		NextMessage: net.PopMin,
+		Dispatch:    func(m transport.Message, at uint64) { eng.Wake(m.To) },
+		OnDeadlock:  func([]int) { eng.Abort() },
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Run(func(i int) {
+		conn := net.Conn(i)
+		for r := 0; r < b.N; r++ {
+			if err := conn.Send(transport.Message{From: i, To: i, Time: uint64(r)}); err != nil {
+				b.Errorf("node %d: %v", i, err)
+				return
+			}
+			if !eng.Block(i) {
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkEnginePhase8(b *testing.B)  { benchmarkEnginePhase(b, 8) }
+func BenchmarkEnginePhase64(b *testing.B) { benchmarkEnginePhase(b, 64) }
+
+// BenchmarkSteppedQueue measures the delivery queue alone: push and pop
+// 64 stamped messages per iteration.
+func BenchmarkSteppedQueue(b *testing.B) {
+	net := transport.NewSteppedNetwork(64)
+	net.SetArrival(func(m transport.Message) uint64 { return m.Time + 100 })
+	conns := make([]transport.Conn, 64)
+	for i := range conns {
+		conns[i] = net.Conn(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for r := 0; r < b.N; r++ {
+		for i, c := range conns {
+			if err := c.Send(transport.Message{From: i, To: (i + 1) % 64, Time: uint64((r + i) % 7)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for {
+			if _, _, ok := net.PopMin(); !ok {
+				break
+			}
+		}
+	}
+}

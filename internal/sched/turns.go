@@ -1,0 +1,170 @@
+package sched
+
+import "sync"
+
+// rand is a splitmix64 generator, bit-identical to internal/apps.Rand so
+// the Turns scheduler draws the same permutation stream the quicksort
+// app's bespoke scheduler drew (the apps package cannot be imported here
+// without a cycle through the root package).
+type rand struct {
+	state uint64
+}
+
+func newRand(seed int64) *rand {
+	return &rand{state: uint64(seed)*0x9E3779B97F4A7C15 + 0x123456789ABCDEF}
+}
+
+func (r *rand) uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rand) intn(n int) int {
+	if n <= 0 {
+		panic("sched: intn on non-positive bound")
+	}
+	return int(r.uint64() % uint64(n))
+}
+
+// Turns is a deterministic round scheduler for task-queue applications:
+// each round serializes one synchronization turn per worker in a seeded
+// permutation order, then opens a concurrent work phase; the last worker
+// to finish the phase either declares the whole computation done or draws
+// the next round's permutation.  The schedule is a pure function of
+// (seed, worker count, the workers' reports), independent of host timing.
+//
+// Turns parks workers at the host level — parking never advances a
+// simulated clock.  Under the goroutine engine it parks on a condition
+// variable; under the lockstep engine it parks through Engine.Block so
+// waiting workers count toward the engine's quiescence (a condition
+// variable would deadlock the delivery phase, which starts only when
+// every node has parked through the engine).
+type Turns struct {
+	mu   sync.Mutex
+	cond *sync.Cond // goroutine-engine parking; nil under lockstep
+	eng  *Engine    // lockstep parking; nil under the goroutine engine
+	rng  *rand
+
+	procs   int
+	phase   int // 0 = serialized sync turns, 1 = concurrent work
+	order   []int
+	pos     int
+	sorted  int
+	done    bool
+	waiting []bool // lockstep only: workers parked in Engine.Block
+}
+
+// NewTurns creates a round scheduler for procs workers.  eng selects
+// lockstep parking when non-nil.  The seed feeds the permutation stream
+// directly; callers keep whatever seed derivation they used before.
+func NewTurns(eng *Engine, procs int, seed int64) *Turns {
+	t := &Turns{
+		eng:     eng,
+		rng:     newRand(seed),
+		procs:   procs,
+		waiting: make([]bool, procs),
+	}
+	if eng == nil {
+		t.cond = sync.NewCond(&t.mu)
+	}
+	t.order = t.perm()
+	return t
+}
+
+// perm draws a fresh seeded permutation of worker ids — the deterministic
+// tie-break that replaces host-timing-dependent scheduling.
+func (t *Turns) perm() []int {
+	p := make([]int, t.procs)
+	for i := range p {
+		p[i] = i
+	}
+	for i := t.procs - 1; i > 0; i-- {
+		j := t.rng.intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// waitFor parks worker w until pred holds.  Called with t.mu held;
+// returns with t.mu held and pred true.
+func (t *Turns) waitFor(w int, pred func() bool) {
+	if t.eng == nil {
+		for !pred() {
+			t.cond.Wait()
+		}
+		return
+	}
+	for !pred() {
+		t.waiting[w] = true
+		t.mu.Unlock()
+		if !t.eng.Block(w) {
+			t.mu.Lock()
+			t.waiting[w] = false
+			t.mu.Unlock()
+			panic("sched: turns scheduler unwinding: run aborted")
+		}
+		t.mu.Lock()
+		t.waiting[w] = false
+	}
+}
+
+// broadcast wakes every parked worker to recheck its predicate.  Called
+// with t.mu held.
+func (t *Turns) broadcast() {
+	if t.eng == nil {
+		t.cond.Broadcast()
+		return
+	}
+	for i, w := range t.waiting {
+		if w {
+			t.eng.Wake(i)
+		}
+	}
+}
+
+// AwaitTurn blocks until worker w's serialized sync turn starts, or
+// returns false when the computation is complete.
+func (t *Turns) AwaitTurn(w int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.waitFor(w, func() bool {
+		return t.done || (t.phase == 0 && t.order[t.pos] == w)
+	})
+	return !t.done
+}
+
+// EndTurn passes the turn on; the last turn of a round opens the
+// concurrent work phase.  The caller then blocks until every worker's
+// turn has run, so no work overlaps a sync turn.  w is the calling
+// worker (the current turn-holder).
+func (t *Turns) EndTurn(w int) {
+	t.mu.Lock()
+	t.pos++
+	if t.pos == t.procs {
+		t.phase = 1
+		t.sorted = 0
+	}
+	t.broadcast()
+	t.waitFor(w, func() bool { return t.phase == 1 })
+	t.mu.Unlock()
+}
+
+// FinishRound reports worker w's concurrent phase done.  The last
+// reporter evaluates idle — with the scheduler lock held, after every
+// worker's report — and either declares completion (idle true) or draws
+// the next round's permutation.
+func (t *Turns) FinishRound(w int, idle func() bool) {
+	t.mu.Lock()
+	t.sorted++
+	if t.sorted == t.procs {
+		t.done = idle()
+		t.phase = 0
+		t.pos = 0
+		t.order = t.perm()
+	}
+	t.broadcast()
+	t.mu.Unlock()
+}

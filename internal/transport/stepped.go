@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SteppedNetwork is the lockstep engine's in-memory transport.  Send does
+// not deliver: it stamps the message with a simulated arrival time (via
+// the cost callback installed by SetArrival) and a per-sender sequence
+// number, then parks it in a priority queue.  The engine drains the queue
+// at quiescence points with PopMin, which yields messages in the total
+// delivery order
+//
+//	(arrival cycles, send-time cycles, sender id, per-sender sequence)
+//
+// Every component is a pure function of the simulation: the stamps come
+// from the simulated clocks and the sequence numbers follow each sender's
+// program order, so the pop order — and therefore the whole run — is
+// independent of host scheduling.
+//
+// There is no Recv path: SteppedNetwork does not satisfy blocking
+// consumers, so it composes with neither the Reliable layer nor
+// FaultNetwork (both are driven by wall-clock goroutines, which a
+// virtual-time engine cannot admit).  The system layer rejects those
+// combinations at configuration time.
+type SteppedNetwork struct {
+	n       int
+	arrival func(m Message) uint64
+
+	mu     sync.Mutex
+	heap   []stepMsg
+	seq    []uint64
+	closed bool
+	// closedCh unblocks any stray Recv caller.
+	closedCh  chan struct{}
+	closeOnce sync.Once
+}
+
+// stepMsg is one queued message with its delivery-order key.
+type stepMsg struct {
+	m   Message
+	at  uint64 // simulated arrival cycles
+	seq uint64 // per-sender sequence number
+}
+
+// NewSteppedNetwork creates a stepped network for n nodes.  SetArrival
+// must be called before the first Send.
+func NewSteppedNetwork(n int) *SteppedNetwork {
+	if n <= 0 {
+		panic(fmt.Sprintf("transport: invalid node count %d", n))
+	}
+	return &SteppedNetwork{
+		n:        n,
+		seq:      make([]uint64, n),
+		closedCh: make(chan struct{}),
+	}
+}
+
+// SetArrival installs the cost model: f maps a message to its simulated
+// arrival time in cycles (the sender's send stamp plus transit cost;
+// self-sends arrive at their send stamp).
+func (sn *SteppedNetwork) SetArrival(f func(m Message) uint64) { sn.arrival = f }
+
+// Nodes returns the node count.
+func (sn *SteppedNetwork) Nodes() int { return sn.n }
+
+// Conn returns node i's endpoint.
+func (sn *SteppedNetwork) Conn(i int) Conn { return &steppedConn{id: i, net: sn} }
+
+// Err reports no failures: the stepped queue cannot break.
+func (sn *SteppedNetwork) Err() error { return nil }
+
+// Close marks the network closed; subsequent Sends fail with ErrClosed.
+func (sn *SteppedNetwork) Close() error {
+	sn.closeOnce.Do(func() {
+		sn.mu.Lock()
+		sn.closed = true
+		sn.mu.Unlock()
+		close(sn.closedCh)
+	})
+	return nil
+}
+
+// Pending returns the number of queued messages.
+func (sn *SteppedNetwork) Pending() int {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return len(sn.heap)
+}
+
+// PopMin removes and returns the queued message that is minimal in
+// delivery order, with its arrival time.  ok is false when the queue is
+// empty.
+func (sn *SteppedNetwork) PopMin() (m Message, arrival uint64, ok bool) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if len(sn.heap) == 0 {
+		return Message{}, 0, false
+	}
+	top := sn.heap[0]
+	last := len(sn.heap) - 1
+	sn.heap[0] = sn.heap[last]
+	sn.heap[last] = stepMsg{} // release the payload reference
+	sn.heap = sn.heap[:last]
+	if len(sn.heap) > 0 {
+		sn.siftDown(0)
+	}
+	return top.m, top.at, true
+}
+
+// less orders the heap by (arrival, send time, sender, sender sequence).
+func (sn *SteppedNetwork) less(a, b stepMsg) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.m.Time != b.m.Time {
+		return a.m.Time < b.m.Time
+	}
+	if a.m.From != b.m.From {
+		return a.m.From < b.m.From
+	}
+	return a.seq < b.seq
+}
+
+func (sn *SteppedNetwork) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !sn.less(sn.heap[i], sn.heap[parent]) {
+			return
+		}
+		sn.heap[i], sn.heap[parent] = sn.heap[parent], sn.heap[i]
+		i = parent
+	}
+}
+
+func (sn *SteppedNetwork) siftDown(i int) {
+	n := len(sn.heap)
+	for {
+		min, l, r := i, 2*i+1, 2*i+2
+		if l < n && sn.less(sn.heap[l], sn.heap[min]) {
+			min = l
+		}
+		if r < n && sn.less(sn.heap[r], sn.heap[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		sn.heap[i], sn.heap[min] = sn.heap[min], sn.heap[i]
+		i = min
+	}
+}
+
+// steppedConn is one endpoint of a stepped network.
+type steppedConn struct {
+	id  int
+	net *SteppedNetwork
+}
+
+func (c *steppedConn) Send(m Message) error {
+	sn := c.net
+	if m.From != c.id {
+		return fmt.Errorf("transport: node %d sending as %d", c.id, m.From)
+	}
+	if m.To < 0 || m.To >= sn.n {
+		return fmt.Errorf("transport: destination %d out of range", m.To)
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if sn.closed {
+		return ErrClosed
+	}
+	sn.heap = append(sn.heap, stepMsg{m: m, at: sn.arrival(m), seq: sn.seq[m.From]})
+	sn.seq[m.From]++
+	sn.siftUp(len(sn.heap) - 1)
+	return nil
+}
+
+// Recv is not part of the lockstep delivery path (the engine dispatches
+// synchronously); it blocks until the network closes so a stray handler
+// loop would terminate cleanly rather than spin.
+func (c *steppedConn) Recv() (Message, error) {
+	<-c.net.closedCh
+	return Message{}, ErrClosed
+}
+
+func (c *steppedConn) Close() error { return nil }

@@ -1,0 +1,182 @@
+package midway_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"midway"
+	"midway/internal/bench"
+)
+
+// These tests pin the lockstep engine's contract: the conservative
+// parallel discrete-event core is a wall-clock optimization only.  Every
+// simulated number — statistics, clocks, checksums, traces — must be
+// byte-identical to the goroutine engine where the goroutine engine is
+// itself deterministic, and byte-identical across runs and GOMAXPROCS
+// settings everywhere (run the suite with -cpu 1,4 to exercise that).
+
+// lockstepApps lists every application; all five must run under the
+// lockstep engine.
+var lockstepApps = []string{"water", "quicksort", "matrix", "sor", "cholesky"}
+
+// TestLockstepMatchesGoroutineEngine: for every application whose
+// goroutine-engine results are deterministic, the lockstep engine must
+// reproduce them exactly — same statistics, same simulated clock, same
+// checksum.  (water and cholesky race their reduction updates under the
+// goroutine engine, so their per-run statistics are not stable enough to
+// diff; TestLockstepDeterminism pins those.)
+func TestLockstepMatchesGoroutineEngine(t *testing.T) {
+	for _, app := range []string{"quicksort", "matrix", "sor"} {
+		for _, scheme := range []string{"rt", "vm", "hybrid"} {
+			t.Run(fmt.Sprintf("%s/%s", app, scheme), func(t *testing.T) {
+				base, err := bench.RunApp(app, midway.Config{Nodes: 4, Scheme: scheme}, bench.ScaleSmall)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lock, err := bench.RunApp(app, midway.Config{Nodes: 4, Scheme: scheme, Sched: "lockstep"}, bench.ScaleSmall)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(base, lock) {
+					t.Errorf("results differ between engines:\ngoroutine: %+v\nlockstep:  %+v", base, lock)
+				}
+			})
+		}
+	}
+}
+
+// TestLockstepDeterminism: every application run twice under the lockstep
+// engine must produce identical results — including water and cholesky,
+// which the goroutine engine cannot pin.
+func TestLockstepDeterminism(t *testing.T) {
+	for _, app := range lockstepApps {
+		t.Run(app, func(t *testing.T) {
+			cfg := midway.Config{Nodes: 4, Scheme: "rt", Sched: "lockstep"}
+			a, err := bench.RunApp(app, cfg, bench.ScaleSmall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := bench.RunApp(app, cfg, bench.ScaleSmall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("lockstep results differ between runs:\nfirst:  %+v\nsecond: %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestLockstepValidation: the lockstep engine drives simulated time
+// itself, so every wall-clock transport layer must be rejected with a
+// clear error at construction.
+func TestLockstepValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  midway.Config
+	}{
+		{"tcp", midway.Config{Nodes: 2, Sched: "lockstep", UseTCP: true}},
+		{"tcpaddrs", midway.Config{Nodes: 2, Sched: "lockstep", TCPAddrs: []string{"a", "b"}}},
+		{"fault", midway.Config{Nodes: 2, Sched: "lockstep", FaultSpec: "drop=0.1"}},
+		{"reliable", midway.Config{Nodes: 2, Sched: "lockstep", Reliable: true}},
+		{"reliablespec", midway.Config{Nodes: 2, Sched: "lockstep", ReliableSpec: "giveup=3"}},
+		{"heartbeat", midway.Config{Nodes: 2, Sched: "lockstep", Heartbeat: 1}},
+		{"badname", midway.Config{Nodes: 2, Sched: "stepless"}},
+		{"threads-without-lockstep", midway.Config{Nodes: 2, SchedThreads: 2}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := midway.NewSystem(c.cfg); err == nil {
+				t.Fatalf("NewSystem(%+v) succeeded, want error", c.cfg)
+			}
+		})
+	}
+}
+
+// TestLockstepThreadCap: results are identical at every engine thread
+// budget, including strictly serial execution.
+func TestLockstepThreadCap(t *testing.T) {
+	base, err := bench.RunApp("sor", midway.Config{Nodes: 4, Scheme: "rt", Sched: "lockstep"}, bench.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4} {
+		capped, err := bench.RunApp("sor", midway.Config{Nodes: 4, Scheme: "rt", Sched: "lockstep", SchedThreads: threads}, bench.ScaleSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, capped) {
+			t.Errorf("results differ at SchedThreads=%d:\nuncapped: %+v\ncapped:   %+v", threads, capped, base)
+		}
+	}
+}
+
+// TestLockstepCrashGoldenMatrix: crash recovery composes with the
+// lockstep engine — KillNode/Proc.Crash recovery runs at an engine
+// quiescence point — and the survivor-only result must be byte-identical
+// to the committed crash goldens the goroutine engine produced.  No
+// simulated statistic moves between engines on this matrix.
+func TestLockstepCrashGoldenMatrix(t *testing.T) {
+	const nodes = 4
+	for _, scheme := range []string{"rt", "vm", "hybrid"} {
+		for _, mode := range []string{"lock", "barrier", "idle"} {
+			t.Run(scheme+"/"+mode, func(t *testing.T) {
+				cfg := midway.Config{Nodes: nodes, Scheme: scheme, OnCrash: midway.CrashDegrade, Sched: "lockstep"}
+				mem, rep := crashWorkload(t, cfg, mode)
+				if got, want := leU64(mem[:8]), crashOracle(nodes); got != want {
+					t.Errorf("survivor counter = %d, want %d", got, want)
+				}
+				if rep == nil {
+					t.Fatal("no crash report after a crashed run")
+				}
+				got := crashSummary(nodes, mem, rep)
+				golden := filepath.Join("testdata", "crash", scheme+"_"+mode+".golden")
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden (generate with the goroutine-engine matrix first): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("lockstep crash output diverged from the goroutine-engine golden:\ngot:\n%swant:\n%s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestLockstepTraceInvariance: under the lockstep engine the full JSONL
+// protocol event trace — every message, clock stamp and statistic — is
+// byte-identical across GOMAXPROCS settings, for every application and
+// detection scheme.  This is the engine's central claim measured at its
+// finest observable grain.
+func TestLockstepTraceInvariance(t *testing.T) {
+	trace := func(app, scheme string) []byte {
+		var buf bytes.Buffer
+		cfg := midway.Config{Nodes: 4, Scheme: scheme, Sched: "lockstep", Trace: &buf, TraceFormat: "jsonl"}
+		if _, err := bench.RunApp(app, cfg, bench.ScaleSmall); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, app := range lockstepApps {
+		for _, scheme := range []string{"rt", "vm", "hybrid"} {
+			t.Run(app+"/"+scheme, func(t *testing.T) {
+				prev := runtime.GOMAXPROCS(1)
+				first := trace(app, scheme)
+				runtime.GOMAXPROCS(4)
+				second := trace(app, scheme)
+				runtime.GOMAXPROCS(prev)
+				if len(first) == 0 {
+					t.Fatal("empty trace")
+				}
+				if !bytes.Equal(first, second) {
+					t.Errorf("JSONL trace differs across GOMAXPROCS 1 vs 4 (%d vs %d bytes)", len(first), len(second))
+				}
+			})
+		}
+	}
+}

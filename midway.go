@@ -55,6 +55,7 @@ import (
 	"midway/internal/health"
 	"midway/internal/memory"
 	"midway/internal/obs"
+	"midway/internal/sched"
 	"midway/internal/stats"
 	"midway/internal/transport"
 )
@@ -257,6 +258,21 @@ type Config struct {
 	// profiles during the run, readable afterwards with ObjectProfiles,
 	// RegionProfiles, or WriteProfiles ("hot objects" tables).
 	ProfileObjects bool
+	// Sched selects the execution engine: "goroutine" (the default; one OS
+	// goroutine per node, wall-clock message delivery) or "lockstep" (the
+	// conservative parallel discrete-event engine: nodes execute
+	// message-free stretches concurrently and all messages are delivered
+	// in a deterministic total order at simulated-time quiescence points,
+	// so results are byte-identical regardless of GOMAXPROCS).  Lockstep
+	// is incompatible with the wall-clock transport layers: UseTCP,
+	// TCPAddrs, FaultSpec, Reliable, ReliableSpec and Heartbeat all
+	// require real time to elapse and are rejected.
+	Sched string
+	// SchedThreads caps the number of nodes the lockstep engine runs
+	// concurrently (0 = no cap).  Results are identical at any setting;
+	// the knob exists so benchmark harnesses can keep cells × engine
+	// threads within GOMAXPROCS.
+	SchedThreads int
 	// CompatCodec disables the zero-allocation codec fast paths: every
 	// message is encoded into a fresh owned buffer and decoded with
 	// copying decoders.  Simulated results are identical either way; the
@@ -305,6 +321,30 @@ func newTracer(cfg Config) (*obs.Tracer, error) {
 
 // NewSystem creates a DSM system from the configuration.
 func NewSystem(cfg Config) (*System, error) {
+	lockstep := false
+	switch cfg.Sched {
+	case "", "goroutine":
+	case "lockstep":
+		lockstep = true
+	default:
+		return nil, fmt.Errorf("midway: unknown scheduler %q (want goroutine or lockstep)", cfg.Sched)
+	}
+	if lockstep {
+		switch {
+		case len(cfg.TCPAddrs) > 0:
+			return nil, fmt.Errorf("midway: Sched=lockstep requires the in-process stepped transport; it cannot drive a multi-process TCP deployment (TCPAddrs)")
+		case cfg.UseTCP:
+			return nil, fmt.Errorf("midway: Sched=lockstep requires the in-process stepped transport; it cannot drive real TCP sockets (UseTCP)")
+		case cfg.FaultSpec != "":
+			return nil, fmt.Errorf("midway: Sched=lockstep cannot compose with transport fault injection (FaultSpec): the fault and retransmission layers are wall-clock driven")
+		case cfg.Reliable || cfg.ReliableSpec != "":
+			return nil, fmt.Errorf("midway: Sched=lockstep cannot compose with the reliability layer (Reliable/ReliableSpec): retransmission timers are wall-clock driven")
+		case cfg.Heartbeat > 0 || cfg.SuspectAfter > 0:
+			return nil, fmt.Errorf("midway: Sched=lockstep cannot compose with heartbeat failure detection (Heartbeat/SuspectAfter): silence windows are wall-clock driven; inject crashes with KillNode or Proc.Crash instead")
+		}
+	} else if cfg.SchedThreads != 0 {
+		return nil, fmt.Errorf("midway: SchedThreads set without Sched=lockstep")
+	}
 	tr, err := newTracer(cfg)
 	if err != nil {
 		return nil, err
@@ -320,6 +360,8 @@ func NewSystem(cfg Config) (*System, error) {
 		CombineIncarnations: cfg.CombineIncarnations,
 		Obs:                 tr,
 		CompatCodec:         cfg.CompatCodec,
+		Lockstep:            lockstep,
+		SchedThreads:        cfg.SchedThreads,
 	}
 	if cfg.PageFaultMicros > 0 {
 		cc.Cost = cc.Cost.WithFaultMicros(cfg.PageFaultMicros)
@@ -600,6 +642,20 @@ func (s *System) WriteProfiles(w io.Writer) {
 	if s.obs != nil {
 		s.obs.WriteProfiles(w)
 	}
+}
+
+// Turns is a deterministic round scheduler for applications whose workers
+// proceed one at a time in a seeded random permutation per round (see
+// internal/sched).  Obtain one from System.NewTurns.
+type Turns = sched.Turns
+
+// NewTurns builds a round scheduler over procs workers whose permutation
+// stream is seeded with seed.  Under the lockstep engine waiting workers
+// park through the engine so quiescence detection stays sound; under the
+// goroutine engine they park on a condition variable.  Either way the
+// permutation stream, and therefore the application schedule, is identical.
+func (s *System) NewTurns(procs int, seed int64) *Turns {
+	return sched.NewTurns(s.inner.Engine(), procs, seed)
 }
 
 // ReadFinal copies processor 0's copy of the range into dst after Run has
