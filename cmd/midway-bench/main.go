@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, table1, table2, table3, table4, table5, fig3, fig4, uni, ablation, untargetted, combine, speedup, hybrid")
+	exp := flag.String("exp", "all", "experiment: all, fig2, table1, table2, table3, table4, table5, fig3, fig4, uni, ablation, untargetted, combine, speedup, hybrid, churn")
 	procs := flag.Int("procs", 8, "number of processors")
 	scaleName := flag.String("scale", "medium", "input scale: small, medium, paper")
 	scheme := flag.String("scheme", "hybrid",
@@ -222,6 +222,16 @@ func run(exp string, procs int, scale bench.Scale, scheme string, workers int, s
 			bench.FprintScaling(w, cells)
 		})
 	}
+	if exp == "churn" {
+		section("churn", func() {
+			cells, err := bench.RunChurn(scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "churn: %v\n", err)
+				return
+			}
+			bench.FprintChurn(w, cells)
+		})
+	}
 	section("combine", func() {
 		rows, err := bench.CombineAblation(procs, scale, workers)
 		if err != nil {
@@ -235,7 +245,7 @@ func run(exp string, procs int, scale bench.Scale, scheme string, workers int, s
 		"all": true, "fig2": true, "table1": true, "table2": true, "table3": true,
 		"table4": true, "table5": true, "fig3": true, "fig4": true, "uni": true,
 		"ablation": true, "untargetted": true, "combine": true, "speedup": true,
-		"hybrid": true, "scaling": true,
+		"hybrid": true, "scaling": true, "churn": true,
 	}
 	if !known[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	midway-run -app water|quicksort|matrix|sor|cholesky
+//	midway-run -app water|quicksort|matrix|sor|cholesky|churn
 //	           [-strategy rt|vm|blast|twin|none|hybrid] [-scheme name]
 //	           [-procs 8] [-scale small|medium|paper]
+//	           [-max-nodes 4] [-join 2@8,3@16] [-drain 1@32]
 //	           [-fault-us 1200] [-latency-us 500] [-bandwidth-mbps 140]
 //	           [-tcp] [-sched goroutine|lockstep] [-eager] [-fault spec] [-reliable]
 //	           [-trace FILE] [-trace-format text|jsonl|chrome] [-profile-objects]
@@ -23,6 +24,8 @@
 //	                                                   # event trace for midway-trace
 //	midway-run -app sor -trace sor.json -trace-format chrome
 //	                                                   # open in chrome://tracing / Perfetto
+//	midway-run -app churn -procs 2 -max-nodes 4 -join 2@8,3@16 -drain 1@32
+//	                                                   # elastic membership: two runtime joins, one drain
 package main
 
 import (
@@ -63,11 +66,17 @@ func (f *reliableFlag) Set(s string) error {
 }
 
 func main() {
-	app := flag.String("app", "sor", "application: water, quicksort, matrix, sor, cholesky")
+	app := flag.String("app", "sor", "application: water, quicksort, matrix, sor, cholesky, churn")
 	strategyName := flag.String("strategy", "rt", "write detection: rt, vm, blast, twin, none, hybrid")
 	schemeName := flag.String("scheme", "",
 		"write-detection scheme by registry name ("+strings.Join(midway.SchemeNames(), ", ")+"); overrides -strategy")
 	procs := flag.Int("procs", 8, "number of processors")
+	maxNodes := flag.Int("max-nodes", 0,
+		"provision capacity for this many processors (elastic membership); 0 = fixed membership")
+	joinSpec := flag.String("join", "",
+		"schedule runtime joins for -app churn, e.g. 4@8,5@16 (node@round; requires -max-nodes)")
+	drainSpec := flag.String("drain", "",
+		"schedule graceful drains for -app churn, e.g. 1@32 (node@round; requires -max-nodes)")
 	scaleName := flag.String("scale", "medium", "input scale: small, medium, paper")
 	faultUS := flag.Float64("fault-us", 0, "page write fault cost in µs (0 = Mach default, 1200)")
 	latencyUS := flag.Float64("latency-us", 0, "one-way message latency in µs (0 = default, 500)")
@@ -138,8 +147,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-sched=lockstep drives simulated time itself and requires the in-process stepped transport; it cannot run over TCP sockets (-tcp)")
 		os.Exit(2)
 	}
+	if (*joinSpec != "" || *drainSpec != "") && *maxNodes == 0 {
+		fmt.Fprintln(os.Stderr, "-join/-drain schedule membership churn and require spare capacity: set -max-nodes above -procs")
+		os.Exit(2)
+	}
+	bench.JoinSpec = *joinSpec
+	bench.DrainSpec = *drainSpec
 	cfg := midway.Config{
 		Nodes:               *procs,
+		MaxNodes:            *maxNodes,
 		Strategy:            strategy,
 		Scheme:              *schemeName,
 		Sched:               *sched,

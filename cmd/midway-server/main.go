@@ -21,12 +21,20 @@
 // suspicion window (or one whose process died) is declared crashed and the
 // run aborts with a diagnostic naming it — multi-process deployments have
 // no global view to recover from, so they always abort.  Exit status: 0 on
-// success, 1 on a run failure, 2 on usage errors, 3 when a peer crash
-// aborted the run.
+// success or clean drain, 1 on a run failure, 2 on usage errors, 3 when a
+// peer crash aborted the run, 4 when a drain was forced into an abort.
 //
 // SIGINT/SIGTERM shut the process down gracefully: the transport is
 // closed (peers see this node die), the trace sink is flushed, and the
 // process exits nonzero.  A second signal exits immediately.
+//
+// SIGUSR1 requests a graceful drain instead: this node raises a drain
+// flag inside the workload's next critical section (or barrier round),
+// every peer observes the flag at its own next release boundary, and the
+// whole mesh stops at the same round — partial results verified, exit 0.
+// A terminate signal (or a second SIGUSR1) received after a drain was
+// requested forces the abort path above and exits 4 instead of 130, so
+// scripts can tell a clean drain from an abandoned one.
 package main
 
 import (
@@ -38,9 +46,20 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 
 	"midway"
+)
+
+// draining is set by the SIGUSR1 handler; the workloads poll it at
+// acquire boundaries and propagate it to peers through lock-bound data,
+// so the whole mesh stops at the same release boundary.  aborted records
+// that a forced shutdown interrupted a requested drain: the main
+// goroutine then exits 4 instead of 1 when the run unwinds.
+var (
+	draining atomic.Bool
+	aborted  atomic.Bool
 )
 
 // reliableFlag is a boolean flag that also accepts a tuning spec:
@@ -140,10 +159,29 @@ func main() {
 	// every peer connects, and an operator must be able to abandon a
 	// half-formed mesh cleanly too.
 	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
 	sysc := make(chan *midway.System, 1)
 	go func() {
-		s := <-sigc
+		var s os.Signal
+		for {
+			s = <-sigc
+			if s != syscall.SIGUSR1 || draining.Load() {
+				break
+			}
+			// First SIGUSR1: request a graceful drain and keep running.
+			// The workload raises the mesh-wide stop flag at its next
+			// acquire; the main goroutine exits 0 when the run completes.
+			draining.Store(true)
+			log.Printf("received %v; draining at the next release boundary", s)
+		}
+		// Forced shutdown: a terminate signal, or a repeated SIGUSR1
+		// escalating a drain that has not completed.
+		code := 130
+		if draining.Load() {
+			code = 4
+			aborted.Store(true)
+			log.Printf("received %v during drain; forcing abort", s)
+		}
 		select {
 		case sys := <-sysc:
 			log.Printf("received %v; closing transport and shutting down", s)
@@ -157,7 +195,7 @@ func main() {
 			log.Printf("received %v while joining the mesh; exiting", s)
 		}
 		flushTrace()
-		os.Exit(130)
+		os.Exit(code)
 	}()
 
 	log.Printf("node %d of %d joining mesh at %s", *node, len(addrs), addrs[*node])
@@ -180,6 +218,10 @@ func main() {
 	}
 	flushTrace()
 	if err != nil {
+		if aborted.Load() {
+			log.Printf("drain forced into abort: %v", err)
+			os.Exit(4)
+		}
 		var ce *midway.CrashError
 		if errors.As(err, &ce) {
 			log.Printf("peer crash aborted the run: %v", err)
@@ -188,31 +230,55 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if draining.Load() {
+		log.Printf("drained cleanly at a release boundary")
+	}
 	st := sys.TotalStats()
 	fmt.Printf("node %d done: simulated %.3f s, %d messages, %d KB moved\n",
 		*node, sys.ExecutionSeconds(), st.Messages, st.MessageBytes/1024)
 }
 
 // runRing passes a lock-guarded counter around the nodes; every node
-// increments it rounds times and the total is verified at the end.
+// increments it rounds times and the total is verified at the end.  A
+// stop word and per-node contribution slots ride under the same lock: a
+// draining node sets the stop word in its critical section, every peer
+// observes it at its own next acquire, and the verification sums the
+// contributions actually made — so a drained run still verifies.
 func runRing(sys *midway.System, nodes, rounds int) error {
 	counter := sys.MustAlloc("counter", 8, 8)
-	lock := sys.NewLock("counter", midway.RangeAt(counter, 8))
+	stop := sys.MustAlloc("stop", 8, 8)
+	contrib := sys.AllocU64("contrib", nodes, 8)
+	lock := sys.NewLock("counter",
+		midway.RangeAt(counter, 8), midway.RangeAt(stop, 8), contrib.Range())
 	done := sys.NewBarrier("done")
 	return sys.Run(func(p *midway.Proc) {
+		me := p.ID()
+		var mine uint64
 		for i := 0; i < rounds; i++ {
 			p.Acquire(lock)
+			if draining.Load() {
+				p.WriteU64(stop, 1)
+			}
+			if p.ReadU64(stop) != 0 {
+				p.Release(lock)
+				break
+			}
 			p.WriteU64(counter, p.ReadU64(counter)+1)
+			mine++
+			contrib.Set(p, me, mine)
 			p.Release(lock)
 		}
 		p.Barrier(done)
 		p.AcquireShared(lock)
 		got := p.ReadU64(counter)
+		var want uint64
+		for j := 0; j < nodes; j++ {
+			want += contrib.Get(p, j)
+		}
 		p.Release(lock)
 		// The final barrier keeps every process (and its protocol
 		// handler) alive until all verifications are complete.
 		p.Barrier(done)
-		want := uint64(nodes * rounds)
 		if got != want {
 			panic(fmt.Sprintf("node %d: counter = %d, want %d", p.ID(), got, want))
 		}
@@ -220,26 +286,40 @@ func runRing(sys *midway.System, nodes, rounds int) error {
 }
 
 // runExchange publishes per-node values through a bound barrier and
-// verifies everyone sees everyone.
+// verifies everyone sees everyone.  Per-node drain flags travel with the
+// same barrier: a draining node publishes its flag alongside its value,
+// every node sees the identical flag set after the crossing, and the
+// whole mesh breaks after the same round.
 func runExchange(sys *midway.System, nodes, rounds int) error {
 	slots := sys.AllocU64("slots", nodes, 8)
-	bar := sys.NewBarrier("exchange", slots.Range())
+	flags := sys.AllocU64("drain", nodes, 8)
+	bar := sys.NewBarrier("exchange", slots.Range(), flags.Range())
 	parts := make([][]midway.Range, nodes)
 	for i := range parts {
-		parts[i] = []midway.Range{slots.Slice(i, i+1)}
+		parts[i] = []midway.Range{slots.Slice(i, i+1), flags.Slice(i, i+1)}
 	}
 	sys.SetBarrierParts(bar, parts)
 	return sys.Run(func(p *midway.Proc) {
 		me := p.ID()
 		for r := 1; r <= rounds; r++ {
 			slots.Set(p, me, uint64(me*1_000_000+r))
+			if draining.Load() {
+				flags.Set(p, me, 1)
+			}
 			p.Barrier(bar)
+			stopping := false
 			for j := 0; j < nodes; j++ {
 				if got := slots.Get(p, j); got != uint64(j*1_000_000+r) {
 					panic(fmt.Sprintf("node %d round %d: slot %d = %d", me, r, j, got))
 				}
+				if flags.Get(p, j) != 0 {
+					stopping = true
+				}
 			}
 			p.Barrier(bar)
+			if stopping {
+				break
+			}
 		}
 	})
 }

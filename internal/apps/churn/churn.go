@@ -1,0 +1,228 @@
+// Package churn implements the elastic-membership workload: a
+// lock-distributed work queue whose final memory contents are independent
+// of the membership trajectory.  A fixed total of tasks is drawn from a
+// shared counter; every task deterministically fills its own result slot,
+// so any schedule of runtime joins and graceful drains that still finishes
+// the queue produces byte-identical results — the property the membership
+// acceptance tests pin down.
+//
+// The counter and the result array are bound to a single queue lock.  A
+// worker claims a task in one short critical section, computes outside the
+// lock so the token circulates while others work, and writes the result in
+// a second short critical section.  Entry consistency guarantees the
+// release of that second section propagates the slot with the token; Run
+// reads the assembled array only after every worker has returned, so all
+// result writes are release-ordered before the final read.
+//
+// Membership changes are driven from the workload itself, which keeps
+// lockstep runs deterministic: the worker that claims task number R
+// sponsors the joins scheduled at round R after releasing the lock, and a
+// node scheduled to drain at round R departs at its next release boundary
+// once the counter has passed R (or as soon as an external
+// System.DrainNode request is observed).
+package churn
+
+import (
+	"fmt"
+	"sync"
+
+	"midway"
+	"midway/internal/apps"
+	"midway/internal/member"
+)
+
+// Config sizes the workload and schedules the churn.
+type Config struct {
+	// Tasks is the fixed total number of work items.
+	Tasks int
+	// WorkCycles is the simulated computation charged per task.
+	WorkCycles uint64
+	// Joins schedules runtime admissions: entry {Node, Round} admits Node
+	// when task number Round is claimed.  Node must be in
+	// [midway.Config.Nodes, midway.Config.MaxNodes).
+	Joins []member.ScheduleEntry
+	// Drains schedules graceful departures: entry {Node, Round} makes
+	// Node leave at its first release boundary after the task counter
+	// passes Round.  Node 0 must not be drained (it assembles the
+	// result).
+	Drains []member.ScheduleEntry
+}
+
+// Default returns a seconds-scale configuration with no churn; callers add
+// schedules (or drive System.DrainNode externally).
+func Default() Config {
+	return Config{Tasks: 512, WorkCycles: 2000}
+}
+
+// task computes result slot t: a splitmix-style mix of the task number, so
+// slots are distinct, order-insensitive and cheap to verify.
+func task(t int) uint64 {
+	z := uint64(t)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	z ^= z >> 31
+	return z
+}
+
+// Sequential returns the oracle result array.
+func Sequential(cfg Config) []uint64 {
+	out := make([]uint64, cfg.Tasks)
+	for t := range out {
+		out[t] = task(t)
+	}
+	return out
+}
+
+// Checksum digests a result array.
+func Checksum(res []uint64) float64 {
+	var sum float64
+	for i, v := range res {
+		sum += float64(v%1000003) * float64(i%31+1)
+	}
+	return sum
+}
+
+// validate rejects schedules the workload cannot enact.
+func validate(mcfg midway.Config, cfg Config) error {
+	if cfg.Tasks <= 0 {
+		return fmt.Errorf("churn: Tasks must be positive")
+	}
+	maxNodes := mcfg.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = mcfg.Nodes
+	}
+	for _, j := range cfg.Joins {
+		if j.Node < mcfg.Nodes || j.Node >= maxNodes {
+			return fmt.Errorf("churn: join of node %d outside the provisioned range [%d, %d)", j.Node, mcfg.Nodes, maxNodes)
+		}
+		if j.Round >= cfg.Tasks {
+			return fmt.Errorf("churn: join of node %d at round %d is after the queue empties (%d tasks)", j.Node, j.Round, cfg.Tasks)
+		}
+	}
+	for _, d := range cfg.Drains {
+		if d.Node == 0 {
+			return fmt.Errorf("churn: node 0 assembles the result and cannot drain")
+		}
+		if d.Node < 0 || d.Node >= maxNodes {
+			return fmt.Errorf("churn: drain of node %d outside the provisioned range [0, %d)", d.Node, maxNodes)
+		}
+	}
+	if (len(cfg.Joins) > 0 || len(cfg.Drains) > 0) && mcfg.MaxNodes == 0 {
+		return fmt.Errorf("churn: a join/drain schedule requires elastic membership (MaxNodes)")
+	}
+	return nil
+}
+
+// Metrics reports membership-operation measurements from a run.
+type Metrics struct {
+	// JoinLatencies holds, per completed scheduled join, the
+	// sponsor-observed simulated cycles from the Join call to the
+	// committed admission (Join blocks until the membership change
+	// commits, so the sponsor's clock delta is exactly the join latency).
+	JoinLatencies []uint64
+}
+
+// Run executes the churn work queue under the given DSM configuration,
+// verifies the result array against the oracle, and returns measurements.
+func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
+	res, _, err := RunWithMetrics(mcfg, cfg)
+	return res, err
+}
+
+// RunWithMetrics is Run plus membership-operation measurements.
+func RunWithMetrics(mcfg midway.Config, cfg Config) (apps.Result, Metrics, error) {
+	if err := validate(mcfg, cfg); err != nil {
+		return apps.Result{}, Metrics{}, err
+	}
+	sys, err := midway.NewSystem(mcfg)
+	if err != nil {
+		return apps.Result{}, Metrics{}, err
+	}
+	next := sys.MustAlloc("churn.next", 8, 8)
+	results := sys.MustAlloc("churn.results", uint32(cfg.Tasks)*8, 64)
+	resRange := midway.RangeAt(results, uint32(cfg.Tasks)*8)
+	queue := sys.NewLock("churn.queue", midway.RangeAt(next, 8), resRange)
+	done := sys.NewBarrier("churn.done")
+
+	// Joins indexed by triggering round; drains indexed by node.
+	joinAt := make(map[int][]int)
+	for _, j := range cfg.Joins {
+		joinAt[j.Round] = append(joinAt[j.Round], j.Node)
+	}
+	drainRound := make(map[int]int)
+	for _, d := range cfg.Drains {
+		drainRound[d.Node] = d.Round
+	}
+	var (
+		metMu sync.Mutex
+		met   Metrics
+	)
+
+	err = sys.Run(func(p *midway.Proc) {
+		id := p.ID()
+		dr, hasDrain := drainRound[id]
+		for {
+			p.Acquire(queue)
+			t := int(p.ReadU64(next))
+			if t >= cfg.Tasks {
+				p.Release(queue)
+				// Result writes happen in their own critical section, so
+				// seeing the queue empty does not mean every slot is
+				// filled yet.  Rendezvous with the other survivors, then
+				// have node 0 pull the queue token once more: every write
+				// is release-ordered before the barrier, so that final
+				// acquire lands the complete array in node 0's copy for
+				// ReadFinal.
+				// A scheduled drainer departs here even if the queue
+				// emptied before its round arrived: the run still
+				// exercises (and its measurements still include) the
+				// drain handoff.
+				if hasDrain || p.Draining() {
+					p.Leave()
+				}
+				p.Barrier(done)
+				if id == 0 {
+					p.Acquire(queue)
+					p.Release(queue)
+				}
+				return
+			}
+			p.WriteU64(next, uint64(t)+1)
+			p.Release(queue)
+
+			// Compute outside the critical section so the queue token
+			// circulates while this worker is busy.
+			p.Compute(cfg.WorkCycles)
+			v := task(t)
+
+			p.Acquire(queue)
+			p.WriteU64(results+midway.Addr(t*8), v)
+			p.Release(queue)
+			for _, j := range joinAt[t] {
+				c0 := p.Cycles()
+				if err := p.Join(j); err != nil {
+					panic(fmt.Sprintf("churn: node %d sponsoring join of %d: %v", id, j, err))
+				}
+				metMu.Lock()
+				met.JoinLatencies = append(met.JoinLatencies, p.Cycles()-c0)
+				metMu.Unlock()
+			}
+			if (hasDrain && t >= dr) || p.Draining() {
+				p.Leave()
+			}
+		}
+	})
+	if err != nil {
+		return apps.Result{}, Metrics{}, err
+	}
+
+	got := make([]uint64, cfg.Tasks)
+	for t := range got {
+		got[t] = sys.ReadFinalU64(results + midway.Addr(t*8))
+	}
+	want := Sequential(cfg)
+	for t := range want {
+		if got[t] != want[t] {
+			return apps.Result{}, Metrics{}, fmt.Errorf("churn: task %d result = %#x, want %#x", t, got[t], want[t])
+		}
+	}
+	return apps.Collect("churn", sys, mcfg, Checksum(got)), met, nil
+}

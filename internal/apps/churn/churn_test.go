@@ -1,0 +1,91 @@
+package churn
+
+import (
+	"testing"
+
+	"midway"
+	"midway/internal/member"
+)
+
+// TestFixedMembership runs the queue with no churn under every strategy.
+func TestFixedMembership(t *testing.T) {
+	for _, strat := range []midway.Strategy{midway.RT, midway.VM, midway.Blast, midway.TwinDiff} {
+		r, err := Run(midway.Config{Nodes: 3, Strategy: strat}, Config{Tasks: 96, WorkCycles: 500})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if r.Checksum == 0 {
+			t.Fatalf("%v: zero checksum", strat)
+		}
+	}
+}
+
+// TestChurnMatchesFixed checks the headline property: a run with mid-run
+// joins and drains produces the same checksum as a fixed-membership run.
+func TestChurnMatchesFixed(t *testing.T) {
+	for _, sched := range []string{"goroutine", "lockstep"} {
+		fixed, err := Run(midway.Config{Nodes: 2, Strategy: midway.RT, Sched: sched},
+			Config{Tasks: 96, WorkCycles: 500})
+		if err != nil {
+			t.Fatalf("fixed/%s: %v", sched, err)
+		}
+		elastic, err := Run(
+			midway.Config{Nodes: 2, MaxNodes: 4, Strategy: midway.RT, Sched: sched},
+			Config{
+				Tasks:      96,
+				WorkCycles: 500,
+				Joins:      []member.ScheduleEntry{{Node: 2, Round: 10}, {Node: 3, Round: 20}},
+				Drains:     []member.ScheduleEntry{{Node: 1, Round: 40}, {Node: 2, Round: 60}},
+			})
+		if err != nil {
+			t.Fatalf("elastic/%s: %v", sched, err)
+		}
+		if elastic.Checksum != fixed.Checksum {
+			t.Fatalf("%s: churn checksum %g != fixed checksum %g", sched, elastic.Checksum, fixed.Checksum)
+		}
+	}
+}
+
+// TestLockstepChurnDeterminism runs an identical churn schedule twice
+// under lockstep and demands byte-identical simulated results.
+func TestLockstepChurnDeterminism(t *testing.T) {
+	run := func() (float64, float64, uint64) {
+		r, err := Run(
+			midway.Config{Nodes: 2, MaxNodes: 4, Strategy: midway.VM, Sched: "lockstep"},
+			Config{
+				Tasks:      80,
+				WorkCycles: 300,
+				Joins:      []member.ScheduleEntry{{Node: 2, Round: 8}, {Node: 3, Round: 16}},
+				Drains:     []member.ScheduleEntry{{Node: 2, Round: 48}},
+			})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return r.Checksum, r.Seconds, r.Total.BytesTransferred
+	}
+	c1, s1, b1 := run()
+	c2, s2, b2 := run()
+	if c1 != c2 || s1 != s2 || b1 != b2 {
+		t.Fatalf("churn not deterministic: (%g,%g,%d) vs (%g,%g,%d)", c1, s1, b1, c2, s2, b2)
+	}
+}
+
+// TestScheduleValidation rejects schedules the workload cannot enact.
+func TestScheduleValidation(t *testing.T) {
+	base := midway.Config{Nodes: 2, MaxNodes: 3, Strategy: midway.RT}
+	cases := []Config{
+		{Tasks: 10, Joins: []member.ScheduleEntry{{Node: 1, Round: 2}}},  // already a member
+		{Tasks: 10, Joins: []member.ScheduleEntry{{Node: 5, Round: 2}}},  // beyond capacity
+		{Tasks: 10, Joins: []member.ScheduleEntry{{Node: 2, Round: 50}}}, // after the queue empties
+		{Tasks: 10, Drains: []member.ScheduleEntry{{Node: 0, Round: 2}}}, // node 0 assembles results
+	}
+	for i, cfg := range cases {
+		if _, err := Run(base, cfg); err == nil {
+			t.Errorf("case %d: invalid schedule accepted", i)
+		}
+	}
+	if _, err := Run(midway.Config{Nodes: 2, Strategy: midway.RT},
+		Config{Tasks: 10, Drains: []member.ScheduleEntry{{Node: 1, Round: 2}}}); err == nil {
+		t.Errorf("drain schedule without MaxNodes accepted")
+	}
+}

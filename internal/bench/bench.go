@@ -19,10 +19,12 @@ import (
 	"midway"
 	"midway/internal/apps"
 	"midway/internal/apps/cholesky"
+	"midway/internal/apps/churn"
 	"midway/internal/apps/matmul"
 	"midway/internal/apps/qsort"
 	"midway/internal/apps/sor"
 	"midway/internal/apps/water"
+	"midway/internal/member"
 )
 
 // Scale selects input sizes.
@@ -102,6 +104,17 @@ var ProfileObjects bool
 var (
 	Sched        string
 	SchedThreads int
+)
+
+// JoinSpec and DrainSpec, when non-empty, schedule elastic-membership
+// churn for the churn application ("NODE@ROUND,..." as parsed by
+// member.ParseSchedule).  The CLIs set them from their -join and -drain
+// flags; the configuration must provision spare capacity with MaxNodes.
+// Only the churn workload enacts them — the paper applications run with
+// fixed membership.
+var (
+	JoinSpec  string
+	DrainSpec string
 )
 
 // traceExt maps a trace format to its file extension.
@@ -235,6 +248,23 @@ func runApp(name string, mcfg midway.Config, scale Scale) (apps.Result, error) {
 			cfg = cholesky.Paper()
 		}
 		return cholesky.Run(mcfg, cfg)
+	case "churn":
+		cfg := churnConfig(scale)
+		if JoinSpec != "" {
+			joins, err := member.ParseSchedule(JoinSpec)
+			if err != nil {
+				return apps.Result{}, fmt.Errorf("bench: -join: %w", err)
+			}
+			cfg.Joins = joins
+		}
+		if DrainSpec != "" {
+			drains, err := member.ParseSchedule(DrainSpec)
+			if err != nil {
+				return apps.Result{}, fmt.Errorf("bench: -drain: %w", err)
+			}
+			cfg.Drains = drains
+		}
+		return churn.Run(mcfg, cfg)
 	}
 	return apps.Result{}, fmt.Errorf("bench: unknown application %q", name)
 }

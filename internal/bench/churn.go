@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"midway"
+	"midway/internal/apps/churn"
+	"midway/internal/cost"
+	"midway/internal/member"
+)
+
+// ChurnCell is one elastic-membership measurement: the churn work queue at
+// one topology, run four times — fixed membership, joins only, drains
+// only, and the full join+drain schedule — so the traffic deltas isolate
+// what each membership operation costs.  Every run must produce the same
+// checksum: the workload's final memory is independent of the membership
+// trajectory.
+//
+// Simulated execution time is reported for the fixed and fully-churned
+// runs but carries no overhead ratio: under the lazy lock protocol a
+// fixed-membership run may legally serialize on one token holder (local
+// re-acquires are free and never yield), while membership changes force
+// the token to circulate, so the time delta is dominated by the induced
+// contention regime rather than by the membership operations themselves.
+// The direct costs are the join latency (the sponsor blocks from the Join
+// call until the admission commits) and the extra bytes moved by
+// join-time state transfer and drain-time handoff.
+type ChurnCell struct {
+	Procs    int    `json:"procs"`     // founding nodes
+	MaxNodes int    `json:"max_nodes"` // provisioned capacity
+	Sched    string `json:"sched"`
+	Joins    int    `json:"joins"`  // scheduled runtime admissions
+	Drains   int    `json:"drains"` // scheduled graceful departures
+	// JoinLatencyUS is the mean sponsor-observed join latency in
+	// simulated microseconds, from the joins-only run.
+	JoinLatencyUS float64 `json:"join_latency_us"`
+	// JoinKB / DrainKB are the extra kilobytes the joins-only and
+	// drains-only runs moved over the fixed baseline: join-time state
+	// transfer (directory plus full-data bindings) and drain-time
+	// handoff (authoritative copies and token forwards; zero when the
+	// leaver owns no tokens).  Under the lockstep engine the deltas also
+	// include the update traffic of the token circulation the membership
+	// change induces — a fixed-membership run may never circulate at all.
+	JoinKB  float64 `json:"join_kb"`
+	DrainKB float64 `json:"drain_kb"`
+	// FixedSimSeconds / ChurnSimSeconds are the simulated execution times
+	// of the fixed and fully-churned runs; FixedKB / ChurnKB their total
+	// transferred data.
+	FixedSimSeconds float64 `json:"fixed_sim_seconds"`
+	ChurnSimSeconds float64 `json:"churn_sim_seconds"`
+	FixedKB         float64 `json:"fixed_kb"`
+	ChurnKB         float64 `json:"churn_kb"`
+	// Checksum is the (matching) result digest of all four runs.
+	Checksum float64 `json:"checksum"`
+}
+
+// churnGrid lists the topology points: each founding count admits two
+// spares mid-run and drains two members (one founder, one of the
+// admitted spares), exercising join, leave and rejoin-capacity paths.
+func churnGrid() []struct{ procs, maxNodes int } {
+	return []struct{ procs, maxNodes int }{
+		{2, 4}, {4, 6}, {8, 10},
+	}
+}
+
+// churnConfig sizes the workload for a scale.  Per-task compute is set
+// well above the cost of one lock transfer, so workers overlap compute
+// with token circulation instead of convoying on the queue.
+func churnConfig(scale Scale) churn.Config {
+	cfg := churn.Default()
+	switch scale {
+	case ScaleSmall:
+		cfg.Tasks, cfg.WorkCycles = 64, 50000
+	case ScaleMedium:
+		cfg.Tasks, cfg.WorkCycles = 512, 50000
+	case ScalePaper:
+		cfg.Tasks, cfg.WorkCycles = 4096, 50000
+	}
+	return cfg
+}
+
+// RunChurn measures the churn grid at the given scale under both
+// execution engines.
+func RunChurn(scale Scale) ([]ChurnCell, error) {
+	var out []ChurnCell
+	for _, pt := range churnGrid() {
+		for _, sched := range ScalingScheds {
+			base := churnConfig(scale)
+			q := base.Tasks / 8
+			joins := []member.ScheduleEntry{
+				{Node: pt.procs, Round: q},
+				{Node: pt.procs + 1, Round: 2 * q},
+			}
+			drains := []member.ScheduleEntry{
+				{Node: 1, Round: 4 * q},
+				{Node: pt.procs, Round: 5 * q},
+			}
+
+			mcfg := midway.Config{Nodes: pt.procs, Strategy: midway.RT}
+			if sched == "lockstep" {
+				mcfg.Sched = sched
+			}
+			fixed, err := churn.Run(mcfg, base)
+			if err != nil {
+				return nil, fmt.Errorf("bench: churn fixed %dp under %s: %w", pt.procs, sched, err)
+			}
+
+			elastic := mcfg
+			elastic.MaxNodes = pt.maxNodes
+			joinsOnly := base
+			joinsOnly.Joins = joins
+			joined, met, err := churn.RunWithMetrics(elastic, joinsOnly)
+			if err != nil {
+				return nil, fmt.Errorf("bench: churn joins-only %d->%dp under %s: %w", pt.procs, pt.maxNodes, sched, err)
+			}
+
+			drainsOnly := base
+			drainsOnly.Drains = drains[:1] // the spare never joined; drain only the founder
+			drained, err := churn.Run(elastic, drainsOnly)
+			if err != nil {
+				return nil, fmt.Errorf("bench: churn drains-only %dp under %s: %w", pt.procs, sched, err)
+			}
+
+			full := base
+			full.Joins, full.Drains = joins, drains
+			churned, err := churn.Run(elastic, full)
+			if err != nil {
+				return nil, fmt.Errorf("bench: churn elastic %d->%dp under %s: %w", pt.procs, pt.maxNodes, sched, err)
+			}
+
+			for _, r := range []struct {
+				name     string
+				checksum float64
+			}{
+				{"joins-only", joined.Checksum},
+				{"drains-only", drained.Checksum},
+				{"full churn", churned.Checksum},
+			} {
+				if r.checksum != fixed.Checksum {
+					return nil, fmt.Errorf("bench: churn %dp under %s: %s checksum %g diverged from fixed %g",
+						pt.procs, sched, r.name, r.checksum, fixed.Checksum)
+				}
+			}
+
+			var latency float64
+			for _, l := range met.JoinLatencies {
+				latency += float64(l)
+			}
+			if n := len(met.JoinLatencies); n > 0 {
+				latency = latency / float64(n) / cost.CyclesPerMicrosecond
+			}
+			out = append(out, ChurnCell{
+				Procs:           pt.procs,
+				MaxNodes:        pt.maxNodes,
+				Sched:           sched,
+				Joins:           len(joins),
+				Drains:          len(drains),
+				JoinLatencyUS:   latency,
+				JoinKB:          joined.KBTransferredTotal() - fixed.KBTransferredTotal(),
+				DrainKB:         drained.KBTransferredTotal() - fixed.KBTransferredTotal(),
+				FixedSimSeconds: fixed.Seconds,
+				ChurnSimSeconds: churned.Seconds,
+				FixedKB:         fixed.KBTransferredTotal(),
+				ChurnKB:         churned.KBTransferredTotal(),
+				Checksum:        churned.Checksum,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FprintChurn renders the elastic-membership cost table.
+func FprintChurn(w io.Writer, cells []ChurnCell) {
+	fmt.Fprintln(w, "Elastic membership: join latency and join/drain traffic on the churn work queue")
+	fmt.Fprintln(w, "(all membership trajectories produce identical checksums; KB deltas vs the fixed run")
+	fmt.Fprintln(w, "isolate join-time state transfer and drain-time handoff)")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "procs\tsched\tjoin lat us\tjoin KB\tdrain KB\tfixed sim s\tchurn sim s\tfixed KB\tchurn KB")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%d->%d\t%s\t%.1f\t%.2f\t%.2f\t%.4f\t%.4f\t%.1f\t%.1f\n",
+			c.Procs, c.MaxNodes, c.Sched, c.JoinLatencyUS, c.JoinKB, c.DrainKB,
+			c.FixedSimSeconds, c.ChurnSimSeconds, c.FixedKB, c.ChurnKB)
+	}
+	tw.Flush()
+}

@@ -61,7 +61,10 @@ type Report struct {
 	Simulated []SimCell `json:"simulated"`
 	// Scaling holds the large-topology engine-comparison cells (64-256
 	// nodes under both engines); empty unless the scaling grid ran.
-	Scaling  []ScaleCell `json:"scaling,omitempty"`
+	Scaling []ScaleCell `json:"scaling,omitempty"`
+	// Churn holds the elastic-membership cost cells (runtime join/drain
+	// vs fixed membership); empty unless the churn grid ran.
+	Churn    []ChurnCell `json:"churn,omitempty"`
 	Measured Measured    `json:"measured"`
 }
 

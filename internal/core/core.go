@@ -41,6 +41,7 @@ import (
 
 	"midway/internal/cost"
 	"midway/internal/detect"
+	"midway/internal/member"
 	"midway/internal/memory"
 	"midway/internal/obs"
 	"midway/internal/sched"
@@ -213,6 +214,20 @@ type Config struct {
 	// benchmark worker pool) split GOMAXPROCS instead of multiplying it.
 	// Zero means no cap beyond GOMAXPROCS.
 	SchedThreads int
+	// MaxNodes enables elastic membership: the system provisions MaxNodes
+	// node ids, of which [0, Nodes) are founding members and the rest start
+	// absent, joining at runtime through Proc.Join and departing through
+	// Proc.Leave.  Zero (or Nodes) means fixed membership: no member table
+	// is constructed and every run is byte-identical to before the
+	// membership layer existed.  Requires the built-in transport (all
+	// nodes hosted in this process).
+	MaxNodes int
+	// OnMembership, when non-nil, is called after every committed
+	// membership transition with the subject node, the action and the new
+	// epoch.  The system layer uses it to keep the heartbeat monitor's
+	// active set and the reliable layer's per-peer state in sync.  It is
+	// called outside all protocol mutexes.
+	OnMembership func(node int, action member.Action, epoch uint64)
 }
 
 // ObjKind distinguishes locks from barriers in the object table.
@@ -289,6 +304,16 @@ type System struct {
 
 	nodes []*Node // nil entries for nodes hosted elsewhere
 
+	// members is the elastic-membership table (Config.MaxNodes), nil for
+	// fixed-membership systems — every membership code path nil-checks it
+	// first, so fixed runs stay byte-identical.
+	members *member.Table
+	// runFn and runWG are the SPMD application function and the goroutine
+	// engine's completion group, retained during Run so a joiner's proc
+	// can be launched mid-run.
+	runFn func(i int, n *Node)
+	runWG sync.WaitGroup
+
 	// eng and stepped are the lockstep engine and its message queue, nil
 	// under the goroutine engine.
 	eng     *sched.Engine
@@ -321,33 +346,53 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Obs == nil && cfg.Trace != nil {
 		cfg.Obs = obs.New(obs.Config{Text: cfg.Trace})
 	}
+	total := cfg.Nodes
+	if cfg.MaxNodes > 0 {
+		if cfg.MaxNodes < cfg.Nodes {
+			return nil, fmt.Errorf("core: MaxNodes %d below founding node count %d", cfg.MaxNodes, cfg.Nodes)
+		}
+		if cfg.Transport != nil && cfg.LocalNode >= 0 {
+			// A caller-supplied transport is fine as long as it hosts every
+			// node in this process and is sized for MaxNodes endpoints (the
+			// root package's fault-injection and reliability stacks are);
+			// per-process hosting is not: admission splices protocol state
+			// under a global freeze.
+			return nil, fmt.Errorf("core: elastic membership requires the all-hosted configuration (every node in one process)")
+		}
+		total = cfg.MaxNodes
+	}
 	s := &System{
 		cfg:    cfg,
 		layout: memory.NewLayout(cfg.RegionShift),
 		obs:    cfg.Obs,
 		failCh: make(chan struct{}),
 	}
+	if cfg.MaxNodes > 0 {
+		s.members = member.New(cfg.Nodes, total)
+	}
 	switch {
 	case cfg.Transport != nil:
 		if cfg.Lockstep {
 			return nil, fmt.Errorf("core: the lockstep engine requires the built-in stepped transport (Transport must be nil)")
 		}
-		if cfg.Transport.Nodes() != cfg.Nodes {
+		// An elastic system needs an endpoint per provisioned slot, not
+		// per founding node.
+		if cfg.Transport.Nodes() != total {
 			return nil, fmt.Errorf("core: transport has %d nodes, config has %d",
-				cfg.Transport.Nodes(), cfg.Nodes)
+				cfg.Transport.Nodes(), total)
 		}
 		s.net = cfg.Transport
 	case cfg.Lockstep:
-		s.stepped = transport.NewSteppedNetwork(cfg.Nodes)
+		s.stepped = transport.NewSteppedNetwork(total)
 		s.net = s.stepped
 		s.ownNet = true
 	default:
-		s.net = transport.NewChannelNetwork(cfg.Nodes)
+		s.net = transport.NewChannelNetwork(total)
 		s.ownNet = true
 	}
-	s.nodes = make([]*Node, cfg.Nodes)
+	s.nodes = make([]*Node, total)
 	local := cfg.LocalNode
-	for i := 0; i < cfg.Nodes; i++ {
+	for i := 0; i < total; i++ {
 		if cfg.Transport != nil && local >= 0 && i != local {
 			continue // hosted by another process
 		}
@@ -363,7 +408,7 @@ func NewSystem(cfg Config) (*System, error) {
 			}
 			return m.Time + netp.MessageCycles(m.Size())
 		})
-		s.eng = sched.New(cfg.Nodes, cfg.SchedThreads, sched.Hooks{
+		s.eng = sched.New(total, cfg.SchedThreads, sched.Hooks{
 			NextMessage: s.stepped.PopMin,
 			Dispatch:    s.dispatchStepped,
 			OnDeadlock: func(blocked []int) {
@@ -381,12 +426,16 @@ func (s *System) dispatchStepped(m transport.Message, arrival uint64) {
 	n := s.nodes[m.To]
 	if n.ghost.Load() {
 		// Ghosting happens only inside a quiescence section (killNodeFrom
-		// defers to RunAtQuiescence), which also closes unghosted before
-		// any later delivery, so this wait never blocks; it is kept for
-		// symmetry with handlerLoop.
+		// and leaveNodeFrom defer to RunAtQuiescence), which also closes
+		// unghosted before any later delivery, so this wait never blocks;
+		// it is kept for symmetry with handlerLoop.  Re-check the flag
+		// afterwards: a gracefully-departed node that rejoined has been
+		// un-ghosted (the channel stays closed) and dispatches normally.
 		<-n.unghosted
-		n.ghostRoute(m, arrival)
-		return
+		if n.ghost.Load() {
+			n.ghostRoute(m, arrival)
+			return
+		}
 	}
 	n.dispatch(m, arrival)
 }
@@ -664,15 +713,27 @@ func (s *System) Run(fn func(p *Proc)) error {
 	errs := make([]error, len(s.nodes))
 	runNode := func(i int, n *Node) {
 		defer func() {
-			if r := recover(); r != nil && r != errAborted && r != errCrashed {
+			if r := recover(); r != nil && r != errAborted && r != errCrashed && r != errLeft {
 				errs[i] = fmt.Errorf("core: node %d panicked: %v", i, r)
 			}
 		}()
 		fn(&Proc{node: n})
 	}
+	s.runFn = runNode
+	// absent reports a provisioned-but-not-yet-joined node: its protocol
+	// handler runs (so a later join can reach it) but no proc is launched
+	// until the join commits.
+	absent := func(i int) bool {
+		return s.members != nil && s.members.Status(i) == member.Absent
+	}
 	if s.eng != nil {
 		// Lockstep: no handler goroutines — the engine delivers messages
 		// synchronously at quiescence points on this goroutine.
+		for i := range s.nodes {
+			if absent(i) {
+				s.eng.SetDormant(i)
+			}
+		}
 		s.eng.Run(func(i int) { runNode(i, s.nodes[i]) })
 	} else {
 		for _, n := range s.nodes {
@@ -680,18 +741,17 @@ func (s *System) Run(fn func(p *Proc)) error {
 				n.start()
 			}
 		}
-		var wg sync.WaitGroup
 		for i, n := range s.nodes {
-			if n == nil {
+			if n == nil || absent(i) {
 				continue
 			}
-			wg.Add(1)
+			s.runWG.Add(1)
 			go func(i int, n *Node) {
-				defer wg.Done()
+				defer s.runWG.Done()
 				runNode(i, n)
 			}(i, n)
 		}
-		wg.Wait()
+		s.runWG.Wait()
 	}
 
 	if s.cfg.PreStop != nil {
@@ -753,13 +813,18 @@ func (s *System) ReadFinalAt(node int, rg memory.Range, dst []byte) {
 	n.inst.ReadBytes(rg, dst)
 }
 
-// Stats returns a snapshot of each hosted node's counters.
+// Stats returns a snapshot of each hosted node's counters.  Provisioned
+// ids that never joined an elastic run are excluded.
 func (s *System) Stats() []stats.Snapshot {
 	out := make([]stats.Snapshot, 0, len(s.nodes))
-	for _, n := range s.nodes {
-		if n != nil {
-			out = append(out, n.st.Snapshot())
+	for i, n := range s.nodes {
+		if n == nil {
+			continue
 		}
+		if s.members != nil && s.members.Status(i) == member.Absent {
+			continue
+		}
+		out = append(out, n.st.Snapshot())
 	}
 	return out
 }
@@ -777,12 +842,7 @@ func (s *System) TotalStats() stats.Snapshot {
 // counters, the form the paper's Table 2 reports.
 func (s *System) MeanStats() stats.Snapshot {
 	t := s.TotalStats()
-	n := uint64(0)
-	for _, nd := range s.nodes {
-		if nd != nil {
-			n++
-		}
-	}
+	n := uint64(len(s.Stats()))
 	t.Scale(n)
 	return t
 }

@@ -46,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 
+	"midway/internal/member"
 	"midway/internal/obs"
 	"midway/internal/proto"
 	"midway/internal/transport"
@@ -126,10 +127,42 @@ func (s *System) anyCrashed() bool {
 	return s.crashSnap.Load() != nil
 }
 
-// managerFor resolves the managing node for obj, skipping crashed nodes.
-// While every node is live this is exactly obj.manager; after a crash the
-// role moves to the next live node in ring order.
+// gone reports whether node i was once a member of the run and no longer
+// is: crashed (any mode), or gracefully departed (elastic membership).
+func (s *System) gone(i int) bool {
+	if s.members != nil {
+		return s.members.Gone(i)
+	}
+	return s.isCrashed(i)
+}
+
+// liveMember reports whether node i currently participates in the
+// protocol: a live or draining member under elastic membership, any
+// non-crashed node otherwise.  Recovery uses it to pick reclaim targets
+// and enumerate survivors, so absent capacity is never chosen.
+func (s *System) liveMember(i int) bool {
+	if s.members != nil {
+		return s.members.IsMember(i)
+	}
+	return !s.isCrashed(i)
+}
+
+// managerFor resolves the managing node for obj, skipping crashed and
+// departed nodes.  While every founding node is live this is exactly
+// obj.manager; after a crash or graceful leave the role moves to the next
+// remaining founding node in ring order (and moves back if a departed
+// founding member rejoins).
 func (s *System) managerFor(o *object) int {
+	if mt := s.members; mt != nil {
+		n := s.cfg.Nodes
+		for d := 0; d < n; d++ {
+			c := (o.manager + d) % n
+			if !mt.Gone(c) {
+				return c
+			}
+		}
+		return o.manager
+	}
 	snap := s.crashSnap.Load()
 	if snap == nil {
 		return o.manager
@@ -224,7 +257,7 @@ func (s *System) killNodeBody(k int, transportLoss bool) {
 		}
 		panic("core: KillNode before Run")
 	}
-	if k < 0 || k >= s.cfg.Nodes {
+	if k < 0 || k >= len(s.nodes) {
 		s.mu.Unlock()
 		panic(fmt.Sprintf("core: KillNode(%d) out of range", k))
 	}
@@ -232,11 +265,25 @@ func (s *System) killNodeBody(k int, transportLoss bool) {
 		s.mu.Unlock()
 		return
 	}
+	if mt := s.members; mt != nil {
+		var at uint64
+		if kn := s.nodes[k]; kn != nil {
+			at = kn.cycles.Now()
+		}
+		if !mt.MarkDead(k, at) {
+			// Double-reclamation fence: the node already left gracefully
+			// (its state was handed off), already died, or never joined.
+			// A late suspicion or stray crash notice must not reclaim it
+			// a second time.
+			s.mu.Unlock()
+			return
+		}
+	}
 	if s.crashedSet == nil {
 		s.crashedSet = make(map[int]bool)
 	}
 	s.crashedSet[k] = true
-	snap := make([]bool, s.cfg.Nodes)
+	snap := make([]bool, len(s.nodes))
 	for i := range snap {
 		snap[i] = s.crashedSet[i]
 	}
@@ -251,6 +298,17 @@ func (s *System) killNodeBody(k int, transportLoss bool) {
 	at := s.crashTime(k, transportLoss)
 	if tr := s.obs; tr != nil {
 		tr.Emit(obs.Event{Kind: obs.EvDeclareDead, Cycles: at, Node: -1, Peer: int32(k)})
+	}
+	if mt := s.members; mt != nil {
+		if tr := s.obs; tr != nil {
+			tr.Emit(obs.Event{
+				Kind: obs.EvMembershipChange, Cycles: at, Node: -1, Peer: int32(k),
+				A: int64(mt.Epoch()), B: int64(member.Died),
+			})
+		}
+		if cb := s.cfg.OnMembership; cb != nil {
+			cb(k, member.Died, mt.Epoch())
+		}
 	}
 
 	if policy != CrashDegrade || local >= 0 || s.nodes[k] == nil {
@@ -273,6 +331,12 @@ func (s *System) killNodeBody(k int, transportLoss bool) {
 		// The corpse may be parked in Engine.Block awaiting a reply that
 		// will never come; wake it so it observes crashCh and unwinds.
 		e.Wake(k)
+	}
+	if s.members != nil {
+		// A sponsor may be parked on this node's join handshake, which can
+		// now never complete; release it (it re-reads the member table and
+		// reports the failure).
+		s.signalJoinDone(k, recoveryAt)
 	}
 
 	s.recoverFrom(k, recoveryAt, transportLoss)
@@ -351,7 +415,7 @@ type enterRedrive struct {
 func (s *System) recoverFrom(k int, recoveryAt uint64, transportLoss bool) {
 	live := make([]*Node, 0, len(s.nodes))
 	for i, n := range s.nodes {
-		if i != k && !s.isCrashed(i) {
+		if i != k && s.liveMember(i) {
 			live = append(live, n)
 		}
 	}
@@ -445,7 +509,7 @@ func (s *System) recoverLockLocked(o *object, k int, recoveryAt uint64, transpor
 		// consistent (released) copy of the binding.
 		pred, predAt := -1, int64(-1)
 		for i, v := range views {
-			if i == k || s.isCrashed(i) {
+			if i == k || !s.liveMember(i) {
 				continue
 			}
 			if v.forwardedTo == k && v.forwardedAt > predAt {
@@ -500,7 +564,7 @@ func (s *System) recoverLockLocked(o *object, k int, recoveryAt uint64, transpor
 			v.held = false
 			v.forwardedTo = final
 			for _, p := range v.waiting {
-				if s.isCrashed(int(p.req.Requester)) {
+				if !s.liveMember(int(p.req.Requester)) {
 					continue
 				}
 				acts.lockRedrives = append(acts.lockRedrives, lockRedrive{
@@ -523,7 +587,7 @@ func (s *System) recoverLockLocked(o *object, k int, recoveryAt uint64, transpor
 		if len(v.waiting) > 0 {
 			kept := v.waiting[:0]
 			for _, p := range v.waiting {
-				if !s.isCrashed(int(p.req.Requester)) {
+				if s.liveMember(int(p.req.Requester)) {
 					kept = append(kept, p)
 				}
 			}
@@ -555,7 +619,7 @@ func (s *System) recoverLockLocked(o *object, k int, recoveryAt uint64, transpor
 		// guards (inflight bookkeeping plus redriveGen) neutralize the
 		// extra grant.
 		for i, v := range views {
-			if i == k || s.isCrashed(i) || i == final {
+			if i == k || !s.liveMember(i) || i == final {
 				continue
 			}
 			if v.inflight == nil || v.owner || v.held {
@@ -584,7 +648,7 @@ func (s *System) recoverLockLocked(o *object, k int, recoveryAt uint64, transpor
 // target of a live node's forwarding pointer (a grant is on its way).
 func (s *System) requestVisibleLocked(views []*lockState, k, i int) bool {
 	for j, v := range views {
-		if j == k || s.isCrashed(j) {
+		if j == k || !s.liveMember(j) {
 			continue
 		}
 		if v.forwardedTo == i {
@@ -643,7 +707,7 @@ func (s *System) recoverBarrierLocked(o *object, k int, recoveryAt uint64, trans
 	kept := mb.entered[:0]
 	keptArr := mb.arrivals[:0]
 	for i, e := range mb.entered {
-		if s.isCrashed(int(e.Node)) {
+		if s.gone(int(e.Node)) {
 			continue
 		}
 		kept = append(kept, e)
@@ -659,7 +723,7 @@ func (s *System) recoverBarrierLocked(o *object, k int, recoveryAt uint64, trans
 	// enter itself when the loss is transport-level: re-drive it (the
 	// manager dedups if it did arrive).
 	for i, v := range views {
-		if i == k || s.isCrashed(i) || !v.pending || v.lastEnter == nil {
+		if i == k || !s.liveMember(i) || !v.pending || v.lastEnter == nil {
 			continue
 		}
 		ei := v.lastEnter.Epoch
@@ -688,7 +752,9 @@ func (s *System) recoverBarrierLocked(o *object, k int, recoveryAt uint64, trans
 	acts.completions = append(acts.completions, o)
 
 	parties := o.parties
-	if snap := s.crashSnap.Load(); snap != nil {
+	if mt := s.members; mt != nil {
+		parties = mt.Count()
+	} else if snap := s.crashSnap.Load(); snap != nil {
 		for _, dead := range *snap {
 			if dead {
 				parties--
@@ -713,7 +779,7 @@ func (s *System) synthesizeReleaseLocked(o *object, views []*barrierState, k, i 
 	var updates []proto.Update
 	var maxTime int64
 	for j, v := range views {
-		if j == i || j == k || s.isCrashed(j) {
+		if j == i || j == k || !s.liveMember(j) {
 			continue
 		}
 		var e *proto.BarrierEnter
@@ -756,23 +822,23 @@ func (n *Node) ghostRoute(m transport.Message, arrival uint64) {
 		if err != nil {
 			return
 		}
-		if n.sys.isCrashed(int(req.Requester)) {
+		if n.sys.gone(int(req.Requester)) {
 			return
 		}
 		n.mu.Lock()
 		next := n.lockState(req.Lock).forwardedTo
 		n.mu.Unlock()
-		if next < 0 || next == n.id || n.sys.isCrashed(next) {
+		if next < 0 || next == n.id || n.sys.gone(next) {
 			return
 		}
 		n.sendAt(next, proto.KindLockForward, req, arrival)
 	case proto.KindBarrierEnter:
 		e, err := n.decodeEnter(m.Payload)
-		if err != nil || n.sys.isCrashed(int(e.Node)) {
+		if err != nil || n.sys.gone(int(e.Node)) {
 			return
 		}
 		mgr := n.sys.managerFor(n.sys.objectByID(e.Barrier))
-		if mgr == n.id || n.sys.isCrashed(mgr) {
+		if mgr == n.id || n.sys.gone(mgr) {
 			return
 		}
 		n.sendAt(mgr, proto.KindBarrierEnter, e, arrival)

@@ -1,0 +1,761 @@
+package core
+
+// Elastic membership: runtime node join and leave, coordinated at release
+// boundaries.
+//
+// Entry consistency makes membership change cheap for the same reason it
+// makes crash recovery cheap (see crash.go): all shared data is bound to
+// synchronization objects, and writes only become visible across a
+// release/acquire pair.  A joiner therefore needs no coherent global
+// snapshot — it needs the lock/barrier directory, the barrier-bound data
+// (anything torn in it is re-shipped at the joiner's first enter), and a
+// guarantee that its first acquire of every lock ships full data.  That
+// guarantee is the same binding-generation fence crash reclamation uses:
+// the admission bumps every lock's generation past anything any node has
+// seen, and seeds the joiner at generation zero, so the releaser ignores
+// the joiner's (empty or stale) consistency record under every detection
+// scheme.
+//
+// A leaver drains gracefully at its last release boundary: owned lock
+// tokens move — with the leaver's released copy, which is authoritative —
+// to a successor under the same fence; queued requests are re-driven at
+// the new home; barrier management moves off the leaver and the smaller
+// membership may immediately complete an in-progress epoch.  The leaver
+// then fences itself exactly like a recovered corpse (ghost routing), so
+// stragglers chase the new token homes.  A crash during the drain falls
+// back to ordinary reclamation: member.Table.MarkDead accepts a draining
+// node, and the double-commit fence makes whichever transition commits
+// first the only one that acts.
+//
+// The join handshake rides real protocol messages (JoinRequest from the
+// joiner's endpoint, JoinAccept and a MembershipChange broadcast from the
+// sponsor), so under the lockstep engine the admission happens inside a
+// delivery phase — a deterministic simulated instant — and a repeated
+// churn schedule is byte-identical run to run.  The sponsor is the member
+// whose application called Proc.Join: it parks for the handshake, which
+// pins it at a release boundary and makes its copy of the barrier-bound
+// data safe to hand over.
+
+import (
+	"errors"
+	"fmt"
+
+	"midway/internal/member"
+	"midway/internal/memory"
+	"midway/internal/obs"
+	"midway/internal/proto"
+)
+
+// errLeft terminates the proc hosted on a gracefully departed node.  Run
+// treats it like errCrashed: the goroutine unwinds silently.
+var errLeft = errors.New("core: proc departed by graceful leave")
+
+// --- Accessors ---------------------------------------------------------------
+
+// Members returns the node ids currently participating in the protocol:
+// the live and draining members of an elastic system, or every hosted
+// non-crashed node of a fixed one.
+func (s *System) Members() []int {
+	if s.members != nil {
+		return s.members.Members()
+	}
+	out := make([]int, 0, len(s.nodes))
+	for i, n := range s.nodes {
+		if n != nil && !s.isCrashed(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MembershipEpoch returns the current membership generation (zero for a
+// fixed-membership system, whose epoch never moves).
+func (s *System) MembershipEpoch() uint64 {
+	if s.members != nil {
+		return s.members.Epoch()
+	}
+	return 0
+}
+
+// MembershipEvents returns the committed membership timeline, or nil for
+// a fixed-membership system.
+func (s *System) MembershipEvents() []member.Event {
+	if s.members != nil {
+		return s.members.Events()
+	}
+	return nil
+}
+
+// MemberStatus returns node i's membership state.  Fixed-membership
+// systems report hosted nodes as live and everything else as absent.
+func (s *System) MemberStatus(i int) member.Status {
+	if s.members != nil {
+		return s.members.Status(i)
+	}
+	if i >= 0 && i < len(s.nodes) && s.nodes[i] != nil && !s.isCrashed(i) {
+		return member.Live
+	}
+	return member.Absent
+}
+
+// --- Join --------------------------------------------------------------------
+
+// joinFrom runs the sponsor side of a join: reserve the id, send the
+// handshake from the joiner's endpoint, and park the calling application
+// goroutine (node origin) until the joiner's proc is launched.  Parking
+// the sponsor is load-bearing twice over: it pins the sponsor at a
+// release boundary while its memory is copied (no torn reads of data it
+// might otherwise be writing), and under the goroutine engine it keeps
+// the run's WaitGroup nonzero while the joiner is added.
+func (s *System) joinFrom(id, origin int) error {
+	mt := s.members
+	if mt == nil {
+		return fmt.Errorf("core: Join requires elastic membership (Config.MaxNodes)")
+	}
+	s.mu.Lock()
+	running := s.frozen && !s.finished
+	s.mu.Unlock()
+	if !running {
+		return fmt.Errorf("core: Join(%d) outside a run", id)
+	}
+	if !mt.IsMember(origin) {
+		return fmt.Errorf("core: node %d cannot sponsor a join: not a member", origin)
+	}
+	if err := mt.BeginJoin(id); err != nil {
+		return err
+	}
+	jn, on := s.nodes[id], s.nodes[origin]
+	ready := make(chan struct{})
+	jn.mu.Lock()
+	jn.joinedCh = ready
+	jn.joinSponsor = origin
+	jn.mu.Unlock()
+
+	// The request is charged to the joiner (it dials the mesh); its clock
+	// has not joined the simulation yet, so the message is stamped with
+	// the sponsor's current time.
+	req := &proto.JoinRequest{Version: proto.JoinVersion, Node: uint32(id), Epoch: mt.Epoch()}
+	jn.sendAt(origin, proto.KindJoinRequest, req, on.cycles.Now())
+
+	finish := func() error {
+		// The handshake's completion time is a synchronization point the
+		// sponsor blocked for: its clock joins it, exactly as a lock
+		// grant's arrival.
+		jn.mu.Lock()
+		doneAt := jn.joinDoneAt
+		jn.mu.Unlock()
+		on.cycles.Join(doneAt)
+		if st := mt.Status(id); st != member.Live {
+			return fmt.Errorf("core: join of node %d failed (status %s)", id, st)
+		}
+		return nil
+	}
+	if e := s.eng; e != nil {
+		for {
+			select {
+			case <-ready:
+				return finish()
+			case <-s.failCh:
+				panic(errAborted)
+			case <-on.crashCh:
+				panic(errCrashed)
+			default:
+			}
+			if !e.Block(origin) {
+				break // aborted: the blocking select below resolves it
+			}
+		}
+	}
+	select {
+	case <-ready:
+		return finish()
+	case <-s.failCh:
+		panic(errAborted)
+	case <-on.crashCh:
+		panic(errCrashed)
+	}
+}
+
+// signalJoinDone releases a sponsor parked in joinFrom on node k's
+// handshake, if one is pending.  The success and failure paths share it;
+// the sponsor re-reads the member table to tell them apart.  at is the
+// simulated completion time the sponsor's clock joins on resume, so the
+// measured join latency covers the whole handshake.
+func (s *System) signalJoinDone(k int, at uint64) {
+	jn := s.nodes[k]
+	jn.mu.Lock()
+	ready := jn.joinedCh
+	sponsor := jn.joinSponsor
+	jn.joinedCh = nil
+	jn.joinSponsor = -1
+	jn.joinDoneAt = at
+	jn.mu.Unlock()
+	if ready == nil {
+		return
+	}
+	close(ready)
+	if e := s.eng; e != nil && sponsor >= 0 {
+		e.Wake(sponsor)
+	}
+}
+
+// sponsorAdmit runs on the sponsor when a JoinRequest arrives: it splices
+// the joiner into every synchronization object's protocol state under a
+// full-system freeze (every node mutex, id order — the crash-recovery
+// discipline), commits the membership transition, and answers with the
+// directory, the barrier-bound data and a MembershipChange broadcast.
+func (n *Node) sponsorAdmit(req *proto.JoinRequest, arrival uint64) {
+	s := n.sys
+	mt := s.members
+	if mt == nil {
+		s.fail(fmt.Errorf("core: node %d: join request without elastic membership", n.id))
+		return
+	}
+	k := int(req.Node)
+	if req.Version != proto.JoinVersion {
+		s.fail(fmt.Errorf("core: node %d: join request version %d from node %d (want %d)",
+			n.id, req.Version, k, proto.JoinVersion))
+		return
+	}
+	if k < 0 || k >= len(s.nodes) || mt.Status(k) != member.Joining {
+		return // a stale or duplicate handshake; nothing was reserved for it
+	}
+	if tr := s.obs; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvJoinRequest, Cycles: arrival, Node: int32(n.id),
+			Peer: int32(k), A: int64(req.Epoch),
+		})
+	}
+	jn := s.nodes[k]
+
+	for _, nd := range s.nodes {
+		nd.mu.Lock()
+	}
+	if mt.Status(k) != member.Joining {
+		// A crash declaration raced the handshake and fenced the id.
+		for _, nd := range s.nodes {
+			nd.mu.Unlock()
+		}
+		return
+	}
+
+	// Blank-slate the joiner: a rejoining id has the ghost state of its
+	// previous incarnation behind it, all of it superseded at departure.
+	jn.locks = make(map[uint32]*lockState)
+	jn.mgr = make(map[uint32]*mgrLock)
+	jn.barriers = make(map[uint32]*barrierState)
+	jn.bmgr = make(map[uint32]*bmgrBarrier)
+	jn.ghost.Store(false)
+
+	epoch := mt.CommitJoin(k, arrival)
+
+	var dir []proto.JoinDirEntry
+	var data []proto.Update
+	var dataBytes uint64
+	for _, o := range s.objectsSnapshot() {
+		switch o.kind {
+		case ObjLock:
+			home, gen := s.admitLockLocked(o, k)
+			dir = append(dir, proto.JoinDirEntry{Obj: o.id, Gen: gen, Home: uint32(home)})
+		case ObjBarrier:
+			home, ep := s.admitBarrierLocked(o, k)
+			dir = append(dir, proto.JoinDirEntry{Obj: o.id, Barrier: true, Gen: ep, Home: uint32(home)})
+			// The sponsor's copy of the barrier-bound data rides the
+			// accept.  It is safe even though other members may be
+			// mid-interval: whatever they are writing is re-shipped to the
+			// joiner at its first enter, and the sponsor itself is parked
+			// in joinFrom, so its own copy is not being written.
+			for _, rg := range o.binding {
+				buf := make([]byte, rg.Size)
+				n.inst.ReadBytes(rg, buf)
+				data = append(data, proto.Update{Addr: rg.Addr, Data: buf})
+				dataBytes += uint64(rg.Size)
+			}
+		}
+	}
+	for _, nd := range s.nodes {
+		nd.mu.Unlock()
+	}
+
+	n.st.BytesTransferred.Add(dataBytes)
+	if tr := s.obs; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvStateTransfer, Cycles: arrival, Node: int32(n.id),
+			Peer: int32(k), A: int64(len(dir)), Bytes: dataBytes,
+		})
+		tr.Emit(obs.Event{
+			Kind: obs.EvMembershipChange, Cycles: arrival, Node: int32(n.id),
+			Peer: int32(k), A: int64(epoch), B: int64(member.Joined),
+		})
+	}
+	if cb := s.cfg.OnMembership; cb != nil {
+		cb(k, member.Joined, epoch)
+	}
+
+	acc := &proto.JoinAccept{Epoch: epoch, Sponsor: uint32(n.id), Dir: dir, Data: data}
+	n.sendAt(k, proto.KindJoinAccept, acc, arrival)
+	mc := &proto.MembershipChange{Epoch: epoch, Node: uint32(k), Action: proto.MemberJoined, Cycles: arrival}
+	for _, m := range mt.Members() {
+		if m == n.id || m == k {
+			continue
+		}
+		n.sendAt(m, proto.KindMembershipChange, mc, arrival)
+	}
+}
+
+// admitLockLocked splices joiner k into one lock's protocol state and
+// returns the token's home plus the fence generation recorded in the join
+// directory.  Caller holds every node mutex, with the joiner's maps
+// freshly reset.
+func (s *System) admitLockLocked(o *object, k int) (home int, gen uint64) {
+	jn := s.nodes[k]
+	// Seed the joiner's view before materializing the others: blank,
+	// non-owner, generation zero — so its first acquire's consistency
+	// record mismatches every post-fence generation and the releaser
+	// ships full data under every scheme.  (The lazy constructor would
+	// mark a rejoining founding manager as owner, which is exactly wrong:
+	// ownership stayed with the members when it left.)
+	jl := jn.lockState(o.id)
+	jl.owner = false
+	jl.held = false
+	jl.forwardedTo = -1
+	jl.forwardedAt = 0
+	jl.bindGen = 0
+	jl.pendingFence = 0
+	jl.inflight = nil
+	jl.redriveGen = 0
+	jl.det = nil
+
+	views := make([]*lockState, len(s.nodes))
+	for i, nd := range s.nodes {
+		views[i] = nd.lockState(o.id)
+	}
+	var maxGen uint64
+	for _, v := range views {
+		if v.bindGen > maxGen {
+			maxGen = v.bindGen
+		}
+		if v.pendingFence > maxGen {
+			maxGen = v.pendingFence
+		}
+	}
+	gen = maxGen + 1
+
+	owner := -1
+	for i, v := range views {
+		if i != k && v.owner {
+			owner = i
+			break
+		}
+	}
+	if owner >= 0 {
+		// Fence at the authority: the next transfer from it ships full
+		// data, resynchronizing the joiner no matter which scheme runs.
+		v := views[owner]
+		v.rebound = true
+		v.bindGen = gen
+		s.nodes[owner].det.NotifyRebind(v)
+		home = owner
+	} else {
+		// The token is in flight.  Park the fence on the latest grant's
+		// target; applyGrant installs it the moment the grant lands
+		// (lockState.pendingFence), before any transfer to the joiner can
+		// be served.
+		target, latestAt := s.managerFor(o), int64(-1)
+		for i, v := range views {
+			if i != k && v.forwardedTo >= 0 && v.forwardedAt > latestAt {
+				latestAt = v.forwardedAt
+				target = v.forwardedTo
+			}
+		}
+		if views[target].pendingFence < gen {
+			views[target].pendingFence = gen
+		}
+		home = target
+	}
+
+	// A rejoining founding manager resumes its routing role at the
+	// token's current location.
+	if o.manager == k {
+		jn.mgr[o.id] = &mgrLock{owner: home}
+	}
+	// The binding travels with the lock; seed the joiner from the home's
+	// view (refined anyway by its first grant).
+	jl.binding = append([]memory.Range(nil), views[home].binding...)
+	return home, gen
+}
+
+// admitBarrierLocked splices joiner k into one barrier and returns the
+// barrier's manager plus the epoch the joiner enters at.  Caller holds
+// every node mutex.
+func (s *System) admitBarrierLocked(o *object, k int) (home int, epoch uint64) {
+	jn := s.nodes[k]
+	// managerFor reflects the post-commit membership, so a rejoining
+	// founding manager reclaims the role here; the epoch state moves with
+	// it (bmgr is moved, never copied, so at most one node holds it).
+	mgr := s.managerFor(o)
+	mgrNode := s.nodes[mgr]
+	cur := -1
+	for i, nd := range s.nodes {
+		if nd.bmgr[o.id] != nil {
+			cur = i
+			break
+		}
+	}
+	if cur >= 0 && cur != mgr {
+		st := s.nodes[cur].bmgr[o.id]
+		st.bufs = nil // re-homed enters outlive the deferred-recycle contract
+		if mgrNode.bmgr[o.id] == nil {
+			mgrNode.bmgr[o.id] = st
+		}
+		delete(s.nodes[cur].bmgr, o.id)
+	}
+	if mb := mgrNode.bmgr[o.id]; mb != nil {
+		epoch = mb.epoch
+	}
+
+	// The joiner starts at the manager's current epoch.  The sponsor is
+	// parked at a release boundary, so its applied epoch equals the
+	// manager's for every all-member barrier (a completed epoch's release
+	// cannot still be in flight toward it), which makes the data it hands
+	// over consistent with this seed.
+	jb := jn.barrierState(o.id)
+	jb.epoch = epoch
+	jb.nextRelease = epoch
+	jb.det = nil
+	jb.lastEnter, jb.prevEnter = nil, nil
+	jb.pending = false
+	return mgr, epoch
+}
+
+// completeJoin runs on the joiner when the sponsor's JoinAccept arrives:
+// install the transferred data raw (the analogue of the startup preset —
+// no trapping, no counting), join the simulated clock, launch the proc
+// and release the parked sponsor.
+func (n *Node) completeJoin(acc *proto.JoinAccept, arrival uint64) {
+	s := n.sys
+	if s.members == nil {
+		return
+	}
+	for _, u := range acc.Data {
+		n.inst.WriteBytes(memory.Range{Addr: u.Addr, Size: uint32(len(u.Data))}, u.Data)
+	}
+	n.cycles.Join(arrival)
+
+	if e := s.eng; e != nil {
+		// Lockstep: completeJoin runs in a delivery phase (the engine
+		// goroutine), exactly where Launch is legal; the proc resumes when
+		// the next parallel phase opens.
+		if !e.Launch(n.id, func(i int) { s.runFn(i, s.nodes[i]) }) {
+			s.fail(fmt.Errorf("core: node %d: join launch rejected by engine", n.id))
+			return
+		}
+	} else {
+		s.runWG.Add(1)
+		go func() {
+			defer s.runWG.Done()
+			s.runFn(n.id, n)
+		}()
+	}
+	s.signalJoinDone(n.id, arrival)
+}
+
+// noteMembership witnesses a MembershipChange announcement.  The shared
+// member table was already updated by the coordinator (this process hosts
+// every node), so the broadcast's role is wire-level: it carries the new
+// epoch to every member's endpoint — the cost a real deployment would pay,
+// and the fence generation a multi-process one would synchronize on.
+func (n *Node) noteMembership(mc *proto.MembershipChange, arrival uint64) {
+	_, _ = mc, arrival
+}
+
+// --- Leave -------------------------------------------------------------------
+
+// DrainNode requests a graceful departure: Proc.Draining starts reporting
+// true on node k, whose application is expected to finish its current
+// unit of work and call Proc.Leave at its next release boundary.  The
+// transition itself is protocol-invisible (draining members still answer
+// all traffic and count toward barriers), so external callers — signal
+// handlers, churn schedules — do not perturb determinism.  Reports
+// whether the node was live.
+func (s *System) DrainNode(k int) bool {
+	mt := s.members
+	if mt == nil || k < 0 || k >= len(s.nodes) {
+		return false
+	}
+	if !mt.BeginDrain(k) {
+		return false
+	}
+	if tr := s.obs; tr != nil {
+		var at uint64
+		if n := s.nodes[k]; n != nil {
+			at = n.cycles.Now()
+		}
+		tr.Emit(obs.Event{Kind: obs.EvDrain, Cycles: at, Node: int32(k), A: 0})
+	}
+	return true
+}
+
+// leaveNodeFrom is the graceful-departure analogue of killNodeFrom:
+// under the lockstep engine the drain is deferred to the next quiescence
+// point, making the handoff — and therefore the whole churn schedule —
+// byte-deterministic.
+func (s *System) leaveNodeFrom(k, origin int) {
+	if e := s.eng; e != nil {
+		s.mu.Lock()
+		engineLive := s.frozen && !s.finished
+		s.mu.Unlock()
+		if engineLive {
+			e.RunAtQuiescence(origin, func() { s.leaveNodeBody(k) })
+			return
+		}
+	}
+	s.leaveNodeBody(k)
+}
+
+// leaveNodeBody performs the drain: under a full-system freeze, every
+// owned lock token (with the leaver's released copy, which is
+// authoritative) moves to a successor behind a full-data fence, queued
+// requests are collected for re-drive, barrier management moves off the
+// leaver, and the departure commits and is announced.  The leaver then
+// fences itself like a recovered corpse — except its crash channel stays
+// open (the proc unwinds through errLeft, not errCrashed) and its id
+// stays rejoinable.
+func (s *System) leaveNodeBody(k int) {
+	mt := s.members
+	kn := s.nodes[k]
+	at := kn.cycles.Now()
+
+	if tr := s.obs; tr != nil {
+		tr.Emit(obs.Event{Kind: obs.EvDrain, Cycles: at, Node: int32(k), A: 1})
+	}
+
+	for _, nd := range s.nodes {
+		nd.mu.Lock()
+	}
+	if !mt.IsMember(k) {
+		// A crash declaration won the race; reclamation already ran and
+		// the double-commit fence forbids a second handoff.
+		for _, nd := range s.nodes {
+			nd.mu.Unlock()
+		}
+		return
+	}
+
+	var acts recoveryActions
+	for _, o := range s.objectsSnapshot() {
+		switch o.kind {
+		case ObjLock:
+			s.leaveLockLocked(o, k, at, &acts)
+		case ObjBarrier:
+			s.leaveBarrierLocked(o, k, &acts)
+		}
+	}
+
+	epoch := mt.CommitLeave(k, at)
+
+	kn.ghost.Store(true)
+	select {
+	case <-kn.unghosted:
+		// Already closed by a previous departure of this id (it rejoined
+		// in between); the channel is closed exactly once and never
+		// replaced, so ghost routing re-checks the flag instead.
+	default:
+		close(kn.unghosted)
+	}
+	for _, nd := range s.nodes {
+		nd.mu.Unlock()
+	}
+
+	if tr := s.obs; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvMembershipChange, Cycles: at, Node: int32(k),
+			Peer: int32(k), A: int64(epoch), B: int64(member.Departed),
+		})
+	}
+	if cb := s.cfg.OnMembership; cb != nil {
+		cb(k, member.Departed, epoch)
+	}
+
+	// The departure announcement is the leaver's final protocol act.  It
+	// is stamped with the committed epoch, so the receivers' stale-epoch
+	// fence passes it.
+	mc := &proto.MembershipChange{Epoch: epoch, Node: uint32(k), Action: proto.MemberLeft, Cycles: at}
+	for _, m := range mt.Members() {
+		kn.sendAt(m, proto.KindMembershipChange, mc, at)
+	}
+
+	// Hand the leaver's queued work to the new token homes, and close out
+	// any barrier epoch the smaller membership completed.
+	for _, a := range acts.lockRedrives {
+		a.holder.ownerForward(a.req, a.at)
+	}
+	for _, o := range acts.completions {
+		s.nodes[s.managerFor(o)].maybeCompleteBarrier(o)
+	}
+}
+
+// managerExcluding resolves the managing node for obj as if node k had
+// already departed: the next remaining founding member in ring order, or
+// the lowest remaining member, or -1 when k is the last member.
+func (s *System) managerExcluding(o *object, k int) int {
+	nf := s.cfg.Nodes
+	for d := 0; d < nf; d++ {
+		c := (o.manager + d) % nf
+		if c != k && s.liveMember(c) {
+			return c
+		}
+	}
+	for i := range s.nodes {
+		if i != k && s.liveMember(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// leaveLockLocked hands one lock's state off the departing node k.
+// Unlike crash reclamation, the leaver's last released copy is the
+// newest consistent state and moves verbatim to the successor — under
+// the same full-data fence a reclaim installs, so the next transfer
+// resynchronizes every scheme.  Caller holds every node mutex.
+func (s *System) leaveLockLocked(o *object, k int, at uint64, acts *recoveryActions) {
+	views := make([]*lockState, len(s.nodes))
+	for i, nd := range s.nodes {
+		views[i] = nd.lockState(o.id)
+	}
+	kv := views[k]
+
+	// Locate the token: the same grant-chain walk crash recovery uses.
+	latestTarget, latestAt := -1, int64(-1)
+	for _, v := range views {
+		if v.forwardedTo >= 0 && v.forwardedAt > latestAt {
+			latestAt = v.forwardedAt
+			latestTarget = v.forwardedTo
+		}
+	}
+	tokenAt := o.manager
+	if latestTarget >= 0 {
+		tokenAt = latestTarget
+	}
+
+	final := tokenAt
+	if tokenAt == k {
+		succ := s.managerExcluding(o, k)
+		if succ < 0 {
+			// Last member out: the token retires with the membership.
+			kv.owner = false
+			kv.held = false
+			kv.forwardedTo = -1
+			kv.waiting, kv.inflight = nil, nil
+			return
+		}
+		var maxGen uint64
+		for _, v := range views {
+			if v.bindGen > maxGen {
+				maxGen = v.bindGen
+			}
+			if v.pendingFence > maxGen {
+				maxGen = v.pendingFence
+			}
+		}
+		sv := views[succ]
+		var moved uint64
+		for _, rg := range kv.binding {
+			buf := make([]byte, rg.Size)
+			s.nodes[k].inst.ReadBytes(rg, buf)
+			s.nodes[succ].inst.WriteBytes(rg, buf)
+			moved += uint64(rg.Size)
+		}
+		sv.owner = true
+		sv.held = false
+		sv.forwardedTo = -1
+		sv.binding = append([]memory.Range(nil), kv.binding...)
+		sv.rebound = true
+		sv.bindGen = maxGen + 1
+		sv.pendingFence = 0
+		s.nodes[succ].det.NotifyRebind(sv)
+		s.nodes[k].st.BytesTransferred.Add(moved)
+		if tr := s.obs; tr != nil {
+			tr.Emit(obs.Event{
+				Kind: obs.EvStateTransfer, Cycles: at, Node: int32(k),
+				Obj: int32(o.id), Peer: int32(succ), Name: o.name,
+				A: int64(sv.bindGen), Bytes: moved,
+			})
+		}
+		final = succ
+	}
+
+	// The leaver's own view becomes a ghost bounce toward the token.
+	kv.owner = false
+	kv.held = false
+	kv.forwardedTo = final
+	for _, p := range kv.waiting {
+		if !s.liveMember(int(p.req.Requester)) {
+			continue
+		}
+		acts.lockRedrives = append(acts.lockRedrives, lockRedrive{
+			holder: s.nodes[final],
+			req:    p.req,
+			at:     max(p.arrival, at),
+		})
+	}
+	kv.waiting = nil
+	kv.inflight = nil
+
+	// Redirect pointers that end at the leaver.
+	for i, v := range views {
+		if i == k {
+			continue
+		}
+		if v.forwardedTo == k {
+			if i == final {
+				v.forwardedTo = -1
+			} else {
+				v.forwardedTo = final
+			}
+		}
+	}
+
+	// Reseed lock routing at the post-departure manager (and the founding
+	// manager, whose routing stays authoritative while it is a member).
+	seedMgr := func(nd *Node) {
+		if ml := nd.mgr[o.id]; ml != nil {
+			ml.owner = final
+		} else {
+			nd.mgr[o.id] = &mgrLock{owner: final}
+		}
+	}
+	if mgr := s.managerExcluding(o, k); mgr >= 0 {
+		seedMgr(s.nodes[mgr])
+		if o.manager != mgr && o.manager != k && s.liveMember(o.manager) {
+			seedMgr(s.nodes[o.manager])
+		}
+	}
+}
+
+// leaveBarrierLocked removes departing node k from one all-member
+// barrier: the manager role (with its in-progress epoch state) moves off
+// the leaver, and the smaller membership may already complete the current
+// epoch — the leaver "synthesizes its departure" simply by leaving the
+// count barrierNeeded recomputes from the member table.  The leaver
+// cannot have an enter recorded in the current epoch (it is at a release
+// boundary), so no entry needs dropping.  Caller holds every node mutex.
+func (s *System) leaveBarrierLocked(o *object, k int, acts *recoveryActions) {
+	if o.parties != s.cfg.Nodes {
+		return // custom-parties barriers have no membership mapping
+	}
+	mgr := s.managerExcluding(o, k)
+	if mgr < 0 {
+		return // last member out
+	}
+	mgrNode := s.nodes[mgr]
+	if kb := s.nodes[k].bmgr[o.id]; kb != nil {
+		kb.bufs = nil
+		if mgrNode.bmgr[o.id] == nil {
+			mgrNode.bmgr[o.id] = kb
+		}
+		delete(s.nodes[k].bmgr, o.id)
+	}
+	acts.completions = append(acts.completions, o)
+}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"midway/internal/member"
+	"midway/internal/memory"
+)
+
+// TestJoinMidRunCounter admits a third node mid-run and checks that every
+// increment — the joiner's included — survives on the final owner's copy,
+// under every detection scheme and both engines.  The join-time full-data
+// fence is what makes this pass: the joiner's first acquire must ship the
+// complete counter state, not a diff against history it never saw.
+func TestJoinMidRunCounter(t *testing.T) {
+	for _, strat := range allStrategies {
+		for _, lockstep := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v/lockstep=%v", strat, lockstep), func(t *testing.T) {
+				s, err := NewSystem(Config{Nodes: 2, MaxNodes: 3, Strategy: strat, Lockstep: lockstep})
+				if err != nil {
+					t.Fatalf("NewSystem: %v", err)
+				}
+				addr := s.MustAlloc("counter", 8, 3)
+				lock := s.NewLock("counter", memory.Range{Addr: addr, Size: 8})
+				const perNode = 10
+				err = s.Run(func(p *Proc) {
+					if p.ID() == 0 {
+						// Sponsor the join from a release boundary, after a
+						// little warm-up contention.
+						for i := 0; i < 3; i++ {
+							p.Acquire(lock)
+							p.WriteU64(addr, p.ReadU64(addr)+1)
+							p.Release(lock)
+						}
+						if err := p.Join(2); err != nil {
+							t.Errorf("Join(2): %v", err)
+						}
+					}
+					for i := 0; i < perNode; i++ {
+						p.Acquire(lock)
+						p.WriteU64(addr, p.ReadU64(addr)+1)
+						p.Release(lock)
+					}
+				})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				want := uint64(3*perNode + 3)
+				got := ownerCopyU64(t, s, lock, addr)
+				if got != want {
+					t.Fatalf("counter = %d, want %d", got, want)
+				}
+				evs := s.MembershipEvents()
+				if len(evs) != 1 || evs[0].Node != 2 || evs[0].Action != member.Joined || evs[0].Epoch != 1 {
+					t.Fatalf("membership events = %+v, want one Joined(2) at epoch 1", evs)
+				}
+			})
+		}
+	}
+}
+
+// ownerCopyU64 reads the counter from whichever node owns the lock after
+// the run: the authoritative copy.
+func ownerCopyU64(t *testing.T, s *System, lock LockID, addr memory.Addr) uint64 {
+	t.Helper()
+	for i := range s.nodes {
+		n := s.nodes[i]
+		if n == nil {
+			continue
+		}
+		n.mu.Lock()
+		lk := n.lockState(uint32(lock))
+		owner := lk.owner
+		n.mu.Unlock()
+		if owner {
+			return n.inst.ReadU64(addr)
+		}
+	}
+	t.Fatalf("no node owns the lock")
+	return 0
+}
+
+// TestJoinBarrierMembership checks that an all-member barrier rendezvouses
+// the post-join membership: the joiner is counted from its commit epoch
+// onward, receives the barrier-bound data transferred at admission, and
+// contributes its own slot to the next release.
+func TestJoinBarrierMembership(t *testing.T) {
+	for _, lockstep := range []bool{false, true} {
+		t.Run(fmt.Sprintf("lockstep=%v", lockstep), func(t *testing.T) {
+			s, err := NewSystem(Config{Nodes: 2, MaxNodes: 3, Strategy: RT, Lockstep: lockstep})
+			if err != nil {
+				t.Fatalf("NewSystem: %v", err)
+			}
+			addr := s.MustAlloc("slots", 3*8, 3)
+			slot := func(i int) memory.Addr { return addr + memory.Addr(8*i) }
+			bar := s.NewBarrier("sync", 0, memory.Range{Addr: addr, Size: 3 * 8})
+			err = s.Run(func(p *Proc) {
+				id := p.ID()
+				if id == 2 {
+					// Joiner: lands at the manager's current epoch with the
+					// sponsor's copy of the bound data already installed.
+					if got := p.ReadU64(slot(0)); got != 1 {
+						t.Errorf("joiner slot0 = %d before barrier, want 1 (state transfer)", got)
+					}
+					p.WriteU64(slot(2), 3)
+					p.Barrier(bar)
+					if g0, g1 := p.ReadU64(slot(0)), p.ReadU64(slot(1)); g0 != 1 || g1 != 2 {
+						t.Errorf("joiner slots = %d,%d after barrier, want 1,2", g0, g1)
+					}
+					return
+				}
+				p.WriteU64(slot(id), uint64(id+1))
+				p.Barrier(bar) // epoch 0: founders only
+				if id == 0 {
+					if err := p.Join(2); err != nil {
+						t.Errorf("Join(2): %v", err)
+					}
+				}
+				p.Barrier(bar) // epoch 1: all three
+				if got := p.ReadU64(slot(2)); got != 3 {
+					t.Errorf("node %d slot2 = %d after join barrier, want 3", id, got)
+				}
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+		})
+	}
+}
+
+// TestGracefulLeaveHandsOffCounter drains one node mid-run: its released
+// copy of the lock-bound counter must move to a successor, so no
+// increment is lost, and the member table must record a Departed — not a
+// Died — transition.  The drain request is issued by another node's app
+// (deterministic under lockstep) and honoured at a release boundary.
+func TestGracefulLeaveHandsOffCounter(t *testing.T) {
+	for _, strat := range allStrategies {
+		for _, lockstep := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v/lockstep=%v", strat, lockstep), func(t *testing.T) {
+				s, err := NewSystem(Config{Nodes: 3, MaxNodes: 3, Strategy: strat, Lockstep: lockstep})
+				if err != nil {
+					t.Fatalf("NewSystem: %v", err)
+				}
+				addr := s.MustAlloc("counter", 8, 3)
+				lock := s.NewLock("counter", memory.Range{Addr: addr, Size: 8})
+				const perNode = 10
+				const leaverExtra = 4
+				err = s.Run(func(p *Proc) {
+					if p.ID() == 2 {
+						// Work until the drain request lands, then depart at
+						// the next release boundary.  The run cannot finish
+						// until this node leaves, so the loop is bounded by
+						// node 0 issuing the drain.
+						for i := 0; ; i++ {
+							p.Acquire(lock)
+							p.WriteU64(addr, p.ReadU64(addr)+1)
+							p.Release(lock)
+							if i+1 >= leaverExtra && p.Draining() {
+								p.Leave()
+							}
+						}
+					}
+					for i := 0; i < perNode; i++ {
+						p.Acquire(lock)
+						p.WriteU64(addr, p.ReadU64(addr)+1)
+						p.Release(lock)
+						if p.ID() == 0 && i == 1 {
+							s.DrainNode(2)
+						}
+					}
+				})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				got := ownerCopyU64(t, s, lock, addr)
+				// The leaver departs somewhere in [leaverExtra, leaverExtra+perNode]
+				// increments depending on when the drain request lands; every
+				// increment it performed must survive the handoff.
+				evs := s.MembershipEvents()
+				if len(evs) != 1 || evs[0].Node != 2 || evs[0].Action != member.Departed {
+					t.Fatalf("membership events = %+v, want one Departed(2)", evs)
+				}
+				if got < uint64(2*perNode+leaverExtra) {
+					t.Fatalf("counter = %d, want >= %d", got, 2*perNode+leaverExtra)
+				}
+				if s.MemberStatus(2) != member.Left {
+					t.Fatalf("node 2 status = %v, want left", s.MemberStatus(2))
+				}
+				if cr := s.CrashReport(); cr != nil {
+					t.Fatalf("graceful leave produced a crash report: %+v", cr)
+				}
+			})
+		}
+	}
+}
+
+// TestLockstepChurnDeterminism runs an identical join+drain schedule twice
+// under the lockstep engine and demands byte-identical results: final
+// memory, total statistics, execution cycles and the membership timeline.
+func TestLockstepChurnDeterminism(t *testing.T) {
+	type outcome struct {
+		counter uint64
+		cycles  uint64
+		events  string
+		stats   string
+	}
+	run := func() outcome {
+		s, err := NewSystem(Config{Nodes: 2, MaxNodes: 4, Strategy: VM, Lockstep: true})
+		if err != nil {
+			t.Fatalf("NewSystem: %v", err)
+		}
+		addr := s.MustAlloc("counter", 8, 3)
+		lock := s.NewLock("counter", memory.Range{Addr: addr, Size: 8})
+		err = s.Run(func(p *Proc) {
+			id := p.ID()
+			for i := 0; i < 8; i++ {
+				p.Acquire(lock)
+				p.WriteU64(addr, p.ReadU64(addr)+1)
+				p.Release(lock)
+				if id == 0 && i == 2 {
+					if err := p.Join(2); err != nil {
+						t.Errorf("Join(2): %v", err)
+					}
+				}
+				if id == 1 && i == 4 {
+					if err := p.Join(3); err != nil {
+						t.Errorf("Join(3): %v", err)
+					}
+				}
+				if id == 2 && i == 6 {
+					p.Leave()
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return outcome{
+			counter: ownerCopyU64(t, s, lock, addr),
+			cycles:  s.ExecutionCycles(),
+			events:  fmt.Sprintf("%+v", s.MembershipEvents()),
+			stats:   fmt.Sprintf("%+v", s.TotalStats()),
+		}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("churn schedule not deterministic:\n  run1: %+v\n  run2: %+v", a, b)
+	}
+}
+
+// TestElasticMatchesFixedMembership checks the headline equivalence: a run
+// with a mid-run join and a mid-run graceful drain leaves the same final
+// counter value as a fixed-membership run performing the same work.
+func TestElasticMatchesFixedMembership(t *testing.T) {
+	const perNode = 12
+	counterAfter := func(elastic bool) uint64 {
+		cfg := Config{Nodes: 3, Strategy: RT, Lockstep: true}
+		work := map[int]int{0: perNode, 1: perNode, 2: perNode}
+		if elastic {
+			cfg = Config{Nodes: 2, MaxNodes: 3, Strategy: RT, Lockstep: true}
+		}
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("NewSystem: %v", err)
+		}
+		addr := s.MustAlloc("counter", 8, 3)
+		lock := s.NewLock("counter", memory.Range{Addr: addr, Size: 8})
+		err = s.Run(func(p *Proc) {
+			id := p.ID()
+			for i := 0; i < work[id]; i++ {
+				p.Acquire(lock)
+				p.WriteU64(addr, p.ReadU64(addr)+1)
+				p.Release(lock)
+				if elastic && id == 0 && i == 3 {
+					if err := p.Join(2); err != nil {
+						t.Errorf("Join(2): %v", err)
+					}
+				}
+			}
+			if elastic && id == 1 {
+				p.Leave()
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return ownerCopyU64(t, s, lock, addr)
+	}
+	fixed := counterAfter(false)
+	elastic := counterAfter(true)
+	if fixed != elastic {
+		t.Fatalf("elastic run counter = %d, fixed run = %d", elastic, fixed)
+	}
+}
+
+// TestJoinRejections covers the error paths: joining a current member,
+// joining while a join is in flight is already covered by the table test;
+// here the protocol-level double-join and capacity cases.
+func TestJoinRejections(t *testing.T) {
+	s, err := NewSystem(Config{Nodes: 2, MaxNodes: 3, Strategy: RT})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	addr := s.MustAlloc("x", 8, 3)
+	lock := s.NewLock("x", memory.Range{Addr: addr, Size: 8})
+	err = s.Run(func(p *Proc) {
+		if p.ID() != 0 {
+			p.Acquire(lock)
+			p.Release(lock)
+			return
+		}
+		if err := p.Join(1); err == nil {
+			t.Errorf("Join(1) of a current member succeeded")
+		}
+		if err := p.Join(7); err == nil {
+			t.Errorf("Join(7) beyond capacity succeeded")
+		}
+		if err := p.Join(2); err != nil {
+			t.Errorf("Join(2): %v", err)
+		}
+		if err := p.Join(2); err == nil {
+			t.Errorf("second Join(2) of the now-member succeeded")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestCrashDuringDrainFallsBack marks a node draining and then crashes it
+// before it reaches its release boundary: the membership must record a
+// death (not a departure), crash reclamation must run exactly once, and
+// the survivors must finish.
+func TestCrashDuringDrainFallsBack(t *testing.T) {
+	for _, lockstep := range []bool{false, true} {
+		t.Run(fmt.Sprintf("lockstep=%v", lockstep), func(t *testing.T) {
+			s, err := NewSystem(Config{
+				Nodes: 3, MaxNodes: 3, Strategy: RT, Lockstep: lockstep,
+				OnCrash: CrashDegrade, LocalNode: -1,
+			})
+			if err != nil {
+				t.Fatalf("NewSystem: %v", err)
+			}
+			addr := s.MustAlloc("counter", 8, 3)
+			lock := s.NewLock("counter", memory.Range{Addr: addr, Size: 8})
+			const perNode = 8
+			err = s.Run(func(p *Proc) {
+				if p.ID() == 2 {
+					p.Acquire(lock)
+					p.WriteU64(addr, p.ReadU64(addr)+1)
+					p.Release(lock)
+					s.DrainNode(2) // drain requested...
+					p.Acquire(lock)
+					p.WriteU64(addr, p.ReadU64(addr)+100) // unreleased: must roll back
+					p.Crash()                             // ...but the node dies mid-critical-section
+				}
+				for i := 0; i < perNode; i++ {
+					p.Acquire(lock)
+					p.WriteU64(addr, p.ReadU64(addr)+1)
+					p.Release(lock)
+				}
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			got := ownerCopyU64(t, s, lock, addr)
+			// The crashed node's unreleased +100 must always roll back.  Its
+			// released +1 survives only if another node acquired (and thus
+			// replicated) the counter between that release and the crash;
+			// reclamation restores the last live predecessor's copy.
+			if got != 2*perNode && got != 2*perNode+1 {
+				t.Fatalf("counter = %d, want %d or %d (crashed writes rolled back)", got, 2*perNode, 2*perNode+1)
+			}
+			if s.MemberStatus(2) != member.Dead {
+				t.Fatalf("node 2 status = %v, want dead", s.MemberStatus(2))
+			}
+			evs := s.MembershipEvents()
+			if len(evs) != 1 || evs[0].Action != member.Died {
+				t.Fatalf("membership events = %+v, want exactly one Died(2)", evs)
+			}
+			cr := s.CrashReport()
+			if cr == nil || len(cr.Nodes) != 1 || cr.Nodes[0] != 2 {
+				t.Fatalf("crash report = %+v, want node 2 reclaimed once", cr)
+			}
+		})
+	}
+}
+
+// TestRejoinAfterLeave departs a node and then re-admits the same id: the
+// second incarnation must start from a blank slate, resynchronize through
+// the full-data fence, and contribute work.  Goroutine engine only — the
+// rejoin trigger polls the member table, which has no lockstep-safe
+// expression at this layer.
+func TestRejoinAfterLeave(t *testing.T) {
+	s, err := NewSystem(Config{Nodes: 3, MaxNodes: 3, Strategy: VM})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	addr := s.MustAlloc("counter", 8, 3)
+	lock := s.NewLock("counter", memory.Range{Addr: addr, Size: 8})
+	const target = 60
+	var incarnation2 atomic.Int32
+	err = s.Run(func(p *Proc) {
+		if p.ID() == 2 && incarnation2.Add(1) == 1 {
+			for i := 0; i < 5; i++ {
+				p.Acquire(lock)
+				p.WriteU64(addr, p.ReadU64(addr)+1)
+				p.Release(lock)
+			}
+			p.Leave()
+		}
+		if p.ID() == 0 {
+			go func() {
+				for s.MemberStatus(2) != member.Left {
+					time.Sleep(time.Millisecond)
+				}
+				// Rejoin is sponsored from node 0's app goroutine? No — the
+				// sponsor must be an application at a release boundary, so
+				// hand the request to node 0 through the drain flag below.
+			}()
+		}
+		for {
+			p.Acquire(lock)
+			v := p.ReadU64(addr)
+			if v >= target {
+				p.Release(lock)
+				return
+			}
+			p.WriteU64(addr, v+1)
+			p.Release(lock)
+			if p.ID() == 0 && s.MemberStatus(2) == member.Left {
+				if err := p.Join(2); err != nil {
+					t.Errorf("rejoin of node 2: %v", err)
+					return
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := ownerCopyU64(t, s, lock, addr); got != target {
+		t.Fatalf("counter = %d, want %d", got, target)
+	}
+	if incarnation2.Load() != 2 {
+		t.Fatalf("node 2 ran %d incarnations, want 2", incarnation2.Load())
+	}
+	evs := s.MembershipEvents()
+	if len(evs) != 2 || evs[0].Action != member.Departed || evs[1].Action != member.Joined {
+		t.Fatalf("membership events = %+v, want Departed(2) then Joined(2)", evs)
+	}
+}

@@ -60,6 +60,12 @@ type lockState struct {
 	// crash-recovery reclaim that superseded a possibly-lost grant to this
 	// node: grants carrying an older generation are stale and dropped.
 	redriveGen uint64
+	// pendingFence, when nonzero, is a join-time full-data fence that
+	// could not be applied immediately because this node's grant was still
+	// in flight: applyGrant installs it (bindGen bump + rebind) right
+	// after the grant lands, so the joiner's first transfer still ships
+	// full data.  Fixed-membership runs never set it.
+	pendingFence uint64
 	// waiting queues transfer requests that arrived while the lock was
 	// held.
 	waiting []*pendingReq
@@ -209,6 +215,15 @@ type Node struct {
 	ghost     atomic.Bool
 	crashCh   chan struct{}
 	unghosted chan struct{}
+
+	// joinedCh, when non-nil, is the channel a sponsor parked in
+	// System.joinFrom is waiting on for this node's join handshake to
+	// resolve; joinSponsor is that sponsor's id (for the lockstep wake)
+	// and joinDoneAt the simulated completion time the sponsor's clock
+	// joins on resume.  All under mu.
+	joinedCh    chan struct{}
+	joinSponsor int
+	joinDoneAt  uint64
 }
 
 func newNode(s *System, id int) *Node {
@@ -328,6 +343,12 @@ func (n *Node) send(to int, kind proto.Kind, w proto.Wire) {
 // exactly-sized buffer.  The wire bytes are identical either way.
 func (n *Node) sendAt(to int, kind proto.Kind, w proto.Wire, at uint64) {
 	m := transport.Message{From: n.id, To: to, Kind: kind, Time: at}
+	if mt := n.sys.members; mt != nil {
+		// Membership epoch fence: every envelope carries the sender's view
+		// of the current epoch (zero for fixed-membership runs, keeping
+		// their wire bytes identical).
+		m.Epoch = uint16(mt.Epoch())
+	}
 	var enc *proto.Encoder
 	switch {
 	case n.copier != nil && n.copier.CopiesPayload(to):
@@ -408,16 +429,21 @@ func (n *Node) handlerLoop() {
 		}
 		arrival := n.arrivalTime(m)
 		if n.ghost.Load() {
-			// This node crashed in a degraded run.  Wait for recovery to
-			// finish fixing the survivors' routing state, then bounce
-			// routing messages toward their new destinations and drop
-			// everything else.  Shutdown still terminates the handler.
+			// This node crashed (or gracefully departed) in a degraded run.
+			// Wait for recovery to finish fixing the survivors' routing
+			// state, then bounce routing messages toward their new
+			// destinations and drop everything else.  Shutdown still
+			// terminates the handler.  Re-check the flag after the gate: a
+			// departed node that rejoined was un-ghosted (the channel stays
+			// closed) and resumes normal dispatch.
 			if m.Kind == proto.KindShutdown {
 				return
 			}
 			<-n.unghosted
-			n.ghostRoute(m, arrival)
-			continue
+			if n.ghost.Load() {
+				n.ghostRoute(m, arrival)
+				continue
+			}
 		}
 		if !n.dispatch(m, arrival) {
 			return
@@ -432,6 +458,32 @@ func (n *Node) handlerLoop() {
 // false when the handler must stop: a shutdown message or a protocol
 // failure that already failed the run.
 func (n *Node) dispatch(m transport.Message, arrival uint64) bool {
+	if mt := n.sys.members; mt != nil && m.From != n.id &&
+		uint64(m.Epoch) < mt.Epoch() && mt.Gone(m.From) {
+		// Stale-epoch rejection: a request stamped before its sender's
+		// departure committed.  The sender's tokens and barrier slots were
+		// already handed off or reclaimed, so serving the request would
+		// resurrect a former member.  Only requests are fenced — a grant or
+		// release sent moments before a graceful leave still carries valid
+		// released data and must be delivered.  Lock forwards and barrier
+		// enters can be RELAYED by a node that departs while the message
+		// is in flight: the fence keys on the semantic originator inside
+		// the payload, not the relaying hop, so a live requester's chase
+		// is never dropped with its forwarder.
+		switch m.Kind {
+		case proto.KindLockAcquire, proto.KindLockForward:
+			if req, err := proto.DecodeLockAcquire(m.Payload); err != nil || mt.Gone(int(req.Requester)) {
+				return true
+			}
+		case proto.KindBarrierEnter:
+			if e, err := n.decodeEnter(m.Payload); err != nil || mt.Gone(int(e.Node)) {
+				if buf := n.recyclable(m.Payload); buf != nil {
+					proto.RecycleBytes(buf)
+				}
+				return true
+			}
+		}
+	}
 	switch m.Kind {
 	case proto.KindShutdown:
 		return false
@@ -489,6 +541,27 @@ func (n *Node) dispatch(m transport.Message, arrival uint64) bool {
 		b.pending = false
 		n.mu.Unlock()
 		n.deliverReply(reply{release: r, arrival: arrival, buf: n.recyclable(m.Payload)})
+	case proto.KindJoinRequest:
+		req, err := proto.DecodeJoinRequest(m.Payload)
+		if err != nil {
+			n.failDecode(m, err)
+			return false
+		}
+		n.sponsorAdmit(req, arrival)
+	case proto.KindJoinAccept:
+		acc, err := proto.DecodeJoinAccept(m.Payload)
+		if err != nil {
+			n.failDecode(m, err)
+			return false
+		}
+		n.completeJoin(acc, arrival)
+	case proto.KindMembershipChange:
+		mc, err := proto.DecodeMembershipChange(m.Payload)
+		if err != nil {
+			n.failDecode(m, err)
+			return false
+		}
+		n.noteMembership(mc, arrival)
 	default:
 		n.sys.fail(fmt.Errorf("core: node %d: unexpected message kind %v from peer %d",
 			n.id, m.Kind, m.From))
@@ -582,8 +655,8 @@ func (n *Node) barrierState(id uint32) *barrierState {
 // managerAcquire runs on the lock's manager: it brokers the transfer by
 // forwarding the request to the current owner.
 func (n *Node) managerAcquire(req *proto.LockAcquire, arrival uint64) {
-	if n.sys.isCrashed(int(req.Requester)) {
-		return // a corpse must never be granted the token
+	if n.sys.gone(int(req.Requester)) {
+		return // a corpse (or departed member) must never be granted the token
 	}
 	obj := n.sys.objectByID(req.Lock)
 	n.mu.Lock()
@@ -611,17 +684,20 @@ func (n *Node) managerAcquire(req *proto.LockAcquire, arrival uint64) {
 // ownerForward runs on the lock's owner: transfer now if the lock is free,
 // or queue the request until release.
 func (n *Node) ownerForward(req *proto.LockAcquire, arrival uint64) {
-	if n.sys.isCrashed(int(req.Requester)) {
-		return // a corpse must never be granted the token
+	if n.sys.gone(int(req.Requester)) {
+		return // a corpse (or departed member) must never be granted the token
 	}
 	n.mu.Lock()
 	lk := n.lockState(req.Lock)
 	if n.sys.anyCrashed() {
 		// Crash-recovery re-drives can duplicate a request that survived
 		// in transit.  A node's own request arriving back at itself while
-		// it owns (or holds) the lock, or a requester already queued here,
-		// is such a duplicate: drop it.
-		if int(req.Requester) == n.id && (lk.owner || lk.held) {
+		// it holds the lock, or owns it with no acquire outstanding, or a
+		// requester already queued here, is such a duplicate: drop it.
+		// An owner with its own request still in flight is different:
+		// reclamation made a parked waiter the owner, and the re-drive is
+		// the only thing that will wake it — fall through and self-grant.
+		if int(req.Requester) == n.id && (lk.held || (lk.owner && lk.inflight == nil)) {
 			n.mu.Unlock()
 			return
 		}
@@ -723,13 +799,28 @@ func (n *Node) transferLocked(lk *lockState, req *proto.LockAcquire, at uint64) 
 // epoch completion (lockstep deferred recycle); recovery re-drives pass
 // nil because their enters are sender-owned.
 func (n *Node) managerBarrierEnter(e *proto.BarrierEnter, arrival uint64, buf []byte) {
-	if n.sys.isCrashed(int(e.Node)) {
+	if n.sys.gone(int(e.Node)) {
 		return // release-boundary rollback discards a corpse's enter
 	}
 	obj := n.sys.objectByID(e.Barrier)
 	n.mu.Lock()
 	st := n.bmgr[e.Barrier]
 	if st == nil {
+		if mt := n.sys.members; mt != nil {
+			if mgr := n.sys.managerFor(obj); mgr != n.id {
+				// A membership change moved the manager role (and its
+				// epoch state, which travels with it) after this enter was
+				// addressed: chase the new manager.  Only a node holding
+				// no bmgr state can be stale — role and state move
+				// together under the all-mutex freeze.
+				n.mu.Unlock()
+				n.sendAt(mgr, proto.KindBarrierEnter, e, arrival)
+				if buf != nil {
+					proto.RecycleBytes(buf)
+				}
+				return
+			}
+		}
 		st = &bmgrBarrier{}
 		n.bmgr[e.Barrier] = st
 	}
@@ -769,10 +860,22 @@ func (n *Node) managerBarrierEnter(e *proto.BarrierEnter, arrival uint64, buf []
 // epoch.  Fault-free this is the static party count; after a crash, an
 // all-nodes barrier no longer waits for dead nodes (unless a pre-crash
 // enter from one is already recorded, in which case its data is merged for
-// the survivors and only its release is skipped).
+// the survivors and only its release is skipped).  Under elastic
+// membership an all-nodes barrier rendezvouses the *current* membership:
+// joiners are counted from their commit epoch onward, and departed or
+// dead nodes leave the count (again keeping a recorded enter's data).
 func (n *Node) barrierNeeded(obj *object, entered []*proto.BarrierEnter) int {
 	need := obj.parties
 	if obj.parties != n.sys.cfg.Nodes {
+		return need
+	}
+	if mt := n.sys.members; mt != nil {
+		need = mt.Count()
+		for _, e := range entered {
+			if mt.Gone(int(e.Node)) {
+				need++ // a corpse's pre-crash enter still occupies a slot
+			}
+		}
 		return need
 	}
 	snap := n.sys.crashSnap.Load()
@@ -831,7 +934,7 @@ func (n *Node) completeBarrierLocked(obj *object, st *bmgrBarrier) {
 		newTime = n.lamport.Witness(ent.Time)
 	}
 	for _, ent := range entered {
-		if n.sys.isCrashed(int(ent.Node)) {
+		if n.sys.gone(int(ent.Node)) {
 			continue // its data was merged above; the corpse gets no release
 		}
 		var merged []proto.Update

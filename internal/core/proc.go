@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"midway/internal/detect"
+	"midway/internal/member"
 	"midway/internal/memory"
 	"midway/internal/obs"
 	"midway/internal/proto"
@@ -255,6 +256,65 @@ func (p *Proc) Crash() {
 	panic(errCrashed)
 }
 
+// Join sponsors the runtime admission of node id into an elastic
+// membership (Config.MaxNodes): the joiner receives the synchronization
+// directory and the barrier-bound data, a full-data fence guarantees its
+// first acquire of every lock resynchronizes it, and its proc — the same
+// SPMD function every node runs — is launched.  The caller is the
+// sponsor: it must be at a release boundary (no locks held) and blocks
+// until the joiner is running.  Returns an error if the id cannot join
+// (already a member, crashed and fenced, out of capacity, or the
+// handshake raced a crash).
+func (p *Proc) Join(id int) error {
+	n := p.node
+	n.mu.Lock()
+	for _, lk := range n.locks {
+		if lk.held {
+			name := lk.obj.name
+			n.mu.Unlock()
+			panic(fmt.Sprintf("core: node %d: Join while holding %s (sponsor must be at a release boundary)", n.id, name))
+		}
+	}
+	n.mu.Unlock()
+	return n.sys.joinFrom(id, n.id)
+}
+
+// Leave departs the membership gracefully at the current release
+// boundary: owned lock tokens (with this node's released copies, which
+// are authoritative) move to successors, barrier management moves on, the
+// departure is announced, and this proc terminates.  The caller must hold
+// no locks.  Leave does not return; the node's id may rejoin later.
+func (p *Proc) Leave() {
+	n := p.node
+	if n.sys.members == nil {
+		panic("core: Leave requires elastic membership (Config.MaxNodes)")
+	}
+	n.mu.Lock()
+	for _, lk := range n.locks {
+		if lk.held {
+			name := lk.obj.name
+			n.mu.Unlock()
+			panic(fmt.Sprintf("core: node %d: Leave while holding %s (must be at a release boundary)", n.id, name))
+		}
+	}
+	n.mu.Unlock()
+	n.sys.members.BeginDrain(n.id) // a direct Leave implies the drain request
+	n.sys.leaveNodeFrom(n.id, n.id)
+	panic(errLeft)
+}
+
+// Draining reports whether a graceful departure has been requested for
+// this node (System.DrainNode): the application should finish its current
+// unit of work and call Leave at its next release boundary.
+func (p *Proc) Draining() bool {
+	mt := p.node.sys.members
+	return mt != nil && mt.Status(p.node.id) == member.Draining
+}
+
+// Members returns the node ids currently in the membership (this node
+// included).  Fixed-membership systems report every hosted node.
+func (p *Proc) Members() []int { return p.node.sys.Members() }
+
 // waitReply blocks for the protocol handler's grant or barrier release,
 // aborting (with the sentinel Run recognizes) if the run fails while the
 // application is parked — the message it is waiting for may never arrive.
@@ -378,6 +438,18 @@ func (n *Node) applyGrant(g *proto.LockGrant, arrival uint64) bool {
 		lk.owner = true
 	}
 	lk.rebound = false
+	if lk.pendingFence != 0 {
+		// A join admission ran while this grant was in flight and parked
+		// its full-data fence here; install it now, before any transfer
+		// from this node can be served, so the joiner's first acquire
+		// still ships full data.
+		if lk.pendingFence > lk.bindGen {
+			lk.bindGen = lk.pendingFence
+			lk.rebound = true
+			n.det.NotifyRebind(lk)
+		}
+		lk.pendingFence = 0
+	}
 	n.mu.Unlock()
 	n.cycles.Charge(cycles)
 	if tr := n.sys.obs; tr != nil {

@@ -81,7 +81,12 @@ type Monitor struct {
 	mu      sync.Mutex
 	conns   []*monConn
 	dead    map[int]bool
-	onDeath func(node int, cycles uint64)
+	// inactive marks node ids outside the current membership — absent
+	// capacity and gracefully-departed nodes.  They emit no heartbeats,
+	// cast no votes, and are never declared dead: a planned leave must
+	// not be double-reclaimed as a crash.
+	inactive map[int]bool
+	onDeath  func(node int, cycles uint64)
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -91,11 +96,12 @@ type Monitor struct {
 // NewMonitor wraps inner with failure detection.
 func NewMonitor(inner transport.Network, opts Options) *Monitor {
 	m := &Monitor{
-		inner: inner,
-		opts:  opts.withDefaults(),
-		conns: make([]*monConn, inner.Nodes()),
-		dead:  make(map[int]bool),
-		stop:  make(chan struct{}),
+		inner:    inner,
+		opts:     opts.withDefaults(),
+		conns:    make([]*monConn, inner.Nodes()),
+		dead:     make(map[int]bool),
+		inactive: make(map[int]bool),
+		stop:     make(chan struct{}),
 	}
 	if !m.opts.Manual {
 		m.wg.Add(1)
@@ -146,6 +152,44 @@ func (m *Monitor) Conn(i int) transport.Conn {
 		}
 	}
 	return m.conns[i]
+}
+
+// SetActive includes or excludes node k from liveness monitoring.  An
+// elastic-membership system excludes provisioned-but-absent capacity at
+// startup, includes a node when its join commits, and excludes it again
+// when its graceful leave commits.  Activation refreshes every
+// endpoint's last-heard time for k, so a just-joined node is not
+// instantly "silent since construction"; deactivation clears any standing
+// suspicion so a later rejoin starts clean.
+func (m *Monitor) SetActive(k int, active bool) {
+	m.mu.Lock()
+	if active {
+		delete(m.inactive, k)
+	} else {
+		m.inactive[k] = true
+	}
+	conns := append([]*monConn(nil), m.conns...)
+	m.mu.Unlock()
+	now := m.opts.Now()
+	for _, c := range conns {
+		if c == nil {
+			continue
+		}
+		c.mu.Lock()
+		if k >= 0 && k < len(c.lastHeard) {
+			c.lastHeard[k] = now
+			c.misses[k] = 0
+			c.suspected[k] = false
+		}
+		c.mu.Unlock()
+	}
+}
+
+// isInactive reports whether node k is outside the current membership.
+func (m *Monitor) isInactive(k int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inactive[k]
 }
 
 // IsDead reports whether node k has been declared crashed.
@@ -217,13 +261,13 @@ func (m *Monitor) heartbeatLoop(c *monConn) {
 func (m *Monitor) Beat(id int) {
 	m.mu.Lock()
 	c := m.conns[id]
-	if c == nil || m.dead[id] {
+	if c == nil || m.dead[id] || m.inactive[id] {
 		m.mu.Unlock()
 		return
 	}
 	var peers []int
 	for p := 0; p < m.inner.Nodes(); p++ {
-		if p != id && !m.dead[p] {
+		if p != id && !m.dead[p] && !m.inactive[p] {
 			peers = append(peers, p)
 		}
 	}
@@ -241,9 +285,14 @@ func (m *Monitor) CheckNow() {
 	m.mu.Lock()
 	n := m.inner.Nodes()
 	conns := append([]*monConn(nil), m.conns...)
-	dead := make(map[int]bool, len(m.dead))
+	// Declared-dead and inactive (never-joined or departed) nodes are
+	// equally outside the check: neither observes nor is observed.
+	gone := make(map[int]bool, len(m.dead)+len(m.inactive))
 	for k := range m.dead {
-		dead[k] = true
+		gone[k] = true
+	}
+	for k := range m.inactive {
+		gone[k] = true
 	}
 	m.mu.Unlock()
 
@@ -253,19 +302,19 @@ func (m *Monitor) CheckNow() {
 	// anyone, or a healthy majority would be "dead" to it.
 	var observers []*monConn
 	for _, c := range conns {
-		if c != nil && !dead[c.id] {
+		if c != nil && !gone[c.id] {
 			observers = append(observers, c)
 		}
 	}
 	if len(observers) == 0 {
 		return
 	}
-	if len(observers) == 1 && n >= 3 && observers[0].allSilent(now, m.opts.SuspectAfter, dead) {
+	if len(observers) == 1 && n >= 3 && observers[0].allSilent(now, m.opts.SuspectAfter, gone) {
 		return
 	}
 
 	for t := 0; t < n; t++ {
-		if dead[t] {
+		if gone[t] {
 			continue
 		}
 		agree := 0
@@ -286,10 +335,13 @@ func (m *Monitor) CheckNow() {
 }
 
 // declare marks node t dead (idempotently), traces it, broadcasts a crash
-// notice from endpoint via, and fires the OnDeath callback.
+// notice from endpoint via, and fires the OnDeath callback.  Inactive
+// nodes are never declared: a gracefully-departed node's state was handed
+// off at its last release boundary, and reclaiming it again would
+// double-apply the recovery path.
 func (m *Monitor) declare(t int, cycles uint64, via int) {
 	m.mu.Lock()
-	if m.dead[t] {
+	if m.dead[t] || m.inactive[t] {
 		m.mu.Unlock()
 		return
 	}
@@ -301,7 +353,7 @@ func (m *Monitor) declare(t int, cycles uint64, via int) {
 	}
 	var peers []int
 	for p := 0; p < m.inner.Nodes(); p++ {
-		if p != via && p != t && !m.dead[p] {
+		if p != via && p != t && !m.dead[p] && !m.inactive[p] {
 			peers = append(peers, p)
 		}
 	}

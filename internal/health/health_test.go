@@ -158,6 +158,100 @@ func TestMonitorCrashNotice(t *testing.T) {
 	}
 }
 
+// TestMonitorPlannedLeave checks the elastic-membership interplay: an
+// inactive node (draining/departed, or never-joined capacity) is never
+// declared dead no matter how long it stays silent — not by the voting
+// pass and not by a stray crash notice — and reactivating it (a join)
+// restarts observation from "just heard" rather than from construction
+// time.
+func TestMonitorPlannedLeave(t *testing.T) {
+	const nodes = 3
+	const period = 10 * time.Millisecond
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	net := transport.NewChannelNetwork(nodes)
+	mon := NewMonitor(net, Options{
+		Manual: true, Period: period, SuspectAfter: 3 * period, Now: clk.Now,
+	})
+	defer mon.Close()
+	deaths := make(chan death, nodes)
+	mon.OnDeath(func(n int, cyc uint64) { deaths <- death{n, cyc} })
+
+	msgs := make(chan transport.Message, 64)
+	conns := make([]transport.Conn, nodes)
+	for i := 0; i < nodes; i++ {
+		conns[i] = mon.Conn(i)
+		go drain(conns[i], msgs)
+	}
+
+	// Node 2's leave commits: it goes silent, on purpose.
+	mon.SetActive(2, false)
+
+	// exchange keeps nodes 0 and 1 mutually fresh and flushes in-flight
+	// traffic (per-endpoint FIFO: once both markers return, everything
+	// sent before them has been consumed).
+	exchange := func() {
+		t.Helper()
+		for _, pair := range [][2]int{{0, 1}, {1, 0}} {
+			if err := conns[pair[0]].Send(transport.Message{
+				From: pair[0], To: pair[1], Kind: proto.KindBarrierEnter,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		<-msgs
+		<-msgs
+	}
+
+	for step := 0; step < 8; step++ {
+		clk.Advance(period)
+		exchange()
+		mon.CheckNow()
+	}
+	select {
+	case d := <-deaths:
+		t.Fatalf("silence of a departed node was declared a crash: %+v", d)
+	default:
+	}
+
+	// A straggling crash notice naming the departed node must not revive
+	// the reclamation path either.
+	notice := proto.CrashNotice{Node: 2, Cycles: 42}
+	if err := conns[0].Send(transport.Message{
+		From: 0, To: 1, Kind: proto.KindCrashNotice, Payload: notice.Encode(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	exchange() // flush: the notice precedes the markers in endpoint 1's FIFO
+	if mon.IsDead(2) {
+		t.Fatal("crash notice declared a departed node dead")
+	}
+
+	// Node 2 rejoins: observation restarts fresh, then real silence is
+	// once again a crash.
+	mon.SetActive(2, true)
+	clk.Advance(period)
+	exchange()
+	mon.CheckNow()
+	select {
+	case d := <-deaths:
+		t.Fatalf("just-rejoined node instantly declared: %+v", d)
+	default:
+	}
+	for step := 0; step < 8; step++ {
+		clk.Advance(period)
+		exchange()
+		mon.CheckNow()
+	}
+	select {
+	case d := <-deaths:
+		if d.node != 2 {
+			t.Fatalf("declared node %d, want 2", d.node)
+		}
+	default:
+		t.Fatal("rejoined-then-silent node was never declared dead")
+	}
+}
+
 // TestMonitorSelfFence checks the single-endpoint rule: an observer that
 // has lost every peer at once in a three-node system assumes its own links
 // are severed and declares no one; losing just one peer still declares it.

@@ -1,0 +1,343 @@
+// Package member tracks runtime cluster membership for elastic DSM
+// topologies: which node ids are live, joining, draining, departed or
+// dead, and the membership epoch — a generation counter bumped by every
+// committed transition, used as the fence against stale traffic from
+// former members.
+//
+// The table is written rarely (joins, leaves, deaths) and read on hot
+// paths (barrier membership counts, stale-epoch checks), so reads go
+// through an immutable copy-on-write snapshot behind an atomic pointer —
+// the same discipline internal/core uses for its object and crash
+// tables.  A system with no membership configuration never constructs a
+// Table at all; every caller nil-checks, keeping fixed-membership runs
+// byte-identical to before this layer existed.
+package member
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Status is one node id's membership state.
+type Status uint8
+
+const (
+	// Absent ids are provisioned capacity that has never joined.
+	Absent Status = iota
+	// Joining ids are mid-handshake: reserved, not yet announced.
+	Joining
+	// Live ids are full members.
+	Live
+	// Draining ids are members with a pending graceful leave: they take
+	// no new work but still answer protocol traffic.
+	Draining
+	// Left ids departed gracefully; their state was handed off.
+	Left
+	// Dead ids crashed and were declared; their state was reclaimed.
+	Dead
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Absent:
+		return "absent"
+	case Joining:
+		return "joining"
+	case Live:
+		return "live"
+	case Draining:
+		return "draining"
+	case Left:
+		return "left"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Action is a committed membership transition kind, for the event log.
+type Action uint8
+
+const (
+	// Joined records a committed join.
+	Joined Action = iota
+	// Departed records a completed graceful leave.
+	Departed
+	// Died records a crash declaration.
+	Died
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case Joined:
+		return "joined"
+	case Departed:
+		return "left"
+	case Died:
+		return "died"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// Event is one committed transition in the membership timeline.
+type Event struct {
+	Epoch  uint64
+	Node   int
+	Action Action
+	// Cycles is the coordinating node's simulated clock at the commit.
+	Cycles uint64
+}
+
+// view is one immutable membership snapshot.
+type view struct {
+	epoch  uint64
+	status []Status
+}
+
+// Table is the membership state of one system.
+type Table struct {
+	initial int
+	max     int
+
+	mu     sync.Mutex
+	snap   atomic.Pointer[view]
+	events []Event
+}
+
+// New returns a table over max provisioned ids with ids [0, initial)
+// live at epoch zero.
+func New(initial, max int) *Table {
+	if initial <= 0 || max < initial {
+		panic(fmt.Sprintf("member: invalid membership bounds initial=%d max=%d", initial, max))
+	}
+	st := make([]Status, max)
+	for i := 0; i < initial; i++ {
+		st[i] = Live
+	}
+	t := &Table{initial: initial, max: max}
+	t.snap.Store(&view{status: st})
+	return t
+}
+
+// Initial returns the founding member count.  Synchronization-object
+// management stays homed on founding members, so joiners never become
+// managers.
+func (t *Table) Initial() int { return t.initial }
+
+// Max returns the provisioned capacity.
+func (t *Table) Max() int { return t.max }
+
+// Epoch returns the current membership generation.
+func (t *Table) Epoch() uint64 { return t.snap.Load().epoch }
+
+// Status returns node i's membership state.
+func (t *Table) Status(i int) Status {
+	v := t.snap.Load()
+	if i < 0 || i >= len(v.status) {
+		return Absent
+	}
+	return v.status[i]
+}
+
+// IsMember reports whether node i currently answers protocol traffic
+// (live or draining).
+func (t *Table) IsMember(i int) bool {
+	s := t.Status(i)
+	return s == Live || s == Draining
+}
+
+// Gone reports whether node i was once a member and no longer is.
+func (t *Table) Gone(i int) bool {
+	s := t.Status(i)
+	return s == Left || s == Dead
+}
+
+// Members returns the current member ids (live and draining), ascending.
+func (t *Table) Members() []int {
+	v := t.snap.Load()
+	out := make([]int, 0, len(v.status))
+	for i, s := range v.status {
+		if s == Live || s == Draining {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Count returns the current member count (live and draining).
+func (t *Table) Count() int {
+	v := t.snap.Load()
+	n := 0
+	for _, s := range v.status {
+		if s == Live || s == Draining {
+			n++
+		}
+	}
+	return n
+}
+
+// Sponsor returns the lowest-numbered live member — the node a joiner
+// dials — and false if none exists.
+func (t *Table) Sponsor() (int, bool) {
+	v := t.snap.Load()
+	for i, s := range v.status {
+		if s == Live {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// mutate publishes a new snapshot with node i set to s, bumping the
+// epoch when bump is set.  Caller holds t.mu.
+func (t *Table) mutate(i int, s Status, bump bool) *view {
+	old := t.snap.Load()
+	st := append([]Status(nil), old.status...)
+	st[i] = s
+	nv := &view{epoch: old.epoch, status: st}
+	if bump {
+		nv.epoch++
+	}
+	t.snap.Store(nv)
+	return nv
+}
+
+// BeginJoin reserves node id for a join handshake.  Only absent and
+// gracefully-departed ids are admissible: dead ids stay fenced (their
+// ghost routing state is load-bearing) and current members cannot join
+// twice.
+func (t *Table) BeginJoin(id int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || id >= t.max {
+		return fmt.Errorf("member: join id %d outside provisioned capacity [0,%d)", id, t.max)
+	}
+	switch s := t.snap.Load().status[id]; s {
+	case Absent, Left:
+		t.mutate(id, Joining, false)
+		return nil
+	case Joining:
+		return fmt.Errorf("member: node %d is already joining", id)
+	case Live, Draining:
+		return fmt.Errorf("member: node %d is already a member", id)
+	default: // Dead
+		return fmt.Errorf("member: node %d crashed and its id is fenced", id)
+	}
+}
+
+// AbortJoin releases a reservation made by BeginJoin (a rejected
+// handshake), returning the id to Absent.
+func (t *Table) AbortJoin(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.snap.Load().status[id] == Joining {
+		t.mutate(id, Absent, false)
+	}
+}
+
+// CommitJoin makes a reserved id live, bumps the epoch and records the
+// event.  It returns the new epoch.
+func (t *Table) CommitJoin(id int, cycles uint64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	nv := t.mutate(id, Live, true)
+	t.events = append(t.events, Event{Epoch: nv.epoch, Node: id, Action: Joined, Cycles: cycles})
+	return nv.epoch
+}
+
+// BeginDrain marks a live member as draining.  It reports whether the
+// transition happened (false when the node is not currently live, so a
+// repeated request or a race with a crash declaration is a no-op).
+func (t *Table) BeginDrain(id int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || id >= t.max || t.snap.Load().status[id] != Live {
+		return false
+	}
+	t.mutate(id, Draining, false)
+	return true
+}
+
+// CommitLeave completes a graceful departure, bumps the epoch and
+// records the event.  It returns the new epoch.
+func (t *Table) CommitLeave(id int, cycles uint64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	nv := t.mutate(id, Left, true)
+	t.events = append(t.events, Event{Epoch: nv.epoch, Node: id, Action: Departed, Cycles: cycles})
+	return nv.epoch
+}
+
+// MarkDead records a crash declaration for a current member and bumps
+// the epoch.  It reports false — and changes nothing — when the node has
+// already left or died, which is the double-reclamation fence: a node
+// whose graceful drain committed cannot also be reclaimed as a corpse.
+func (t *Table) MarkDead(id int, cycles uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || id >= t.max {
+		return false
+	}
+	switch t.snap.Load().status[id] {
+	case Live, Draining, Joining:
+		nv := t.mutate(id, Dead, true)
+		t.events = append(t.events, Event{Epoch: nv.epoch, Node: id, Action: Died, Cycles: cycles})
+		return true
+	default:
+		return false
+	}
+}
+
+// Events returns a copy of the membership timeline in commit order.
+func (t *Table) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// ScheduleEntry is one planned membership change: node Node joins or
+// drains when the workload reaches round Round.
+type ScheduleEntry struct {
+	Node  int
+	Round int
+}
+
+// ParseSchedule parses a comma-separated churn schedule like "4@2,5@3"
+// (node 4 at round 2, node 5 at round 3).  Entries are returned sorted
+// by round, then node.
+func ParseSchedule(spec string) ([]ScheduleEntry, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []ScheduleEntry
+	for _, field := range strings.Split(spec, ",") {
+		nodeStr, roundStr, ok := strings.Cut(strings.TrimSpace(field), "@")
+		if !ok {
+			return nil, fmt.Errorf("member: schedule %q: entry %q is not NODE@ROUND", spec, field)
+		}
+		node, err := strconv.Atoi(nodeStr)
+		if err != nil || node < 0 {
+			return nil, fmt.Errorf("member: schedule %q: node %q is not a non-negative integer", spec, nodeStr)
+		}
+		round, err := strconv.Atoi(roundStr)
+		if err != nil || round < 1 {
+			return nil, fmt.Errorf("member: schedule %q: round %q is not a positive integer", spec, roundStr)
+		}
+		out = append(out, ScheduleEntry{Node: node, Round: round})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Round != out[j].Round {
+			return out[i].Round < out[j].Round
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out, nil
+}

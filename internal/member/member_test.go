@@ -1,0 +1,135 @@
+package member
+
+import (
+	"testing"
+)
+
+// TestLifecycle walks one id through join → drain → leave and checks
+// the epoch advances once per committed transition.
+func TestLifecycle(t *testing.T) {
+	tb := New(2, 4)
+	if got := tb.Count(); got != 2 {
+		t.Fatalf("initial count = %d, want 2", got)
+	}
+	if s, ok := tb.Sponsor(); !ok || s != 0 {
+		t.Fatalf("sponsor = %d,%v, want 0,true", s, ok)
+	}
+	if tb.Epoch() != 0 {
+		t.Fatalf("fresh table epoch = %d, want 0", tb.Epoch())
+	}
+
+	if err := tb.BeginJoin(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Status(2); got != Joining {
+		t.Fatalf("status after BeginJoin = %v", got)
+	}
+	if e := tb.CommitJoin(2, 100); e != 1 {
+		t.Fatalf("epoch after join = %d, want 1", e)
+	}
+	if !tb.IsMember(2) || tb.Count() != 3 {
+		t.Fatalf("join did not make node 2 a member (count %d)", tb.Count())
+	}
+
+	if !tb.BeginDrain(2) {
+		t.Fatal("BeginDrain on a live member failed")
+	}
+	if got := tb.Status(2); got != Draining {
+		t.Fatalf("status after BeginDrain = %v", got)
+	}
+	if !tb.IsMember(2) {
+		t.Fatal("a draining node must still be a member")
+	}
+	if e := tb.CommitLeave(2, 200); e != 2 {
+		t.Fatalf("epoch after leave = %d, want 2", e)
+	}
+	if !tb.Gone(2) || tb.Count() != 2 {
+		t.Fatalf("leave did not retire node 2 (count %d)", tb.Count())
+	}
+
+	evs := tb.Events()
+	if len(evs) != 2 || evs[0].Action != Joined || evs[1].Action != Departed {
+		t.Fatalf("timeline = %+v, want join then leave", evs)
+	}
+}
+
+// TestJoinValidation pins the admissibility rules: out-of-range,
+// double-join, member ids and dead ids are all rejected; departed ids
+// may rejoin.
+func TestJoinValidation(t *testing.T) {
+	tb := New(2, 4)
+	if err := tb.BeginJoin(4); err == nil {
+		t.Error("join beyond capacity accepted")
+	}
+	if err := tb.BeginJoin(0); err == nil {
+		t.Error("join of a live member accepted")
+	}
+	if err := tb.BeginJoin(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.BeginJoin(3); err == nil {
+		t.Error("double join of the same id accepted")
+	}
+	tb.AbortJoin(3)
+	if got := tb.Status(3); got != Absent {
+		t.Errorf("status after AbortJoin = %v, want absent", got)
+	}
+	if err := tb.BeginJoin(3); err != nil {
+		t.Errorf("rejoin after abort rejected: %v", err)
+	}
+	tb.CommitJoin(3, 0)
+	tb.CommitLeave(3, 0)
+	if err := tb.BeginJoin(3); err != nil {
+		t.Errorf("rejoin of a departed id rejected: %v", err)
+	}
+	tb.AbortJoin(3)
+	tb.MarkDead(1, 0)
+	if err := tb.BeginJoin(1); err == nil {
+		t.Error("join of a dead (fenced) id accepted")
+	}
+}
+
+// TestDoubleReclamationFence pins the drain/crash interplay: once a
+// leave commits, a crash declaration for the same id must be a no-op,
+// and vice versa.
+func TestDoubleReclamationFence(t *testing.T) {
+	tb := New(3, 3)
+	tb.BeginDrain(1)
+	tb.CommitLeave(1, 50)
+	if tb.MarkDead(1, 60) {
+		t.Error("MarkDead succeeded on a node that already left")
+	}
+	if got := tb.Status(1); got != Left {
+		t.Errorf("status = %v, want left", got)
+	}
+
+	if !tb.MarkDead(2, 70) {
+		t.Error("MarkDead failed on a live member")
+	}
+	if tb.MarkDead(2, 80) {
+		t.Error("MarkDead succeeded twice for the same node")
+	}
+	if tb.BeginDrain(2) {
+		t.Error("BeginDrain succeeded on a dead node")
+	}
+}
+
+// TestParseSchedule covers the CLI schedule grammar.
+func TestParseSchedule(t *testing.T) {
+	got, err := ParseSchedule("5@3,4@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ScheduleEntry{{Node: 4, Round: 2}, {Node: 5, Round: 3}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("ParseSchedule = %+v, want %+v (sorted by round)", got, want)
+	}
+	if es, err := ParseSchedule(""); err != nil || es != nil {
+		t.Errorf("empty schedule = %v, %v", es, err)
+	}
+	for _, bad := range []string{"4", "x@2", "4@0", "-1@2", "4@x"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+}

@@ -25,6 +25,66 @@ type Analysis struct {
 	// Recovery summarizes failure detection and crash recovery, nil when
 	// the trace has no liveness or recovery events.
 	Recovery *RecoveryReport
+	// Membership is the elastic-membership timeline, nil when the trace
+	// has no join/drain/membership events.
+	Membership *MembershipReport
+}
+
+// MembershipReport is the elastic-membership timeline.
+type MembershipReport struct {
+	// Joins are the join handshakes with their state-transfer costs.
+	Joins []JoinReport
+	// Drains are the graceful-leave milestones.
+	Drains []DrainReport
+	// Handoffs are per-object state transfers re-homing a departing
+	// node's bound data to a successor (drain or crash reclamation).
+	Handoffs []HandoffReport
+	// Changes are the committed membership transitions in trace order.
+	Changes []ChangeReport
+}
+
+// HandoffReport is one object's bound data re-homed to a successor when
+// its owner departs.
+type HandoffReport struct {
+	// From departed; To inherited Name's token and data.
+	From, To int32
+	Name     string
+	// BindGen is the rebind generation forcing full data on next use.
+	BindGen int64
+	Bytes   uint64
+	Cycles  uint64
+}
+
+// JoinReport is one join handshake as seen at the sponsor.
+type JoinReport struct {
+	// Sponsor handled the handshake for Joiner.
+	Sponsor int32
+	Joiner  int32
+	// DirEntries and Bytes are the state-transfer cost: directory size and
+	// barrier-bound data shipped (lock data travels lazily on first
+	// acquire).  Zero until the matching EvStateTransfer is seen.
+	DirEntries int64
+	Bytes      uint64
+	Cycles     uint64
+}
+
+// DrainReport is one graceful-leave milestone.
+type DrainReport struct {
+	Node int32
+	// HandoffDone distinguishes the request (false) from the completed
+	// token/state handoff (true).
+	HandoffDone bool
+	Cycles      uint64
+}
+
+// ChangeReport is one committed membership transition.
+type ChangeReport struct {
+	// Node is the subject; Action is "joined", "left" or "died"; Epoch the
+	// membership generation after the commit.
+	Node   int32
+	Action string
+	Epoch  int64
+	Cycles uint64
 }
 
 // RecoveryReport is the failure-detection and crash-recovery timeline.
@@ -178,6 +238,12 @@ func AnalyzeEvents(events []Event) *Analysis {
 		}
 		return a.Recovery
 	}
+	membership := func() *MembershipReport {
+		if a.Membership == nil {
+			a.Membership = &MembershipReport{}
+		}
+		return a.Membership
+	}
 
 	for _, e := range events {
 		// Liveness and recovery events are accounted separately: they are
@@ -203,6 +269,51 @@ func AnalyzeEvents(events []Event) *Analysis {
 		case EvBarrierReform:
 			recovery().Reforms = append(recovery().Reforms, ReformReport{
 				Obj: e.Obj, Name: e.Name, Parties: e.A, Epoch: e.B, Cycles: e.Cycles,
+			})
+			continue
+		case EvJoinRequest:
+			membership().Joins = append(membership().Joins, JoinReport{
+				Sponsor: e.Node, Joiner: e.Peer, Cycles: e.Cycles,
+			})
+			continue
+		case EvStateTransfer:
+			m := membership()
+			if e.Name != "" {
+				// A named transfer re-homes one object's bound data to a
+				// successor when its owner departs; only the join-time
+				// snapshot (no object) belongs to a handshake.
+				m.Handoffs = append(m.Handoffs, HandoffReport{
+					From: e.Node, To: e.Peer, Name: e.Name,
+					BindGen: e.A, Bytes: e.Bytes, Cycles: e.Cycles,
+				})
+				continue
+			}
+			// Fill the cost into the latest matching handshake; a transfer
+			// with no recorded request (partial trace) gets its own row.
+			filled := false
+			for i := len(m.Joins) - 1; i >= 0; i-- {
+				if m.Joins[i].Joiner == e.Peer && m.Joins[i].DirEntries == 0 && m.Joins[i].Bytes == 0 {
+					m.Joins[i].DirEntries = e.A
+					m.Joins[i].Bytes = e.Bytes
+					filled = true
+					break
+				}
+			}
+			if !filled {
+				m.Joins = append(m.Joins, JoinReport{
+					Sponsor: e.Node, Joiner: e.Peer, DirEntries: e.A,
+					Bytes: e.Bytes, Cycles: e.Cycles,
+				})
+			}
+			continue
+		case EvDrain:
+			membership().Drains = append(membership().Drains, DrainReport{
+				Node: e.Node, HandoffDone: e.A == 1, Cycles: e.Cycles,
+			})
+			continue
+		case EvMembershipChange:
+			membership().Changes = append(membership().Changes, ChangeReport{
+				Node: e.Peer, Action: memberActionName(e.B), Epoch: e.A, Cycles: e.Cycles,
 			})
 			continue
 		}
@@ -385,6 +496,30 @@ func (a *Analysis) WriteReport(w io.Writer) {
 			fmt.Fprintf(w, "  detector: %d heartbeat windows missed, %d suspicions raised\n",
 				r.HeartbeatMisses, r.Suspicions)
 		}
+	}
+
+	if m := a.Membership; m != nil {
+		fmt.Fprintln(w, "\nmembership timeline:")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for _, j := range m.Joins {
+			fmt.Fprintf(tw, "  %s\tnode %d joined via sponsor n%d\tdirectory %d entries, %dB transferred\n",
+				ms(j.Cycles), j.Joiner, j.Sponsor, j.DirEntries, j.Bytes)
+		}
+		for _, d := range m.Drains {
+			phase := "drain requested"
+			if d.HandoffDone {
+				phase = "drain handoff complete"
+			}
+			fmt.Fprintf(tw, "  %s\tnode %d\t%s\n", ms(d.Cycles), d.Node, phase)
+		}
+		for _, h := range m.Handoffs {
+			fmt.Fprintf(tw, "  %s\t%s handed off n%d -> n%d\trebind gen %d, %dB\n",
+				ms(h.Cycles), h.Name, h.From, h.To, h.BindGen, h.Bytes)
+		}
+		for _, c := range m.Changes {
+			fmt.Fprintf(tw, "  %s\tnode %d %s\tepoch %d\n", ms(c.Cycles), c.Node, c.Action, c.Epoch)
+		}
+		tw.Flush()
 	}
 
 	for _, b := range a.Barriers {

@@ -92,6 +92,20 @@ const (
 	// crash.  Node is the manager, Obj the barrier, A the new effective
 	// party count, B the epoch in progress.
 	EvBarrierReform
+	// EvJoinRequest is a join handshake arriving at the sponsor.  Node is
+	// the sponsor, Peer the joiner, A the membership epoch it saw.
+	EvJoinRequest
+	// EvStateTransfer is the join-time state snapshot sent to a joiner.
+	// Node is the sponsor, Peer the joiner, A the directory entry count,
+	// Bytes the barrier-bound data payload.
+	EvStateTransfer
+	// EvDrain is a graceful-leave milestone.  Node is the draining node;
+	// A distinguishes the phase (0 drain requested, 1 handoff complete).
+	EvDrain
+	// EvMembershipChange is a committed membership transition.  Node is
+	// the coordinator, Peer the subject node, A the new epoch, B the
+	// action (0 joined, 1 left, 2 died).
+	EvMembershipChange
 
 	kindCount
 )
@@ -114,8 +128,12 @@ var kindNames = [kindCount]string{
 	EvHeartbeatMiss: "heartbeat-miss",
 	EvSuspect:       "suspect",
 	EvDeclareDead:   "declare-dead",
-	EvReclaim:       "reclaim",
-	EvBarrierReform: "barrier-reform",
+	EvReclaim:          "reclaim",
+	EvBarrierReform:    "barrier-reform",
+	EvJoinRequest:      "join-request",
+	EvStateTransfer:    "state-transfer",
+	EvDrain:            "drain",
+	EvMembershipChange: "membership-change",
 }
 
 // String returns the kind's wire name as used in JSONL output.
@@ -303,8 +321,35 @@ func (e Event) textBody() string {
 		return fmt.Sprintf("reclaim %s from n%d gen=%d", e.Name, e.Peer, e.A)
 	case EvBarrierReform:
 		return fmt.Sprintf("barrier-reform %s parties=%d epoch=%d", e.Name, e.A, e.B)
+	case EvJoinRequest:
+		return fmt.Sprintf("join-request n%d epoch=%d", e.Peer, e.A)
+	case EvStateTransfer:
+		return fmt.Sprintf("state-transfer -> n%d dir=%d data=%dB", e.Peer, e.A, e.Bytes)
+	case EvDrain:
+		if e.A == 0 {
+			return "drain requested"
+		}
+		return "drain handoff complete"
+	case EvMembershipChange:
+		return fmt.Sprintf("membership n%d %s epoch=%d", e.Peer, memberActionName(e.B), e.A)
 	default:
 		return e.Kind.String()
+	}
+}
+
+// memberActionName renders EvMembershipChange's B scalar.  The values
+// mirror member.Action without importing the member package (obs is a
+// leaf dependency).
+func memberActionName(b int64) string {
+	switch b {
+	case 0:
+		return "joined"
+	case 1:
+		return "left"
+	case 2:
+		return "died"
+	default:
+		return fmt.Sprintf("action%d", b)
 	}
 }
 

@@ -88,6 +88,58 @@ func FuzzDecodeReliableData(f *testing.F) {
 	})
 }
 
+func FuzzDecodeJoinRequest(f *testing.F) {
+	f.Add((&JoinRequest{Version: JoinVersion, Node: 4, Epoch: 2}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeJoinRequest(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Encode(), data) {
+			t.Errorf("re-encode mismatch")
+		}
+	})
+}
+
+func FuzzDecodeJoinAccept(f *testing.F) {
+	f.Add((&JoinAccept{
+		Epoch:   3,
+		Sponsor: 0,
+		Dir: []JoinDirEntry{
+			{Obj: 1, Gen: 7, Home: 2},
+			{Obj: 2, Barrier: true, Gen: 4, Home: 0},
+		},
+		Data: []Update{{Addr: 64, TS: 9, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}},
+	}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeJoinAccept(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Encode(), data) {
+			t.Errorf("re-encode mismatch")
+		}
+	})
+}
+
+func FuzzDecodeMembershipChange(f *testing.F) {
+	f.Add((&MembershipChange{Epoch: 5, Node: 3, Action: MemberLeft, Cycles: 77}).Encode())
+	f.Add([]byte{1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMembershipChange(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Encode(), data) {
+			t.Errorf("re-encode mismatch")
+		}
+	})
+}
+
 func FuzzDecodeReliableAck(f *testing.F) {
 	f.Add((&ReliableAck{Seq: 42}).Encode())
 	f.Add([]byte{1})

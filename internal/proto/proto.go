@@ -52,6 +52,16 @@ const (
 	// dead.  The health monitor consumes it before the protocol handler
 	// sees it.
 	KindCrashNotice
+	// KindJoinRequest is the versioned membership handshake a joining
+	// node sends to its sponsor (the lowest-numbered live member).
+	KindJoinRequest
+	// KindJoinAccept is the sponsor's reply: the membership epoch, the
+	// lock/barrier directory, and full-data bindings for barrier-bound
+	// memory.
+	KindJoinAccept
+	// KindMembershipChange is the broadcast announcing a committed
+	// membership transition (join or leave) with its generation fence.
+	KindMembershipChange
 )
 
 // String returns the message kind's name.
@@ -77,6 +87,12 @@ func (k Kind) String() string {
 		return "Heartbeat"
 	case KindCrashNotice:
 		return "CrashNotice"
+	case KindJoinRequest:
+		return "JoinRequest"
+	case KindJoinAccept:
+		return "JoinAccept"
+	case KindMembershipChange:
+		return "MembershipChange"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -789,6 +805,168 @@ func DecodeCrashNotice(buf []byte) (*CrashNotice, error) {
 	m := &CrashNotice{Node: d.U32(), Cycles: d.U64()}
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("decoding CrashNotice: %w", err)
+	}
+	return m, nil
+}
+
+// JoinVersion is the current membership-handshake protocol version.  A
+// sponsor rejects a JoinRequest whose version it does not speak.
+const JoinVersion = 1
+
+// JoinRequest is the handshake a joining node sends to its sponsor.
+// Epoch is the joiner's last known membership epoch (zero for a node that
+// has never been a member).
+type JoinRequest struct {
+	Version uint32
+	Node    uint32
+	Epoch   uint64
+}
+
+// EncodedSize returns the exact encoded length.
+func (m *JoinRequest) EncodedSize() int { return 4 + 4 + 8 }
+
+// EncodeInto appends the request to e.
+func (m *JoinRequest) EncodeInto(e *Encoder) {
+	e.Grow(m.EncodedSize())
+	e.U32(m.Version)
+	e.U32(m.Node)
+	e.U64(m.Epoch)
+}
+
+// Encode serializes the request.
+func (m *JoinRequest) Encode() []byte { return Encode(m) }
+
+// DecodeJoinRequest parses a JoinRequest payload.
+func DecodeJoinRequest(buf []byte) (*JoinRequest, error) {
+	d := NewDecoder(buf)
+	m := &JoinRequest{Version: d.U32(), Node: d.U32(), Epoch: d.U64()}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decoding JoinRequest: %w", err)
+	}
+	return m, nil
+}
+
+// JoinDirEntry is one synchronization object's entry in the directory a
+// sponsor transfers to a joiner.  For a lock, Gen is the binding
+// generation after the join fence and Home the current token holder; for
+// a barrier, Gen is the current episode number and Home the manager.
+type JoinDirEntry struct {
+	Obj     uint32
+	Barrier bool
+	Gen     uint64
+	Home    uint32
+}
+
+/// JoinAccept is the sponsor's handshake reply: the committed epoch, the
+// object directory, and the full contents of barrier-bound memory (lock
+// data travels on the joiner's first acquire, forced full by the fence).
+type JoinAccept struct {
+	Epoch   uint64
+	Sponsor uint32
+	Dir     []JoinDirEntry
+	Data    []Update
+}
+
+// EncodedSize returns the exact encoded length.
+func (m *JoinAccept) EncodedSize() int {
+	return 8 + 4 + 4 + len(m.Dir)*(4+1+8+4) + updatesSize(m.Data)
+}
+
+// EncodeInto appends the reply to e.
+func (m *JoinAccept) EncodeInto(e *Encoder) {
+	e.Grow(m.EncodedSize())
+	e.U64(m.Epoch)
+	e.U32(m.Sponsor)
+	e.U32(uint32(len(m.Dir)))
+	for _, ent := range m.Dir {
+		e.U32(ent.Obj)
+		b := uint8(0)
+		if ent.Barrier {
+			b = 1
+		}
+		e.U8(b)
+		e.U64(ent.Gen)
+		e.U32(ent.Home)
+	}
+	e.Updates(m.Data)
+}
+
+// Encode serializes the reply.
+func (m *JoinAccept) Encode() []byte { return Encode(m) }
+
+func decodeJoinAccept(d *Decoder) (*JoinAccept, error) {
+	m := &JoinAccept{Epoch: d.U64(), Sponsor: d.U32()}
+	n := int(d.U32())
+	// Each entry is 17 bytes; reject counts the buffer cannot hold.
+	if rest := len(d.buf) - d.off; d.err == nil && n > rest/17 {
+		return nil, fmt.Errorf("decoding JoinAccept: %w", ErrShortBuffer)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		ent := JoinDirEntry{Obj: d.U32(), Barrier: d.U8() != 0}
+		ent.Gen = d.U64()
+		ent.Home = d.U32()
+		m.Dir = append(m.Dir, ent)
+	}
+	m.Data = d.Updates()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decoding JoinAccept: %w", err)
+	}
+	return m, nil
+}
+
+// DecodeJoinAccept parses a JoinAccept payload; update data is a
+// zero-copy view into buf.
+func DecodeJoinAccept(buf []byte) (*JoinAccept, error) {
+	return decodeJoinAccept(NewDecoder(buf))
+}
+
+// DecodeJoinAcceptCopy parses a JoinAccept payload, copying update data
+// out of buf.
+func DecodeJoinAcceptCopy(buf []byte) (*JoinAccept, error) {
+	return decodeJoinAccept(NewCopyingDecoder(buf))
+}
+
+// Membership transition actions carried by a MembershipChange broadcast.
+const (
+	// MemberJoined announces a committed join.
+	MemberJoined uint8 = iota
+	// MemberLeft announces a completed graceful drain.
+	MemberLeft
+)
+
+// MembershipChange announces one committed membership transition.  Epoch
+// is the new membership generation — the fence against which stale
+// traffic from departed members is rejected.  Cycles is the simulated
+// clock at the coordinating node when the transition committed.
+type MembershipChange struct {
+	Epoch  uint64
+	Node   uint32
+	Action uint8
+	Cycles uint64
+}
+
+// EncodedSize returns the exact encoded length.
+func (m *MembershipChange) EncodedSize() int { return 8 + 4 + 1 + 8 }
+
+// EncodeInto appends the announcement to e.
+func (m *MembershipChange) EncodeInto(e *Encoder) {
+	e.Grow(m.EncodedSize())
+	e.U64(m.Epoch)
+	e.U32(m.Node)
+	e.U8(m.Action)
+	e.U64(m.Cycles)
+}
+
+// Encode serializes the announcement.
+func (m *MembershipChange) Encode() []byte { return Encode(m) }
+
+// DecodeMembershipChange parses a MembershipChange payload.
+func DecodeMembershipChange(buf []byte) (*MembershipChange, error) {
+	d := NewDecoder(buf)
+	m := &MembershipChange{Epoch: d.U64(), Node: d.U32(), Action: d.U8()}
+	m.Cycles = d.U64()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decoding MembershipChange: %w", err)
 	}
 	return m, nil
 }

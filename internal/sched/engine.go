@@ -139,11 +139,49 @@ func New(n, threads int, hooks Hooks) *Engine {
 	return e
 }
 
+// SetDormant marks node i as initially absent: Run spawns no goroutine
+// for it and does not wait on it.  A dormant node enters the simulation
+// only through Launch.  Must be called before Run.
+func (e *Engine) SetDormant(i int) {
+	e.mu.Lock()
+	if e.state[i] != stateDone {
+		e.state[i] = stateDone
+		e.doneCount++
+	}
+	e.mu.Unlock()
+}
+
+/// Launch activates a dormant (or previously finished) node mid-run: its
+// goroutine is spawned ready and resumes when the next parallel phase
+// opens, so an elastic join lands at a quiescence boundary like every
+// other membership event.  Call only from the engine goroutine (a
+// Dispatch handler or a RunAtQuiescence callback); launching from a
+// parallel phase would race the quiescence accounting.  Returns false if
+// the node is currently active or the run has aborted.
+func (e *Engine) Launch(i int, fn func(node int)) bool {
+	e.mu.Lock()
+	if e.aborted || e.state[i] != stateDone {
+		e.mu.Unlock()
+		return false
+	}
+	e.state[i] = stateReady
+	e.doneCount--
+	e.mu.Unlock()
+	go e.wrapper(i, fn)
+	return true
+}
+
 // Run executes fn once per node under lockstep control and returns when
 // every node is done.  It runs the delivery phases on the calling
 // goroutine.
 func (e *Engine) Run(fn func(node int)) {
+	e.mu.Lock()
+	dormant := append([]nodeState(nil), e.state...)
+	e.mu.Unlock()
 	for i := 0; i < e.n; i++ {
+		if dormant[i] == stateDone {
+			continue // absent until Launch
+		}
 		go e.wrapper(i, fn)
 	}
 	for {

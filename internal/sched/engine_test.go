@@ -192,6 +192,61 @@ func TestEngineRunAtQuiescence(t *testing.T) {
 	}
 }
 
+func TestEngineDormantLaunch(t *testing.T) {
+	// A dormant node takes no part in the run until Launch activates it
+	// from a quiescence point; afterwards it participates like any other
+	// node and the run terminates only when it too is done.
+	n := 3
+	net := transport.NewSteppedNetwork(n)
+	net.SetArrival(func(m transport.Message) uint64 { return m.Time + 1 })
+	var eng *Engine
+	var joinedRounds atomic.Int64
+	eng = New(n, 0, Hooks{
+		NextMessage: net.PopMin,
+		Dispatch:    func(m transport.Message, at uint64) { eng.Wake(m.To) },
+		OnDeadlock:  func(blocked []int) { t.Errorf("deadlock, blocked %v", blocked); eng.Abort() },
+	})
+	eng.SetDormant(2)
+	joiner := func(i int) {
+		conn := net.Conn(i)
+		for r := 0; r < 3; r++ {
+			if err := conn.Send(transport.Message{From: i, To: i, Time: uint64(100 + r)}); err != nil {
+				t.Errorf("joiner: %v", err)
+				return
+			}
+			if !eng.Block(i) {
+				return
+			}
+			joinedRounds.Add(1)
+		}
+	}
+	eng.Run(func(i int) {
+		conn := net.Conn(i)
+		if err := conn.Send(transport.Message{From: i, To: i, Time: uint64(i)}); err != nil {
+			t.Errorf("node %d: %v", i, err)
+			return
+		}
+		if !eng.Block(i) {
+			return
+		}
+		if i == 0 {
+			if !eng.RunAtQuiescence(0, func() {
+				if !eng.Launch(2, joiner) {
+					t.Error("Launch of a dormant node failed")
+				}
+				if eng.Launch(2, joiner) {
+					t.Error("double Launch of the same node succeeded")
+				}
+			}) {
+				t.Error("RunAtQuiescence returned false")
+			}
+		}
+	})
+	if got := joinedRounds.Load(); got != 3 {
+		t.Errorf("launched node completed %d rounds, want 3", got)
+	}
+}
+
 func TestEngineAbortUnblocks(t *testing.T) {
 	// Abort during a run makes every parked Block return false.
 	n := 4

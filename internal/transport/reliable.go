@@ -189,6 +189,40 @@ func (r *ReliableNetwork) ForgetPeer(k int) {
 	}
 }
 
+// ResetPeer erases the sequencing relationship with node k in both
+// directions, on every endpoint including k's own.  ForgetPeer alone is
+// not enough for a node id that departs and later rejoins: the survivors'
+// sendSeq/recvSeq counters toward k and k's whole per-peer state survive
+// it, so the rejoined node's first envelope (seq 1) would be discarded as
+// a stale duplicate and every conversation with it would deadlock in the
+// retransmit window.  After ResetPeer both sides restart from sequence
+// zero, as if the pair had never spoken.
+func (r *ReliableNetwork) ResetPeer(k int) {
+	r.errMu.Lock()
+	conns := append([]*reliableConn(nil), r.conns...)
+	r.errMu.Unlock()
+	for _, c := range conns {
+		if c == nil {
+			continue
+		}
+		c.mu.Lock()
+		if c.id == k {
+			// The departed endpoint itself: drop every per-peer counter and
+			// window, so a rejoin starts fresh toward all peers.
+			for i := range c.sendSeq {
+				c.sendSeq[i], c.recvSeq[i] = 0, 0
+				c.unacked[i] = make(map[uint64]*unackedMsg)
+				c.heldBack[i] = make(map[uint64]Message)
+			}
+		} else if k >= 0 && k < len(c.sendSeq) {
+			c.sendSeq[k], c.recvSeq[k] = 0, 0
+			c.unacked[k] = make(map[uint64]*unackedMsg)
+			c.heldBack[k] = make(map[uint64]Message)
+		}
+		c.mu.Unlock()
+	}
+}
+
 // Close shuts down every endpoint and the inner network.
 func (r *ReliableNetwork) Close() error {
 	r.errMu.Lock()
@@ -286,6 +320,7 @@ func (c *reliableConn) Send(m Message) error {
 		From:    m.From,
 		To:      m.To,
 		Kind:    proto.KindReliableData,
+		Epoch:   m.Epoch,
 		Time:    m.Time,
 		Payload: env.Encode(),
 	}
@@ -428,9 +463,10 @@ func (c *reliableConn) handleData(m Message, env *proto.ReliableData) {
 	})
 }
 
-// unwrap reconstructs the original message from its envelope.
+// unwrap reconstructs the original message from its envelope.  The
+// membership epoch rides the outer header, so it survives the wrapping.
 func unwrap(m Message, env *proto.ReliableData) Message {
-	return Message{From: m.From, To: m.To, Kind: env.Kind, Time: m.Time, Payload: env.Payload}
+	return Message{From: m.From, To: m.To, Kind: env.Kind, Epoch: m.Epoch, Time: m.Time, Payload: env.Payload}
 }
 
 // retransmitLoop resends unacknowledged envelopes with exponential

@@ -107,6 +107,67 @@ func TestReliableGiveUp(t *testing.T) {
 	}
 }
 
+// TestReliableResetPeerRejoin is the departed-then-rejoined regression:
+// after a node id leaves (its peers call ForgetPeer) and the same id
+// rejoins, both directions must restart from sequence zero.  Without
+// ResetPeer the survivor's sendSeq toward the id keeps counting and the
+// rejoined endpoint's stale recvSeq discards the survivor's next message
+// as a duplicate — the exchange below then times out.
+func TestReliableResetPeerRejoin(t *testing.T) {
+	net := NewReliableNetwork(NewChannelNetwork(2), ReliableOptions{
+		RetransmitInitial: time.Millisecond,
+		RetransmitMax:     2 * time.Millisecond,
+		GiveUp:            10,
+	})
+	defer net.Close()
+	c0, c1 := net.Conn(0), net.Conn(1)
+
+	exchange := func(tag string, seq uint64) {
+		t.Helper()
+		if err := c0.Send(Message{From: 0, To: 1, Kind: proto.KindLockAcquire, Time: seq}); err != nil {
+			t.Fatalf("%s: send: %v", tag, err)
+		}
+		done := make(chan Message, 1)
+		go func() {
+			m, err := c1.Recv()
+			if err != nil {
+				t.Errorf("%s: recv: %v", tag, err)
+			}
+			done <- m
+		}()
+		select {
+		case m := <-done:
+			if m.Time != seq {
+				t.Fatalf("%s: got message stamped %d, want %d", tag, m.Time, seq)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: delivery timed out (stale seq/ACK state)", tag)
+		}
+	}
+
+	exchange("before departure", 1)
+
+	// Node 1 departs: peers forget it, then the same id rejoins with a
+	// fresh sequencing history on its side (simulated by resetting it).
+	net.ForgetPeer(1)
+	net.ResetPeer(1)
+
+	// The survivor's first message to the rejoined id must carry seq 1
+	// again and be accepted, not discarded as a duplicate of the old
+	// conversation.
+	exchange("after rejoin", 2)
+
+	c0.(*reliableConn).mu.Lock()
+	sentSeq := c0.(*reliableConn).sendSeq[1]
+	c0.(*reliableConn).mu.Unlock()
+	if sentSeq != 1 {
+		t.Errorf("survivor sendSeq toward rejoined peer = %d, want 1 (fresh window)", sentSeq)
+	}
+	if err := net.Err(); err != nil {
+		t.Errorf("rejoin exchange recorded error: %v", err)
+	}
+}
+
 // TestReliableSelfSendPassthrough checks that self-addressed messages
 // (shutdown) bypass sequencing and still arrive.
 func TestReliableSelfSendPassthrough(t *testing.T) {

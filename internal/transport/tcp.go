@@ -77,6 +77,7 @@ func (p *peer) writeFrame(m Message, timeout time.Duration) error {
 	binary.LittleEndian.PutUint16(hdr[4:], uint16(m.From))
 	binary.LittleEndian.PutUint16(hdr[6:], uint16(m.To))
 	hdr[8] = byte(m.Kind)
+	binary.LittleEndian.PutUint16(hdr[10:], m.Epoch)
 	binary.LittleEndian.PutUint64(hdr[12:], m.Time)
 	var sum [4]byte
 	crc := proto.Checksum(hdr[4:])
@@ -123,6 +124,7 @@ func readFrame(r *bufio.Reader) (Message, error) {
 		From:    int(binary.LittleEndian.Uint16(body[0:])),
 		To:      int(binary.LittleEndian.Uint16(body[2:])),
 		Kind:    proto.Kind(body[4]),
+		Epoch:   binary.LittleEndian.Uint16(body[6:8]),
 		Time:    binary.LittleEndian.Uint64(body[8:16]),
 		Payload: body[16:],
 	}

@@ -31,6 +31,10 @@ import (
 type Message struct {
 	From, To int
 	Kind     proto.Kind
+	// Epoch is the sender's membership generation at the moment of send,
+	// carried in the frame header's pad bytes.  Zero for fixed-membership
+	// systems, so their wire bytes are unchanged.
+	Epoch uint16
 	// Time is the sender's simulated cycle clock at the moment of send.
 	Time uint64
 	// Payload is the proto-encoded message body.
@@ -42,7 +46,9 @@ type Message struct {
 func (m Message) Size() int { return headerSize + len(m.Payload) }
 
 // headerSize is the fixed per-message framing overhead: length (4),
-// from (2), to (2), kind (1), pad (3), time (8).
+// from (2), to (2), kind (1), pad (1), epoch (2), time (8).  The
+// membership epoch occupies two former pad bytes, so carrying it costs
+// nothing under the network cost model.
 const headerSize = 20
 
 // ErrClosed is returned by operations on a closed connection.

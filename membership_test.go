@@ -1,0 +1,240 @@
+package midway_test
+
+import (
+	"testing"
+
+	"midway"
+	"midway/internal/apps/churn"
+	"midway/internal/member"
+)
+
+// churnSchedule is the shared elastic schedule for the membership
+// acceptance tests: two spares join mid-run, then one founder and one of
+// the spares drain gracefully.
+func churnSchedule() churn.Config {
+	return churn.Config{
+		Tasks:      96,
+		WorkCycles: 2000,
+		Joins:      []member.ScheduleEntry{{Node: 2, Round: 10}, {Node: 3, Round: 20}},
+		Drains:     []member.ScheduleEntry{{Node: 1, Round: 48}, {Node: 2, Round: 60}},
+	}
+}
+
+// TestElasticMatchesFixedMembership is the headline acceptance check: a
+// run with a mid-run join and a mid-run graceful drain completes with the
+// same final memory contents as a fixed-membership run of the surviving
+// set.
+func TestElasticMatchesFixedMembership(t *testing.T) {
+	for _, sched := range []string{"goroutine", "lockstep"} {
+		fixed, err := churn.Run(
+			midway.Config{Nodes: 2, Strategy: midway.RT, Sched: sched},
+			churn.Config{Tasks: 96, WorkCycles: 2000})
+		if err != nil {
+			t.Fatalf("fixed/%s: %v", sched, err)
+		}
+		elastic, err := churn.Run(
+			midway.Config{Nodes: 2, MaxNodes: 4, Strategy: midway.RT, Sched: sched},
+			churnSchedule())
+		if err != nil {
+			t.Fatalf("elastic/%s: %v", sched, err)
+		}
+		if elastic.Checksum != fixed.Checksum {
+			t.Errorf("%s: elastic checksum %g != fixed checksum %g",
+				sched, elastic.Checksum, fixed.Checksum)
+		}
+	}
+}
+
+// TestLockstepChurnByteIdentical runs the same churn schedule twice under
+// the lockstep engine and demands byte-identical simulated results:
+// checksum, simulated time, and every traffic counter.
+func TestLockstepChurnByteIdentical(t *testing.T) {
+	run := func() (float64, float64, uint64, uint64) {
+		r, err := churn.Run(
+			midway.Config{Nodes: 2, MaxNodes: 4, Strategy: midway.VM, Sched: "lockstep"},
+			churnSchedule())
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return r.Checksum, r.Seconds, r.Total.BytesTransferred, r.Total.Messages
+	}
+	c1, s1, b1, m1 := run()
+	c2, s2, b2, m2 := run()
+	if c1 != c2 || s1 != s2 || b1 != b2 || m1 != m2 {
+		t.Fatalf("lockstep churn not byte-identical: (%g,%g,%d,%d) vs (%g,%g,%d,%d)",
+			c1, s1, b1, m1, c2, s2, b2, m2)
+	}
+}
+
+// TestJoinUnderPartition joins a node while the transport is dropping,
+// duplicating, reordering and delaying messages: the reliability layer
+// must hide every fault from the handshake and the run must still verify.
+func TestJoinUnderPartition(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		cfg := midway.Config{
+			Nodes: 2, MaxNodes: 3, Strategy: midway.RT,
+			FaultSpec: "drop=0.05,dup=0.02,reorder=0.1,delay=200us,seed=" +
+				string(rune('0'+seed%10)),
+		}
+		r, err := churn.Run(cfg, churn.Config{
+			Tasks:      48,
+			WorkCycles: 2000,
+			Joins:      []member.ScheduleEntry{{Node: 2, Round: 8}},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Checksum == 0 {
+			t.Fatalf("seed %d: zero checksum", seed)
+		}
+	}
+}
+
+// TestCrashDuringDrainDegrades asks a node to drain, then crashes it
+// before it reaches its release boundary: the run must fall back to the
+// crash-reclamation path (no deadlock, no double-reclaim) and the
+// survivors complete the workload.
+func TestCrashDuringDrainDegrades(t *testing.T) {
+	for _, sched := range []string{"goroutine", "lockstep"} {
+		sys, err := midway.NewSystem(midway.Config{
+			Nodes: 3, MaxNodes: 3, Strategy: midway.RT,
+			Sched: sched, OnCrash: midway.CrashDegrade,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const perNode = 4
+		counter := sys.MustAlloc("counter", 8, 8)
+		lock := sys.NewLock("counter", midway.RangeAt(counter, 8))
+		done := sys.NewBarrier("done")
+		err = sys.Run(func(p *midway.Proc) {
+			id := p.ID()
+			for i := 0; i < perNode; i++ {
+				p.Acquire(lock)
+				p.WriteU64(counter, p.ReadU64(counter)+1)
+				p.Release(lock)
+				if id == 2 && i == 1 {
+					// The drain request lands, but the node dies holding
+					// the lock before its next release boundary.
+					sys.DrainNode(2)
+					p.Acquire(lock)
+					p.WriteU64(counter, p.ReadU64(counter)+100)
+					p.Crash()
+				}
+			}
+			// Rendezvous (the barrier re-forms over the survivors), then
+			// node 0 pulls the token once so ReadFinal sees the final
+			// counter in its local copy.
+			p.Barrier(done)
+			if id == 0 {
+				p.Acquire(lock)
+				p.Release(lock)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s: run failed instead of degrading: %v", sched, err)
+		}
+		// The crashed node's unreleased +100 must be discarded; its prior
+		// released increments may or may not survive reclamation
+		// (recovery restores the last live predecessor's copy).
+		got := sys.ReadFinalU64(counter)
+		if got < 2*perNode || got > 2*perNode+2 {
+			t.Errorf("%s: counter = %d, want in [%d, %d]", sched, got, 2*perNode, 2*perNode+2)
+		}
+		if st := sys.MemberStatus(2); st != midway.MemberDead {
+			t.Errorf("%s: node 2 status = %v, want dead", sched, st)
+		}
+		rep := sys.CrashReport()
+		if rep == nil || len(rep.Nodes) != 1 || rep.Nodes[0] != 2 {
+			t.Errorf("%s: crash report = %+v, want nodes [2]", sched, rep)
+		}
+	}
+}
+
+// TestDoubleJoinSameID checks the error paths of the admission handshake:
+// joining a live member, a node beyond capacity, and the same id twice.
+func TestDoubleJoinSameID(t *testing.T) {
+	sys, err := midway.NewSystem(midway.Config{Nodes: 2, MaxNodes: 3, Strategy: midway.RT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := sys.MustAlloc("counter", 8, 8)
+	lock := sys.NewLock("counter", midway.RangeAt(counter, 8))
+	done := sys.NewBarrier("done")
+	err = sys.Run(func(p *midway.Proc) {
+		if p.ID() == 0 {
+			if err := p.Join(1); err == nil {
+				panic("join of live member 1 accepted")
+			}
+			if err := p.Join(5); err == nil {
+				panic("join beyond capacity accepted")
+			}
+			if err := p.Join(2); err != nil {
+				panic("first join of 2 rejected: " + err.Error())
+			}
+			if err := p.Join(2); err == nil {
+				panic("double join of 2 accepted")
+			}
+		}
+		p.Acquire(lock)
+		p.WriteU64(counter, p.ReadU64(counter)+1)
+		p.Release(lock)
+		// Funnel the final value through node 0 for ReadFinal.
+		p.Barrier(done)
+		if p.ID() == 0 {
+			p.Acquire(lock)
+			p.Release(lock)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ReadFinalU64(counter); got != 3 {
+		t.Errorf("counter = %d, want 3 (founders plus joiner)", got)
+	}
+}
+
+// TestMembershipEventsTimeline checks that the public membership event log
+// records the schedule in order with monotone epochs.
+func TestMembershipEventsTimeline(t *testing.T) {
+	sys, err := midway.NewSystem(midway.Config{
+		Nodes: 2, MaxNodes: 3, Strategy: midway.RT, Sched: "lockstep",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := sys.MustAlloc("counter", 8, 8)
+	lock := sys.NewLock("counter", midway.RangeAt(counter, 8))
+	err = sys.Run(func(p *midway.Proc) {
+		id := p.ID()
+		for i := 0; i < 4; i++ {
+			p.Acquire(lock)
+			p.WriteU64(counter, p.ReadU64(counter)+1)
+			p.Release(lock)
+			if id == 0 && i == 0 {
+				if err := p.Join(2); err != nil {
+					panic(err)
+				}
+			}
+			if id == 2 && i >= 2 {
+				p.Leave()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := sys.MembershipEvents()
+	if len(evs) != 2 {
+		t.Fatalf("events = %+v, want join then departure", evs)
+	}
+	if evs[0].Node != 2 || evs[0].Action != midway.MemberJoined {
+		t.Errorf("first event = %+v, want node 2 joined", evs[0])
+	}
+	if evs[1].Node != 2 || evs[1].Action != midway.MemberDeparted {
+		t.Errorf("second event = %+v, want node 2 departed", evs[1])
+	}
+	if evs[0].Epoch >= evs[1].Epoch {
+		t.Errorf("epochs not monotone: %d then %d", evs[0].Epoch, evs[1].Epoch)
+	}
+}

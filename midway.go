@@ -53,6 +53,7 @@ import (
 	"midway/internal/cost"
 	"midway/internal/detect"
 	"midway/internal/health"
+	"midway/internal/member"
 	"midway/internal/memory"
 	"midway/internal/obs"
 	"midway/internal/sched"
@@ -154,12 +155,65 @@ type ReclaimedLock = core.ReclaimedLock
 // ReformedBarrier records one barrier-membership reform in a CrashReport.
 type ReformedBarrier = core.ReformedBarrier
 
+// MemberAction is one kind of committed membership transition.
+type MemberAction = member.Action
+
+// Membership transitions.
+const (
+	// MemberJoined records a committed runtime join.
+	MemberJoined = member.Joined
+	// MemberDeparted records a completed graceful leave.
+	MemberDeparted = member.Departed
+	// MemberDied records a crash declaration.
+	MemberDied = member.Died
+)
+
+// MembershipEvent is one committed membership transition: the epoch it
+// established, the node, the action, and the simulated instant.
+type MembershipEvent = member.Event
+
+// MemberState is one node id's standing in an elastic membership.
+type MemberState = member.Status
+
+// Member states, as reported by System.MemberStatus.
+const (
+	// MemberAbsent ids are provisioned capacity that has never joined.
+	MemberAbsent = member.Absent
+	// MemberLive ids are full members.
+	MemberLive = member.Live
+	// MemberDraining ids are members with a pending graceful leave.
+	MemberDraining = member.Draining
+	// MemberLeft ids departed gracefully; their state was handed off.
+	MemberLeft = member.Left
+	// MemberDead ids crashed and were declared; their state was reclaimed.
+	MemberDead = member.Dead
+)
+
+// ParseMemberSchedule parses a churn schedule of the form
+// "NODE@ROUND,NODE@ROUND,..." (e.g. "4@2,5@3"), as accepted by the
+// midway-run -join and -drain flags.
+func ParseMemberSchedule(s string) ([]member.ScheduleEntry, error) {
+	return member.ParseSchedule(s)
+}
+
 // Config describes a DSM system.  The zero value of every optional field
 // selects the paper's testbed parameters: Mach 3.0 exception costs, 4 KB
 // pages, a 140 Mbit/s ATM interconnect, and 1 MiB regions.
 type Config struct {
 	// Nodes is the number of processors (required, >= 1).
 	Nodes int
+	// MaxNodes, when set above Nodes, enables elastic membership: the
+	// system provisions capacity for MaxNodes processors but starts the
+	// run with only the founding Nodes.  Ids in [Nodes, MaxNodes) are
+	// absent until admitted at runtime with Proc.Join, and any member may
+	// depart gracefully with Proc.Leave (or be asked to via
+	// System.DrainNode).  Setting MaxNodes == Nodes enables the membership
+	// machinery (graceful leaves, the member table) at fixed capacity.
+	// Manager placement hashes over the founding ids only, so a
+	// fixed-membership run's results are unchanged by provisioning spare
+	// capacity.  Elastic membership requires the all-hosted configuration:
+	// multi-process deployments (TCPAddrs) are rejected.
+	MaxNodes int
 	// Strategy selects the write-detection mechanism.
 	Strategy Strategy
 	// Scheme optionally selects the write-detection scheme by registry
@@ -345,6 +399,14 @@ func NewSystem(cfg Config) (*System, error) {
 	} else if cfg.SchedThreads != 0 {
 		return nil, fmt.Errorf("midway: SchedThreads set without Sched=lockstep")
 	}
+	if cfg.MaxNodes != 0 {
+		if cfg.MaxNodes < cfg.Nodes {
+			return nil, fmt.Errorf("midway: MaxNodes %d below Nodes %d", cfg.MaxNodes, cfg.Nodes)
+		}
+		if len(cfg.TCPAddrs) > 0 {
+			return nil, fmt.Errorf("midway: elastic membership (MaxNodes) requires the all-hosted configuration; it cannot drive a multi-process TCP deployment (TCPAddrs)")
+		}
+	}
 	tr, err := newTracer(cfg)
 	if err != nil {
 		return nil, err
@@ -362,6 +424,7 @@ func NewSystem(cfg Config) (*System, error) {
 		CompatCodec:         cfg.CompatCodec,
 		Lockstep:            lockstep,
 		SchedThreads:        cfg.SchedThreads,
+		MaxNodes:            cfg.MaxNodes,
 	}
 	if cfg.PageFaultMicros > 0 {
 		cc.Cost = cc.Cost.WithFaultMicros(cfg.PageFaultMicros)
@@ -392,6 +455,12 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("midway: SuspectAfter set without Heartbeat")
 	}
 	reliable := cfg.Reliable || cfg.ReliableSpec != "" || fc.Active() || hb > 0
+	// Elastic membership provisions transport endpoints for the full
+	// capacity up front; absent nodes' endpoints idle until a join.
+	total := cfg.Nodes
+	if cfg.MaxNodes > total {
+		total = cfg.MaxNodes
+	}
 	switch {
 	case len(cfg.TCPAddrs) > 0:
 		net, err := transport.DialTCPNode(cfg.TCPNodeID, cfg.Nodes, cfg.TCPAddrs)
@@ -401,7 +470,7 @@ func NewSystem(cfg Config) (*System, error) {
 		cc.Transport = net
 		cc.LocalNode = cfg.TCPNodeID
 	case cfg.UseTCP:
-		net, err := transport.NewLoopbackTCPNetwork(cfg.Nodes)
+		net, err := transport.NewLoopbackTCPNetwork(total)
 		if err != nil {
 			return nil, fmt.Errorf("midway: %w", err)
 		}
@@ -409,7 +478,7 @@ func NewSystem(cfg Config) (*System, error) {
 	case reliable:
 		// Wrapping requires owning the base network core would otherwise
 		// create for itself.
-		cc.Transport = transport.NewChannelNetwork(cfg.Nodes)
+		cc.Transport = transport.NewChannelNetwork(total)
 	}
 	if fc.Active() {
 		fn := transport.NewFaultNetwork(cc.Transport, fc)
@@ -427,11 +496,46 @@ func NewSystem(cfg Config) (*System, error) {
 			Trace:        tr,
 		})
 		cc.Transport = mon
+		// Provisioned-but-absent ids must not be suspected for their
+		// pre-join silence; a committed join reactivates them below.
+		for i := cfg.Nodes; i < cfg.MaxNodes; i++ {
+			mon.SetActive(i, false)
+		}
 	}
 	var rel *transport.ReliableNetwork
 	if reliable {
 		rel = transport.NewReliableNetwork(cc.Transport, ro)
 		cc.Transport = rel
+	}
+	if cfg.MaxNodes > 0 && (mon != nil || rel != nil) {
+		// Keep the wall-clock transport layers in step with committed
+		// membership transitions: a joiner starts with fresh sequencing
+		// state and liveness expectations; a departed node is neither
+		// suspected nor retransmitted to.
+		cc.OnMembership = func(node int, action member.Action, epoch uint64) {
+			switch action {
+			case member.Joined:
+				if rel != nil {
+					rel.ResetPeer(node)
+				}
+				if mon != nil {
+					mon.SetActive(node, true)
+				}
+			case member.Departed:
+				if rel != nil {
+					rel.ForgetPeer(node)
+				}
+				if mon != nil {
+					mon.SetActive(node, false)
+				}
+			case member.Died:
+				// OnDeath already forgets unacked traffic; just silence
+				// the monitor so the corpse is not re-suspected.
+				if mon != nil {
+					mon.SetActive(node, false)
+				}
+			}
+		}
 	}
 	cc.OnCrash = cfg.OnCrash
 	cc.CrashDetectCycles = cfg.CrashDetectCycles
@@ -608,6 +712,35 @@ func (s *System) KillNode(k int) { s.inner.KillNode(k) }
 // declared dead, or nil if none were.
 func (s *System) CrashReport() *CrashReport { return s.inner.CrashReport() }
 
+// DrainNode asks node k to leave gracefully: the member table marks it
+// draining, and its application observes the request through
+// Proc.Draining and departs with Proc.Leave at a release boundary of its
+// choosing.  Returns false when membership is off (Config.MaxNodes zero)
+// or k is not currently a live member.  The request is protocol-invisible
+// until the node acts on it, so issuing it from outside the run (or from
+// another node's application, which keeps lockstep runs deterministic) is
+// safe at any time.
+func (s *System) DrainNode(k int) bool { return s.inner.DrainNode(k) }
+
+// Members returns the current member ids (live and draining), sorted.
+// Before Run it is the founding set; afterwards it reflects every
+// committed join and departure.  Nil when membership is off.
+func (s *System) Members() []int { return s.inner.Members() }
+
+// MemberStatus reports node k's standing in the membership.
+// Fixed-membership systems report every hosted node as MemberLive.
+func (s *System) MemberStatus(k int) MemberState { return s.inner.MemberStatus(k) }
+
+// MembershipEpoch returns the current membership epoch: zero for the
+// founding membership, incremented by every committed join, graceful
+// departure and crash declaration.
+func (s *System) MembershipEpoch() uint64 { return s.inner.MembershipEpoch() }
+
+// MembershipEvents returns the committed membership transitions in commit
+// order, each with the epoch it established and the simulated instant.
+// Nil when membership is off or the membership never changed.
+func (s *System) MembershipEvents() []MembershipEvent { return s.inner.MembershipEvents() }
+
 // Stats returns per-processor counters of the primitive write-detection
 // operations.
 func (s *System) Stats() []stats.Snapshot { return s.inner.Stats() }
@@ -771,6 +904,33 @@ func (p *Proc) Barrier(b BarrierID) { p.inner.Barrier(b) }
 // last-released state, and barriers re-form over the survivors.  The
 // run's fate is decided by Config.OnCrash.
 func (p *Proc) Crash() { p.inner.Crash() }
+
+// Join sponsors the runtime admission of node id (an absent or previously
+// departed id below Config.MaxNodes) and blocks until the join commits:
+// the joiner receives the synchronization directory and the barrier-bound
+// data from this node, is announced to every member, and starts executing
+// the run function.  The caller must not hold any lock (the sponsor's
+// quiescence is what makes the transferred state a consistent release
+// boundary).  Returns an error if the id is already a member, out of
+// range, mid-admission, or if the joiner dies before committing.
+func (p *Proc) Join(id int) error { return p.inner.Join(id) }
+
+// Leave departs this node gracefully at the current release boundary and
+// does not return: held lock tokens must already be released (holding one
+// panics), the node's authoritative copies and manager roles are handed
+// to a successor, its barrier membership is dissolved, and the departure
+// is announced to every member.  After Leave the id may be re-admitted
+// with Join.  Requires elastic membership (Config.MaxNodes).
+func (p *Proc) Leave() { p.inner.Leave() }
+
+// Draining reports whether this node has a pending graceful-leave request
+// (System.DrainNode): the application should finish its current unit of
+// work, release everything, and call Leave.
+func (p *Proc) Draining() bool { return p.inner.Draining() }
+
+// Members returns the current member ids (live and draining), sorted.
+// Nil when membership is off.
+func (p *Proc) Members() []int { return p.inner.Members() }
 
 // RangeAt returns the range [a, a+size).
 func RangeAt(a Addr, size uint32) Range { return Range{Addr: a, Size: size} }
