@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	midway-bench [-exp all|fig2|table1|table2|table3|table4|table5|fig3|fig4|uni|ablation|hybrid|scaling]
+//	midway-bench [-exp all|fig2|table1|table2|table3|table4|table5|fig3|fig4|uni|ablation|hybrid|scaling|churn|skew]
 //	             [-procs 8] [-scale small|medium|paper] [-scheme hybrid] [-fault spec]
-//	             [-sched goroutine|lockstep] [-workers n]
+//	             [-sched goroutine|lockstep] [-workers n] [-migrate] [-migrate-threshold 0.6]
 //
 // Examples:
 //
@@ -16,6 +16,7 @@
 //	midway-bench -scale paper         # paper-size inputs (minutes)
 //	midway-bench -sched lockstep      # deterministic parallel simulation core
 //	midway-bench -exp scaling         # 64-256 node engine comparison
+//	midway-bench -exp skew            # lock-home migration off vs on
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, table1, table2, table3, table4, table5, fig3, fig4, uni, ablation, untargetted, combine, speedup, hybrid, churn")
+	exp := flag.String("exp", "all", "experiment: all, fig2, table1, table2, table3, table4, table5, fig3, fig4, uni, ablation, untargetted, combine, speedup, hybrid, churn, skew")
 	procs := flag.Int("procs", 8, "number of processors")
 	scaleName := flag.String("scale", "medium", "input scale: small, medium, paper")
 	scheme := flag.String("scheme", "hybrid",
@@ -50,6 +51,12 @@ func main() {
 		"execution engine for every run: goroutine (default) or lockstep (deterministic parallel simulation core)")
 	scaling := flag.Bool("scaling", false,
 		"run the 64-256 node engine-comparison grid (with -json, added to the report's scaling section)")
+	skewGrid := flag.Bool("skew", false,
+		"run the dynamic-ownership skewed-lock grid, migration off vs on (with -json, added to the report's skew section)")
+	migrate := flag.Bool("migrate", false,
+		"enable dynamic lock-home migration in every run")
+	migrateThreshold := flag.Float64("migrate-threshold", 0,
+		"dominance fraction of a lock's recent acquires that triggers a home migration (0 = default 0.6)")
 	jsonOut := flag.Bool("json", false,
 		"emit the machine-readable evaluation report (simulated results plus wall-clock/alloc measurements) instead of tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -63,6 +70,8 @@ func main() {
 	}
 	bench.FaultSpec = *faultSpec
 	bench.Sched = *sched
+	bench.Migrate = *migrate
+	bench.MigrateThreshold = *migrateThreshold
 	if *sched == "lockstep" {
 		// Keep cells × engine threads within GOMAXPROCS: concurrent cells
 		// already fill the host, so each engine gets the leftover share.
@@ -113,9 +122,9 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonOut {
-		err = runJSON(*procs, scale, *workers, *scaling)
+		err = runJSON(*procs, scale, *workers, *scaling, *skewGrid)
 	} else {
-		err = run(*exp, *procs, scale, *scheme, *workers, *scaling)
+		err = run(*exp, *procs, scale, *scheme, *workers, *scaling, *skewGrid)
 	}
 	if err != nil {
 		pprof.StopCPUProfile()
@@ -127,7 +136,7 @@ func main() {
 // runJSON emits the machine-readable report: the full strategy × app grid
 // with simulated results (diffed by CI against the committed baseline)
 // and wall-clock/allocation measurements (the perf trajectory).
-func runJSON(procs int, scale bench.Scale, workers int, scaling bool) error {
+func runJSON(procs int, scale bench.Scale, workers int, scaling, skewGrid bool) error {
 	rep, err := bench.RunReport(procs, scale, workers)
 	if err != nil {
 		return err
@@ -139,10 +148,17 @@ func runJSON(procs int, scale bench.Scale, workers int, scaling bool) error {
 		}
 		rep.Scaling = cells
 	}
+	if skewGrid {
+		cells, err := bench.RunSkew(scale)
+		if err != nil {
+			return err
+		}
+		rep.Skew = cells
+	}
 	return rep.WriteJSON(os.Stdout)
 }
 
-func run(exp string, procs int, scale bench.Scale, scheme string, workers int, scaling bool) error {
+func run(exp string, procs int, scale bench.Scale, scheme string, workers int, scaling, skewGrid bool) error {
 	w := os.Stdout
 	model := cost.Default()
 
@@ -232,6 +248,16 @@ func run(exp string, procs int, scale bench.Scale, scheme string, workers int, s
 			bench.FprintChurn(w, cells)
 		})
 	}
+	if skewGrid || exp == "skew" {
+		section("skew", func() {
+			cells, err := bench.RunSkew(scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skew: %v\n", err)
+				return
+			}
+			bench.FprintSkew(w, cells)
+		})
+	}
 	section("combine", func() {
 		rows, err := bench.CombineAblation(procs, scale, workers)
 		if err != nil {
@@ -245,7 +271,7 @@ func run(exp string, procs int, scale bench.Scale, scheme string, workers int, s
 		"all": true, "fig2": true, "table1": true, "table2": true, "table3": true,
 		"table4": true, "table5": true, "fig3": true, "fig4": true, "uni": true,
 		"ablation": true, "untargetted": true, "combine": true, "speedup": true,
-		"hybrid": true, "scaling": true, "churn": true,
+		"hybrid": true, "scaling": true, "churn": true, "skew": true,
 	}
 	if !known[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	midway-run -app water|quicksort|matrix|sor|cholesky|churn
+//	midway-run -app water|quicksort|matrix|sor|cholesky|churn|skew
 //	           [-strategy rt|vm|blast|twin|none|hybrid] [-scheme name]
 //	           [-procs 8] [-scale small|medium|paper]
 //	           [-max-nodes 4] [-join 2@8,3@16] [-drain 1@32]
+//	           [-migrate] [-migrate-threshold 0.6]
 //	           [-fault-us 1200] [-latency-us 500] [-bandwidth-mbps 140]
 //	           [-tcp] [-sched goroutine|lockstep] [-eager] [-fault spec] [-reliable]
 //	           [-trace FILE] [-trace-format text|jsonl|chrome] [-profile-objects]
@@ -26,6 +27,7 @@
 //	                                                   # open in chrome://tracing / Perfetto
 //	midway-run -app churn -procs 2 -max-nodes 4 -join 2@8,3@16 -drain 1@32
 //	                                                   # elastic membership: two runtime joins, one drain
+//	midway-run -app skew -procs 8 -migrate             # lock-home migration on the skewed workload
 package main
 
 import (
@@ -66,7 +68,7 @@ func (f *reliableFlag) Set(s string) error {
 }
 
 func main() {
-	app := flag.String("app", "sor", "application: water, quicksort, matrix, sor, cholesky, churn")
+	app := flag.String("app", "sor", "application: water, quicksort, matrix, sor, cholesky, churn, skew")
 	strategyName := flag.String("strategy", "rt", "write detection: rt, vm, blast, twin, none, hybrid")
 	schemeName := flag.String("scheme", "",
 		"write-detection scheme by registry name ("+strings.Join(midway.SchemeNames(), ", ")+"); overrides -strategy")
@@ -89,6 +91,10 @@ func main() {
 	var reliable reliableFlag
 	flag.Var(&reliable, "reliable",
 		"interpose the reliable delivery layer even without -fault; optionally tune it, e.g. -reliable=initial=10ms,max=200ms,giveup=10,jitter=0.2,seed=7")
+	migrate := flag.Bool("migrate", false,
+		"enable dynamic lock-home migration (sharded directory, profile-driven home moves, token-forwarding)")
+	migrateThreshold := flag.Float64("migrate-threshold", 0,
+		"dominance fraction of a lock's recent acquires that triggers a home migration (0 = default 0.6)")
 	eager := flag.Bool("eager", false, "eager dirtybit timestamps (RT only)")
 	combine := flag.Bool("combine", false, "combine VM-DSM incarnation histories (§3.4 alternative)")
 	traceFile := flag.String("trace", "", "write protocol events to this file (\"-\" = stderr)")
@@ -168,6 +174,8 @@ func main() {
 		ReliableSpec:        reliable.spec,
 		EagerTimestamps:     *eager,
 		CombineIncarnations: *combine,
+		Migrate:             *migrate,
+		MigrateThreshold:    *migrateThreshold,
 	}
 	cfg.ProfileObjects = *profileObjects
 	var traceOut *os.File

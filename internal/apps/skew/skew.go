@@ -1,0 +1,212 @@
+// Package skew implements the skewed-lock microworkload used to measure
+// dynamic lock-home migration: a bank of per-counter locks whose
+// popularity follows a seeded zipfian distribution, with each lock's
+// acquires dominated by one node.  Under the static hashed directory
+// every steady-state acquire of a remote-homed lock costs a
+// three-message brokered round trip; with migration on, each lock's home
+// moves to its dominant acquirer and the steady state becomes local, so
+// the per-node protocol message counts flatten and shrink.
+//
+// Every operation adds a deterministic per-(node, op) delta to one
+// counter.  Addition commutes, so the final counter values — and the
+// checksum over them — depend only on the seeded operation streams, not
+// on the interleaving or on whether migration ran: the invariance the
+// migration acceptance tests pin down.
+package skew
+
+import (
+	"fmt"
+	"math"
+
+	"midway"
+	"midway/internal/apps"
+	"midway/internal/stats"
+)
+
+// Config sizes the workload.
+type Config struct {
+	// Locks is the number of counters, each bound to its own lock.
+	Locks int
+	// Ops is the number of operations each node performs.
+	Ops int
+	// WorkCycles is the simulated computation charged per operation,
+	// outside the critical section.
+	WorkCycles uint64
+	// HotMillis is the per-mille probability that an operation targets a
+	// lock from the node's own partition (the locks it dominates); the
+	// rest go to a zipfian draw over all locks.  Zero selects 900.
+	HotMillis int
+	// Seed seeds the per-node operation streams.
+	Seed uint64
+}
+
+// Default returns the standard cell: enough distinct locks that every
+// node dominates several, with a 90% own-partition bias.
+func Default() Config {
+	return Config{Locks: 32, Ops: 256, WorkCycles: 2000, HotMillis: 900, Seed: 1}
+}
+
+// zipfTable is a cumulative-weight table for rank-biased draws:
+// rank r has weight 1/(r+1)^1.2, so low ranks dominate.
+type zipfTable []float64
+
+func newZipfTable(n int) zipfTable {
+	t := make(zipfTable, n)
+	sum := 0.0
+	for r := 0; r < n; r++ {
+		sum += 1 / math.Pow(float64(r+1), 1.2)
+		t[r] = sum
+	}
+	return t
+}
+
+// draw maps a uniform u in [0,1) to a rank by inverse CDF.
+func (t zipfTable) draw(u float64) int {
+	x := u * t[len(t)-1]
+	lo, hi := 0, len(t)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// delta is the commutative per-operation increment: a splitmix-style mix
+// of the node, operation number and lock, so each counter's final value
+// is a distinct order-insensitive sum.
+func delta(node, op, lock int) uint64 {
+	z := (uint64(node)<<40 + uint64(op)<<16 + uint64(lock)) * 0x9e3779b97f4a7c15
+	z ^= z >> 31
+	z = z * 0xbf58476d1ce4e5b9
+	z ^= z >> 29
+	return z
+}
+
+// dominant assigns each lock the node that dominates its acquires.  The
+// assignment is a hash so it aligns with neither directory layout — not
+// the static round-robin homes nor the migrate-mode hashed shards —
+// which is the realistic case: an application's access pattern does not
+// know where the runtime happened to home its locks.
+func dominant(l, nodes int) int {
+	z := uint64(l)*0xd6e8feb86659fd93 + 0x2545f4914f6cdd1d
+	z ^= z >> 32
+	z *= 0xd6e8feb86659fd93
+	z ^= z >> 29
+	return int(z % uint64(nodes))
+}
+
+// plan holds one node's precomputed operation stream: the lock each
+// operation targets.  Streams depend only on (Seed, node, partition
+// layout), never on timing, so the oracle replays them exactly.
+func plan(cfg Config, nodes, node int) []int {
+	hot := cfg.HotMillis
+	if hot == 0 {
+		hot = 900
+	}
+	// The locks this node dominates, in lock order.
+	var own []int
+	for l := 0; l < cfg.Locks; l++ {
+		if dominant(l, nodes) == node {
+			own = append(own, l)
+		}
+	}
+	ownZipf := newZipfTable(len(own))
+	allZipf := newZipfTable(cfg.Locks)
+	rnd := apps.NewRand(int64(cfg.Seed*0x51ed2701 + uint64(node)))
+	out := make([]int, cfg.Ops)
+	for i := range out {
+		if len(own) > 0 && rnd.Intn(1000) < hot {
+			out[i] = own[ownZipf.draw(rnd.Float64())]
+		} else {
+			out[i] = allZipf.draw(rnd.Float64())
+		}
+	}
+	return out
+}
+
+// Sequential returns the oracle counter values for a run with the given
+// node count.
+func Sequential(cfg Config, nodes int) []uint64 {
+	out := make([]uint64, cfg.Locks)
+	for node := 0; node < nodes; node++ {
+		for op, l := range plan(cfg, nodes, node) {
+			out[l] += delta(node, op, l)
+		}
+	}
+	return out
+}
+
+// Checksum digests a counter array.
+func Checksum(res []uint64) float64 {
+	var sum float64
+	for i, v := range res {
+		sum += float64(v%1000003) * float64(i%31+1)
+	}
+	return sum
+}
+
+// Run executes the workload and verifies the counters against the
+// oracle.
+func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
+	res, _, err := RunDetail(mcfg, cfg)
+	return res, err
+}
+
+// RunDetail is Run plus the per-node statistics snapshots, from which
+// the benchmark derives per-node protocol message loads.
+func RunDetail(mcfg midway.Config, cfg Config) (apps.Result, []stats.Snapshot, error) {
+	if cfg.Locks <= 0 || cfg.Ops <= 0 {
+		return apps.Result{}, nil, fmt.Errorf("skew: Locks and Ops must be positive")
+	}
+	sys, err := midway.NewSystem(mcfg)
+	if err != nil {
+		return apps.Result{}, nil, err
+	}
+	counters := sys.MustAlloc("skew.counters", uint32(cfg.Locks)*8, 8)
+	locks := make([]midway.LockID, cfg.Locks)
+	for l := range locks {
+		locks[l] = sys.NewLock(fmt.Sprintf("skew.c%d", l),
+			midway.RangeAt(counters+midway.Addr(l*8), 8))
+	}
+	done := sys.NewBarrier("skew.done")
+
+	err = sys.Run(func(p *midway.Proc) {
+		id := p.ID()
+		for op, l := range plan(cfg, mcfg.Nodes, id) {
+			p.Compute(cfg.WorkCycles)
+			p.Acquire(locks[l])
+			a := counters + midway.Addr(l*8)
+			p.WriteU64(a, p.ReadU64(a)+delta(id, op, l))
+			p.Release(locks[l])
+		}
+		// Counter writes are release-ordered before the barrier; node 0
+		// then pulls every token once so ReadFinal sees the complete
+		// array (the churn idiom).
+		p.Barrier(done)
+		if id == 0 {
+			for _, lk := range locks {
+				p.Acquire(lk)
+				p.Release(lk)
+			}
+		}
+	})
+	if err != nil {
+		return apps.Result{}, nil, err
+	}
+
+	got := make([]uint64, cfg.Locks)
+	for l := range got {
+		got[l] = sys.ReadFinalU64(counters + midway.Addr(l*8))
+	}
+	want := Sequential(cfg, mcfg.Nodes)
+	for l := range want {
+		if got[l] != want[l] {
+			return apps.Result{}, nil, fmt.Errorf("skew: counter %d = %#x, want %#x", l, got[l], want[l])
+		}
+	}
+	return apps.Collect("skew", sys, mcfg, Checksum(got)), sys.Stats(), nil
+}

@@ -1,0 +1,75 @@
+package skew
+
+import (
+	"testing"
+
+	"midway"
+)
+
+// TestPlanDeterministic pins the operation streams: same config, same
+// streams, and a different seed moves them.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Default()
+	a := plan(cfg, 4, 1)
+	b := plan(cfg, 4, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: %d != %d", i, a[i], b[i])
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 2
+	c := plan(cfg2, 4, 1)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed change did not move the stream")
+	}
+}
+
+// TestDominantBias checks the workload's defining property: each node's
+// stream is dominated by the locks it dominates.
+func TestDominantBias(t *testing.T) {
+	cfg := Default()
+	const nodes = 4
+	for node := 0; node < nodes; node++ {
+		own := 0
+		ops := plan(cfg, nodes, node)
+		for _, l := range ops {
+			if dominant(l, nodes) == node {
+				own++
+			}
+		}
+		if frac := float64(own) / float64(len(ops)); frac < 0.7 {
+			t.Errorf("node %d: only %.0f%% of ops target its own partition", node, frac*100)
+		}
+	}
+}
+
+// TestSequentialMatchesRun verifies the oracle against a real run.
+func TestSequentialMatchesRun(t *testing.T) {
+	cfg := Config{Locks: 8, Ops: 32, WorkCycles: 1000, HotMillis: 900, Seed: 3}
+	if _, err := Run(midway.Config{Nodes: 2, Strategy: midway.RT}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZipfDraw checks the inverse-CDF draw covers the full rank range
+// and is rank-biased.
+func TestZipfDraw(t *testing.T) {
+	tab := newZipfTable(16)
+	if got := tab.draw(0); got != 0 {
+		t.Errorf("draw(0) = %d, want 0", got)
+	}
+	if got := tab.draw(0.999999); got != 15 {
+		t.Errorf("draw(~1) = %d, want 15", got)
+	}
+	if tab.draw(0.1) > tab.draw(0.9) {
+		t.Error("draw is not monotone in u")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"midway/internal/apps/churn"
 	"midway/internal/apps/matmul"
 	"midway/internal/apps/qsort"
+	"midway/internal/apps/skew"
 	"midway/internal/apps/sor"
 	"midway/internal/apps/water"
 	"midway/internal/member"
@@ -106,6 +107,17 @@ var (
 	SchedThreads int
 )
 
+// Migrate, when set, enables dynamic lock-home migration for every
+// system RunApp builds; MigrateThreshold overrides the dominance
+// threshold (zero keeps the default).  The CLIs set both from their
+// -migrate and -migrate-threshold flags.  Simulated results are
+// identical either way — migration changes where the protocol's
+// messages go, not what the application computes.
+var (
+	Migrate          bool
+	MigrateThreshold float64
+)
+
 // JoinSpec and DrainSpec, when non-empty, schedule elastic-membership
 // churn for the churn application ("NODE@ROUND,..." as parsed by
 // member.ParseSchedule).  The CLIs set them from their -join and -drain
@@ -154,6 +166,10 @@ func RunApp(name string, mcfg midway.Config, scale Scale) (apps.Result, error) {
 	}
 	if ProfileObjects {
 		mcfg.ProfileObjects = true
+	}
+	if Migrate && !mcfg.Migrate {
+		mcfg.Migrate = true
+		mcfg.MigrateThreshold = MigrateThreshold
 	}
 	var traceFile *os.File
 	if TraceDir != "" && mcfg.Trace == nil {
@@ -265,6 +281,8 @@ func runApp(name string, mcfg midway.Config, scale Scale) (apps.Result, error) {
 			cfg.Drains = drains
 		}
 		return churn.Run(mcfg, cfg)
+	case "skew":
+		return skew.Run(mcfg, skewConfig(scale))
 	}
 	return apps.Result{}, fmt.Errorf("bench: unknown application %q", name)
 }

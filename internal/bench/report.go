@@ -64,8 +64,11 @@ type Report struct {
 	Scaling []ScaleCell `json:"scaling,omitempty"`
 	// Churn holds the elastic-membership cost cells (runtime join/drain
 	// vs fixed membership); empty unless the churn grid ran.
-	Churn    []ChurnCell `json:"churn,omitempty"`
-	Measured Measured    `json:"measured"`
+	Churn []ChurnCell `json:"churn,omitempty"`
+	// Skew holds the dynamic-ownership message-load cells (lock-home
+	// migration off vs on); empty unless the skew grid ran.
+	Skew     []SkewCell `json:"skew,omitempty"`
+	Measured Measured   `json:"measured"`
 }
 
 // RunReport executes the report grid on a pool of workers goroutines

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"midway"
+	"midway/internal/apps/skew"
+)
+
+// SkewCell is one dynamic-ownership measurement: the seeded-zipfian
+// skewed-lock workload at one topology, run with migration off and on.
+// The workload gives every lock a dominant acquirer that aligns with
+// neither directory layout, so with migration off each steady-state
+// acquire of a remote-homed lock is a brokered three-message round trip;
+// with migration on, each lock's home moves to its dominant acquirer and
+// the steady state goes local.  Both runs must produce the same checksum
+// — the counters are commutative sums, independent of the protocol that
+// moved them.
+type SkewCell struct {
+	Procs   int    `json:"procs"`
+	Sched   string `json:"sched"`
+	Migrate bool   `json:"migrate"`
+	// Messages is the total protocol message count; MsgMax the busiest
+	// node's count and MsgMean the per-node average — migration should
+	// shrink the total and flatten the max toward the mean.
+	Messages uint64  `json:"messages"`
+	MsgMax   uint64  `json:"msg_max"`
+	MsgMean  float64 `json:"msg_mean"`
+	// Imbalance is MsgMax/MsgMean (1.0 = perfectly flat load).
+	Imbalance float64 `json:"imbalance"`
+	// PerNode is each node's protocol message count.
+	PerNode []uint64 `json:"per_node"`
+	// KB is the total data transferred; SimSeconds the simulated time.
+	KB         float64 `json:"kb"`
+	SimSeconds float64 `json:"sim_seconds"`
+	Checksum   float64 `json:"checksum"`
+}
+
+// skewGrid lists the topology points.
+func skewGrid() []int { return []int{2, 4, 8} }
+
+// skewConfig sizes the workload for a scale.
+func skewConfig(scale Scale) skew.Config {
+	cfg := skew.Default()
+	switch scale {
+	case ScaleSmall:
+		cfg.Locks, cfg.Ops = 16, 64
+	case ScaleMedium:
+		cfg.Locks, cfg.Ops = 32, 256
+	case ScalePaper:
+		cfg.Locks, cfg.Ops = 64, 1024
+	}
+	return cfg
+}
+
+// RunSkew measures the skewed-lock grid at the given scale under both
+// execution engines, with migration off and on, asserting that the two
+// protocols compute identical results.
+func RunSkew(scale Scale) ([]SkewCell, error) {
+	var out []SkewCell
+	for _, procs := range skewGrid() {
+		for _, sched := range ScalingScheds {
+			var pair [2]SkewCell
+			for i, migrate := range []bool{false, true} {
+				mcfg := midway.Config{Nodes: procs, Strategy: midway.RT, Migrate: migrate}
+				if migrate && MigrateThreshold != 0 {
+					mcfg.MigrateThreshold = MigrateThreshold
+				}
+				if sched == "lockstep" {
+					mcfg.Sched = sched
+					mcfg.SchedThreads = SchedThreads
+				}
+				res, st, err := skew.RunDetail(mcfg, skewConfig(scale))
+				if err != nil {
+					return nil, fmt.Errorf("bench: skew %dp migrate=%v under %s: %w", procs, migrate, sched, err)
+				}
+				cell := SkewCell{
+					Procs:      procs,
+					Sched:      sched,
+					Migrate:    migrate,
+					PerNode:    make([]uint64, 0, len(st)),
+					KB:         res.KBTransferredTotal(),
+					SimSeconds: res.Seconds,
+					Checksum:   res.Checksum,
+				}
+				for _, s := range st {
+					cell.PerNode = append(cell.PerNode, s.Messages)
+					cell.Messages += s.Messages
+					if s.Messages > cell.MsgMax {
+						cell.MsgMax = s.Messages
+					}
+				}
+				if len(st) > 0 {
+					cell.MsgMean = float64(cell.Messages) / float64(len(st))
+				}
+				if cell.MsgMean > 0 {
+					cell.Imbalance = float64(cell.MsgMax) / cell.MsgMean
+				}
+				pair[i] = cell
+			}
+			if pair[0].Checksum != pair[1].Checksum {
+				return nil, fmt.Errorf("bench: skew %dp under %s: migrate-on checksum %g diverged from migrate-off %g",
+					procs, sched, pair[1].Checksum, pair[0].Checksum)
+			}
+			out = append(out, pair[0], pair[1])
+		}
+	}
+	return out, nil
+}
+
+// FprintSkew renders the dynamic-ownership message-load table.
+func FprintSkew(w io.Writer, cells []SkewCell) {
+	fmt.Fprintln(w, "Dynamic ownership: per-node protocol message load on the skewed-lock workload")
+	fmt.Fprintln(w, "(migration off vs on at identical checksums; migration moves each lock's home to")
+	fmt.Fprintln(w, "its dominant acquirer, so totals shrink and the busiest node flattens toward the mean)")
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "procs\tsched\tmigrate\tmessages\tmax node\tmean node\timbalance\tKB\tsim s")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%d\t%s\t%v\t%d\t%d\t%.1f\t%.2f\t%.1f\t%.4f\n",
+			c.Procs, c.Sched, c.Migrate, c.Messages, c.MsgMax, c.MsgMean,
+			c.Imbalance, c.KB, c.SimSeconds)
+	}
+	tw.Flush()
+}

@@ -228,7 +228,36 @@ type Config struct {
 	// active set and the reliable layer's per-peer state in sync.  It is
 	// called outside all protocol mutexes.
 	OnMembership func(node int, action member.Action, epoch uint64)
+	// Migrate enables dynamic lock ownership: lock and barrier homes are
+	// sharded by a splitmix hash of the object id instead of round-robin,
+	// a lock's home migrates to its dominant acquirer when that node's
+	// share of a sliding acquire window crosses MigrateThreshold, and
+	// contended handoffs forward the waiter queue with the token instead
+	// of re-chasing each waiter through the home.  Off (the default),
+	// every run is byte-identical to the pre-migration protocol.
+	Migrate bool
+	// MigrateThreshold is the acquire share in (0, 1] one node must reach
+	// over the sliding window before the lock's home migrates to it.
+	// Zero means DefaultMigrateThreshold.
+	MigrateThreshold float64
+	// MigrateWindow is the sliding acquire window: the travelling census
+	// halves when its total reaches this many acquires.  Zero means
+	// DefaultMigrateWindow.
+	MigrateWindow int
 }
+
+// Migration policy defaults.
+const (
+	// DefaultMigrateThreshold is the acquire share that triggers a
+	// lock-home migration.
+	DefaultMigrateThreshold = 0.6
+	// DefaultMigrateWindow is the sliding acquire window size.
+	DefaultMigrateWindow = 32
+	// migrateMinSamples is the minimum windowed acquire total before the
+	// dominance test may fire, so a lock does not migrate on its first
+	// couple of acquires.
+	migrateMinSamples = 8
+)
 
 // ObjKind distinguishes locks from barriers in the object table.
 type ObjKind uint8
@@ -345,6 +374,20 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.Obs == nil && cfg.Trace != nil {
 		cfg.Obs = obs.New(obs.Config{Text: cfg.Trace})
+	}
+	if cfg.Migrate {
+		if cfg.MigrateThreshold == 0 {
+			cfg.MigrateThreshold = DefaultMigrateThreshold
+		}
+		if cfg.MigrateThreshold <= 0 || cfg.MigrateThreshold > 1 {
+			return nil, fmt.Errorf("core: MigrateThreshold %g outside (0, 1]", cfg.MigrateThreshold)
+		}
+		if cfg.MigrateWindow == 0 {
+			cfg.MigrateWindow = DefaultMigrateWindow
+		}
+		if cfg.MigrateWindow < migrateMinSamples {
+			return nil, fmt.Errorf("core: MigrateWindow %d below the minimum sample count %d", cfg.MigrateWindow, migrateMinSamples)
+		}
 	}
 	total := cfg.Nodes
 	if cfg.MaxNodes > 0 {
@@ -488,6 +531,22 @@ func (s *System) AllocPrivate(name string, size uint32) (memory.Addr, error) {
 	return s.layout.Alloc(name, size, memory.Private, 0)
 }
 
+// objectHome assigns an object's static directory home.  Migration-off
+// systems keep the historical round-robin assignment so their runs stay
+// byte-identical to the pre-migration protocol; migration-on systems
+// shard by a splitmix hash of the id, so consecutively created objects
+// (typically the hottest) do not concentrate on the low-numbered nodes.
+func (s *System) objectHome(id uint32) int {
+	if !s.cfg.Migrate {
+		return int(id) % s.cfg.Nodes
+	}
+	z := uint64(id)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int(z % uint64(s.cfg.Nodes))
+}
+
 // NewLock creates a lock.  The manager node is chosen by hashing the
 // object id across nodes, as in a static distributed directory.
 func (s *System) NewLock(name string, binding ...memory.Range) LockID {
@@ -501,7 +560,7 @@ func (s *System) NewLock(name string, binding ...memory.Range) LockID {
 		id:      id,
 		kind:    ObjLock,
 		name:    name,
-		manager: int(id) % s.cfg.Nodes,
+		manager: s.objectHome(id),
 		binding: append([]memory.Range(nil), binding...),
 	})
 	s.publishObjects()
@@ -532,7 +591,7 @@ func (s *System) NewBarrier(name string, parties int, binding ...memory.Range) B
 		id:      id,
 		kind:    ObjBarrier,
 		name:    name,
-		manager: int(id) % s.cfg.Nodes,
+		manager: s.objectHome(id),
 		parties: parties,
 		binding: append([]memory.Range(nil), binding...),
 	})
@@ -715,6 +774,10 @@ func (s *System) Run(fn func(p *Proc)) error {
 		defer func() {
 			if r := recover(); r != nil && r != errAborted && r != errCrashed && r != errLeft {
 				errs[i] = fmt.Errorf("core: node %d panicked: %v", i, r)
+				// A dead proc is still a live member: every other node
+				// would wait forever at the next barrier for its entry.
+				// Abort the run so the panic surfaces instead of a hang.
+				s.fail(errs[i])
 			}
 		}()
 		fn(&Proc{node: n})

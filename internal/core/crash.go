@@ -334,9 +334,9 @@ func (s *System) killNodeBody(k int, transportLoss bool) {
 	}
 	if s.members != nil {
 		// A sponsor may be parked on this node's join handshake, which can
-		// now never complete; release it (it re-reads the member table and
-		// reports the failure).
-		s.signalJoinDone(k, recoveryAt)
+		// now never complete; release it with the failure recorded (a
+		// no-op if the handshake already signaled success).
+		s.signalJoinDone(k, recoveryAt, false)
 	}
 
 	s.recoverFrom(k, recoveryAt, transportLoss)
@@ -537,6 +537,12 @@ func (s *System) recoverLockLocked(o *object, k int, recoveryAt uint64, transpor
 		flk.forwardedTo = -1
 		flk.rebound = true
 		flk.bindGen = maxGen + 1
+		// Witness the newest grant timestamp any surviving metadata
+		// records, so the rebind full-resync's stamps dominate stamps that
+		// reached other nodes through the crashed holder.
+		if latestAt >= 0 {
+			s.nodes[final].lamport.Witness(latestAt)
+		}
 		s.nodes[final].det.NotifyRebind(flk)
 		if tr := s.obs; tr != nil {
 			tr.Emit(obs.Event{
@@ -609,6 +615,33 @@ func (s *System) recoverLockLocked(o *object, k int, recoveryAt uint64, transpor
 	seedMgr(mgrNode)
 	if o.manager != mgrNode.id {
 		seedMgr(s.nodes[o.manager])
+	}
+	if s.cfg.Migrate {
+		// Repair every live node's routing view: an override naming the
+		// corpse (or any dead node) is re-pointed at the token's final
+		// location, so post-recovery acquires go straight to the holder
+		// instead of bouncing off a corpse; a live migrated home keeps
+		// brokering, with its routing refreshed to where recovery put the
+		// token.
+		repointed := false
+		for _, peer := range s.nodes {
+			if peer.id == k || !s.liveMember(peer.id) {
+				continue
+			}
+			h := peer.homeOverrideLocked(o.id)
+			if h < 0 {
+				continue
+			}
+			if h == k || !s.homeLive(h) {
+				peer.repointHomeLocked(o.id, final)
+				repointed = true
+			} else {
+				seedMgr(s.nodes[h])
+			}
+		}
+		if repointed {
+			seedMgr(s.nodes[final])
+		}
 	}
 
 	if transportLoss {

@@ -55,6 +55,43 @@ func TestRunSurfacesTransportFailure(t *testing.T) {
 	}
 }
 
+// TestRunSurfacesProcPanic checks that an application panic on one node
+// aborts the whole run: the panic's node is named in the error and the
+// other node — parked at a barrier the dead proc will never enter — is
+// released instead of stranded.  (A recovered proc is still a live
+// member; without the abort, every peer waits on it forever.)
+func TestRunSurfacesProcPanic(t *testing.T) {
+	s, err := NewSystem(Config{Nodes: 2, Strategy: RT, LocalNode: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bar := s.NewBarrier("done", 0)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Run(func(p *Proc) {
+			if p.ID() == 1 {
+				panic("application bug")
+			}
+			p.Barrier(bar)
+		})
+	}()
+	var runErr error
+	select {
+	case runErr = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after a proc panic (peers stranded at the barrier)")
+	}
+	if runErr == nil {
+		t.Fatal("Run returned nil despite a panicking proc")
+	}
+	for _, want := range []string{"node 1", "application bug"} {
+		if !strings.Contains(runErr.Error(), want) {
+			t.Errorf("diagnostic %q missing %q", runErr, want)
+		}
+	}
+}
+
 // TestRunSurfacesDecodeFailure injects an undecodable protocol message and
 // checks Run fails with a diagnostic naming the node, kind and peer.
 func TestRunSurfacesDecodeFailure(t *testing.T) {

@@ -142,11 +142,11 @@ func (s *System) joinFrom(id, origin int) error {
 		// sponsor blocked for: its clock joins it, exactly as a lock
 		// grant's arrival.
 		jn.mu.Lock()
-		doneAt := jn.joinDoneAt
+		doneAt, ok := jn.joinDoneAt, jn.joinOK
 		jn.mu.Unlock()
 		on.cycles.Join(doneAt)
-		if st := mt.Status(id); st != member.Live {
-			return fmt.Errorf("core: join of node %d failed (status %s)", id, st)
+		if !ok {
+			return fmt.Errorf("core: join of node %d failed (status %s)", id, mt.Status(id))
 		}
 		return nil
 	}
@@ -178,10 +178,14 @@ func (s *System) joinFrom(id, origin int) error {
 
 // signalJoinDone releases a sponsor parked in joinFrom on node k's
 // handshake, if one is pending.  The success and failure paths share it;
-// the sponsor re-reads the member table to tell them apart.  at is the
-// simulated completion time the sponsor's clock joins on resume, so the
-// measured join latency covers the whole handshake.
-func (s *System) signalJoinDone(k int, at uint64) {
+// ok tells them apart, captured here rather than left for the sponsor to
+// infer from the member table: the sponsor's goroutine may not be
+// scheduled until long after the handshake — late enough that the joiner
+// has already drained away — and a committed join must still report
+// success.  at is the simulated completion time the sponsor's clock
+// joins on resume, so the measured join latency covers the whole
+// handshake.
+func (s *System) signalJoinDone(k int, at uint64, ok bool) {
 	jn := s.nodes[k]
 	jn.mu.Lock()
 	ready := jn.joinedCh
@@ -189,6 +193,7 @@ func (s *System) signalJoinDone(k int, at uint64) {
 	jn.joinedCh = nil
 	jn.joinSponsor = -1
 	jn.joinDoneAt = at
+	jn.joinOK = ok
 	jn.mu.Unlock()
 	if ready == nil {
 		return
@@ -457,7 +462,7 @@ func (n *Node) completeJoin(acc *proto.JoinAccept, arrival uint64) {
 			s.runFn(n.id, n)
 		}()
 	}
-	s.signalJoinDone(n.id, arrival)
+	s.signalJoinDone(n.id, arrival, true)
 }
 
 // noteMembership witnesses a MembershipChange announcement.  The shared
@@ -674,6 +679,11 @@ func (s *System) leaveLockLocked(o *object, k int, at uint64, acts *recoveryActi
 		sv.rebound = true
 		sv.bindGen = maxGen + 1
 		sv.pendingFence = 0
+		// The handoff is a synchronization edge like any grant: the
+		// successor must witness the leaver's clock, or the stamps on its
+		// rebind full-resync could lose to stamps other nodes obtained
+		// through the leaver and the resync would be discarded as stale.
+		s.nodes[succ].lamport.Witness(s.nodes[k].lamport.Now())
 		s.nodes[succ].det.NotifyRebind(sv)
 		s.nodes[k].st.BytesTransferred.Add(moved)
 		if tr := s.obs; tr != nil {
@@ -730,6 +740,30 @@ func (s *System) leaveLockLocked(o *object, k int, at uint64, acts *recoveryActi
 		seedMgr(s.nodes[mgr])
 		if o.manager != mgr && o.manager != k && s.liveMember(o.manager) {
 			seedMgr(s.nodes[o.manager])
+		}
+	}
+	if s.cfg.Migrate {
+		// Repair every remaining node's routing view: an override naming
+		// the leaver (or any departed node) hands the brokering role to
+		// the token's new location along with the token.
+		repointed := false
+		for _, peer := range s.nodes {
+			if peer.id == k || !s.liveMember(peer.id) {
+				continue
+			}
+			h := peer.homeOverrideLocked(o.id)
+			if h < 0 {
+				continue
+			}
+			if h == k || !s.homeLive(h) {
+				peer.repointHomeLocked(o.id, final)
+				repointed = true
+			} else {
+				seedMgr(s.nodes[h])
+			}
+		}
+		if repointed {
+			seedMgr(s.nodes[final])
 		}
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
-	"time"
 
 	"midway/internal/member"
 	"midway/internal/memory"
@@ -405,37 +404,44 @@ func TestRejoinAfterLeave(t *testing.T) {
 	var incarnation2 atomic.Int32
 	err = s.Run(func(p *Proc) {
 		if p.ID() == 2 && incarnation2.Add(1) == 1 {
+			// Guarded like the main loop: if this goroutine is scheduled
+			// late the others may already have finished the count, and an
+			// unconditional increment would overshoot the target.  Exactly
+			// target increments happen system-wide either way, which is
+			// what pins the final value: a lost update (e.g. a drain
+			// handoff dropping this incarnation's writes) shows up as a
+			// wrong counter.
 			for i := 0; i < 5; i++ {
 				p.Acquire(lock)
-				p.WriteU64(addr, p.ReadU64(addr)+1)
+				if v := p.ReadU64(addr); v < target {
+					p.WriteU64(addr, v+1)
+				}
 				p.Release(lock)
 			}
 			p.Leave()
 		}
-		if p.ID() == 0 {
-			go func() {
-				for s.MemberStatus(2) != member.Left {
-					time.Sleep(time.Millisecond)
-				}
-				// Rejoin is sponsored from node 0's app goroutine? No — the
-				// sponsor must be an application at a release boundary, so
-				// hand the request to node 0 through the drain flag below.
-			}()
-		}
+		// Node 0 sponsors the rejoin and therefore must not return before it
+		// happens: it keeps cycling the lock — without incrementing past the
+		// target — until it has observed the departure and committed the
+		// rejoin, even when node 2's whole first incarnation is scheduled
+		// after the others finished the count.
+		rejoined := false
 		for {
 			p.Acquire(lock)
 			v := p.ReadU64(addr)
-			if v >= target {
-				p.Release(lock)
-				return
+			if v < target {
+				p.WriteU64(addr, v+1)
 			}
-			p.WriteU64(addr, v+1)
 			p.Release(lock)
-			if p.ID() == 0 && s.MemberStatus(2) == member.Left {
+			if p.ID() == 0 && !rejoined && s.MemberStatus(2) == member.Left {
 				if err := p.Join(2); err != nil {
 					t.Errorf("rejoin of node 2: %v", err)
 					return
 				}
+				rejoined = true
+			}
+			if v >= target && (p.ID() != 0 || rejoined) {
+				return
 			}
 		}
 	})

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"midway/internal/obs"
+	"midway/internal/proto"
+)
+
+// Dynamic lock-home migration (Config.Migrate).
+//
+// The static directory answers "who brokers lock L?" with a hash of the
+// object id.  That is the wrong node whenever one process dominates the
+// lock's acquires: every steady-state acquire then costs a three-message
+// round trip through an uninvolved broker.  Migration fixes this with a
+// per-lock acquire census that travels with the token.  When one node's
+// share of the recent acquires crosses MigrateThreshold, the lock's home
+// moves to that node at a release boundary, after which the dominant
+// acquirer's steady-state acquire is a purely local operation.
+//
+// The census is a decayed counter vector: when the total reaches
+// MigrateWindow it halves, so the dominance signal tracks the current
+// phase of the run instead of averaging over its whole history.  The
+// commit is a broadcast HomeChange envelope; every node routes by its
+// OWN view of the directory, updated only when it commits a move itself
+// or receives the broadcast — a deterministic event under the lockstep
+// engine, which keeps migrating runs byte-identical.  A stale view is
+// harmless: the old home's manager entry still points down the
+// forwarding chase, so a misrouted acquire costs a hop, never the token.
+
+// homeLive reports whether node k can serve as a lock home right now: it
+// must not be crashed, departed, or absent.  Routing consults this so a
+// stale override pointing at a dead node falls back to the hashed home
+// even before crash/drain repair rewrites the views.
+func (s *System) homeLive(k int) bool {
+	if k < 0 || k >= len(s.nodes) {
+		return false
+	}
+	return s.liveMember(k)
+}
+
+// homeOverrideLocked returns this node's view of object id's migrated
+// home, or -1 when none is in effect.  Caller holds n.mu (or every node
+// mutex, in the crash/drain repair paths).
+func (n *Node) homeOverrideLocked(id uint32) int {
+	if int(id) >= len(n.homes) {
+		return -1
+	}
+	return int(n.homes[id])
+}
+
+// homeForLocked resolves this node's current route to obj's home
+// (broker): the migrated home when this node has witnessed one and it is
+// live, else the static hashed manager.  Caller holds n.mu.
+func (n *Node) homeForLocked(o *object) int {
+	if h := n.homeOverrideLocked(o.id); h >= 0 && n.sys.homeLive(h) {
+		return h
+	}
+	return n.sys.managerFor(o)
+}
+
+// setHomeLocked records object id's migrated home in this node's view,
+// unless a newer move (larger commit stamp) was already applied — the
+// guard that keeps reordered HomeChange broadcasts from rolling a lock's
+// routing back.  Caller holds n.mu.
+func (n *Node) setHomeLocked(id uint32, home int, stamp uint64) {
+	if int(id) >= len(n.homes) {
+		sz := len(n.sys.objectsSnapshot())
+		if sz <= int(id) {
+			sz = int(id) + 1
+		}
+		next := make([]int32, sz)
+		for i := range next {
+			next[i] = -1
+		}
+		copy(next, n.homes)
+		n.homes = next
+		st := make([]uint64, sz)
+		copy(st, n.homesStamp)
+		n.homesStamp = st
+	}
+	if stamp < n.homesStamp[id] {
+		return
+	}
+	n.homes[id] = int32(home)
+	n.homesStamp[id] = stamp
+}
+
+// repointHomeLocked force-rewrites this node's view during crash or
+// drain repair, bumping the stamp past what the view had applied so a
+// straggler broadcast sent before the departure cannot roll the repair
+// back.  (A straggler stamped later than the repair may still land; it
+// can only name the departed node — then liveness routing ignores it —
+// or a live former holder, whose manager entry chases to the token.)
+// Caller holds every node mutex.
+func (n *Node) repointHomeLocked(id uint32, home int) {
+	var stamp uint64
+	if int(id) < len(n.homesStamp) {
+		stamp = n.homesStamp[id]
+	}
+	n.setHomeLocked(id, home, stamp+1)
+}
+
+// migrateWindow returns the census decay window (total acquires before
+// the per-node counts halve).
+func (s *System) migrateWindow() uint32 {
+	if s.cfg.MigrateWindow > 0 {
+		return uint32(s.cfg.MigrateWindow)
+	}
+	return DefaultMigrateWindow
+}
+
+// migrateThresholdMillis returns the dominance threshold in thousandths,
+// so the policy check stays in integer arithmetic (node*1000 >= t*total).
+func (s *System) migrateThresholdMillis() uint32 {
+	t := s.cfg.MigrateThreshold
+	if t == 0 {
+		t = DefaultMigrateThreshold
+	}
+	return uint32(t * 1000)
+}
+
+// --- per-lock census (fields live in lockState, owned by the token) ---------
+
+// countAcquire folds one acquire by node into lk's travelling census and
+// halves it at the decay window.  Caller holds the owning node's mu and
+// has checked cfg.Migrate.
+func (n *Node) countAcquire(lk *lockState, node int) {
+	if lk.acqCount == nil {
+		lk.acqCount = make([]uint32, len(n.sys.nodes))
+	}
+	if node < 0 || node >= len(lk.acqCount) {
+		return
+	}
+	lk.acqCount[node]++
+	lk.acqTotal++
+	if lk.acqTotal >= n.sys.migrateWindow() {
+		var total uint32
+		for i := range lk.acqCount {
+			lk.acqCount[i] /= 2
+			total += lk.acqCount[i]
+		}
+		lk.acqTotal = total
+	}
+}
+
+// dominantAcquirer returns the node whose share of lk's recent acquires
+// crosses the migration threshold, or -1.  Caller holds the owning
+// node's mu.
+func (n *Node) dominantAcquirer(lk *lockState) int {
+	if lk.acqTotal < migrateMinSamples {
+		return -1
+	}
+	t := n.sys.migrateThresholdMillis()
+	for i, c := range lk.acqCount {
+		if uint64(c)*1000 >= uint64(t)*uint64(lk.acqTotal) {
+			return i
+		}
+	}
+	return -1
+}
+
+// censusTail encodes lk's census as grant-tail node counts, dropping
+// zero entries.  Caller holds the owning node's mu.
+func censusTail(lk *lockState) []proto.NodeCount {
+	var out []proto.NodeCount
+	for i, c := range lk.acqCount {
+		if c > 0 {
+			out = append(out, proto.NodeCount{Node: uint32(i), Count: c})
+		}
+	}
+	return out
+}
+
+// installCensus replaces lk's census with the counts carried by a grant
+// tail.  Caller holds the owning node's mu.
+func (n *Node) installCensus(lk *lockState, counts []proto.NodeCount) {
+	if lk.acqCount == nil {
+		lk.acqCount = make([]uint32, len(n.sys.nodes))
+	} else {
+		for i := range lk.acqCount {
+			lk.acqCount[i] = 0
+		}
+	}
+	var total uint32
+	for _, c := range counts {
+		if int(c.Node) < len(lk.acqCount) {
+			lk.acqCount[c.Node] = c.Count
+			total += c.Count
+		}
+	}
+	lk.acqTotal = total
+}
+
+// commitHome installs obj's new home in the committer's own view and
+// broadcasts the change to every other participant, who update their
+// views on receipt.  The caller is the new home and must already hold
+// n.mu with the token resident, so an acquire routed by any updated view
+// finds seeded manager state here.  count/total are the census figures
+// that triggered the move, carried in the envelope for tracing.  at is
+// the simulated commit time, which doubles as the move's stamp.
+func (n *Node) commitHome(obj *object, oldHome, newHome int, count, total uint32, at uint64) {
+	n.setHomeLocked(obj.id, newHome, at)
+	var epoch uint64
+	if mt := n.sys.members; mt != nil {
+		epoch = mt.Epoch()
+	}
+	hc := &proto.HomeChange{
+		Version: proto.HomeChangeVersion,
+		Lock:    obj.id,
+		NewHome: uint32(newHome),
+		OldHome: uint32(oldHome),
+		Epoch:   epoch,
+		Count:   count,
+		Total:   total,
+		Cycles:  at,
+	}
+	for _, peer := range n.sys.nodes {
+		if peer.id == n.id || !n.sys.liveMember(peer.id) {
+			continue
+		}
+		n.sendAt(peer.id, proto.KindHomeChange, hc, at)
+	}
+	if t := n.sys.obs; t != nil {
+		t.Emit(obs.Event{
+			Cycles: at, Kind: obs.EvHomeMigrate, Node: int32(newHome),
+			Peer: int32(oldHome), Obj: int32(obj.id), Name: obj.name,
+			A: int64(count), B: int64(total),
+		})
+	}
+}
+
+// noteHomeChange witnesses a broadcast home-migration commit and updates
+// this node's routing view, keyed on the commit stamp so a reordered
+// older broadcast cannot overwrite a newer move.  Version skew fails the
+// run: a mixed-version fleet must not silently disagree about lock
+// routing.
+func (n *Node) noteHomeChange(hc *proto.HomeChange, arrival uint64) {
+	_ = arrival
+	if hc.Version != proto.HomeChangeVersion {
+		n.sys.fail(fmt.Errorf("core: node %d: home-change version %d for lock %d (want %d)",
+			n.id, hc.Version, hc.Lock, proto.HomeChangeVersion))
+		return
+	}
+	n.mu.Lock()
+	n.setHomeLocked(hc.Lock, int(hc.NewHome), hc.Cycles)
+	n.mu.Unlock()
+}

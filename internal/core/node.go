@@ -69,6 +69,14 @@ type lockState struct {
 	// waiting queues transfer requests that arrived while the lock was
 	// held.
 	waiting []*pendingReq
+	// acqCount/acqTotal are the migration policy's travelling acquire
+	// census (Config.Migrate only): per-node counts of recent acquires,
+	// halved whenever acqTotal reaches the migrate window so the
+	// dominance signal tracks the current phase.  The census moves with
+	// the token — an exclusive grant ships it in the tail and clears it
+	// here.  Nil/zero when migration is off.
+	acqCount []uint32
+	acqTotal uint32
 	// releaseCycles records the simulated time of the last local release,
 	// so a grant performed later by the protocol handler is stamped with
 	// the time the lock actually became free.
@@ -205,6 +213,17 @@ type Node struct {
 	barriers map[uint32]*barrierState
 	bmgr     map[uint32]*bmgrBarrier
 
+	// homes is this node's view of the dynamic lock-home directory
+	// (Config.Migrate): entry [id] overrides the object's hashed home,
+	// -1 meaning no override.  Each node's view changes only at its own
+	// deterministic events — committing a migration or receiving the
+	// HomeChange broadcast — so routing decisions replay exactly under
+	// the lockstep engine.  homesStamp carries each entry's commit
+	// cycles, so reordered broadcasts cannot roll a newer move back.
+	// Both nil until this node first learns of a migration; under mu.
+	homes      []int32
+	homesStamp []uint64
+
 	replyCh chan reply
 	done    chan struct{}
 
@@ -220,10 +239,15 @@ type Node struct {
 	// System.joinFrom is waiting on for this node's join handshake to
 	// resolve; joinSponsor is that sponsor's id (for the lockstep wake)
 	// and joinDoneAt the simulated completion time the sponsor's clock
-	// joins on resume.  All under mu.
+	// joins on resume.  joinOK records whether the handshake committed,
+	// captured at signal time: the sponsor may be scheduled so late that
+	// the joiner has already drained or crashed again, so re-reading the
+	// member table on wake would misreport a committed join as failed.
+	// All under mu.
 	joinedCh    chan struct{}
 	joinSponsor int
 	joinDoneAt  uint64
+	joinOK      bool
 }
 
 func newNode(s *System, id int) *Node {
@@ -562,6 +586,13 @@ func (n *Node) dispatch(m transport.Message, arrival uint64) bool {
 			return false
 		}
 		n.noteMembership(mc, arrival)
+	case proto.KindHomeChange:
+		hc, err := proto.DecodeHomeChange(m.Payload)
+		if err != nil {
+			n.failDecode(m, err)
+			return false
+		}
+		n.noteHomeChange(hc, arrival)
 	default:
 		n.sys.fail(fmt.Errorf("core: node %d: unexpected message kind %v from peer %d",
 			n.id, m.Kind, m.From))
@@ -765,12 +796,51 @@ func (n *Node) transferLocked(lk *lockState, req *proto.LockAcquire, at uint64) 
 	n.cycles.Charge(cycles) // the runtime thread steals this time locally
 	n.st.LockTransfers.Add(1)
 
+	if n.sys.cfg.Migrate {
+		n.countAcquire(lk, int(req.Requester))
+	}
 	if exclusive {
 		lk.owner = false
 		lk.forwardedTo = int(req.Requester)
 		lk.forwardedAt = grant.Time
-		// Remaining queued requests chase the new owner.
-		if len(lk.waiting) > 0 {
+		if n.sys.cfg.Migrate {
+			// The acquire census travels with the token, a migration
+			// proposal rides along when the requester's share crossed the
+			// threshold, and the remaining waiter queue is forwarded with
+			// the grant instead of re-driven as per-waiter chases: the new
+			// owner serves the queue directly, turning each contended
+			// handoff from a manager bounce into a single message.
+			tail := &proto.GrantTail{Version: proto.GrantTailVersion, NewHome: -1}
+			if dom := n.dominantAcquirer(lk); dom == int(req.Requester) &&
+				dom != n.homeForLocked(lk.obj) && n.sys.homeLive(dom) {
+				tail.NewHome = int32(dom)
+			}
+			tail.Counts = censusTail(lk)
+			lk.acqCount, lk.acqTotal = nil, 0
+			if len(lk.waiting) > 0 {
+				pending := lk.waiting
+				lk.waiting = nil
+				for _, p := range pending {
+					tail.Queue = append(tail.Queue, proto.QueuedWaiter{
+						Requester:       p.req.Requester,
+						Mode:            p.req.Mode,
+						LastTime:        p.req.LastTime,
+						LastIncarnation: p.req.LastIncarnation,
+						BindGen:         p.req.BindGen,
+						Arrival:         p.arrival,
+					})
+				}
+				if tr := n.sys.obs; tr != nil {
+					tr.Emit(obs.Event{
+						Kind: obs.EvTokenForward, Cycles: at, Node: int32(n.id),
+						Obj: int32(lk.id), Peer: int32(req.Requester), Name: lk.obj.name,
+						A: int64(len(tail.Queue)),
+					})
+				}
+			}
+			grant.Tail = tail
+		} else if len(lk.waiting) > 0 {
+			// Remaining queued requests chase the new owner.
 			pending := lk.waiting
 			lk.waiting = nil
 			for _, p := range pending {

@@ -365,6 +365,12 @@ func (n *Node) acquire(id uint32, mode proto.Mode) {
 		// Fast path: we are the data authority; the local copy is fresh.
 		lk.held = true
 		lk.mode = mode
+		if n.sys.cfg.Migrate {
+			// The zero-message acquire is exactly what migration optimizes
+			// for; it still feeds the census so dominance is measured over
+			// all acquires, not only the brokered ones.
+			n.countAcquire(lk, n.id)
+		}
 		n.mu.Unlock()
 		if tr := n.sys.obs; tr != nil {
 			tr.Emit(obs.Event{
@@ -384,7 +390,10 @@ func (n *Node) acquire(id uint32, mode proto.Mode) {
 	// incarnation) in whichever fields its scheme uses.
 	n.det.FillAcquire(lk, req)
 	lk.inflight = req
-	manager := n.sys.managerFor(lk.obj)
+	// The broker is the migrated home when this node has witnessed one,
+	// else the static hashed manager (homeForLocked is exactly managerFor
+	// until the first migration commit reaches this node).
+	manager := n.homeForLocked(lk.obj)
 	n.mu.Unlock()
 
 	if tr := n.sys.obs; tr != nil {
@@ -438,6 +447,9 @@ func (n *Node) applyGrant(g *proto.LockGrant, arrival uint64) bool {
 		lk.owner = true
 	}
 	lk.rebound = false
+	if t := g.Tail; t != nil && g.Mode == proto.Exclusive {
+		n.applyTailLocked(lk, t, arrival)
+	}
 	if lk.pendingFence != 0 {
 		// A join admission ran while this grant was in flight and parked
 		// its full-data fence here; install it now, before any transfer
@@ -488,6 +500,75 @@ func (n *Node) release(id uint32) {
 		if exclusive {
 			// Ownership moved; transferLocked re-forwarded the rest.
 			break
+		}
+	}
+	if n.sys.cfg.Migrate && lk.owner && !lk.held {
+		// Release-boundary self-migration: the token stayed here and our
+		// own share of the recent acquires crossed the threshold, so make
+		// this node the lock's home — the steady-state acquire becomes a
+		// purely local operation with zero protocol messages.
+		if dom := n.dominantAcquirer(lk); dom == n.id {
+			if home := n.homeForLocked(lk.obj); home != n.id {
+				st := n.mgr[id]
+				if st == nil {
+					st = &mgrLock{}
+					n.mgr[id] = st
+				}
+				st.owner = n.id
+				n.commitHome(lk.obj, home, n.id, lk.acqCount[n.id], lk.acqTotal, lk.releaseCycles)
+			}
+		}
+	}
+}
+
+// applyTailLocked processes an exclusive grant's migration tail: the
+// travelling acquire census is installed, inherited waiters are queued
+// ahead of any that raced here directly (they were waiting first), and a
+// piggybacked home-migration proposal naming this node is committed.
+// Caller holds n.mu.
+func (n *Node) applyTailLocked(lk *lockState, t *proto.GrantTail, arrival uint64) {
+	n.installCensus(lk, t.Counts)
+	if len(t.Queue) > 0 {
+		inherited := make([]*pendingReq, 0, len(t.Queue))
+		for _, q := range t.Queue {
+			if int(q.Requester) == n.id || n.sys.gone(int(q.Requester)) {
+				continue
+			}
+			dup := false
+			for _, p := range lk.waiting {
+				if p.req.Requester == q.Requester {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			inherited = append(inherited, &pendingReq{
+				req: &proto.LockAcquire{
+					Lock:            lk.id,
+					Mode:            q.Mode,
+					Requester:       q.Requester,
+					LastTime:        q.LastTime,
+					LastIncarnation: q.LastIncarnation,
+					BindGen:         q.BindGen,
+				},
+				arrival: q.Arrival,
+			})
+		}
+		lk.waiting = append(inherited, lk.waiting...)
+	}
+	if t.NewHome == int32(n.id) {
+		if home := n.homeForLocked(lk.obj); home != n.id {
+			// Seed our manager state before publishing the new table, so
+			// an acquire routed by it always finds a broker here.
+			st := n.mgr[lk.id]
+			if st == nil {
+				st = &mgrLock{}
+				n.mgr[lk.id] = st
+			}
+			st.owner = n.id
+			n.commitHome(lk.obj, home, n.id, lk.acqCount[n.id], lk.acqTotal, arrival)
 		}
 	}
 }

@@ -222,6 +222,48 @@ func scanBinding(e Engine, binding []memory.Range, since int64, stamp int64) sca
 	return out
 }
 
+// restampBinding marks every shared line of a binding as written at the
+// given time, as if the whole image had just been stored locally.  Used
+// when a rebinding or recovery import leaves current data under Clean or
+// stale dirtybits: the fresh stamp makes later incremental scans ship the
+// lines and stops rtApplyUpdates at other nodes from discarding them as
+// old.  Charged at the dirtybit-update rate per line.
+func restampBinding(e Engine, binding []memory.Range, t int64) cost.Cycles {
+	st := e.Stats()
+	m := e.Cost()
+	inst := e.Inst()
+	var cycles cost.Cycles
+	for _, rg := range binding {
+		if rg.Size == 0 {
+			continue
+		}
+		segs, err := e.Layout().Segments(rg)
+		if err != nil {
+			panic(err)
+		}
+		for _, seg := range segs {
+			r := seg.Region
+			if r.Class != memory.Shared {
+				continue
+			}
+			bits := inst.Dirtybits(r)
+			sum := inst.Summary(r)
+			first := int(seg.Off) >> r.LineShift
+			last := int(seg.Off+seg.Len-1) >> r.LineShift
+			for i := first; i <= last; i++ {
+				if bits[i] == memory.DirtyPending {
+					sum.Pending.Add(-1)
+				}
+				bits[i] = t
+				cycles += m.DirtybitUpdate
+				st.DirtybitsUpdated.Add(1)
+			}
+			sum.NoteTime(t)
+		}
+	}
+	return cycles
+}
+
 // scanSegment scans one shared segment of a binding, appending collected
 // updates and cycle charges to out.
 func scanSegment(e Engine, seg memory.Segment, since int64, stamp int64, out *scanOutcome) {
@@ -302,6 +344,24 @@ func (d *rtDetector) CollectLock(lk LockView, req *proto.LockAcquire, exclusive 
 	// The transfer is a synchronization event: advance the Lamport clock
 	// and stamp all pending lines with the new time.
 	t := d.e.Tick()
+	if lk.Rebound() {
+		// A rebinding (or a recovery import that installed bound data
+		// behind the detector's back) invalidates the per-line stamps:
+		// lines of the new image may sit under Clean or stale dirtybits,
+		// so an incremental scan would skip them and receivers would
+		// discard them as old.  Restamp the whole binding at the new
+		// time and ship it in full.
+		binding := lk.Binding()
+		cycles := restampBinding(d.e, binding, t)
+		cycles += cost.CopyCost(d.e.Cost().CopyWarmPerKB, int(RangesBytes(binding)))
+		lk.ClearRebound()
+		rtLockStateOf(lk).lastTime = t
+		return &proto.LockGrant{
+			Time:    t,
+			Updates: readBoundUpdates(d.e, binding, t),
+			Full:    true,
+		}, cycles
+	}
 	since := req.LastTime
 	if req.BindGen != lk.BindGen() {
 		// The requester's consistency timestamp certifies data of an

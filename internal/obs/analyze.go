@@ -28,6 +28,50 @@ type Analysis struct {
 	// Membership is the elastic-membership timeline, nil when the trace
 	// has no join/drain/membership events.
 	Membership *MembershipReport
+	// Ownership is the dynamic-ownership timeline, nil when the trace has
+	// no home-migration or token-forwarding events.
+	Ownership *OwnershipReport
+}
+
+// OwnershipReport is the dynamic-ownership timeline: committed lock-home
+// moves, token-forward chains, and the acquire-locality shift they caused.
+type OwnershipReport struct {
+	// Moves are the committed home migrations in trace order.
+	Moves []HomeMoveReport
+	// Objects summarizes, per migrated or forwarded object, how acquire
+	// locality changed around the first home move.
+	Objects []OwnershipObjectReport
+}
+
+// HomeMoveReport is one committed lock-home migration.
+type HomeMoveReport struct {
+	Obj  int32
+	Name string
+	// From is the previous home, To the new one (the dominant acquirer).
+	From, To int32
+	// Count of Total windowed acquires triggered the move.
+	Count, Total int64
+	Cycles       uint64
+}
+
+// OwnershipObjectReport is one object's dynamic-ownership summary.  The
+// hop accounting follows the protocol: a local-owner acquire costs zero
+// messages, a home-brokered remote acquire costs three
+// (request→home→owner→grant), and a handoff served from a forwarded
+// waiter queue costs one (the grant itself).
+type OwnershipObjectReport struct {
+	Obj  int32
+	Name string
+	// Moves counts committed home migrations; Forwards the token handoffs
+	// that carried a waiter queue, and ForwardedWaiters the queue entries
+	// they carried (each one a brokered round-trip avoided).
+	Moves            uint64
+	Forwards         uint64
+	ForwardedWaiters uint64
+	// Local/Remote acquire counts split at the first home move; for an
+	// object that never migrated, everything lands in Before.
+	BeforeLocal, BeforeRemote uint64
+	AfterLocal, AfterRemote   uint64
 }
 
 // MembershipReport is the elastic-membership timeline.
@@ -232,6 +276,27 @@ func AnalyzeEvents(events []Event) *Analysis {
 	firstXfer := map[int32]uint64{}      // per object
 	lastXfer := map[int32]uint64{}
 
+	// Dynamic-ownership accounting: per-object acquire locality indexed by
+	// whether the object's first home move has happened yet.
+	type locality struct{ local, remote [2]uint64 }
+	acqLoc := map[int32]*locality{}
+	moved := map[int32]bool{}
+	ownObjs := map[int32]*OwnershipObjectReport{}
+	ownObj := func(e Event) *OwnershipObjectReport {
+		o := ownObjs[e.Obj]
+		if o == nil {
+			o = &OwnershipObjectReport{Obj: e.Obj, Name: e.Name}
+			ownObjs[e.Obj] = o
+		}
+		return o
+	}
+	ownership := func() *OwnershipReport {
+		if a.Ownership == nil {
+			a.Ownership = &OwnershipReport{}
+		}
+		return a.Ownership
+	}
+
 	recovery := func() *RecoveryReport {
 		if a.Recovery == nil {
 			a.Recovery = &RecoveryReport{}
@@ -325,8 +390,20 @@ func AnalyzeEvents(events []Event) *Analysis {
 		case EvAcquire:
 			l := lockOf(e)
 			l.Acquires++
+			loc := acqLoc[e.Obj]
+			if loc == nil {
+				loc = &locality{}
+				acqLoc[e.Obj] = loc
+			}
+			phase := 0
+			if moved[e.Obj] {
+				phase = 1
+			}
 			if e.Peer >= 0 {
 				acquireAt[pendingKey{e.Node, e.Obj}] = e.Cycles
+				loc.remote[phase]++
+			} else {
+				loc.local[phase]++
 			}
 		case EvGrant:
 			k := pendingKey{e.Node, e.Obj}
@@ -376,7 +453,31 @@ func AnalyzeEvents(events []Event) *Analysis {
 				n.BarrierWait += e.Cycles - at
 				delete(enterAt, k)
 			}
+		case EvHomeMigrate:
+			ownership().Moves = append(ownership().Moves, HomeMoveReport{
+				Obj: e.Obj, Name: e.Name, From: e.Peer, To: e.Node,
+				Count: e.A, Total: e.B, Cycles: e.Cycles,
+			})
+			ownObj(e).Moves++
+			moved[e.Obj] = true
+		case EvTokenForward:
+			o := ownObj(e)
+			o.Forwards++
+			o.ForwardedWaiters += uint64(e.A)
 		}
+	}
+
+	for obj, o := range ownObjs {
+		if loc := acqLoc[obj]; loc != nil {
+			o.BeforeLocal, o.BeforeRemote = loc.local[0], loc.remote[0]
+			o.AfterLocal, o.AfterRemote = loc.local[1], loc.remote[1]
+		}
+		ownership().Objects = append(ownership().Objects, *o)
+	}
+	if a.Ownership != nil {
+		sort.Slice(a.Ownership.Objects, func(i, j int) bool {
+			return a.Ownership.Objects[i].Obj < a.Ownership.Objects[j].Obj
+		})
 	}
 
 	for obj, l := range locks {
@@ -520,6 +621,36 @@ func (a *Analysis) WriteReport(w io.Writer) {
 			fmt.Fprintf(tw, "  %s\tnode %d %s\tepoch %d\n", ms(c.Cycles), c.Node, c.Action, c.Epoch)
 		}
 		tw.Flush()
+	}
+
+	if o := a.Ownership; o != nil {
+		fmt.Fprintln(w, "\nownership timeline:")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for _, mv := range o.Moves {
+			fmt.Fprintf(tw, "  %s\tlock %s home n%d -> n%d\ttrigger %d/%d windowed acquires\n",
+				ms(mv.Cycles), mv.Name, mv.From, mv.To, mv.Count, mv.Total)
+		}
+		tw.Flush()
+		fmt.Fprintln(w, "\nacquire hops (0 = local owner, 1 = forwarded token, 3 = home-brokered),")
+		fmt.Fprintln(w, "split at each object's first home move:")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  object\tmoves\tfwd handoffs\tfwd waiters\tlocal/remote before\tlocal/remote after")
+		var hop0, hop1, hop3 uint64
+		for _, ob := range o.Objects {
+			fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%d / %d\t%d / %d\n",
+				ob.Name, ob.Moves, ob.Forwards, ob.ForwardedWaiters,
+				ob.BeforeLocal, ob.BeforeRemote, ob.AfterLocal, ob.AfterRemote)
+			hop0 += ob.BeforeLocal + ob.AfterLocal
+			remote := ob.BeforeRemote + ob.AfterRemote
+			fw := ob.ForwardedWaiters
+			if fw > remote {
+				fw = remote
+			}
+			hop1 += fw
+			hop3 += remote - fw
+		}
+		tw.Flush()
+		fmt.Fprintf(w, "  hop histogram over these objects: 0-hop %d, 1-hop %d, 3-hop %d\n", hop0, hop1, hop3)
 	}
 
 	for _, b := range a.Barriers {

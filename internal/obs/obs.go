@@ -106,6 +106,17 @@ const (
 	// the coordinator, Peer the subject node, A the new epoch, B the
 	// action (0 joined, 1 left, 2 died).
 	EvMembershipChange
+	// EvHomeMigrate is a committed lock-home migration.  Node is the new
+	// home (the dominant acquirer), Peer the previous home, Obj the lock,
+	// A the dominant acquirer's windowed acquire count and B the window
+	// total that triggered the move.
+	EvHomeMigrate
+	// EvTokenForward is a contended token handoff forwarding the waiter
+	// queue with the grant, so the new holder serves the queue directly
+	// instead of each waiter re-chasing through the home.  Node is the
+	// granter, Peer the receiver, Obj the lock, A the number of queued
+	// waiters travelling with the token.
+	EvTokenForward
 
 	kindCount
 )
@@ -134,6 +145,8 @@ var kindNames = [kindCount]string{
 	EvStateTransfer:    "state-transfer",
 	EvDrain:            "drain",
 	EvMembershipChange: "membership-change",
+	EvHomeMigrate:      "home-migrate",
+	EvTokenForward:     "token-forward",
 }
 
 // String returns the kind's wire name as used in JSONL output.
@@ -332,6 +345,10 @@ func (e Event) textBody() string {
 		return "drain handoff complete"
 	case EvMembershipChange:
 		return fmt.Sprintf("membership n%d %s epoch=%d", e.Peer, memberActionName(e.B), e.A)
+	case EvHomeMigrate:
+		return fmt.Sprintf("home-migrate %s n%d -> n%d (%d/%d acquires)", e.Name, e.Peer, e.Node, e.A, e.B)
+	case EvTokenForward:
+		return fmt.Sprintf("token-forward %s -> n%d queue=%d", e.Name, e.Peer, e.A)
 	default:
 		return e.Kind.String()
 	}

@@ -25,6 +25,35 @@ type ObjectProfile struct {
 	// Rebinds counts Rebind calls; BarrierEpochs completed crossings.
 	Rebinds       uint64
 	BarrierEpochs uint64
+	// RecentAcquires and RecentContended are decayed counters: both halve
+	// every profileWindow acquire/contend events on the object, so the
+	// hot-objects signal tracks the current phase of the run instead of
+	// averaging over its whole history.  (The migration policy inside
+	// internal/core keeps its own per-node census travelling with the
+	// token; these are the observational analogue.)
+	RecentAcquires  uint64
+	RecentContended uint64
+	// HomeMoves counts committed lock-home migrations; TokenForwards the
+	// contended handoffs that carried the waiter queue with the token.
+	HomeMoves     uint64
+	TokenForwards uint64
+
+	// window counts events since the last decay.
+	window uint64
+}
+
+// profileWindow is the decay period of the Recent* counters: after this
+// many acquire/contend events on one object, both counters halve.
+const profileWindow = 64
+
+// decayTick advances the decay window by one event.
+func (p *ObjectProfile) decayTick() {
+	p.window++
+	if p.window >= profileWindow {
+		p.window = 0
+		p.RecentAcquires /= 2
+		p.RecentContended /= 2
+	}
 }
 
 // RegionProfile aggregates a memory region's write-detection activity.
@@ -58,7 +87,7 @@ func (r *RegionProfile) PercentDirty() float64 {
 func (t *Tracer) profile(e Event) {
 	switch e.Kind {
 	case EvAcquire, EvGrant, EvRelease, EvContend, EvTransfer, EvRebind,
-		EvBarrierEnter, EvBarrierResume:
+		EvBarrierEnter, EvBarrierResume, EvHomeMigrate, EvTokenForward:
 		if e.Obj < 0 {
 			return
 		}
@@ -73,8 +102,16 @@ func (t *Tracer) profile(e Event) {
 			if e.Peer < 0 {
 				p.LocalAcquires++
 			}
+			p.RecentAcquires++
+			p.decayTick()
 		case EvContend:
 			p.Contended++
+			p.RecentContended++
+			p.decayTick()
+		case EvHomeMigrate:
+			p.HomeMoves++
+		case EvTokenForward:
+			p.TokenForwards++
 		case EvTransfer:
 			p.Transfers++
 			p.BytesSent += e.Bytes
@@ -168,11 +205,12 @@ func WriteProfileTables(w io.Writer, objs []ObjectProfile, regs []RegionProfile)
 	if len(objs) > 0 {
 		fmt.Fprintln(w, "hot objects:")
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "  object\tacquires\tlocal\tcontended\ttransfers\tbytes sent\trebinds\tepochs")
+		fmt.Fprintln(tw, "  object\tacquires\tlocal\tcontended\ttransfers\tbytes sent\trebinds\tepochs\trecent\tmoves\tforwards")
 		for _, p := range objs {
-			fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 				p.Name, p.Acquires, p.LocalAcquires, p.Contended,
-				p.Transfers, p.BytesSent, p.Rebinds, p.BarrierEpochs)
+				p.Transfers, p.BytesSent, p.Rebinds, p.BarrierEpochs,
+				p.RecentAcquires+p.RecentContended, p.HomeMoves, p.TokenForwards)
 		}
 		tw.Flush()
 	}

@@ -31,6 +31,16 @@ func FuzzDecodeLockGrant(f *testing.F) {
 		Updates: []Update{{Addr: 16, TS: 2, Data: []byte{1, 2, 3, 4}}},
 		History: []HistoryEntry{{Incarnation: 1}},
 	}).Encode())
+	f.Add((&LockGrant{
+		Lock: 3,
+		Tail: &GrantTail{
+			Version: GrantTailVersion,
+			NewHome: 2,
+			Counts:  []NodeCount{{Node: 2, Count: 9}, {Node: 0, Count: 1}},
+			Queue:   []QueuedWaiter{{Requester: 1, Mode: Shared, LastTime: 5, Arrival: 77}},
+		},
+	}).Encode())
+	f.Add((&LockGrant{Lock: 4, Tail: &GrantTail{Version: GrantTailVersion, NewHome: -1}}).Encode())
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -131,6 +141,22 @@ func FuzzDecodeMembershipChange(f *testing.F) {
 	f.Add([]byte{1, 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeMembershipChange(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Encode(), data) {
+			t.Errorf("re-encode mismatch")
+		}
+	})
+}
+
+func FuzzDecodeHomeChange(f *testing.F) {
+	f.Add((&HomeChange{Version: HomeChangeVersion, Lock: 2, NewHome: 3, OldHome: 1,
+		Epoch: 4, Count: 24, Total: 32, Cycles: 991}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeHomeChange(data)
 		if err != nil {
 			return
 		}

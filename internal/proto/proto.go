@@ -62,6 +62,10 @@ const (
 	// KindMembershipChange is the broadcast announcing a committed
 	// membership transition (join or leave) with its generation fence.
 	KindMembershipChange
+	// KindHomeChange is the broadcast announcing a committed lock-home
+	// migration: the named lock's directory entry now points at its
+	// dominant acquirer instead of its hashed home.
+	KindHomeChange
 )
 
 // String returns the message kind's name.
@@ -93,6 +97,8 @@ func (k Kind) String() string {
 		return "JoinAccept"
 	case KindMembershipChange:
 		return "MembershipChange"
+	case KindHomeChange:
+		return "HomeChange"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -185,6 +191,52 @@ type LockGrant struct {
 	// to serve future requesters (VM-DSM).  Nil under RT-DSM, where the
 	// dirtybit timestamps subsume history.
 	History []HistoryEntry
+	// Tail is the dynamic-ownership extension, attached to exclusive
+	// grants when lock-home migration is enabled and absent otherwise —
+	// a grant without a tail encodes byte-identically to the pre-migration
+	// wire format.
+	Tail *GrantTail
+}
+
+// GrantTailVersion is the current version of the dynamic-ownership grant
+// extension.
+const GrantTailVersion = 1
+
+// GrantTail is the dynamic-ownership extension an exclusive LockGrant
+// carries when lock-home migration is enabled: the token's travelling
+// acquire census, the waiter queue forwarded with the token
+// (token-forwarding: the new holder serves them directly instead of each
+// waiter re-chasing through the home), and an optional home-migration
+// directive the receiver commits at grant time.
+type GrantTail struct {
+	Version uint8
+	// NewHome directs the receiver to commit itself as the lock's new
+	// home; -1 means no migration.
+	NewHome int32
+	// Counts is the decayed per-node acquire census travelling with the
+	// token — the dominant-acquirer signal.  Only nodes with non-zero
+	// counts are listed.
+	Counts []NodeCount
+	// Queue carries the granter's remaining waiters, in arrival order.
+	Queue []QueuedWaiter
+}
+
+// NodeCount is one node's entry in the travelling acquire census.
+type NodeCount struct {
+	Node  uint32
+	Count uint32
+}
+
+// QueuedWaiter is one queued lock request forwarded with the token, the
+// fields of the waiter's original LockAcquire plus its queue-arrival time
+// at the previous owner.
+type QueuedWaiter struct {
+	Requester       uint32
+	Mode            Mode
+	LastTime        int64
+	LastIncarnation uint64
+	BindGen         uint64
+	Arrival         uint64
 }
 
 // HistoryEntry is one incarnation's worth of updates to a lock's bound
@@ -548,6 +600,9 @@ func (m *LockGrant) EncodedSize() int {
 	for _, h := range m.History {
 		n += 8 + updatesSize(h.Updates)
 	}
+	if t := m.Tail; t != nil {
+		n += 1 + 4 + 4 + 8*len(t.Counts) + 4 + 33*len(t.Queue)
+	}
 	return n
 }
 
@@ -571,6 +626,24 @@ func (m *LockGrant) EncodeInto(e *Encoder) {
 	for _, h := range m.History {
 		e.U64(h.Incarnation)
 		e.Updates(h.Updates)
+	}
+	if t := m.Tail; t != nil {
+		e.U8(t.Version)
+		e.U32(uint32(t.NewHome))
+		e.U32(uint32(len(t.Counts)))
+		for _, c := range t.Counts {
+			e.U32(c.Node)
+			e.U32(c.Count)
+		}
+		e.U32(uint32(len(t.Queue)))
+		for _, q := range t.Queue {
+			e.U32(q.Requester)
+			e.U8(uint8(q.Mode))
+			e.I64(q.LastTime)
+			e.U64(q.LastIncarnation)
+			e.U64(q.BindGen)
+			e.U64(q.Arrival)
+		}
 	}
 }
 
@@ -600,6 +673,31 @@ func decodeLockGrant(d *Decoder, buf []byte) (*LockGrant, error) {
 			us := d.Updates()
 			m.History = append(m.History, HistoryEntry{Incarnation: inc, Updates: us})
 		}
+	}
+	// The dynamic-ownership tail is optional: present iff bytes remain.
+	if d.err == nil && d.off < len(d.buf) {
+		t := &GrantTail{Version: d.U8(), NewHome: int32(d.U32())}
+		nc := int(d.U32())
+		if d.err == nil && nc > (len(d.buf)-d.off)/8 {
+			return nil, fmt.Errorf("decoding LockGrant: %w", ErrShortBuffer)
+		}
+		for i := 0; i < nc && d.err == nil; i++ {
+			c := NodeCount{Node: d.U32(), Count: d.U32()}
+			t.Counts = append(t.Counts, c)
+		}
+		nq := int(d.U32())
+		if d.err == nil && nq > (len(d.buf)-d.off)/33+1 {
+			return nil, fmt.Errorf("decoding LockGrant: %w", ErrShortBuffer)
+		}
+		for i := 0; i < nq && d.err == nil; i++ {
+			q := QueuedWaiter{Requester: d.U32(), Mode: Mode(d.U8())}
+			q.LastTime = d.I64()
+			q.LastIncarnation = d.U64()
+			q.BindGen = d.U64()
+			q.Arrival = d.U64()
+			t.Queue = append(t.Queue, q)
+		}
+		m.Tail = t
 	}
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("decoding LockGrant: %w", err)
@@ -967,6 +1065,60 @@ func DecodeMembershipChange(buf []byte) (*MembershipChange, error) {
 	m.Cycles = d.U64()
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("decoding MembershipChange: %w", err)
+	}
+	return m, nil
+}
+
+// HomeChangeVersion is the current home-migration announcement version.
+// A receiver rejects an announcement whose version it does not speak.
+const HomeChangeVersion = 1
+
+// HomeChange announces one committed lock-home migration: Lock's
+// directory entry moved from OldHome to NewHome because NewHome's share
+// of the lock's recent acquires crossed the migration threshold (Count of
+// Total windowed acquires).  Epoch is the membership generation at the
+// commit — receivers in a later epoch re-resolve the home against the
+// live member set.  Cycles is the committing node's simulated clock.
+type HomeChange struct {
+	Version uint32
+	Lock    uint32
+	NewHome uint32
+	OldHome uint32
+	Epoch   uint64
+	Count   uint32
+	Total   uint32
+	Cycles  uint64
+}
+
+// EncodedSize returns the exact encoded length.
+func (m *HomeChange) EncodedSize() int { return 4 + 4 + 4 + 4 + 8 + 4 + 4 + 8 }
+
+// EncodeInto appends the announcement to e.
+func (m *HomeChange) EncodeInto(e *Encoder) {
+	e.Grow(m.EncodedSize())
+	e.U32(m.Version)
+	e.U32(m.Lock)
+	e.U32(m.NewHome)
+	e.U32(m.OldHome)
+	e.U64(m.Epoch)
+	e.U32(m.Count)
+	e.U32(m.Total)
+	e.U64(m.Cycles)
+}
+
+// Encode serializes the announcement.
+func (m *HomeChange) Encode() []byte { return Encode(m) }
+
+// DecodeHomeChange parses a HomeChange payload.
+func DecodeHomeChange(buf []byte) (*HomeChange, error) {
+	d := NewDecoder(buf)
+	m := &HomeChange{Version: d.U32(), Lock: d.U32(), NewHome: d.U32(), OldHome: d.U32()}
+	m.Epoch = d.U64()
+	m.Count = d.U32()
+	m.Total = d.U32()
+	m.Cycles = d.U64()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decoding HomeChange: %w", err)
 	}
 	return m, nil
 }

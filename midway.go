@@ -333,6 +333,28 @@ type Config struct {
 	// knob exists so the invariance tests can run the slow reference
 	// paths against the default fast ones.
 	CompatCodec bool
+	// Migrate enables dynamic lock ownership: hash-sharded lock/barrier
+	// homes (no node-0 hot spot in the directory), profile-driven
+	// lock-home migration (a per-lock acquire census travels with the
+	// token; when one node's share of the recent acquires crosses
+	// MigrateThreshold, the lock's home moves to that node at a release
+	// boundary, making its steady-state acquire a zero-message local
+	// operation), and token-forwarding for contended locks (an exclusive
+	// grant carries the remaining waiter queue with the token, so each
+	// contended handoff is one message instead of a bounce through the
+	// home).  Off by default; disabled runs are byte-identical to the
+	// static-directory protocol.  Requires the all-hosted configuration
+	// (no TCPAddrs): the home table is shared simulator state.
+	Migrate bool
+	// MigrateThreshold is the dominance fraction in (0, 1] of a lock's
+	// recent-acquire census that triggers a home migration.  Zero
+	// selects 0.6.
+	MigrateThreshold float64
+	// MigrateWindow is the census decay window: when a lock's total
+	// recent-acquire count reaches it, the per-node counts halve, so
+	// the dominance signal tracks the current phase of the program
+	// instead of averaging over its whole history.  Zero selects 32.
+	MigrateWindow int
 }
 
 // System is one DSM instance.  Allocate shared memory and create
@@ -407,6 +429,9 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("midway: elastic membership (MaxNodes) requires the all-hosted configuration; it cannot drive a multi-process TCP deployment (TCPAddrs)")
 		}
 	}
+	if cfg.Migrate && len(cfg.TCPAddrs) > 0 {
+		return nil, fmt.Errorf("midway: dynamic lock-home migration (Migrate) requires the all-hosted configuration; it cannot drive a multi-process TCP deployment (TCPAddrs)")
+	}
 	tr, err := newTracer(cfg)
 	if err != nil {
 		return nil, err
@@ -425,6 +450,9 @@ func NewSystem(cfg Config) (*System, error) {
 		Lockstep:            lockstep,
 		SchedThreads:        cfg.SchedThreads,
 		MaxNodes:            cfg.MaxNodes,
+		Migrate:             cfg.Migrate,
+		MigrateThreshold:    cfg.MigrateThreshold,
+		MigrateWindow:       cfg.MigrateWindow,
 	}
 	if cfg.PageFaultMicros > 0 {
 		cc.Cost = cc.Cost.WithFaultMicros(cfg.PageFaultMicros)

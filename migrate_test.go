@@ -1,0 +1,318 @@
+package midway_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"midway"
+	"midway/internal/apps/churn"
+	"midway/internal/apps/skew"
+)
+
+// skewCfg is the shared workload for the migration acceptance tests:
+// small enough for the test suite, large enough that every node's
+// dominant locks see a steady state after their homes migrate.
+func skewCfg() skew.Config {
+	return skew.Config{Locks: 16, Ops: 96, WorkCycles: 2000, HotMillis: 900, Seed: 1}
+}
+
+// TestMigrateChecksumInvariance is the headline correctness check: the
+// skewed-lock workload computes the same verified checksum with dynamic
+// lock-home migration off and on, under every detection scheme and both
+// execution engines.  Migration changes where protocol messages go, never
+// what the application computes.
+func TestMigrateChecksumInvariance(t *testing.T) {
+	for _, scheme := range []string{"rt", "vm", "hybrid"} {
+		for _, sched := range []string{"goroutine", "lockstep"} {
+			t.Run(scheme+"/"+sched, func(t *testing.T) {
+				var sums [2]float64
+				for i, migrate := range []bool{false, true} {
+					res, err := skew.Run(midway.Config{
+						Nodes: 4, Scheme: scheme, Sched: sched, Migrate: migrate,
+					}, skewCfg())
+					if err != nil {
+						t.Fatalf("migrate=%v: %v", migrate, err)
+					}
+					sums[i] = res.Checksum
+				}
+				if sums[0] != sums[1] {
+					t.Errorf("checksum diverged: off %g, on %g", sums[0], sums[1])
+				}
+			})
+		}
+	}
+}
+
+// TestMigrateOffIsInert pins the byte-identity contract: with Migrate
+// unset, a traced run must contain no home-migrate and no token-forward
+// events — the new protocol paths are never entered.  The same run with
+// Migrate set must contain home-migrate events, proving the policy
+// actually engages on this workload rather than passing vacuously.
+func TestMigrateOffIsInert(t *testing.T) {
+	trace := func(migrate bool) string {
+		var buf bytes.Buffer
+		_, err := skew.Run(midway.Config{
+			Nodes: 4, Strategy: midway.RT, Sched: "lockstep",
+			Migrate: migrate, Trace: &buf, TraceFormat: "jsonl",
+		}, skewCfg())
+		if err != nil {
+			t.Fatalf("migrate=%v: %v", migrate, err)
+		}
+		return buf.String()
+	}
+	off := trace(false)
+	for _, ev := range []string{"home-migrate", "token-forward"} {
+		if strings.Contains(off, ev) {
+			t.Errorf("migrate-off trace contains %q events", ev)
+		}
+	}
+	if on := trace(true); !strings.Contains(on, "home-migrate") {
+		t.Error("migrate-on trace contains no home-migrate events; the policy never engaged")
+	}
+}
+
+// TestLockstepMigrateByteIdentical runs the skewed workload twice under
+// the lockstep engine with migration on: checksum, simulated time and the
+// full per-node message vector must be byte-identical — home moves and
+// token-forwarding stay inside the deterministic simulation contract.
+func TestLockstepMigrateByteIdentical(t *testing.T) {
+	run := func() (float64, float64, []uint64) {
+		res, st, err := skew.RunDetail(midway.Config{
+			Nodes: 4, Strategy: midway.RT, Sched: "lockstep", Migrate: true,
+		}, skewCfg())
+		if err != nil {
+			t.Fatalf("RunDetail: %v", err)
+		}
+		msgs := make([]uint64, len(st))
+		for i, s := range st {
+			msgs[i] = s.Messages
+		}
+		return res.Checksum, res.Seconds, msgs
+	}
+	c1, s1, m1 := run()
+	c2, s2, m2 := run()
+	if c1 != c2 || s1 != s2 || fmt.Sprint(m1) != fmt.Sprint(m2) {
+		t.Fatalf("lockstep migrate runs diverged:\n1: %g %g %v\n2: %g %g %v",
+			c1, s1, m1, c2, s2, m2)
+	}
+}
+
+// migrateCrashWorkload gives one node a dominant claim on the counter
+// lock (so its home migrates there), then crashes that node, holding the
+// lock or idle.  The survivors keep working: crash recovery must re-point
+// the migrated home at a live node and reclaim the token.  Returns the
+// final counter and the crash report.
+func migrateCrashWorkload(t *testing.T, cfg midway.Config, mode string) (uint64, *midway.CrashReport) {
+	t.Helper()
+	const (
+		rounds      = 6
+		victim      = 2
+		die         = 4 // the round in which the victim dies
+		hotPerRound = 8 // victim acquires per hot round; enough for dominance
+	)
+	sys, err := midway.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := sys.MustAlloc("counter", 8, 8)
+	lock := sys.NewLock("counter", midway.RangeAt(counter, 8))
+	bar := sys.NewBarrier("round")
+	err = sys.Run(func(p *midway.Proc) {
+		me := p.ID()
+		for r := 1; r <= rounds; r++ {
+			if me == victim && r == die {
+				switch mode {
+				case "lock":
+					p.Acquire(lock)
+					p.Crash() // dies holding the migrated-home lock
+				case "idle":
+					p.Crash()
+				default:
+					panic("unknown crash mode " + mode)
+				}
+			}
+			if me == victim {
+				// The hot phase that makes the victim dominant ends one
+				// round early, so the barrier below guarantees its last
+				// released increment left the node before it dies.
+				if r < die-1 {
+					for i := 0; i < hotPerRound; i++ {
+						p.Acquire(lock)
+						p.WriteU64(counter, p.ReadU64(counter)+1)
+						p.Release(lock)
+					}
+				}
+			} else {
+				p.Acquire(lock)
+				p.WriteU64(counter, p.ReadU64(counter)+1)
+				p.Release(lock)
+			}
+			p.Barrier(bar)
+		}
+		p.AcquireShared(lock)
+		p.Release(lock)
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return sys.ReadFinalU64(counter), sys.CrashReport()
+}
+
+// migrateCrashOracle is the survivor-only expected counter.
+func migrateCrashOracle(nodes int) uint64 {
+	return uint64(nodes-1)*6 + 2*8 // survivors all rounds + victim's hot rounds
+}
+
+// TestMigrateCrashGoldenMatrix crashes the node a lock's home migrated
+// to, at two program points under every detection scheme: the survivors
+// must complete with the oracle counter, repeated runs must agree, and
+// the summary must match the committed goldens (UPDATE_GOLDEN=1
+// regenerates).  This pins the recovery interplay: the migrated home
+// override is re-pointed at a live node and the token reclaimed exactly
+// once.
+func TestMigrateCrashGoldenMatrix(t *testing.T) {
+	const nodes = 4
+	for _, scheme := range []string{"rt", "vm", "hybrid"} {
+		for _, mode := range []string{"lock", "idle"} {
+			t.Run(scheme+"/"+mode, func(t *testing.T) {
+				cfg := midway.Config{
+					Nodes: nodes, Scheme: scheme,
+					OnCrash: midway.CrashDegrade, Migrate: true,
+				}
+				counter, rep := migrateCrashWorkload(t, cfg, mode)
+				if want := migrateCrashOracle(nodes); counter != want {
+					t.Errorf("survivor counter = %d, want %d", counter, want)
+				}
+				if rep == nil {
+					t.Fatal("no crash report after a crashed run")
+				}
+				if len(rep.Nodes) != 1 || rep.Nodes[0] != 2 {
+					t.Errorf("report.Nodes = %v, want [2]", rep.Nodes)
+				}
+
+				counter2, _ := migrateCrashWorkload(t, cfg, mode)
+				if counter != counter2 {
+					t.Errorf("repeated crashed runs diverged: %d vs %d", counter, counter2)
+				}
+
+				got := fmt.Sprintf("counter %d\nreport dead=%v reclaims=%d reforms=%d\n",
+					counter, rep.Nodes, len(rep.ReclaimedLocks), len(rep.ReformedBarriers))
+				golden := filepath.Join("testdata", "migrate", scheme+"_crash_"+mode+".golden")
+				if os.Getenv("UPDATE_GOLDEN") != "" {
+					if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("golden mismatch:\ngot:\n%swant:\n%s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestMigrateDrainMatchesFixed runs the elastic churn schedule — two
+// runtime joins, two graceful drains — with migration on: the verified
+// checksum must match the fixed-membership, migration-off run.  A drained
+// node that had become a lock's migrated home must hand the brokering
+// role on with the token.
+func TestMigrateDrainMatchesFixed(t *testing.T) {
+	for _, sched := range []string{"goroutine", "lockstep"} {
+		fixed, err := churn.Run(
+			midway.Config{Nodes: 2, Strategy: midway.RT, Sched: sched},
+			churn.Config{Tasks: 96, WorkCycles: 2000})
+		if err != nil {
+			t.Fatalf("fixed/%s: %v", sched, err)
+		}
+		elastic, err := churn.Run(
+			midway.Config{Nodes: 2, MaxNodes: 4, Strategy: midway.RT, Sched: sched, Migrate: true},
+			churnSchedule())
+		if err != nil {
+			t.Fatalf("elastic+migrate/%s: %v", sched, err)
+		}
+		if elastic.Checksum != fixed.Checksum {
+			t.Errorf("%s: elastic+migrate checksum %g != fixed checksum %g",
+				sched, elastic.Checksum, fixed.Checksum)
+		}
+	}
+}
+
+// TestMigrateDrainGolden pins the full migrate × drain trajectory under
+// the lockstep engine: checksum, simulated time and message totals must
+// be byte-identical run to run and match the committed golden.
+func TestMigrateDrainGolden(t *testing.T) {
+	run := func() string {
+		r, err := churn.Run(
+			midway.Config{Nodes: 2, MaxNodes: 4, Strategy: midway.VM, Sched: "lockstep", Migrate: true},
+			churnSchedule())
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return fmt.Sprintf("checksum %g\nseconds %.6f\nmessages %d\nbytes %d\n",
+			r.Checksum, r.Seconds, r.Total.Messages, r.Total.BytesTransferred)
+	}
+	got := run()
+	if again := run(); got != again {
+		t.Fatalf("lockstep migrate+drain runs diverged:\n1: %s2: %s", got, again)
+	}
+	golden := filepath.Join("testdata", "migrate", "drain_lockstep.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestMigrateFlattensSkewedLoad is the perf acceptance check, pinned on
+// the deterministic engine: on the skewed-lock workload, migration must
+// strictly reduce the total protocol message count and the busiest node's
+// count — the dominant acquirer's steady-state acquires go local.
+func TestMigrateFlattensSkewedLoad(t *testing.T) {
+	load := func(migrate bool) (total, max uint64) {
+		_, st, err := skew.RunDetail(midway.Config{
+			Nodes: 8, Strategy: midway.RT, Sched: "lockstep", Migrate: migrate,
+		}, skew.Config{Locks: 32, Ops: 256, WorkCycles: 2000, HotMillis: 900, Seed: 1})
+		if err != nil {
+			t.Fatalf("migrate=%v: %v", migrate, err)
+		}
+		for _, s := range st {
+			total += s.Messages
+			if s.Messages > max {
+				max = s.Messages
+			}
+		}
+		return total, max
+	}
+	offTotal, offMax := load(false)
+	onTotal, onMax := load(true)
+	t.Logf("messages off: total=%d max=%d; on: total=%d max=%d", offTotal, offMax, onTotal, onMax)
+	if onTotal >= offTotal {
+		t.Errorf("migration did not reduce total messages: %d >= %d", onTotal, offTotal)
+	}
+	if onMax >= offMax {
+		t.Errorf("migration did not flatten the busiest node: %d >= %d", onMax, offMax)
+	}
+}
