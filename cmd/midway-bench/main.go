@@ -57,6 +57,8 @@ func main() {
 		"enable dynamic lock-home migration in every run")
 	migrateThreshold := flag.Float64("migrate-threshold", 0,
 		"dominance fraction of a lock's recent acquires that triggers a home migration (0 = default 0.6)")
+	raceDetect := flag.Bool("race-detect", false,
+		"enable the entry-consistency race detector in every run (overhead measurement; simulated results are unchanged)")
 	jsonOut := flag.Bool("json", false,
 		"emit the machine-readable evaluation report (simulated results plus wall-clock/alloc measurements) instead of tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -72,6 +74,7 @@ func main() {
 	bench.Sched = *sched
 	bench.Migrate = *migrate
 	bench.MigrateThreshold = *migrateThreshold
+	bench.RaceDetect = *raceDetect
 	if *sched == "lockstep" {
 		// Keep cells × engine threads within GOMAXPROCS: concurrent cells
 		// already fill the host, so each engine gets the leftover share.

@@ -95,6 +95,10 @@ func main() {
 		"enable dynamic lock-home migration (sharded directory, profile-driven home moves, token-forwarding)")
 	migrateThreshold := flag.Float64("migrate-threshold", 0,
 		"dominance fraction of a lock's recent acquires that triggers a home migration (0 = default 0.6)")
+	raceDetect := flag.Bool("race-detect", false,
+		"enable the entry-consistency race detector (unguarded writes, unordered conflicts); findings appear in the trace and midway-trace's race report")
+	plantRace := flag.Bool("plant-race", false,
+		"arm the sor workload's deliberate unguarded write (race-detector true-positive oracle)")
 	eager := flag.Bool("eager", false, "eager dirtybit timestamps (RT only)")
 	combine := flag.Bool("combine", false, "combine VM-DSM incarnation histories (§3.4 alternative)")
 	traceFile := flag.String("trace", "", "write protocol events to this file (\"-\" = stderr)")
@@ -176,7 +180,10 @@ func main() {
 		CombineIncarnations: *combine,
 		Migrate:             *migrate,
 		MigrateThreshold:    *migrateThreshold,
+		RaceDetect:          *raceDetect,
 	}
+	bench.RaceDetect = *raceDetect
+	bench.PlantRace = *plantRace
 	cfg.ProfileObjects = *profileObjects
 	var traceOut *os.File
 	if *traceFile != "" {

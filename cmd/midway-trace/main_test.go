@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// runOn invokes the tool's run() as if FILE were the sole argument.
+func runOn(t *testing.T, file string) error {
+	t.Helper()
+	saved := os.Args
+	defer func() { os.Args = saved }()
+	os.Args = []string{"midway-trace", file}
+	return run()
+}
+
+// TestTruncatedTraceFails pins the corrupted-input contract: a JSONL trace
+// cut off mid-object must fail (non-zero exit via main) with an error
+// naming the offending line, not be silently analyzed up to the damage.
+func TestTruncatedTraceFails(t *testing.T) {
+	err := runOn(t, "testdata/truncated.jsonl")
+	if err == nil {
+		t.Fatal("run succeeded on a truncated trace, want a parse error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error = %q, want it to name line 3", err)
+	}
+	if !strings.Contains(err.Error(), "truncated.jsonl") {
+		t.Errorf("error = %q, want it to name the input file", err)
+	}
+}
+
+// TestUnknownEventKindFails pins the same contract for a structurally
+// valid line carrying an event kind this build does not know.
+func TestUnknownEventKindFails(t *testing.T) {
+	err := runOn(t, "testdata/unknown-kind.jsonl")
+	if err == nil {
+		t.Fatal("run succeeded on an unknown event kind, want an error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error = %q, want it to name line 2", err)
+	}
+	if !strings.Contains(err.Error(), "no-such-kind") {
+		t.Errorf("error = %q, want it to name the unknown kind", err)
+	}
+}
+
+// TestEmptyTraceFails pins that an empty input is an error, not an empty
+// report.
+func TestEmptyTraceFails(t *testing.T) {
+	empty := t.TempDir() + "/empty.jsonl"
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runOn(t, empty)
+	if err == nil {
+		t.Fatal("run succeeded on an empty trace, want an error")
+	}
+	if !strings.Contains(err.Error(), "empty trace") {
+		t.Errorf("error = %q, want the empty-trace diagnostic", err)
+	}
+}

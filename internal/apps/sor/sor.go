@@ -32,6 +32,14 @@ type Config struct {
 	CyclesPerCell uint64
 	// Seed generates the random interior.
 	Seed int64
+	// PlantRace deliberately plants an entry-consistency violation: a
+	// lock-bound scratch word is initialized correctly under its lock,
+	// then the last processor stores to it WITHOUT acquiring the lock
+	// after the first phase barrier.  The store touches nothing the
+	// verification reads, so results stay correct; it exists as a
+	// true-positive oracle for the race detector (Config.RaceDetect),
+	// which must flag exactly one unguarded write deterministically.
+	PlantRace bool
 }
 
 // Default returns a seconds-scale configuration.
@@ -145,6 +153,14 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 	}
 	phaseBar := sys.NewBarrier("sor.phase", edges...)
 	sys.SetBarrierParts(phaseBar, parts)
+	// The planted-race scratch word and its guarding lock exist only in
+	// PlantRace mode, so clean runs stay byte-identical.
+	var scratch midway.F64Array
+	var scratchLock midway.LockID
+	if cfg.PlantRace {
+		scratch = sys.AllocF64("sor.scratch", 2, 16, midway.WithGranularity(midway.GranFine))
+		scratchLock = sys.NewLock("sor.scratch.lock", scratch.Range())
+	}
 	// The final barrier collects the whole grid so results can be read at
 	// processor 0.
 	done := sys.NewBarrier("sor.done", grid.Range())
@@ -160,6 +176,12 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 	err = sys.Run(func(p *midway.Proc) {
 		lo, hi := apps.Partition(inner, procs, p.ID())
 		lo, hi = lo+1, hi+1
+		if cfg.PlantRace && p.ID() == 0 {
+			// The correct access pattern: initialize under the lock.
+			p.Acquire(scratchLock)
+			scratch.Set(p, 0, 1)
+			p.Release(scratchLock)
+		}
 		for it := 0; it < cfg.Iters; it++ {
 			for phase := 0; phase < 2; phase++ {
 				for i := lo; i < hi; i++ {
@@ -178,6 +200,11 @@ func Run(mcfg midway.Config, cfg Config) (apps.Result, error) {
 					}
 				}
 				p.Barrier(phaseBar)
+				if cfg.PlantRace && it == 0 && phase == 0 && p.ID() == procs-1 {
+					// The planted violation: a store to lock-bound data
+					// without holding sor.scratch.lock.
+					scratch.Set(p, 1, 2)
+				}
 			}
 		}
 		p.Barrier(done)

@@ -129,6 +129,17 @@ var (
 	DrainSpec string
 )
 
+// RaceDetect, when set, enables the entry-consistency race detector for
+// every system RunApp builds; PlantRace additionally arms the sor
+// workload's deliberate unguarded write (the detector's true-positive
+// oracle).  The CLIs set both from their -race-detect and -plant-race
+// flags.  The detector charges no simulated cycles, so measured results
+// are identical either way.
+var (
+	RaceDetect bool
+	PlantRace  bool
+)
+
 // traceExt maps a trace format to its file extension.
 func traceExt(format string) string {
 	switch format {
@@ -170,6 +181,9 @@ func RunApp(name string, mcfg midway.Config, scale Scale) (apps.Result, error) {
 	if Migrate && !mcfg.Migrate {
 		mcfg.Migrate = true
 		mcfg.MigrateThreshold = MigrateThreshold
+	}
+	if RaceDetect {
+		mcfg.RaceDetect = true
 	}
 	var traceFile *os.File
 	if TraceDir != "" && mcfg.Trace == nil {
@@ -252,6 +266,7 @@ func runApp(name string, mcfg midway.Config, scale Scale) (apps.Result, error) {
 		case ScalePaper:
 			cfg = sor.Paper()
 		}
+		cfg.PlantRace = PlantRace
 		return sor.Run(mcfg, cfg)
 	case "cholesky":
 		cfg := cholesky.Default()

@@ -44,6 +44,7 @@ import (
 	"midway/internal/member"
 	"midway/internal/memory"
 	"midway/internal/obs"
+	"midway/internal/race"
 	"midway/internal/sched"
 	"midway/internal/stats"
 	"midway/internal/transport"
@@ -244,6 +245,15 @@ type Config struct {
 	// halves when its total reaches this many acquires.  Zero means
 	// DefaultMigrateWindow.
 	MigrateWindow int
+	// RaceDetect enables the entry-consistency race detector
+	// (internal/race): stores to lock-bound shared data are checked
+	// against the writer's held locks, and transfer/merge-time update
+	// sets are cross-checked for unordered conflicts.  Findings are
+	// recorded (System.RaceFindings) and, when tracing is on, emitted as
+	// EvUnguardedWrite / EvUnorderedConflict events.  The detector
+	// charges no simulated cycles; off (the default), the hot paths pay
+	// one nil check and runs are byte-identical to pre-detector builds.
+	RaceDetect bool
 }
 
 // Migration policy defaults.
@@ -301,6 +311,9 @@ type System struct {
 	// obs is the structured-event tracer; nil means tracing is disabled
 	// and every emission site short-circuits before evaluating arguments.
 	obs *obs.Tracer
+	// raceRec collects race-detector findings across every node's
+	// checker; nil when Config.RaceDetect is off.
+	raceRec *race.Recorder
 
 	// failErr records the first transport/protocol failure; failCh is
 	// closed alongside it so every blocked application goroutine aborts
@@ -768,12 +781,21 @@ func (s *System) Run(fn func(p *Proc)) error {
 	s.frozen = true
 	s.mu.Unlock()
 	s.layout.Freeze()
+	if s.cfg.RaceDetect {
+		s.setupRaceDetect()
+	}
 
 	errs := make([]error, len(s.nodes))
 	runNode := func(i int, n *Node) {
 		defer func() {
 			if r := recover(); r != nil && r != errAborted && r != errCrashed && r != errLeft {
-				errs[i] = fmt.Errorf("core: node %d panicked: %v", i, r)
+				if pe, ok := r.(*ProtocolError); ok {
+					// An API misuse surfaces typed, not as a wrapped
+					// panic, so callers can errors.As for it.
+					errs[i] = pe
+				} else {
+					errs[i] = fmt.Errorf("core: node %d panicked: %v", i, r)
+				}
 				// A dead proc is still a live member: every other node
 				// would wait forever at the next barrier for its entry.
 				// Abort the run so the panic surfaces instead of a hang.

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"midway/internal/memory"
+)
+
+// TestHomeForDeadNodeFallback pins the liveness guard in lock-home
+// routing: a node's migrated-home override that names a node since
+// declared dead must NOT be routed to — homeForLocked falls back to the
+// static hashed manager, even before crash repair rewrites the views.
+// The resolution is a pure function of (override view, liveness), taken
+// under the node mutex, so both execution engines route identically.
+func TestHomeForDeadNodeFallback(t *testing.T) {
+	s, err := NewSystem(Config{Nodes: 3, Strategy: RT, Migrate: true})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	addr := s.MustAlloc("x", 64, 3)
+	l := s.NewLock("x", memory.Range{Addr: addr, Size: 64})
+	obj := s.objectByID(uint32(l))
+	if obj == nil {
+		t.Fatal("lock object not in the snapshot")
+	}
+	// Pick an override target distinct from the static manager, so the
+	// fallback is observable.
+	target := (obj.manager + 1) % 3
+
+	n := s.Node(0)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	if got := n.homeForLocked(obj); got != obj.manager {
+		t.Fatalf("homeForLocked with no override = %d, want static manager %d", got, obj.manager)
+	}
+	n.setHomeLocked(obj.id, target, 1)
+	if got := n.homeForLocked(obj); got != target {
+		t.Fatalf("homeForLocked with live override = %d, want %d", got, target)
+	}
+
+	// Declare the override target dead the way crash detection does (the
+	// lock-free snapshot) and require the route to fall back.
+	snap := make([]bool, 3)
+	snap[target] = true
+	s.crashSnap.Store(&snap)
+	if got := n.homeForLocked(obj); got != obj.manager {
+		t.Errorf("homeForLocked with dead override = %d, want fallback to static manager %d",
+			got, obj.manager)
+	}
+
+	// A later, newer override naming a live node takes effect again.
+	live := (obj.manager + 2) % 3
+	n.setHomeLocked(obj.id, live, 2)
+	if got := n.homeForLocked(obj); got != live {
+		t.Errorf("homeForLocked with newer live override = %d, want %d", got, live)
+	}
+}
+
+// TestHomeForAbsentNodeFallback pins the same guard under elastic
+// membership: an override naming provisioned-but-never-joined capacity
+// (status Absent, so not a member) must fall back to the static manager.
+func TestHomeForAbsentNodeFallback(t *testing.T) {
+	s, err := NewSystem(Config{Nodes: 2, MaxNodes: 4, Strategy: RT, Migrate: true})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	addr := s.MustAlloc("x", 64, 3)
+	l := s.NewLock("x", memory.Range{Addr: addr, Size: 64})
+	obj := s.objectByID(uint32(l))
+	if obj == nil {
+		t.Fatal("lock object not in the snapshot")
+	}
+
+	n := s.Node(0)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.setHomeLocked(obj.id, 3, 1) // node 3 is provisioned but absent
+	if got := n.homeForLocked(obj); got != obj.manager {
+		t.Errorf("homeForLocked naming absent node = %d, want static manager %d", got, obj.manager)
+	}
+
+	// Out-of-range overrides (a view sized before a capacity change) are
+	// equally unroutable.
+	n.setHomeLocked(obj.id, 7, 2)
+	if got := n.homeForLocked(obj); got != obj.manager {
+		t.Errorf("homeForLocked naming out-of-range node = %d, want static manager %d", got, obj.manager)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"midway/internal/memory"
 	"midway/internal/obs"
 	"midway/internal/proto"
+	"midway/internal/race"
 	"midway/internal/stats"
 	"midway/internal/transport"
 	"midway/internal/vmem"
@@ -81,6 +82,11 @@ type lockState struct {
 	// so a grant performed later by the protocol handler is stamped with
 	// the time the lock actually became free.
 	releaseCycles uint64
+	// released marks that this node's application has released the lock at
+	// least once; it distinguishes a double release from a release without
+	// any acquire in the misuse diagnostic (releaseCycles cannot — a
+	// release at simulated time zero is legal).
+	released bool
 }
 
 // detect.LockView implementation.
@@ -200,6 +206,17 @@ type Node struct {
 	lamport clock.Lamport
 	st      stats.Node
 	det     detect.Detector
+
+	// race is this node's race-detector checker, nil when
+	// Config.RaceDetect is off — the store and synchronization hot
+	// paths pay exactly one nil check for it.
+	race *race.Checker
+
+	// left is set by Leave before the proc's goroutine unwinds, so a
+	// store attempted afterwards (an application recovering the Leave
+	// unwind and continuing) is flagged as a protocol misuse.  Written
+	// and read only by the node's own application goroutine.
+	left bool
 
 	// obsAt is the simulated timestamp detector-side trace events carry:
 	// the protocol sets it (under mu) to the deterministic time of the
@@ -536,7 +553,7 @@ func (n *Node) dispatch(m transport.Message, arrival uint64) bool {
 		// A false return means the grant was a stale duplicate
 		// (possible only after crash-recovery re-drives) and was
 		// dropped without waking the application.
-		if n.applyGrant(g, arrival) {
+		if n.applyGrant(g, arrival, m.From) {
 			n.deliverReply(reply{grant: g, arrival: arrival})
 		}
 	case proto.KindBarrierEnter:
@@ -1002,6 +1019,11 @@ func (n *Node) completeBarrierLocked(obj *object, st *bmgrBarrier) {
 			releaseAt = arrivals[i]
 		}
 		newTime = n.lamport.Witness(ent.Time)
+	}
+	if rc := n.race; rc != nil {
+		// Two parties shipping overlapping byte ranges into the same
+		// epoch's merge wrote the same data with no order between them.
+		rc.CheckMerge(obj.id, obj.name, entered, releaseAt)
 	}
 	for _, ent := range entered {
 		if n.sys.gone(int(ent.Node)) {

@@ -96,6 +96,9 @@ func (p *Proc) ReadF64(a memory.Addr) float64 {
 func (p *Proc) WriteU32(a memory.Addr, v uint32) {
 	n := p.node
 	b, r := p.dataFor(a, 4)
+	if n.race != nil || n.left {
+		n.checkStore(a, 4, r)
+	}
 	n.det.TrapWrite(a, 4, r)
 	n.cycles.Charge(n.cost.Store)
 	binary.LittleEndian.PutUint32(b, v)
@@ -105,9 +108,26 @@ func (p *Proc) WriteU32(a memory.Addr, v uint32) {
 func (p *Proc) WriteU64(a memory.Addr, v uint64) {
 	n := p.node
 	b, r := p.dataFor(a, 8)
+	if n.race != nil || n.left {
+		n.checkStore(a, 8, r)
+	}
 	n.det.TrapWrite(a, 8, r)
 	n.cycles.Charge(n.cost.Store)
 	binary.LittleEndian.PutUint64(b, v)
+}
+
+// checkStore is the write path's slow-path guard, reached only with the
+// race detector on or after a Leave: it flags write-after-leave misuse
+// and hands the store to the detector BEFORE the detector trap marks the
+// line, so the line's last synchronized timestamp is still readable.  It
+// charges no simulated cycles.
+func (n *Node) checkStore(a memory.Addr, size uint32, r *memory.Region) {
+	if n.left {
+		n.protocolViolation("write", r.Name, "store to shared memory after Leave")
+	}
+	if n.race != nil {
+		n.race.CheckStore(a, size, r, n.cycles.Now(), n.lamport.Now())
+	}
 }
 
 // WriteF64 stores a float64, trapping the write.
@@ -125,6 +145,9 @@ func (p *Proc) WriteF64(a memory.Addr, v float64) {
 func (p *Proc) writeBatch(a memory.Addr, elem uint32, count int) []byte {
 	n := p.node
 	b, r := p.dataFor(a, elem*uint32(count))
+	if n.race != nil || n.left {
+		n.checkStore(a, elem*uint32(count), r)
+	}
 	detect.TrapWrites(n.det, a, elem, count, r)
 	n.cycles.Charge(n.cost.Store * uint64(count))
 	return b
@@ -185,6 +208,9 @@ func (p *Proc) WriteBytes(rg memory.Range, src []byte) {
 		panic(err)
 	}
 	for _, s := range segs {
+		if n.race != nil || n.left {
+			n.checkStore(s.Addr(), s.Len, s.Region)
+		}
 		n.det.TrapWrite(s.Addr(), s.Len, s.Region)
 	}
 	n.cycles.Charge(n.cost.Store * uint64((rg.Size+7)/8))
@@ -216,11 +242,14 @@ func (p *Proc) Rebind(l LockID, ranges ...memory.Range) {
 	defer n.mu.Unlock()
 	lk := n.lockState(uint32(l))
 	if !lk.held || lk.mode != proto.Exclusive {
-		panic(fmt.Sprintf("core: Rebind of %s requires holding it exclusively", lk.obj.name))
+		n.protocolViolation("rebind", lk.obj.name, "requires holding the lock exclusively")
 	}
 	lk.binding = append([]memory.Range(nil), ranges...)
 	lk.rebound = true
 	lk.bindGen++
+	if rc := n.race; rc != nil {
+		rc.NoteRebind(lk.id, lk.obj.name, lk.binding)
+	}
 	if tr := n.sys.obs; tr != nil {
 		n.obsAt = n.cycles.Now()
 		tr.Emit(obs.Event{
@@ -272,7 +301,7 @@ func (p *Proc) Join(id int) error {
 		if lk.held {
 			name := lk.obj.name
 			n.mu.Unlock()
-			panic(fmt.Sprintf("core: node %d: Join while holding %s (sponsor must be at a release boundary)", n.id, name))
+			n.protocolViolation("join", name, "sponsor holds the lock (must be at a release boundary)")
 		}
 	}
 	n.mu.Unlock()
@@ -294,11 +323,12 @@ func (p *Proc) Leave() {
 		if lk.held {
 			name := lk.obj.name
 			n.mu.Unlock()
-			panic(fmt.Sprintf("core: node %d: Leave while holding %s (must be at a release boundary)", n.id, name))
+			n.protocolViolation("leave", name, "departing node holds the lock (must be at a release boundary)")
 		}
 	}
 	n.mu.Unlock()
 	n.sys.members.BeginDrain(n.id) // a direct Leave implies the drain request
+	n.left = true // a store after this point is a protocol misuse
 	n.sys.leaveNodeFrom(n.id, n.id)
 	panic(errLeft)
 }
@@ -359,12 +389,15 @@ func (n *Node) acquire(id uint32, mode proto.Mode) {
 	lk := n.lockState(id)
 	if lk.held {
 		n.mu.Unlock()
-		panic(fmt.Sprintf("core: node %d: recursive acquire of %s", n.id, lk.obj.name))
+		n.protocolViolation("acquire", lk.obj.name, "recursive acquire (already held)")
 	}
 	if lk.owner {
 		// Fast path: we are the data authority; the local copy is fresh.
 		lk.held = true
 		lk.mode = mode
+		if rc := n.race; rc != nil {
+			rc.NoteAcquire(lk.id, lk.obj.name, lk.binding)
+		}
 		if n.sys.cfg.Migrate {
 			// The zero-message acquire is exactly what migration optimizes
 			// for; it still feeds the census so dominance is measured over
@@ -422,7 +455,7 @@ func (n *Node) acquire(id uint32, mode proto.Mode) {
 // was answered already) or the grant predates a recovery reclaim whose
 // binding generation superseded it.  Fault-free runs never take either
 // branch.
-func (n *Node) applyGrant(g *proto.LockGrant, arrival uint64) bool {
+func (n *Node) applyGrant(g *proto.LockGrant, arrival uint64, from int) bool {
 	n.mu.Lock()
 	lk := n.lockState(g.Lock)
 	if lk.inflight == nil || (lk.redriveGen != 0 && g.BindGen < lk.redriveGen) {
@@ -438,11 +471,19 @@ func (n *Node) applyGrant(g *proto.LockGrant, arrival uint64) bool {
 	if n.sys.obs != nil {
 		n.obsAt = arrival // detector events during apply carry the arrival time
 	}
+	if rc := n.race; rc != nil {
+		// Cross-check the incoming updates against locally pending lines
+		// before ApplyLock consumes them and restamps the dirtybits.
+		rc.CheckIncoming(lk.id, lk.obj.name, from, g.Updates, arrival, n.lamport.Now())
+	}
 	cycles := n.det.ApplyLock(lk, g)
 	lk.bindGen = g.BindGen
 	lk.binding = append([]memory.Range(nil), g.Binding...)
 	lk.held = true
 	lk.mode = g.Mode
+	if rc := n.race; rc != nil {
+		rc.NoteAcquire(lk.id, lk.obj.name, lk.binding)
+	}
 	if g.Mode == proto.Exclusive {
 		lk.owner = true
 	}
@@ -482,9 +523,20 @@ func (n *Node) release(id uint32) {
 	defer n.mu.Unlock()
 	lk := n.lockState(id)
 	if !lk.held {
-		panic(fmt.Sprintf("core: node %d: release of %s, which is not held", n.id, lk.obj.name))
+		// The deferred unlock runs as the violation panic unwinds.
+		// Distinguish the double release from the never-acquired case in
+		// the diagnostic; both unwind with the same typed error.
+		reason := "released without a matching acquire"
+		if lk.released {
+			reason = "double release (already released)"
+		}
+		n.protocolViolation("release", lk.obj.name, reason)
 	}
 	lk.held = false
+	lk.released = true
+	if rc := n.race; rc != nil {
+		rc.NoteRelease(lk.id)
+	}
 	lk.releaseCycles = n.cycles.Now()
 	if tr := n.sys.obs; tr != nil {
 		tr.Emit(obs.Event{

@@ -1,0 +1,37 @@
+package core
+
+import "fmt"
+
+// ProtocolError reports an application's misuse of the entry-consistency
+// API: releasing a lock it does not hold (double release or
+// release-without-acquire), acquiring a lock it already holds, rebinding
+// without exclusive ownership, joining or leaving while holding a lock,
+// or storing to shared memory after leaving the membership.  The
+// offending proc's goroutine unwinds with the error, the run aborts, and
+// Run/Err return it, so tests and callers can errors.As for it instead
+// of fishing diagnostics out of a panic string.
+type ProtocolError struct {
+	// Node is the misbehaving processor.
+	Node int
+	// Op is the misused operation: "acquire", "release", "rebind",
+	// "join", "leave" or "write".
+	Op string
+	// Object names the synchronization object involved, or the written
+	// region for a write-after-leave.
+	Object string
+	// Reason describes the misuse.
+	Reason string
+}
+
+func (e *ProtocolError) Error() string {
+	if e.Object == "" {
+		return fmt.Sprintf("core: node %d: protocol misuse: %s: %s", e.Node, e.Op, e.Reason)
+	}
+	return fmt.Sprintf("core: node %d: protocol misuse: %s %s: %s", e.Node, e.Op, e.Object, e.Reason)
+}
+
+// protocolViolation panics with a typed *ProtocolError; Run's recovery
+// recognizes the type and surfaces it unwrapped through Run and Err.
+func (n *Node) protocolViolation(op, object, reason string) {
+	panic(&ProtocolError{Node: n.id, Op: op, Object: object, Reason: reason})
+}

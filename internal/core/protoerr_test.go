@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"midway/internal/memory"
+)
+
+// expectProtocolError runs fn on a fresh system and asserts the run fails
+// with a *ProtocolError whose Op and Reason match.  Misuse must surface as
+// the typed error through System.Run — never as a raw panic string — so
+// callers can errors.As for it.
+func expectProtocolError(t *testing.T, s *System, fn func(p *Proc), op, reasonPart string) {
+	t.Helper()
+	err := s.Run(fn)
+	if err == nil {
+		t.Fatalf("Run succeeded, want a protocol error (%s)", op)
+	}
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run error %v (%T), want *ProtocolError", err, err)
+	}
+	if pe.Op != op {
+		t.Errorf("ProtocolError.Op = %q, want %q", pe.Op, op)
+	}
+	if !strings.Contains(pe.Reason, reasonPart) {
+		t.Errorf("ProtocolError.Reason = %q, want it to mention %q", pe.Reason, reasonPart)
+	}
+	if !strings.Contains(pe.Error(), "protocol misuse") {
+		t.Errorf("ProtocolError.Error() = %q, want it to mention the misuse", pe.Error())
+	}
+}
+
+// TestProtocolErrorDoubleRelease pins that releasing a lock twice fails
+// typed: the second release finds the lock not held with a recorded
+// release, and reports the double release (not a missing acquire).
+func TestProtocolErrorDoubleRelease(t *testing.T) {
+	s := newTestSystem(t, 1, RT)
+	addr := s.MustAlloc("x", 64, 3)
+	l := s.NewLock("x", memory.Range{Addr: addr, Size: 64})
+	expectProtocolError(t, s, func(p *Proc) {
+		p.Acquire(l)
+		p.Release(l)
+		p.Release(l)
+	}, "release", "double release")
+}
+
+// TestProtocolErrorReleaseWithoutAcquire pins the never-acquired variant:
+// a release with no acquire on record is distinguished from the double
+// release in the diagnostic.
+func TestProtocolErrorReleaseWithoutAcquire(t *testing.T) {
+	s := newTestSystem(t, 1, RT)
+	addr := s.MustAlloc("x", 64, 3)
+	l := s.NewLock("x", memory.Range{Addr: addr, Size: 64})
+	expectProtocolError(t, s, func(p *Proc) {
+		p.Release(l)
+	}, "release", "without a matching acquire")
+}
+
+// TestProtocolErrorRecursiveAcquire pins that re-acquiring a held lock
+// fails typed instead of deadlocking or panicking raw.
+func TestProtocolErrorRecursiveAcquire(t *testing.T) {
+	s := newTestSystem(t, 1, RT)
+	addr := s.MustAlloc("x", 64, 3)
+	l := s.NewLock("x", memory.Range{Addr: addr, Size: 64})
+	expectProtocolError(t, s, func(p *Proc) {
+		p.Acquire(l)
+		p.Acquire(l)
+	}, "acquire", "recursive")
+}
+
+// TestProtocolErrorRebindWithoutLock pins that rebinding a lock the caller
+// does not hold exclusively fails typed.
+func TestProtocolErrorRebindWithoutLock(t *testing.T) {
+	s := newTestSystem(t, 1, RT)
+	addr := s.MustAlloc("x", 128, 3)
+	l := s.NewLock("x", memory.Range{Addr: addr, Size: 64})
+	expectProtocolError(t, s, func(p *Proc) {
+		p.Rebind(l, memory.Range{Addr: addr + 64, Size: 64})
+	}, "rebind", "exclusively")
+}
+
+// TestProtocolErrorWriteAfterLeave pins that a store to shared memory
+// after a graceful Leave fails typed.  Leave unwinds the proc, so the
+// only way application code can run afterwards is a deferred function —
+// exactly the misuse the `left` flag exists to catch.
+func TestProtocolErrorWriteAfterLeave(t *testing.T) {
+	s, err := NewSystem(Config{Nodes: 2, MaxNodes: 3, Strategy: RT})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	addr := s.MustAlloc("shared", 64, 3)
+	expectProtocolError(t, s, func(p *Proc) {
+		if p.ID() != 1 {
+			return
+		}
+		defer p.WriteU64(addr, 1) // runs during the Leave unwind
+		p.Leave()
+	}, "write", "after Leave")
+}
+
+// TestProtocolErrorHoldingLockOnLeave pins that leaving while holding a
+// lock fails typed at the departing node.
+func TestProtocolErrorHoldingLockOnLeave(t *testing.T) {
+	s, err := NewSystem(Config{Nodes: 2, MaxNodes: 3, Strategy: RT})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	addr := s.MustAlloc("x", 64, 3)
+	l := s.NewLock("x", memory.Range{Addr: addr, Size: 64})
+	expectProtocolError(t, s, func(p *Proc) {
+		if p.ID() != 1 {
+			return
+		}
+		p.Acquire(l)
+		p.Leave()
+	}, "leave", "release boundary")
+}

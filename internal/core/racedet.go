@@ -1,0 +1,65 @@
+package core
+
+import (
+	"midway/internal/memory"
+	"midway/internal/race"
+)
+
+// Race-detector wiring (Config.RaceDetect).  The checker state is
+// per-node and nil when the detector is off, so the store and
+// synchronization hot paths pay one nil check — the same
+// zero-cost-when-disabled contract the tracer honors.  The detector
+// charges no simulated cycles and emits findings as obs events, so a
+// detecting run's simulated results, statistics and (detector events
+// aside) trace are identical to a non-detecting run's.
+
+// setupRaceDetect builds the shared findings recorder and one checker
+// per hosted node.  Called from Run after the layout and object table
+// freeze, so the guard directory and barrier exemptions are complete.
+func (s *System) setupRaceDetect() {
+	rec := race.NewRecorder()
+	s.raceRec = rec
+	var guards []race.Guard
+	var exempt []memory.Range
+	for _, o := range s.objectsSnapshot() {
+		switch o.kind {
+		case ObjLock:
+			guards = append(guards, race.Guard{Obj: int32(o.id), Name: o.name, Ranges: o.binding})
+		case ObjBarrier:
+			exempt = append(exempt, o.binding...)
+		}
+	}
+	scheme := s.cfg.Scheme
+	// Blast ships whole bindings rather than modified bytes, so every
+	// barrier merge would overlap spuriously; "none" detects nothing.
+	merge := scheme != "blast" && scheme != "none"
+	// Only the pure lazy-stamped rt scheme keeps the per-line pending
+	// sentinel accurate for every shared region (hybrid can strand
+	// pending marks on regions it classifies as vm).
+	incoming := scheme == "rt" && !s.cfg.EagerTimestamps
+	for _, n := range s.nodes {
+		if n == nil {
+			continue
+		}
+		n.race = race.NewChecker(race.Config{
+			Node:          n.id,
+			Layout:        s.layout,
+			Inst:          n.inst,
+			Tracer:        s.obs,
+			Rec:           rec,
+			Guards:        guards,
+			Exempt:        exempt,
+			MergeCheck:    merge,
+			IncomingCheck: incoming,
+		})
+	}
+}
+
+// RaceFindings returns the race detector's findings in a deterministic
+// order, or nil when Config.RaceDetect is off.  Valid after Run.
+func (s *System) RaceFindings() []race.Finding {
+	if s.raceRec == nil {
+		return nil
+	}
+	return s.raceRec.Findings()
+}

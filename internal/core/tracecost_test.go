@@ -9,7 +9,7 @@ import (
 // newBenchSystem builds a single-node RT system with one bound lock and one
 // bound barrier, tracing disabled.  Node 0 manages (and initially owns)
 // object 0, so Acquire takes the local-owner fast path.
-func newBenchSystem(tb testing.TB) (*System, LockID, BarrierID) {
+func newBenchSystem(tb testing.TB) (*System, LockID, BarrierID, memory.Addr) {
 	tb.Helper()
 	s, err := NewSystem(Config{Nodes: 1, Strategy: RT})
 	if err != nil {
@@ -22,7 +22,7 @@ func newBenchSystem(tb testing.TB) (*System, LockID, BarrierID) {
 	rg := memory.Range{Addr: a, Size: 256}
 	l := s.NewLock("x", rg)
 	b := s.NewBarrier("done", 0, rg)
-	return s, l, b
+	return s, l, b, a
 }
 
 // BenchmarkUntracedAcquireRelease measures the local-owner lock
@@ -30,7 +30,7 @@ func newBenchSystem(tb testing.TB) (*System, LockID, BarrierID) {
 // application leans on.  With tracing off this path must not allocate and
 // must not take the System mutex (see TestUntracedAcquireReleaseZeroAlloc).
 func BenchmarkUntracedAcquireRelease(b *testing.B) {
-	s, l, _ := newBenchSystem(b)
+	s, l, _, _ := newBenchSystem(b)
 	err := s.Run(func(p *Proc) {
 		p.Acquire(l)
 		p.Release(l)
@@ -50,21 +50,49 @@ func BenchmarkUntracedAcquireRelease(b *testing.B) {
 // contract: with tracing off, the local-owner acquire/release pair takes
 // no allocation — so no trace Event was constructed, no object name was
 // resolved, and no System-mutex objName lookup ran on the hot path.
+// The same contract covers the race detector (Config.RaceDetect, off
+// here and off by default): a guarded acquire/release/store sequence must
+// not construct detector state, findings, or events when the detector is
+// disabled — the hot paths pay one nil check and nothing else.
 func TestUntracedAcquireReleaseZeroAlloc(t *testing.T) {
-	s, l, _ := newBenchSystem(t)
+	s, l, _, a := newBenchSystem(t)
 	err := s.Run(func(p *Proc) {
 		p.Acquire(l)
+		p.WriteU64(a, 1)
 		p.Release(l)
 		allocs := testing.AllocsPerRun(100, func() {
 			p.Acquire(l)
+			p.WriteU64(a, 2)
+			p.WriteU32(a+8, 3)
 			p.Release(l)
 		})
 		if allocs != 0 {
-			t.Errorf("untraced acquire/release allocates %.1f objects per op, want 0", allocs)
+			t.Errorf("detector-off acquire/store/release allocates %.1f objects per op, want 0", allocs)
 		}
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BenchmarkDetectorDisabledStore measures the instrumented store with the
+// race detector disabled — the path every production run takes, which the
+// zero-cost contract says must be indistinguishable from the pre-detector
+// store (one nil/bool check).
+func BenchmarkDetectorDisabledStore(b *testing.B) {
+	s, l, _, a := newBenchSystem(b)
+	err := s.Run(func(p *Proc) {
+		p.Acquire(l)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.WriteU64(a, uint64(i))
+		}
+		b.StopTimer()
+		p.Release(l)
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
 }
 
@@ -73,7 +101,7 @@ func TestUntracedAcquireReleaseZeroAlloc(t *testing.T) {
 // trace argument may be materialized and no System-mutex name lookup may
 // run.
 func BenchmarkUntracedBarrier(b *testing.B) {
-	s, _, bar := newBenchSystem(b)
+	s, _, bar, _ := newBenchSystem(b)
 	err := s.Run(func(p *Proc) {
 		p.Barrier(bar)
 		b.ReportAllocs()

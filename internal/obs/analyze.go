@@ -31,6 +31,50 @@ type Analysis struct {
 	// Ownership is the dynamic-ownership timeline, nil when the trace has
 	// no home-migration or token-forwarding events.
 	Ownership *OwnershipReport
+	// Races is the race-detector report, nil when the trace has no
+	// race-detection events.
+	Races *RaceReport
+}
+
+// RaceReport is the race-detector findings in trace order.
+type RaceReport struct {
+	// Unguarded are stores made without holding the guarding lock.
+	Unguarded []UnguardedWriteReport
+	// Conflicts are unordered same-line accesses caught at transfer or
+	// barrier-merge time.
+	Conflicts []ConflictReport
+}
+
+// UnguardedWriteReport is one store made without the guarding lock held.
+type UnguardedWriteReport struct {
+	// Node is the writer; Obj and Guard name the lock the writer should
+	// have held.
+	Node  int32
+	Obj   int32
+	Guard string
+	// Addr and Size locate the store; TS is the writer's Lamport time and
+	// LastSync the line's last synchronized timestamp.
+	Addr     uint64
+	Size     uint64
+	TS       int64
+	LastSync int64
+	Cycles   uint64
+}
+
+// ConflictReport is one unordered pair of accesses to the same line.
+type ConflictReport struct {
+	// Node and Peer are the two writers (lower id first); Obj/Object the
+	// synchronization object the conflict surfaced through.
+	Node   int32
+	Peer   int32
+	Obj    int32
+	Object string
+	// Addr and Size span the overlap; TS1/TS2 are the two access
+	// timestamps (TS1 for Node, TS2 for Peer).
+	Addr     uint64
+	Size     uint64
+	TS1, TS2 int64
+	Cycles   uint64
 }
 
 // OwnershipReport is the dynamic-ownership timeline: committed lock-home
@@ -309,6 +353,12 @@ func AnalyzeEvents(events []Event) *Analysis {
 		}
 		return a.Membership
 	}
+	races := func() *RaceReport {
+		if a.Races == nil {
+			a.Races = &RaceReport{}
+		}
+		return a.Races
+	}
 
 	for _, e := range events {
 		// Liveness and recovery events are accounted separately: they are
@@ -379,6 +429,20 @@ func AnalyzeEvents(events []Event) *Analysis {
 		case EvMembershipChange:
 			membership().Changes = append(membership().Changes, ChangeReport{
 				Node: e.Peer, Action: memberActionName(e.B), Epoch: e.A, Cycles: e.Cycles,
+			})
+			continue
+		case EvUnguardedWrite:
+			// Detector findings are metadata: they must not perturb the
+			// per-node time breakdown of the run they observed.
+			races().Unguarded = append(races().Unguarded, UnguardedWriteReport{
+				Node: e.Node, Obj: e.Obj, Guard: e.Name, Addr: e.Addr,
+				Size: e.Bytes, TS: e.A, LastSync: e.B, Cycles: e.Cycles,
+			})
+			continue
+		case EvUnorderedConflict:
+			races().Conflicts = append(races().Conflicts, ConflictReport{
+				Node: e.Node, Peer: e.Peer, Obj: e.Obj, Object: e.Name,
+				Addr: e.Addr, Size: e.Bytes, TS1: e.A, TS2: e.B, Cycles: e.Cycles,
 			})
 			continue
 		}
@@ -651,6 +715,21 @@ func (a *Analysis) WriteReport(w io.Writer) {
 		}
 		tw.Flush()
 		fmt.Fprintf(w, "  hop histogram over these objects: 0-hop %d, 1-hop %d, 3-hop %d\n", hop0, hop1, hop3)
+	}
+
+	if r := a.Races; r != nil {
+		fmt.Fprintf(w, "\nrace report: %d unguarded writes, %d unordered conflicts\n",
+			len(r.Unguarded), len(r.Conflicts))
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for _, u := range r.Unguarded {
+			fmt.Fprintf(tw, "  %s\tn%d wrote 0x%x (%dB)\tguard %s (obj %d) not held\tts=%d last-sync=%d\n",
+				ms(u.Cycles), u.Node, u.Addr, u.Size, u.Guard, u.Obj, u.TS, u.LastSync)
+		}
+		for _, c := range r.Conflicts {
+			fmt.Fprintf(tw, "  %s\tn%d/n%d unordered at 0x%x (%dB)\tvia %s\tts=%d vs ts=%d\n",
+				ms(c.Cycles), c.Node, c.Peer, c.Addr, c.Size, c.Object, c.TS1, c.TS2)
+		}
+		tw.Flush()
 	}
 
 	for _, b := range a.Barriers {

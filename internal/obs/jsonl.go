@@ -28,6 +28,7 @@ type Record struct {
 	Bytes uint64 `json:"bytes,omitempty"`
 	A     int64  `json:"a,omitempty"`
 	B     int64  `json:"b,omitempty"`
+	Addr  uint64 `json:"addr,omitempty"`
 }
 
 // Event converts a parsed record back to an Event.  Unknown kinds fail.
@@ -39,6 +40,7 @@ func (r Record) Event() (Event, error) {
 	e := Event{
 		Cycles: r.Cyc, Node: r.Node, Kind: k, Obj: -1, Peer: -1,
 		Full: r.Full, Bytes: r.Bytes, A: r.A, B: r.B, Name: r.Name,
+		Addr: r.Addr,
 	}
 	if r.Obj != nil {
 		e.Obj = *r.Obj
@@ -109,6 +111,10 @@ func appendJSONLine(b []byte, e Event) []byte {
 		b = append(b, `,"b":`...)
 		b = strconv.AppendInt(b, e.B, 10)
 	}
+	if e.Addr != 0 {
+		b = append(b, `,"addr":`...)
+		b = strconv.AppendUint(b, e.Addr, 10)
+	}
 	b = append(b, "}\n"...)
 	return b
 }
@@ -136,7 +142,7 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		events = append(events, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("obs: line %d: %w", lineNo+1, err)
 	}
 	return events, nil
 }

@@ -117,6 +117,19 @@ const (
 	// granter, Peer the receiver, Obj the lock, A the number of queued
 	// waiters travelling with the token.
 	EvTokenForward
+	// EvUnguardedWrite is a race-detector finding: a store to shared data
+	// whose guarding synchronization object the writer does not hold.
+	// Node is the writer, Obj and Name the guarding lock the writer should
+	// have held, Addr/Bytes the store, A the writer's Lamport time and B
+	// the stored-to line's last synchronized timestamp.
+	EvUnguardedWrite
+	// EvUnorderedConflict is a race-detector finding: two accesses to the
+	// same line with no synchronization order between them, visible in the
+	// RT timestamp history at transfer or barrier-merge time.  Node and
+	// Peer are the two writers (lower id first), Obj the synchronization
+	// object the conflict surfaced through, Addr/Bytes the overlap, A and
+	// B the two access timestamps.
+	EvUnorderedConflict
 
 	kindCount
 )
@@ -147,6 +160,9 @@ var kindNames = [kindCount]string{
 	EvMembershipChange: "membership-change",
 	EvHomeMigrate:      "home-migrate",
 	EvTokenForward:     "token-forward",
+
+	EvUnguardedWrite:    "unguarded-write",
+	EvUnorderedConflict: "unordered-conflict",
 }
 
 // String returns the kind's wire name as used in JSONL output.
@@ -216,6 +232,8 @@ type Event struct {
 	A, B int64
 	// Name is the object or region name, or the fault kind for EvNetFault.
 	Name string
+	// Addr is the memory address for race-detector events, 0 otherwise.
+	Addr uint64
 }
 
 // Config selects the sinks a Tracer drives.  All writers are optional; a
@@ -349,6 +367,12 @@ func (e Event) textBody() string {
 		return fmt.Sprintf("home-migrate %s n%d -> n%d (%d/%d acquires)", e.Name, e.Peer, e.Node, e.A, e.B)
 	case EvTokenForward:
 		return fmt.Sprintf("token-forward %s -> n%d queue=%d", e.Name, e.Peer, e.A)
+	case EvUnguardedWrite:
+		return fmt.Sprintf("RACE unguarded write addr=0x%x %dB guard %s not held ts=%d last-sync=%d",
+			e.Addr, e.Bytes, e.Name, e.A, e.B)
+	case EvUnorderedConflict:
+		return fmt.Sprintf("RACE unordered conflict %s addr=0x%x %dB n%d ts=%d vs n%d ts=%d",
+			e.Name, e.Addr, e.Bytes, e.Node, e.A, e.Peer, e.B)
 	default:
 		return e.Kind.String()
 	}
@@ -405,7 +429,10 @@ func less(a, b Event) bool {
 	if a.A != b.A {
 		return a.A < b.A
 	}
-	return a.B < b.B
+	if a.B != b.B {
+		return a.B < b.B
+	}
+	return a.Addr < b.Addr
 }
 
 // Close flushes the buffering sinks (JSONL, Chrome).  It is idempotent and

@@ -1,0 +1,414 @@
+// Package race is Midway's entry-consistency race detector
+// (Config.RaceDetect).  Entry consistency makes data-race detection
+// unusually cheap for a DSM: the programming model already names, for
+// every shared datum, the synchronization object that guards it (the
+// data↔lock binding), and the RT write-detection scheme already stamps
+// every modified line with a Lamport timestamp.  Crossing the two gives
+// two independent checks:
+//
+//   - Unguarded writes: every store is checked against the writer's
+//     currently-held lock bindings and the barrier bindings.  A store to
+//     lock-bound shared data whose guard is not held is a race by
+//     definition under entry consistency — the protocol gives such a
+//     write no consistency guarantee at all.
+//
+//   - Unordered conflicts: at transfer and barrier-merge time the
+//     detector cross-checks incoming updates against local per-line
+//     state.  An incoming update that lands on a line this node has
+//     modified since its own last synchronization episode (an RT
+//     "pending" line), or two nodes entering the same barrier epoch with
+//     overlapping update ranges, is a pair of accesses with no
+//     happens-before order between them.
+//
+// The pending-line cross-check needs the RT scheme's per-line timestamp
+// sentinel, so it is live under rt and the rt-routed part of hybrid; VM
+// pages fall back to the unguarded-store check plus the barrier-merge
+// overlap check (VM diffs are byte-accurate, so merge overlap is exact).
+// The merge check is disabled under the blast scheme, which ships whole
+// bindings rather than modified bytes and would overlap spuriously.
+//
+// The detector is metadata-only: it charges no simulated cycles, so a
+// detecting run's simulated results and statistics are identical to a
+// non-detecting run's, and its findings (reported as obs events) sort
+// deterministically under both engines.  When Config.RaceDetect is off
+// no Checker exists and the hot paths cost one nil check.
+package race
+
+import (
+	"sort"
+	"sync"
+
+	"midway/internal/memory"
+	"midway/internal/obs"
+	"midway/internal/proto"
+)
+
+// Guard describes one lock object's data binding for the diagnosis
+// directory: when an unguarded store is flagged, the directory names the
+// lock the writer should have held.
+type Guard struct {
+	Obj    int32
+	Name   string
+	Ranges []memory.Range
+}
+
+// Config assembles a per-node Checker.
+type Config struct {
+	// Node is the processor this checker observes.
+	Node int
+	// Layout and Inst give the checker read access to the node's memory
+	// image (region metadata and RT dirtybit timestamps).
+	Layout *memory.Layout
+	Inst   *memory.Instance
+	// Tracer receives findings as events; nil records findings only.
+	Tracer *obs.Tracer
+	// Rec collects findings across all nodes' checkers.
+	Rec *Recorder
+	// Guards is the static lock→binding directory used to name the
+	// object a writer should have held.  Rebinds observed by this node
+	// refresh its entries.
+	Guards []Guard
+	// Exempt is the union of all barrier bindings: barrier-bound data is
+	// written between episodes by design (SPMD partitions), so stores to
+	// it are checked at merge time instead of store time.
+	Exempt []memory.Range
+	// MergeCheck enables the barrier-merge overlap check (off for the
+	// blast scheme, whose updates cover whole bindings).
+	MergeCheck bool
+	// IncomingCheck enables the grant-time pending-line cross-check.
+	// Only the pure rt scheme keeps the DirtyPending sentinel accurate
+	// for every shared region; hybrid can strand pending marks on
+	// regions it later classifies as vm, so it (and vm itself) falls
+	// back to unguarded-store and merge detection.
+	IncomingCheck bool
+}
+
+// Finding is one recorded race, the Recorder-side mirror of the
+// EvUnguardedWrite / EvUnorderedConflict events.
+type Finding struct {
+	// Kind is "unguarded-write" or "unordered-conflict".
+	Kind string
+	// Node is the writer (unguarded) or the lower-id party (conflict);
+	// Peer is the other party, -1 for unguarded writes.
+	Node int
+	Peer int
+	// Obj is the guarding or merging synchronization object, -1 when no
+	// lock binds the address; Object its name when known.
+	Obj    int32
+	Object string
+	// Region names the stored-to region for unguarded writes.
+	Region string
+	// Addr and Size locate the access (the overlap, for conflicts).
+	Addr memory.Addr
+	Size uint32
+	// TS1 and TS2 are the two access timestamps: for unguarded writes
+	// the writer's Lamport time and the line's last synchronized stamp;
+	// for conflicts the two parties' times.
+	TS1, TS2 int64
+	// Cycles is the simulated time the finding surfaced.
+	Cycles uint64
+}
+
+// Recorder collects findings from every node's checker.  Safe for
+// concurrent use.
+type Recorder struct {
+	mu       sync.Mutex
+	findings []Finding
+}
+
+// NewRecorder returns an empty shared findings recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) add(f Finding) {
+	r.mu.Lock()
+	r.findings = append(r.findings, f)
+	r.mu.Unlock()
+}
+
+// Findings returns the recorded findings sorted into a deterministic
+// order (by cycles, then node, kind, address).
+func (r *Recorder) Findings() []Finding {
+	r.mu.Lock()
+	out := make([]Finding, len(r.findings))
+	copy(out, r.findings)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Cycles != b.Cycles {
+			return a.Cycles < b.Cycles
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		return a.TS1 < b.TS1
+	})
+	return out
+}
+
+// heldGuard is one lock the node currently holds, with its binding as of
+// the grant (bindings travel with the token, so this view is current).
+type heldGuard struct {
+	obj     uint32
+	name    string
+	binding []memory.Range
+}
+
+// Checker is one node's race detector.  Its held-guard state is mutated
+// from the acquire/release/grant paths and read from the store path;
+// these never run concurrently for a node (grants are applied while the
+// node's application goroutine is blocked awaiting them), the same
+// discipline the core relies on for the lock state itself.
+type Checker struct {
+	cfg  Config
+	held []heldGuard
+	// lastHit caches the last range that covered a store, so the common
+	// tight-loop pattern (many stores into one guarded range) costs one
+	// range test.
+	lastHit memory.Range
+	// guards is the mutable diagnosis directory seeded from cfg.Guards.
+	guards []Guard
+	// flagged dedups unguarded-write findings per (region, line), so a
+	// racy store loop yields one finding per line instead of a flood.
+	flagged map[uint64]struct{}
+}
+
+// NewChecker builds a node's checker.
+func NewChecker(cfg Config) *Checker {
+	guards := make([]Guard, len(cfg.Guards))
+	for i, g := range cfg.Guards {
+		guards[i] = Guard{Obj: g.Obj, Name: g.Name, Ranges: append([]memory.Range(nil), g.Ranges...)}
+	}
+	return &Checker{cfg: cfg, guards: guards, flagged: make(map[uint64]struct{})}
+}
+
+// NoteAcquire records that the node now holds obj with the given
+// binding, refreshing the diagnosis directory with the travelled
+// binding.
+func (c *Checker) NoteAcquire(obj uint32, name string, binding []memory.Range) {
+	b := append([]memory.Range(nil), binding...)
+	found := false
+	for i := range c.held {
+		if c.held[i].obj == obj {
+			c.held[i].binding = b
+			found = true
+			break
+		}
+	}
+	if !found {
+		c.held = append(c.held, heldGuard{obj: obj, name: name, binding: b})
+	}
+	c.noteBinding(obj, name, b)
+}
+
+// NoteRelease drops obj from the held set.
+func (c *Checker) NoteRelease(obj uint32) {
+	for i := range c.held {
+		if c.held[i].obj == obj {
+			c.held = append(c.held[:i], c.held[i+1:]...)
+			c.lastHit = memory.Range{}
+			return
+		}
+	}
+}
+
+// NoteRebind refreshes obj's binding in both the held set and the
+// diagnosis directory (Rebind requires holding the lock exclusively).
+func (c *Checker) NoteRebind(obj uint32, name string, binding []memory.Range) {
+	b := append([]memory.Range(nil), binding...)
+	for i := range c.held {
+		if c.held[i].obj == obj {
+			c.held[i].binding = b
+			break
+		}
+	}
+	c.lastHit = memory.Range{}
+	c.noteBinding(obj, name, b)
+}
+
+func (c *Checker) noteBinding(obj uint32, name string, binding []memory.Range) {
+	for i := range c.guards {
+		if c.guards[i].Obj == int32(obj) {
+			c.guards[i].Ranges = binding
+			return
+		}
+	}
+	c.guards = append(c.guards, Guard{Obj: int32(obj), Name: name, Ranges: binding})
+}
+
+// CheckStore flags a store to shared data whose guarding lock the node
+// does not hold.  Called from the write fast path with the detector
+// enabled; cycles is the node's simulated time and now its Lamport time.
+func (c *Checker) CheckStore(a memory.Addr, size uint32, r *memory.Region, cycles uint64, now int64) {
+	if r.Class != memory.Shared {
+		return
+	}
+	rg := memory.Range{Addr: a, Size: size}
+	if c.lastHit.Size != 0 && c.lastHit.Contains(a) && c.lastHit.Contains(a+memory.Addr(size)-1) {
+		return
+	}
+	for i := range c.held {
+		for _, hr := range c.held[i].binding {
+			if hr.Contains(a) && hr.Contains(a+memory.Addr(size)-1) {
+				c.lastHit = hr
+				return
+			}
+		}
+	}
+	// Barrier-bound data is legitimately written between episodes; its
+	// conflicts are caught pairwise at merge time instead.
+	for _, er := range c.cfg.Exempt {
+		if er.Contains(a) && er.Contains(a+memory.Addr(size)-1) {
+			c.lastHit = er
+			return
+		}
+	}
+	// A race only exists when some synchronization object guards the
+	// address; unbound shared data has no entry-consistency contract to
+	// violate.
+	guard := int32(-1)
+	guardName := ""
+	for i := range c.guards {
+		for _, gr := range c.guards[i].Ranges {
+			if gr.Overlaps(rg) {
+				guard = c.guards[i].Obj
+				guardName = c.guards[i].Name
+				break
+			}
+		}
+		if guard >= 0 {
+			break
+		}
+	}
+	if guard < 0 {
+		return
+	}
+	line := r.LineIndex(a)
+	key := uint64(r.Base)<<32 | uint64(uint32(line))
+	if _, dup := c.flagged[key]; dup {
+		return
+	}
+	c.flagged[key] = struct{}{}
+	// The line's current stamp is the last synchronized write the node
+	// has seen there (zero when the RT sentinel says this node already
+	// dirtied the line, or when the scheme keeps no timestamps).
+	var last int64
+	if bits := c.cfg.Inst.Dirtybits(r); bits != nil {
+		if ts := bits[line]; ts != memory.DirtyPending {
+			last = ts
+		}
+	}
+	// The event names the guard the writer should have held — the
+	// actionable half of the diagnosis.  The region name stays in the
+	// Finding only: small allocations share regions, so it can name a
+	// co-resident allocation rather than the stored-to one.
+	c.report(Finding{
+		Kind: "unguarded-write", Node: c.cfg.Node, Peer: -1,
+		Obj: guard, Object: guardName, Region: r.Name,
+		Addr: a, Size: size, TS1: now, TS2: last, Cycles: cycles,
+	}, obs.Event{
+		Cycles: cycles, Node: int32(c.cfg.Node), Kind: obs.EvUnguardedWrite,
+		Obj: guard, Peer: -1, Name: guardName,
+		Addr: uint64(a), Bytes: uint64(size), A: now, B: last,
+	})
+}
+
+// CheckIncoming cross-checks a lock grant's updates against this node's
+// RT pending lines: an incoming update covering a line this node has
+// modified since its last synchronization episode is a pair of unordered
+// writes.  Inert for schemes that never mark lines pending (vm, blast,
+// twindiff, eager-stamped rt).  from is the granting node, arrival the
+// grant's simulated arrival time, now this node's Lamport time.
+func (c *Checker) CheckIncoming(obj uint32, name string, from int, us []proto.Update, arrival uint64, now int64) {
+	if !c.cfg.IncomingCheck {
+		return
+	}
+	for _, u := range us {
+		segs, err := c.cfg.Layout.Segments(u.Range())
+		if err != nil {
+			continue
+		}
+		for _, seg := range segs {
+			r := seg.Region
+			if r.Class != memory.Shared {
+				continue
+			}
+			bits := c.cfg.Inst.Dirtybits(r)
+			if bits == nil {
+				continue
+			}
+			base := seg.Addr()
+			lineSz := memory.Addr(r.LineSize())
+			for off := memory.Addr(0); off < memory.Addr(seg.Len); off += lineSz {
+				idx := r.LineIndex(base + off)
+				if bits[idx] != memory.DirtyPending {
+					continue
+				}
+				ov, _ := u.Range().Intersect(r.LineRange(idx))
+				c.conflict(obj, name, c.cfg.Node, from, now, u.TS, ov, arrival)
+				break // one finding per update is enough to flag the pair
+			}
+		}
+	}
+}
+
+// CheckMerge cross-checks the update sets the barrier's parties brought
+// to one epoch: two parties shipping overlapping byte ranges into the
+// same merge wrote the same data with no order between them.  Runs on
+// the barrier manager.  enters carries every party's updates; at is the
+// epoch's release time.
+func (c *Checker) CheckMerge(obj uint32, name string, enters []*proto.BarrierEnter, at uint64) {
+	if !c.cfg.MergeCheck {
+		return
+	}
+	for i := 0; i < len(enters); i++ {
+		for j := i + 1; j < len(enters); j++ {
+			a, b := enters[i], enters[j]
+			if a.Node == b.Node {
+				continue
+			}
+			for _, ua := range a.Updates {
+				for _, ub := range b.Updates {
+					if !ua.Range().Overlaps(ub.Range()) {
+						continue
+					}
+					ov, _ := ua.Range().Intersect(ub.Range())
+					n1, t1 := int(a.Node), ua.TS
+					n2, t2 := int(b.Node), ub.TS
+					c.conflict(obj, name, n1, n2, t1, t2, ov, at)
+				}
+			}
+		}
+	}
+}
+
+// conflict records one unordered pair, canonicalizing the party order
+// (lower node id first) so the finding is identical regardless of
+// arrival order under the goroutine engine.
+func (c *Checker) conflict(obj uint32, name string, n1, n2 int, t1, t2 int64, ov memory.Range, at uint64) {
+	if n2 < n1 {
+		n1, n2 = n2, n1
+		t1, t2 = t2, t1
+	}
+	c.report(Finding{
+		Kind: "unordered-conflict", Node: n1, Peer: n2,
+		Obj: int32(obj), Object: name,
+		Addr: ov.Addr, Size: ov.Size, TS1: t1, TS2: t2, Cycles: at,
+	}, obs.Event{
+		Cycles: at, Node: int32(n1), Kind: obs.EvUnorderedConflict,
+		Obj: int32(obj), Peer: int32(n2), Name: name,
+		Addr: uint64(ov.Addr), Bytes: uint64(ov.Size), A: t1, B: t2,
+	})
+}
+
+func (c *Checker) report(f Finding, e obs.Event) {
+	c.cfg.Rec.add(f)
+	if t := c.cfg.Tracer; t != nil {
+		t.Emit(e)
+	}
+}

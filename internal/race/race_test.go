@@ -1,0 +1,189 @@
+package race
+
+import (
+	"testing"
+
+	"midway/internal/memory"
+	"midway/internal/proto"
+)
+
+// newTestChecker builds a single-node checker over one 256-byte shared
+// region guarded by lock 1 on its first half, with the last 64 bytes
+// barrier-exempt.
+func newTestChecker(t *testing.T) (*Checker, memory.Addr, *memory.Region) {
+	t.Helper()
+	l := memory.NewLayout(memory.DefaultRegionShift)
+	a, err := l.Alloc("data", 256, memory.Shared, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Freeze()
+	inst := memory.NewInstance(l)
+	r := l.RegionFor(a)
+	if r == nil {
+		t.Fatal("no region for the allocation")
+	}
+	c := NewChecker(Config{
+		Node: 0, Layout: l, Inst: inst, Rec: NewRecorder(),
+		Guards:        []Guard{{Obj: 1, Name: "lk", Ranges: []memory.Range{{Addr: a, Size: 128}}}},
+		Exempt:        []memory.Range{{Addr: a + 192, Size: 64}},
+		MergeCheck:    true,
+		IncomingCheck: true,
+	})
+	return c, a, r
+}
+
+// TestCheckStoreUnguarded pins the core judgment: a store into a
+// lock-bound range without the lock held is flagged once per line (the
+// dedup), naming the guard; the same store with the lock held, a store
+// to barrier-exempt bytes, and a store to unbound bytes are not flagged.
+func TestCheckStoreUnguarded(t *testing.T) {
+	c, a, r := newTestChecker(t)
+	c.CheckStore(a, 8, r, 10, 1)
+	c.CheckStore(a, 8, r, 11, 2) // same line: deduped
+	c.CheckStore(a+64, 8, r, 12, 3)
+	fs := c.cfg.Rec.Findings()
+	if len(fs) != 2 {
+		t.Fatalf("got %d findings, want 2 (one per line): %+v", len(fs), fs)
+	}
+	for _, f := range fs {
+		if f.Kind != "unguarded-write" || f.Obj != 1 || f.Object != "lk" {
+			t.Errorf("finding %+v, want unguarded-write naming guard lk (obj 1)", f)
+		}
+	}
+
+	cleanCfg := c.cfg
+	cleanCfg.Rec = NewRecorder()
+	clean := NewChecker(cleanCfg)
+	clean.NoteAcquire(1, "lk", []memory.Range{{Addr: a, Size: 128}})
+	clean.CheckStore(a, 8, r, 10, 1)     // guard held
+	clean.CheckStore(a+192, 8, r, 11, 2) // barrier-exempt
+	clean.CheckStore(a+128, 8, r, 12, 3) // unbound: no contract to violate
+	clean.NoteRelease(1)
+	clean.CheckStore(a+192, 8, r, 13, 4) // still exempt after release
+	if fs := cleanCfg.Rec.Findings(); len(fs) != 0 {
+		t.Errorf("clean access pattern flagged: %+v", fs)
+	}
+}
+
+// TestCheckStoreAfterRelease pins that releasing the guard re-arms the
+// check: the same store that was legal while held is flagged afterwards.
+func TestCheckStoreAfterRelease(t *testing.T) {
+	c, a, r := newTestChecker(t)
+	c.NoteAcquire(1, "lk", []memory.Range{{Addr: a, Size: 128}})
+	c.CheckStore(a, 8, r, 10, 1)
+	c.NoteRelease(1)
+	c.CheckStore(a, 8, r, 20, 2)
+	fs := c.cfg.Rec.Findings()
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want 1 (the post-release store): %+v", len(fs), fs)
+	}
+	if fs[0].Cycles != 20 {
+		t.Errorf("flagged the store at cycle %d, want the post-release one at 20", fs[0].Cycles)
+	}
+}
+
+// TestCheckStoreRebind pins that a rebind observed by the checker moves
+// both the held coverage and the diagnosis directory.
+func TestCheckStoreRebind(t *testing.T) {
+	c, a, r := newTestChecker(t)
+	c.NoteAcquire(1, "lk", []memory.Range{{Addr: a, Size: 128}})
+	c.NoteRebind(1, "lk", []memory.Range{{Addr: a + 128, Size: 64}})
+	c.CheckStore(a+128, 8, r, 10, 1) // covered by the new binding, held
+	if fs := c.cfg.Rec.Findings(); len(fs) != 0 {
+		t.Errorf("store under rebound held lock flagged: %+v", fs)
+	}
+	c.NoteRelease(1)
+	c.CheckStore(a+136, 8, r, 20, 2) // new binding, not held
+	fs := c.cfg.Rec.Findings()
+	if len(fs) != 1 || fs[0].Obj != 1 {
+		t.Fatalf("rebound range store after release: got %+v, want one finding for obj 1", fs)
+	}
+}
+
+// TestCheckIncomingPendingLine pins the grant-time cross-check: an
+// incoming update covering a locally pending line is an unordered
+// conflict with canonical (lower node first) party order, and the check
+// is inert when disabled (the vm/hybrid fallback).
+func TestCheckIncomingPendingLine(t *testing.T) {
+	c, a, r := newTestChecker(t)
+	bits := c.cfg.Inst.Dirtybits(r)
+	bits[r.LineIndex(a)] = memory.DirtyPending
+	us := []proto.Update{{Addr: a, TS: 7, Data: make([]byte, 16)}}
+
+	offCfg := c.cfg
+	offCfg.IncomingCheck = false
+	offCfg.Rec = NewRecorder()
+	off := NewChecker(offCfg)
+	off.CheckIncoming(1, "lk", 2, us, 100, 9)
+	if fs := offCfg.Rec.Findings(); len(fs) != 0 {
+		t.Errorf("disabled incoming check flagged: %+v", fs)
+	}
+
+	c.CheckIncoming(1, "lk", 2, us, 100, 9)
+	fs := c.cfg.Rec.Findings()
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(fs), fs)
+	}
+	f := fs[0]
+	if f.Kind != "unordered-conflict" || f.Node != 0 || f.Peer != 2 {
+		t.Errorf("finding %+v, want conflict with canonical parties 0/2", f)
+	}
+	if f.TS1 != 9 || f.TS2 != 7 {
+		t.Errorf("timestamps (%d,%d) did not travel with the canonical swap, want (9,7)", f.TS1, f.TS2)
+	}
+}
+
+// TestCheckMergeOverlap pins the barrier-merge check: two parties
+// shipping overlapping ranges into one epoch conflict (parties
+// canonicalized), disjoint parties do not, and the check is inert when
+// disabled (the blast fallback).
+func TestCheckMergeOverlap(t *testing.T) {
+	c, a, _ := newTestChecker(t)
+	mk := func(node uint32, addr memory.Addr, size uint32, ts int64) *proto.BarrierEnter {
+		return &proto.BarrierEnter{
+			Node:    node,
+			Updates: []proto.Update{{Addr: addr, TS: ts, Data: make([]byte, size)}},
+		}
+	}
+	// Disjoint: the SPMD partition pattern.
+	c.CheckMerge(3, "bar", []*proto.BarrierEnter{mk(0, a, 64, 1), mk(1, a+64, 64, 2)}, 50)
+	if fs := c.cfg.Rec.Findings(); len(fs) != 0 {
+		t.Errorf("disjoint merge flagged: %+v", fs)
+	}
+	// Overlapping, listed higher-node first to exercise canonicalization.
+	c.CheckMerge(3, "bar", []*proto.BarrierEnter{mk(2, a+32, 64, 5), mk(1, a, 64, 4)}, 60)
+	fs := c.cfg.Rec.Findings()
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(fs), fs)
+	}
+	f := fs[0]
+	if f.Node != 1 || f.Peer != 2 || f.TS1 != 4 || f.TS2 != 5 {
+		t.Errorf("finding %+v, want parties 1/2 with ts 4/5", f)
+	}
+	if f.Addr != a+32 || f.Size != 32 {
+		t.Errorf("overlap 0x%x+%d, want 0x%x+32", f.Addr, f.Size, a+32)
+	}
+
+	offCfg := c.cfg
+	offCfg.MergeCheck = false
+	offCfg.Rec = NewRecorder()
+	off := NewChecker(offCfg)
+	off.CheckMerge(3, "bar", []*proto.BarrierEnter{mk(2, a+32, 64, 5), mk(1, a, 64, 4)}, 60)
+	if fs := offCfg.Rec.Findings(); len(fs) != 0 {
+		t.Errorf("disabled merge check flagged: %+v", fs)
+	}
+}
+
+// TestRecorderOrder pins the deterministic findings order regardless of
+// arrival order.
+func TestRecorderOrder(t *testing.T) {
+	r := NewRecorder()
+	r.add(Finding{Kind: "unguarded-write", Node: 2, Cycles: 30})
+	r.add(Finding{Kind: "unordered-conflict", Node: 0, Cycles: 10})
+	r.add(Finding{Kind: "unguarded-write", Node: 1, Cycles: 10})
+	fs := r.Findings()
+	if fs[0].Node != 0 || fs[1].Node != 1 || fs[2].Node != 2 {
+		t.Errorf("findings not in (cycles, node) order: %+v", fs)
+	}
+}

@@ -56,6 +56,7 @@ import (
 	"midway/internal/member"
 	"midway/internal/memory"
 	"midway/internal/obs"
+	"midway/internal/race"
 	"midway/internal/sched"
 	"midway/internal/stats"
 	"midway/internal/transport"
@@ -145,6 +146,15 @@ const (
 
 // CrashError is the run error reported under CrashAbort when a node dies.
 type CrashError = core.CrashError
+
+// ProtocolError is the run error reported when an application misuses
+// the entry-consistency API (double release, release without acquire,
+// recursive acquire, rebind without exclusive ownership, write after
+// leave).  Use errors.As on Run's (or Err's) result to inspect it.
+type ProtocolError = core.ProtocolError
+
+// RaceFinding is one race-detector finding (Config.RaceDetect).
+type RaceFinding = race.Finding
 
 // CrashReport summarizes recovery actions after a CrashDegrade run.
 type CrashReport = core.CrashReport
@@ -355,6 +365,18 @@ type Config struct {
 	// the dominance signal tracks the current phase of the program
 	// instead of averaging over its whole history.  Zero selects 32.
 	MigrateWindow int
+	// RaceDetect enables the entry-consistency race detector: stores to
+	// lock-bound shared data are flagged when the writer does not hold
+	// the guarding lock, and transfer/barrier-merge update sets are
+	// cross-checked for unordered same-line accesses (the RT scheme's
+	// per-line Lamport timestamps make this exact; VM-routed regions
+	// fall back to the unguarded-store and merge checks).  Findings are
+	// available from System.RaceFindings and, when tracing is on, appear
+	// as "unguarded-write" / "unordered-conflict" trace events feeding
+	// midway-trace's race report.  The detector charges no simulated
+	// cycles, so results and statistics are identical either way; off
+	// (the default), the hot paths pay a single nil check.
+	RaceDetect bool
 }
 
 // System is one DSM instance.  Allocate shared memory and create
@@ -453,6 +475,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Migrate:             cfg.Migrate,
 		MigrateThreshold:    cfg.MigrateThreshold,
 		MigrateWindow:       cfg.MigrateWindow,
+		RaceDetect:          cfg.RaceDetect,
 	}
 	if cfg.PageFaultMicros > 0 {
 		cc.Cost = cc.Cost.WithFaultMicros(cfg.PageFaultMicros)
@@ -771,6 +794,10 @@ func (s *System) MembershipEvents() []MembershipEvent { return s.inner.Membershi
 
 // Stats returns per-processor counters of the primitive write-detection
 // operations.
+// RaceFindings returns the race detector's findings in a deterministic
+// order, or nil when Config.RaceDetect is off.  Valid after Run.
+func (s *System) RaceFindings() []RaceFinding { return s.inner.RaceFindings() }
+
 func (s *System) Stats() []stats.Snapshot { return s.inner.Stats() }
 
 // TotalStats returns the sum of all processors' counters.
