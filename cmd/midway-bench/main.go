@@ -39,6 +39,10 @@ func main() {
 		"registry scheme the hybrid experiment compares against RT/VM (see midway.SchemeNames)")
 	faultSpec := flag.String("fault", "",
 		"inject deterministic transport faults into every run, e.g. drop=0.05,dup=0.02,reorder=0.1,seed=7")
+	partitionSpec := flag.String("partition", "",
+		"inject a deterministic simulated-time network partition into every run, e.g. minority=2+3,at=40000,healat=90000")
+	onPartition := flag.String("on-partition", "",
+		"reaction to a declared partition: fence (default), abort, degrade")
 	traceDir := flag.String("trace", "",
 		"write one protocol event trace per run into this directory (<app>-<scheme>-<procs>p.*)")
 	traceFormat := flag.String("trace-format", "jsonl",
@@ -71,6 +75,13 @@ func main() {
 		os.Exit(2)
 	}
 	bench.FaultSpec = *faultSpec
+	partPolicy, err := midway.ParsePartitionPolicy(*onPartition)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	bench.Partition = *partitionSpec
+	bench.OnPartition = partPolicy
 	bench.Sched = *sched
 	bench.Migrate = *migrate
 	bench.MigrateThreshold = *migrateThreshold

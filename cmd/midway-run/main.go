@@ -91,6 +91,10 @@ func main() {
 	var reliable reliableFlag
 	flag.Var(&reliable, "reliable",
 		"interpose the reliable delivery layer even without -fault; optionally tune it, e.g. -reliable=initial=10ms,max=200ms,giveup=10,jitter=0.2,seed=7")
+	partitionSpec := flag.String("partition", "",
+		"inject a deterministic simulated-time network partition, e.g. minority=2+3,at=40000,healat=90000 (composes with -sched lockstep); for wall-clock cuts use -fault part=.../partafter=.../heal=...")
+	onPartition := flag.String("on-partition", "",
+		"reaction to a declared partition: fence (default; minority parks until heal), abort (fail the run), degrade (minority declared dead; implies crash-degrade recovery)")
 	migrate := flag.Bool("migrate", false,
 		"enable dynamic lock-home migration (sharded directory, profile-driven home moves, token-forwarding)")
 	migrateThreshold := flag.Float64("migrate-threshold", 0,
@@ -163,6 +167,11 @@ func main() {
 	}
 	bench.JoinSpec = *joinSpec
 	bench.DrainSpec = *drainSpec
+	partPolicy, err := midway.ParsePartitionPolicy(*onPartition)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg := midway.Config{
 		Nodes:               *procs,
 		MaxNodes:            *maxNodes,
@@ -176,11 +185,18 @@ func main() {
 		FaultSpec:           *faultSpec,
 		Reliable:            reliable.on,
 		ReliableSpec:        reliable.spec,
+		Partition:           *partitionSpec,
+		OnPartition:         partPolicy,
 		EagerTimestamps:     *eager,
 		CombineIncarnations: *combine,
 		Migrate:             *migrate,
 		MigrateThreshold:    *migrateThreshold,
 		RaceDetect:          *raceDetect,
+	}
+	if partPolicy == midway.PartitionDegrade {
+		// Degrading a partition declares the minority dead; the run can
+		// only continue if crash recovery is on.
+		cfg.OnCrash = midway.CrashDegrade
 	}
 	bench.RaceDetect = *raceDetect
 	bench.PlantRace = *plantRace

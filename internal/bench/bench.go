@@ -79,6 +79,17 @@ var AppNames = []string{"water", "quicksort", "matrix", "sor", "cholesky"}
 // fault-free run — the reliable delivery layer is what is being exercised.
 var FaultSpec string
 
+// Partition, when non-empty, injects a deterministic simulated-time
+// network partition (in core.ParsePartitionSpec format) into every system
+// RunApp builds, with OnPartition selecting the declared-partition
+// policy.  The CLIs set both from their -partition and -on-partition
+// flags.  Under the fence policy a healed run's verified checksum must
+// equal the partition-free run's — nothing is lost at the cut.
+var (
+	Partition   string
+	OnPartition midway.PartitionPolicy
+)
+
 // TraceDir, when non-empty, makes RunApp write one protocol event trace
 // per run into that directory, named <app>-<scheme>-<procs>p plus a
 // format-specific extension.  TraceFormat selects the encoding ("text",
@@ -168,6 +179,15 @@ func cellName(app string, mcfg midway.Config) string {
 func RunApp(name string, mcfg midway.Config, scale Scale) (apps.Result, error) {
 	if FaultSpec != "" && mcfg.FaultSpec == "" {
 		mcfg.FaultSpec = FaultSpec
+	}
+	if Partition != "" && mcfg.Partition == "" {
+		mcfg.Partition = Partition
+	}
+	if OnPartition != midway.PartitionFence && mcfg.OnPartition == midway.PartitionFence {
+		mcfg.OnPartition = OnPartition
+		if OnPartition == midway.PartitionDegrade {
+			mcfg.OnCrash = midway.CrashDegrade
+		}
 	}
 	if Sched != "" && mcfg.Sched == "" {
 		mcfg.Sched = Sched

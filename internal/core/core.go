@@ -245,6 +245,23 @@ type Config struct {
 	// halves when its total reaches this many acquires.  Zero means
 	// DefaultMigrateWindow.
 	MigrateWindow int
+	// Partition, when non-empty, injects a deterministic network
+	// partition in ParsePartitionSpec format, e.g.
+	// "minority=2+3,at=40000,healat=90000": at simulated time at, the
+	// minority side is cut from the rest of the membership in both
+	// directions; under the fence policy the cut heals at healat and the
+	// delayed traffic flows.  The schedule is expressed purely in
+	// simulated time, so it composes with the lockstep engine and
+	// replays byte-identically; it also arms the split-brain oracle
+	// (MaxExclusiveHolders).  Empty (the default), no partition state is
+	// built and runs are byte-identical to pre-partition builds.
+	Partition string
+	// OnPartition selects the reaction when the partition is declared:
+	// PartitionFence (default) parks the minority until heal,
+	// PartitionAbort fails the run with a *PartitionError, and
+	// PartitionDegrade declares the minority dead (requires
+	// OnCrash == CrashDegrade).
+	OnPartition PartitionPolicy
 	// RaceDetect enables the entry-consistency race detector
 	// (internal/race): stores to lock-bound shared data are checked
 	// against the writer's held locks, and transfer/merge-time update
@@ -360,6 +377,12 @@ type System struct {
 	// under the goroutine engine.
 	eng     *sched.Engine
 	stepped *transport.SteppedNetwork
+
+	// part is the deterministic partition schedule (Config.Partition) and
+	// census the split-brain oracle armed alongside it; both nil when no
+	// partition is configured, so fault-free hot paths pay one nil check.
+	part   *partitionState
+	census *ownerCensus
 }
 
 // NewSystem creates a DSM system.  Shared memory allocation and
@@ -446,6 +469,23 @@ func NewSystem(cfg Config) (*System, error) {
 		s.net = transport.NewChannelNetwork(total)
 		s.ownNet = true
 	}
+	if cfg.Partition != "" {
+		spec, err := ParsePartitionSpec(cfg.Partition)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.OnPartition == PartitionDegrade && cfg.OnCrash != CrashDegrade {
+			return nil, fmt.Errorf("core: the degrade partition policy declares the minority dead and needs OnCrash=CrashDegrade to recover")
+		}
+		if cfg.Transport != nil && cfg.LocalNode >= 0 {
+			return nil, fmt.Errorf("core: the deterministic partition schedule requires the all-hosted configuration (every node in one process)")
+		}
+		s.part, err = newPartitionState(spec, cfg.OnPartition, total)
+		if err != nil {
+			return nil, err
+		}
+		s.census = newOwnerCensus()
+	}
 	s.nodes = make([]*Node, total)
 	local := cfg.LocalNode
 	for i := 0; i < total; i++ {
@@ -462,7 +502,15 @@ func NewSystem(cfg Config) (*System, error) {
 			if m.From == m.To {
 				return m.Time
 			}
-			return m.Time + netp.MessageCycles(m.Size())
+			transit := netp.MessageCycles(m.Size())
+			if ps := s.part; ps != nil {
+				// A cross-cut message under the fence policy is held at
+				// the cut and delivered one transit after the heal.
+				if at, ok := ps.delayedArrival(m.From, m.To, m.Time, transit); ok {
+					return at
+				}
+			}
+			return m.Time + transit
 		})
 		s.eng = sched.New(total, cfg.SchedThreads, sched.Hooks{
 			NextMessage: s.stepped.PopMin,

@@ -413,6 +413,12 @@ type enterRedrive struct {
 // mutexes and performs those sends and deliveries through the normal
 // protocol paths.
 func (s *System) recoverFrom(k int, recoveryAt uint64, transportLoss bool) {
+	if c := s.census; c != nil {
+		// The corpse's unreleased exclusive holds die with it; the
+		// split-brain oracle must not count them against the reclaimed
+		// token's next holder.
+		c.clearNode(k)
+	}
 	live := make([]*Node, 0, len(s.nodes))
 	for i, n := range s.nodes {
 		if i != k && s.liveMember(i) {

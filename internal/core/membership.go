@@ -446,6 +446,12 @@ func (n *Node) completeJoin(acc *proto.JoinAccept, arrival uint64) {
 		n.inst.WriteBytes(memory.Range{Addr: u.Addr, Size: uint32(len(u.Data))}, u.Data)
 	}
 	n.cycles.Join(arrival)
+	// A rejoining id reuses its Node: clear the previous incarnation's
+	// Leave flag before the relaunch, or the new proc's first store is
+	// misflagged as a write-after-Leave.  The old goroutine unwound
+	// before the departure was announced, and the relaunch below orders
+	// this write before the new goroutine's first read.
+	n.left = false
 
 	if e := s.eng; e != nil {
 		// Lockstep: completeJoin runs in a delivery phase (the engine

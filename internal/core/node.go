@@ -215,7 +215,10 @@ type Node struct {
 	// left is set by Leave before the proc's goroutine unwinds, so a
 	// store attempted afterwards (an application recovering the Leave
 	// unwind and continuing) is flagged as a protocol misuse.  Written
-	// and read only by the node's own application goroutine.
+	// by the node's own application goroutine (and by completeJoin,
+	// which clears it before relaunching the proc for a rejoined
+	// incarnation — ordered before the new goroutine's first read by
+	// the launch itself), read only by the application goroutine.
 	left bool
 
 	// obsAt is the simulated timestamp detector-side trace events carry:
@@ -383,6 +386,11 @@ func (n *Node) send(to int, kind proto.Kind, w proto.Wire) {
 // otherwise (channel delivery, self-sends, CompatCodec) it gets an owned
 // exactly-sized buffer.  The wire bytes are identical either way.
 func (n *Node) sendAt(to int, kind proto.Kind, w proto.Wire, at uint64) {
+	if ps := n.sys.part; ps != nil {
+		// The deterministic partition's fence/heal transitions are
+		// triggered by the first send whose timestamp crosses them.
+		ps.noteSend(n.sys, at)
+	}
 	m := transport.Message{From: n.id, To: to, Kind: kind, Time: at}
 	if mt := n.sys.members; mt != nil {
 		// Membership epoch fence: every envelope carries the sender's view
@@ -433,7 +441,16 @@ func (n *Node) sendAt(to int, kind proto.Kind, w proto.Wire, at uint64) {
 func (n *Node) arrivalTime(m transport.Message) uint64 {
 	t := m.Time
 	if m.From != m.To {
-		t += n.netp.MessageCycles(m.Size())
+		transit := n.netp.MessageCycles(m.Size())
+		if ps := n.sys.part; ps != nil {
+			// A cross-cut message under the fence policy is held at the
+			// cut and arrives one transit after the heal; in simulated
+			// time the minority stalls until then.
+			if at, ok := ps.delayedArrival(m.From, m.To, m.Time, transit); ok {
+				return at
+			}
+		}
+		t += transit
 	}
 	return t
 }

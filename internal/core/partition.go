@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"midway/internal/obs"
+)
+
+// PartitionPolicy selects how the system reacts when a network partition
+// is declared — by the deterministic schedule (Config.Partition) or by
+// the wall-clock quorum detector (the health monitor, wired at the
+// system layer).
+type PartitionPolicy int
+
+const (
+	// PartitionFence (the default) keeps every node alive: the minority
+	// side parks at its next release boundary — it stops issuing grants
+	// and its held tokens are frozen in place — while the majority makes
+	// progress on everything it can reach.  On heal the fenced nodes
+	// rejoin and the delayed traffic flows; nothing is discarded, so a
+	// healed run's final contents equal the partition-free run's.
+	PartitionFence PartitionPolicy = iota
+	// PartitionAbort fails the run with a *PartitionError as soon as the
+	// partition is declared.
+	PartitionAbort
+	// PartitionDegrade declares the minority side dead and runs the
+	// crash-recovery protocol for each of its nodes (requires
+	// Config.OnCrash == CrashDegrade): tokens held by the minority are
+	// reclaimed at their last-released state and the run finishes with
+	// the majority.  The cut never heals — a degraded minority does not
+	// rejoin.
+	PartitionDegrade
+)
+
+// ParsePartitionPolicy converts a name ("fence", "abort", "degrade") to a
+// PartitionPolicy.
+func ParsePartitionPolicy(s string) (PartitionPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "fence":
+		return PartitionFence, nil
+	case "abort":
+		return PartitionAbort, nil
+	case "degrade":
+		return PartitionDegrade, nil
+	}
+	return 0, fmt.Errorf("core: unknown partition policy %q (want fence, abort or degrade)", s)
+}
+
+// String returns the policy's flag-value name.
+func (p PartitionPolicy) String() string {
+	switch p {
+	case PartitionFence:
+		return "fence"
+	case PartitionAbort:
+		return "abort"
+	case PartitionDegrade:
+		return "degrade"
+	}
+	return fmt.Sprintf("PartitionPolicy(%d)", int(p))
+}
+
+// PartitionError is the run error reported under PartitionAbort when a
+// partition is declared: the minority side that lost quorum and, for the
+// deterministic schedule, the simulated instant of the cut (zero when the
+// wall-clock detector declared it).
+type PartitionError struct {
+	Minority []int
+	Cycles   uint64
+}
+
+func (e *PartitionError) Error() string {
+	return fmt.Sprintf("core: network partition: minority side %v lost quorum", e.Minority)
+}
+
+// PartitionSpec is a deterministic partition schedule: at simulated time
+// At the listed minority side is cut from the rest of the membership in
+// both directions, and (under PartitionFence) the cut heals at HealAt.
+// The schedule is expressed purely in simulated time, so it composes with
+// the lockstep engine and replays byte-identically.
+type PartitionSpec struct {
+	// Minority is the side of the cut that loses quorum, as node ids.
+	Minority []int
+	// At is the simulated instant the cut appears.
+	At uint64
+	// HealAt is the simulated instant the cut disappears.  Required for
+	// (and only meaningful under) PartitionFence.
+	HealAt uint64
+}
+
+// ParsePartitionSpec parses a deterministic partition schedule of the
+// form "minority=2+3,at=40000,healat=90000": the minority node list is
+// +-separated, at is the cut instant in cycles, and healat (optional in
+// the grammar; the fence policy requires it) is the heal instant.
+func ParsePartitionSpec(spec string) (PartitionSpec, error) {
+	var ps PartitionSpec
+	seen := map[string]bool{}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return ps, fmt.Errorf("core: partition spec %q: field %q is not key=value", spec, field)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if seen[key] {
+			return ps, fmt.Errorf("core: partition spec %q: duplicate key %q", spec, key)
+		}
+		seen[key] = true
+		switch key {
+		case "minority":
+			dup := map[int]bool{}
+			for _, f := range strings.Split(val, "+") {
+				id, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil || id < 0 {
+					return ps, fmt.Errorf("core: partition spec %q: bad minority node %q", spec, f)
+				}
+				if dup[id] {
+					return ps, fmt.Errorf("core: partition spec %q: duplicate minority node %d", spec, id)
+				}
+				dup[id] = true
+				ps.Minority = append(ps.Minority, id)
+			}
+		case "at":
+			v, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return ps, fmt.Errorf("core: partition spec %q: bad at value %q", spec, val)
+			}
+			ps.At = v
+		case "healat":
+			v, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return ps, fmt.Errorf("core: partition spec %q: bad healat value %q", spec, val)
+			}
+			ps.HealAt = v
+		default:
+			return ps, fmt.Errorf("core: partition spec %q: unknown key %q", spec, key)
+		}
+	}
+	if len(ps.Minority) == 0 {
+		return ps, fmt.Errorf("core: partition spec %q: minority node list is required", spec)
+	}
+	if ps.At == 0 {
+		return ps, fmt.Errorf("core: partition spec %q: at (cut instant in cycles) is required", spec)
+	}
+	if ps.HealAt != 0 && ps.HealAt <= ps.At {
+		return ps, fmt.Errorf("core: partition spec %q: healat %d must be after at %d", spec, ps.HealAt, ps.At)
+	}
+	sort.Ints(ps.Minority)
+	return ps, nil
+}
+
+// partitionState is the deterministic partition schedule's runtime state.
+// The cut itself is stateless — a message crosses it iff its endpoints
+// straddle the minority and its send time falls inside [At, HealAt), a
+// pure function of the spec — so arrival computation needs no
+// synchronization.  The fence and heal transitions (events, member
+// overlay, policy actions) each fire exactly once, triggered by the first
+// send whose timestamp crosses the boundary.
+type partitionState struct {
+	spec   PartitionSpec
+	policy PartitionPolicy
+	// minority is the cut side as a node-id bitset, sized to the
+	// provisioned node count.
+	minority []bool
+	// fenced/healed short-circuit the per-send trigger checks once the
+	// transition has fired.
+	fenced    atomic.Bool
+	healed    atomic.Bool
+	fenceOnce sync.Once
+	healOnce  sync.Once
+}
+
+func newPartitionState(spec PartitionSpec, policy PartitionPolicy, total int) (*partitionState, error) {
+	ps := &partitionState{spec: spec, policy: policy, minority: make([]bool, total)}
+	for _, id := range spec.Minority {
+		if id >= total {
+			return nil, fmt.Errorf("core: partition minority node %d outside the provisioned range [0, %d)", id, total)
+		}
+		ps.minority[id] = true
+	}
+	if len(spec.Minority) == total {
+		return nil, fmt.Errorf("core: partition minority %v is the whole membership; a nonempty majority side must remain", spec.Minority)
+	}
+	if 2*len(spec.Minority) > total {
+		return nil, fmt.Errorf("core: partition minority %v is a majority of %d nodes; name the losing side", spec.Minority, total)
+	}
+	if 2*len(spec.Minority) == total && spec.Minority[0] == 0 {
+		// The quorum tie-break: on an exact 50/50 split the side holding
+		// the lowest live id wins.  A "minority" containing node 0 would
+		// be the winning side.
+		return nil, fmt.Errorf("core: partition minority %v holds the lowest node id in an even split; the tie-break makes it the majority side", spec.Minority)
+	}
+	switch policy {
+	case PartitionFence:
+		if spec.HealAt == 0 {
+			return nil, fmt.Errorf("core: the fence partition policy requires healat in the partition spec (the minority parks until the cut heals)")
+		}
+	case PartitionAbort, PartitionDegrade:
+		if spec.HealAt != 0 {
+			return nil, fmt.Errorf("core: healat is only meaningful under the fence partition policy (%v never heals)", policy)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown partition policy %d", int(policy))
+	}
+	return ps, nil
+}
+
+// crossesCut reports whether a from→to message sent at sendTime crosses
+// the partition: the endpoints straddle the cut and the send falls inside
+// the partition window.  Under Abort and Degrade the window never closes.
+func (ps *partitionState) crossesCut(from, to int, sendTime uint64) bool {
+	if ps.minority[from] == ps.minority[to] {
+		return false
+	}
+	if sendTime < ps.spec.At {
+		return false
+	}
+	return ps.spec.HealAt == 0 || sendTime < ps.spec.HealAt
+}
+
+// delayedArrival returns the simulated arrival time of a cross-cut
+// message under the fence policy: the message is neither lost nor
+// reordered against the heal — it arrives one transit after the cut
+// heals, exactly as a link-layer retransmission would deliver it.  The
+// second return is false when the message is unaffected (same side,
+// outside the window, or a non-fence policy, where the minority is dead
+// or the run aborted and arrival no longer matters).
+func (ps *partitionState) delayedArrival(from, to int, sendTime, transit uint64) (uint64, bool) {
+	if ps.policy != PartitionFence || !ps.crossesCut(from, to, sendTime) {
+		return 0, false
+	}
+	return ps.spec.HealAt + transit, true
+}
+
+// noteSend is the per-send trigger hook: the first send stamped at or
+// after At fires the fence transition, and (under the fence policy) the
+// first send stamped at or after HealAt fires the heal.  Under the
+// lockstep engine the set of sends in each parallel phase is
+// deterministic, so the phase in which each transition fires — and
+// therefore every downstream effect — is too, regardless of which racing
+// goroutine wins the Once.
+func (ps *partitionState) noteSend(s *System, at uint64) {
+	if !ps.fenced.Load() && at >= ps.spec.At {
+		ps.fenceOnce.Do(func() {
+			ps.fenced.Store(true)
+			s.partitionFence()
+		})
+	}
+	if ps.policy == PartitionFence && !ps.healed.Load() && at >= ps.spec.HealAt {
+		ps.healOnce.Do(func() {
+			ps.healed.Store(true)
+			s.partitionHeal()
+		})
+	}
+}
+
+// partitionFence runs the policy's cut-time action exactly once.
+func (s *System) partitionFence() {
+	ps := s.part
+	at := ps.spec.At
+	minority := append([]int(nil), ps.spec.Minority...)
+	switch ps.policy {
+	case PartitionAbort:
+		s.fail(&PartitionError{Minority: minority, Cycles: at})
+	case PartitionDegrade:
+		// Declare the minority dead through the ordinary crash path; PR
+		// 5's release-boundary recovery reclaims its tokens.  Under the
+		// lockstep engine the kills must run at a quiescence point, but
+		// this trigger fires from send context (possibly the engine's own
+		// dispatch goroutine), where waiting out quiescence would
+		// deadlock — enqueue without waiting instead.  Under the
+		// goroutine engine a fresh goroutine kills them sequentially,
+		// like the heartbeat monitor's death callback would.
+		if e := s.eng; e != nil {
+			e.QueueAtQuiescence(func() {
+				for _, k := range minority {
+					s.killNodeBody(k, true)
+				}
+			})
+		} else {
+			go func() {
+				for _, k := range minority {
+					s.killNodeFrom(k, true, -1)
+				}
+			}()
+		}
+	case PartitionFence:
+		live := s.partitionLiveCount()
+		for _, k := range minority {
+			if tr := s.obs; tr != nil {
+				tr.Emit(obs.Event{
+					Kind: obs.EvQuorumLoss, Cycles: at, Node: int32(k),
+					A: int64(len(minority)), B: int64(live),
+				})
+				tr.Emit(obs.Event{Kind: obs.EvFence, Cycles: at, Node: int32(k), Peer: int32(k)})
+			}
+			if mt := s.members; mt != nil {
+				mt.MarkFenced(k)
+			}
+		}
+	}
+}
+
+// partitionHeal runs the fence policy's heal-time action exactly once:
+// the fenced minority rejoins and its delayed traffic flows.
+func (s *System) partitionHeal() {
+	ps := s.part
+	at := ps.spec.HealAt
+	for _, k := range ps.spec.Minority {
+		if tr := s.obs; tr != nil {
+			tr.Emit(obs.Event{Kind: obs.EvHeal, Cycles: at, Node: int32(k)})
+		}
+		if mt := s.members; mt != nil {
+			mt.Unfence(k)
+		}
+	}
+}
+
+// partitionLiveCount is the membership size the quorum denominator would
+// use at the cut: live members under elastic membership, the full node
+// count otherwise.
+func (s *System) partitionLiveCount() int {
+	if mt := s.members; mt != nil {
+		return mt.Count()
+	}
+	return s.cfg.Nodes
+}
+
+// FenceNode marks node k fenced in the member table (minority side of a
+// wall-clock partition, reported by the health monitor).  A no-op for
+// fixed-membership systems.
+func (s *System) FenceNode(k int) {
+	if mt := s.members; mt != nil {
+		mt.MarkFenced(k)
+	}
+}
+
+// UnfenceNode clears node k's fence after a wall-clock partition heals.
+// A no-op for fixed-membership systems.
+func (s *System) UnfenceNode(k int) {
+	if mt := s.members; mt != nil {
+		mt.Unfence(k)
+	}
+}
+
+// PartitionDetected is the hook for the wall-clock quorum detector under
+// the abort policy: the run fails with a *PartitionError naming the
+// unreachable side.
+func (s *System) PartitionDetected(minority []int) {
+	sorted := append([]int(nil), minority...)
+	sort.Ints(sorted)
+	s.fail(&PartitionError{Minority: sorted})
+}
+
+// ownerCensus is the split-brain oracle: it tracks, per lock, the set of
+// nodes currently holding the token in exclusive mode, and the high-water
+// mark of that set's size.  In any correct execution the mark never
+// exceeds one — two concurrent exclusive holders is exactly the
+// split-brain failure quorum fencing exists to prevent.  The census is
+// built only when a partition schedule is configured, so fault-free runs
+// pay a single nil check per transition site.
+type ownerCensus struct {
+	mu  sync.Mutex
+	cur map[uint32]map[int]bool
+	max map[uint32]int
+}
+
+func newOwnerCensus() *ownerCensus {
+	return &ownerCensus{cur: map[uint32]map[int]bool{}, max: map[uint32]int{}}
+}
+
+// set records that node holds (or no longer holds) the lock in exclusive
+// mode.  Idempotent per (lock, node), so transition sites need not track
+// prior state.
+func (c *ownerCensus) set(lock uint32, node int, held bool) {
+	c.mu.Lock()
+	holders := c.cur[lock]
+	if held {
+		if holders == nil {
+			holders = map[int]bool{}
+			c.cur[lock] = holders
+		}
+		holders[node] = true
+		if n := len(holders); n > c.max[lock] {
+			c.max[lock] = n
+		}
+	} else if holders != nil {
+		delete(holders, node)
+	}
+	c.mu.Unlock()
+}
+
+// clearNode drops node k from every lock's holder set (crash declaration:
+// the corpse's unreleased holds are discarded with it).
+func (c *ownerCensus) clearNode(k int) {
+	c.mu.Lock()
+	for _, holders := range c.cur {
+		delete(holders, k)
+	}
+	c.mu.Unlock()
+}
+
+// MaxExclusiveHolders returns the high-water mark of concurrent exclusive
+// holders observed for the lock — the split-brain oracle's verdict; any
+// value above one is a protocol failure.  Zero when the lock was never
+// held exclusively, or when no partition schedule was configured (the
+// census only runs then).
+func (s *System) MaxExclusiveHolders(l LockID) int {
+	c := s.census
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.max[uint32(l)]
+}

@@ -328,7 +328,7 @@ func (p *Proc) Leave() {
 	}
 	n.mu.Unlock()
 	n.sys.members.BeginDrain(n.id) // a direct Leave implies the drain request
-	n.left = true // a store after this point is a protocol misuse
+	n.left = true                  // a store after this point is a protocol misuse
 	n.sys.leaveNodeFrom(n.id, n.id)
 	panic(errLeft)
 }
@@ -395,6 +395,9 @@ func (n *Node) acquire(id uint32, mode proto.Mode) {
 		// Fast path: we are the data authority; the local copy is fresh.
 		lk.held = true
 		lk.mode = mode
+		if c := n.sys.census; c != nil && mode == proto.Exclusive {
+			c.set(lk.id, n.id, true)
+		}
 		if rc := n.race; rc != nil {
 			rc.NoteAcquire(lk.id, lk.obj.name, lk.binding)
 		}
@@ -486,6 +489,9 @@ func (n *Node) applyGrant(g *proto.LockGrant, arrival uint64, from int) bool {
 	}
 	if g.Mode == proto.Exclusive {
 		lk.owner = true
+		if c := n.sys.census; c != nil {
+			c.set(lk.id, n.id, true)
+		}
 	}
 	lk.rebound = false
 	if t := g.Tail; t != nil && g.Mode == proto.Exclusive {
@@ -534,6 +540,9 @@ func (n *Node) release(id uint32) {
 	}
 	lk.held = false
 	lk.released = true
+	if c := n.sys.census; c != nil {
+		c.set(lk.id, n.id, false)
+	}
 	if rc := n.race; rc != nil {
 		rc.NoteRelease(lk.id)
 	}

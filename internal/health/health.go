@@ -19,14 +19,25 @@
 // to the cost model, so enabling the monitor leaves simulated results
 // byte-identical.
 //
-// When several endpoints of the same Monitor are in use (the all-hosted
-// channel transport), declaration requires agreement: a node is declared
-// dead only when every live endpoint has lost contact with it.  A fenced
-// node — one whose own links were severed — therefore cannot declare the
-// healthy majority dead, and is itself declared once everyone has lost it.
-// A single-endpoint monitor (one process of a TCP deployment) has only its
-// own observations; if it loses every peer at once in a system of three or
-// more nodes it assumes it is the fenced one and declares no one.
+// Declaration is quorum-gated.  Every endpoint maintains a reachability
+// view — the set of live peers it has heard from within the suspicion
+// timeout — and may escalate Suspect to Dead only while that view (plus
+// itself) covers a strict majority of the live membership.  An exact 50/50
+// split is broken in favor of the side containing the lowest live node id,
+// so a two-node system has exactly one survivor instead of two mutual
+// declarations.  An endpoint without quorum self-fences: it casts no
+// votes, declares no one, and keeps heartbeating so the heal is observed;
+// quorum regained lifts the fence.  Fence and heal transitions surface
+// through OnFence/OnHeal and are broadcast as PartitionFence/PartitionHeal
+// notices.
+//
+// Among quorum-holding endpoints declaration still requires agreement: a
+// node is declared dead only when every quorum observer has lost it.  A
+// single silent node is a crash and is declared; two or more silent nodes
+// at once look like a partition, and the Options.Partition policy decides:
+// Fence (default) declares no one and waits for the heal, Degrade declares
+// the unreachable side dead and lets reclamation run, Abort reports the
+// partition through OnPartition so the run can fail with a typed error.
 package health
 
 import (
@@ -37,6 +48,25 @@ import (
 	"midway/internal/obs"
 	"midway/internal/proto"
 	"midway/internal/transport"
+)
+
+// PartitionPolicy selects how a quorum-holding observer reacts to a
+// multi-node silence — the signature of a network partition rather than a
+// single crash.  It mirrors the core layer's OnPartition configuration;
+// this package keeps its own copy to stay import-cycle-free.
+type PartitionPolicy int
+
+const (
+	// PartitionFence (the default) declares no one: the minority is
+	// assumed fenced, tokens stay frozen, and recovery waits for the
+	// heal.
+	PartitionFence PartitionPolicy = iota
+	// PartitionAbort reports the partition through OnPartition so the
+	// system can fail the run with a typed error.
+	PartitionAbort
+	// PartitionDegrade declares the unreachable side dead, reclaiming its
+	// tokens exactly as single-crash recovery would.
+	PartitionDegrade
 )
 
 // Options tunes the failure detector.  The zero value selects the defaults
@@ -54,9 +84,12 @@ type Options struct {
 	Manual bool
 	// Now substitutes a clock for deterministic tests (default time.Now).
 	Now func() time.Time
-	// Trace, when non-nil, receives heartbeat-miss, suspect and
-	// declare-dead events.  Liveness is real-time machinery, so these
-	// events carry no simulated timestamp.
+	// Partition selects the reaction to a multi-node silence seen from a
+	// quorum-holding observer (default PartitionFence).
+	Partition PartitionPolicy
+	// Trace, when non-nil, receives heartbeat-miss, suspect, declare-dead,
+	// quorum-loss, fence and heal events.  Liveness is real-time
+	// machinery, so these events carry no simulated timestamp.
 	Trace *obs.Tracer
 }
 
@@ -78,15 +111,25 @@ type Monitor struct {
 	inner transport.Network
 	opts  Options
 
-	mu      sync.Mutex
-	conns   []*monConn
-	dead    map[int]bool
+	mu    sync.Mutex
+	conns []*monConn
+	dead  map[int]bool
 	// inactive marks node ids outside the current membership — absent
 	// capacity and gracefully-departed nodes.  They emit no heartbeats,
 	// cast no votes, and are never declared dead: a planned leave must
 	// not be double-reclaimed as a crash.
 	inactive map[int]bool
-	onDeath  func(node int, cycles uint64)
+	// fencedNodes is the monitor's view of which nodes are currently
+	// partition-fenced — from its own endpoints' quorum checks and from
+	// received PartitionFence/PartitionHeal notices.  It dedupes the
+	// fence/heal callbacks and trace events.
+	fencedNodes map[int]bool
+	// partitionReported dedupes the OnPartition (abort-policy) callback.
+	partitionReported bool
+	onDeath           func(node int, cycles uint64)
+	onFence           func(node int)
+	onHeal            func(node int)
+	onPartition       func(unreachable []int)
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -96,12 +139,13 @@ type Monitor struct {
 // NewMonitor wraps inner with failure detection.
 func NewMonitor(inner transport.Network, opts Options) *Monitor {
 	m := &Monitor{
-		inner:    inner,
-		opts:     opts.withDefaults(),
-		conns:    make([]*monConn, inner.Nodes()),
-		dead:     make(map[int]bool),
-		inactive: make(map[int]bool),
-		stop:     make(chan struct{}),
+		inner:       inner,
+		opts:        opts.withDefaults(),
+		conns:       make([]*monConn, inner.Nodes()),
+		dead:        make(map[int]bool),
+		inactive:    make(map[int]bool),
+		fencedNodes: make(map[int]bool),
+		stop:        make(chan struct{}),
 	}
 	if !m.opts.Manual {
 		m.wg.Add(1)
@@ -118,6 +162,35 @@ func NewMonitor(inner transport.Network, opts Options) *Monitor {
 func (m *Monitor) OnDeath(fn func(node int, cycles uint64)) {
 	m.mu.Lock()
 	m.onDeath = fn
+	m.mu.Unlock()
+}
+
+// OnFence registers the callback invoked once per fence episode when a
+// node loses its quorum and self-fences (or a PartitionFence notice
+// reports that it did).  Register before the system runs.
+func (m *Monitor) OnFence(fn func(node int)) {
+	m.mu.Lock()
+	m.onFence = fn
+	m.mu.Unlock()
+}
+
+// OnHeal registers the callback invoked once per fence episode when the
+// node regains its quorum (or a PartitionHeal notice reports that it
+// did).  The stack above resets retransmission backoff here.  Register
+// before the system runs.
+func (m *Monitor) OnHeal(fn func(node int)) {
+	m.mu.Lock()
+	m.onHeal = fn
+	m.mu.Unlock()
+}
+
+// OnPartition registers the callback invoked (once) when a
+// quorum-holding observer sees a multi-node silence under the
+// PartitionAbort policy, with the unreachable node ids.  Register before
+// the system runs.
+func (m *Monitor) OnPartition(fn func(unreachable []int)) {
+	m.mu.Lock()
+	m.onPartition = fn
 	m.mu.Unlock()
 }
 
@@ -167,6 +240,7 @@ func (m *Monitor) SetActive(k int, active bool) {
 		delete(m.inactive, k)
 	} else {
 		m.inactive[k] = true
+		delete(m.fencedNodes, k) // departure supersedes a fence
 	}
 	conns := append([]*monConn(nil), m.conns...)
 	m.mu.Unlock()
@@ -280,6 +354,16 @@ func (m *Monitor) Beat(id int) {
 // CheckNow runs one liveness pass over every created endpoint.  The
 // background checker calls it on the period; manual-mode tests call it
 // directly after advancing the injected clock.
+//
+// The pass has two phases.  First every created live endpoint computes
+// its reachability view over the live membership and its quorum: itself
+// plus the peers heard within the suspicion timeout must be a strict
+// majority, with an exact 50/50 split awarded to the side containing the
+// lowest live node id.  Endpoints without quorum fence themselves (and
+// unfence when quorum returns).  Second, only quorum-holding endpoints
+// vote; a target every one of them has lost is declarable.  One
+// declarable node is a crash and is declared; several at once are a
+// partition and go through the configured PartitionPolicy.
 func (m *Monitor) CheckNow() {
 	now := m.opts.Now()
 	m.mu.Lock()
@@ -296,41 +380,221 @@ func (m *Monitor) CheckNow() {
 	}
 	m.mu.Unlock()
 
-	// Live observers: created endpoints not themselves declared dead.  An
-	// observer that has lost every single peer is fenced (its own links
-	// are gone); with no other endpoint to consult it must not declare
-	// anyone, or a healthy majority would be "dead" to it.
-	var observers []*monConn
-	for _, c := range conns {
-		if c != nil && !gone[c.id] {
-			observers = append(observers, c)
+	// The live membership as this monitor knows it.
+	var live []int
+	for k := 0; k < n; k++ {
+		if !gone[k] {
+			live = append(live, k)
 		}
 	}
-	if len(observers) == 0 {
+	if len(live) == 0 {
 		return
 	}
-	if len(observers) == 1 && n >= 3 && observers[0].allSilent(now, m.opts.SuspectAfter, gone) {
+	lowest := live[0]
+
+	// Phase 1: reachability, quorum, fence transitions.
+	var voters []*monConn
+	for _, c := range conns {
+		if c == nil || gone[c.id] {
+			continue
+		}
+		reach := 1 // itself
+		lowestReached := c.id == lowest
+		for _, p := range live {
+			if p == c.id {
+				continue
+			}
+			if !c.silent(p, now, m.opts.SuspectAfter) {
+				reach++
+				if p == lowest {
+					lowestReached = true
+				}
+			}
+		}
+		quorum := 2*reach > len(live)
+		if !quorum && 2*reach == len(live) {
+			// Even split: the side holding the lowest live id wins, so
+			// exactly one side of a 50/50 partition keeps the quorum.
+			quorum = lowestReached
+		}
+		m.setFenced(c, !quorum, reach, len(live))
+		if quorum {
+			voters = append(voters, c)
+		}
+	}
+	if len(voters) == 0 {
 		return
 	}
 
+	// Phase 2: declarations, from quorum holders only.
+	var declarable []int
 	for t := 0; t < n; t++ {
 		if gone[t] {
 			continue
 		}
 		agree := 0
-		voters := 0
-		for _, c := range observers {
+		count := 0
+		for _, c := range voters {
 			if c.id == t {
 				continue
 			}
-			voters++
+			count++
 			if c.observe(m, t, now) {
 				agree++
 			}
 		}
-		if voters > 0 && agree == voters {
-			m.declare(t, 0, observers[0].id)
+		if count > 0 && agree == count {
+			declarable = append(declarable, t)
 		}
+	}
+	switch {
+	case len(declarable) == 0:
+	case len(declarable) == 1:
+		// A single unreachable node is indistinguishable from a crash;
+		// quorum established, declare it.
+		m.declare(declarable[0], 0, voters[0].id)
+	default:
+		// Several nodes unreachable at once: a partition, not a crash.
+		switch m.opts.Partition {
+		case PartitionDegrade:
+			for _, t := range declarable {
+				m.declare(t, 0, voters[0].id)
+			}
+		case PartitionAbort:
+			m.mu.Lock()
+			fn := m.onPartition
+			fire := !m.partitionReported && fn != nil
+			m.partitionReported = true
+			m.mu.Unlock()
+			if fire {
+				fn(append([]int(nil), declarable...))
+			}
+		default: // PartitionFence
+			// Declare no one: the minority self-fences, tokens stay
+			// frozen, and the heal lifts the fence.
+		}
+	}
+}
+
+// setFenced applies one endpoint's quorum verdict, driving the fence
+// state machine: quorum lost emits quorum-loss and fence events, fires
+// OnFence, and broadcasts a PartitionFence notice; quorum regained emits
+// heal, fires OnHeal, and broadcasts PartitionHeal.  Broadcasts that
+// cannot cross the cut are simply dropped — peers on the same side still
+// learn, and the post-heal notice is what matters for recovery.
+func (m *Monitor) setFenced(c *monConn, fenced bool, reach, liveCount int) {
+	c.mu.Lock()
+	changed := c.fenced != fenced
+	c.fenced = fenced
+	c.mu.Unlock()
+	if !changed {
+		return
+	}
+	if fenced {
+		if tr := m.opts.Trace; tr != nil {
+			tr.Emit(obs.Event{
+				Kind: obs.EvQuorumLoss, Node: int32(c.id),
+				Obj: -1, A: int64(reach), B: int64(liveCount),
+			})
+		}
+		m.noteFence(c.id, c.id, 0)
+		m.broadcast(c, proto.KindPartitionFence,
+			(&proto.PartitionFence{Node: uint32(c.id)}).Encode())
+	} else {
+		m.noteHeal(c.id, 0)
+		m.broadcast(c, proto.KindPartitionHeal,
+			(&proto.PartitionHeal{Node: uint32(c.id)}).Encode())
+	}
+}
+
+// noteFence records node k as fenced (idempotently), traces it and fires
+// OnFence.  via is the observer reporting it (k itself for a self-fence).
+func (m *Monitor) noteFence(k, via int, cycles uint64) {
+	m.mu.Lock()
+	if m.fencedNodes[k] || m.dead[k] || m.inactive[k] {
+		m.mu.Unlock()
+		return
+	}
+	m.fencedNodes[k] = true
+	fn := m.onFence
+	m.mu.Unlock()
+	if tr := m.opts.Trace; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvFence, Cycles: cycles, Node: int32(k),
+			Obj: -1, Peer: int32(via),
+		})
+	}
+	if fn != nil {
+		fn(k)
+	}
+}
+
+// noteHeal lifts node k's fence (idempotently), traces it and fires
+// OnHeal.
+func (m *Monitor) noteHeal(k int, cycles uint64) {
+	m.mu.Lock()
+	if !m.fencedNodes[k] {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.fencedNodes, k)
+	fn := m.onHeal
+	m.mu.Unlock()
+	if tr := m.opts.Trace; tr != nil {
+		tr.Emit(obs.Event{
+			Kind: obs.EvHeal, Cycles: cycles, Node: int32(k), Obj: -1,
+		})
+	}
+	if fn != nil {
+		fn(k)
+	}
+}
+
+// Fenced reports whether node k is currently partition-fenced in this
+// monitor's view.
+func (m *Monitor) Fenced(k int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fencedNodes[k]
+}
+
+// ResetSilence refreshes every endpoint's last-heard time for every
+// peer, re-arming heartbeat observation.  Call on a heal notification:
+// silence accumulated across the outage must not fire a declaration in
+// the instant before the first post-heal heartbeat lands.
+func (m *Monitor) ResetSilence() {
+	m.mu.Lock()
+	conns := append([]*monConn(nil), m.conns...)
+	m.mu.Unlock()
+	now := m.opts.Now()
+	for _, c := range conns {
+		if c == nil {
+			continue
+		}
+		c.mu.Lock()
+		for p := range c.lastHeard {
+			c.lastHeard[p] = now
+			c.misses[p] = 0
+			c.suspected[p] = false
+		}
+		c.mu.Unlock()
+	}
+}
+
+// broadcast sends a liveness notice from endpoint c to every live peer.
+func (m *Monitor) broadcast(c *monConn, kind proto.Kind, payload []byte) {
+	m.mu.Lock()
+	var peers []int
+	for p := 0; p < m.inner.Nodes(); p++ {
+		if p != c.id && !m.dead[p] && !m.inactive[p] {
+			peers = append(peers, p)
+		}
+	}
+	m.mu.Unlock()
+	for _, p := range peers {
+		_ = c.inner.Send(transport.Message{
+			From: c.id, To: p, Kind: kind, Payload: payload,
+		})
 	}
 }
 
@@ -346,6 +610,7 @@ func (m *Monitor) declare(t int, cycles uint64, via int) {
 		return
 	}
 	m.dead[t] = true
+	delete(m.fencedNodes, t) // dead supersedes fenced
 	fn := m.onDeath
 	var c *monConn
 	if via >= 0 && via < len(m.conns) {
@@ -388,6 +653,7 @@ type monConn struct {
 	lastHeard []time.Time
 	misses    []int  // consecutive missed windows already traced, per peer
 	suspected []bool // suspicion already traced, per peer
+	fenced    bool   // this endpoint has lost its quorum
 }
 
 // heard records liveness evidence from peer p.
@@ -399,20 +665,13 @@ func (c *monConn) heard(p int) {
 	c.mu.Unlock()
 }
 
-// allSilent reports whether every live peer of c is past the suspicion
-// timeout — the signature of this endpoint's own links being severed.
-func (c *monConn) allSilent(now time.Time, after time.Duration, dead map[int]bool) bool {
+// silent reports whether peer p has been quiet past the suspicion
+// timeout as seen from c — the reachability predicate behind the quorum
+// check.
+func (c *monConn) silent(p int, now time.Time, after time.Duration) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for p := range c.lastHeard {
-		if p == c.id || dead[p] {
-			continue
-		}
-		if now.Sub(c.lastHeard[p]) < after {
-			return false
-		}
-	}
-	return true
+	return now.Sub(c.lastHeard[p]) >= after
 }
 
 // observe updates miss/suspect bookkeeping for target t as seen from c and
@@ -483,6 +742,16 @@ func (c *monConn) Recv() (transport.Message, error) {
 		case proto.KindCrashNotice:
 			if notice, err := proto.DecodeCrashNotice(msg.Payload); err == nil {
 				c.mon.declare(int(notice.Node), notice.Cycles, c.id)
+			}
+			continue
+		case proto.KindPartitionFence:
+			if notice, err := proto.DecodePartitionFence(msg.Payload); err == nil {
+				c.mon.noteFence(int(notice.Node), c.id, notice.Cycles)
+			}
+			continue
+		case proto.KindPartitionHeal:
+			if notice, err := proto.DecodePartitionHeal(msg.Payload); err == nil {
+				c.mon.noteHeal(int(notice.Node), notice.Cycles)
 			}
 			continue
 		}

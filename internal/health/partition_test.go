@@ -1,0 +1,317 @@
+package health
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"midway/internal/proto"
+	"midway/internal/transport"
+)
+
+// partHarness drives a manual-mode monitor over a FaultNetwork whose
+// programmatic cuts really sever links: fence/heal notices crossing a cut
+// are dropped, exactly as on a partitioned wire, so a fake partition
+// cannot leak liveness evidence to the far side between Beat and CheckNow.
+type partHarness struct {
+	t     *testing.T
+	clk   *fakeClock
+	fnet  *transport.FaultNetwork
+	mon   *Monitor
+	conns []transport.Conn
+	msgs  chan transport.Message
+
+	mu      sync.Mutex
+	deaths  []death
+	fences  []int
+	heals   []int
+	reports [][]int
+}
+
+func newPartHarness(t *testing.T, nodes int, period time.Duration, policy PartitionPolicy) *partHarness {
+	h := &partHarness{
+		t:    t,
+		clk:  &fakeClock{t: time.Unix(1000, 0)},
+		msgs: make(chan transport.Message, 256),
+	}
+	h.fnet = transport.NewFaultNetwork(transport.NewChannelNetwork(nodes), transport.FaultConfig{})
+	h.mon = NewMonitor(h.fnet, Options{
+		Manual: true, Period: period, SuspectAfter: 3 * period,
+		Now: h.clk.Now, Partition: policy,
+	})
+	t.Cleanup(func() { h.mon.Close() })
+	h.mon.OnDeath(func(n int, cyc uint64) {
+		h.mu.Lock()
+		h.deaths = append(h.deaths, death{n, cyc})
+		h.mu.Unlock()
+	})
+	h.mon.OnFence(func(n int) {
+		h.mu.Lock()
+		h.fences = append(h.fences, n)
+		h.mu.Unlock()
+	})
+	h.mon.OnHeal(func(n int) {
+		h.mu.Lock()
+		h.heals = append(h.heals, n)
+		h.mu.Unlock()
+	})
+	h.mon.OnPartition(func(unreachable []int) {
+		h.mu.Lock()
+		h.reports = append(h.reports, append([]int(nil), unreachable...))
+		h.mu.Unlock()
+	})
+	h.conns = make([]transport.Conn, nodes)
+	for i := 0; i < nodes; i++ {
+		h.conns[i] = h.mon.Conn(i)
+		go drain(h.conns[i], h.msgs)
+	}
+	return h
+}
+
+// cut severs every link between the minority set and the rest.
+func (h *partHarness) cut(minority ...int) {
+	in := make(map[int]bool, len(minority))
+	for _, k := range minority {
+		in[k] = true
+	}
+	for a := 0; a < len(h.conns); a++ {
+		for b := a + 1; b < len(h.conns); b++ {
+			if in[a] != in[b] {
+				h.fnet.Partition(a, b)
+			}
+		}
+	}
+}
+
+// heal restores every link between the minority set and the rest.
+func (h *partHarness) heal(minority ...int) {
+	in := make(map[int]bool, len(minority))
+	for _, k := range minority {
+		in[k] = true
+	}
+	for a := 0; a < len(h.conns); a++ {
+		for b := a + 1; b < len(h.conns); b++ {
+			if in[a] != in[b] {
+				h.fnet.Heal(a, b)
+			}
+		}
+	}
+}
+
+// step advances one period, beats every endpoint, and flushes delivery:
+// each connected pair exchanges a marker after the heartbeats, so once
+// every marker that can arrive has arrived, every heartbeat that can
+// arrive has been consumed (per-endpoint FIFO).  cut lists the currently
+// partitioned minority so the flush only waits on same-side pairs.
+func (h *partHarness) step(cut ...int) {
+	h.t.Helper()
+	in := make(map[int]bool, len(cut))
+	for _, k := range cut {
+		in[k] = true
+	}
+	h.clk.Advance(h.mon.opts.Period)
+	for i := range h.conns {
+		if !h.mon.IsDead(i) {
+			h.mon.Beat(i)
+		}
+	}
+	want := 0
+	for i := range h.conns {
+		for j := range h.conns {
+			if i == j || in[i] != in[j] || h.mon.IsDead(i) || h.mon.IsDead(j) {
+				continue
+			}
+			if err := h.conns[i].Send(transport.Message{From: i, To: j, Kind: proto.KindBarrierEnter}); err != nil {
+				h.t.Fatal(err)
+			}
+			want++
+		}
+	}
+	for k := 0; k < want; k++ {
+		<-h.msgs
+	}
+	h.mon.CheckNow()
+}
+
+// settle runs enough steps for silence across the cut to pass the
+// suspicion timeout and the quorum pass to react.
+func (h *partHarness) settle(cut ...int) {
+	h.t.Helper()
+	for i := 0; i < 6; i++ {
+		h.step(cut...)
+	}
+}
+
+func (h *partHarness) snapshot() (deaths []death, fences, heals []int, reports [][]int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]death(nil), h.deaths...), append([]int(nil), h.fences...),
+		append([]int(nil), h.heals...), append([][]int(nil), h.reports...)
+}
+
+// TestMonitorTieBreakTwoNodes pins the 50/50 tie-break at its smallest
+// scale: in a two-node system each side reaches exactly half the
+// membership, and the side holding the lowest live id (node 0) keeps the
+// quorum.  Node 1 self-fences and is declared dead by node 0; the old
+// mutual-declaration split brain must not reappear.
+func TestMonitorTieBreakTwoNodes(t *testing.T) {
+	const period = 10 * time.Millisecond
+	h := newPartHarness(t, 2, period, PartitionFence)
+	h.step() // one clean exchange so both sides have evidence
+	h.cut(1)
+	h.settle(1)
+
+	deaths, fences, _, _ := h.snapshot()
+	if len(deaths) != 1 || deaths[0].node != 1 {
+		t.Fatalf("deaths = %+v, want exactly node 1", deaths)
+	}
+	if h.mon.IsDead(0) {
+		t.Fatal("tie-break winner (node 0) was declared dead")
+	}
+	// Node 1 fenced itself before (or as) node 0 declared it.
+	found := false
+	for _, f := range fences {
+		if f == 1 {
+			found = true
+		}
+		if f == 0 {
+			t.Fatal("quorum side fenced itself")
+		}
+	}
+	if !found {
+		t.Errorf("fences = %v, want node 1 self-fence", fences)
+	}
+	if h.mon.Fenced(1) {
+		t.Error("declared-dead node still reads as fenced (dead supersedes fenced)")
+	}
+}
+
+// TestMonitorEvenSplitFenceAndHeal runs a 4-node 50/50 split under the
+// fence policy: the side with node 0 keeps quorum but declares no one
+// (two nodes silent at once is a partition, not a crash), the far side
+// self-fences, and the heal lifts both fences with no deaths ever.
+func TestMonitorEvenSplitFenceAndHeal(t *testing.T) {
+	const period = 10 * time.Millisecond
+	h := newPartHarness(t, 4, period, PartitionFence)
+	h.step()
+	h.cut(2, 3)
+	h.settle(2, 3)
+
+	deaths, fences, _, _ := h.snapshot()
+	if len(deaths) != 0 {
+		t.Fatalf("fence policy declared deaths: %+v", deaths)
+	}
+	got := map[int]bool{}
+	for _, f := range fences {
+		got[f] = true
+	}
+	if got[0] || got[1] {
+		t.Fatalf("majority-side node fenced: %v", fences)
+	}
+	if !h.mon.Fenced(2) || !h.mon.Fenced(3) {
+		t.Fatalf("minority not fenced: Fenced(2)=%v Fenced(3)=%v fences=%v",
+			h.mon.Fenced(2), h.mon.Fenced(3), fences)
+	}
+
+	// Heal: reset accumulated silence (the stack above does this from its
+	// heal hook) and let one fresh round restore every quorum.
+	h.heal(2, 3)
+	h.mon.ResetSilence()
+	h.step()
+
+	deaths, _, heals, _ := h.snapshot()
+	if len(deaths) != 0 {
+		t.Fatalf("heal declared deaths: %+v", deaths)
+	}
+	healed := map[int]bool{}
+	for _, n := range heals {
+		healed[n] = true
+	}
+	if !healed[2] || !healed[3] {
+		t.Fatalf("heals = %v, want nodes 2 and 3", heals)
+	}
+	if h.mon.Fenced(2) || h.mon.Fenced(3) {
+		t.Fatal("fence outlived the heal")
+	}
+}
+
+// TestMonitorPartitionAbort checks the abort policy: a quorum observer
+// seeing two nodes silent at once reports the pair through OnPartition
+// exactly once, and declares no one.
+func TestMonitorPartitionAbort(t *testing.T) {
+	const period = 10 * time.Millisecond
+	h := newPartHarness(t, 4, period, PartitionAbort)
+	h.step()
+	h.cut(2, 3)
+	h.settle(2, 3)
+	h.settle(2, 3) // keep checking: the report must not re-fire
+
+	deaths, _, _, reports := h.snapshot()
+	if len(deaths) != 0 {
+		t.Fatalf("abort policy declared deaths: %+v", deaths)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("OnPartition fired %d times, want exactly once: %v", len(reports), reports)
+	}
+	if r := reports[0]; len(r) != 2 || r[0] != 2 || r[1] != 3 {
+		t.Fatalf("unreachable set = %v, want [2 3]", r)
+	}
+}
+
+// TestMonitorPartitionDegrade checks the degrade policy: the quorum side
+// declares the whole unreachable side dead, as single-crash recovery
+// would, and the minority's own endpoints (fenced, no quorum) declare
+// no one.
+func TestMonitorPartitionDegrade(t *testing.T) {
+	const period = 10 * time.Millisecond
+	h := newPartHarness(t, 4, period, PartitionDegrade)
+	h.step()
+	h.cut(2, 3)
+	h.settle(2, 3)
+
+	if got := h.mon.Dead(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Dead() = %v, want [2 3]", got)
+	}
+	if h.mon.IsDead(0) || h.mon.IsDead(1) {
+		t.Fatal("majority side declared dead")
+	}
+}
+
+// TestMonitorResetSilenceClearsAccumulatedSilence pins the heal-time
+// re-arm: silence accumulated across an outage is discarded by
+// ResetSilence, so the check immediately after a heal declares no one;
+// only silence accumulated after the reset counts again.
+func TestMonitorResetSilenceClearsAccumulatedSilence(t *testing.T) {
+	const period = 10 * time.Millisecond
+	h := newPartHarness(t, 3, period, PartitionFence)
+	h.step()
+	// An outage with no intervening checks: node 2 goes silent far past
+	// the suspicion timeout while the checker is not running (the exact
+	// state at the instant a heal notification arrives).
+	h.clk.Advance(10 * period)
+	h.mon.ResetSilence()
+	h.mon.CheckNow() // instant check: stale silence must not declare
+	if h.mon.IsDead(2) {
+		t.Fatal("declaration fired from pre-heal silence after ResetSilence")
+	}
+
+	// Fresh silence still works: node 2 stops beating for real.
+	for i := 0; i < 6; i++ {
+		h.clk.Advance(period)
+		h.mon.Beat(0)
+		h.mon.Beat(1)
+		for _, pair := range [][2]int{{0, 1}, {1, 0}} {
+			if err := h.conns[pair[0]].Send(transport.Message{
+				From: pair[0], To: pair[1], Kind: proto.KindBarrierEnter,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		<-h.msgs
+		<-h.msgs
+		h.mon.CheckNow()
+	}
+	if !h.mon.IsDead(2) {
+		t.Fatal("genuinely silent node was never declared after the reset")
+	}
+}

@@ -1,0 +1,82 @@
+package member
+
+import "testing"
+
+// TestFenceOverlay pins the partition-fence overlay's contract: fencing
+// is reversible, never bumps the epoch, keeps the node a member, and is
+// superseded by the terminal transitions (death clears it, a dead node
+// cannot be unfenced).
+func TestFenceOverlay(t *testing.T) {
+	tb := New(3, 4)
+	epoch := tb.Epoch()
+
+	if tb.Fenced(1) {
+		t.Fatal("fresh table reports node 1 fenced")
+	}
+	if !tb.MarkFenced(1) {
+		t.Fatal("MarkFenced on a live member failed")
+	}
+	if tb.MarkFenced(1) {
+		t.Fatal("double MarkFenced reported a second transition")
+	}
+	if !tb.Fenced(1) {
+		t.Fatal("Fenced(1) = false after MarkFenced")
+	}
+	if !tb.IsMember(1) {
+		t.Fatal("a fenced node must stay a member: its state is frozen, not reclaimed")
+	}
+	if tb.Epoch() != epoch {
+		t.Fatalf("fence bumped the epoch %d -> %d; fences must stay invisible to epoch-keyed caches", epoch, tb.Epoch())
+	}
+
+	// A fenced node may be on the wrong side of the cut: it cannot
+	// sponsor joins.  Fence node 0 too and the sponsor role skips to the
+	// lowest unfenced live id.
+	if !tb.MarkFenced(0) {
+		t.Fatal("MarkFenced(0) failed")
+	}
+	if s, ok := tb.Sponsor(); !ok || s != 2 {
+		t.Fatalf("sponsor = %d,%v with 0 and 1 fenced, want 2,true", s, ok)
+	}
+	if got := tb.FencedIDs(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("FencedIDs() = %v, want [0 1]", got)
+	}
+
+	// Heal: unfence is idempotent and restores the sponsor order.
+	if !tb.Unfence(0) {
+		t.Fatal("Unfence(0) failed")
+	}
+	if tb.Unfence(0) {
+		t.Fatal("double Unfence reported a second transition")
+	}
+	if s, ok := tb.Sponsor(); !ok || s != 0 {
+		t.Fatalf("sponsor = %d,%v after heal, want 0,true", s, ok)
+	}
+	if tb.Epoch() != epoch {
+		t.Fatalf("unfence bumped the epoch to %d", tb.Epoch())
+	}
+
+	// Death supersedes the fence: the overlay clears with the terminal
+	// transition, and a dead node can never be unfenced back to life.
+	if !tb.MarkDead(1, 500) {
+		t.Fatal("MarkDead on a fenced member failed")
+	}
+	if tb.Fenced(1) {
+		t.Fatal("fence survived the death transition")
+	}
+	if tb.Unfence(1) {
+		t.Fatal("Unfence resurrected a dead node")
+	}
+	if tb.MarkFenced(1) {
+		t.Fatal("MarkFenced accepted a dead node")
+	}
+
+	// Out-of-range ids are rejected, not panicked on.
+	if tb.MarkFenced(-1) || tb.MarkFenced(7) || tb.Unfence(-1) || tb.Unfence(7) {
+		t.Fatal("fence ops accepted out-of-range ids")
+	}
+	// Never-joined capacity is not a member and cannot fence.
+	if tb.MarkFenced(3) {
+		t.Fatal("MarkFenced accepted never-joined capacity")
+	}
+}

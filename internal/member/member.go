@@ -96,10 +96,16 @@ type Event struct {
 	Cycles uint64
 }
 
-// view is one immutable membership snapshot.
+// view is one immutable membership snapshot.  fenced is the reversible
+// partition overlay: a fenced id is still a member (its tokens are
+// frozen, not reclaimed) but takes no coordination roles until the
+// partition heals.  Fencing deliberately does not bump the epoch —
+// the node never stopped being a member, so its post-heal traffic must
+// not be rejected as stale.
 type view struct {
 	epoch  uint64
 	status []Status
+	fenced []bool
 }
 
 // Table is the membership state of one system.
@@ -184,25 +190,99 @@ func (t *Table) Count() int {
 	return n
 }
 
-// Sponsor returns the lowest-numbered live member — the node a joiner
-// dials — and false if none exists.
+// Sponsor returns the lowest-numbered live, unfenced member — the node a
+// joiner dials — and false if none exists.  A fenced node cannot sponsor:
+// it may be on the wrong side of a partition and any state it transferred
+// could be stale.
 func (t *Table) Sponsor() (int, bool) {
 	v := t.snap.Load()
 	for i, s := range v.status {
-		if s == Live {
+		if s == Live && !v.isFenced(i) {
 			return i, true
 		}
 	}
 	return 0, false
 }
 
+// isFenced reports the fence overlay for id i within one snapshot.
+func (v *view) isFenced(i int) bool {
+	return i >= 0 && i < len(v.fenced) && v.fenced[i]
+}
+
+// Fenced reports whether node i is currently partition-fenced.
+func (t *Table) Fenced(i int) bool {
+	return t.snap.Load().isFenced(i)
+}
+
+// FencedIDs returns the currently fenced node ids, ascending.
+func (t *Table) FencedIDs() []int {
+	v := t.snap.Load()
+	var out []int
+	for i := range v.fenced {
+		if v.fenced[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MarkFenced records that a current member lost its quorum and
+// self-fenced.  The transition is reversible (see Unfence) and does not
+// bump the epoch.  It reports false — and changes nothing — when the node
+// is not currently a member or is already fenced.
+func (t *Table) MarkFenced(id int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.snap.Load()
+	if id < 0 || id >= t.max || v.isFenced(id) {
+		return false
+	}
+	if s := v.status[id]; s != Live && s != Draining {
+		return false
+	}
+	t.setFence(id, true)
+	return true
+}
+
+// Unfence lifts a partition fence after heal.  It reports false when the
+// node was not fenced (including when a concurrent crash declaration
+// already moved it to Dead — a dead node stays dead).
+func (t *Table) Unfence(id int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.snap.Load()
+	if id < 0 || id >= t.max || !v.isFenced(id) {
+		return false
+	}
+	t.setFence(id, false)
+	return true
+}
+
+// setFence publishes a new snapshot with id's fence overlay set to on.
+// Caller holds t.mu.
+func (t *Table) setFence(id int, on bool) {
+	old := t.snap.Load()
+	fe := make([]bool, t.max)
+	copy(fe, old.fenced)
+	fe[id] = on
+	t.snap.Store(&view{epoch: old.epoch, status: old.status, fenced: fe})
+}
+
 // mutate publishes a new snapshot with node i set to s, bumping the
-// epoch when bump is set.  Caller holds t.mu.
+// epoch when bump is set.  A terminal transition (Left, Dead) clears the
+// fence overlay — the fence is a partition state, not an afterlife.
+// Caller holds t.mu.
 func (t *Table) mutate(i int, s Status, bump bool) *view {
 	old := t.snap.Load()
 	st := append([]Status(nil), old.status...)
 	st[i] = s
-	nv := &view{epoch: old.epoch, status: st}
+	nv := &view{epoch: old.epoch, status: st, fenced: old.fenced}
+	if (s == Left || s == Dead) && old.isFenced(i) {
+		fe := make([]bool, t.max)
+		copy(fe, old.fenced)
+		fe[i] = false
+		nv.fenced = fe
+	}
 	if bump {
 		nv.epoch++
 	}

@@ -25,6 +25,9 @@ type Analysis struct {
 	// Recovery summarizes failure detection and crash recovery, nil when
 	// the trace has no liveness or recovery events.
 	Recovery *RecoveryReport
+	// Partition is the partition-tolerance timeline (quorum losses,
+	// fences, heals), nil when the trace has no partition events.
+	Partition *PartitionReport
 	// Membership is the elastic-membership timeline, nil when the trace
 	// has no join/drain/membership events.
 	Membership *MembershipReport
@@ -172,6 +175,40 @@ type ChangeReport struct {
 	Node   int32
 	Action string
 	Epoch  int64
+	Cycles uint64
+}
+
+// PartitionReport is the partition-tolerance timeline.
+type PartitionReport struct {
+	// QuorumLosses records each endpoint's loss of a live-majority
+	// reachability view.
+	QuorumLosses []QuorumLossReport
+	// Fences records nodes entering the fenced (parked) state.
+	Fences []FenceReport
+	// Heals records fenced nodes rejoining after connectivity returned.
+	Heals []HealReport
+}
+
+// QuorumLossReport is one endpoint's quorum loss: it could reach only
+// Reached of the Live current members.
+type QuorumLossReport struct {
+	Node    int32
+	Reached int64
+	Live    int64
+	Cycles  uint64
+}
+
+// FenceReport is one node entering the fenced state; Via is the observer
+// that reported it (the node itself for a self-fence).
+type FenceReport struct {
+	Node   int32
+	Via    int32
+	Cycles uint64
+}
+
+// HealReport is one fenced node rejoining.
+type HealReport struct {
+	Node   int32
 	Cycles uint64
 }
 
@@ -359,6 +396,12 @@ func AnalyzeEvents(events []Event) *Analysis {
 		}
 		return a.Races
 	}
+	partition := func() *PartitionReport {
+		if a.Partition == nil {
+			a.Partition = &PartitionReport{}
+		}
+		return a.Partition
+	}
 
 	for _, e := range events {
 		// Liveness and recovery events are accounted separately: they are
@@ -384,6 +427,21 @@ func AnalyzeEvents(events []Event) *Analysis {
 		case EvBarrierReform:
 			recovery().Reforms = append(recovery().Reforms, ReformReport{
 				Obj: e.Obj, Name: e.Name, Parties: e.A, Epoch: e.B, Cycles: e.Cycles,
+			})
+			continue
+		case EvQuorumLoss:
+			partition().QuorumLosses = append(partition().QuorumLosses, QuorumLossReport{
+				Node: e.Node, Reached: e.A, Live: e.B, Cycles: e.Cycles,
+			})
+			continue
+		case EvFence:
+			partition().Fences = append(partition().Fences, FenceReport{
+				Node: e.Node, Via: e.Peer, Cycles: e.Cycles,
+			})
+			continue
+		case EvHeal:
+			partition().Heals = append(partition().Heals, HealReport{
+				Node: e.Node, Cycles: e.Cycles,
 			})
 			continue
 		case EvJoinRequest:
@@ -661,6 +719,26 @@ func (a *Analysis) WriteReport(w io.Writer) {
 			fmt.Fprintf(w, "  detector: %d heartbeat windows missed, %d suspicions raised\n",
 				r.HeartbeatMisses, r.Suspicions)
 		}
+	}
+
+	if p := a.Partition; p != nil {
+		fmt.Fprintln(w, "\npartition timeline:")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for _, q := range p.QuorumLosses {
+			fmt.Fprintf(tw, "  %s\tnode %d lost quorum\treached %d of %d live\n",
+				ms(q.Cycles), q.Node, q.Reached, q.Live)
+		}
+		for _, f := range p.Fences {
+			via := "self-fenced"
+			if f.Via != f.Node {
+				via = fmt.Sprintf("reported by n%d", f.Via)
+			}
+			fmt.Fprintf(tw, "  %s\tnode %d fenced\t%s\n", ms(f.Cycles), f.Node, via)
+		}
+		for _, h := range p.Heals {
+			fmt.Fprintf(tw, "  %s\tnode %d healed\trejoined the membership\n", ms(h.Cycles), h.Node)
+		}
+		tw.Flush()
 	}
 
 	if m := a.Membership; m != nil {

@@ -130,28 +130,42 @@ const (
 	// object the conflict surfaced through, Addr/Bytes the overlap, A and
 	// B the two access timestamps.
 	EvUnorderedConflict
+	// EvQuorumLoss is a node observing that it can no longer reach a
+	// strict majority of the live membership.  Node is the observer, A
+	// the number of live peers it can still reach, B the live member
+	// count.  Cycles is the simulated trigger time for an injected
+	// partition, zero for real-time detection.
+	EvQuorumLoss
+	// EvFence is a node self-fencing after quorum loss: it parks, stops
+	// issuing grants, and freezes its held tokens.  Node is the fenced
+	// node (Peer the reporting observer when learned from a notice).
+	EvFence
+	// EvHeal is a fence lifting: the partition healed and the node
+	// regained its quorum.  Node is the healed node, Cycles the simulated
+	// heal time for an injected partition, zero for real-time detection.
+	EvHeal
 
 	kindCount
 )
 
 var kindNames = [kindCount]string{
-	EvAcquire:       "acquire",
-	EvGrant:         "grant",
-	EvRelease:       "release",
-	EvContend:       "contend",
-	EvTransfer:      "transfer",
-	EvRebind:        "rebind",
-	EvBarrierEnter:  "barrier-enter",
-	EvBarrierResume: "barrier-resume",
-	EvScan:          "scan",
-	EvDiff:          "diff",
-	EvFault:         "fault",
-	EvApply:         "apply",
-	EvRetransmit:    "retransmit",
-	EvNetFault:      "netfault",
-	EvHeartbeatMiss: "heartbeat-miss",
-	EvSuspect:       "suspect",
-	EvDeclareDead:   "declare-dead",
+	EvAcquire:          "acquire",
+	EvGrant:            "grant",
+	EvRelease:          "release",
+	EvContend:          "contend",
+	EvTransfer:         "transfer",
+	EvRebind:           "rebind",
+	EvBarrierEnter:     "barrier-enter",
+	EvBarrierResume:    "barrier-resume",
+	EvScan:             "scan",
+	EvDiff:             "diff",
+	EvFault:            "fault",
+	EvApply:            "apply",
+	EvRetransmit:       "retransmit",
+	EvNetFault:         "netfault",
+	EvHeartbeatMiss:    "heartbeat-miss",
+	EvSuspect:          "suspect",
+	EvDeclareDead:      "declare-dead",
 	EvReclaim:          "reclaim",
 	EvBarrierReform:    "barrier-reform",
 	EvJoinRequest:      "join-request",
@@ -163,6 +177,10 @@ var kindNames = [kindCount]string{
 
 	EvUnguardedWrite:    "unguarded-write",
 	EvUnorderedConflict: "unordered-conflict",
+
+	EvQuorumLoss: "quorum-loss",
+	EvFence:      "fence",
+	EvHeal:       "heal",
 }
 
 // String returns the kind's wire name as used in JSONL output.
@@ -373,6 +391,12 @@ func (e Event) textBody() string {
 	case EvUnorderedConflict:
 		return fmt.Sprintf("RACE unordered conflict %s addr=0x%x %dB n%d ts=%d vs n%d ts=%d",
 			e.Name, e.Addr, e.Bytes, e.Node, e.A, e.Peer, e.B)
+	case EvQuorumLoss:
+		return fmt.Sprintf("quorum-loss reach=%d/%d", e.A, e.B)
+	case EvFence:
+		return "fence"
+	case EvHeal:
+		return "heal"
 	default:
 		return e.Kind.String()
 	}

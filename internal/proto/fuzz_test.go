@@ -166,6 +166,36 @@ func FuzzDecodeHomeChange(f *testing.F) {
 	})
 }
 
+func FuzzDecodePartitionFence(f *testing.F) {
+	f.Add((&PartitionFence{Node: 3, Epoch: 5, Cycles: 4242}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodePartitionFence(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Encode(), data) {
+			t.Errorf("re-encode mismatch")
+		}
+	})
+}
+
+func FuzzDecodePartitionHeal(f *testing.F) {
+	f.Add((&PartitionHeal{Node: 2, Epoch: 6, Cycles: 9001}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodePartitionHeal(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Encode(), data) {
+			t.Errorf("re-encode mismatch")
+		}
+	})
+}
+
 func FuzzDecodeReliableAck(f *testing.F) {
 	f.Add((&ReliableAck{Seq: 42}).Encode())
 	f.Add([]byte{1})

@@ -66,6 +66,14 @@ const (
 	// migration: the named lock's directory entry now points at its
 	// dominant acquirer instead of its hashed home.
 	KindHomeChange
+	// KindPartitionFence announces that the sending node has lost its
+	// quorum: it is self-fenced, casts no liveness votes, and holds its
+	// tokens frozen until the partition heals.
+	KindPartitionFence
+	// KindPartitionHeal announces that a previously fenced node has
+	// regained its quorum; receivers refresh liveness state and reset
+	// retransmission backoff so recovery is not stalled by stale timers.
+	KindPartitionHeal
 )
 
 // String returns the message kind's name.
@@ -99,6 +107,10 @@ func (k Kind) String() string {
 		return "MembershipChange"
 	case KindHomeChange:
 		return "HomeChange"
+	case KindPartitionFence:
+		return "PartitionFence"
+	case KindPartitionHeal:
+		return "PartitionHeal"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -955,7 +967,7 @@ type JoinDirEntry struct {
 	Home    uint32
 }
 
-/// JoinAccept is the sponsor's handshake reply: the committed epoch, the
+// / JoinAccept is the sponsor's handshake reply: the committed epoch, the
 // object directory, and the full contents of barrier-bound memory (lock
 // data travels on the joiner's first acquire, forced full by the fence).
 type JoinAccept struct {
@@ -1119,6 +1131,77 @@ func DecodeHomeChange(buf []byte) (*HomeChange, error) {
 	m.Cycles = d.U64()
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("decoding HomeChange: %w", err)
+	}
+	return m, nil
+}
+
+// PartitionFence announces a self-fence: Node lost contact with a strict
+// majority of the live membership and has parked itself rather than let
+// liveness timeouts fork lock ownership.  Epoch is the fencing node's
+// membership epoch and Cycles its simulated clock at the fence (zero for
+// purely real-time detection).  The notice usually cannot cross the very
+// cut that caused it; it documents the episode for peers once traffic
+// flows again.
+type PartitionFence struct {
+	Node   uint32
+	Epoch  uint64
+	Cycles uint64
+}
+
+// EncodedSize returns the exact encoded length.
+func (m *PartitionFence) EncodedSize() int { return 4 + 8 + 8 }
+
+// EncodeInto appends the notice to e.
+func (m *PartitionFence) EncodeInto(e *Encoder) {
+	e.Grow(m.EncodedSize())
+	e.U32(m.Node)
+	e.U64(m.Epoch)
+	e.U64(m.Cycles)
+}
+
+// Encode serializes the notice.
+func (m *PartitionFence) Encode() []byte { return Encode(m) }
+
+// DecodePartitionFence parses a PartitionFence payload.
+func DecodePartitionFence(buf []byte) (*PartitionFence, error) {
+	d := NewDecoder(buf)
+	m := &PartitionFence{Node: d.U32(), Epoch: d.U64(), Cycles: d.U64()}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decoding PartitionFence: %w", err)
+	}
+	return m, nil
+}
+
+// PartitionHeal announces that Node regained its quorum after a fence
+// episode.  Receivers treat it as fresh liveness evidence and reset
+// retransmission backoff so the first post-heal retransmit is not stuck
+// behind a maxed-out timer.  Epoch and Cycles mirror PartitionFence.
+type PartitionHeal struct {
+	Node   uint32
+	Epoch  uint64
+	Cycles uint64
+}
+
+// EncodedSize returns the exact encoded length.
+func (m *PartitionHeal) EncodedSize() int { return 4 + 8 + 8 }
+
+// EncodeInto appends the notice to e.
+func (m *PartitionHeal) EncodeInto(e *Encoder) {
+	e.Grow(m.EncodedSize())
+	e.U32(m.Node)
+	e.U64(m.Epoch)
+	e.U64(m.Cycles)
+}
+
+// Encode serializes the notice.
+func (m *PartitionHeal) Encode() []byte { return Encode(m) }
+
+// DecodePartitionHeal parses a PartitionHeal payload.
+func DecodePartitionHeal(buf []byte) (*PartitionHeal, error) {
+	d := NewDecoder(buf)
+	m := &PartitionHeal{Node: d.U32(), Epoch: d.U64(), Cycles: d.U64()}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decoding PartitionHeal: %w", err)
 	}
 	return m, nil
 }

@@ -151,7 +151,7 @@ func (e *Engine) SetDormant(i int) {
 	e.mu.Unlock()
 }
 
-/// Launch activates a dormant (or previously finished) node mid-run: its
+// / Launch activates a dormant (or previously finished) node mid-run: its
 // goroutine is spawned ready and resumes when the next parallel phase
 // opens, so an elastic join lands at a quiescence boundary like every
 // other membership event.  Call only from the engine goroutine (a
@@ -400,6 +400,25 @@ func (e *Engine) RunAtQuiescence(origin int, fn func()) bool {
 		<-r.done
 	}
 	return r.ran
+}
+
+// QueueAtQuiescence schedules fn like RunAtQuiescence but without
+// parking or blocking the caller, so it is safe from a Dispatch handler
+// (which runs on the engine goroutine and could never wait out its own
+// quiescence) as well as from a node goroutine mid-phase.  The partition
+// trigger uses it: whichever context first crosses the trigger cycle
+// enqueues the policy action, and it runs at the next quiescence point —
+// a deterministic instant.  Returns false if the run has aborted.
+func (e *Engine) QueueAtQuiescence(fn func()) bool {
+	r := &recovery{fn: fn, origin: -1, done: make(chan struct{})}
+	e.mu.Lock()
+	if e.aborted {
+		e.mu.Unlock()
+		return false
+	}
+	e.recov = append(e.recov, r)
+	e.mu.Unlock()
+	return true
 }
 
 // Abort releases every parked node so the run can unwind after a

@@ -43,16 +43,38 @@ type FaultConfig struct {
 	// node sends with a simulated send time at or past this cycle count.
 	// Zero disables.
 	CrashAtCycles uint64
+	// PartitionNodes selects the minority side of an injected network
+	// partition: once the trigger below fires, every message between a
+	// listed node and the rest of the system is dropped — in both
+	// directions, heartbeats included — until the partition heals.
+	PartitionNodes []int
+	// PartitionAfterMsgs triggers the partition once this many protocol
+	// messages have crossed the network (health traffic is not counted).
+	// Zero disables.
+	PartitionAfterMsgs int
+	// PartitionAtCycles triggers the partition at the first protocol
+	// message sent with a simulated send time at or past this cycle
+	// count.  Zero disables.
+	PartitionAtCycles uint64
+	// HealAfter heals the injected partition this long (wall clock) after
+	// it triggered, restoring connectivity and firing the OnHeal hook.
+	// Zero means the partition never heals.
+	HealAfter time.Duration
 }
 
 // Active reports whether any fault injection is configured.
 func (c FaultConfig) Active() bool {
-	return c.Drop > 0 || c.Dup > 0 || c.Reorder > 0 || c.Delay > 0 || c.CrashArmed()
+	return c.Drop > 0 || c.Dup > 0 || c.Reorder > 0 || c.Delay > 0 || c.CrashArmed() || c.PartitionArmed()
 }
 
 // CrashArmed reports whether a crash trigger is configured.
 func (c FaultConfig) CrashArmed() bool {
 	return c.CrashAfterMsgs > 0 || c.CrashAtCycles > 0
+}
+
+// PartitionArmed reports whether a partition trigger is configured.
+func (c FaultConfig) PartitionArmed() bool {
+	return len(c.PartitionNodes) > 0 && (c.PartitionAfterMsgs > 0 || c.PartitionAtCycles > 0)
 }
 
 // String renders the configuration in ParseFaultSpec's format.
@@ -79,6 +101,22 @@ func (c FaultConfig) String() string {
 			parts = append(parts, fmt.Sprintf("crashat=%d", c.CrashAtCycles))
 		}
 	}
+	if c.PartitionArmed() {
+		ids := make([]string, len(c.PartitionNodes))
+		for i, n := range c.PartitionNodes {
+			ids[i] = strconv.Itoa(n)
+		}
+		parts = append(parts, "part="+strings.Join(ids, "+"))
+		if c.PartitionAfterMsgs > 0 {
+			parts = append(parts, fmt.Sprintf("partafter=%d", c.PartitionAfterMsgs))
+		}
+		if c.PartitionAtCycles > 0 {
+			parts = append(parts, fmt.Sprintf("partat=%d", c.PartitionAtCycles))
+		}
+		if c.HealAfter > 0 {
+			parts = append(parts, fmt.Sprintf("heal=%s", c.HealAfter))
+		}
+	}
 	parts = append(parts, fmt.Sprintf("seed=%d", c.Seed))
 	return strings.Join(parts, ",")
 }
@@ -87,10 +125,13 @@ func (c FaultConfig) String() string {
 //
 //	drop=0.05,dup=0.02,reorder=0.1,delay=1ms,seed=7
 //	crash=1,crashafter=40,seed=7
+//	part=3,partafter=60,heal=80ms,seed=7
 //
 // Unknown keys, probabilities outside [0, 1) and malformed values are
 // errors; crash= requires one of crashafter= (message count) or crashat=
-// (simulated cycles).  An empty spec returns the zero (inactive) config.
+// (simulated cycles), and part= (a +-separated minority node list)
+// likewise requires partafter= or partat=.  An empty spec returns the
+// zero (inactive) config.
 func ParseFaultSpec(spec string) (FaultConfig, error) {
 	var c FaultConfig
 	crashNode := -1
@@ -146,8 +187,39 @@ func ParseFaultSpec(spec string) (FaultConfig, error) {
 				return c, fmt.Errorf("transport: fault spec: crashat=%q is not a positive cycle count", val)
 			}
 			c.CrashAtCycles = n
+		case "part":
+			seen := map[int]bool{}
+			for _, field := range strings.Split(val, "+") {
+				n, err := strconv.Atoi(field)
+				if err != nil || n < 0 {
+					return c, fmt.Errorf("transport: fault spec: part=%q is not a +-separated node id list", val)
+				}
+				if seen[n] {
+					return c, fmt.Errorf("transport: fault spec: part=%q lists node %d twice", val, n)
+				}
+				seen[n] = true
+				c.PartitionNodes = append(c.PartitionNodes, n)
+			}
+		case "partafter":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return c, fmt.Errorf("transport: fault spec: partafter=%q is not a positive message count", val)
+			}
+			c.PartitionAfterMsgs = n
+		case "partat":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil || n == 0 {
+				return c, fmt.Errorf("transport: fault spec: partat=%q is not a positive cycle count", val)
+			}
+			c.PartitionAtCycles = n
+		case "heal":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return c, fmt.Errorf("transport: fault spec: heal=%q is not a positive duration", val)
+			}
+			c.HealAfter = d
 		default:
-			return c, fmt.Errorf("transport: fault spec: unknown key %q (want drop, dup, reorder, delay, crash, crashafter, crashat, seed)", key)
+			return c, fmt.Errorf("transport: fault spec: unknown key %q (want drop, dup, reorder, delay, crash, crashafter, crashat, part, partafter, partat, heal, seed)", key)
 		}
 	}
 	if crashNode >= 0 && !c.CrashArmed() {
@@ -158,6 +230,15 @@ func ParseFaultSpec(spec string) (FaultConfig, error) {
 	}
 	if crashNode >= 0 {
 		c.Crash = crashNode
+	}
+	if len(c.PartitionNodes) > 0 && !c.PartitionArmed() {
+		return c, fmt.Errorf("transport: fault spec: part= needs partafter= or partat=")
+	}
+	if len(c.PartitionNodes) == 0 && (c.PartitionAfterMsgs > 0 || c.PartitionAtCycles > 0) {
+		return c, fmt.Errorf("transport: fault spec: partafter/partat need part=<nodes>")
+	}
+	if (c.HealAfter > 0) && len(c.PartitionNodes) == 0 {
+		return c, fmt.Errorf("transport: fault spec: heal= needs part=<nodes>")
 	}
 	return c, nil
 }
@@ -180,6 +261,11 @@ type FaultNetwork struct {
 	partitioned map[[2]int]bool
 	crashSent   int          // protocol messages the crash-armed node has sent
 	dead        map[int]bool // nodes whose endpoints are severed
+	partSent    int          // protocol messages counted toward the partition trigger
+	partActive  bool         // the armed partition is currently installed
+	partDone    bool         // the armed partition has fired (and possibly healed)
+	healTimer   *time.Timer  // pending heal of the armed partition
+	onHeal      func()       // heal notification hook
 
 	// closeMu orders delayed-delivery registration against Close: Send
 	// registers with wg under the read lock, Close flips closing under the
@@ -210,12 +296,14 @@ func (f *FaultNetwork) emitFault(kind string, m Message) {
 }
 
 // healthKind reports whether k is liveness machinery rather than protocol
-// traffic.  Health messages are still dropped once a node is dead (that is
-// how death is observed), but they never advance a crash trigger: their
+// traffic.  Health messages are still dropped once a node is dead or a
+// partition cut is installed (that is how death and partitions are
+// observed), but they never advance a crash or partition trigger: their
 // timing is real time, and counting them would make the trigger point
 // depend on wall-clock scheduling.
 func healthKind(k proto.Kind) bool {
-	return k == proto.KindHeartbeat || k == proto.KindCrashNotice
+	return k == proto.KindHeartbeat || k == proto.KindCrashNotice ||
+		k == proto.KindPartitionFence || k == proto.KindPartitionHeal
 }
 
 // faultPair is the PRNG stream for one directed node pair.
@@ -271,6 +359,63 @@ func (f *FaultNetwork) Heal(a, b int) {
 	delete(f.partitioned, [2]int{b, a})
 }
 
+// OnHeal registers a hook fired (once, on its own goroutine) when the
+// armed partition heals.  The stack above uses it to reset retransmission
+// backoff and re-arm heartbeat observation, so recovery starts on the
+// first post-heal timer tick instead of a maxed-out backoff.  Call before
+// the system runs.
+func (f *FaultNetwork) OnHeal(fn func()) {
+	f.mu.Lock()
+	f.onHeal = fn
+	f.mu.Unlock()
+}
+
+// triggerPartition installs the armed partition: every pair crossing the
+// minority/rest cut is severed.  Caller holds f.mu.
+func (f *FaultNetwork) triggerPartition() {
+	minority := make(map[int]bool, len(f.cfg.PartitionNodes))
+	for _, k := range f.cfg.PartitionNodes {
+		minority[k] = true
+	}
+	n := f.inner.Nodes()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b && minority[a] != minority[b] {
+				f.partitioned[[2]int{a, b}] = true
+			}
+		}
+	}
+	f.partActive, f.partDone = true, true
+	if f.cfg.HealAfter > 0 {
+		f.healTimer = time.AfterFunc(f.cfg.HealAfter, f.healPartition)
+	}
+}
+
+// healPartition removes the armed partition's cuts and fires the heal
+// hook.
+func (f *FaultNetwork) healPartition() {
+	f.mu.Lock()
+	if !f.partActive {
+		f.mu.Unlock()
+		return
+	}
+	f.partActive = false
+	minority := make(map[int]bool, len(f.cfg.PartitionNodes))
+	for _, k := range f.cfg.PartitionNodes {
+		minority[k] = true
+	}
+	for pair := range f.partitioned {
+		if minority[pair[0]] != minority[pair[1]] {
+			delete(f.partitioned, pair)
+		}
+	}
+	fn := f.onHeal
+	f.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
 // Kill severs node k's endpoints immediately: every subsequent message
 // from or to it is dropped.  Crashes injected by a CrashAfterMsgs or
 // CrashAtCycles trigger go through the same state.
@@ -294,6 +439,11 @@ func (f *FaultNetwork) Close() error {
 		f.closing = true
 		f.closeMu.Unlock()
 		close(f.closed)
+		f.mu.Lock()
+		if f.healTimer != nil {
+			f.healTimer.Stop()
+		}
+		f.mu.Unlock()
 	})
 	f.wg.Wait()
 	return f.inner.Close()
@@ -324,6 +474,16 @@ func (c *faultConn) Send(m Message) error {
 			f.crashSent++
 			if f.crashSent > f.cfg.CrashAfterMsgs {
 				f.dead[m.From] = true
+			}
+		}
+	}
+	if f.cfg.PartitionArmed() && !f.partDone && !healthKind(m.Kind) {
+		if f.cfg.PartitionAtCycles > 0 && m.Time >= f.cfg.PartitionAtCycles {
+			f.triggerPartition()
+		} else if f.cfg.PartitionAfterMsgs > 0 {
+			f.partSent++
+			if f.partSent > f.cfg.PartitionAfterMsgs {
+				f.triggerPartition()
 			}
 		}
 	}

@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"midway/internal/proto"
+)
+
+// TestParseFaultSpecPartition covers the partition arm of the fault
+// grammar: the valid forms round-trip through String, and each
+// ill-formed combination is rejected with a diagnostic naming the
+// offending key.
+func TestParseFaultSpecPartition(t *testing.T) {
+	c, err := ParseFaultSpec("part=2+3,partafter=60,heal=80ms,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.PartitionNodes) != 2 || c.PartitionNodes[0] != 2 || c.PartitionNodes[1] != 3 {
+		t.Errorf("PartitionNodes = %v, want [2 3]", c.PartitionNodes)
+	}
+	if c.PartitionAfterMsgs != 60 || c.HealAfter != 80*time.Millisecond || c.Seed != 7 {
+		t.Errorf("parsed %+v, want partafter=60 heal=80ms seed=7", c)
+	}
+	if !c.PartitionArmed() {
+		t.Error("PartitionArmed() = false for an armed spec")
+	}
+	round, err := ParseFaultSpec(c.String())
+	if err != nil {
+		t.Fatalf("re-parsing String() %q: %v", c.String(), err)
+	}
+	if round.String() != c.String() {
+		t.Errorf("round trip changed the spec: %q -> %q", c.String(), round.String())
+	}
+
+	if c, err := ParseFaultSpec("part=1,partat=40000"); err != nil {
+		t.Errorf("cycle-triggered partition rejected: %v", err)
+	} else if c.PartitionAtCycles != 40000 {
+		t.Errorf("PartitionAtCycles = %d, want 40000", c.PartitionAtCycles)
+	}
+
+	bad := []struct {
+		spec, want string
+	}{
+		{"part=2", "partafter"},                                    // armed with no trigger
+		{"partafter=10", "part="},                                  // trigger with no minority
+		{"partat=500", "part="},                                    // ditto, cycle trigger
+		{"heal=50ms", "part="},                                     // heal with no partition
+		{"part=2+2,partafter=10", "twice"},                         // duplicate minority node
+		{"part=x,partafter=10", "node id"},                         // malformed id
+		{"part=2,partafter=0", "positive"},                         // zero trigger
+		{"part=2,partat=40000,heal=0s", "not a positive duration"}, // zero heal
+	}
+	for _, tc := range bad {
+		if _, err := ParseFaultSpec(tc.spec); err == nil {
+			t.Errorf("ParseFaultSpec(%q) accepted an invalid spec", tc.spec)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseFaultSpec(%q) error %q missing %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+// TestFaultNetworkArmedPartitionHeal drives the message-count trigger end
+// to end: protocol messages before the trigger pass, the triggering
+// message is the first one the cut swallows, liveness traffic never
+// advances the countdown, and after HealAfter the cut lifts and the
+// OnHeal hook fires.
+func TestFaultNetworkArmedPartitionHeal(t *testing.T) {
+	fault := NewFaultNetwork(NewChannelNetwork(2), FaultConfig{
+		PartitionNodes:     []int{1},
+		PartitionAfterMsgs: 2,
+		HealAfter:          30 * time.Millisecond,
+	})
+	defer fault.Close()
+	healed := make(chan struct{})
+	fault.OnHeal(func() { close(healed) })
+
+	got := make(chan Message, 16)
+	go func() {
+		c := fault.Conn(1)
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			got <- m
+		}
+	}()
+	c0 := fault.Conn(0)
+
+	recv := func(tag string) Message {
+		t.Helper()
+		select {
+		case m := <-got:
+			return m
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s never delivered", tag)
+			return Message{}
+		}
+	}
+
+	// Heartbeats are exempt from the countdown: burn a handful first.
+	for i := 0; i < 5; i++ {
+		if err := c0.Send(Message{From: 0, To: 1, Kind: proto.KindHeartbeat}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		recv("heartbeat")
+	}
+
+	// Two protocol messages pass; the third trips the trigger and is
+	// itself dropped by the just-installed cut.
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := c0.Send(Message{From: 0, To: 1, Kind: proto.KindLockAcquire, Time: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := recv("pre-cut message 1"); m.Time != 1 {
+		t.Fatalf("first delivery Time = %d, want 1", m.Time)
+	}
+	if m := recv("pre-cut message 2"); m.Time != 2 {
+		t.Fatalf("second delivery Time = %d, want 2", m.Time)
+	}
+	select {
+	case m := <-got:
+		t.Fatalf("message crossed the installed cut: %+v", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// The heal timer lifts the cut and fires the hook; traffic flows again.
+	select {
+	case <-healed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnHeal hook never fired")
+	}
+	if err := c0.Send(Message{From: 0, To: 1, Kind: proto.KindLockAcquire, Time: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m := recv("post-heal message"); m.Time != 4 {
+		t.Fatalf("post-heal delivery Time = %d, want 4", m.Time)
+	}
+}
+
+// pendingToward inspects one in-flight envelope from node `from` toward
+// peer `to`: its current backoff and attempt count.  White-box by design;
+// the reset contract is about this internal state.
+func pendingToward(r *ReliableNetwork, from, to int) (backoff time.Duration, attempts int, ok bool) {
+	r.errMu.Lock()
+	c := r.conns[from]
+	r.errMu.Unlock()
+	if c == nil {
+		return 0, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, u := range c.unacked[to] {
+		return u.backoff, u.attempts, true
+	}
+	return 0, 0, false
+}
+
+// TestReliableResetBackoffAfterHeal pins the heal-time recovery-latency
+// contract: an envelope that spent a partition backing off toward
+// RetransmitMax is rewound to RetransmitInitial by ResetBackoff — with
+// its attempt count preserved, so GiveUp still protects against a peer
+// that is genuinely gone — and the first post-heal retransmission goes
+// out on the next timer tick instead of after the accumulated backoff.
+func TestReliableResetBackoffAfterHeal(t *testing.T) {
+	const initial = 2 * time.Millisecond
+	fault := NewFaultNetwork(NewChannelNetwork(2), FaultConfig{})
+	net := NewReliableNetwork(fault, ReliableOptions{
+		RetransmitInitial: initial,
+		RetransmitMax:     time.Second,
+		GiveUp:            1 << 30, // never: this test is about latency, not failure
+	})
+	defer net.Close()
+
+	delivered := make(chan time.Time, 1)
+	go func() {
+		c := net.Conn(1)
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+			delivered <- time.Now()
+		}
+	}()
+	c0 := net.Conn(0)
+
+	fault.Partition(0, 1)
+	if err := c0.Send(Message{From: 0, To: 1, Kind: proto.KindLockAcquire}); err != nil {
+		t.Fatal(err)
+	}
+
+	climb := func(floor time.Duration) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if b, _, ok := pendingToward(net, 0, 1); ok && b >= floor {
+				return
+			}
+			if time.Now().After(deadline) {
+				b, _, ok := pendingToward(net, 0, 1)
+				t.Fatalf("backoff never reached %v (pending=%v backoff=%v)", floor, ok, b)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Let the outage drive the backoff well past the initial value.
+	climb(128 * time.Millisecond)
+	_, attemptsBefore, _ := pendingToward(net, 0, 1)
+
+	// Reset while still cut: backoff rewinds, attempts do not.
+	net.ResetBackoff()
+	b, attemptsAfter, ok := pendingToward(net, 0, 1)
+	if !ok {
+		t.Fatal("pending envelope vanished across ResetBackoff")
+	}
+	if b >= 64*time.Millisecond {
+		t.Fatalf("backoff after reset = %v, want rewound toward %v", b, initial)
+	}
+	if attemptsAfter < attemptsBefore {
+		t.Fatalf("attempts rewound by ResetBackoff: %d -> %d (GiveUp would be defeated)", attemptsBefore, attemptsAfter)
+	}
+
+	// The cut is still up, so the backoff climbs again — the state an
+	// envelope is really in when the heal notification arrives.
+	climb(64 * time.Millisecond)
+
+	fault.Heal(0, 1)
+	start := time.Now()
+	net.ResetBackoff()
+	select {
+	case <-delivered:
+		if elapsed := time.Since(start); elapsed > 60*time.Millisecond {
+			t.Errorf("post-heal delivery took %v, want the next %v tick", elapsed, initial)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message never delivered after heal+reset")
+	}
+}

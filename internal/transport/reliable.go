@@ -189,6 +189,34 @@ func (r *ReliableNetwork) ForgetPeer(k int) {
 	}
 }
 
+// ResetBackoff makes every unacknowledged envelope on every endpoint
+// immediately eligible for retransmission with its exponential backoff
+// rewound to RetransmitInitial.  Call on a partition-heal notification:
+// envelopes that spent the outage retransmitting have backed off toward
+// RetransmitMax, and without the reset the first post-heal retransmit —
+// and therefore recovery — can stall for up to the give-up window even
+// though the path is healthy again.  Attempt counts are preserved so a
+// peer that is genuinely gone still hits GiveUp.
+func (r *ReliableNetwork) ResetBackoff() {
+	r.errMu.Lock()
+	conns := append([]*reliableConn(nil), r.conns...)
+	r.errMu.Unlock()
+	now := time.Now()
+	for _, c := range conns {
+		if c == nil {
+			continue
+		}
+		c.mu.Lock()
+		for peer := range c.unacked {
+			for _, u := range c.unacked[peer] {
+				u.backoff = c.net.opts.RetransmitInitial
+				u.nextSend = now
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
 // ResetPeer erases the sequencing relationship with node k in both
 // directions, on every endpoint including k's own.  ForgetPeer alone is
 // not enough for a node id that departs and later rejoins: the survivors'

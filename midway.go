@@ -147,6 +147,37 @@ const (
 // CrashError is the run error reported under CrashAbort when a node dies.
 type CrashError = core.CrashError
 
+// PartitionPolicy selects how the system reacts when a network partition
+// is declared (see Config.OnPartition).
+type PartitionPolicy = core.PartitionPolicy
+
+// Partition policies.
+const (
+	// PartitionFence (the default) keeps every node alive: the minority
+	// side is fenced — it parks until the cut heals — and rejoins when
+	// connectivity returns, so a healed run's final contents equal the
+	// partition-free run's.
+	PartitionFence = core.PartitionFence
+	// PartitionAbort fails the run with a *PartitionError as soon as a
+	// partition is declared.
+	PartitionAbort = core.PartitionAbort
+	// PartitionDegrade declares the minority side dead and recovers with
+	// the majority (requires OnCrash == CrashDegrade).
+	PartitionDegrade = core.PartitionDegrade
+)
+
+// ParsePartitionPolicy converts a name ("fence", "abort", "degrade") to a
+// PartitionPolicy, as accepted by the midway-run and midway-bench
+// -on-partition flags.
+func ParsePartitionPolicy(s string) (PartitionPolicy, error) {
+	return core.ParsePartitionPolicy(s)
+}
+
+// PartitionError is the run error reported under PartitionAbort when a
+// partition is declared.  Use errors.As on Run's (or Err's) result to
+// inspect it.
+type PartitionError = core.PartitionError
+
 // ProtocolError is the run error reported when an application misuses
 // the entry-consistency API (double release, release without acquire,
 // recursive acquire, rebind without exclusive ownership, write after
@@ -290,6 +321,27 @@ type Config struct {
 	// survivors.  Multi-process deployments (TCPAddrs) always abort:
 	// release-boundary recovery needs the global all-hosted view.
 	OnCrash CrashPolicy
+	// Partition, when non-empty, injects a deterministic network
+	// partition in core.ParsePartitionSpec format, e.g.
+	// "minority=2+3,at=40000,healat=90000": at simulated time at (in
+	// cycles) the minority side is cut from the rest of the membership in
+	// both directions, and under the fence policy the cut heals at
+	// healat.  The schedule is purely simulated-time, so it composes
+	// with Sched=lockstep and replays byte-identically; it also arms the
+	// split-brain oracle (System.MaxExclusiveHolders).  For wall-clock
+	// partitions driven through the transport instead, use FaultSpec's
+	// part/partafter/partat/heal keys with Heartbeat, and the quorum
+	// detector declares the cut.  Empty disables the schedule; such runs
+	// are byte-identical to pre-partition builds.
+	Partition string
+	// OnPartition selects the reaction when a partition is declared,
+	// whether by the deterministic schedule (Partition) or the
+	// wall-clock quorum detector (Heartbeat + a FaultSpec partition):
+	// PartitionFence (default) fences the minority until heal and
+	// rejoins it, PartitionAbort fails the run with a *PartitionError,
+	// and PartitionDegrade declares the minority dead (requires
+	// OnCrash == CrashDegrade).
+	OnPartition PartitionPolicy
 	// CrashDetectCycles is the simulated-time cost charged for crash
 	// detection when a node is declared dead through the program-point
 	// API (Proc.Crash, System.KillNode).  Zero selects 25 000 cycles
@@ -451,6 +503,9 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("midway: elastic membership (MaxNodes) requires the all-hosted configuration; it cannot drive a multi-process TCP deployment (TCPAddrs)")
 		}
 	}
+	if cfg.OnPartition == PartitionDegrade && cfg.OnCrash != CrashDegrade {
+		return nil, fmt.Errorf("midway: OnPartition=degrade declares the minority dead and needs OnCrash=CrashDegrade to recover")
+	}
 	if cfg.Migrate && len(cfg.TCPAddrs) > 0 {
 		return nil, fmt.Errorf("midway: dynamic lock-home migration (Migrate) requires the all-hosted configuration; it cannot drive a multi-process TCP deployment (TCPAddrs)")
 	}
@@ -472,6 +527,8 @@ func NewSystem(cfg Config) (*System, error) {
 		Lockstep:            lockstep,
 		SchedThreads:        cfg.SchedThreads,
 		MaxNodes:            cfg.MaxNodes,
+		Partition:           cfg.Partition,
+		OnPartition:         cfg.OnPartition,
 		Migrate:             cfg.Migrate,
 		MigrateThreshold:    cfg.MigrateThreshold,
 		MigrateWindow:       cfg.MigrateWindow,
@@ -497,9 +554,10 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	ro.Trace = tr
 	hb := cfg.Heartbeat
-	if hb == 0 && fc.CrashArmed() {
-		// An armed crash event without a detector would never be noticed;
-		// default to a fast testing period.
+	if hb == 0 && (fc.CrashArmed() || fc.PartitionArmed()) {
+		// An armed crash event without a detector would never be noticed,
+		// and an armed partition without the quorum detector would never
+		// be declared; default to a fast testing period.
 		hb = 10 * time.Millisecond
 	}
 	if cfg.SuspectAfter > 0 && hb == 0 {
@@ -531,8 +589,9 @@ func NewSystem(cfg Config) (*System, error) {
 		// create for itself.
 		cc.Transport = transport.NewChannelNetwork(total)
 	}
+	var fn *transport.FaultNetwork
 	if fc.Active() {
-		fn := transport.NewFaultNetwork(cc.Transport, fc)
+		fn = transport.NewFaultNetwork(cc.Transport, fc)
 		fn.SetTrace(tr)
 		cc.Transport = fn
 	}
@@ -541,9 +600,19 @@ func NewSystem(cfg Config) (*System, error) {
 		// The monitor sits below the reliability layer: heartbeats are
 		// fire-and-forget (never retransmitted), and protocol envelopes
 		// passing through double as liveness evidence.
+		var hp health.PartitionPolicy
+		switch cfg.OnPartition {
+		case PartitionAbort:
+			hp = health.PartitionAbort
+		case PartitionDegrade:
+			hp = health.PartitionDegrade
+		default:
+			hp = health.PartitionFence
+		}
 		mon = health.NewMonitor(cc.Transport, health.Options{
 			Period:       hb,
 			SuspectAfter: cfg.SuspectAfter,
+			Partition:    hp,
 			Trace:        tr,
 		})
 		cc.Transport = mon
@@ -611,6 +680,32 @@ func NewSystem(cfg Config) (*System, error) {
 				rel.ForgetPeer(node)
 			}
 			inner.PeerDead(node, cycles)
+		})
+		// Quorum fencing: a node that can no longer reach a majority of
+		// the live membership self-fences (the member table stops
+		// sponsoring it) and rejoins when connectivity returns; the heal
+		// also resets retransmission backoff so recovery is not stalled
+		// by timers that grew during the cut.
+		mon.OnFence(func(node int) { inner.FenceNode(node) })
+		mon.OnHeal(func(node int) {
+			inner.UnfenceNode(node)
+			if rel != nil {
+				rel.ResetBackoff()
+			}
+		})
+		mon.OnPartition(func(unreachable []int) { inner.PartitionDetected(unreachable) })
+	}
+	if fn != nil {
+		// A healed transport cut must not leave recovery stalled behind
+		// exponential backoff or stale silence windows: retransmit
+		// immediately and restart every liveness clock.
+		fn.OnHeal(func() {
+			if rel != nil {
+				rel.ResetBackoff()
+			}
+			if mon != nil {
+				mon.ResetSilence()
+			}
 		})
 	}
 	return &System{inner: inner, net: cc.Transport, obs: tr, defaultGran: cfg.DefaultGranularity}, nil
@@ -762,6 +857,13 @@ func (s *System) KillNode(k int) { s.inner.KillNode(k) }
 // CrashReport returns the recovery summary after a run in which nodes were
 // declared dead, or nil if none were.
 func (s *System) CrashReport() *CrashReport { return s.inner.CrashReport() }
+
+// MaxExclusiveHolders returns the split-brain oracle's verdict for the
+// lock: the high-water mark of nodes concurrently holding its token in
+// exclusive mode during the run.  Any value above one is a protocol
+// failure (two sides of a partition both granted the lock).  The oracle
+// is armed only when Config.Partition is set; it returns zero otherwise.
+func (s *System) MaxExclusiveHolders(l LockID) int { return s.inner.MaxExclusiveHolders(l) }
 
 // DrainNode asks node k to leave gracefully: the member table marks it
 // draining, and its application observes the request through

@@ -1,0 +1,508 @@
+package midway_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"midway"
+	"midway/internal/obs"
+)
+
+// partRounds is the partition workload's per-node round count: long
+// enough that a cut bracketing the middle third of the clean run
+// straddles live lock traffic on every scheme and engine.
+const partRounds = 8
+
+// partRun is one partition-workload execution: the final memory read at
+// node 0, the system for oracle queries (split-brain census, crash
+// report, cycle clock), the counter lock's id, and the run error.
+type partRun struct {
+	mem  []byte
+	sys  *midway.System
+	lock midway.LockID
+	err  error
+}
+
+// partitionWorkload runs the crash suite's lock-counter + barrier-slot
+// workload with no planted failures: every node increments a shared
+// counter under the lock each round, publishes a slot value, and meets
+// the round barrier.  Failure behavior comes entirely from cfg — a
+// deterministic partition schedule (Config.Partition) or a wall-clock
+// fault spec — so the same function serves as both the partition-free
+// baseline and the partitioned run.
+func partitionWorkload(cfg midway.Config) partRun {
+	nodes := cfg.Nodes
+	sys, err := midway.NewSystem(cfg)
+	if err != nil {
+		return partRun{err: err}
+	}
+	counter := sys.MustAlloc("counter", 8, 8)
+	slots := sys.AllocU64("slots", nodes, 8)
+	lock := sys.NewLock("counter", midway.RangeAt(counter, 8))
+	bar := sys.NewBarrier("round", slots.Range())
+	parts := make([][]midway.Range, nodes)
+	for i := range parts {
+		parts[i] = []midway.Range{slots.Slice(i, i+1)}
+	}
+	sys.SetBarrierParts(bar, parts)
+
+	err = sys.Run(func(p *midway.Proc) {
+		me := p.ID()
+		for r := 1; r <= partRounds; r++ {
+			p.Acquire(lock)
+			p.WriteU64(counter, p.ReadU64(counter)+uint64(me+1))
+			p.Release(lock)
+			slots.Set(p, me, uint64(me*1000+r))
+			p.Barrier(bar)
+		}
+		p.AcquireShared(lock)
+		p.Release(lock)
+	})
+	if err != nil {
+		return partRun{sys: sys, lock: lock, err: err}
+	}
+	mem := make([]byte, 8+8*nodes)
+	sys.ReadFinalAt(0, midway.RangeAt(counter, 8), mem[:8])
+	sys.ReadFinalAt(0, slots.Range(), mem[8:])
+	return partRun{mem: mem, sys: sys, lock: lock}
+}
+
+// fenceWindow builds a deterministic fence schedule for node 3 whose cut
+// and heal bracket the middle third of the clean run's cycle count.
+func fenceWindow(t *testing.T, cycles uint64) string {
+	t.Helper()
+	if cycles < 3 {
+		t.Fatalf("clean probe run too short to partition: %d cycles", cycles)
+	}
+	return fmt.Sprintf("minority=3,at=%d,healat=%d", cycles/3, 2*cycles/3)
+}
+
+// TestPartitionFenceGoldenMatrix is the tentpole acceptance test: a
+// deterministic partition straddling live lock traffic, under every
+// write-detection scheme and both execution engines.  The fence policy
+// must (a) never produce two concurrent exclusive holders of the counter
+// lock — the split-brain oracle, (b) declare no deaths, (c) heal into a
+// final memory byte-identical to the partition-free run (nothing is
+// discarded across the cut), and (d) replay byte-identically.
+func TestPartitionFenceGoldenMatrix(t *testing.T) {
+	const nodes = 4
+	for _, scheme := range []string{"rt", "vm", "hybrid"} {
+		for _, sched := range []string{"goroutine", "lockstep"} {
+			t.Run(scheme+"/"+sched, func(t *testing.T) {
+				cfg := midway.Config{Nodes: nodes, Scheme: scheme, Sched: sched}
+				clean := partitionWorkload(cfg)
+				if clean.err != nil {
+					t.Fatalf("clean run: %v", clean.err)
+				}
+
+				cfg.Partition = fenceWindow(t, clean.sys.ExecutionCycles())
+				fenced := partitionWorkload(cfg)
+				if fenced.err != nil {
+					t.Fatalf("fenced run: %v", fenced.err)
+				}
+				if got := fenced.sys.MaxExclusiveHolders(fenced.lock); got != 1 {
+					t.Errorf("max concurrent exclusive holders = %d, want 1 (split brain)", got)
+				}
+				if rep := fenced.sys.CrashReport(); rep != nil {
+					t.Errorf("fence policy declared deaths: %+v", rep)
+				}
+				if !bytes.Equal(fenced.mem, clean.mem) {
+					t.Errorf("healed final memory differs from the partition-free run:\nclean:  %x\nhealed: %x",
+						clean.mem, fenced.mem)
+				}
+
+				again := partitionWorkload(cfg)
+				if again.err != nil {
+					t.Fatalf("repeat fenced run: %v", again.err)
+				}
+				if !bytes.Equal(again.mem, fenced.mem) {
+					t.Errorf("repeated fenced runs diverged:\n1: %x\n2: %x", fenced.mem, again.mem)
+				}
+			})
+		}
+	}
+}
+
+// TestPartitionDormantScheduleIsInert pins the configured-but-dormant
+// invariant: a partition schedule whose cut instant lies beyond the end
+// of the run must leave final memory, the cycle clock and every
+// statistic byte-identical to a never-configured run — the feature costs
+// nothing until it fires.
+func TestPartitionDormantScheduleIsInert(t *testing.T) {
+	for _, sched := range []string{"goroutine", "lockstep"} {
+		t.Run(sched, func(t *testing.T) {
+			cfg := midway.Config{Nodes: 4, Scheme: "rt", Sched: sched}
+			clean := partitionWorkload(cfg)
+			if clean.err != nil {
+				t.Fatalf("clean run: %v", clean.err)
+			}
+			c := clean.sys.ExecutionCycles()
+			cfg.Partition = fmt.Sprintf("minority=3,at=%d,healat=%d", 100*c, 100*c+1)
+			dormant := partitionWorkload(cfg)
+			if dormant.err != nil {
+				t.Fatalf("dormant run: %v", dormant.err)
+			}
+			if !bytes.Equal(dormant.mem, clean.mem) {
+				t.Errorf("final memory differs:\nclean:   %x\ndormant: %x", clean.mem, dormant.mem)
+			}
+			if a, b := clean.sys.ExecutionCycles(), dormant.sys.ExecutionCycles(); a != b {
+				t.Errorf("execution cycles differ: clean %d, dormant %d", a, b)
+			}
+			if a, b := clean.sys.TotalStats(), dormant.sys.TotalStats(); a != b {
+				t.Errorf("statistics differ:\nclean:   %+v\ndormant: %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestPartitionAbortTypedError checks the abort policy: the run fails
+// with a *PartitionError naming the minority side and the cut instant.
+func TestPartitionAbortTypedError(t *testing.T) {
+	cfg := midway.Config{Nodes: 4, Scheme: "rt", Sched: "lockstep"}
+	clean := partitionWorkload(cfg)
+	if clean.err != nil {
+		t.Fatalf("clean run: %v", clean.err)
+	}
+	at := clean.sys.ExecutionCycles() / 2
+	cfg.Partition = fmt.Sprintf("minority=3,at=%d", at)
+	cfg.OnPartition = midway.PartitionAbort
+	r := partitionWorkload(cfg)
+	if r.err == nil {
+		t.Fatal("run across an aborting partition succeeded")
+	}
+	var pe *midway.PartitionError
+	if !errors.As(r.err, &pe) {
+		t.Fatalf("run error = %v, want *PartitionError", r.err)
+	}
+	if len(pe.Minority) != 1 || pe.Minority[0] != 3 {
+		t.Errorf("PartitionError.Minority = %v, want [3]", pe.Minority)
+	}
+	if pe.Cycles != at {
+		t.Errorf("PartitionError.Cycles = %d, want %d", pe.Cycles, at)
+	}
+}
+
+// TestPartitionDegradeDuringMigration composes the degrade policy with
+// dynamic lock ownership: node 3 dominates the hot lock's acquire
+// profile so its home migrates there, then the partition declares node 3
+// dead mid-run.  The survivors' next acquires must resolve through the
+// re-pointed home (recovery moves the brokering role off the corpse),
+// the census must never see two exclusive holders, and the lockstep
+// schedule must replay byte-identically.
+func TestPartitionDegradeDuringMigration(t *testing.T) {
+	const (
+		nodes    = 4
+		rounds   = 6
+		hotBoost = 8 // node 3's acquires per round; others do one
+	)
+	run := func(partition string, trace *bytes.Buffer) (uint64, *midway.System, midway.LockID, error) {
+		cfg := midway.Config{
+			Nodes: nodes, Strategy: midway.RT, Sched: "lockstep",
+			Migrate: true, OnCrash: midway.CrashDegrade,
+			Partition: partition,
+		}
+		if partition != "" {
+			cfg.OnPartition = midway.PartitionDegrade
+		}
+		if trace != nil {
+			cfg.Trace = trace
+			cfg.TraceFormat = "jsonl"
+		}
+		sys, err := midway.NewSystem(cfg)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		counter := sys.MustAlloc("counter", 8, 8)
+		slots := sys.AllocU64("slots", nodes, 8)
+		// Migration-on systems hash sync-object ids to homes, and object
+		// id 0 lands on node 3 — the hot node.  Burn id 0 on an unused
+		// lock so the contended lock's static home (node 1) differs from
+		// its dominant acquirer and the home actually moves.
+		sys.NewLock("pad")
+		lock := sys.NewLock("counter", midway.RangeAt(counter, 8))
+		bar := sys.NewBarrier("round", slots.Range())
+		parts := make([][]midway.Range, nodes)
+		for i := range parts {
+			parts[i] = []midway.Range{slots.Slice(i, i+1)}
+		}
+		sys.SetBarrierParts(bar, parts)
+		err = sys.Run(func(p *midway.Proc) {
+			me := p.ID()
+			for r := 1; r <= rounds; r++ {
+				n := 1
+				if me == 3 {
+					n = hotBoost // node 3 dominates: the home migrates to it
+				}
+				for i := 0; i < n; i++ {
+					p.Acquire(lock)
+					p.WriteU64(counter, p.ReadU64(counter)+1)
+					p.Release(lock)
+				}
+				slots.Set(p, me, uint64(r))
+				p.Barrier(bar)
+			}
+			p.AcquireShared(lock)
+			p.Release(lock)
+		})
+		if err != nil {
+			return 0, sys, lock, err
+		}
+		var buf [8]byte
+		sys.ReadFinalAt(0, midway.RangeAt(counter, 8), buf[:])
+		return leU64(buf[:]), sys, lock, nil
+	}
+
+	// Probe the clean schedule for its length, then cut at the midpoint.
+	_, probe, _, err := run("", nil)
+	if err != nil {
+		t.Fatalf("clean probe run: %v", err)
+	}
+	spec := fmt.Sprintf("minority=3,at=%d", probe.ExecutionCycles()/2)
+
+	var trace bytes.Buffer
+	counter, sys, lock, err := run(spec, &trace)
+	if err != nil {
+		t.Fatalf("degraded run failed instead of recovering: %v", err)
+	}
+	rep := sys.CrashReport()
+	if rep == nil || len(rep.Nodes) != 1 || rep.Nodes[0] != 3 {
+		t.Fatalf("crash report = %+v, want nodes [3]", rep)
+	}
+	if got := sys.MaxExclusiveHolders(lock); got != 1 {
+		t.Errorf("max concurrent exclusive holders = %d, want 1 (split brain)", got)
+	}
+	// Survivors contribute one increment per round for all rounds; the
+	// victim's committed increments may survive reclamation, its
+	// unreleased one never does.
+	survivors := uint64((nodes - 1) * rounds)
+	victimMax := uint64(hotBoost * rounds)
+	if counter < survivors || counter > survivors+victimMax {
+		t.Errorf("survivor counter = %d, want in [%d, %d]", counter, survivors, survivors+victimMax)
+	}
+
+	// The composition is only exercised if the home really migrated to
+	// the victim before the cut.
+	a, err := obs.Analyze(&trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ownership == nil || len(a.Ownership.Moves) == 0 {
+		t.Fatal("no home migration before the cut; the workload skew is too weak to exercise the composition")
+	}
+	migratedToVictim := false
+	for _, mv := range a.Ownership.Moves {
+		if mv.To == 3 {
+			migratedToVictim = true
+		}
+	}
+	if !migratedToVictim {
+		t.Errorf("home moves %+v never targeted the victim node 3", a.Ownership.Moves)
+	}
+
+	counter2, _, _, err := run(spec, nil)
+	if err != nil {
+		t.Fatalf("repeat degraded run: %v", err)
+	}
+	if counter2 != counter {
+		t.Errorf("repeated degraded runs diverged: %d vs %d", counter, counter2)
+	}
+}
+
+// TestPartitionDegradeDuringDrain composes the degrade policy with a
+// graceful drain: node 2's drain request lands but the node keeps
+// working (its leave never commits), and the partition then declares it
+// dead mid-drain.  Death must supersede the drain — status Dead, tokens
+// reclaimed once through the crash path, survivors complete — with no
+// deadlock between the two departure protocols.
+func TestPartitionDegradeDuringDrain(t *testing.T) {
+	const (
+		nodes          = 3
+		survivorRounds = 6
+		draineeRounds  = 120 // churns far past the cut so the leave stays pending
+	)
+	run := func(partition string) (uint64, *midway.System, error) {
+		cfg := midway.Config{
+			Nodes: nodes, MaxNodes: nodes, Strategy: midway.RT, Sched: "lockstep",
+			OnCrash: midway.CrashDegrade, Partition: partition,
+		}
+		if partition != "" {
+			cfg.OnPartition = midway.PartitionDegrade
+		}
+		sys, err := midway.NewSystem(cfg)
+		if err != nil {
+			return 0, nil, err
+		}
+		counter := sys.MustAlloc("counter", 8, 8)
+		lock := sys.NewLock("counter", midway.RangeAt(counter, 8))
+		done := sys.NewBarrier("done")
+		err = sys.Run(func(p *midway.Proc) {
+			id := p.ID()
+			rounds := survivorRounds
+			if id == 2 {
+				rounds = draineeRounds
+			}
+			for i := 0; i < rounds; i++ {
+				if id == 2 && i == 1 {
+					// The drain request lands; the app never honors it, so
+					// the node is still Draining when the cut declares it.
+					sys.DrainNode(2)
+				}
+				p.Acquire(lock)
+				p.WriteU64(counter, p.ReadU64(counter)+1)
+				p.Release(lock)
+			}
+			// Rendezvous (the barrier re-forms over the survivors), then
+			// node 0 pulls the token so ReadFinal sees the final counter.
+			p.Barrier(done)
+			if id == 0 {
+				p.Acquire(lock)
+				p.Release(lock)
+			}
+		})
+		if err != nil {
+			return 0, sys, err
+		}
+		return sys.ReadFinalU64(counter), sys, nil
+	}
+
+	_, probe, err := run("")
+	if err != nil {
+		t.Fatalf("clean probe run: %v", err)
+	}
+	spec := fmt.Sprintf("minority=2,at=%d", probe.ExecutionCycles()/2)
+
+	counter, sys, err := run(spec)
+	if err != nil {
+		t.Fatalf("degraded run failed instead of recovering: %v", err)
+	}
+	if st := sys.MemberStatus(2); st != midway.MemberDead {
+		t.Errorf("node 2 status = %v, want dead (death supersedes the pending drain)", st)
+	}
+	rep := sys.CrashReport()
+	if rep == nil || len(rep.Nodes) != 1 || rep.Nodes[0] != 2 {
+		t.Errorf("crash report = %+v, want nodes [2]", rep)
+	}
+	survivors := uint64((nodes - 1) * survivorRounds)
+	if counter < survivors || counter > survivors+draineeRounds {
+		t.Errorf("survivor counter = %d, want in [%d, %d]", counter, survivors, survivors+uint64(draineeRounds))
+	}
+
+	counter2, _, err := run(spec)
+	if err != nil {
+		t.Fatalf("repeat degraded run: %v", err)
+	}
+	if counter2 != counter {
+		t.Errorf("repeated degraded runs diverged: %d vs %d", counter, counter2)
+	}
+}
+
+// TestPartitionWallClockFenceHeals drives the wall-clock path end to
+// end: a fault-injected cut severs nodes 2 and 3 mid-run (heartbeats
+// included), the quorum detector fences the minority without declaring
+// anyone dead, and the heal — retransmission backoff reset, silence
+// re-armed — lets the run complete with final memory identical to the
+// partition-free run's.
+func TestPartitionWallClockFenceHeals(t *testing.T) {
+	cfg := midway.Config{Nodes: 4, Scheme: "rt"}
+	clean := partitionWorkload(cfg)
+	if clean.err != nil {
+		t.Fatalf("clean run: %v", clean.err)
+	}
+	cfg.FaultSpec = "part=2+3,partafter=30,heal=300ms,seed=1"
+	fenced := partitionWorkload(cfg)
+	if fenced.err != nil {
+		t.Fatalf("fenced run: %v", fenced.err)
+	}
+	if rep := fenced.sys.CrashReport(); rep != nil {
+		t.Errorf("fence policy declared deaths across a healing cut: %+v", rep)
+	}
+	if !bytes.Equal(fenced.mem, clean.mem) {
+		t.Errorf("healed final memory differs from the partition-free run:\nclean:  %x\nhealed: %x",
+			clean.mem, fenced.mem)
+	}
+}
+
+// TestPartitionTraceTimeline checks that a traced fenced run yields the
+// partition timeline: the analyzer reports the quorum loss, the fence
+// and the heal with their scheduled instants, and the text report
+// renders the section.
+func TestPartitionTraceTimeline(t *testing.T) {
+	cfg := midway.Config{Nodes: 4, Scheme: "rt", Sched: "lockstep"}
+	clean := partitionWorkload(cfg)
+	if clean.err != nil {
+		t.Fatalf("clean run: %v", clean.err)
+	}
+	c := clean.sys.ExecutionCycles()
+	at, healAt := c/3, 2*c/3
+	var buf bytes.Buffer
+	cfg.Partition = fmt.Sprintf("minority=3,at=%d,healat=%d", at, healAt)
+	cfg.Trace = &buf
+	cfg.TraceFormat = "jsonl"
+	if r := partitionWorkload(cfg); r.err != nil {
+		t.Fatalf("fenced run: %v", r.err)
+	}
+	a, err := obs.Analyze(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := a.Partition
+	if p == nil {
+		t.Fatal("fenced run traced no partition events")
+	}
+	if len(p.QuorumLosses) != 1 || p.QuorumLosses[0].Node != 3 {
+		t.Errorf("quorum losses = %+v, want one for node 3", p.QuorumLosses)
+	}
+	if len(p.Fences) != 1 || p.Fences[0].Node != 3 || p.Fences[0].Cycles != at {
+		t.Errorf("fences = %+v, want node 3 at cycle %d", p.Fences, at)
+	}
+	if len(p.Heals) != 1 || p.Heals[0].Node != 3 || p.Heals[0].Cycles != healAt {
+		t.Errorf("heals = %+v, want node 3 at cycle %d", p.Heals, healAt)
+	}
+	var rep strings.Builder
+	a.WriteReport(&rep)
+	if !strings.Contains(rep.String(), "partition timeline") {
+		t.Error("text report lacks the partition timeline section")
+	}
+}
+
+// TestPartitionConfigValidation pins the construction-time rejections:
+// malformed schedules, policy/spec mismatches, and minorities the quorum
+// rule could never fence.
+func TestPartitionConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  midway.Config
+		want string
+	}{
+		{"missing-at", midway.Config{Nodes: 4, Partition: "minority=3"}, "required"},
+		{"missing-minority", midway.Config{Nodes: 4, Partition: "at=100,healat=200"}, "required"},
+		{"fence-needs-healat", midway.Config{Nodes: 4, Partition: "minority=3,at=100"}, "healat"},
+		{"healat-under-abort", midway.Config{
+			Nodes: 4, Partition: "minority=3,at=100,healat=200",
+			OnPartition: midway.PartitionAbort,
+		}, "healat"},
+		{"degrade-needs-crash-degrade", midway.Config{
+			Nodes: 4, Partition: "minority=3,at=100",
+			OnPartition: midway.PartitionDegrade,
+		}, "OnCrash"},
+		{"whole-membership", midway.Config{Nodes: 2, Partition: "minority=0+1,at=10,healat=20"}, "majority"},
+		{"majority-side", midway.Config{Nodes: 4, Partition: "minority=1+2+3,at=10,healat=20"}, "majority"},
+		{"tie-break-side", midway.Config{Nodes: 4, Partition: "minority=0+1,at=10,healat=20"}, "tie-break"},
+		{"out-of-range", midway.Config{Nodes: 4, Partition: "minority=9,at=10,healat=20"}, "range"},
+		{"duplicate-node", midway.Config{Nodes: 4, Partition: "minority=3+3,at=10,healat=20"}, "duplicate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := midway.NewSystem(c.cfg)
+			if err == nil {
+				t.Fatalf("config %+v accepted", c.cfg)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
